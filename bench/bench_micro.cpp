@@ -1,0 +1,145 @@
+// Substrate micro-benchmarks (google-benchmark): throughput of the building
+// blocks whose near-linear scaling underpins the Fig. 5 claim — Laplacian
+// CG solves, Lanczos spectral embedding, kNN construction, effective-
+// resistance sketching, PGM sparsification, golden STA, and GNN forwards.
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/generator.hpp"
+#include "circuit/sta.hpp"
+#include "circuit/views.hpp"
+#include "core/spectral_embedding.hpp"
+#include "graphs/effective_resistance.hpp"
+#include "graphs/knn.hpp"
+#include "graphs/laplacian.hpp"
+#include "graphs/sparsify.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace cirstag;
+
+graphs::Graph random_graph(std::size_t n, std::size_t extra,
+                           std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  graphs::Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<graphs::NodeId>(i),
+               static_cast<graphs::NodeId>(i + 1), rng.uniform(0.5, 2.0));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<graphs::NodeId>(rng.index(n));
+    const auto v = static_cast<graphs::NodeId>(rng.index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  return g;
+}
+
+void BM_LaplacianCgSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 3 * n, 1);
+  linalg::LaplacianSolver solver(graphs::laplacian(g));
+  linalg::Rng rng(2);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.normal();
+  linalg::deflate_constant(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_LaplacianCgSolve)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SpectralEmbedding(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 2 * n, 3);
+  core::SpectralEmbeddingOptions opts;
+  opts.dimensions = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::spectral_embedding(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_SpectralEmbedding)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_KnnGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Rng rng(4);
+  const auto pts = linalg::Matrix::random_normal(n, 12, rng);
+  graphs::KnnGraphOptions opts;
+  opts.k = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::build_knn_graph(pts, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_KnnGraph)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_ResistanceSketch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 4 * n, 5);
+  graphs::ResistanceSketchOptions opts;
+  opts.num_probes = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::edge_effective_resistances(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+}
+BENCHMARK(BM_ResistanceSketch)->Arg(1000)->Arg(4000);
+
+void BM_SparsifyPgm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 6 * n, 6);
+  graphs::SparsifyOptions opts;
+  opts.resistance.num_probes = 12;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::sparsify_pgm(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+}
+BENCHMARK(BM_SparsifyPgm)->Arg(1000)->Arg(4000);
+
+const circuit::CellLibrary& bench_lib() {
+  static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  return lib;
+}
+
+circuit::Netlist bench_netlist(std::size_t gates) {
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = gates;
+  spec.num_inputs = std::max<std::size_t>(16, gates / 40);
+  spec.num_outputs = std::max<std::size_t>(8, gates / 80);
+  spec.seed = 7;
+  return circuit::generate_random_logic(bench_lib(), spec);
+}
+
+void BM_GoldenSta(benchmark::State& state) {
+  const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::run_sta(nl));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(nl.num_pins()));
+}
+BENCHMARK(BM_GoldenSta)->Arg(1000)->Arg(8000);
+
+void BM_TimingGnnForward(benchmark::State& state) {
+  const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));
+  gnn::TimingGnnOptions opts;
+  opts.hidden_dim = 24;
+  gnn::TimingGnn model(nl, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.embed(model.base_features()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(nl.num_pins()));
+}
+BENCHMARK(BM_TimingGnnForward)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

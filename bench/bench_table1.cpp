@@ -1,0 +1,71 @@
+// Reproduces Table I: "Circuit stability analysis by CirSTAG with a
+// GNN-based pre-routing timing analysis tool".
+//
+// For each of the nine benchmarks, the capacitance feature of the top /
+// bottom k% pins (by CirSTAG stability score, primary outputs excluded) is
+// scaled by 5x or 10x, and the mean/max relative change of the GNN's
+// predicted primary-output arrival times is reported as "unstable/stable".
+//
+// Paper shape to reproduce: unstable >> stable in every cell; doubling the
+// scale factor roughly doubles the unstable change; growing the perturbed
+// fraction from 5% to 15% does NOT grow it proportionally (the most
+// unstable nodes dominate).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace cirstag;
+  using namespace cirstag::bench;
+
+  const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  const auto suite = circuit::benchmark_suite();
+
+  const double scales[] = {5.0, 10.0};
+  const double fractions[] = {0.05, 0.10, 0.15};
+
+  util::AsciiTable table({"design", "R2",
+                          "5x p5% mean", "5x p5% max",
+                          "5x p10% mean", "5x p10% max",
+                          "5x p15% mean", "5x p15% max",
+                          "10x p5% mean", "10x p5% max",
+                          "10x p10% mean", "10x p10% max",
+                          "10x p15% mean", "10x p15% max"});
+  util::CsvWriter csv({"design", "scale", "fraction", "cohort", "mean", "max"});
+
+  std::printf("=== Table I reproduction: relative change of predicted PO "
+              "arrival times (unstable/stable) ===\n\n");
+
+  for (const auto& spec : suite) {
+    CaseA c = prepare_case_a(lib, spec);
+    std::printf("[%s] pins=%zu edges=%zu GNN R2=%.4f  (top DMD eig %.3f)\n",
+                c.name.c_str(), c.netlist.num_pins(),
+                c.report.manifold_x.num_edges(), c.r2,
+                c.report.eigenvalues.empty() ? 0.0 : c.report.eigenvalues[0]);
+
+    std::vector<std::string> row{c.name, util::fmt(c.r2, 4)};
+    for (double scale : scales) {
+      for (double frac : fractions) {
+        const auto uns = unstable_pins(c, frac);
+        const auto stb = stable_pins(c, frac);
+        const ChangeStats cu = po_change(c, uns, scale);
+        const ChangeStats cs = po_change(c, stb, scale);
+        row.push_back(cell(cu.mean, cs.mean));
+        row.push_back(cell(cu.max, cs.max));
+        csv.add_row({c.name, util::fmt(scale, 0), util::fmt(frac, 2),
+                     "unstable", util::fmt(cu.mean, 6), util::fmt(cu.max, 6)});
+        csv.add_row({c.name, util::fmt(scale, 0), util::fmt(frac, 2),
+                     "stable", util::fmt(cs.mean, 6), util::fmt(cs.max, 6)});
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  csv.save("table1.csv");
+  std::printf("series written to table1.csv\n");
+  return 0;
+}

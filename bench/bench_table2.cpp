@@ -1,0 +1,176 @@
+// Reproduces the Case-B study (Table II, reconstructed from the paper's
+// prose): stability analysis under circuit TOPOLOGY perturbations with the
+// reverse-engineering GAT of [4].
+//
+// Protocol: train the GAT sub-circuit classifier on a module-stitched
+// netlist; run CirSTAG on (gate graph, gate features, GAT embeddings); for
+// each fraction k% apply the same local topology perturbation (one random
+// extra edge per selected gate, node features held fixed as in [4]) to the
+// unstable (top-k% score) and stable (bottom-k%) cohorts; re-run the same
+// trained weights on the perturbed topology and report
+//   (a) mean cosine similarity between original and perturbed embeddings of
+//       the perturbed gates, and
+//   (b) classification accuracy on the perturbed gates,
+// plus the global F1-macro as a secondary indicator.
+//
+// Paper shape: identical perturbations disrupt the unstable cohort's
+// embeddings and labels far more than the stable cohort's — the node
+// stability score is a working local-Lipschitz estimate.
+
+#include <cstdio>
+
+#include "circuit/modules.hpp"
+#include "circuit/perturb.hpp"
+#include "circuit/views.hpp"
+#include "common.hpp"
+#include "gnn/metrics.hpp"
+#include "gnn/re_gat.hpp"
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace cirstag;
+
+/// Add one random incident edge per selected node (features untouched).
+graphs::Graph add_random_edges(const graphs::Graph& g,
+                               const std::vector<std::size_t>& nodes,
+                               linalg::Rng& rng) {
+  graphs::Graph out = g;
+  for (std::size_t n : nodes) {
+    auto other = static_cast<graphs::NodeId>(rng.index(g.num_nodes()));
+    if (other == n)
+      other = static_cast<graphs::NodeId>((other + 1) % g.num_nodes());
+    out.add_edge(static_cast<graphs::NodeId>(n), other, 1.0);
+  }
+  return out;
+}
+
+struct CohortResult {
+  double cohort_cosine = 0.0;
+  double cohort_accuracy = 0.0;
+  double global_f1 = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace cirstag::bench;
+  using namespace cirstag::circuit;
+
+  const CellLibrary lib = CellLibrary::standard();
+
+  // Three interconnected designs of growing size.
+  std::vector<ReDesignSpec> specs(3);
+  specs[0].name = "re_small";
+  specs[0].seed = 301;
+  specs[1].name = "re_medium";
+  specs[1].adders = 5;
+  specs[1].multipliers = 3;
+  specs[1].muxes = 5;
+  specs[1].counters = 4;
+  specs[1].comparators = 4;
+  specs[1].glue_gates = 120;
+  specs[1].seed = 302;
+  specs[2].name = "re_large";
+  specs[2].adders = 8;
+  specs[2].multipliers = 4;
+  specs[2].muxes = 8;
+  specs[2].counters = 6;
+  specs[2].comparators = 6;
+  specs[2].module_bits = 5;
+  specs[2].glue_gates = 200;
+  specs[2].seed = 303;
+
+  const double fractions[] = {0.05, 0.10, 0.15};
+
+  util::AsciiTable table({"design", "gates", "acc", "F1",
+                          "cos@5%", "cos@10%", "cos@15%",
+                          "acc@5%", "acc@10%", "acc@15%"});
+  util::CsvWriter csv({"design", "fraction", "cohort", "cohort_cosine",
+                       "cohort_accuracy", "global_f1"});
+
+  std::printf("=== Table II reproduction (Case B): GAT stability under "
+              "topology perturbations ===\n");
+  std::printf("(cells are unstable/stable; cohort-restricted metrics — the "
+              "paper's node-stability claim)\n\n");
+
+  for (const auto& spec : specs) {
+    const Netlist nl = make_re_netlist(lib, spec);
+    const auto topo = gate_graph(nl);
+    const auto labels = gate_labels(nl);
+
+    gnn::ReGatOptions gopts;
+    gopts.epochs = 180;  // high accuracy without fully saturating embeddings
+    gopts.hidden_dim = 32;
+    gnn::ReGat model(nl, topo, gopts);
+    model.train();
+    const auto base_eval = model.evaluate(model.base_features());
+    const auto base_emb = model.embed(model.base_features());
+
+    const core::CirStag analyzer(default_config());
+    const auto report =
+        analyzer.analyze(topo, model.base_features(), base_emb);
+
+    std::printf("[%s] gates=%zu edges=%zu acc=%.4f F1=%.4f (top eig %.3g)\n",
+                spec.name.c_str(), nl.num_gates(), topo.num_edges(),
+                base_eval.accuracy, base_eval.f1_macro,
+                report.eigenvalues.empty() ? 0.0 : report.eigenvalues[0]);
+
+    auto run_cohort = [&](const std::vector<std::size_t>& nodes,
+                          std::uint64_t seed) {
+      linalg::Rng rng(seed);
+      const auto perturbed = add_random_edges(topo, nodes, rng);
+      const auto clone = model.clone_for_topology(perturbed);
+      // Node features are held fixed (the perturbation is purely topological,
+      // matching the GNN-RE protocol where features are precomputed).
+      const auto emb = clone->embed(model.base_features());
+      const auto sims = gnn::row_cosine_similarities(base_emb, emb);
+      const auto pred = clone->predict(model.base_features());
+
+      CohortResult r;
+      std::size_t correct = 0;
+      for (std::size_t i : nodes) {
+        r.cohort_cosine += sims[i];
+        correct += (pred[i] == labels[i]) ? 1 : 0;
+      }
+      r.cohort_cosine /= static_cast<double>(nodes.size());
+      r.cohort_accuracy =
+          static_cast<double>(correct) / static_cast<double>(nodes.size());
+      r.global_f1 = gnn::f1_macro(pred, labels, kNumModuleClasses);
+      return r;
+    };
+
+    std::vector<std::string> row{spec.name, std::to_string(nl.num_gates()),
+                                 util::fmt(base_eval.accuracy, 4),
+                                 util::fmt(base_eval.f1_macro, 4)};
+    std::vector<std::string> cos_cells, acc_cells;
+    for (double frac : fractions) {
+      const auto uns = select_top_fraction(report.node_scores, frac);
+      const auto stb = select_bottom_fraction(report.node_scores, frac);
+      const CohortResult ru = run_cohort(uns, 900 + spec.seed);
+      const CohortResult rs = run_cohort(stb, 901 + spec.seed);
+      cos_cells.push_back(cell(ru.cohort_cosine, rs.cohort_cosine));
+      acc_cells.push_back(cell(ru.cohort_accuracy, rs.cohort_accuracy));
+      csv.add_row({spec.name, util::fmt(frac, 2), "unstable",
+                   util::fmt(ru.cohort_cosine, 6),
+                   util::fmt(ru.cohort_accuracy, 6),
+                   util::fmt(ru.global_f1, 6)});
+      csv.add_row({spec.name, util::fmt(frac, 2), "stable",
+                   util::fmt(rs.cohort_cosine, 6),
+                   util::fmt(rs.cohort_accuracy, 6),
+                   util::fmt(rs.global_f1, 6)});
+    }
+    for (auto& c : cos_cells) row.push_back(std::move(c));
+    for (auto& c : acc_cells) row.push_back(std::move(c));
+    table.add_row(std::move(row));
+  }
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  std::printf("(lower cosine / accuracy = larger disruption; expect the "
+              "unstable cohort to be hit much harder under the SAME "
+              "perturbation)\n");
+  csv.save("table2.csv");
+  std::printf("series written to table2.csv\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "common.hpp"
+
+#include "circuit/perturb.hpp"
+#include "circuit/views.hpp"
+#include "util/ascii.hpp"
+#include "util/stats.hpp"
+
+namespace cirstag::bench {
+
+core::CirStagConfig default_config() {
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 12;
+  cfg.manifold.knn.k = 10;
+  cfg.manifold.sparsify.offtree_keep_fraction = 0.25;
+  cfg.manifold.sparsify.resistance.num_probes = 16;
+  cfg.stability.eigensubspace_dim = 8;
+  cfg.stability.subspace_iterations = 30;
+  return cfg;
+}
+
+CaseA prepare_case_a(const circuit::CellLibrary& lib,
+                     const circuit::RandomCircuitSpec& spec,
+                     const CaseAOptions& opts) {
+  CaseA c{spec.name, circuit::generate_random_logic(lib, spec), nullptr, 0.0, {}, {}, {}};
+
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = opts.gnn_epochs;
+  gopts.hidden_dim = opts.gnn_hidden;
+  c.model = std::make_unique<gnn::TimingGnn>(c.netlist, gopts);
+  c.r2 = c.model->train().r2;
+
+  const core::CirStag analyzer(opts.config);
+  c.report = analyzer.analyze(circuit::pin_graph(c.netlist),
+                              c.model->base_features(),
+                              c.model->embed(c.model->base_features()));
+
+  const auto pred = c.model->predict(c.model->base_features());
+  for (circuit::PinId po : c.netlist.primary_outputs()) {
+    c.base_po_pred.push_back(pred[po]);
+    c.excluded.push_back(po);
+  }
+  return c;
+}
+
+std::vector<double> po_changes(CaseA& c, const std::vector<std::size_t>& pins,
+                               double factor) {
+  const auto feats = circuit::perturbed_pin_features(c.netlist, pins, factor);
+  const auto pred = c.model->predict(feats);
+  std::vector<double> po;
+  po.reserve(c.base_po_pred.size());
+  for (circuit::PinId p : c.netlist.primary_outputs()) po.push_back(pred[p]);
+  return circuit::relative_changes(c.base_po_pred, po);
+}
+
+ChangeStats po_change(CaseA& c, const std::vector<std::size_t>& pins,
+                      double factor) {
+  const auto rel = po_changes(c, pins, factor);
+  return {util::mean(rel), util::max_value(rel)};
+}
+
+std::vector<std::size_t> unstable_pins(const CaseA& c, double fraction) {
+  return circuit::select_top_fraction(c.report.node_scores, fraction,
+                                      c.excluded);
+}
+
+std::vector<std::size_t> stable_pins(const CaseA& c, double fraction) {
+  return circuit::select_bottom_fraction(c.report.node_scores, fraction,
+                                         c.excluded);
+}
+
+std::string cell(double unstable, double stable) {
+  return util::fmt(unstable, 4) + "/" + util::fmt(stable, 4);
+}
+
+}  // namespace cirstag::bench

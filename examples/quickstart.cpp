@@ -1,0 +1,59 @@
+// Quickstart: score the stability of every node of a graph under a
+// black-box embedding model in ~20 lines.
+//
+// CirSTAG needs only two things:
+//   1. the input graph the model consumed, and
+//   2. the model's per-node output embeddings.
+// Here the "model" is a toy map that distorts one region of a ring graph;
+// CirSTAG pinpoints exactly the distorted nodes.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/cirstag.hpp"
+
+int main() {
+  using namespace cirstag;
+
+  // 1. Input graph: a 48-node ring.
+  const std::size_t n = 48;
+  graphs::Graph ring(n);
+  for (graphs::NodeId i = 0; i < n; ++i)
+    ring.add_edge(i, static_cast<graphs::NodeId>((i + 1) % n));
+
+  // 2. "GNN" output: ring coordinates, with nodes 20..27 flung outward —
+  //    the model is unstable exactly there.
+  linalg::Matrix embedding(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = 2.0 * M_PI * double(i) / double(n);
+    const double radius = (i >= 20 && i <= 27) ? 5.0 : 1.0;
+    embedding(i, 0) = radius * std::cos(theta);
+    embedding(i, 1) = radius * std::sin(theta);
+  }
+
+  // 3. Analyze.
+  core::CirStagConfig config;
+  config.embedding.dimensions = 8;
+  config.manifold.knn.k = 6;
+  const core::CirStag analyzer(config);
+  const core::CirStagReport report = analyzer.analyze(ring, embedding);
+
+  // 4. Report the most/least stable nodes.
+  std::printf("top generalized eigenvalue (worst DMD): %.3f\n",
+              report.eigenvalues[0]);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.node_scores[a] > report.node_scores[b];
+  });
+  std::printf("most unstable nodes (expect 19..28):");
+  for (std::size_t i = 0; i < 8; ++i) std::printf(" %zu", order[i]);
+  std::printf("\nmost stable nodes  (expect far from the distorted arc):");
+  for (std::size_t i = 0; i < 5; ++i)
+    std::printf(" %zu", order[n - 1 - i]);
+  std::printf("\nphase timings: embed %.1fms manifold %.1fms stability %.1fms\n",
+              1e3 * report.timings.embedding_seconds,
+              1e3 * report.timings.manifold_seconds,
+              1e3 * report.timings.stability_seconds);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Case-Study-B walkthrough: train the reverse-engineering GAT to label each
+// gate with its sub-circuit class (adder / multiplier / mux / counter /
+// comparator / glue), run CirSTAG on the gate graph + GAT embeddings, and
+// show that rewiring edges around CirSTAG-unstable gates disrupts both the
+// embeddings (cosine similarity) and the classification (F1-macro) far more
+// than rewiring around stable gates.
+
+#include <cstdio>
+
+#include "circuit/modules.hpp"
+#include "circuit/perturb.hpp"
+#include "circuit/views.hpp"
+#include "core/cirstag.hpp"
+#include "gnn/metrics.hpp"
+#include "gnn/re_gat.hpp"
+
+int main() {
+  using namespace cirstag;
+  using namespace cirstag::circuit;
+
+  const CellLibrary lib = CellLibrary::standard();
+  ReDesignSpec spec;
+  spec.name = "re_demo";
+  spec.adders = 5;
+  spec.multipliers = 3;
+  spec.muxes = 5;
+  spec.counters = 4;
+  spec.comparators = 4;
+  spec.module_bits = 4;
+  spec.glue_gates = 120;
+  spec.seed = 302;
+
+  std::printf("stitching interconnected design '%s'...\n", spec.name.c_str());
+  const Netlist nl = make_re_netlist(lib, spec);
+  const auto topo = gate_graph(nl);
+  std::printf("  %zu gates, %zu gate-graph edges, %zu classes\n",
+              nl.num_gates(), topo.num_edges(), kNumModuleClasses);
+
+  std::printf("training GAT sub-circuit classifier...\n");
+  gnn::ReGatOptions gopts;
+  gopts.epochs = 180;
+  gopts.hidden_dim = 32;
+  gnn::ReGat model(nl, topo, gopts);
+  model.train();
+  const auto base_eval = model.evaluate(model.base_features());
+  std::printf("  accuracy %.4f, F1-macro %.4f\n", base_eval.accuracy,
+              base_eval.f1_macro);
+
+  std::printf("running CirSTAG on (gate graph, GAT embeddings)...\n");
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 12;
+  cfg.manifold.knn.k = 10;
+  const core::CirStag analyzer(cfg);
+  const auto base_emb = model.embed(model.base_features());
+  const auto report = analyzer.analyze(topo, model.base_features(), base_emb);
+
+  // Which module classes are the least stable under the GAT?
+  std::vector<double> class_score(kNumModuleClasses, 0.0);
+  std::vector<std::size_t> class_count(kNumModuleClasses, 0);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    class_score[nl.gate(g).module_label] += report.node_scores[g];
+    ++class_count[nl.gate(g).module_label];
+  }
+  std::printf("\nmean stability score by sub-circuit class:\n");
+  for (std::uint32_t c = 0; c < kNumModuleClasses; ++c)
+    std::printf("  %-11s %.5f\n",
+                module_class_name(static_cast<ModuleClass>(c)),
+                class_score[c] / std::max<std::size_t>(class_count[c], 1));
+
+  // Topology perturbation protocol: attach one random extra edge to each
+  // selected gate (features fixed), then measure how much the *selected
+  // gates'* embeddings and labels move — the node-stability claim.
+  const auto labels = gate_labels(nl);
+  auto disrupt = [&](const std::vector<std::size_t>& nodes,
+                     std::uint64_t seed) {
+    linalg::Rng rng(seed);
+    graphs::Graph perturbed = topo;
+    for (std::size_t n : nodes) {
+      auto other = static_cast<graphs::NodeId>(rng.index(topo.num_nodes()));
+      if (other == n)
+        other = static_cast<graphs::NodeId>((other + 1) % topo.num_nodes());
+      perturbed.add_edge(static_cast<graphs::NodeId>(n), other, 1.0);
+    }
+    const auto clone = model.clone_for_topology(perturbed);
+    const auto emb = clone->embed(model.base_features());
+    const auto sims = gnn::row_cosine_similarities(base_emb, emb);
+    const auto pred = clone->predict(model.base_features());
+    double cosine = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i : nodes) {
+      cosine += sims[i];
+      correct += (pred[i] == labels[i]) ? 1 : 0;
+    }
+    return std::pair<double, double>{
+        cosine / double(nodes.size()), double(correct) / double(nodes.size())};
+  };
+
+  const auto unstable = select_top_fraction(report.node_scores, 0.10);
+  const auto stable = select_bottom_fraction(report.node_scores, 0.10);
+  const auto [cu, au] = disrupt(unstable, 42);
+  const auto [cs, as] = disrupt(stable, 43);
+
+  std::printf("\nperturbing top 10%% UNSTABLE gates: cohort cosine %.4f, "
+              "cohort accuracy %.4f\n", cu, au);
+  std::printf("perturbing bottom 10%% STABLE gates: cohort cosine %.4f, "
+              "cohort accuracy %.4f\n", cs, as);
+  std::printf("=> the same local edit disrupts unstable gates %.1fx more "
+              "(1-cosine: %.4f vs %.4f)\n",
+              (1.0 - cu) / std::max(1.0 - cs, 1e-9), 1.0 - cu, 1.0 - cs);
+  return 0;
+}

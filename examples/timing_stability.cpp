@@ -1,0 +1,100 @@
+// Case-Study-A walkthrough on one circuit: train a pin-level timing GNN on
+// golden STA labels, run CirSTAG over (pin graph, GNN embeddings), and show
+// that perturbing the capacitances of CirSTAG-flagged unstable pins swings
+// the predicted output arrival times far more than perturbing stable pins.
+//
+// This is the single-design version of the Table-I benchmark.
+
+#include <cstdio>
+
+#include "circuit/generator.hpp"
+#include "circuit/perturb.hpp"
+#include "circuit/sta.hpp"
+#include "circuit/views.hpp"
+#include "core/cirstag.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace cirstag;
+  using namespace cirstag::circuit;
+
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.name = "demo_design";
+  spec.num_gates = 600;
+  spec.num_inputs = 32;
+  spec.num_outputs = 16;
+  spec.num_levels = 12;
+  spec.seed = 2024;
+
+  std::printf("generating %s (%zu gates)...\n", spec.name.c_str(),
+              spec.num_gates);
+  const Netlist nl = generate_random_logic(lib, spec);
+  const TimingReport golden = run_sta(nl);
+  std::printf("golden STA: worst arrival %.3f over %zu outputs\n",
+              golden.worst_arrival, nl.primary_outputs().size());
+
+  std::printf("training timing GNN (black-box STA surrogate)...\n");
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = 350;
+  gopts.hidden_dim = 24;
+  gnn::TimingGnn model(nl, gopts);
+  const auto stats = model.train();
+  std::printf("  R2 vs golden STA: %.4f\n", stats.r2);
+
+  std::printf("running CirSTAG...\n");
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 12;
+  cfg.manifold.knn.k = 10;
+  const core::CirStag analyzer(cfg);
+  const auto report =
+      analyzer.analyze(pin_graph(nl), model.base_features(),
+                       model.embed(model.base_features()));
+  std::printf("  DMD spectrum (top 4): %.3f %.3f %.3f %.3f\n",
+              report.eigenvalues[0], report.eigenvalues[1],
+              report.eigenvalues[2], report.eigenvalues[3]);
+
+  // Paper protocol: exclude POs, pick top/bottom 10%, scale caps 10x.
+  std::vector<std::size_t> excluded(nl.primary_outputs().begin(),
+                                    nl.primary_outputs().end());
+  const auto unstable = select_top_fraction(report.node_scores, 0.10, excluded);
+  const auto stable =
+      select_bottom_fraction(report.node_scores, 0.10, excluded);
+
+  const auto base_pred = model.predict(model.base_features());
+  std::vector<double> base_po;
+  for (PinId po : nl.primary_outputs()) base_po.push_back(base_pred[po]);
+
+  auto change = [&](const std::vector<std::size_t>& pins) {
+    const auto feats = perturbed_pin_features(nl, pins, 10.0);
+    const auto pred = model.predict(feats);
+    std::vector<double> po;
+    for (PinId p : nl.primary_outputs()) po.push_back(pred[p]);
+    const auto rel = relative_changes(base_po, po);
+    return std::pair<double, double>{util::mean(rel), util::max_value(rel)};
+  };
+
+  const auto [u_mean, u_max] = change(unstable);
+  const auto [s_mean, s_max] = change(stable);
+  std::printf("\nperturbing top 10%% UNSTABLE pins @10x: mean %.4f max %.4f\n",
+              u_mean, u_max);
+  std::printf("perturbing bottom 10%% STABLE pins @10x: mean %.4f max %.4f\n",
+              s_mean, s_max);
+  std::printf("=> separation %.1fx — the unstable pins CirSTAG flags are the "
+              "capacitance-critical ones.\n",
+              u_mean / std::max(s_mean, 1e-9));
+
+  // Cross-check against the golden simulator. Note this measures worst-path
+  // delay sensitivity, a related but distinct quantity from the GNN-view
+  // stability CirSTAG scores (see bench_groundtruth for the full rank
+  // comparison against the exhaustive STA oracle).
+  const Netlist worst_case = perturb_pin_capacitances(nl, unstable, 10.0);
+  const Netlist best_case = perturb_pin_capacitances(nl, stable, 10.0);
+  const double golden_u = run_sta(worst_case).worst_arrival;
+  const double golden_s = run_sta(best_case).worst_arrival;
+  std::printf("\ngolden STA cross-check: unstable-perturbed worst arrival "
+              "%.3f vs stable-perturbed %.3f (baseline %.3f)\n",
+              golden_u, golden_s, golden.worst_arrival);
+  return 0;
+}

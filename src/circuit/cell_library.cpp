@@ -1,0 +1,57 @@
+#include "circuit/cell_library.hpp"
+
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+CellTypeId CellLibrary::add_cell(CellType cell) {
+  if (cell.num_inputs == 0)
+    throw std::invalid_argument("CellLibrary: cell must have inputs");
+  cells_.push_back(std::move(cell));
+  return static_cast<CellTypeId>(cells_.size() - 1);
+}
+
+const CellType& CellLibrary::cell(CellTypeId id) const {
+  if (id >= cells_.size()) throw std::out_of_range("CellLibrary::cell");
+  return cells_[id];
+}
+
+CellTypeId CellLibrary::id_of(const std::string& name) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].name == name) return static_cast<CellTypeId>(i);
+  throw std::out_of_range("CellLibrary::id_of: unknown cell " + name);
+}
+
+std::vector<CellTypeId> CellLibrary::cells_with_arity(
+    std::uint8_t num_inputs) const {
+  std::vector<CellTypeId> out;
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].num_inputs == num_inputs)
+      out.push_back(static_cast<CellTypeId>(i));
+  return out;
+}
+
+CellLibrary CellLibrary::standard() {
+  CellLibrary lib;
+  // name, inputs, Cin, p, Rdrive, slew_p, slew_k
+  lib.add_cell({"INV_X1", 1, 1.0, 0.60, 1.00, 0.30, 0.25});
+  lib.add_cell({"INV_X2", 1, 1.8, 0.65, 0.55, 0.30, 0.15});
+  lib.add_cell({"INV_X4", 1, 3.4, 0.70, 0.30, 0.30, 0.09});
+  lib.add_cell({"BUF_X1", 1, 1.0, 1.10, 0.95, 0.35, 0.22});
+  lib.add_cell({"BUF_X2", 1, 1.8, 1.15, 0.52, 0.35, 0.13});
+  lib.add_cell({"NAND2_X1", 2, 1.2, 0.80, 1.05, 0.40, 0.26});
+  lib.add_cell({"NAND2_X2", 2, 2.2, 0.85, 0.58, 0.40, 0.16});
+  lib.add_cell({"NOR2_X1", 2, 1.3, 0.95, 1.25, 0.45, 0.30});
+  lib.add_cell({"AND2_X1", 2, 1.2, 1.35, 1.00, 0.45, 0.24});
+  lib.add_cell({"OR2_X1", 2, 1.3, 1.45, 1.10, 0.48, 0.26});
+  lib.add_cell({"XOR2_X1", 2, 1.9, 1.80, 1.30, 0.55, 0.32});
+  lib.add_cell({"XNOR2_X1", 2, 1.9, 1.85, 1.32, 0.55, 0.32});
+  lib.add_cell({"MUX2_X1", 3, 1.5, 1.60, 1.15, 0.50, 0.28});
+  lib.add_cell({"AOI21_X1", 3, 1.4, 1.05, 1.20, 0.48, 0.29});
+  lib.add_cell({"OAI21_X1", 3, 1.4, 1.10, 1.22, 0.48, 0.29});
+  lib.add_cell({"NAND3_X1", 3, 1.3, 1.00, 1.15, 0.45, 0.28});
+  lib.add_cell({"NOR3_X1", 3, 1.4, 1.20, 1.45, 0.50, 0.33});
+  return lib;
+}
+
+}  // namespace cirstag::circuit

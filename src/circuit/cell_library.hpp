@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cirstag::circuit {
+
+using CellTypeId = std::uint16_t;
+
+/// A combinational standard cell characterized with a logical-effort style
+/// linear delay model:
+///
+///   arc delay = intrinsic_delay + drive_resistance * C_load
+///   output slew = slew_intrinsic + slew_factor * C_load
+///
+/// Units are normalized (FO4-ish delays, femtofarad-ish caps); absolute
+/// scale is irrelevant to CirSTAG, which only consumes relative changes.
+struct CellType {
+  std::string name;
+  std::uint8_t num_inputs = 1;
+  double input_capacitance = 1.0;   ///< per input pin
+  double intrinsic_delay = 1.0;     ///< parasitic delay p
+  double drive_resistance = 1.0;    ///< effort slope (1/drive strength)
+  double slew_intrinsic = 0.5;
+  double slew_factor = 0.3;
+};
+
+/// The default technology library used by the synthetic benchmark suite:
+/// inverters/buffers in multiple drive strengths plus the usual 2-3 input
+/// gates, MUX, and AOI/OAI complex cells.
+class CellLibrary {
+ public:
+  /// Library with the builtin cell set.
+  static CellLibrary standard();
+
+  /// Empty library for custom construction.
+  CellLibrary() = default;
+
+  CellTypeId add_cell(CellType cell);
+
+  [[nodiscard]] const CellType& cell(CellTypeId id) const;
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] std::span<const CellType> cells() const { return cells_; }
+
+  /// Lookup by name; throws std::out_of_range if absent.
+  [[nodiscard]] CellTypeId id_of(const std::string& name) const;
+
+  /// Ids of cells with exactly `num_inputs` inputs.
+  [[nodiscard]] std::vector<CellTypeId> cells_with_arity(
+      std::uint8_t num_inputs) const;
+
+ private:
+  std::vector<CellType> cells_;
+};
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,160 @@
+#include "circuit/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+namespace {
+
+/// A driver pin available for new gate inputs, tagged with its level.
+struct Signal {
+  PinId pin;
+  std::size_t level;
+  std::size_t fanout = 0;
+};
+
+CellTypeId pick_cell(const CellLibrary& lib, linalg::Rng& rng) {
+  // Favor 1-2 input cells (as technology mappers do); occasionally pick a
+  // 3-input complex cell.
+  const double roll = rng.uniform();
+  std::uint8_t arity;
+  if (roll < 0.35) arity = 1;
+  else if (roll < 0.85) arity = 2;
+  else arity = 3;
+  const auto candidates = lib.cells_with_arity(arity);
+  if (candidates.empty())
+    throw std::runtime_error("pick_cell: library lacks arity");
+  return candidates[rng.index(candidates.size())];
+}
+
+}  // namespace
+
+Netlist generate_random_logic(const CellLibrary& lib,
+                              const RandomCircuitSpec& spec) {
+  if (spec.num_inputs == 0 || spec.num_gates == 0 || spec.num_levels == 0)
+    throw std::invalid_argument("generate_random_logic: empty spec");
+
+  linalg::Rng rng(spec.seed);
+  Netlist nl(lib);
+
+  std::vector<Signal> signals;
+  signals.reserve(spec.num_inputs + spec.num_gates);
+  for (std::size_t i = 0; i < spec.num_inputs; ++i)
+    signals.push_back({nl.add_primary_input(), 0});
+
+  const std::size_t per_level =
+      std::max<std::size_t>(1, spec.num_gates / spec.num_levels);
+
+  std::size_t made = 0;
+  std::size_t prev_level_start = 0;  // first signal index of previous level
+  std::size_t prev_level_end = signals.size();
+  for (std::size_t level = 1; made < spec.num_gates; ++level) {
+    const std::size_t level_start = signals.size();
+    const std::size_t count =
+        std::min(per_level, spec.num_gates - made);
+    for (std::size_t g = 0; g < count; ++g) {
+      const CellTypeId type = pick_cell(lib, rng);
+      const GateId gid = nl.add_gate(type);
+      const std::size_t arity = lib.cell(type).num_inputs;
+      for (std::size_t slot = 0; slot < arity; ++slot) {
+        std::size_t pick;
+        if (rng.uniform() < spec.locality && prev_level_end > prev_level_start) {
+          pick = prev_level_start +
+                 rng.index(prev_level_end - prev_level_start);
+        } else {
+          pick = rng.index(prev_level_end);  // any earlier signal
+        }
+        nl.connect_input(gid, slot, signals[pick].pin);
+        ++signals[pick].fanout;
+      }
+      signals.push_back({nl.gate(gid).output, level});
+      ++made;
+    }
+    prev_level_start = level_start;
+    prev_level_end = signals.size();
+  }
+
+  // Primary outputs: prefer signals nobody consumed (dangling cones), then
+  // the deepest signals.
+  std::vector<std::size_t> order(signals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if ((signals[a].fanout == 0) != (signals[b].fanout == 0))
+      return signals[a].fanout == 0;
+    return signals[a].level > signals[b].level;
+  });
+  const std::size_t num_pos = std::min(spec.num_outputs, signals.size());
+  for (std::size_t i = 0; i < num_pos; ++i) {
+    const double load = 2.0 * rng.uniform(0.7, 1.3);
+    nl.add_primary_output(signals[order[i]].pin, load);
+  }
+
+  // Jitter pin capacitances and wire RC for feature diversity.
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    const double cap = nl.pin(p).capacitance;
+    if (cap > 0.0 && spec.cap_jitter > 0.0) {
+      nl.set_pin_capacitance(
+          p, cap * rng.uniform(1.0 - spec.cap_jitter, 1.0 + spec.cap_jitter));
+    }
+  }
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const double fanout = static_cast<double>(nl.net(n).sinks.size());
+    const double r = 0.1 * (1.0 + 0.15 * fanout) *
+                     rng.uniform(1.0 - spec.wire_jitter, 1.0 + spec.wire_jitter);
+    const double c = 0.5 * (1.0 + 0.25 * fanout) *
+                     rng.uniform(1.0 - spec.wire_jitter, 1.0 + spec.wire_jitter);
+    nl.set_net_wire(n, std::max(r, 1e-3), std::max(c, 1e-3));
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+std::vector<RandomCircuitSpec> benchmark_suite() {
+  // Names mirror the TimingGCN benchmark set the paper evaluates on; sizes
+  // are chosen to span the same relative range.
+  std::vector<RandomCircuitSpec> suite;
+  auto mk = [&suite](const char* name, std::size_t gates, std::size_t ins,
+                     std::size_t outs, std::size_t levels, std::uint64_t seed) {
+    RandomCircuitSpec s;
+    s.name = name;
+    s.num_gates = gates;
+    s.num_inputs = ins;
+    s.num_outputs = outs;
+    s.num_levels = levels;
+    s.seed = seed;
+    suite.push_back(s);
+  };
+  mk("blabla", 2200, 48, 24, 16, 101);
+  mk("usb_cdc_core", 1300, 40, 20, 12, 102);
+  mk("BM64", 3800, 64, 32, 20, 103);
+  mk("salsa20", 4400, 64, 32, 22, 104);
+  mk("aes128", 5200, 96, 48, 18, 105);
+  mk("aes192", 6100, 96, 48, 20, 106);
+  mk("aes256", 7000, 96, 48, 22, 107);
+  mk("wbqspiflash", 900, 32, 16, 10, 108);
+  mk("cic_decimator", 700, 24, 12, 10, 109);
+  return suite;
+}
+
+std::vector<RandomCircuitSpec> scalability_suite(std::size_t num_sizes,
+                                                 std::size_t base_gates,
+                                                 double growth) {
+  std::vector<RandomCircuitSpec> suite;
+  double gates = static_cast<double>(base_gates);
+  for (std::size_t i = 0; i < num_sizes; ++i) {
+    RandomCircuitSpec s;
+    s.name = "scale_" + std::to_string(static_cast<std::size_t>(gates));
+    s.num_gates = static_cast<std::size_t>(gates);
+    s.num_inputs = std::max<std::size_t>(16, s.num_gates / 40);
+    s.num_outputs = std::max<std::size_t>(8, s.num_gates / 80);
+    s.num_levels = 10 + 2 * i;
+    s.seed = 1000 + i;
+    suite.push_back(s);
+    gates *= growth;
+  }
+  return suite;
+}
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::circuit {
+
+/// Specification of one synthetic combinational benchmark.
+///
+/// The generator emits layered random logic: gates are placed level by
+/// level, each drawing its inputs from earlier signals with a locality bias,
+/// which reproduces the fanout/depth statistics of technology-mapped
+/// netlists well enough for timing-GNN training.
+struct RandomCircuitSpec {
+  std::string name = "random";
+  std::size_t num_inputs = 32;
+  std::size_t num_outputs = 16;
+  std::size_t num_gates = 1000;
+  std::size_t num_levels = 12;
+  /// Probability that an input is drawn from the immediately preceding
+  /// level (vs. uniformly from all earlier signals).
+  double locality = 0.7;
+  /// Multiplicative pin-capacitance jitter: each cap is scaled by
+  /// U(1-jitter, 1+jitter) to diversify features across instances.
+  double cap_jitter = 0.2;
+  /// Wire RC randomization span (multiplier on nominal values).
+  double wire_jitter = 0.5;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a finalized random combinational netlist.
+[[nodiscard]] Netlist generate_random_logic(const CellLibrary& lib,
+                                            const RandomCircuitSpec& spec);
+
+/// The nine-design suite standing in for the paper's Table-I benchmarks
+/// (names mirror the TimingGCN set; sizes span ~0.7k to ~7k gates).
+[[nodiscard]] std::vector<RandomCircuitSpec> benchmark_suite();
+
+/// Scaled suite for the Fig. 5 scalability sweep: same topology recipe at
+/// geometrically growing gate counts.
+[[nodiscard]] std::vector<RandomCircuitSpec> scalability_suite(
+    std::size_t num_sizes, std::size_t base_gates = 1000,
+    double growth = 2.0);
+
+}  // namespace cirstag::circuit

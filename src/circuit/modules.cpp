@@ -1,0 +1,231 @@
+#include "circuit/modules.hpp"
+
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+namespace {
+
+/// Cyclic accessor over the provided input signals.
+class InputFeed {
+ public:
+  explicit InputFeed(std::span<const PinId> inputs) : inputs_(inputs) {
+    if (inputs_.empty())
+      throw std::invalid_argument("module generator: no input signals");
+  }
+  PinId next() {
+    const PinId p = inputs_[pos_ % inputs_.size()];
+    ++pos_;
+    return p;
+  }
+
+ private:
+  std::span<const PinId> inputs_;
+  std::size_t pos_ = 0;
+};
+
+/// Create a gate of `type_name`, connect all inputs, return its output pin.
+PinId emit(Netlist& nl, const char* type_name, ModuleClass label,
+           std::initializer_list<PinId> drivers) {
+  const CellTypeId type = nl.library().id_of(type_name);
+  const GateId gid =
+      nl.add_gate(type, static_cast<std::uint32_t>(label));
+  std::size_t slot = 0;
+  for (PinId d : drivers) nl.connect_input(gid, slot++, d);
+  if (slot != nl.library().cell(type).num_inputs)
+    throw std::invalid_argument("emit: wrong driver count for cell");
+  return nl.gate(gid).output;
+}
+
+}  // namespace
+
+const char* module_class_name(ModuleClass c) {
+  switch (c) {
+    case ModuleClass::Adder: return "adder";
+    case ModuleClass::Multiplier: return "multiplier";
+    case ModuleClass::Mux: return "mux";
+    case ModuleClass::Counter: return "counter";
+    case ModuleClass::Comparator: return "comparator";
+    case ModuleClass::Glue: return "glue";
+  }
+  return "unknown";
+}
+
+std::vector<PinId> make_ripple_adder(Netlist& nl,
+                                     std::span<const PinId> inputs,
+                                     std::size_t bits) {
+  InputFeed feed(inputs);
+  constexpr auto L = ModuleClass::Adder;
+  std::vector<PinId> sums;
+  PinId carry = feed.next();
+  for (std::size_t b = 0; b < bits; ++b) {
+    const PinId a = feed.next();
+    const PinId bb = feed.next();
+    const PinId p = emit(nl, "XOR2_X1", L, {a, bb});
+    const PinId g = emit(nl, "AND2_X1", L, {a, bb});
+    const PinId sum = emit(nl, "XOR2_X1", L, {p, carry});
+    const PinId pc = emit(nl, "AND2_X1", L, {p, carry});
+    carry = emit(nl, "OR2_X1", L, {g, pc});
+    sums.push_back(sum);
+  }
+  sums.push_back(carry);
+  return sums;
+}
+
+std::vector<PinId> make_array_multiplier(Netlist& nl,
+                                         std::span<const PinId> inputs,
+                                         std::size_t bits) {
+  InputFeed feed(inputs);
+  constexpr auto L = ModuleClass::Multiplier;
+  std::vector<PinId> a(bits), b(bits);
+  for (auto& p : a) p = feed.next();
+  for (auto& p : b) p = feed.next();
+
+  // Partial products row by row, accumulated with carry-save adders.
+  std::vector<PinId> acc;  // running sum bits
+  for (std::size_t i = 0; i < bits; ++i) {
+    std::vector<PinId> row;
+    for (std::size_t j = 0; j < bits; ++j)
+      row.push_back(emit(nl, "AND2_X1", L, {a[j], b[i]}));
+    if (acc.empty()) {
+      acc = row;
+      continue;
+    }
+    // Add row into acc with a ripple of XOR/AND/OR (full-adder per bit).
+    PinId carry = row[0];
+    std::vector<PinId> next_acc;
+    const std::size_t width = std::min(acc.size(), row.size());
+    for (std::size_t j = 0; j + 1 < width; ++j) {
+      const PinId x = emit(nl, "XOR2_X1", L, {acc[j + 1], row[j + 1]});
+      const PinId s = emit(nl, "XOR2_X1", L, {x, carry});
+      const PinId c1 = emit(nl, "AND2_X1", L, {acc[j + 1], row[j + 1]});
+      const PinId c2 = emit(nl, "AND2_X1", L, {x, carry});
+      carry = emit(nl, "OR2_X1", L, {c1, c2});
+      next_acc.push_back(s);
+    }
+    next_acc.push_back(carry);
+    acc = std::move(next_acc);
+  }
+  return acc;
+}
+
+std::vector<PinId> make_mux_tree(Netlist& nl, std::span<const PinId> inputs,
+                                 std::size_t select_bits) {
+  InputFeed feed(inputs);
+  constexpr auto L = ModuleClass::Mux;
+  const std::size_t width = std::size_t{1} << select_bits;
+  std::vector<PinId> data(width);
+  for (auto& p : data) p = feed.next();
+  std::vector<PinId> selects(select_bits);
+  for (auto& p : selects) p = feed.next();
+
+  std::vector<PinId> layer = data;
+  for (std::size_t s = 0; s < select_bits; ++s) {
+    std::vector<PinId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(emit(nl, "MUX2_X1", L, {layer[i], layer[i + 1], selects[s]}));
+    layer = std::move(next);
+  }
+  return layer;  // single output
+}
+
+std::vector<PinId> make_counter(Netlist& nl, std::span<const PinId> inputs,
+                                std::size_t bits) {
+  InputFeed feed(inputs);
+  constexpr auto L = ModuleClass::Counter;
+  // Combinational increment: sum_b = state_b XOR carry_b, carry chains AND.
+  std::vector<PinId> out;
+  PinId carry = feed.next();  // "enable"
+  for (std::size_t b = 0; b < bits; ++b) {
+    const PinId state = feed.next();
+    out.push_back(emit(nl, "XOR2_X1", L, {state, carry}));
+    carry = emit(nl, "AND2_X1", L, {state, carry});
+  }
+  out.push_back(carry);  // overflow
+  return out;
+}
+
+std::vector<PinId> make_comparator(Netlist& nl, std::span<const PinId> inputs,
+                                   std::size_t bits) {
+  InputFeed feed(inputs);
+  constexpr auto L = ModuleClass::Comparator;
+  // Equality comparator: per-bit XNOR folded with an AND chain.
+  PinId acc = kInvalidId;
+  for (std::size_t b = 0; b < bits; ++b) {
+    const PinId a = feed.next();
+    const PinId bb = feed.next();
+    const PinId eq = emit(nl, "XNOR2_X1", L, {a, bb});
+    acc = (acc == kInvalidId) ? eq : emit(nl, "AND2_X1", L, {acc, eq});
+  }
+  return {acc};
+}
+
+Netlist make_re_netlist(const CellLibrary& lib, const ReDesignSpec& spec) {
+  linalg::Rng rng(spec.seed);
+  Netlist nl(lib);
+
+  std::vector<PinId> signals;
+  for (std::size_t i = 0; i < spec.num_primary_inputs; ++i)
+    signals.push_back(nl.add_primary_input());
+
+  auto sample_inputs = [&](std::size_t count) {
+    std::vector<PinId> picks(count);
+    for (auto& p : picks) p = signals[rng.index(signals.size())];
+    return picks;
+  };
+  auto glue = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const char* type = rng.chance(0.5) ? "INV_X1" : "BUF_X1";
+      const PinId in = signals[rng.index(signals.size())];
+      signals.push_back(emit(nl, type, ModuleClass::Glue, {in}));
+    }
+  };
+
+  const std::size_t glue_batches =
+      spec.adders + spec.multipliers + spec.muxes + spec.counters +
+      spec.comparators;
+  const std::size_t glue_per_batch =
+      glue_batches > 0 ? std::max<std::size_t>(1, spec.glue_gates / glue_batches)
+                       : 0;
+
+  auto absorb = [&](std::vector<PinId> outs) {
+    for (PinId p : outs) signals.push_back(p);
+  };
+
+  for (std::size_t i = 0; i < spec.adders; ++i) {
+    auto ins = sample_inputs(2 * spec.module_bits + 1);
+    absorb(make_ripple_adder(nl, ins, spec.module_bits));
+    glue(glue_per_batch);
+  }
+  for (std::size_t i = 0; i < spec.multipliers; ++i) {
+    auto ins = sample_inputs(2 * spec.module_bits);
+    absorb(make_array_multiplier(nl, ins, spec.module_bits));
+    glue(glue_per_batch);
+  }
+  for (std::size_t i = 0; i < spec.muxes; ++i) {
+    const std::size_t sel = 2;
+    auto ins = sample_inputs((std::size_t{1} << sel) + sel);
+    absorb(make_mux_tree(nl, ins, sel));
+    glue(glue_per_batch);
+  }
+  for (std::size_t i = 0; i < spec.counters; ++i) {
+    auto ins = sample_inputs(spec.module_bits + 1);
+    absorb(make_counter(nl, ins, spec.module_bits));
+    glue(glue_per_batch);
+  }
+  for (std::size_t i = 0; i < spec.comparators; ++i) {
+    auto ins = sample_inputs(2 * spec.module_bits);
+    absorb(make_comparator(nl, ins, spec.module_bits));
+    glue(glue_per_batch);
+  }
+
+  // Expose a handful of deep signals as primary outputs.
+  const std::size_t num_pos = std::max<std::size_t>(4, signals.size() / 20);
+  for (std::size_t i = 0; i < num_pos && i < signals.size(); ++i)
+    nl.add_primary_output(signals[signals.size() - 1 - i]);
+
+  nl.finalize();
+  return nl;
+}
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::circuit {
+
+/// Sub-circuit classes of the reverse-engineering case study (Case B).
+/// These mirror the arithmetic/control module taxonomy of GNN-RE [4].
+enum class ModuleClass : std::uint32_t {
+  Adder = 0,
+  Multiplier = 1,
+  Mux = 2,
+  Counter = 3,
+  Comparator = 4,
+  Glue = 5,
+};
+constexpr std::size_t kNumModuleClasses = 6;
+
+[[nodiscard]] const char* module_class_name(ModuleClass c);
+
+/// Gate-level structural generators. Each appends one module instance to
+/// `nl`, wiring its inputs from `inputs` (reused cyclically if short), labels
+/// every created gate with the module's class, and returns the module's
+/// output driver pins. The netlist is left un-finalized.
+[[nodiscard]] std::vector<PinId> make_ripple_adder(Netlist& nl,
+                                                   std::span<const PinId> inputs,
+                                                   std::size_t bits);
+[[nodiscard]] std::vector<PinId> make_array_multiplier(
+    Netlist& nl, std::span<const PinId> inputs, std::size_t bits);
+[[nodiscard]] std::vector<PinId> make_mux_tree(Netlist& nl,
+                                               std::span<const PinId> inputs,
+                                               std::size_t select_bits);
+[[nodiscard]] std::vector<PinId> make_counter(Netlist& nl,
+                                              std::span<const PinId> inputs,
+                                              std::size_t bits);
+[[nodiscard]] std::vector<PinId> make_comparator(Netlist& nl,
+                                                 std::span<const PinId> inputs,
+                                                 std::size_t bits);
+
+/// Spec for an interconnected multi-module design (the paper's
+/// "interconnected dataset").
+struct ReDesignSpec {
+  std::string name = "re_design";
+  std::size_t num_primary_inputs = 24;
+  /// How many instances of each module class to stitch in.
+  std::size_t adders = 3;
+  std::size_t multipliers = 2;
+  std::size_t muxes = 3;
+  std::size_t counters = 3;
+  std::size_t comparators = 3;
+  std::size_t module_bits = 4;  ///< bit width of arithmetic modules
+  /// Glue gates inserted between modules (labelled Glue).
+  std::size_t glue_gates = 60;
+  std::uint64_t seed = 17;
+};
+
+/// Build a finalized module-stitched netlist with per-gate labels: the
+/// Case-B workload. Modules consume a mix of primary inputs and previous
+/// modules' outputs, with Glue buffers/inverters sprinkled between.
+[[nodiscard]] Netlist make_re_netlist(const CellLibrary& lib,
+                                      const ReDesignSpec& spec);
+
+}  // namespace cirstag::circuit

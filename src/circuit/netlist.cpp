@@ -1,0 +1,178 @@
+#include "circuit/netlist.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+PinId Netlist::add_primary_input() {
+  Pin pin;
+  pin.kind = PinKind::PrimaryInput;
+  pin.capacitance = 0.0;  // port itself carries no pin load
+  const auto pid = static_cast<PinId>(pins_.size());
+  pins_.push_back(pin);
+
+  Net net;
+  net.driver = pid;
+  net.wire_resistance = 0.08;
+  net.wire_capacitance = 0.4;
+  const auto nid = static_cast<NetId>(nets_.size());
+  nets_.push_back(net);
+  pins_[pid].net = nid;
+
+  primary_inputs_.push_back(pid);
+  finalized_ = false;
+  return pid;
+}
+
+GateId Netlist::add_gate(CellTypeId type, std::uint32_t module_label) {
+  const CellType& ct = lib_->cell(type);
+  const auto gid = static_cast<GateId>(gates_.size());
+
+  Gate gate;
+  gate.type = type;
+  gate.module_label = module_label;
+  gate.inputs.assign(ct.num_inputs, kInvalidId);
+
+  // Input pins.
+  for (std::size_t i = 0; i < ct.num_inputs; ++i) {
+    Pin pin;
+    pin.kind = PinKind::CellInput;
+    pin.gate = gid;
+    pin.capacitance = ct.input_capacitance;
+    gate.inputs[i] = static_cast<PinId>(pins_.size());
+    pins_.push_back(pin);
+  }
+
+  // Output pin + the net it drives.
+  Pin out;
+  out.kind = PinKind::CellOutput;
+  out.gate = gid;
+  out.capacitance = 0.2;  // small output diffusion cap
+  const auto out_pid = static_cast<PinId>(pins_.size());
+  pins_.push_back(out);
+  gate.output = out_pid;
+
+  Net net;
+  net.driver = out_pid;
+  const auto nid = static_cast<NetId>(nets_.size());
+  nets_.push_back(net);
+  pins_[out_pid].net = nid;
+
+  gates_.push_back(std::move(gate));
+  finalized_ = false;
+  return gid;
+}
+
+void Netlist::connect_input(GateId gate, std::size_t slot, PinId driver_pin) {
+  if (gate >= gates_.size()) throw std::out_of_range("connect_input: gate");
+  Gate& g = gates_[gate];
+  if (slot >= g.inputs.size()) throw std::out_of_range("connect_input: slot");
+  if (driver_pin >= pins_.size())
+    throw std::out_of_range("connect_input: driver pin");
+  const Pin& drv = pins_[driver_pin];
+  if (drv.kind != PinKind::PrimaryInput && drv.kind != PinKind::CellOutput)
+    throw std::invalid_argument("connect_input: driver must be PI or cell output");
+
+  const PinId in_pid = g.inputs[slot];
+  Pin& in_pin = pins_[in_pid];
+  if (in_pin.net != kInvalidId)
+    throw std::invalid_argument("connect_input: slot already connected");
+  in_pin.net = drv.net;
+  nets_[drv.net].sinks.push_back(in_pid);
+  finalized_ = false;
+}
+
+PinId Netlist::add_primary_output(PinId driver_pin, double load_capacitance) {
+  if (driver_pin >= pins_.size())
+    throw std::out_of_range("add_primary_output: driver pin");
+  const Pin& drv = pins_[driver_pin];
+  if (drv.kind != PinKind::PrimaryInput && drv.kind != PinKind::CellOutput)
+    throw std::invalid_argument("add_primary_output: driver must be PI or cell output");
+
+  Pin pin;
+  pin.kind = PinKind::PrimaryOutput;
+  pin.capacitance = load_capacitance;
+  pin.net = drv.net;
+  const auto pid = static_cast<PinId>(pins_.size());
+  pins_.push_back(pin);
+  nets_[drv.net].sinks.push_back(pid);
+  primary_outputs_.push_back(pid);
+  finalized_ = false;
+  return pid;
+}
+
+void Netlist::finalize() {
+  // Every gate input must be connected.
+  for (const Gate& g : gates_) {
+    for (PinId in : g.inputs) {
+      if (pins_[in].net == kInvalidId)
+        throw std::runtime_error("Netlist::finalize: unconnected gate input");
+    }
+  }
+
+  // Kahn topological sort over gates (gate -> gates fed by its output net).
+  std::vector<std::uint32_t> indegree(gates_.size(), 0);
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    for (PinId in : gates_[gi].inputs) {
+      const Pin& drv = pins_[nets_[pins_[in].net].driver];
+      if (drv.kind == PinKind::CellOutput) ++indegree[gi];
+    }
+  }
+
+  std::queue<GateId> ready;
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi)
+    if (indegree[gi] == 0) ready.push(static_cast<GateId>(gi));
+
+  topo_order_.clear();
+  topo_order_.reserve(gates_.size());
+  while (!ready.empty()) {
+    const GateId gid = ready.front();
+    ready.pop();
+    topo_order_.push_back(gid);
+    const Net& out_net = nets_[pins_[gates_[gid].output].net];
+    for (PinId sink : out_net.sinks) {
+      const Pin& sp = pins_[sink];
+      if (sp.kind == PinKind::CellInput) {
+        if (--indegree[sp.gate] == 0) ready.push(sp.gate);
+      }
+    }
+  }
+  if (topo_order_.size() != gates_.size())
+    throw std::runtime_error("Netlist::finalize: combinational cycle detected");
+  finalized_ = true;
+}
+
+std::span<const GateId> Netlist::topological_order() const {
+  if (!finalized_)
+    throw std::runtime_error("Netlist: call finalize() before topological_order()");
+  return topo_order_;
+}
+
+double Netlist::net_load(NetId n) const {
+  const Net& net = nets_.at(n);
+  double load = net.wire_capacitance;
+  for (PinId sink : net.sinks) load += pins_[sink].capacitance;
+  return load;
+}
+
+void Netlist::scale_pin_capacitance(PinId p, double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("scale_pin_capacitance: factor must be > 0");
+  pins_.at(p).capacitance *= factor;
+}
+
+void Netlist::set_pin_capacitance(PinId p, double value) {
+  if (value < 0.0)
+    throw std::invalid_argument("set_pin_capacitance: negative capacitance");
+  pins_.at(p).capacitance = value;
+}
+
+void Netlist::set_net_wire(NetId n, double resistance, double capacitance) {
+  if (resistance < 0.0 || capacitance < 0.0)
+    throw std::invalid_argument("set_net_wire: negative RC");
+  nets_.at(n).wire_resistance = resistance;
+  nets_.at(n).wire_capacitance = capacitance;
+}
+
+}  // namespace cirstag::circuit

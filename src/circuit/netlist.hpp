@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/cell_library.hpp"
+
+namespace cirstag::circuit {
+
+using PinId = std::uint32_t;
+using GateId = std::uint32_t;
+using NetId = std::uint32_t;
+constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Role of a pin in the pin-level timing graph.
+enum class PinKind : std::uint8_t {
+  PrimaryInput,   ///< design input port (drives a net)
+  PrimaryOutput,  ///< design output port (sinks a net)
+  CellInput,      ///< standard-cell input pin
+  CellOutput,     ///< standard-cell output pin
+};
+
+/// A pin node: the atomic unit of the pre-routing timing model.
+/// Nodes of the GNN graph in Case Study A are exactly these pins (matching
+/// the TimingGCN convention: "nodes represent cell pins").
+struct Pin {
+  PinKind kind = PinKind::CellInput;
+  GateId gate = kInvalidId;       ///< owner gate (invalid for ports)
+  NetId net = kInvalidId;         ///< net this pin connects to
+  double capacitance = 1.0;       ///< pin load (the perturbed feature)
+};
+
+/// A standard-cell instance.
+struct Gate {
+  CellTypeId type = 0;
+  std::vector<PinId> inputs;
+  PinId output = kInvalidId;
+  /// Sub-circuit/module label for the reverse-engineering case study
+  /// (kInvalidId when the netlist has no module annotation).
+  std::uint32_t module_label = kInvalidId;
+};
+
+/// A net: one driver pin fanning out to sink pins through a lumped wire.
+struct Net {
+  PinId driver = kInvalidId;
+  std::vector<PinId> sinks;
+  double wire_resistance = 0.1;   ///< Elmore resistance to each sink
+  double wire_capacitance = 0.5;  ///< lumped wire load seen by the driver
+};
+
+/// A gate-level netlist with an explicit pin-level view.
+///
+/// Construction flow: add primary inputs, add gates (each produces its
+/// output pin and a net), connect gate inputs / primary outputs to nets,
+/// then `finalize()` validates the structure and computes the topological
+/// order used by the STA engine.
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary& lib) : lib_(&lib) {}
+
+  /// --- construction -----------------------------------------------------
+  PinId add_primary_input();
+  /// Creates gate + its output pin + the net driven by that pin.
+  GateId add_gate(CellTypeId type,
+                  std::uint32_t module_label = kInvalidId);
+  /// Connects input slot `slot` of `gate` to the net driven by `driver_pin`
+  /// (a primary input pin or another gate's output pin).
+  void connect_input(GateId gate, std::size_t slot, PinId driver_pin);
+  /// Creates a primary-output pin sinking `driver_pin`'s net.
+  PinId add_primary_output(PinId driver_pin, double load_capacitance = 2.0);
+
+  /// Validates (all inputs connected, acyclic) and freezes topology.
+  /// Throws std::runtime_error on malformed netlists.
+  void finalize();
+
+  /// --- accessors ----------------------------------------------------------
+  [[nodiscard]] const CellLibrary& library() const { return *lib_; }
+  [[nodiscard]] std::size_t num_pins() const { return pins_.size(); }
+  [[nodiscard]] std::size_t num_gates() const { return gates_.size(); }
+  [[nodiscard]] std::size_t num_nets() const { return nets_.size(); }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  [[nodiscard]] const Pin& pin(PinId p) const { return pins_.at(p); }
+  [[nodiscard]] const Gate& gate(GateId g) const { return gates_.at(g); }
+  [[nodiscard]] const Net& net(NetId n) const { return nets_.at(n); }
+  [[nodiscard]] std::span<const Pin> pins() const { return pins_; }
+  [[nodiscard]] std::span<const Gate> gates() const { return gates_; }
+  [[nodiscard]] std::span<const Net> nets() const { return nets_; }
+
+  [[nodiscard]] std::span<const PinId> primary_inputs() const {
+    return primary_inputs_;
+  }
+  [[nodiscard]] std::span<const PinId> primary_outputs() const {
+    return primary_outputs_;
+  }
+  /// Gate evaluation order (defined after finalize()).
+  [[nodiscard]] std::span<const GateId> topological_order() const;
+
+  /// Total capacitive load seen by a net's driver: wire + sink pins.
+  [[nodiscard]] double net_load(NetId n) const;
+
+  /// --- mutation for perturbation studies ----------------------------------
+  /// Scale the capacitance of one pin (keeps topology; no re-finalize needed).
+  void scale_pin_capacitance(PinId p, double factor);
+  void set_pin_capacitance(PinId p, double value);
+  void set_net_wire(NetId n, double resistance, double capacitance);
+
+ private:
+  const CellLibrary* lib_;
+  std::vector<Pin> pins_;
+  std::vector<Gate> gates_;
+  std::vector<Net> nets_;
+  std::vector<PinId> primary_inputs_;
+  std::vector<PinId> primary_outputs_;
+  std::vector<GateId> topo_order_;
+  bool finalized_ = false;
+};
+
+}  // namespace cirstag::circuit

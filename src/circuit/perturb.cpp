@@ -1,0 +1,129 @@
+#include "circuit/perturb.hpp"
+
+#include "circuit/views.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cirstag::circuit {
+
+namespace {
+
+std::vector<std::size_t> select_fraction(std::span<const double> scores,
+                                         double fraction, bool top,
+                                         std::span<const std::size_t> excluded) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("select_fraction: fraction out of [0,1]");
+  const std::unordered_set<std::size_t> skip(excluded.begin(), excluded.end());
+  std::vector<std::size_t> order;
+  order.reserve(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    if (!skip.count(i)) order.push_back(i);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return top ? scores[a] > scores[b] : scores[a] < scores[b];
+  });
+  const auto count = static_cast<std::size_t>(
+      fraction * static_cast<double>(order.size()) + 0.5);
+  order.resize(std::min(count, order.size()));
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_top_fraction(
+    std::span<const double> scores, double fraction,
+    std::span<const std::size_t> excluded) {
+  return select_fraction(scores, fraction, /*top=*/true, excluded);
+}
+
+std::vector<std::size_t> select_bottom_fraction(
+    std::span<const double> scores, double fraction,
+    std::span<const std::size_t> excluded) {
+  return select_fraction(scores, fraction, /*top=*/false, excluded);
+}
+
+Netlist perturb_pin_capacitances(const Netlist& nl,
+                                 std::span<const std::size_t> pins,
+                                 double factor) {
+  Netlist out = nl;
+  for (std::size_t p : pins)
+    out.scale_pin_capacitance(static_cast<PinId>(p), factor);
+  return out;
+}
+
+linalg::Matrix perturb_capacitance_features(const linalg::Matrix& features,
+                                            std::span<const std::size_t> pins,
+                                            double factor,
+                                            std::size_t cap_column) {
+  if (cap_column >= features.cols())
+    throw std::out_of_range("perturb_capacitance_features: column");
+  linalg::Matrix out = features;
+  for (std::size_t p : pins) {
+    if (p >= out.rows())
+      throw std::out_of_range("perturb_capacitance_features: row");
+    out(p, cap_column) *= factor;
+  }
+  return out;
+}
+
+linalg::Matrix perturbed_pin_features(const Netlist& nl,
+                                      std::span<const std::size_t> pins,
+                                      double factor) {
+  return pin_features(perturb_pin_capacitances(nl, pins, factor));
+}
+
+std::vector<double> relative_changes(std::span<const double> base,
+                                     std::span<const double> perturbed,
+                                     double eps) {
+  if (base.size() != perturbed.size())
+    throw std::invalid_argument("relative_changes: size mismatch");
+  std::vector<double> out(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i)
+    out[i] = std::abs(perturbed[i] - base[i]) / std::max(std::abs(base[i]), eps);
+  return out;
+}
+
+graphs::Graph rewire_edges(const graphs::Graph& g,
+                           std::span<const graphs::EdgeId> edges,
+                           linalg::Rng& rng) {
+  const std::unordered_set<graphs::EdgeId> chosen(edges.begin(), edges.end());
+  graphs::Graph out(g.num_nodes());
+  for (graphs::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    if (!chosen.count(e)) {
+      out.add_edge(ed.u, ed.v, ed.weight);
+      continue;
+    }
+    // Keep u, redirect v to a random distinct node.
+    graphs::NodeId nv = ed.v;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      nv = static_cast<graphs::NodeId>(rng.index(g.num_nodes()));
+      if (nv != ed.u) break;
+    }
+    if (nv == ed.u) nv = ed.v;  // pathological tiny graph; keep original
+    out.add_edge(ed.u, nv, ed.weight);
+  }
+  return out;
+}
+
+graphs::Graph rewire_around_nodes(const graphs::Graph& g,
+                                  std::span<const std::size_t> nodes,
+                                  linalg::Rng& rng) {
+  std::unordered_set<graphs::EdgeId> picked;
+  for (std::size_t n : nodes) {
+    const auto nbrs = g.neighbors(static_cast<graphs::NodeId>(n));
+    if (nbrs.empty()) continue;
+    // Pick one incident edge not already selected (best effort).
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto& inc = nbrs[rng.index(nbrs.size())];
+      if (picked.insert(inc.edge).second) break;
+    }
+  }
+  std::vector<graphs::EdgeId> edges(picked.begin(), picked.end());
+  return rewire_edges(g, edges, rng);
+}
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "graphs/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::circuit {
+
+/// --- score-driven node selection (Table I / Table II protocol) -----------
+
+/// Indices of the `fraction` highest-scoring entries, excluding any index in
+/// `excluded` (the paper excludes output pins "as they do not directly
+/// affect internal timing dynamics").
+[[nodiscard]] std::vector<std::size_t> select_top_fraction(
+    std::span<const double> scores, double fraction,
+    std::span<const std::size_t> excluded = {});
+
+/// Indices of the `fraction` lowest-scoring entries (the "stable" cohort).
+[[nodiscard]] std::vector<std::size_t> select_bottom_fraction(
+    std::span<const double> scores, double fraction,
+    std::span<const std::size_t> excluded = {});
+
+/// --- Case A: node-feature (capacitance) perturbation ----------------------
+
+/// Copy of `nl` with the capacitance of every pin in `pins` scaled by
+/// `factor` (the paper's "scale factor = 5x / 10x").
+[[nodiscard]] Netlist perturb_pin_capacitances(
+    const Netlist& nl, std::span<const std::size_t> pins, double factor);
+
+/// Copy of `features` with the capacitance column scaled by `factor` on the
+/// selected rows — the narrow GNN-input view of the perturbation (only the
+/// cap column moves).
+[[nodiscard]] linalg::Matrix perturb_capacitance_features(
+    const linalg::Matrix& features, std::span<const std::size_t> pins,
+    double factor, std::size_t cap_column);
+
+/// Physically-consistent feature perturbation: apply the capacitance scaling
+/// to the netlist and re-derive the full pin-feature matrix, so dependent
+/// features (net loads) move together with the caps — what a timing GNN
+/// would actually see after an ECO. This is the Table-I protocol.
+[[nodiscard]] linalg::Matrix perturbed_pin_features(
+    const Netlist& nl, std::span<const std::size_t> pins, double factor);
+
+/// Relative changes |y' - y| / max(|y|, eps) elementwise.
+[[nodiscard]] std::vector<double> relative_changes(
+    std::span<const double> base, std::span<const double> perturbed,
+    double eps = 1e-9);
+
+/// --- Case B: topology perturbation ----------------------------------------
+
+/// Copy of `g` where, for each selected node, one random incident edge is
+/// rewired: the far endpoint is replaced with a uniformly random node
+/// (avoiding self-loops and duplicate rewires of the same edge).
+[[nodiscard]] graphs::Graph rewire_around_nodes(
+    const graphs::Graph& g, std::span<const std::size_t> nodes,
+    linalg::Rng& rng);
+
+/// Copy of `g` with the listed edges rewired (one endpoint randomized).
+[[nodiscard]] graphs::Graph rewire_edges(const graphs::Graph& g,
+                                         std::span<const graphs::EdgeId> edges,
+                                         linalg::Rng& rng);
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,133 @@
+#include "circuit/slack.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+namespace {
+
+/// Forward cell-arc delay, identical to the run_sta model.
+double arc_delay(const Netlist& nl, const TimingReport& timing,
+                 const StaOptions& opts, const Gate& gate, PinId input) {
+  const CellType& ct = nl.library().cell(gate.type);
+  const double load = nl.net_load(nl.pin(gate.output).net);
+  return ct.intrinsic_delay + ct.drive_resistance * load +
+         opts.slew_delay_fraction * timing.slew[input];
+}
+
+double wire_delay(const Netlist& nl, PinId sink) {
+  const Net& net = nl.net(nl.pin(sink).net);
+  return net.wire_resistance * nl.pin(sink).capacitance;
+}
+
+}  // namespace
+
+SlackReport compute_slack(const Netlist& nl, const TimingReport& timing,
+                          const StaOptions& opts, double clock_period) {
+  if (!nl.finalized())
+    throw std::invalid_argument("compute_slack: netlist must be finalized");
+  if (timing.arrival.size() != nl.num_pins())
+    throw std::invalid_argument("compute_slack: timing report size mismatch");
+
+  const double target =
+      clock_period > 0.0 ? clock_period : timing.worst_arrival;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  SlackReport rep;
+  rep.required.assign(nl.num_pins(), kInf);
+  for (PinId po : nl.primary_outputs()) rep.required[po] = target;
+
+  auto pull_from_net = [&](PinId driver) {
+    const Net& net = nl.net(nl.pin(driver).net);
+    for (PinId sink : net.sinks) {
+      rep.required[driver] = std::min(
+          rep.required[driver], rep.required[sink] - wire_delay(nl, sink));
+    }
+  };
+
+  // Reverse topological order over gates.
+  const auto topo = nl.topological_order();
+  for (std::size_t i = topo.size(); i-- > 0;) {
+    const Gate& gate = nl.gate(topo[i]);
+    pull_from_net(gate.output);
+    for (PinId in : gate.inputs) {
+      rep.required[in] =
+          std::min(rep.required[in], rep.required[gate.output] -
+                                         arc_delay(nl, timing, opts, gate, in));
+    }
+  }
+  for (PinId pi : nl.primary_inputs()) pull_from_net(pi);
+
+  rep.slack.assign(nl.num_pins(), 0.0);
+  rep.worst_slack = kInf;
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    // Unconstrained pins (no path to any primary output — dangling cones)
+    // carry no timing requirement: clamp their slack at >= 0 like a signoff
+    // tool reporting "untested" endpoints, instead of inventing violations.
+    if (rep.required[p] == kInf)
+      rep.required[p] = std::max(target, timing.arrival[p]);
+    rep.slack[p] = rep.required[p] - timing.arrival[p];
+    if (rep.slack[p] < rep.worst_slack) {
+      rep.worst_slack = rep.slack[p];
+      rep.worst_pin = p;
+    }
+  }
+  return rep;
+}
+
+std::vector<TimingPath> critical_paths(const Netlist& nl,
+                                       const TimingReport& timing,
+                                       const StaOptions& opts, std::size_t k) {
+  if (!nl.finalized())
+    throw std::invalid_argument("critical_paths: netlist must be finalized");
+
+  // Rank endpoints by arrival, descending.
+  std::vector<PinId> endpoints(nl.primary_outputs().begin(),
+                               nl.primary_outputs().end());
+  std::sort(endpoints.begin(), endpoints.end(), [&](PinId a, PinId b) {
+    return timing.arrival[a] > timing.arrival[b];
+  });
+  endpoints.resize(std::min(k, endpoints.size()));
+
+  std::vector<TimingPath> paths;
+  paths.reserve(endpoints.size());
+  for (PinId po : endpoints) {
+    TimingPath path;
+    path.arrival = timing.arrival[po];
+    path.slack = timing.worst_arrival - timing.arrival[po];
+
+    PinId cursor = po;
+    path.pins.push_back(cursor);
+    // Walk back: sink pin -> its net driver; cell output -> worst input.
+    while (true) {
+      const Pin& pin = nl.pin(cursor);
+      if (pin.kind == PinKind::PrimaryInput) break;
+      if (pin.kind == PinKind::CellOutput) {
+        const Gate& gate = nl.gate(pin.gate);
+        PinId worst = gate.inputs.front();
+        double worst_arr = -std::numeric_limits<double>::infinity();
+        for (PinId in : gate.inputs) {
+          const double a =
+              timing.arrival[in] + arc_delay(nl, timing, opts, gate, in);
+          if (a > worst_arr) {
+            worst_arr = a;
+            worst = in;
+          }
+        }
+        cursor = worst;
+      } else {
+        // Sink pin (cell input or primary output): jump to the net driver.
+        cursor = nl.net(pin.net).driver;
+      }
+      path.pins.push_back(cursor);
+    }
+    std::reverse(path.pins.begin(), path.pins.end());
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace cirstag::circuit

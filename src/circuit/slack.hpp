@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/sta.hpp"
+
+namespace cirstag::circuit {
+
+/// Required-time / slack view of a timing run.
+///
+/// Given the forward arrival times of `run_sta`, the backward pass asserts a
+/// required time at every primary output (the clock period, or the worst
+/// arrival when none is given) and propagates requirements backwards:
+/// slack(p) = required(p) - arrival(p). Negative slack marks violating
+/// logic; the minimum-slack pins trace the critical path.
+struct SlackReport {
+  std::vector<double> required;  ///< per pin
+  std::vector<double> slack;     ///< per pin
+  double worst_slack = 0.0;
+  PinId worst_pin = kInvalidId;
+};
+
+/// Compute per-pin required times and slacks.
+/// `clock_period` <= 0 uses the worst output arrival (zero worst slack).
+[[nodiscard]] SlackReport compute_slack(const Netlist& nl,
+                                        const TimingReport& timing,
+                                        const StaOptions& opts = {},
+                                        double clock_period = 0.0);
+
+/// One extracted timing path: pins from a primary input to a primary
+/// output, with the arrival at its endpoint.
+struct TimingPath {
+  std::vector<PinId> pins;
+  double arrival = 0.0;
+  double slack = 0.0;
+};
+
+/// Extract the K most critical paths (largest endpoint arrival), each
+/// traced backwards through the worst-arrival fan-in at every pin.
+/// Paths are endpoint-disjoint (one path per endpoint), ranked by arrival.
+[[nodiscard]] std::vector<TimingPath> critical_paths(
+    const Netlist& nl, const TimingReport& timing, const StaOptions& opts,
+    std::size_t k);
+
+}  // namespace cirstag::circuit

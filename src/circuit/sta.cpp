@@ -1,0 +1,91 @@
+#include "circuit/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+TimingReport run_sta(const Netlist& nl, const StaOptions& opts) {
+  return run_sta(nl, opts, {});
+}
+
+TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
+                     std::span<const double> gate_delay_scale) {
+  if (!nl.finalized())
+    throw std::runtime_error("run_sta: netlist must be finalized");
+  if (!gate_delay_scale.empty() && gate_delay_scale.size() != nl.num_gates())
+    throw std::invalid_argument("run_sta: gate_delay_scale size mismatch");
+
+  TimingReport rep;
+  rep.arrival.assign(nl.num_pins(), 0.0);
+  rep.slew.assign(nl.num_pins(), 0.0);
+
+  auto propagate_net = [&](PinId driver) {
+    const Net& net = nl.net(nl.pin(driver).net);
+    for (PinId sink : net.sinks) {
+      const double wire_delay = net.wire_resistance * nl.pin(sink).capacitance;
+      rep.arrival[sink] = rep.arrival[driver] + wire_delay;
+      // Wire RC degrades the slew slightly.
+      rep.slew[sink] = rep.slew[driver] + 0.5 * wire_delay;
+    }
+  };
+
+  // Primary inputs: external driver sees the whole net load.
+  for (PinId pi : nl.primary_inputs()) {
+    const double load = nl.net_load(nl.pin(pi).net);
+    rep.arrival[pi] = opts.input_arrival + opts.input_drive_resistance * load;
+    rep.slew[pi] = opts.input_slew;
+    propagate_net(pi);
+  }
+
+  // Gates in topological order.
+  for (GateId gid : nl.topological_order()) {
+    const Gate& g = nl.gate(gid);
+    const CellType& ct = nl.library().cell(g.type);
+    const double load = nl.net_load(nl.pin(g.output).net);
+    const double derate =
+        gate_delay_scale.empty() ? 1.0 : gate_delay_scale[gid];
+
+    double out_arrival = 0.0;
+    double out_slew = 0.0;
+    for (PinId in : g.inputs) {
+      const double arc_delay = derate * (ct.intrinsic_delay +
+                                         ct.drive_resistance * load +
+                                         opts.slew_delay_fraction * rep.slew[in]);
+      out_arrival = std::max(out_arrival, rep.arrival[in] + arc_delay);
+      out_slew = std::max(out_slew, ct.slew_intrinsic + ct.slew_factor * load);
+    }
+    rep.arrival[g.output] = out_arrival;
+    rep.slew[g.output] = out_slew;
+    propagate_net(g.output);
+  }
+
+  rep.output_arrivals.reserve(nl.primary_outputs().size());
+  for (PinId po : nl.primary_outputs()) {
+    rep.output_arrivals.push_back(rep.arrival[po]);
+    rep.worst_arrival = std::max(rep.worst_arrival, rep.arrival[po]);
+  }
+  return rep;
+}
+
+std::vector<double> exhaustive_sensitivity(const Netlist& netlist,
+                                           double factor,
+                                           const StaOptions& opts) {
+  const TimingReport base = run_sta(netlist, opts);
+  const double base_worst = std::max(base.worst_arrival, 1e-12);
+
+  std::vector<double> sensitivity(netlist.num_pins(), 0.0);
+  Netlist working = netlist;  // value copy; we mutate one pin at a time
+  for (PinId p = 0; p < netlist.num_pins(); ++p) {
+    const double original = netlist.pin(p).capacitance;
+    if (original <= 0.0) continue;
+    working.set_pin_capacitance(p, original * factor);
+    const TimingReport rep = run_sta(working, opts);
+    sensitivity[p] = std::abs(rep.worst_arrival - base.worst_arrival) / base_worst;
+    working.set_pin_capacitance(p, original);
+  }
+  return sensitivity;
+}
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace cirstag::circuit {
+
+/// Per-pin results of a static timing analysis run.
+struct TimingReport {
+  std::vector<double> arrival;  ///< arrival time at every pin
+  std::vector<double> slew;     ///< transition time at every pin
+  double worst_arrival = 0.0;   ///< max arrival over primary outputs
+  /// Arrival times at the primary outputs, in primary_outputs() order.
+  std::vector<double> output_arrivals;
+};
+
+/// Options for the golden STA engine.
+struct StaOptions {
+  /// Arrival time asserted at every primary input.
+  double input_arrival = 0.0;
+  /// Input driver resistance (models the external driver of each PI).
+  double input_drive_resistance = 0.6;
+  double input_slew = 0.4;
+  /// Slew-to-delay coupling: fraction of input slew added to each cell arc
+  /// (first-order slew degradation, keeps the model monotone in caps).
+  double slew_delay_fraction = 0.35;
+};
+
+/// Golden pre-routing static timing analysis.
+///
+/// This engine plays the role of the signoff STA tool whose predictions the
+/// paper's GNN [17] mimics. Delay model per cell arc (input pin -> output
+/// pin): intrinsic + drive_resistance * C_load + slew coupling; per net arc
+/// (driver -> sink): Elmore wire_resistance * C_sink. Arrival times
+/// propagate with max() through the gate-level DAG in topological order.
+///
+/// The netlist must be finalized. Complexity O(pins + nets).
+[[nodiscard]] TimingReport run_sta(const Netlist& netlist,
+                                   const StaOptions& opts = {});
+
+/// STA with per-gate delay derating: every cell arc of gate g is multiplied
+/// by `gate_delay_scale[g]` (process/voltage/temperature corners and
+/// Monte-Carlo variation samples). An empty span means all ones.
+[[nodiscard]] TimingReport run_sta(const Netlist& netlist,
+                                   const StaOptions& opts,
+                                   std::span<const double> gate_delay_scale);
+
+/// Ground-truth per-pin delay sensitivity: relative change of the worst
+/// output arrival when pin p's capacitance is scaled by `factor`, computed
+/// by exhaustive re-simulation (one STA per pin). The expensive oracle that
+/// CirSTAG replaces; used for rank-validation experiments.
+[[nodiscard]] std::vector<double> exhaustive_sensitivity(
+    const Netlist& netlist, double factor, const StaOptions& opts = {});
+
+}  // namespace cirstag::circuit

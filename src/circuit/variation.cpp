@@ -1,0 +1,88 @@
+#include "circuit/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+MonteCarloResult monte_carlo_sta(const Netlist& nl,
+                                 const VariationModel& model,
+                                 std::size_t samples, const StaOptions& opts) {
+  if (!nl.finalized())
+    throw std::invalid_argument("monte_carlo_sta: netlist must be finalized");
+  if (samples == 0)
+    throw std::invalid_argument("monte_carlo_sta: need at least one sample");
+
+  linalg::Rng rng(model.seed);
+  const std::size_t n = nl.num_pins();
+
+  MonteCarloResult res;
+  res.samples = samples;
+  res.arrival_mean.assign(n, 0.0);
+  res.arrival_std.assign(n, 0.0);
+  std::vector<double> m2(n, 0.0);  // Welford accumulators
+  std::vector<double> worst_samples;
+  worst_samples.reserve(samples);
+
+  std::vector<double> gate_scale(nl.num_gates(), 1.0);
+  Netlist working = nl;
+
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double global = std::exp(rng.normal(0.0, model.global_sigma));
+    for (auto& g : gate_scale)
+      g = global * std::exp(rng.normal(0.0, model.local_sigma));
+    for (PinId p = 0; p < n; ++p) {
+      const double base = nl.pin(p).capacitance;
+      if (base <= 0.0) continue;
+      working.set_pin_capacitance(
+          p, base * std::exp(rng.normal(0.0, model.cap_sigma)));
+    }
+
+    const TimingReport rep = run_sta(working, opts, gate_scale);
+    worst_samples.push_back(rep.worst_arrival);
+    const double count = static_cast<double>(s + 1);
+    for (PinId p = 0; p < n; ++p) {
+      const double delta = rep.arrival[p] - res.arrival_mean[p];
+      res.arrival_mean[p] += delta / count;
+      m2[p] += delta * (rep.arrival[p] - res.arrival_mean[p]);
+    }
+  }
+
+  for (PinId p = 0; p < n; ++p)
+    res.arrival_std[p] =
+        samples > 1 ? std::sqrt(m2[p] / static_cast<double>(samples - 1)) : 0.0;
+
+  double mean = 0.0;
+  for (double w : worst_samples) mean += w;
+  mean /= static_cast<double>(samples);
+  double var = 0.0;
+  for (double w : worst_samples) var += (w - mean) * (w - mean);
+  res.worst_mean = mean;
+  res.worst_std =
+      samples > 1 ? std::sqrt(var / static_cast<double>(samples - 1)) : 0.0;
+
+  std::sort(worst_samples.begin(), worst_samples.end());
+  const auto p95_idx = static_cast<std::size_t>(
+      0.95 * static_cast<double>(worst_samples.size() - 1));
+  res.worst_p95 = worst_samples[p95_idx];
+  return res;
+}
+
+std::vector<Corner> standard_corners() {
+  return {{"fast", 0.85}, {"typical", 1.0}, {"slow", 1.25}};
+}
+
+std::vector<double> corner_analysis(const Netlist& nl,
+                                    std::span<const Corner> corners,
+                                    const StaOptions& opts) {
+  std::vector<double> out;
+  out.reserve(corners.size());
+  for (const Corner& c : corners) {
+    const std::vector<double> scale(nl.num_gates(), c.delay_scale);
+    out.push_back(run_sta(nl, opts, scale).worst_arrival);
+  }
+  return out;
+}
+
+}  // namespace cirstag::circuit

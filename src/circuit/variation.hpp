@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/sta.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::circuit {
+
+/// Statistical process/voltage/temperature variation model.
+///
+/// Each Monte-Carlo sample applies a lognormal derate to every cell arc:
+///   scale(g) = exp(N(0, global_sigma)) · exp(N(0, local_sigma))
+/// (one shared die-level draw plus an independent per-gate draw) and a
+/// multiplicative jitter exp(N(0, cap_sigma)) to every pin capacitance.
+/// This is the standard D2D + WID decomposition used in statistical STA.
+struct VariationModel {
+  double global_sigma = 0.05;  ///< die-to-die (systematic) delay spread
+  double local_sigma = 0.08;   ///< within-die (random) per-gate spread
+  double cap_sigma = 0.04;     ///< per-pin capacitance spread
+  std::uint64_t seed = 1234;
+};
+
+/// Statistics of a Monte-Carlo STA campaign.
+struct MonteCarloResult {
+  std::size_t samples = 0;
+  std::vector<double> arrival_mean;  ///< per pin
+  std::vector<double> arrival_std;   ///< per pin
+  double worst_mean = 0.0;           ///< mean of worst output arrival
+  double worst_std = 0.0;
+  double worst_p95 = 0.0;            ///< 95th percentile of worst arrival
+};
+
+/// Run `samples` variation-sampled STA analyses and accumulate per-pin
+/// arrival statistics (Welford). The expensive "numerous repeated circuit
+/// simulations" of the paper's introduction — the procedure CirSTAG's
+/// one-shot spectral analysis is designed to avoid.
+[[nodiscard]] MonteCarloResult monte_carlo_sta(const Netlist& nl,
+                                               const VariationModel& model,
+                                               std::size_t samples,
+                                               const StaOptions& opts = {});
+
+/// One PVT corner: a uniform derate applied to every gate.
+struct Corner {
+  const char* name;
+  double delay_scale;
+};
+
+/// Classic 3-corner set (fast / typical / slow).
+[[nodiscard]] std::vector<Corner> standard_corners();
+
+/// Worst output arrival at each corner.
+[[nodiscard]] std::vector<double> corner_analysis(const Netlist& nl,
+                                                  std::span<const Corner> corners,
+                                                  const StaOptions& opts = {});
+
+}  // namespace cirstag::circuit

@@ -1,0 +1,130 @@
+#include "circuit/views.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cirstag::circuit {
+
+graphs::Graph pin_graph(const Netlist& nl) {
+  graphs::Graph g(nl.num_pins());
+  // Net connections: driver to each sink.
+  for (const Net& net : nl.nets()) {
+    for (PinId sink : net.sinks) g.add_edge(net.driver, sink, 1.0);
+  }
+  // Internal cell connections: each input to the output.
+  for (const Gate& gate : nl.gates()) {
+    for (PinId in : gate.inputs) g.add_edge(in, gate.output, 1.0);
+  }
+  return g;
+}
+
+PinArcs pin_arcs(const Netlist& nl) {
+  PinArcs arcs;
+  for (const Net& net : nl.nets())
+    for (PinId sink : net.sinks) arcs.net_arcs.emplace_back(net.driver, sink);
+  for (const Gate& gate : nl.gates())
+    for (PinId in : gate.inputs) arcs.cell_arcs.emplace_back(in, gate.output);
+  return arcs;
+}
+
+graphs::Graph gate_graph(const Netlist& nl) {
+  graphs::Graph g(nl.num_gates());
+  std::vector<std::pair<GateId, GateId>> seen;
+  for (const Net& net : nl.nets()) {
+    const Pin& drv = nl.pin(net.driver);
+    if (drv.kind != PinKind::CellOutput) continue;
+    for (PinId sink : net.sinks) {
+      const Pin& sp = nl.pin(sink);
+      if (sp.kind != PinKind::CellInput) continue;
+      const GateId a = std::min(drv.gate, sp.gate);
+      const GateId b = std::max(drv.gate, sp.gate);
+      if (a == b) continue;
+      seen.emplace_back(a, b);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  for (const auto& [a, b] : seen) g.add_edge(a, b, 1.0);
+  return g;
+}
+
+std::vector<double> pin_depths(const Netlist& nl) {
+  std::vector<double> depth(nl.num_pins(), 0.0);
+  for (PinId pi : nl.primary_inputs()) depth[pi] = 0.0;
+
+  auto spread_net = [&](PinId driver) {
+    const Net& net = nl.net(nl.pin(driver).net);
+    for (PinId sink : net.sinks) depth[sink] = depth[driver] + 1.0;
+  };
+  for (PinId pi : nl.primary_inputs()) spread_net(pi);
+  for (GateId gid : nl.topological_order()) {
+    const Gate& g = nl.gate(gid);
+    double d = 0.0;
+    for (PinId in : g.inputs) d = std::max(d, depth[in]);
+    depth[g.output] = d + 1.0;
+    spread_net(g.output);
+  }
+  const double max_d =
+      std::max(1.0, *std::max_element(depth.begin(), depth.end()));
+  for (auto& d : depth) d /= max_d;
+  return depth;
+}
+
+linalg::Matrix pin_features(const Netlist& nl) {
+  linalg::Matrix x(nl.num_pins(), kPinFeatureDim);
+  const std::vector<double> depth = pin_depths(nl);
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    const Pin& pin = nl.pin(p);
+    x(p, 0) = pin.capacitance;
+    x(p, 1) = pin.kind == PinKind::PrimaryInput ? 1.0 : 0.0;
+    x(p, 2) = pin.kind == PinKind::PrimaryOutput ? 1.0 : 0.0;
+    x(p, 3) = pin.kind == PinKind::CellInput ? 1.0 : 0.0;
+    x(p, 4) = pin.kind == PinKind::CellOutput ? 1.0 : 0.0;
+    if (pin.kind == PinKind::CellOutput) {
+      const CellType& ct = nl.library().cell(nl.gate(pin.gate).type);
+      x(p, 5) = ct.drive_resistance;
+      x(p, 6) = ct.intrinsic_delay;
+    }
+    if (pin.net != kInvalidId) {
+      const Net& net = nl.net(pin.net);
+      x(p, 7) = static_cast<double>(net.sinks.size());
+      x(p, 8) = net.wire_resistance;
+      x(p, 9) = nl.net_load(pin.net);
+    }
+    x(p, 10) = depth[p];
+  }
+  return x;
+}
+
+linalg::Matrix gate_features(const Netlist& nl) {
+  return gate_features(nl, gate_graph(nl));
+}
+
+linalg::Matrix gate_features(const Netlist& nl, const graphs::Graph& topology) {
+  const std::size_t num_types = nl.library().size();
+  if (topology.num_nodes() != nl.num_gates())
+    throw std::invalid_argument("gate_features: topology size mismatch");
+  linalg::Matrix x(nl.num_gates(), 2 * num_types);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    x(g, nl.gate(g).type) = 1.0;
+    const auto nbrs = topology.neighbors(g);
+    if (nbrs.empty()) continue;
+    const double inv = 1.0 / static_cast<double>(nbrs.size());
+    for (const auto& inc : nbrs)
+      x(g, num_types + nl.gate(inc.neighbor).type) += inv;
+  }
+  return x;
+}
+
+std::vector<std::uint32_t> gate_labels(const Netlist& nl) {
+  std::vector<std::uint32_t> labels(nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const std::uint32_t lab = nl.gate(g).module_label;
+    if (lab == kInvalidId)
+      throw std::runtime_error("gate_labels: gate without module label");
+    labels[g] = lab;
+  }
+  return labels;
+}
+
+}  // namespace cirstag::circuit

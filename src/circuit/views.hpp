@@ -1,0 +1,64 @@
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "graphs/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cirstag::circuit {
+
+/// Undirected pin-level connectivity graph (Case Study A convention):
+/// nodes = pins, edges = net connections (driver pin <-> each sink pin) plus
+/// internal cell connections (each input pin <-> the output pin). This is
+/// the graph the timing GNN propagates over and CirSTAG's input graph G.
+[[nodiscard]] graphs::Graph pin_graph(const Netlist& nl);
+
+/// Directed pin-level arcs split by type, for edge-typed GNN layers:
+/// net arcs (driver -> sink) and cell arcs (input -> output).
+struct PinArcs {
+  std::vector<std::pair<PinId, PinId>> net_arcs;
+  std::vector<std::pair<PinId, PinId>> cell_arcs;
+};
+[[nodiscard]] PinArcs pin_arcs(const Netlist& nl);
+
+/// Undirected gate-level graph (Case Study B convention): nodes = gates,
+/// edges between driver gate and the gates its output net feeds. Primary
+/// ports are not nodes.
+[[nodiscard]] graphs::Graph gate_graph(const Netlist& nl);
+
+/// Per-pin feature matrix for the timing GNN (Case A). Columns:
+///   0: pin capacitance
+///   1: is primary input
+///   2: is primary output
+///   3: is cell input
+///   4: is cell output
+///   5: owner-cell drive resistance (0 for ports / input pins)
+///   6: owner-cell intrinsic delay (0 for ports / input pins)
+///   7: fanout of the pin's net
+///   8: net wire resistance
+///   9: net total load
+///  10: topological depth (normalized to [0,1])
+[[nodiscard]] linalg::Matrix pin_features(const Netlist& nl);
+constexpr std::size_t kPinFeatureDim = 11;
+/// Column index of the pin-capacitance feature (the perturbed one).
+constexpr std::size_t kPinCapFeature = 0;
+
+/// Per-gate feature matrix for the RE-GAT (Case B): one-hot of own cell type
+/// followed by the normalized histogram of neighboring gate types — the
+/// "surrounding gate information, detailing Boolean functionalities ... in
+/// the local neighborhood" of the paper.
+[[nodiscard]] linalg::Matrix gate_features(const Netlist& nl);
+
+/// Same, but with the neighborhood histogram computed over an explicit
+/// (possibly perturbed) gate-level graph instead of the netlist's own
+/// connectivity — used for the Case-B topology-perturbation study.
+[[nodiscard]] linalg::Matrix gate_features(const Netlist& nl,
+                                           const graphs::Graph& topology);
+
+/// Per-gate module labels (Case B classification targets); throws if any
+/// gate lacks a label.
+[[nodiscard]] std::vector<std::uint32_t> gate_labels(const Netlist& nl);
+
+/// Normalized topological depth per pin (0 at PIs, 1 at the deepest pin).
+[[nodiscard]] std::vector<double> pin_depths(const Netlist& nl);
+
+}  // namespace cirstag::circuit

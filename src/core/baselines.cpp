@@ -1,0 +1,57 @@
+#include "core/baselines.hpp"
+
+#include <stdexcept>
+
+namespace cirstag::core {
+
+std::vector<double> random_scores(std::size_t n, linalg::Rng& rng) {
+  std::vector<double> s(n);
+  for (auto& v : s) v = rng.uniform();
+  return s;
+}
+
+std::vector<double> degree_scores(const graphs::Graph& g) {
+  std::vector<double> s(g.num_nodes());
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u)
+    s[u] = g.weighted_degree(u);
+  return s;
+}
+
+std::vector<double> feature_magnitude_scores(const linalg::Matrix& features,
+                                             std::size_t column) {
+  if (column >= features.cols())
+    throw std::out_of_range("feature_magnitude_scores: column");
+  std::vector<double> s(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r)
+    s[r] = features(r, column);
+  return s;
+}
+
+std::vector<double> embedding_roughness_scores(
+    const graphs::Graph& g, const linalg::Matrix& output_embedding) {
+  if (g.num_nodes() != output_embedding.rows())
+    throw std::invalid_argument("embedding_roughness_scores: size mismatch");
+  const std::size_t d = output_embedding.cols();
+  std::vector<double> s(g.num_nodes(), 0.0);
+  std::vector<double> mean(d);
+  for (graphs::NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    if (nbrs.empty()) continue;
+    std::fill(mean.begin(), mean.end(), 0.0);
+    for (const auto& inc : nbrs) {
+      const auto row = output_embedding.row(inc.neighbor);
+      for (std::size_t c = 0; c < d; ++c) mean[c] += row[c];
+    }
+    const double inv = 1.0 / static_cast<double>(nbrs.size());
+    const auto self = output_embedding.row(u);
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = self[c] - mean[c] * inv;
+      acc += diff * diff;
+    }
+    s[u] = acc;
+  }
+  return s;
+}
+
+}  // namespace cirstag::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::core {
+
+/// Baseline node-ranking heuristics CirSTAG is compared against in the
+/// ground-truth validation experiments.
+
+/// Uniform random scores.
+[[nodiscard]] std::vector<double> random_scores(std::size_t n,
+                                                linalg::Rng& rng);
+
+/// Weighted degree centrality on the input graph.
+[[nodiscard]] std::vector<double> degree_scores(const graphs::Graph& g);
+
+/// Raw feature magnitude (e.g. pin capacitance column).
+[[nodiscard]] std::vector<double> feature_magnitude_scores(
+    const linalg::Matrix& features, std::size_t column);
+
+/// One-step embedding-gradient proxy: ‖y_p - mean_{q∈N(p)} y_q‖² on the
+/// output embedding over the input graph — a "GNN-aware but manifold-free"
+/// baseline showing the value of the PGM/DMD machinery.
+[[nodiscard]] std::vector<double> embedding_roughness_scores(
+    const graphs::Graph& g, const linalg::Matrix& output_embedding);
+
+}  // namespace cirstag::core

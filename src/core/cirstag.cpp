@@ -1,0 +1,109 @@
+#include "core/cirstag.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace cirstag::core {
+
+namespace {
+
+/// Column-standardize (zero mean, unit variance; constant columns zeroed)
+/// and scale by `weight`.
+linalg::Matrix standardized_scaled(const linalg::Matrix& x, double weight) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  linalg::Matrix out(n, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += x(r, c);
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double dd = x(r, c) - mean;
+      var += dd * dd;
+    }
+    const double sd = std::sqrt(var / static_cast<double>(n));
+    if (sd <= 1e-12) continue;  // constant column carries no information
+    const double scale = weight / sd;
+    for (std::size_t r = 0; r < n; ++r) out(r, c) = (x(r, c) - mean) * scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
+                               const linalg::Matrix& output_embedding) const {
+  return analyze(input_graph, linalg::Matrix{}, output_embedding);
+}
+
+CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
+                               const linalg::Matrix& node_features,
+                               const linalg::Matrix& output_embedding) const {
+  if (input_graph.num_nodes() != output_embedding.rows())
+    throw std::invalid_argument(
+        "CirStag::analyze: graph nodes != embedding rows");
+  if (input_graph.num_nodes() == 0)
+    throw std::invalid_argument("CirStag::analyze: empty graph");
+  if (!node_features.empty() &&
+      node_features.rows() != input_graph.num_nodes())
+    throw std::invalid_argument(
+        "CirStag::analyze: graph nodes != feature rows");
+
+  CirStagReport report;
+  util::WallTimer timer;
+
+  // Phase 1: input spectral embedding (Eq. 4), optionally augmented with
+  // the standardized node features so the input manifold reflects both
+  // structure and feature proximity. The GNN's own embeddings are the
+  // output side; they are already low-dimensional.
+  if (config_.use_dimension_reduction) {
+    const linalg::Matrix u =
+        spectral_embedding(input_graph, config_.embedding);
+    if (!node_features.empty() && config_.feature_weight > 0.0) {
+      const linalg::Matrix f =
+          standardized_scaled(node_features, config_.feature_weight);
+      report.input_embedding = linalg::Matrix(u.rows(), u.cols() + f.cols());
+      for (std::size_t r = 0; r < u.rows(); ++r) {
+        auto dst = report.input_embedding.row(r);
+        const auto su = u.row(r);
+        const auto sf = f.row(r);
+        for (std::size_t c = 0; c < su.size(); ++c) dst[c] = su[c];
+        for (std::size_t c = 0; c < sf.size(); ++c)
+          dst[su.size() + c] = sf[c];
+      }
+    } else {
+      report.input_embedding = u;
+    }
+  }
+  report.timings.embedding_seconds = timer.elapsed_seconds();
+  timer.reset();
+
+  // Phase 2: kNN + PGM sparsification on both sides. Without dimension
+  // reduction the raw input graph itself serves as the input manifold
+  // (Fig. 4 ablation).
+  if (config_.use_dimension_reduction) {
+    report.manifold_x =
+        build_manifold(report.input_embedding, config_.manifold);
+  } else {
+    report.manifold_x = input_graph;
+  }
+  report.manifold_y = build_manifold(output_embedding, config_.manifold);
+  report.timings.manifold_seconds = timer.elapsed_seconds();
+  timer.reset();
+
+  // Phase 3: DMD spectrum + stability scores (Algorithm 1, steps 6-11).
+  StabilityResult stab = stability_scores(report.manifold_x,
+                                          report.manifold_y, config_.stability);
+  report.timings.stability_seconds = timer.elapsed_seconds();
+
+  report.node_scores = std::move(stab.node_scores);
+  report.edge_scores = std::move(stab.edge_scores);
+  report.eigenvalues = std::move(stab.eigenvalues);
+  report.weighted_subspace = std::move(stab.weighted_subspace);
+  return report;
+}
+
+}  // namespace cirstag::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include "core/manifold.hpp"
+#include "core/spectral_embedding.hpp"
+#include "core/stability.hpp"
+#include "graphs/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cirstag::core {
+
+/// Full pipeline configuration (Algorithm 1).
+struct CirStagConfig {
+  SpectralEmbeddingOptions embedding;  ///< Phase 1 (input side)
+  ManifoldOptions manifold;            ///< Phase 2 (both sides)
+  StabilityOptions stability;          ///< Phase 3
+  /// When false, skip the Phase-1 spectral dimensionality reduction and use
+  /// the original input graph directly as the input manifold — the paper's
+  /// Fig. 4 ablation, which degrades ranking quality.
+  bool use_dimension_reduction = true;
+  /// Weight of the (column-standardized) node features appended to the
+  /// spectral coordinates when features are supplied to analyze(). This is
+  /// how CirSTAG considers "both graph structure and node feature
+  /// perturbations": input-manifold neighbors must agree on structure AND
+  /// features, so a large output distance between them flags genuine
+  /// mapping instability. 0 disables the feature channel.
+  double feature_weight = 2.0;
+};
+
+/// Wall-clock per phase (Fig. 5 scalability series).
+struct PhaseTimings {
+  double embedding_seconds = 0.0;
+  double manifold_seconds = 0.0;
+  double stability_seconds = 0.0;
+  [[nodiscard]] double total() const {
+    return embedding_seconds + manifold_seconds + stability_seconds;
+  }
+};
+
+/// Everything CirSTAG produces for one (graph, GNN-embedding) pair.
+struct CirStagReport {
+  std::vector<double> node_scores;   ///< Eq. 9, per input-graph node
+  std::vector<double> edge_scores;   ///< per manifold_x edge
+  std::vector<double> eigenvalues;   ///< DMD spectrum (descending)
+  /// √ζ-weighted eigensubspace V_s; lets callers score arbitrary node
+  /// pairs — e.g. the original circuit's edges for topology studies.
+  linalg::Matrix weighted_subspace;
+  graphs::Graph manifold_x;
+  graphs::Graph manifold_y;
+  linalg::Matrix input_embedding;    ///< U_M (empty when reduction disabled)
+  PhaseTimings timings;
+
+  /// Edge-stability score ‖V_sᵀ e_pq‖² for any node pair (p, q).
+  [[nodiscard]] double pair_score(std::size_t p, std::size_t q) const {
+    return weighted_subspace.row_distance2(p, q);
+  }
+};
+
+/// CirSTAG: node/edge stability analysis of a black-box GNN on graph-based
+/// manifolds (DAC 2025). Usage:
+///
+///   core::CirStag analyzer(config);
+///   auto report = analyzer.analyze(input_graph, gnn_node_embeddings);
+///   // report.node_scores[i] large  =>  node i is unstable/sensitive
+///
+/// `input_graph` is the circuit graph the GNN consumed (pins or gates);
+/// `output_embedding` is the GNN's node-embedding matrix (rows = nodes).
+class CirStag {
+ public:
+  explicit CirStag(CirStagConfig config = {}) : config_(std::move(config)) {}
+
+  /// Structure-only analysis (no node features on the input side).
+  [[nodiscard]] CirStagReport analyze(const graphs::Graph& input_graph,
+                                      const linalg::Matrix& output_embedding) const;
+
+  /// Full analysis with node features: the Phase-1 input embedding is
+  /// [U_M ‖ feature_weight · standardize(node_features)], making the input
+  /// manifold sensitive to both structure and features (the configuration
+  /// the Case-A capacitance-perturbation study requires).
+  [[nodiscard]] CirStagReport analyze(const graphs::Graph& input_graph,
+                                      const linalg::Matrix& node_features,
+                                      const linalg::Matrix& output_embedding) const;
+
+  [[nodiscard]] const CirStagConfig& config() const { return config_; }
+
+ private:
+  CirStagConfig config_;
+};
+
+}  // namespace cirstag::core

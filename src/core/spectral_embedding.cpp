@@ -1,0 +1,31 @@
+#include "core/spectral_embedding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graphs/laplacian.hpp"
+#include "linalg/lanczos.hpp"
+
+namespace cirstag::core {
+
+linalg::Matrix spectral_embedding(const graphs::Graph& g,
+                                  const SpectralEmbeddingOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return {};
+  const std::size_t m = std::min(opts.dimensions, n);
+
+  const linalg::SparseMatrix l_norm = graphs::normalized_laplacian(g);
+  // Normalized-Laplacian spectrum lives in [0, 2].
+  const linalg::EigenDecomposition eig = linalg::smallest_eigenpairs(
+      l_norm, m, /*spectrum_upper_bound=*/2.0, opts.lanczos_subspace,
+      opts.seed);
+
+  linalg::Matrix u(n, eig.values.size());
+  for (std::size_t j = 0; j < eig.values.size(); ++j) {
+    const double w = std::sqrt(std::abs(1.0 - eig.values[j]));
+    for (std::size_t i = 0; i < n; ++i) u(i, j) = w * eig.vectors(i, j);
+  }
+  return u;
+}
+
+}  // namespace cirstag::core

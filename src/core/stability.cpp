@@ -1,0 +1,91 @@
+#include "core/stability.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graphs/effective_resistance.hpp"
+#include "graphs/laplacian.hpp"
+
+namespace cirstag::core {
+
+std::vector<double> StabilityResult::scores_for_edges(
+    const graphs::Graph& g) const {
+  if (g.num_nodes() != weighted_subspace.rows())
+    throw std::invalid_argument("scores_for_edges: node-count mismatch");
+  std::vector<double> scores(g.num_edges(), 0.0);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    scores[e] = pair_score(ed.u, ed.v);
+  }
+  return scores;
+}
+
+StabilityResult stability_scores(const graphs::Graph& manifold_x,
+                                 const graphs::Graph& manifold_y,
+                                 const StabilityOptions& opts) {
+  if (manifold_x.num_nodes() != manifold_y.num_nodes())
+    throw std::invalid_argument("stability_scores: manifold size mismatch");
+  const std::size_t n = manifold_x.num_nodes();
+
+  const linalg::SparseMatrix l_x = graphs::laplacian(manifold_x);
+  const linalg::SparseMatrix l_y = graphs::laplacian(manifold_y);
+
+  linalg::GeneralizedEigenOptions eopts;
+  eopts.num_pairs = std::min(opts.eigensubspace_dim, n > 1 ? n - 1 : 1);
+  eopts.iterations = opts.subspace_iterations;
+  eopts.seed = opts.seed;
+  eopts.ly_regularization = 1.0 / opts.sigma2;
+  eopts.cg_tolerance = opts.cg_tolerance;
+  eopts.cg_max_iterations = opts.cg_max_iterations;
+  const linalg::GeneralizedEigenResult eig =
+      linalg::generalized_eigen_sparse(l_x, l_y, eopts);
+
+  StabilityResult out;
+  out.eigenvalues = eig.values;
+  const std::size_t s = eig.values.size();
+  out.weighted_subspace = linalg::Matrix(n, s);
+  for (std::size_t j = 0; j < s; ++j) {
+    const double w = std::sqrt(std::max(eig.values[j], 0.0));
+    for (std::size_t i = 0; i < n; ++i)
+      out.weighted_subspace(i, j) = w * eig.vectors(i, j);
+  }
+
+  // Edge scores ‖V_sᵀ e_pq‖² on the input manifold.
+  out.edge_scores.resize(manifold_x.num_edges());
+  for (std::size_t e = 0; e < manifold_x.num_edges(); ++e) {
+    const auto& ed = manifold_x.edge(e);
+    out.edge_scores[e] = out.weighted_subspace.row_distance2(ed.u, ed.v);
+  }
+
+  // Eq. 9: node score = mean incident edge score over G_X neighbors.
+  out.node_scores.assign(n, 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto nbrs = manifold_x.neighbors(static_cast<graphs::NodeId>(p));
+    if (nbrs.empty()) continue;
+    double acc = 0.0;
+    for (const auto& inc : nbrs) acc += out.edge_scores[inc.edge];
+    out.node_scores[p] = acc / static_cast<double>(nbrs.size());
+  }
+  return out;
+}
+
+std::vector<double> edge_dmd_ratios(const graphs::Graph& manifold_x,
+                                    const graphs::Graph& manifold_y,
+                                    double sigma2) {
+  if (manifold_x.num_nodes() != manifold_y.num_nodes())
+    throw std::invalid_argument("edge_dmd_ratios: manifold size mismatch");
+  const double reg = 1.0 / sigma2;
+  linalg::LaplacianSolver sx(graphs::laplacian(manifold_x), reg);
+  linalg::LaplacianSolver sy(graphs::laplacian(manifold_y), reg);
+
+  std::vector<double> ratios(manifold_x.num_edges(), 0.0);
+  for (std::size_t e = 0; e < manifold_x.num_edges(); ++e) {
+    const auto& ed = manifold_x.edge(e);
+    const double dx = graphs::effective_resistance(sx, ed.u, ed.v);
+    const double dy = graphs::effective_resistance(sy, ed.u, ed.v);
+    ratios[e] = dx > 1e-300 ? dy / dx : 0.0;
+  }
+  return ratios;
+}
+
+}  // namespace cirstag::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "graphs/graph.hpp"
+#include "linalg/generalized_eigen.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cirstag::core {
+
+/// Options for CirSTAG Phase 3 (DMD-based stability scoring).
+struct StabilityOptions {
+  std::size_t eigensubspace_dim = 8;  ///< s
+  /// Prior feature variance σ² of the PGM (Θ = L + I/σ²); its inverse
+  /// regularizes both Laplacians.
+  double sigma2 = 1e4;
+  std::size_t subspace_iterations = 25;
+  /// CG budget for the inner (L_Y + I/σ²)⁻¹ applications. Subspace
+  /// iteration tolerates inexact solves, and the final Rayleigh-Ritz
+  /// projection is exact on the converged subspace, so a bounded iteration
+  /// count keeps Phase 3 near-linear without hurting the ranking.
+  double cg_tolerance = 1e-7;
+  std::size_t cg_max_iterations = 400;
+  std::uint64_t seed = 99;
+};
+
+/// Phase-3 output: the DMD spectrum and per-edge/per-node stability scores.
+struct StabilityResult {
+  /// Largest s generalized eigenvalues ζ of L_Y^+ L_X (descending) —
+  /// upper bounds on the squared distance-mapping distortion.
+  std::vector<double> eigenvalues;
+  /// Weighted eigensubspace V_s = [v_1 √ζ_1, ..., v_s √ζ_s].
+  linalg::Matrix weighted_subspace;
+  /// ‖V_sᵀ e_pq‖² for every edge of the input manifold G_X.
+  std::vector<double> edge_scores;
+  /// Eq. 9 node scores: neighbor-average of incident edge scores over G_X.
+  std::vector<double> node_scores;
+
+  /// Stability score ‖V_sᵀ e_pq‖² of an arbitrary node pair — the paper's
+  /// edge-stability measure evaluated on any candidate edge (e.g. the edges
+  /// of the original circuit rather than the manifold).
+  [[nodiscard]] double pair_score(std::size_t p, std::size_t q) const {
+    return weighted_subspace.row_distance2(p, q);
+  }
+
+  /// Scores for every edge of an arbitrary graph over the same node set
+  /// (e.g. the original circuit graph for Case-B edge selection).
+  [[nodiscard]] std::vector<double> scores_for_edges(
+      const graphs::Graph& g) const;
+};
+
+/// Compute CirSTAG stability scores from the input/output manifolds.
+///
+/// Implements Algorithm 1 steps 6-11: Laplacians of both manifolds, top-s
+/// generalized eigenpairs of L_Y^+ L_X, the √ζ-weighted eigensubspace
+/// embedding, and edge/node scores. A large score marks a node whose
+/// neighborhood the GNN stretches the most — the local Lipschitz surrogate.
+[[nodiscard]] StabilityResult stability_scores(
+    const graphs::Graph& manifold_x, const graphs::Graph& manifold_y,
+    const StabilityOptions& opts = {});
+
+/// Direct per-edge DMD ratios δ(p,q) = d_Y(p,q)/d_X(p,q) using effective-
+/// resistance distances on both manifolds (diagnostic / validation of the
+/// eigensubspace scores; O(edges) solves, use on small graphs).
+[[nodiscard]] std::vector<double> edge_dmd_ratios(
+    const graphs::Graph& manifold_x, const graphs::Graph& manifold_y,
+    double sigma2 = 1e4);
+
+}  // namespace cirstag::core

@@ -1,0 +1,57 @@
+#include "gnn/adam.hpp"
+
+#include <cmath>
+
+namespace cirstag::gnn {
+
+Adam::Adam(std::vector<Param*> params, AdamOptions opts)
+    : params_(std::move(params)), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(t_));
+
+  if (opts_.grad_clip > 0.0) {
+    double total = 0.0;
+    for (const Param* p : params_)
+      for (double g : p->grad.data()) total += g * g;
+    total = std::sqrt(total);
+    if (total > opts_.grad_clip) {
+      const double scale = opts_.grad_clip / total;
+      for (Param* p : params_)
+        for (auto& g : p->grad.data()) g *= scale;
+    }
+  }
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto mv = m_[i].data();
+    auto vv = v_[i].data();
+    for (std::size_t k = 0; k < pv.size(); ++k) {
+      mv[k] = opts_.beta1 * mv[k] + (1.0 - opts_.beta1) * pg[k];
+      vv[k] = opts_.beta2 * vv[k] + (1.0 - opts_.beta2) * pg[k] * pg[k];
+      const double mhat = mv[k] / bc1;
+      const double vhat = vv[k] / bc2;
+      double update = mhat / (std::sqrt(vhat) + opts_.epsilon);
+      if (opts_.weight_decay > 0.0) update += opts_.weight_decay * pv[k];
+      pv[k] -= opts_.learning_rate * update;
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "gnn/param.hpp"
+
+namespace cirstag::gnn {
+
+/// Hyper-parameters for Adam.
+struct AdamOptions {
+  double learning_rate = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;  ///< decoupled (AdamW-style) if nonzero
+  double grad_clip = 0.0;     ///< global-norm clip; 0 disables
+};
+
+/// Adam optimizer over an externally-owned parameter list.
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, AdamOptions opts = {});
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  void zero_grad();
+
+  [[nodiscard]] const AdamOptions& options() const { return opts_; }
+  void set_learning_rate(double lr) { opts_.learning_rate = lr; }
+
+ private:
+  std::vector<Param*> params_;
+  AdamOptions opts_;
+  std::vector<linalg::Matrix> m_;
+  std::vector<linalg::Matrix> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,134 @@
+#include "gnn/dag_prop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::gnn {
+
+namespace {
+constexpr double kLeakySlope = 0.1;
+}  // namespace
+
+DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
+                               std::size_t out_dim, linalg::Rng& rng)
+    : w_x_(Matrix::glorot(in_dim, out_dim, rng)),
+      w_h_(Matrix::glorot(out_dim, out_dim, rng)),
+      bias_(Matrix(1, out_dim)) {
+  if (!nl.finalized())
+    throw std::invalid_argument("DagPropagation: netlist must be finalized");
+  const std::size_t n = nl.num_pins();
+  fanin_.assign(n, {});
+
+  // Fan-in arcs: net arcs (driver -> sink) and cell arcs (input -> output).
+  for (const circuit::Net& net : nl.nets())
+    for (circuit::PinId sink : net.sinks) fanin_[sink].push_back(net.driver);
+  for (const circuit::Gate& gate : nl.gates())
+    for (circuit::PinId in : gate.inputs) fanin_[gate.output].push_back(in);
+
+  // Processing order: PI pins, then per gate (in topological order) its
+  // input pins then its output pin; net sinks always follow their driver,
+  // which the gate order guarantees. PO pins go last.
+  order_.reserve(n);
+  for (circuit::PinId pi : nl.primary_inputs()) order_.push_back(pi);
+  for (circuit::GateId gid : nl.topological_order()) {
+    const circuit::Gate& gate = nl.gate(gid);
+    for (circuit::PinId in : gate.inputs) order_.push_back(in);
+    order_.push_back(gate.output);
+  }
+  for (circuit::PinId po : nl.primary_outputs()) order_.push_back(po);
+  if (order_.size() != n)
+    throw std::logic_error("DagPropagation: order does not cover all pins");
+}
+
+Matrix DagPropagation::forward(const Matrix& x) {
+  const std::size_t n = order_.size();
+  if (x.rows() != n)
+    throw std::invalid_argument("DagPropagation::forward: pin count mismatch");
+  const std::size_t d = w_x_.value.cols();
+
+  cached_x_ = x;
+  cached_agg_ = Matrix(n, d);
+  cached_pre_ = Matrix(n, d);
+  cached_h_ = Matrix(n, d);
+
+  const Matrix xw = linalg::matmul(x, w_x_.value);  // local term, batched
+
+  for (const std::uint32_t p : order_) {
+    auto agg = cached_agg_.row(p);
+    const auto& fan = fanin_[p];
+    if (!fan.empty()) {
+      const double inv = 1.0 / static_cast<double>(fan.size());
+      for (const std::uint32_t q : fan) {
+        const auto hq = cached_h_.row(q);
+        for (std::size_t c = 0; c < d; ++c) agg[c] += inv * hq[c];
+      }
+    }
+    auto pre = cached_pre_.row(p);
+    const auto local = xw.row(p);
+    const auto b = bias_.value.row(0);
+    // pre = local + agg * W_h + b
+    for (std::size_t c = 0; c < d; ++c) pre[c] = local[c] + b[c];
+    for (std::size_t k = 0; k < d; ++k) {
+      const double a = agg[k];
+      if (a == 0.0) continue;
+      const auto wrow = w_h_.value.row(k);
+      for (std::size_t c = 0; c < d; ++c) pre[c] += a * wrow[c];
+    }
+    auto h = cached_h_.row(p);
+    // LeakyReLU: a hard ReLU can go fully dead at one pin and sever the
+    // entire downstream cone's sensitivity to upstream features.
+    for (std::size_t c = 0; c < d; ++c)
+      h[c] = pre[c] > 0.0 ? pre[c] : kLeakySlope * pre[c];
+  }
+  return cached_h_;
+}
+
+Matrix DagPropagation::backward(const Matrix& grad_out) {
+  const std::size_t n = order_.size();
+  const std::size_t d = w_x_.value.cols();
+  if (grad_out.rows() != n || grad_out.cols() != d)
+    throw std::invalid_argument("DagPropagation::backward: shape mismatch");
+
+  Matrix dh = grad_out;            // accumulates downstream contributions
+  Matrix dpre_all(n, d);           // per-pin pre-activation grads
+
+  for (std::size_t idx = n; idx-- > 0;) {
+    const std::uint32_t p = order_[idx];
+    auto dpre = dpre_all.row(p);
+    const auto pre = cached_pre_.row(p);
+    const auto dhp = dh.row(p);
+    for (std::size_t c = 0; c < d; ++c)
+      dpre[c] = pre[c] > 0.0 ? dhp[c] : kLeakySlope * dhp[c];
+
+    // Parameter grads: dW_h += aggᵀ dpre, db += dpre.
+    const auto agg = cached_agg_.row(p);
+    auto db = bias_.grad.row(0);
+    for (std::size_t c = 0; c < d; ++c) db[c] += dpre[c];
+    for (std::size_t k = 0; k < d; ++k) {
+      const double a = agg[k];
+      if (a == 0.0) continue;
+      auto gw = w_h_.grad.row(k);
+      for (std::size_t c = 0; c < d; ++c) gw[c] += a * dpre[c];
+    }
+
+    // Push gradient to fan-in hidden states: dagg = dpre W_hᵀ, split evenly.
+    const auto& fan = fanin_[p];
+    if (!fan.empty()) {
+      const double inv = 1.0 / static_cast<double>(fan.size());
+      for (std::size_t k = 0; k < d; ++k) {
+        const auto wrow = w_h_.value.row(k);
+        double dagg_k = 0.0;
+        for (std::size_t c = 0; c < d; ++c) dagg_k += dpre[c] * wrow[c];
+        dagg_k *= inv;
+        if (dagg_k == 0.0) continue;
+        for (const std::uint32_t q : fan) dh(q, k) += dagg_k;
+      }
+    }
+  }
+
+  // Batched local-term grads: dW_x += Xᵀ dPre, dX = dPre W_xᵀ.
+  w_x_.grad += linalg::matmul_at_b(cached_x_, dpre_all);
+  return linalg::matmul_a_bt(dpre_all, w_x_.value);
+}
+
+}  // namespace cirstag::gnn

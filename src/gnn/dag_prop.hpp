@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "gnn/layers.hpp"
+
+namespace cirstag::gnn {
+
+/// Levelized DAG propagation layer, the TimingGCN-style core of the timing
+/// surrogate: hidden states are computed pin by pin in topological order,
+///
+///   h_p = LeakyReLU( x_p W_x + mean_{q ∈ fanin(p)} h_q · W_h + b ),
+///
+/// so each pin's state depends on its *entire* fan-in cone — exactly like
+/// arrival times in static timing analysis — rather than on a fixed k-hop
+/// neighborhood. Backward runs the reverse order (backprop through the DAG,
+/// an RNN-over-topological-order). This is what lets the surrogate respond
+/// to capacitance changes arbitrarily far upstream of an output.
+class DagPropagation : public Layer {
+ public:
+  /// Builds the pin-level fan-in lists and processing order from a
+  /// finalized netlist. `in_dim` is the per-pin input feature width,
+  /// `out_dim` the hidden width.
+  DagPropagation(const circuit::Netlist& netlist, std::size_t in_dim,
+                 std::size_t out_dim, linalg::Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&w_x_, &w_h_, &bias_}; }
+
+  [[nodiscard]] std::size_t num_pins() const { return order_.size(); }
+
+ private:
+  std::vector<std::uint32_t> order_;                 // topological pin order
+  std::vector<std::vector<std::uint32_t>> fanin_;    // per pin
+  Param w_x_;   // in x out
+  Param w_h_;   // out x out
+  Param bias_;  // 1 x out
+
+  // Forward caches.
+  Matrix cached_x_;
+  Matrix cached_agg_;  // mean fan-in state per pin
+  Matrix cached_pre_;  // pre-activation
+  Matrix cached_h_;    // output
+};
+
+}  // namespace cirstag::gnn

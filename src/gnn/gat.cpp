@@ -1,0 +1,206 @@
+#include "gnn/gat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cirstag::gnn {
+
+GatConv::GatConv(std::size_t num_nodes,
+                 std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+                 std::size_t in_dim, std::size_t out_dim, linalg::Rng& rng,
+                 double leaky_slope)
+    : num_nodes_(num_nodes),
+      leaky_slope_(leaky_slope),
+      weight_(Matrix::glorot(in_dim, out_dim, rng)),
+      attn_src_(Matrix::random_normal(1, out_dim, rng, 0.0,
+                                      1.0 / std::sqrt(double(out_dim)))),
+      attn_dst_(Matrix::random_normal(1, out_dim, rng, 0.0,
+                                      1.0 / std::sqrt(double(out_dim)))) {
+  // Build directed arc list grouped by destination: both directions of each
+  // undirected edge, plus one self-loop per node.
+  std::vector<std::vector<std::uint32_t>> in_nbrs(num_nodes_);
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes_ || v >= num_nodes_)
+      throw std::out_of_range("GatConv: edge endpoint out of range");
+    in_nbrs[v].push_back(u);
+    in_nbrs[u].push_back(v);
+  }
+  for (std::uint32_t i = 0; i < num_nodes_; ++i) in_nbrs[i].push_back(i);
+
+  dst_ptr_.assign(num_nodes_ + 1, 0);
+  for (std::size_t i = 0; i < num_nodes_; ++i)
+    dst_ptr_[i + 1] = dst_ptr_[i] + in_nbrs[i].size();
+  src_.resize(dst_ptr_[num_nodes_]);
+  for (std::size_t i = 0; i < num_nodes_; ++i)
+    std::copy(in_nbrs[i].begin(), in_nbrs[i].end(),
+              src_.begin() + static_cast<long>(dst_ptr_[i]));
+}
+
+Matrix GatConv::forward(const Matrix& x) {
+  if (x.rows() != num_nodes_)
+    throw std::invalid_argument("GatConv::forward: node count mismatch");
+  cached_x_ = x;
+  cached_z_ = linalg::matmul(x, weight_.value);
+  const Matrix& z = cached_z_;
+  const std::size_t d = z.cols();
+
+  // Per-node score halves: s_j = a_src . z_j, t_i = a_dst . z_i.
+  std::vector<double> s(num_nodes_, 0.0), t(num_nodes_, 0.0);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const auto zi = z.row(i);
+    double ss = 0.0, tt = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      ss += attn_src_.value(0, c) * zi[c];
+      tt += attn_dst_.value(0, c) * zi[c];
+    }
+    s[i] = ss;
+    t[i] = tt;
+  }
+
+  const std::size_t num_arcs = src_.size();
+  pre_.assign(num_arcs, 0.0);
+  alpha_.assign(num_arcs, 0.0);
+
+  Matrix out(num_nodes_, d);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const std::size_t begin = dst_ptr_[i];
+    const std::size_t end = dst_ptr_[i + 1];
+    double peak = -std::numeric_limits<double>::infinity();
+    for (std::size_t k = begin; k < end; ++k) {
+      const double raw = t[i] + s[src_[k]];
+      pre_[k] = raw;
+      const double act = raw > 0.0 ? raw : leaky_slope_ * raw;
+      alpha_[k] = act;  // reuse storage for activations pre-softmax
+      peak = std::max(peak, act);
+    }
+    double denom = 0.0;
+    for (std::size_t k = begin; k < end; ++k) {
+      alpha_[k] = std::exp(alpha_[k] - peak);
+      denom += alpha_[k];
+    }
+    auto orow = out.row(i);
+    for (std::size_t k = begin; k < end; ++k) {
+      alpha_[k] /= denom;
+      const auto zj = z.row(src_[k]);
+      for (std::size_t c = 0; c < d; ++c) orow[c] += alpha_[k] * zj[c];
+    }
+  }
+  return out;
+}
+
+Matrix GatConv::backward(const Matrix& grad_out) {
+  const Matrix& z = cached_z_;
+  const std::size_t d = z.cols();
+  Matrix dz(num_nodes_, d);
+
+  // Arc-level gradients through the attention-weighted aggregation.
+  std::vector<double> dalpha(src_.size(), 0.0);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const auto gi = grad_out.row(i);
+    for (std::size_t k = dst_ptr_[i]; k < dst_ptr_[i + 1]; ++k) {
+      const auto zj = z.row(src_[k]);
+      double g = 0.0;
+      for (std::size_t c = 0; c < d; ++c) g += gi[c] * zj[c];
+      dalpha[k] = g;
+      // dz_j += alpha * dOut_i
+      auto dzj = dz.row(src_[k]);
+      for (std::size_t c = 0; c < d; ++c) dzj[c] += alpha_[k] * gi[c];
+    }
+  }
+
+  // Softmax backward per destination group, then LeakyReLU.
+  std::vector<double> dpre(src_.size(), 0.0);
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const std::size_t begin = dst_ptr_[i];
+    const std::size_t end = dst_ptr_[i + 1];
+    double inner = 0.0;
+    for (std::size_t k = begin; k < end; ++k) inner += alpha_[k] * dalpha[k];
+    for (std::size_t k = begin; k < end; ++k) {
+      const double de = alpha_[k] * (dalpha[k] - inner);
+      dpre[k] = de * (pre_[k] > 0.0 ? 1.0 : leaky_slope_);
+    }
+  }
+
+  // Score halves: pre = a_dst.z_i + a_src.z_j.
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    const auto zi = z.row(i);
+    auto dzi = dz.row(i);
+    for (std::size_t k = dst_ptr_[i]; k < dst_ptr_[i + 1]; ++k) {
+      const double g = dpre[k];
+      if (g == 0.0) continue;
+      const std::uint32_t j = src_[k];
+      const auto zj = z.row(j);
+      auto dzj = dz.row(j);
+      for (std::size_t c = 0; c < d; ++c) {
+        attn_dst_.grad(0, c) += g * zi[c];
+        attn_src_.grad(0, c) += g * zj[c];
+        dzi[c] += g * attn_dst_.value(0, c);
+        dzj[c] += g * attn_src_.value(0, c);
+      }
+    }
+  }
+
+  // Through z = x W.
+  weight_.grad += linalg::matmul_at_b(cached_x_, dz);
+  return linalg::matmul_a_bt(dz, weight_.value);
+}
+
+// ------------------------------------------------------------ MultiHeadGat
+
+MultiHeadGat::MultiHeadGat(
+    std::size_t num_nodes,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+    std::size_t in_dim, std::size_t out_dim, std::size_t num_heads,
+    linalg::Rng& rng, double leaky_slope) {
+  if (num_heads == 0 || out_dim % num_heads != 0)
+    throw std::invalid_argument(
+        "MultiHeadGat: out_dim must be a positive multiple of num_heads");
+  head_dim_ = out_dim / num_heads;
+  heads_.reserve(num_heads);
+  for (std::size_t h = 0; h < num_heads; ++h) {
+    heads_.push_back(std::make_unique<GatConv>(num_nodes, edges, in_dim,
+                                               head_dim_, rng, leaky_slope));
+  }
+}
+
+Matrix MultiHeadGat::forward(const Matrix& x) {
+  Matrix out(x.rows(), head_dim_ * heads_.size());
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    const Matrix part = heads_[h]->forward(x);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      const auto src = part.row(r);
+      auto dst = out.row(r);
+      for (std::size_t c = 0; c < head_dim_; ++c)
+        dst[h * head_dim_ + c] = src[c];
+    }
+  }
+  return out;
+}
+
+Matrix MultiHeadGat::backward(const Matrix& grad_out) {
+  Matrix grad_in;
+  for (std::size_t h = 0; h < heads_.size(); ++h) {
+    Matrix part(grad_out.rows(), head_dim_);
+    for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+      const auto src = grad_out.row(r);
+      auto dst = part.row(r);
+      for (std::size_t c = 0; c < head_dim_; ++c)
+        dst[c] = src[h * head_dim_ + c];
+    }
+    Matrix gi = heads_[h]->backward(part);
+    if (h == 0) grad_in = std::move(gi);
+    else grad_in += gi;
+  }
+  return grad_in;
+}
+
+std::vector<Param*> MultiHeadGat::params() {
+  std::vector<Param*> ps;
+  for (auto& head : heads_)
+    for (Param* p : head->params()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gnn/layers.hpp"
+
+namespace cirstag::gnn {
+
+/// Single-head graph attention layer (Veličković et al.), the building block
+/// of the Case-B reverse-engineering model [4]:
+///
+///   z_i   = x_i W
+///   e_ij  = LeakyReLU(a_dstᵀ z_i + a_srcᵀ z_j)   for j ∈ N(i) ∪ {i}
+///   α_ij  = softmax_j(e_ij)
+///   out_i = Σ_j α_ij z_j
+///
+/// Self-loops are added internally so every node attends to itself. The
+/// backward pass is hand-derived (softmax + LeakyReLU + bilinear score) and
+/// validated against finite differences in the test suite.
+class GatConv : public Layer {
+ public:
+  /// `edges` are undirected adjacency pairs; attention runs over both
+  /// directions plus self-loops.
+  GatConv(std::size_t num_nodes,
+          std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+          std::size_t in_dim, std::size_t out_dim, linalg::Rng& rng,
+          double leaky_slope = 0.2);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override {
+    return {&weight_, &attn_src_, &attn_dst_};
+  }
+
+  /// Attention coefficients of the last forward pass, parallel to the
+  /// internal directed arc list (diagnostics / tests).
+  [[nodiscard]] const std::vector<double>& last_attention() const {
+    return alpha_;
+  }
+
+ private:
+  std::size_t num_nodes_;
+  double leaky_slope_;
+  // Directed arcs grouped by destination: arc k = (src_[k] -> dst of group).
+  std::vector<std::uint32_t> src_;
+  std::vector<std::size_t> dst_ptr_;  // CSR-style: arcs of node i are
+                                      // [dst_ptr_[i], dst_ptr_[i+1])
+  Param weight_;    // in x out
+  Param attn_src_;  // 1 x out
+  Param attn_dst_;  // 1 x out
+
+  // Forward caches.
+  Matrix cached_x_;
+  Matrix cached_z_;
+  std::vector<double> pre_;    // pre-activation scores per arc
+  std::vector<double> alpha_;  // attention per arc
+};
+
+/// Multi-head graph attention: `num_heads` independent GatConv heads whose
+/// outputs are concatenated (the standard GAT formulation). out_dim must be
+/// divisible by num_heads; each head produces out_dim/num_heads features.
+class MultiHeadGat : public Layer {
+ public:
+  MultiHeadGat(std::size_t num_nodes,
+               std::vector<std::pair<std::uint32_t, std::uint32_t>> edges,
+               std::size_t in_dim, std::size_t out_dim, std::size_t num_heads,
+               linalg::Rng& rng, double leaky_slope = 0.2);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override;
+
+  [[nodiscard]] std::size_t num_heads() const { return heads_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<GatConv>> heads_;
+  std::size_t head_dim_ = 0;
+};
+
+}  // namespace cirstag::gnn

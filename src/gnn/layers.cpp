@@ -1,0 +1,154 @@
+#include "gnn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::gnn {
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, linalg::Rng& rng)
+    : weight_(Matrix::glorot(in_dim, out_dim, rng)),
+      bias_(Matrix(1, out_dim)) {}
+
+Matrix Linear::forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix y = linalg::matmul(x, weight_.value);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    const auto b = bias_.value.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  weight_.grad += linalg::matmul_at_b(cached_input_, grad_out);
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const auto g = grad_out.row(r);
+    auto b = bias_.grad.row(0);
+    for (std::size_t c = 0; c < g.size(); ++c) b[c] += g[c];
+  }
+  return linalg::matmul_a_bt(grad_out, weight_.value);
+}
+
+// ---------------------------------------------------------------- ReLU
+
+Matrix ReLU::forward(const Matrix& x) {
+  cached_input_ = x;
+  Matrix y = x;
+  for (auto& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  const auto in = cached_input_.data();
+  auto out = g.data();
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (in[i] <= 0.0) out[i] = 0.0;
+  return g;
+}
+
+// ---------------------------------------------------------------- Tanh
+
+Matrix Tanh::forward(const Matrix& x) {
+  Matrix y = x;
+  for (auto& v : y.data()) v = std::tanh(v);
+  cached_output_ = y;
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  const auto out = cached_output_.data();
+  auto gd = g.data();
+  for (std::size_t i = 0; i < gd.size(); ++i) gd[i] *= 1.0 - out[i] * out[i];
+  return g;
+}
+
+// ------------------------------------------------------- TypedGraphConv
+
+TypedGraphConv::TypedGraphConv(std::vector<linalg::SparseMatrix> operators,
+                               std::size_t in_dim, std::size_t out_dim,
+                               linalg::Rng& rng)
+    : ops_(std::move(operators)),
+      w_self_(Matrix::glorot(in_dim, out_dim, rng)),
+      bias_(Matrix(1, out_dim)) {
+  if (ops_.empty())
+    throw std::invalid_argument("TypedGraphConv: need at least one operator");
+  ops_t_.reserve(ops_.size());
+  for (const auto& op : ops_) {
+    if (op.rows() != op.cols())
+      throw std::invalid_argument("TypedGraphConv: operator not square");
+    ops_t_.push_back(op.transposed());
+    w_type_.push_back(
+        std::make_unique<Param>(Matrix::glorot(in_dim, out_dim, rng)));
+  }
+}
+
+Matrix TypedGraphConv::forward(const Matrix& x) {
+  cached_input_ = x;
+  cached_propagated_.clear();
+  cached_propagated_.reserve(ops_.size());
+
+  Matrix y = linalg::matmul(x, w_self_.value);
+  for (std::size_t t = 0; t < ops_.size(); ++t) {
+    Matrix px = ops_[t].multiply(x);  // Â_t X
+    y += linalg::matmul(px, w_type_[t]->value);
+    cached_propagated_.push_back(std::move(px));
+  }
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    auto row = y.row(r);
+    const auto b = bias_.value.row(0);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += b[c];
+  }
+  return y;
+}
+
+Matrix TypedGraphConv::backward(const Matrix& grad_out) {
+  // Bias.
+  for (std::size_t r = 0; r < grad_out.rows(); ++r) {
+    const auto g = grad_out.row(r);
+    auto b = bias_.grad.row(0);
+    for (std::size_t c = 0; c < g.size(); ++c) b[c] += g[c];
+  }
+  // Self path.
+  w_self_.grad += linalg::matmul_at_b(cached_input_, grad_out);
+  Matrix grad_in = linalg::matmul_a_bt(grad_out, w_self_.value);
+  // Typed paths: d(Â X W) / dX = Âᵀ (dY Wᵀ), dW = (Â X)ᵀ dY.
+  for (std::size_t t = 0; t < ops_.size(); ++t) {
+    w_type_[t]->grad += linalg::matmul_at_b(cached_propagated_[t], grad_out);
+    const Matrix tmp = linalg::matmul_a_bt(grad_out, w_type_[t]->value);
+    grad_in += ops_t_[t].multiply(tmp);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> TypedGraphConv::params() {
+  std::vector<Param*> ps{&w_self_, &bias_};
+  for (auto& p : w_type_) ps.push_back(p.get());
+  return ps;
+}
+
+linalg::SparseMatrix normalized_arc_operator(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& arcs,
+    bool reverse) {
+  std::vector<double> indeg(num_nodes, 0.0);
+  for (const auto& [src, dst] : arcs) {
+    const std::uint32_t d = reverse ? src : dst;
+    indeg[d] += 1.0;
+  }
+  std::vector<linalg::Triplet> trips;
+  trips.reserve(arcs.size());
+  for (const auto& [src, dst] : arcs) {
+    const std::uint32_t s = reverse ? dst : src;
+    const std::uint32_t d = reverse ? src : dst;
+    trips.push_back({d, s, 1.0 / indeg[d]});
+  }
+  return linalg::SparseMatrix::from_triplets(num_nodes, num_nodes,
+                                             std::move(trips));
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gnn/param.hpp"
+#include "linalg/rng.hpp"
+#include "linalg/sparse.hpp"
+
+namespace cirstag::gnn {
+
+using linalg::Matrix;
+
+/// Base class for differentiable layers operating on node-feature matrices
+/// (rows = nodes). `forward` caches whatever `backward` needs; `backward`
+/// accumulates parameter gradients and returns the gradient w.r.t. input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Matrix forward(const Matrix& x) = 0;
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+};
+
+/// Dense affine layer: Y = X W + 1 bᵀ.
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim, linalg::Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  [[nodiscard]] const Param& weight() const { return weight_; }
+
+ private:
+  Param weight_;
+  Param bias_;  // 1 x out_dim
+  Matrix cached_input_;
+};
+
+/// Elementwise max(x, 0).
+class ReLU : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Elementwise tanh (bounded embeddings help manifold construction).
+class Tanh : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Edge-typed graph convolution (R-GCN-lite):
+///
+///   H' = H W_self + Σ_t Â_t H W_t
+///
+/// with one propagation operator Â_t per arc type (e.g. net arcs vs. cell
+/// arcs, forward and backward). The operators are fixed (built from the
+/// circuit), so backward only needs their transposes.
+class TypedGraphConv : public Layer {
+ public:
+  /// `operators` are row-normalized adjacency matrices (target-row,
+  /// source-column); all must be n x n.
+  TypedGraphConv(std::vector<linalg::SparseMatrix> operators,
+                 std::size_t in_dim, std::size_t out_dim, linalg::Rng& rng);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param*> params() override;
+
+ private:
+  std::vector<linalg::SparseMatrix> ops_;
+  std::vector<linalg::SparseMatrix> ops_t_;  // transposes for backward
+  Param w_self_;
+  std::vector<std::unique_ptr<Param>> w_type_;
+  Param bias_;
+  Matrix cached_input_;
+  std::vector<Matrix> cached_propagated_;  // Â_t X per type
+};
+
+/// Build the row-normalized propagation operator for a directed arc list:
+/// entry (dst, src) = 1 / indegree(dst). Self-loops are NOT added; compose
+/// with W_self in TypedGraphConv instead.
+[[nodiscard]] linalg::SparseMatrix normalized_arc_operator(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& arcs,
+    bool reverse = false);
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,82 @@
+#include "gnn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::gnn {
+
+LossResult mse_loss(const linalg::Matrix& pred, std::span<const double> target,
+                    std::span<const std::size_t> mask) {
+  if (pred.cols() != 1)
+    throw std::invalid_argument("mse_loss: predictions must be n x 1");
+  if (pred.rows() != target.size())
+    throw std::invalid_argument("mse_loss: target size mismatch");
+
+  LossResult out;
+  out.grad = linalg::Matrix(pred.rows(), 1);
+
+  std::vector<std::size_t> all;
+  std::span<const std::size_t> rows = mask;
+  if (rows.empty()) {
+    all.resize(pred.rows());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    rows = all;
+  }
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  for (std::size_t r : rows) {
+    const double diff = pred(r, 0) - target[r];
+    out.value += diff * diff * inv_n;
+    out.grad(r, 0) = 2.0 * diff * inv_n;
+  }
+  return out;
+}
+
+linalg::Matrix softmax_rows(const linalg::Matrix& logits) {
+  linalg::Matrix p = logits;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    auto row = p.row(r);
+    double peak = row[0];
+    for (double v : row) peak = std::max(peak, v);
+    double denom = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - peak);
+      denom += v;
+    }
+    for (auto& v : row) v /= denom;
+  }
+  return p;
+}
+
+LossResult cross_entropy_loss(const linalg::Matrix& logits,
+                              std::span<const std::uint32_t> labels) {
+  if (logits.rows() != labels.size())
+    throw std::invalid_argument("cross_entropy_loss: label size mismatch");
+  LossResult out;
+  out.grad = softmax_rows(logits);
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::uint32_t y = labels[r];
+    if (y >= logits.cols())
+      throw std::out_of_range("cross_entropy_loss: label out of range");
+    const double p = std::max(out.grad(r, y), 1e-300);
+    out.value -= std::log(p) * inv_n;
+    out.grad(r, y) -= 1.0;
+  }
+  for (auto& v : out.grad.data()) v *= inv_n;
+  return out;
+}
+
+std::vector<std::uint32_t> argmax_rows(const linalg::Matrix& logits) {
+  std::vector<std::uint32_t> out(logits.rows(), 0);
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const auto row = logits.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c)
+      if (row[c] > row[best]) best = c;
+    out[r] = static_cast<std::uint32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace cirstag::gnn

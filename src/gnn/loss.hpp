@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::gnn {
+
+/// Loss value plus gradient w.r.t. the predictions.
+struct LossResult {
+  double value = 0.0;
+  linalg::Matrix grad;
+};
+
+/// Mean squared error over selected rows (mask empty = all rows). The
+/// timing model's objective: predictions and targets are n x 1.
+[[nodiscard]] LossResult mse_loss(const linalg::Matrix& pred,
+                                  std::span<const double> target,
+                                  std::span<const std::size_t> mask = {});
+
+/// Softmax cross-entropy over logits (n x C) against integer labels, with
+/// gradient = (softmax - onehot)/n. Returns the mean loss.
+[[nodiscard]] LossResult cross_entropy_loss(
+    const linalg::Matrix& logits, std::span<const std::uint32_t> labels);
+
+/// Row-wise softmax of logits (prediction utility).
+[[nodiscard]] linalg::Matrix softmax_rows(const linalg::Matrix& logits);
+
+/// Argmax per row.
+[[nodiscard]] std::vector<std::uint32_t> argmax_rows(
+    const linalg::Matrix& logits);
+
+}  // namespace cirstag::gnn

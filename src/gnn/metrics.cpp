@@ -1,0 +1,77 @@
+#include "gnn/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace cirstag::gnn {
+
+double accuracy(std::span<const std::uint32_t> pred,
+                std::span<const std::uint32_t> truth) {
+  if (pred.size() != truth.size())
+    throw std::invalid_argument("accuracy: size mismatch");
+  if (pred.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == truth[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+double f1_macro(std::span<const std::uint32_t> pred,
+                std::span<const std::uint32_t> truth,
+                std::size_t num_classes) {
+  if (pred.size() != truth.size())
+    throw std::invalid_argument("f1_macro: size mismatch");
+  std::vector<double> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0), present(num_classes, 0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] >= num_classes || pred[i] >= num_classes)
+      throw std::out_of_range("f1_macro: class out of range");
+    present[truth[i]] = 1;
+    if (pred[i] == truth[i]) ++tp[truth[i]];
+    else {
+      ++fp[pred[i]];
+      ++fn[truth[i]];
+    }
+  }
+  double sum = 0.0;
+  double count = 0.0;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (!present[c]) continue;
+    const double denom = 2 * tp[c] + fp[c] + fn[c];
+    sum += denom > 0 ? 2 * tp[c] / denom : 0.0;
+    count += 1.0;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+std::vector<double> row_cosine_similarities(const linalg::Matrix& a,
+                                            const linalg::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("row_cosine_similarities: shape mismatch");
+  std::vector<double> sims(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    double ab = 0.0, aa = 0.0, bb = 0.0;
+    for (std::size_t c = 0; c < ra.size(); ++c) {
+      ab += ra[c] * rb[c];
+      aa += ra[c] * ra[c];
+      bb += rb[c] * rb[c];
+    }
+    if (aa == 0.0 && bb == 0.0) sims[r] = 1.0;
+    else if (aa == 0.0 || bb == 0.0) sims[r] = 0.0;
+    else sims[r] = ab / std::sqrt(aa * bb);
+  }
+  return sims;
+}
+
+double mean_cosine_similarity(const linalg::Matrix& a, const linalg::Matrix& b) {
+  const auto sims = row_cosine_similarities(a, b);
+  if (sims.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : sims) s += v;
+  return s / static_cast<double>(sims.size());
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::gnn {
+
+/// Classification accuracy.
+[[nodiscard]] double accuracy(std::span<const std::uint32_t> pred,
+                              std::span<const std::uint32_t> truth);
+
+/// Macro-averaged F1 over `num_classes` classes (the Case-B metric),
+/// averaged only over classes present in the ground truth.
+[[nodiscard]] double f1_macro(std::span<const std::uint32_t> pred,
+                              std::span<const std::uint32_t> truth,
+                              std::size_t num_classes);
+
+/// Mean row-wise cosine similarity between two embedding matrices of the
+/// same shape (Case-B embedding-drift metric). Zero rows count as
+/// similarity 0 against non-zero rows and 1 against zero rows.
+[[nodiscard]] double mean_cosine_similarity(const linalg::Matrix& a,
+                                            const linalg::Matrix& b);
+
+/// Per-row cosine similarities.
+[[nodiscard]] std::vector<double> row_cosine_similarities(
+    const linalg::Matrix& a, const linalg::Matrix& b);
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,52 @@
+#include "gnn/normalize.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::gnn {
+
+void Standardizer::fit(const linalg::Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0) throw std::invalid_argument("Standardizer::fit: empty matrix");
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dlt = row[c] - mean_[c];
+      var[c] += dlt * dlt;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double sd = std::sqrt(var[c] / static_cast<double>(n));
+    inv_std_[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+    if (sd <= 1e-12) mean_[c] = 0.0;  // constant column: pass through
+  }
+}
+
+linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
+  if (!fitted()) throw std::runtime_error("Standardizer: not fitted");
+  if (x.cols() != mean_.size())
+    throw std::invalid_argument("Standardizer::transform: dim mismatch");
+  linalg::Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      row[c] = (row[c] - mean_[c]) * inv_std_[c];
+  }
+  return out;
+}
+
+linalg::Matrix Standardizer::fit_transform(const linalg::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::gnn {
+
+/// Column-wise standardizer (zero mean, unit variance), fit on training
+/// features and reused on perturbed features so the GNN sees consistent
+/// scaling. Constant columns pass through unchanged.
+class Standardizer {
+ public:
+  void fit(const linalg::Matrix& x);
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& x) const;
+  [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+}  // namespace cirstag::gnn

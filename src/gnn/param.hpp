@@ -1,0 +1,18 @@
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::gnn {
+
+/// A trainable tensor: value plus accumulated gradient of the same shape.
+struct Param {
+  linalg::Matrix value;
+  linalg::Matrix grad;
+
+  explicit Param(linalg::Matrix v)
+      : value(std::move(v)), grad(value.rows(), value.cols()) {}
+
+  void zero_grad() { grad.fill(0.0); }
+};
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,162 @@
+#include "gnn/re_gat.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "circuit/modules.hpp"
+#include "circuit/views.hpp"
+#include "gnn/loss.hpp"
+#include "gnn/metrics.hpp"
+
+namespace cirstag::gnn {
+
+namespace {
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> edge_pairs(
+    const graphs::Graph& g) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(g.num_edges());
+  for (const auto& e : g.edges()) pairs.emplace_back(e.u, e.v);
+  return pairs;
+}
+
+/// Copy parameter values between structurally-identical layers.
+void copy_params(Layer& dst, const Layer& src) {
+  auto dp = dst.params();
+  auto sp = const_cast<Layer&>(src).params();  // params() is logically const
+  if (dp.size() != sp.size())
+    throw std::logic_error("copy_params: layer structure mismatch");
+  for (std::size_t i = 0; i < dp.size(); ++i) dp[i]->value = sp[i]->value;
+}
+
+}  // namespace
+
+ReGat::ReGat(const circuit::Netlist& netlist, const graphs::Graph& topology,
+             ReGatOptions opts)
+    : netlist_(&netlist),
+      opts_(opts),
+      features_(circuit::gate_features(netlist, topology)),
+      num_classes_(circuit::kNumModuleClasses) {
+  if (topology.num_nodes() != netlist.num_gates())
+    throw std::invalid_argument("ReGat: topology/netlist size mismatch");
+  feature_scaler_.fit(features_);
+  linalg::Rng rng(opts_.seed);
+  const auto edges = edge_pairs(topology);
+  auto make_gat = [&](std::size_t in_dim) -> std::unique_ptr<Layer> {
+    if (opts_.num_heads > 1)
+      return std::make_unique<MultiHeadGat>(netlist.num_gates(), edges,
+                                            in_dim, opts_.hidden_dim,
+                                            opts_.num_heads, rng);
+    return std::make_unique<GatConv>(netlist.num_gates(), edges, in_dim,
+                                     opts_.hidden_dim, rng);
+  };
+  gat1_ = make_gat(features_.cols());
+  act1_ = std::make_unique<ReLU>();
+  gat2_ = make_gat(opts_.hidden_dim);
+  act2_ = std::make_unique<ReLU>();
+  head_ = std::make_unique<Linear>(opts_.hidden_dim, num_classes_, rng);
+}
+
+ReGat::ReGat(const ReGat& other, const graphs::Graph& topology)
+    : netlist_(other.netlist_),
+      opts_(other.opts_),
+      features_(circuit::gate_features(*other.netlist_, topology)),
+      feature_scaler_(other.feature_scaler_),
+      num_classes_(other.num_classes_) {
+  linalg::Rng rng(opts_.seed);
+  const auto edges = edge_pairs(topology);
+  auto make_gat = [&](std::size_t in_dim) -> std::unique_ptr<Layer> {
+    if (opts_.num_heads > 1)
+      return std::make_unique<MultiHeadGat>(netlist_->num_gates(), edges,
+                                            in_dim, opts_.hidden_dim,
+                                            opts_.num_heads, rng);
+    return std::make_unique<GatConv>(netlist_->num_gates(), edges, in_dim,
+                                     opts_.hidden_dim, rng);
+  };
+  gat1_ = make_gat(features_.cols());
+  act1_ = std::make_unique<ReLU>();
+  gat2_ = make_gat(opts_.hidden_dim);
+  act2_ = std::make_unique<ReLU>();
+  head_ = std::make_unique<Linear>(opts_.hidden_dim, num_classes_, rng);
+  copy_params(*gat1_, *other.gat1_);
+  copy_params(*gat2_, *other.gat2_);
+  copy_params(*head_, *other.head_);
+}
+
+std::unique_ptr<ReGat> ReGat::clone_for_topology(
+    const graphs::Graph& topology) const {
+  return std::unique_ptr<ReGat>(new ReGat(*this, topology));
+}
+
+std::pair<Matrix, Matrix> ReGat::forward(const Matrix& standardized) {
+  Matrix h = gat1_->forward(standardized);
+  h = act1_->forward(h);
+  h = gat2_->forward(h);
+  h = act2_->forward(h);
+  Matrix out = head_->forward(h);
+  return {std::move(h), std::move(out)};
+}
+
+TrainStats ReGat::train() {
+  const std::vector<std::uint32_t> labels = circuit::gate_labels(*netlist_);
+  const Matrix x = feature_scaler_.transform(features_);
+
+  std::vector<Param*> params;
+  for (Param* p : gat1_->params()) params.push_back(p);
+  for (Param* p : gat2_->params()) params.push_back(p);
+  for (Param* p : head_->params()) params.push_back(p);
+  AdamOptions aopts;
+  aopts.learning_rate = opts_.learning_rate;
+  aopts.grad_clip = opts_.grad_clip;
+  Adam optimizer(params, aopts);
+
+  TrainStats stats;
+  stats.loss_history.reserve(opts_.epochs);
+  for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    auto [h, out] = forward(x);
+    const LossResult loss = cross_entropy_loss(out, labels);
+    stats.loss_history.push_back(loss.value);
+
+    Matrix grad = head_->backward(loss.grad);
+    grad = act2_->backward(grad);
+    grad = gat2_->backward(grad);
+    grad = act1_->backward(grad);
+    grad = gat1_->backward(grad);
+    optimizer.step();
+
+    if (opts_.verbose && epoch % 50 == 0)
+      std::printf("  [re-gat] epoch %zu loss %.6f\n", epoch, loss.value);
+  }
+  stats.final_loss =
+      stats.loss_history.empty() ? 0.0 : stats.loss_history.back();
+  const ReGatEval ev = evaluate(features_);
+  stats.r2 = ev.f1_macro;  // repurposed: classification quality
+  return stats;
+}
+
+linalg::Matrix ReGat::logits(const linalg::Matrix& raw_features) {
+  auto [h, out] = forward(feature_scaler_.transform(raw_features));
+  (void)h;
+  return std::move(out);
+}
+
+linalg::Matrix ReGat::embed(const linalg::Matrix& raw_features) {
+  auto [h, out] = forward(feature_scaler_.transform(raw_features));
+  (void)out;
+  return std::move(h);
+}
+
+std::vector<std::uint32_t> ReGat::predict(const linalg::Matrix& raw_features) {
+  return argmax_rows(logits(raw_features));
+}
+
+ReGatEval ReGat::evaluate(const linalg::Matrix& raw_features) {
+  const std::vector<std::uint32_t> labels = circuit::gate_labels(*netlist_);
+  const std::vector<std::uint32_t> pred = predict(raw_features);
+  ReGatEval ev;
+  ev.accuracy = accuracy(pred, labels);
+  ev.f1_macro = f1_macro(pred, labels, num_classes_);
+  return ev;
+}
+
+}  // namespace cirstag::gnn

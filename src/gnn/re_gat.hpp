@@ -1,0 +1,91 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "gnn/gat.hpp"
+#include "graphs/graph.hpp"
+#include "gnn/normalize.hpp"
+#include "gnn/timing_gnn.hpp"  // TrainStats
+
+namespace cirstag::gnn {
+
+/// Hyper-parameters of the reverse-engineering GAT classifier.
+struct ReGatOptions {
+  std::size_t hidden_dim = 32;
+  /// Attention heads per layer (hidden_dim must be divisible by it).
+  std::size_t num_heads = 1;
+  std::size_t epochs = 300;
+  double learning_rate = 1e-2;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Classification diagnostics.
+struct ReGatEval {
+  double accuracy = 0.0;
+  double f1_macro = 0.0;
+};
+
+/// Gate-level GAT sub-circuit classifier standing in for GNN-RE [4]
+/// (Case Study B): two stacked attention layers over the gate graph,
+/// predicting each gate's module class from its type + neighborhood
+/// features. `embed()` exposes the last attention layer's activations —
+/// the output manifold for CirSTAG's topology-stability analysis.
+///
+/// Because attention runs over an explicit edge list, the model can be
+/// re-instantiated on a *perturbed* topology while keeping trained weights
+/// (`clone_for_topology`), which is exactly the Case-B protocol.
+class ReGat {
+ public:
+  ReGat(const circuit::Netlist& netlist, const graphs::Graph& topology,
+        ReGatOptions opts = {});
+
+  /// Train against the netlist's per-gate module labels.
+  TrainStats train();
+
+  /// Logits for raw (unstandardized) gate features.
+  [[nodiscard]] linalg::Matrix logits(const linalg::Matrix& raw_features);
+
+  /// Hidden embeddings for raw gate features.
+  [[nodiscard]] linalg::Matrix embed(const linalg::Matrix& raw_features);
+
+  /// Predicted classes.
+  [[nodiscard]] std::vector<std::uint32_t> predict(
+      const linalg::Matrix& raw_features);
+
+  /// Accuracy/F1 against the netlist labels for given features.
+  [[nodiscard]] ReGatEval evaluate(const linalg::Matrix& raw_features);
+
+  /// A model with the same trained weights but attention edges from a
+  /// different topology (nodes must match). Used to measure embedding
+  /// drift under topology perturbations.
+  [[nodiscard]] std::unique_ptr<ReGat> clone_for_topology(
+      const graphs::Graph& topology) const;
+
+  [[nodiscard]] const linalg::Matrix& base_features() const {
+    return features_;
+  }
+
+ private:
+  struct Weights;  // trained parameter snapshot for cloning
+  ReGat(const ReGat& other, const graphs::Graph& topology);
+
+  std::pair<Matrix, Matrix> forward(const Matrix& standardized);
+
+  const circuit::Netlist* netlist_;
+  ReGatOptions opts_;
+  linalg::Matrix features_;
+  Standardizer feature_scaler_;
+  std::size_t num_classes_;
+
+  std::unique_ptr<Layer> gat1_;  // GatConv or MultiHeadGat
+  std::unique_ptr<ReLU> act1_;
+  std::unique_ptr<Layer> gat2_;
+  std::unique_ptr<ReLU> act2_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,112 @@
+#include "gnn/timing_gnn.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "circuit/views.hpp"
+#include "gnn/dag_prop.hpp"
+#include "gnn/loss.hpp"
+#include "util/stats.hpp"
+
+namespace cirstag::gnn {
+
+TimingGnn::TimingGnn(const circuit::Netlist& netlist, TimingGnnOptions opts)
+    : netlist_(&netlist), opts_(opts) {
+  if (!netlist.finalized())
+    throw std::invalid_argument("TimingGnn: netlist must be finalized");
+  features_ = circuit::pin_features(netlist);
+
+  const circuit::PinArcs arcs = circuit::pin_arcs(netlist);
+  const std::size_t n = netlist.num_pins();
+  std::vector<linalg::SparseMatrix> ops;
+  ops.push_back(normalized_arc_operator(n, arcs.net_arcs, false));
+  ops.push_back(normalized_arc_operator(n, arcs.cell_arcs, false));
+  ops.push_back(normalized_arc_operator(n, arcs.net_arcs, true));
+  ops.push_back(normalized_arc_operator(n, arcs.cell_arcs, true));
+
+  // Fit the feature scaler up front so embed()/predict() work on an
+  // untrained model (used for runtime benchmarking of the pipeline).
+  feature_scaler_.fit(features_);
+
+  linalg::Rng rng(opts_.seed);
+  std::size_t in_dim = features_.cols();
+  for (std::size_t l = 0; l < opts_.num_conv_layers; ++l) {
+    conv_stack_.push_back(std::make_unique<TypedGraphConv>(
+        ops, in_dim, opts_.hidden_dim, rng));
+    conv_stack_.push_back(std::make_unique<ReLU>());
+    in_dim = opts_.hidden_dim;
+  }
+  if (opts_.use_dag_propagation) {
+    conv_stack_.push_back(
+        std::make_unique<DagPropagation>(netlist, in_dim, opts_.hidden_dim, rng));
+  }
+  head_ = std::make_unique<Linear>(opts_.hidden_dim, 1, rng);
+}
+
+std::pair<Matrix, Matrix> TimingGnn::forward(const Matrix& standardized) {
+  Matrix h = standardized;
+  for (auto& layer : conv_stack_) h = layer->forward(h);
+  Matrix pred = head_->forward(h);
+  return {std::move(h), std::move(pred)};
+}
+
+TrainStats TimingGnn::train(const circuit::StaOptions& sta_opts) {
+  const circuit::TimingReport golden = circuit::run_sta(*netlist_, sta_opts);
+
+  // Normalize targets to zero-mean/unit-std for conditioning.
+  target_mean_ = util::mean(golden.arrival);
+  const double sd = util::stdev(golden.arrival);
+  target_scale_ = sd > 1e-12 ? sd : 1.0;
+  std::vector<double> target(golden.arrival.size());
+  for (std::size_t i = 0; i < target.size(); ++i)
+    target[i] = (golden.arrival[i] - target_mean_) / target_scale_;
+
+  const Matrix x = feature_scaler_.transform(features_);
+
+  std::vector<Param*> params = head_->params();
+  for (auto& layer : conv_stack_)
+    for (Param* p : layer->params()) params.push_back(p);
+  AdamOptions aopts;
+  aopts.learning_rate = opts_.learning_rate;
+  aopts.grad_clip = opts_.grad_clip;
+  Adam optimizer(params, aopts);
+
+  TrainStats stats;
+  stats.loss_history.reserve(opts_.epochs);
+  for (std::size_t epoch = 0; epoch < opts_.epochs; ++epoch) {
+    auto [h, pred] = forward(x);
+    const LossResult loss = mse_loss(pred, target);
+    stats.loss_history.push_back(loss.value);
+
+    Matrix grad = head_->backward(loss.grad);
+    for (std::size_t i = conv_stack_.size(); i-- > 0;)
+      grad = conv_stack_[i]->backward(grad);
+    optimizer.step();
+
+    if (opts_.verbose && epoch % 50 == 0)
+      std::printf("  [timing-gnn] epoch %zu loss %.6f\n", epoch, loss.value);
+  }
+
+  const std::vector<double> pred = predict(features_);
+  stats.r2 = util::r2_score(golden.arrival, pred);
+  stats.final_loss = stats.loss_history.empty() ? 0.0
+                                                : stats.loss_history.back();
+  return stats;
+}
+
+std::vector<double> TimingGnn::predict(const linalg::Matrix& raw_features) {
+  auto [h, pred] = forward(feature_scaler_.transform(raw_features));
+  std::vector<double> out(pred.rows());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = pred(i, 0) * target_scale_ + target_mean_;
+  return out;
+}
+
+linalg::Matrix TimingGnn::embed(const linalg::Matrix& raw_features) {
+  auto [h, pred] = forward(feature_scaler_.transform(raw_features));
+  (void)pred;
+  return std::move(h);
+}
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/sta.hpp"
+#include "gnn/adam.hpp"
+#include "gnn/layers.hpp"
+#include "gnn/normalize.hpp"
+
+namespace cirstag::gnn {
+
+/// Hyper-parameters of the pin-level timing GNN.
+struct TimingGnnOptions {
+  std::size_t hidden_dim = 32;
+  std::size_t num_conv_layers = 2;
+  /// Append a levelized DAG-propagation layer (TimingGCN-style) after the
+  /// convolution stack, giving every pin a full fan-in-cone receptive field
+  /// like real STA. Strongly recommended; without it the surrogate cannot
+  /// respond to capacitance changes more than num_conv_layers hops upstream.
+  bool use_dag_propagation = true;
+  std::size_t epochs = 400;
+  double learning_rate = 8e-3;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// Training diagnostics.
+struct TrainStats {
+  std::vector<double> loss_history;
+  double final_loss = 0.0;
+  double r2 = 0.0;  ///< against the golden STA labels
+};
+
+/// Pre-routing timing predictor standing in for the GNN of [17]
+/// (Case Study A). Nodes are cell pins; message passing runs over four
+/// typed arc sets (net/cell arcs, forward/backward) so arrival information
+/// can flow along and against the signal direction, as in TimingGCN.
+///
+/// The model regresses per-pin arrival times from the Phase-0 pin features
+/// (capacitances etc.); the golden STA engine provides training labels.
+/// `embed()` exposes the last hidden representation — the output manifold Y
+/// that CirSTAG consumes.
+class TimingGnn {
+ public:
+  TimingGnn(const circuit::Netlist& netlist, TimingGnnOptions opts = {});
+
+  /// Full-batch Adam training against golden-STA arrival times.
+  TrainStats train(const circuit::StaOptions& sta_opts = {});
+
+  /// Per-pin arrival predictions (de-normalized) for raw (unstandardized)
+  /// feature matrices — pass perturbed copies of `base_features()`.
+  [[nodiscard]] std::vector<double> predict(const linalg::Matrix& raw_features);
+
+  /// Hidden node embeddings for raw features (rows = pins).
+  [[nodiscard]] linalg::Matrix embed(const linalg::Matrix& raw_features);
+
+  /// The unperturbed feature matrix the model was built from.
+  [[nodiscard]] const linalg::Matrix& base_features() const { return features_; }
+
+  [[nodiscard]] const circuit::Netlist& netlist() const { return *netlist_; }
+
+ private:
+  /// Forward through conv stack; returns (embedding, prediction).
+  std::pair<Matrix, Matrix> forward(const Matrix& standardized);
+
+  const circuit::Netlist* netlist_;
+  TimingGnnOptions opts_;
+  linalg::Matrix features_;
+  Standardizer feature_scaler_;
+  double target_mean_ = 0.0;
+  double target_scale_ = 1.0;
+
+  std::vector<std::unique_ptr<Layer>> conv_stack_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace cirstag::gnn

@@ -1,0 +1,75 @@
+#include "graphs/components.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace cirstag::graphs {
+
+ComponentLabels connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  ComponentLabels out;
+  out.label.assign(n, std::numeric_limits<std::size_t>::max());
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.label[start] != std::numeric_limits<std::size_t>::max()) continue;
+    out.label[start] = out.count;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const auto& inc : g.neighbors(u)) {
+        if (out.label[inc.neighbor] == std::numeric_limits<std::size_t>::max()) {
+          out.label[inc.neighbor] = out.count;
+          frontier.push(inc.neighbor);
+        }
+      }
+    }
+    ++out.count;
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+Graph connect_components(const Graph& g, double bridge_weight) {
+  const auto comps = connected_components(g);
+  Graph out = g;
+  if (comps.count <= 1) return out;
+  // Representative = first node seen with each label.
+  std::vector<NodeId> rep(comps.count, 0);
+  std::vector<bool> seen(comps.count, false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::size_t c = comps.label[u];
+    if (!seen[c]) {
+      seen[c] = true;
+      rep[c] = u;
+    }
+  }
+  for (std::size_t c = 1; c < comps.count; ++c)
+    out.add_edge(rep[c - 1], rep[c], bridge_weight);
+  return out;
+}
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  const auto unreachable = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(g.num_nodes(), unreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& inc : g.neighbors(u)) {
+      if (dist[inc.neighbor] == unreachable) {
+        dist[inc.neighbor] = dist[u] + 1;
+        frontier.push(inc.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace cirstag::graphs

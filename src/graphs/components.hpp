@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+
+namespace cirstag::graphs {
+
+/// Per-node component labels (0-based, BFS order) and component count.
+struct ComponentLabels {
+  std::vector<std::size_t> label;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] ComponentLabels connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Minimum edges connecting consecutive components (by lowest-id node),
+/// used to restore connectivity after pruning. Returns the augmented graph.
+[[nodiscard]] Graph connect_components(const Graph& g, double bridge_weight);
+
+/// BFS hop distances from `source` (SIZE_MAX for unreachable nodes).
+[[nodiscard]] std::vector<std::size_t> bfs_distances(const Graph& g,
+                                                     NodeId source);
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,78 @@
+#include "graphs/effective_resistance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graphs/laplacian.hpp"
+#include "linalg/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace cirstag::graphs {
+
+double effective_resistance(const linalg::LaplacianSolver& solver, NodeId u,
+                            NodeId v) {
+  const std::size_t n = solver.dimension();
+  if (u >= n || v >= n)
+    throw std::out_of_range("effective_resistance: node out of range");
+  if (u == v) return 0.0;
+  std::vector<double> b(n, 0.0);
+  b[u] = 1.0;
+  b[v] = -1.0;
+  const std::vector<double> x = solver.solve(b);
+  return x[u] - x[v];
+}
+
+std::vector<double> edge_effective_resistances(
+    const Graph& g, const ResistanceSketchOptions& opts) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  if (m == 0) return {};
+
+  linalg::CgOptions cg;
+  cg.tolerance = opts.cg_tolerance;
+  cg.max_iterations = opts.cg_max_iterations;
+  linalg::LaplacianSolver solver(laplacian(g), /*regularization=*/0.0, cg);
+
+  linalg::Rng rng(opts.seed);
+  const std::size_t k = std::max<std::size_t>(1, opts.num_probes);
+  const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
+
+  // Z rows: z_i = L^+ (B^T W^{1/2} q_i), q_i Rademacher over edges.
+  std::vector<std::vector<double>> z_rows;
+  z_rows.reserve(k);
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::fill(y.begin(), y.end(), 0.0);
+    for (std::size_t e = 0; e < m; ++e) {
+      const Edge& ed = g.edge(e);
+      const double q = rng.rademacher() * inv_sqrt_k * std::sqrt(ed.weight);
+      y[ed.u] += q;
+      y[ed.v] -= q;
+    }
+    z_rows.push_back(solver.solve(y));
+  }
+
+  std::vector<double> r(m, 0.0);
+  for (std::size_t e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double d = z_rows[i][ed.u] - z_rows[i][ed.v];
+      s += d * d;
+    }
+    r[e] = s;
+  }
+  return r;
+}
+
+std::vector<double> edge_effective_resistances_exact(const Graph& g) {
+  linalg::LaplacianSolver solver(laplacian(g));
+  std::vector<double> r(g.num_edges(), 0.0);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    r[e] = effective_resistance(solver, ed.u, ed.v);
+  }
+  return r;
+}
+
+}  // namespace cirstag::graphs

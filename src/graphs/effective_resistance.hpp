@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+#include "linalg/cg.hpp"
+
+namespace cirstag::graphs {
+
+/// Exact effective resistance between two nodes via a Laplacian solve:
+/// R_eff(u,v) = (e_u - e_v)^T L^+ (e_u - e_v). The graph must be connected
+/// (or u, v in the same component).
+[[nodiscard]] double effective_resistance(const linalg::LaplacianSolver& solver,
+                                          NodeId u, NodeId v);
+
+/// Options for the sketched all-edges effective-resistance estimator.
+struct ResistanceSketchOptions {
+  std::size_t num_probes = 24;   ///< JL dimension k (error ~ 1/sqrt(k))
+  /// Solver budget per probe. The JL sketch itself carries ~1/sqrt(k)
+  /// relative error, so tight CG tolerances buy nothing; a bounded
+  /// iteration count keeps the sketch near-linear on ill-conditioned
+  /// weighted kNN graphs.
+  double cg_tolerance = 1e-6;
+  std::size_t cg_max_iterations = 300;
+  std::uint64_t seed = 7;
+};
+
+/// Approximate effective resistance of every edge of `g` simultaneously
+/// using the Spielman–Srivastava Johnson–Lindenstrauss sketch:
+///   Z = Q W^{1/2} B L^+,  R_eff(u,v) ≈ ||Z(e_u - e_v)||²,
+/// computed with `num_probes` Laplacian solves. This is the near-linear
+/// R_eff engine backing the paper's η = w·R_eff pruning criterion (Eq. 8)
+/// and LRD decomposition.
+[[nodiscard]] std::vector<double> edge_effective_resistances(
+    const Graph& g, const ResistanceSketchOptions& opts = {});
+
+/// Exact per-edge effective resistances (one solve per edge); quadratic-ish,
+/// used as a test oracle and for small graphs.
+[[nodiscard]] std::vector<double> edge_effective_resistances_exact(
+    const Graph& g);
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,54 @@
+#include "graphs/graph.hpp"
+
+#include <stdexcept>
+
+namespace cirstag::graphs {
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
+  if (u >= num_nodes() || v >= num_nodes())
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (!(weight > 0.0))
+    throw std::invalid_argument("Graph::add_edge: weight must be positive");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({u, v, weight});
+  adjacency_[u].push_back({v, id});
+  adjacency_[v].push_back({u, id});
+  return id;
+}
+
+NodeId Graph::add_nodes(std::size_t count) {
+  const auto first = static_cast<NodeId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + count);
+  return first;
+}
+
+void Graph::set_weight(EdgeId e, double weight) {
+  if (e >= edges_.size()) throw std::out_of_range("Graph::set_weight");
+  if (!(weight > 0.0))
+    throw std::invalid_argument("Graph::set_weight: weight must be positive");
+  edges_[e].weight = weight;
+}
+
+double Graph::weighted_degree(NodeId u) const {
+  double s = 0.0;
+  for (const auto& inc : adjacency_[u]) s += edges_[inc.edge].weight;
+  return s;
+}
+
+double Graph::total_weight() const {
+  double s = 0.0;
+  for (const auto& e : edges_) s += e.weight;
+  return s;
+}
+
+Graph Graph::edge_subgraph(std::span<const EdgeId> keep) const {
+  Graph g(num_nodes());
+  for (EdgeId e : keep) {
+    const Edge& ed = edges_.at(e);
+    g.add_edge(ed.u, ed.v, ed.weight);
+  }
+  return g;
+}
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cirstag::graphs {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+/// One undirected weighted edge.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+};
+
+/// (neighbor, edge index) pair in a node's adjacency list.
+struct Incidence {
+  NodeId neighbor = 0;
+  EdgeId edge = 0;
+};
+
+/// Undirected weighted graph stored as an edge list plus adjacency lists.
+///
+/// The common currency of the library: circuit connectivity graphs, kNN
+/// graphs, and PGM manifolds are all `Graph`s. Parallel edges are allowed at
+/// this level (Laplacian assembly sums them); self-loops are rejected.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  /// Add an undirected edge; returns its EdgeId. Throws on self-loops or
+  /// out-of-range endpoints or non-positive weight.
+  EdgeId add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Append `count` isolated nodes; returns the id of the first new node.
+  NodeId add_nodes(std::size_t count = 1);
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] std::span<const Edge> edges() const { return edges_; }
+
+  /// Reweight an existing edge (weight must stay positive).
+  void set_weight(EdgeId e, double weight);
+
+  [[nodiscard]] std::span<const Incidence> neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return adjacency_[u].size();
+  }
+
+  /// Sum of incident edge weights.
+  [[nodiscard]] double weighted_degree(NodeId u) const;
+
+  /// Total edge weight.
+  [[nodiscard]] double total_weight() const;
+
+  /// Subgraph keeping only the listed edges (same node set).
+  [[nodiscard]] Graph edge_subgraph(std::span<const EdgeId> keep) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adjacency_;
+};
+
+}  // namespace cirstag::graphs

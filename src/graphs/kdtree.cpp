@@ -1,0 +1,117 @@
+#include "graphs/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace cirstag::graphs {
+
+KdTree::KdTree(const linalg::Matrix& points) : points_(points) {
+  if (points_.rows() == 0 || points_.cols() == 0)
+    throw std::invalid_argument("KdTree: empty point set");
+  std::vector<std::size_t> idx(points_.rows());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  nodes_.reserve(points_.rows());
+  root_ = build(idx, 0, idx.size(), 0);
+}
+
+std::int64_t KdTree::build(std::vector<std::size_t>& idx, std::size_t lo,
+                           std::size_t hi, std::size_t depth) {
+  if (lo >= hi) return -1;
+  const std::size_t axis = depth % points_.cols();
+  const std::size_t mid = (lo + hi) / 2;
+  std::nth_element(idx.begin() + static_cast<long>(lo),
+                   idx.begin() + static_cast<long>(mid),
+                   idx.begin() + static_cast<long>(hi),
+                   [&](std::size_t a, std::size_t b) {
+                     return points_(a, axis) < points_(b, axis);
+                   });
+  Node node;
+  node.point = idx[mid];
+  node.axis = axis;
+  const auto self = static_cast<std::int64_t>(nodes_.size());
+  nodes_.push_back(node);
+  const std::int64_t left = build(idx, lo, mid, depth + 1);
+  const std::int64_t right = build(idx, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(self)].left = left;
+  nodes_[static_cast<std::size_t>(self)].right = right;
+  return self;
+}
+
+namespace {
+
+struct HeapEntry {
+  double distance2;
+  std::size_t index;
+  bool operator<(const HeapEntry& other) const {
+    return distance2 < other.distance2;  // max-heap on distance
+  }
+};
+
+}  // namespace
+
+std::vector<Neighbor> KdTree::knn(std::span<const double> query, std::size_t k,
+                                  std::size_t exclude_index) const {
+  if (query.size() != points_.cols())
+    throw std::invalid_argument("KdTree::knn: query dimension mismatch");
+  if (k == 0) return {};
+
+  std::priority_queue<HeapEntry> best;  // max-heap of current k best
+
+  auto dist2 = [&](std::size_t p) {
+    const auto row = points_.row(p);
+    double s = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double d = row[c] - query[c];
+      s += d * d;
+    }
+    return s;
+  };
+
+  // Iterative DFS with pruning.
+  std::vector<std::int64_t> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const std::int64_t ni = stack.back();
+    stack.pop_back();
+    if (ni < 0) continue;
+    const Node& node = nodes_[static_cast<std::size_t>(ni)];
+
+    if (node.point != exclude_index) {
+      const double d2 = dist2(node.point);
+      if (best.size() < k) {
+        best.push({d2, node.point});
+      } else if (d2 < best.top().distance2) {
+        best.pop();
+        best.push({d2, node.point});
+      }
+    }
+
+    const double delta = query[node.axis] - points_(node.point, node.axis);
+    const std::int64_t near_side = delta <= 0 ? node.left : node.right;
+    const std::int64_t far_side = delta <= 0 ? node.right : node.left;
+    const double worst = best.size() < k
+                             ? std::numeric_limits<double>::infinity()
+                             : best.top().distance2;
+    // Push far side first so the near side is explored first (LIFO).
+    if (delta * delta < worst) stack.push_back(far_side);
+    stack.push_back(near_side);
+  }
+
+  std::vector<Neighbor> out(best.size());
+  for (std::size_t i = out.size(); i-- > 0;) {
+    out[i] = {best.top().index, best.top().distance2};
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<Neighbor> KdTree::knn_of_point(std::size_t query_index,
+                                           std::size_t k) const {
+  if (query_index >= points_.rows())
+    throw std::out_of_range("KdTree::knn_of_point");
+  return knn(points_.row(query_index), k, query_index);
+}
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::graphs {
+
+/// A neighbor hit: point index and squared Euclidean distance.
+struct Neighbor {
+  std::size_t index = 0;
+  double distance2 = 0.0;
+};
+
+/// Static KD-tree over the rows of a point matrix (N points in R^d).
+///
+/// Exact k-nearest-neighbor queries; median-split construction is
+/// O(N log N), matching the paper's kNN-stage complexity claim. Suited to
+/// the low-dimensional embeddings (d ~ 4..64) CirSTAG produces in Phase 1.
+class KdTree {
+ public:
+  /// Builds the tree over `points` (copied). Throws if empty.
+  explicit KdTree(const linalg::Matrix& points);
+
+  /// The k nearest neighbors of `query_index`'s own point, excluding itself,
+  /// sorted by ascending distance.
+  [[nodiscard]] std::vector<Neighbor> knn_of_point(std::size_t query_index,
+                                                   std::size_t k) const;
+
+  /// The k nearest stored points to an arbitrary query vector.
+  [[nodiscard]] std::vector<Neighbor> knn(std::span<const double> query,
+                                          std::size_t k,
+                                          std::size_t exclude_index) const;
+
+  [[nodiscard]] std::size_t size() const { return points_.rows(); }
+  [[nodiscard]] std::size_t dims() const { return points_.cols(); }
+
+ private:
+  struct Node {
+    std::size_t point = 0;      // index into points_
+    std::size_t axis = 0;
+    std::int64_t left = -1;     // node indices, -1 = leaf side empty
+    std::int64_t right = -1;
+  };
+
+  std::int64_t build(std::vector<std::size_t>& idx, std::size_t lo,
+                     std::size_t hi, std::size_t depth);
+
+  linalg::Matrix points_;
+  std::vector<Node> nodes_;
+  std::int64_t root_ = -1;
+};
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,104 @@
+#include "graphs/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "graphs/kdtree.hpp"
+#include "linalg/rng.hpp"
+
+namespace cirstag::graphs {
+
+namespace {
+
+/// Neighbor candidates for every point: exact, or approximate via a KD-tree
+/// over the leading coordinates with exact full-dimension re-ranking.
+std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
+                                           std::size_t k,
+                                           const KnnGraphOptions& opts) {
+  const std::size_t n = points.rows();
+  const std::size_t d = points.cols();
+  std::vector<std::vector<Neighbor>> result(n);
+
+  const bool approximate = opts.search_dims > 0 && opts.search_dims < d;
+  if (!approximate) {
+    const KdTree tree(points);
+    for (std::size_t i = 0; i < n; ++i) result[i] = tree.knn_of_point(i, k);
+    return result;
+  }
+
+  // JL projection: distances are approximately preserved, so the candidate
+  // pool found in the projected space almost surely contains the true
+  // neighbors, which the exact re-rank below then orders correctly.
+  linalg::Rng proj_rng(opts.projection_seed);
+  const linalg::Matrix projection = linalg::Matrix::random_normal(
+      d, opts.search_dims, proj_rng, 0.0,
+      1.0 / std::sqrt(static_cast<double>(opts.search_dims)));
+  const linalg::Matrix reduced = linalg::matmul(points, projection);
+  const KdTree tree(reduced);
+  const std::size_t pool = std::min(n - 1, k * std::max<std::size_t>(
+                                               opts.oversample, 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<Neighbor> candidates = tree.knn_of_point(i, pool);
+    for (auto& c : candidates) c.distance2 = points.row_distance2(i, c.index);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.distance2 < b.distance2;
+              });
+    candidates.resize(std::min(k, candidates.size()));
+    result[i] = std::move(candidates);
+  }
+  return result;
+}
+
+}  // namespace
+
+Graph build_knn_graph(const linalg::Matrix& points,
+                      const KnnGraphOptions& opts) {
+  const std::size_t n = points.rows();
+  Graph g(n);
+  if (n < 2) return g;
+
+  const std::size_t k = std::min(opts.k, n - 1);
+  const auto hits = all_knn(points, k, opts);
+
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<double> dists;
+  pairs.reserve(n * k);
+  dists.reserve(n * k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Neighbor& nb : hits[i]) {
+      const auto u = static_cast<NodeId>(std::min(i, nb.index));
+      const auto v = static_cast<NodeId>(std::max(i, nb.index));
+      pairs.emplace_back(u, v);
+      dists.push_back(nb.distance2);
+    }
+  }
+
+  // Relative floor: a fraction of the median kNN squared distance, so the
+  // weight dynamic range stays bounded even with coincident points.
+  double floor = opts.distance_floor;
+  if (opts.relative_floor > 0.0 && !dists.empty()) {
+    std::vector<double> sorted = dists;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    floor = std::max(floor, opts.relative_floor * sorted[sorted.size() / 2]);
+  }
+
+  // Deduplicate symmetric hits (i->j and j->i yield the same pair).
+  std::vector<std::size_t> order(pairs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pairs[a] < pairs[b];
+  });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i > 0 && pairs[order[i]] == pairs[order[i - 1]]) continue;
+    const auto [u, v] = pairs[order[i]];
+    const double w = 1.0 / (dists[order[i]] + floor);
+    g.add_edge(u, v, w);
+  }
+  return g;
+}
+
+}  // namespace cirstag::graphs

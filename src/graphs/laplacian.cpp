@@ -1,0 +1,78 @@
+#include "graphs/laplacian.hpp"
+
+#include <cmath>
+
+namespace cirstag::graphs {
+
+using linalg::SparseMatrix;
+using linalg::Triplet;
+
+SparseMatrix laplacian(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<Triplet> trips;
+  trips.reserve(g.num_edges() * 4);
+  for (const auto& e : g.edges()) {
+    trips.push_back({e.u, e.u, e.weight});
+    trips.push_back({e.v, e.v, e.weight});
+    trips.push_back({e.u, e.v, -e.weight});
+    trips.push_back({e.v, e.u, -e.weight});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix adjacency(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<Triplet> trips;
+  trips.reserve(g.num_edges() * 2);
+  for (const auto& e : g.edges()) {
+    trips.push_back({e.u, e.v, e.weight});
+    trips.push_back({e.v, e.u, e.weight});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix normalized_laplacian(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> deg(n, 0.0);
+  for (const auto& e : g.edges()) {
+    deg[e.u] += e.weight;
+    deg[e.v] += e.weight;
+  }
+  std::vector<double> inv_sqrt(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    inv_sqrt[i] = deg[i] > 0.0 ? 1.0 / std::sqrt(deg[i]) : 0.0;
+
+  std::vector<Triplet> trips;
+  trips.reserve(g.num_edges() * 2 + n);
+  for (std::size_t i = 0; i < n; ++i) trips.push_back({i, i, 1.0});
+  for (const auto& e : g.edges()) {
+    const double v = -e.weight * inv_sqrt[e.u] * inv_sqrt[e.v];
+    trips.push_back({e.u, e.v, v});
+    trips.push_back({e.v, e.u, v});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+SparseMatrix gcn_norm_adjacency(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<double> deg(n, 1.0);  // +1 self-loop
+  for (const auto& e : g.edges()) {
+    deg[e.u] += e.weight;
+    deg[e.v] += e.weight;
+  }
+  std::vector<double> inv_sqrt(n);
+  for (std::size_t i = 0; i < n; ++i) inv_sqrt[i] = 1.0 / std::sqrt(deg[i]);
+
+  std::vector<Triplet> trips;
+  trips.reserve(g.num_edges() * 2 + n);
+  for (std::size_t i = 0; i < n; ++i)
+    trips.push_back({i, i, inv_sqrt[i] * inv_sqrt[i]});
+  for (const auto& e : g.edges()) {
+    const double v = e.weight * inv_sqrt[e.u] * inv_sqrt[e.v];
+    trips.push_back({e.u, e.v, v});
+    trips.push_back({e.v, e.u, v});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(trips));
+}
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "graphs/graph.hpp"
+#include "linalg/sparse.hpp"
+
+namespace cirstag::graphs {
+
+/// Combinatorial Laplacian L = D - A (parallel edges summed).
+[[nodiscard]] linalg::SparseMatrix laplacian(const Graph& g);
+
+/// Symmetric normalized Laplacian L_norm = I - D^{-1/2} A D^{-1/2}.
+/// Isolated nodes contribute an identity row (eigenvalue 1 convention is
+/// avoided by construction: they yield L_norm row = 1 on the diagonal).
+[[nodiscard]] linalg::SparseMatrix normalized_laplacian(const Graph& g);
+
+/// Weighted adjacency matrix A.
+[[nodiscard]] linalg::SparseMatrix adjacency(const Graph& g);
+
+/// GCN-style propagation operator D̂^{-1/2} (A + I) D̂^{-1/2}.
+[[nodiscard]] linalg::SparseMatrix gcn_norm_adjacency(const Graph& g);
+
+}  // namespace cirstag::graphs

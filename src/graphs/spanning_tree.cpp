@@ -1,0 +1,60 @@
+#include "graphs/spanning_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cirstag::graphs {
+
+UnionFind::UnionFind(std::size_t n) : parent_(n), rank_(n, 0) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (rank_[a] < rank_[b]) std::swap(a, b);
+  parent_[b] = a;
+  if (rank_[a] == rank_[b]) ++rank_[a];
+  return true;
+}
+
+namespace {
+
+std::vector<EdgeId> kruskal(const Graph& g, bool maximize) {
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    const double wa = g.edge(a).weight;
+    const double wb = g.edge(b).weight;
+    return maximize ? wa > wb : wa < wb;
+  });
+  UnionFind uf(g.num_nodes());
+  std::vector<EdgeId> tree;
+  tree.reserve(g.num_nodes() > 0 ? g.num_nodes() - 1 : 0);
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    if (uf.unite(ed.u, ed.v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<EdgeId> max_weight_spanning_forest(const Graph& g) {
+  return kruskal(g, /*maximize=*/true);
+}
+
+std::vector<EdgeId> min_weight_spanning_forest(const Graph& g) {
+  return kruskal(g, /*maximize=*/false);
+}
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+
+namespace cirstag::graphs {
+
+/// Union-find (disjoint set) with path compression + union by rank.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::size_t find(std::size_t x);
+  /// Returns true if the two sets were merged (were previously disjoint).
+  bool unite(std::size_t a, std::size_t b);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+};
+
+/// Maximum-weight spanning forest via Kruskal; returns chosen edge ids.
+///
+/// In the PGM-sparsification pipeline this plays the role of the
+/// low-stretch spanning tree (LSST) of the short-cycle/LRD decomposition:
+/// high-weight edges correspond to small data distances (w = 1/dist), so the
+/// max-weight tree is the minimum-data-distance backbone — a good low-stretch
+/// proxy for kNN graphs whose weights are inverse distances.
+[[nodiscard]] std::vector<EdgeId> max_weight_spanning_forest(const Graph& g);
+
+/// Minimum-weight spanning forest (Kruskal, ascending weights).
+[[nodiscard]] std::vector<EdgeId> min_weight_spanning_forest(const Graph& g);
+
+}  // namespace cirstag::graphs

@@ -1,0 +1,65 @@
+#include "graphs/sparsify.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graphs/spanning_tree.hpp"
+#include "util/stats.hpp"
+
+namespace cirstag::graphs {
+
+SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts) {
+  SparsifyResult out;
+  const std::size_t m = g.num_edges();
+  if (m == 0) {
+    out.graph = g;
+    return out;
+  }
+
+  const std::vector<double> r_eff =
+      edge_effective_resistances(g, opts.resistance);
+
+  out.eta.resize(m);
+  for (std::size_t e = 0; e < m; ++e)
+    out.eta[e] = g.edge(e).weight * r_eff[e];
+
+  const std::vector<EdgeId> tree = max_weight_spanning_forest(g);
+  out.tree_edges = tree.size();
+  std::vector<bool> in_tree(m, false);
+  for (EdgeId e : tree) in_tree[e] = true;
+
+  std::vector<EdgeId> offtree;
+  offtree.reserve(m - tree.size());
+  for (EdgeId e = 0; e < m; ++e)
+    if (!in_tree[e]) offtree.push_back(e);
+
+  // LRD bound: drop off-tree edges closing cycles of large effective
+  // resistance (relative to the mean edge resistance).
+  if (opts.lrd_resistance_multiple > 0.0 && !offtree.empty()) {
+    const double mean_r = util::mean(r_eff);
+    const double bound = opts.lrd_resistance_multiple * mean_r;
+    std::erase_if(offtree, [&](EdgeId e) { return r_eff[e] > bound; });
+  }
+
+  // Rank remaining off-tree edges by η descending; keep the top fraction
+  // plus anything above the absolute threshold.
+  std::sort(offtree.begin(), offtree.end(),
+            [&](EdgeId a, EdgeId b) { return out.eta[a] > out.eta[b]; });
+  const auto frac = std::clamp(opts.offtree_keep_fraction, 0.0, 1.0);
+  std::size_t keep_count = static_cast<std::size_t>(
+      frac * static_cast<double>(offtree.size()) + 0.5);
+  if (opts.eta_threshold > 0.0) {
+    while (keep_count < offtree.size() &&
+           out.eta[offtree[keep_count]] >= opts.eta_threshold)
+      ++keep_count;
+  }
+
+  out.kept_edges = tree;
+  out.kept_edges.insert(out.kept_edges.end(), offtree.begin(),
+                        offtree.begin() + static_cast<long>(keep_count));
+  std::sort(out.kept_edges.begin(), out.kept_edges.end());
+  out.graph = g.edge_subgraph(out.kept_edges);
+  return out;
+}
+
+}  // namespace cirstag::graphs

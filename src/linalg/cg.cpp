@@ -1,0 +1,112 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace cirstag::linalg {
+
+CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
+                            std::size_t n, const LinearOperator& precond,
+                            const CgOptions& opts,
+                            std::span<const double> initial_guess) {
+  if (b.size() != n)
+    throw std::invalid_argument("conjugate_gradient: size mismatch");
+  if (!initial_guess.empty() && initial_guess.size() != n)
+    throw std::invalid_argument("conjugate_gradient: bad initial guess size");
+
+  CgResult result;
+  result.solution.assign(n, 0.0);
+
+  std::vector<double> r(b.begin(), b.end());
+  if (opts.deflate_constant) deflate_constant(r);
+  const double bnorm = norm2(r);
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  if (!initial_guess.empty()) {
+    result.solution.assign(initial_guess.begin(), initial_guess.end());
+    if (opts.deflate_constant) deflate_constant(result.solution);
+    std::vector<double> ax(n, 0.0);
+    op(result.solution, ax);
+    if (opts.deflate_constant) deflate_constant(ax);
+    axpy(-1.0, ax, r);
+  }
+
+  std::vector<double> z(n, 0.0);
+  auto apply_precond = [&](std::span<const double> in, std::span<double> out) {
+    if (precond) {
+      precond(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+    if (opts.deflate_constant) deflate_constant(out);
+  };
+
+  apply_precond(r, z);
+  std::vector<double> p = z;
+  std::vector<double> ap(n, 0.0);
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    std::fill(ap.begin(), ap.end(), 0.0);
+    op(p, ap);
+    if (opts.deflate_constant) deflate_constant(ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // operator numerically indefinite along p
+    const double alpha = rz / pap;
+    axpy(alpha, p, result.solution);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+    const double rnorm = norm2(r);
+    if (rnorm / bnorm < opts.tolerance) {
+      result.converged = true;
+      result.residual = rnorm / bnorm;
+      if (opts.deflate_constant) deflate_constant(result.solution);
+      return result;
+    }
+    apply_precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+
+  result.residual = norm2(r) / bnorm;
+  if (opts.deflate_constant) deflate_constant(result.solution);
+  return result;
+}
+
+LaplacianSolver::LaplacianSolver(SparseMatrix laplacian, double regularization,
+                                 CgOptions opts)
+    : laplacian_(std::move(laplacian)),
+      regularization_(regularization),
+      opts_(opts) {
+  if (laplacian_.rows() != laplacian_.cols())
+    throw std::invalid_argument("LaplacianSolver: matrix not square");
+  opts_.deflate_constant = (regularization_ == 0.0);
+  inv_diag_ = laplacian_.diagonal();
+  for (auto& d : inv_diag_) {
+    d += regularization_;
+    d = (d > 1e-300) ? 1.0 / d : 1.0;
+  }
+}
+
+std::vector<double> LaplacianSolver::solve(
+    std::span<const double> b, std::span<const double> initial_guess) const {
+  const std::size_t n = dimension();
+  auto op = [this](std::span<const double> x, std::span<double> y) {
+    laplacian_.multiply_add(x, y);
+    if (regularization_ != 0.0) axpy(regularization_, x, y);
+  };
+  auto precond = [this](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
+  };
+  CgResult res = conjugate_gradient(op, b, n, precond, opts_, initial_guess);
+  last_residual_ = res.residual;
+  return std::move(res.solution);
+}
+
+}  // namespace cirstag::linalg

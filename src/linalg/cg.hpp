@@ -1,0 +1,75 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace cirstag::linalg {
+
+/// Abstract symmetric linear operator: apply(x, y) computes y = A x.
+using LinearOperator =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Options for the (preconditioned) conjugate-gradient solver.
+struct CgOptions {
+  double tolerance = 1e-10;       ///< relative residual target ||r||/||b||
+  std::size_t max_iterations = 2000;
+  /// Project iterates orthogonal to the all-ones vector. Required when
+  /// solving singular Laplacian systems L x = b with 1^T b = 0.
+  bool deflate_constant = false;
+};
+
+/// Convergence report from a CG run.
+struct CgResult {
+  std::vector<double> solution;
+  double residual = 0.0;          ///< final relative residual
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Preconditioned conjugate gradient for SPD (or PSD-with-deflation) systems.
+/// `precond` may be empty (identity). The operator must be symmetric.
+/// `initial_guess` (if non-empty) warm-starts the iteration — crucial for
+/// the repeated nearby solves inside subspace iteration.
+[[nodiscard]] CgResult conjugate_gradient(
+    const LinearOperator& op, std::span<const double> b, std::size_t n,
+    const LinearOperator& precond = {}, const CgOptions& opts = {},
+    std::span<const double> initial_guess = {});
+
+/// Convenience solver for graph-Laplacian systems.
+///
+/// Wraps a Laplacian (or regularized Laplacian Θ = L + I/σ²) with a Jacobi
+/// preconditioner; for the singular pure-Laplacian case, right-hand sides
+/// and iterates are deflated against the constant vector (valid on connected
+/// graphs). Used for effective-resistance computation and for applying
+/// L_Y^+ inside the generalized eigensolver.
+class LaplacianSolver {
+ public:
+  /// `regularization` is added to the diagonal (0 keeps L singular and
+  /// enables constant-deflation instead).
+  explicit LaplacianSolver(SparseMatrix laplacian, double regularization = 0.0,
+                           CgOptions opts = {});
+
+  /// Solve (L + regularization*I) x = b, optionally warm-started.
+  [[nodiscard]] std::vector<double> solve(
+      std::span<const double> b,
+      std::span<const double> initial_guess = {}) const;
+
+  [[nodiscard]] const SparseMatrix& matrix() const { return laplacian_; }
+  [[nodiscard]] double regularization() const { return regularization_; }
+  [[nodiscard]] std::size_t dimension() const { return laplacian_.rows(); }
+
+  /// Relative residual of the last solve (diagnostics).
+  [[nodiscard]] double last_residual() const { return last_residual_; }
+
+ private:
+  SparseMatrix laplacian_;
+  double regularization_;
+  CgOptions opts_;
+  std::vector<double> inv_diag_;  // Jacobi preconditioner
+  mutable double last_residual_ = 0.0;
+};
+
+}  // namespace cirstag::linalg

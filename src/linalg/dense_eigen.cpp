@@ -1,0 +1,240 @@
+#include "linalg/dense_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cirstag::linalg {
+
+namespace {
+
+void sort_ascending(EigenDecomposition& d) {
+  const std::size_t n = d.values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return d.values[a] < d.values[b];
+  });
+  std::vector<double> vals(n);
+  Matrix vecs(d.vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    vals[j] = d.values[order[j]];
+    for (std::size_t i = 0; i < d.vectors.rows(); ++i)
+      vecs(i, j) = d.vectors(i, order[j]);
+  }
+  d.values = std::move(vals);
+  d.vectors = std::move(vecs);
+}
+
+}  // namespace
+
+EigenDecomposition jacobi_eigen(const Matrix& a, int max_sweeps, double tol) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("jacobi_eigen: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix m = a;           // working copy, diagonalized in place
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition d;
+  d.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.values[i] = m(i, i);
+  d.vectors = std::move(v);
+  sort_ascending(d);
+  return d;
+}
+
+EigenDecomposition tridiagonal_eigen(std::vector<double> diag,
+                                     std::vector<double> offdiag) {
+  const std::size_t n = diag.size();
+  if (n == 0) return {};
+  if (offdiag.size() + 1 != n)
+    throw std::invalid_argument("tridiagonal_eigen: offdiag size must be n-1");
+
+  // EISPACK tql2, adapted: e[i] couples i-1 and i after the shift below.
+  std::vector<double> d = std::move(diag);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = offdiag[i - 1];
+  e[n - 1] = 0.0;
+  Matrix z = Matrix::identity(n);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    std::size_t iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 50)
+          throw std::runtime_error("tridiagonal_eigen: too many iterations");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+
+  EigenDecomposition out;
+  out.values = std::move(d);
+  out.vectors = std::move(z);
+  sort_ascending(out);
+  return out;
+}
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0)
+          throw std::runtime_error("cholesky: matrix not positive definite");
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& chol_lower,
+                                   std::span<const double> b) {
+  const std::size_t n = chol_lower.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= chol_lower(i, k) * y[k];
+    y[i] = s / chol_lower(i, i);
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= chol_lower(k, i) * x[k];
+    x[i] = s / chol_lower(i, i);
+  }
+  return x;
+}
+
+EigenDecomposition generalized_eigen_dense(const Matrix& a, const Matrix& b) {
+  if (a.rows() != a.cols() || b.rows() != b.cols() || a.rows() != b.rows())
+    throw std::invalid_argument("generalized_eigen_dense: shape mismatch");
+  const std::size_t n = a.rows();
+  const Matrix l = cholesky(b);
+
+  // C = L^{-1} A L^{-T}: solve column-by-column.
+  // First W = L^{-1} A (forward substitution on each column of A).
+  Matrix w(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * w(k, j);
+      w(i, j) = s / l(i, i);
+    }
+  }
+  // Then C = W L^{-T}: for each row of W, forward-substitute against L
+  // (since (L^{-T}) applied from the right is a forward solve on rows).
+  Matrix c(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = w(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(j, k) * c(i, k);
+      c(i, j) = s / l(j, j);
+    }
+  }
+
+  EigenDecomposition std_eig = jacobi_eigen(c);
+
+  // Back-substitute eigenvectors: v = L^{-T} u.
+  Matrix vecs(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<double> u = std_eig.vectors.col(j);
+    std::vector<double> v(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      double s = u[i];
+      for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * v[k];
+      v[i] = s / l(i, i);
+    }
+    vecs.set_col(j, v);
+  }
+  std_eig.vectors = std::move(vecs);
+  return std_eig;
+}
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::linalg {
+
+/// Result of a symmetric eigendecomposition: `values[i]` ascending, with the
+/// corresponding eigenvector in column i of `vectors`.
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;  // n x n (or n x k), column i <-> values[i]
+};
+
+/// Cyclic Jacobi eigensolver for a dense symmetric matrix.
+///
+/// Robust and adequate for the small matrices CirSTAG needs it for
+/// (Rayleigh-Ritz projections, test oracles). Throws if `a` is not square.
+[[nodiscard]] EigenDecomposition jacobi_eigen(const Matrix& a,
+                                              int max_sweeps = 64,
+                                              double tol = 1e-12);
+
+/// Eigendecomposition of a symmetric tridiagonal matrix via QL with implicit
+/// shifts (EISPACK tql2). `diag` has n entries, `offdiag` n-1 entries
+/// (offdiag[i] couples i and i+1). Used on the Lanczos projection.
+[[nodiscard]] EigenDecomposition tridiagonal_eigen(
+    std::vector<double> diag, std::vector<double> offdiag);
+
+/// Cholesky factor (lower triangular) of a symmetric positive-definite dense
+/// matrix; throws std::runtime_error if a pivot is non-positive.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solve L y = b then L^T x = y given a lower-triangular Cholesky factor.
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& chol_lower,
+                                                 std::span<const double> b);
+
+/// Generalized symmetric-definite eigenproblem A v = λ B v for small dense
+/// matrices (B positive definite), via B = LL^T reduction to standard form.
+/// Eigenvalues ascending.
+[[nodiscard]] EigenDecomposition generalized_eigen_dense(const Matrix& a,
+                                                         const Matrix& b);
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,122 @@
+#include "linalg/generalized_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/rng.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace cirstag::linalg {
+
+namespace {
+
+/// Modified Gram-Schmidt orthonormalization of the columns of v (in place).
+/// Columns that collapse numerically are replaced with fresh random vectors
+/// (deflated and re-orthogonalized) so the subspace keeps full rank.
+void orthonormalize_columns(Matrix& v, Rng& rng) {
+  const std::size_t s = v.cols();
+  for (std::size_t j = 0; j < s; ++j) {
+    std::vector<double> col = v.col(j);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const std::vector<double> prev = v.col(i);
+        const double c = dot(col, prev);
+        axpy(-c, prev, col);
+      }
+      const double nn = norm2(col);
+      if (nn > 1e-10) {
+        scale(1.0 / nn, col);
+        break;
+      }
+      for (auto& x : col) x = rng.normal();
+      deflate_constant(col);
+    }
+    v.set_col(j, col);
+  }
+}
+
+}  // namespace
+
+GeneralizedEigenResult generalized_eigen_sparse(
+    const SparseMatrix& l_x, const SparseMatrix& l_y,
+    const GeneralizedEigenOptions& opts) {
+  if (l_x.rows() != l_x.cols() || l_y.rows() != l_y.cols() ||
+      l_x.rows() != l_y.rows())
+    throw std::invalid_argument("generalized_eigen_sparse: shape mismatch");
+  const std::size_t n = l_x.rows();
+  const std::size_t s = std::min(opts.num_pairs, n > 1 ? n - 1 : n);
+  if (s == 0) return {};
+
+  CgOptions cg_opts;
+  cg_opts.tolerance = opts.cg_tolerance;
+  cg_opts.max_iterations = opts.cg_max_iterations;
+  LaplacianSolver solver(l_y, opts.ly_regularization, cg_opts);
+
+  Rng rng(opts.seed);
+  Matrix v(n, s);
+  for (std::size_t j = 0; j < s; ++j) {
+    std::vector<double> col(n);
+    for (auto& x : col) x = rng.normal();
+    deflate_constant(col);
+    v.set_col(j, col);
+  }
+  orthonormalize_columns(v, rng);
+
+  std::vector<double> tmp(n, 0.0);
+  // Warm starts: as the subspace converges, consecutive solves for the same
+  // column are nearby, so seeding CG with the previous solution cuts the
+  // iteration count dramatically on large manifolds.
+  std::vector<std::vector<double>> warm(s);
+  for (std::size_t it = 0; it < opts.iterations; ++it) {
+    Matrix w(n, s);
+    for (std::size_t j = 0; j < s; ++j) {
+      const std::vector<double> col = v.col(j);
+      std::fill(tmp.begin(), tmp.end(), 0.0);
+      l_x.multiply_add(col, tmp);
+      std::vector<double> sol = solver.solve(tmp, warm[j]);
+      deflate_constant(sol);
+      warm[j] = sol;
+      w.set_col(j, sol);
+    }
+    orthonormalize_columns(w, rng);
+    v = std::move(w);
+  }
+
+  // Rayleigh-Ritz: project both Laplacians onto the converged subspace and
+  // solve the small generalized problem exactly.
+  Matrix lx_v = l_x.multiply(v);
+  Matrix ly_v = l_y.multiply(v);
+  Matrix a_small = matmul_at_b(v, lx_v);  // s x s
+  Matrix b_small = matmul_at_b(v, ly_v);  // s x s
+  // Symmetrize against round-off and regularize B like the solver does.
+  for (std::size_t i = 0; i < s; ++i) {
+    for (std::size_t j = i + 1; j < s; ++j) {
+      const double am = 0.5 * (a_small(i, j) + a_small(j, i));
+      a_small(i, j) = a_small(j, i) = am;
+      const double bm = 0.5 * (b_small(i, j) + b_small(j, i));
+      b_small(i, j) = b_small(j, i) = bm;
+    }
+    b_small(i, i) += opts.ly_regularization;
+  }
+
+  EigenDecomposition small = generalized_eigen_dense(a_small, b_small);
+
+  GeneralizedEigenResult out;
+  out.values.resize(s);
+  out.vectors = Matrix(n, s);
+  // small.values ascending -> emit descending.
+  for (std::size_t j = 0; j < s; ++j) {
+    const std::size_t src = s - 1 - j;
+    out.values[j] = small.values[src];
+    std::vector<double> vec(n, 0.0);
+    for (std::size_t i = 0; i < s; ++i)
+      axpy(small.vectors(i, src), v.col(i), vec);
+    const double nn = norm2(vec);
+    if (nn > 0) scale(1.0 / nn, vec);
+    out.vectors.set_col(j, vec);
+  }
+  return out;
+}
+
+}  // namespace cirstag::linalg

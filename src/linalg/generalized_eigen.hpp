@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/cg.hpp"
+#include "linalg/dense_eigen.hpp"
+
+namespace cirstag::linalg {
+
+/// Options for the sparse generalized eigensolver.
+struct GeneralizedEigenOptions {
+  std::size_t num_pairs = 8;        ///< s, the eigensubspace dimension
+  std::size_t iterations = 40;      ///< subspace-iteration sweeps
+  std::uint64_t seed = 99;
+  /// Diagonal regularization applied to l_y before inversion (Θ = L + I/σ²
+  /// in the paper's PGM formulation). Must be > 0 unless deflation suffices.
+  double ly_regularization = 1e-6;
+  double cg_tolerance = 1e-8;
+  std::size_t cg_max_iterations = 1500;
+};
+
+/// Result: values[i] descending (largest generalized eigenvalues of
+/// L_Y^+ L_X), vectors in columns.
+struct GeneralizedEigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // n x s
+};
+
+/// Top-s generalized eigenpairs of L_X v = ζ L_Y v with L_X, L_Y symmetric
+/// PSD graph Laplacians sharing the constant nullspace.
+///
+/// This is CirSTAG Phase 3's core computation: the dominant eigenpairs of
+/// L_Y^+ L_X measure the largest distance-mapping distortions between the
+/// input manifold (L_X) and output manifold (L_Y).
+///
+/// Implementation: subspace (orthogonal) iteration on the operator
+/// x -> (L_Y + εI)^{-1} L_X x with constant-vector deflation, followed by a
+/// dense Rayleigh-Ritz projection solving the small generalized problem
+/// (Vᵀ L_X V) c = ζ (Vᵀ L_Y V) c exactly.
+[[nodiscard]] GeneralizedEigenResult generalized_eigen_sparse(
+    const SparseMatrix& l_x, const SparseMatrix& l_y,
+    const GeneralizedEigenOptions& opts = {});
+
+}  // namespace cirstag::linalg

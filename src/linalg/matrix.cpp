@@ -1,0 +1,160 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cirstag::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  std::vector<double> v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_col(std::size_t c, std::span<const double> v) {
+  if (v.size() != rows_) throw std::invalid_argument("set_col: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+Matrix Matrix::random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                             double mean, double stddev) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng.normal(mean, stddev);
+  return m;
+}
+
+Matrix Matrix::glorot(std::size_t in_dim, std::size_t out_dim, Rng& rng) {
+  Matrix m(in_dim, out_dim);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(in_dim + out_dim));
+  for (auto& x : m.data_) x = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::row_distance2(std::size_t r1, std::size_t r2) const {
+  double s = 0.0;
+  const auto a = row(r1);
+  const auto b = row(r2);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double d = a[c] - b[c];
+    s += d * d;
+  }
+  return s;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const auto brow = b.row(k);
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows())
+    throw std::invalid_argument("matmul_at_b: shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const auto arow = a.row(k);
+    const auto brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      auto crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("matmul_a_bt: shape mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const auto brow = b.row(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/rng.hpp"
+
+namespace cirstag::linalg {
+
+/// Dense row-major matrix of doubles.
+///
+/// Used for embedding matrices (N x M), GNN activations/weights, and small
+/// Rayleigh-Ritz projections. Deliberately minimal: value semantics, bounds
+/// unchecked in release (asserted in debug via at()).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<double> col(std::size_t c) const;
+  void set_col(std::size_t c, std::span<const double> v);
+
+  [[nodiscard]] std::span<double> data() { return data_; }
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+
+  void fill(double v);
+
+  /// Every entry drawn i.i.d. N(mean, stddev) — GNN weight init.
+  static Matrix random_normal(std::size_t rows, std::size_t cols, Rng& rng,
+                              double mean = 0.0, double stddev = 1.0);
+
+  /// Glorot/Xavier uniform init in [-limit, limit], limit = sqrt(6/(in+out)).
+  static Matrix glorot(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Squared Euclidean distance between rows r1 and r2 (embedding distance).
+  [[nodiscard]] double row_distance2(std::size_t r1, std::size_t r2) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B
+[[nodiscard]] Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T
+[[nodiscard]] Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// y = A * x
+[[nodiscard]] std::vector<double> matvec(const Matrix& a,
+                                         std::span<const double> x);
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,121 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cirstag::linalg {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  for (const auto& t : triplets) {
+    if (t.row >= rows || t.col >= cols)
+      throw std::out_of_range("SparseMatrix::from_triplets: index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r] = m.values_.size();
+    while (i < triplets.size() && triplets[i].row == r) {
+      const std::size_t c = triplets[i].col;
+      double v = 0.0;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+  }
+  m.row_ptr_[rows] = m.values_.size();
+  return m;
+}
+
+std::vector<double> SparseMatrix::multiply(std::span<const double> x) const {
+  std::vector<double> y(rows_, 0.0);
+  multiply_add(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_add(std::span<const double> x, std::span<double> y,
+                                double alpha) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("SparseMatrix::multiply_add: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[r] += alpha * s;
+  }
+}
+
+Matrix SparseMatrix::multiply(const Matrix& b) const {
+  if (b.rows() != cols_)
+    throw std::invalid_argument("SparseMatrix::multiply(Matrix): shape mismatch");
+  Matrix c(rows_, b.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto crow = c.row(r);
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const auto brow = b.row(col_idx_[k]);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  std::vector<Triplet> trips;
+  trips.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      trips.push_back({col_idx_[k], r, values_[k]});
+  return from_triplets(cols_, rows_, std::move(trips));
+}
+
+std::vector<double> SparseMatrix::diagonal() const {
+  std::vector<double> d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) d[r] = coeff(r, r);
+  return d;
+}
+
+double SparseMatrix::coeff(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_)
+    throw std::out_of_range("SparseMatrix::coeff");
+  const auto begin = col_idx_.begin() + static_cast<long>(row_ptr_[row]);
+  const auto end = col_idx_.begin() + static_cast<long>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+std::span<const std::size_t> SparseMatrix::row_indices(std::size_t r) const {
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> SparseMatrix::row_values(std::size_t r) const {
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix m(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) = values_[k];
+  return m;
+}
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cirstag::linalg {
+
+/// One (row, col, value) entry used to assemble a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix of doubles.
+///
+/// The workhorse for Laplacians and normalized adjacency operators: built
+/// once from triplets (duplicates summed), then used for mat-vecs inside CG,
+/// Lanczos, and GNN message passing.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Assemble from triplets; duplicate (row, col) entries are summed and
+  /// explicit zeros dropped.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x
+  [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;
+
+  /// y += alpha * A x
+  void multiply_add(std::span<const double> x, std::span<double> y,
+                    double alpha = 1.0) const;
+
+  /// Dense product A * B (B dense, result dense). Used by GNN layers.
+  [[nodiscard]] Matrix multiply(const Matrix& b) const;
+
+  /// A^T as a new CSR matrix.
+  [[nodiscard]] SparseMatrix transposed() const;
+
+  /// Main-diagonal entries (zero where absent); Jacobi preconditioner.
+  [[nodiscard]] std::vector<double> diagonal() const;
+
+  /// Entry lookup; O(row nnz). Returns 0 for absent entries.
+  [[nodiscard]] double coeff(std::size_t row, std::size_t col) const;
+
+  /// Row access for iteration: column indices and values of row r.
+  [[nodiscard]] std::span<const std::size_t> row_indices(std::size_t r) const;
+  [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
+
+  [[nodiscard]] Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows_+1
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace cirstag::linalg

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+/// Free-function BLAS-1 style helpers over std::vector<double>.
+namespace cirstag::linalg {
+
+using Vector = std::vector<double>;
+
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+/// y += alpha * x
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+inline void scale(double alpha, std::span<double> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+/// Remove the component of x along the (unnormalized) all-ones direction.
+/// Laplacian systems are singular with nullspace span{1}; projecting both the
+/// right-hand side and iterates keeps CG well-posed on connected graphs.
+inline void deflate_constant(std::span<double> x) {
+  if (x.empty()) return;
+  double m = 0.0;
+  for (double v : x) m += v;
+  m /= static_cast<double>(x.size());
+  for (auto& v : x) v -= m;
+}
+
+inline Vector zeros(std::size_t n) { return Vector(n, 0.0); }
+
+}  // namespace cirstag::linalg

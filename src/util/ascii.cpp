@@ -1,0 +1,94 @@
+#include "util/ascii.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cirstag::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("AsciiTable: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) out += line(row);
+  out += rule();
+  return out;
+}
+
+std::string render_histogram(const Histogram& h, const std::string& title,
+                             std::size_t max_bar_width) {
+  std::ostringstream os;
+  os << title << "\n";
+  std::size_t peak = 1;
+  for (auto c : h.counts) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const auto bar =
+        h.counts[i] * max_bar_width / peak;
+    os << std::setw(10) << std::fixed << std::setprecision(4)
+       << h.bin_center(i) << " | " << std::string(bar, '#') << " "
+       << h.counts[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string render_histogram_pair(const Histogram& a, const std::string& label_a,
+                                  const Histogram& b, const std::string& label_b,
+                                  const std::string& title,
+                                  std::size_t max_bar_width) {
+  if (a.counts.size() != b.counts.size())
+    throw std::invalid_argument("render_histogram_pair: bin count mismatch");
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  (" << label_a << " = '#', " << label_b << " = '*')\n";
+  std::size_t peak = 1;
+  for (auto c : a.counts) peak = std::max(peak, c);
+  for (auto c : b.counts) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < a.counts.size(); ++i) {
+    const auto bar_a = a.counts[i] * max_bar_width / peak;
+    const auto bar_b = b.counts[i] * max_bar_width / peak;
+    os << std::setw(10) << std::fixed << std::setprecision(4)
+       << a.bin_center(i) << " | " << std::string(bar_a, '#')
+       << std::string(max_bar_width - bar_a, ' ') << " | "
+       << std::string(bar_b, '*') << std::string(max_bar_width - bar_b, ' ')
+       << " | " << a.counts[i] << " / " << b.counts[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace cirstag::util

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+/// ASCII rendering of the paper's tables and figure-style histograms so every
+/// bench binary can print Table/Figure reproductions directly to stdout.
+namespace cirstag::util {
+
+/// A simple column-aligned table with a header row.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with box-drawing separators; pads each column to its widest cell.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a histogram as horizontal bars (one line per bin).
+[[nodiscard]] std::string render_histogram(const Histogram& h,
+                                           const std::string& title,
+                                           std::size_t max_bar_width = 60);
+
+/// Render two overlaid histograms (e.g. unstable vs stable series of
+/// Fig. 3/4) side by side, bin-aligned.
+[[nodiscard]] std::string render_histogram_pair(const Histogram& a,
+                                                const std::string& label_a,
+                                                const Histogram& b,
+                                                const std::string& label_b,
+                                                const std::string& title,
+                                                std::size_t max_bar_width = 30);
+
+/// Format a double with fixed precision (helper for table cells).
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+
+}  // namespace cirstag::util

@@ -1,0 +1,50 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cirstag::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  rows_.push_back(row);
+}
+
+void CsvWriter::add_row(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream os;
+    os << v;
+    cells.push_back(os.str());
+  }
+  add_row(cells);
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ",";
+      os << cells[i];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("CsvWriter: cannot open " + path);
+  out << to_string();
+  if (!out) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+}  // namespace cirstag::util

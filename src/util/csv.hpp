@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cirstag::util {
+
+/// Minimal CSV writer used by benches to dump figure series alongside the
+/// ASCII rendering (so plots can be regenerated externally if desired).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(const std::vector<std::string>& row);
+  void add_row(const std::vector<double>& row);
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cirstag::util

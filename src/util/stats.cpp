@@ -1,0 +1,180 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cirstag::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pearson: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> average_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank over the tie group [i, j], 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("spearman: size mismatch");
+  const auto rx = average_ranks(xs);
+  const auto ry = average_ranks(ys);
+  return pearson(rx, ry);
+}
+
+double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("kendall_tau: size mismatch");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) { ++ties_x; continue; }
+      if (dy == 0.0) { ++ties_y; continue; }
+      if ((dx > 0) == (dy > 0)) ++concordant; else ++discordant;
+    }
+  }
+  const double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2.0;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom <= 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double r2_score(std::span<const double> truth, std::span<const double> pred) {
+  if (truth.size() != pred.size())
+    throw std::invalid_argument("r2_score: size mismatch");
+  if (truth.empty()) return 0.0;
+  const double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot <= 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+Histogram make_histogram(std::span<const double> xs, double lo, double hi,
+                         std::size_t bins) {
+  if (bins == 0 || hi <= lo)
+    throw std::invalid_argument("make_histogram: bad bin spec");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<long long>(std::floor((x - lo) / width));
+    idx = std::clamp<long long>(idx, 0, static_cast<long long>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+double top_k_overlap(std::span<const double> a, std::span<const double> b,
+                     std::size_t k) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("top_k_overlap: size mismatch");
+  k = std::min(k, a.size());
+  if (k == 0) return 0.0;
+  auto top_indices = [k](std::span<const double> xs) {
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                      order.end(), [&](std::size_t p, std::size_t q) {
+                        return xs[p] > xs[q];
+                      });
+    return std::unordered_set<std::size_t>(order.begin(),
+                                           order.begin() + static_cast<long>(k));
+  };
+  const auto ta = top_indices(a);
+  const auto tb = top_indices(b);
+  std::size_t shared = 0;
+  for (std::size_t idx : ta) shared += tb.count(idx);
+  return static_cast<double>(shared) / static_cast<double>(k);
+}
+
+}  // namespace cirstag::util

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+/// Descriptive statistics and rank-correlation utilities used by the
+/// experiment harnesses (Table I / Table II cells, Fig. 3/4 histograms,
+/// ground-truth rank agreement).
+namespace cirstag::util {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double max_value(std::span<const double> xs);
+[[nodiscard]] double min_value(std::span<const double> xs);
+[[nodiscard]] double stdev(std::span<const double> xs);
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson linear correlation coefficient; 0 for degenerate inputs.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Spearman rank correlation (average ranks on ties).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+/// Kendall tau-b rank correlation. O(n^2); fine for experiment sizes.
+[[nodiscard]] double kendall_tau(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Coefficient of determination of predictions vs. ground truth.
+[[nodiscard]] double r2_score(std::span<const double> truth,
+                              std::span<const double> pred);
+
+/// Ranks with ties averaged, 1-based (rank 1 = smallest value).
+[[nodiscard]] std::vector<double> average_ranks(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi]; values outside are clamped into the
+/// first/last bin. Returns per-bin counts.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] double bin_width() const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+};
+
+[[nodiscard]] Histogram make_histogram(std::span<const double> xs, double lo,
+                                       double hi, std::size_t bins);
+
+/// Fraction of the top-k items (by score) shared between two score vectors.
+/// Used to compare CirSTAG rankings against ground-truth sensitivity.
+[[nodiscard]] double top_k_overlap(std::span<const double> a,
+                                   std::span<const double> b, std::size_t k);
+
+}  // namespace cirstag::util

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <chrono>
+
+namespace cirstag::util {
+
+/// Simple monotonic wall-clock stopwatch.
+///
+/// Starts running on construction; `elapsed_*()` reports time since the last
+/// `reset()` (or construction).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cirstag::util

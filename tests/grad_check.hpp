@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "gnn/layers.hpp"
+
+namespace cirstag::testutil {
+
+/// Finite-difference gradient checking for Layer implementations.
+///
+/// Uses the scalar objective L(x) = Σ_ij forward(x)_ij * D_ij for a fixed
+/// random direction D, whose analytic input/parameter gradients come from
+/// backward(D). Returns the largest relative error observed.
+struct GradCheckResult {
+  double max_input_error = 0.0;
+  double max_param_error = 0.0;
+};
+
+inline GradCheckResult grad_check(gnn::Layer& layer, linalg::Matrix x,
+                                  linalg::Rng& rng, double eps = 1e-5) {
+  using linalg::Matrix;
+
+  Matrix out = layer.forward(x);
+  Matrix direction(out.rows(), out.cols());
+  for (auto& v : direction.data()) v = rng.normal();
+
+  for (gnn::Param* p : layer.params()) p->zero_grad();
+  const Matrix grad_in = layer.backward(direction);
+
+  auto objective = [&](const Matrix& input) {
+    const Matrix o = layer.forward(input);
+    double s = 0.0;
+    for (std::size_t i = 0; i < o.data().size(); ++i)
+      s += o.data()[i] * direction.data()[i];
+    return s;
+  };
+
+  GradCheckResult result;
+
+  // Input gradient.
+  for (std::size_t i = 0; i < x.data().size(); i += 1 + x.data().size() / 40) {
+    Matrix xp = x, xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (objective(xp) - objective(xm)) / (2 * eps);
+    const double analytic = grad_in.data()[i];
+    const double err = std::abs(numeric - analytic) /
+                       std::max({1e-6, std::abs(numeric), std::abs(analytic)});
+    result.max_input_error = std::max(result.max_input_error, err);
+  }
+
+  // Parameter gradients (backward above already accumulated them; snapshot
+  // before we perturb values).
+  for (gnn::Param* p : layer.params()) {
+    const Matrix analytic_grad = p->grad;
+    auto& vals = p->value;
+    for (std::size_t i = 0; i < vals.data().size();
+         i += 1 + vals.data().size() / 25) {
+      const double orig = vals.data()[i];
+      vals.data()[i] = orig + eps;
+      const double up = objective(x);
+      vals.data()[i] = orig - eps;
+      const double down = objective(x);
+      vals.data()[i] = orig;
+      const double numeric = (up - down) / (2 * eps);
+      const double analytic = analytic_grad.data()[i];
+      const double err =
+          std::abs(numeric - analytic) /
+          std::max({1e-6, std::abs(numeric), std::abs(analytic)});
+      result.max_param_error = std::max(result.max_param_error, err);
+    }
+  }
+  return result;
+}
+
+}  // namespace cirstag::testutil

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace cirstag::util;
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t({"design", "mean", "max"});
+  t.add_row({"aes128", "0.31", "1.99"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("design"), std::string::npos);
+  EXPECT_NE(out.find("aes128"), std::string::npos);
+  EXPECT_NE(out.find("1.99"), std::string::npos);
+}
+
+TEST(AsciiTable, PadsColumnsToWidestCell) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"looooong", "x"});
+  const std::string out = t.to_string();
+  // Header separator must be at least as wide as the longest cell.
+  EXPECT_NE(out.find("----------"), std::string::npos);
+}
+
+TEST(AsciiTable, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(AsciiHistogram, RendersBars) {
+  Histogram h;
+  h.lo = 0.0;
+  h.hi = 1.0;
+  h.counts = {1, 4, 2};
+  const std::string out = render_histogram(h, "title", 8);
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("########"), std::string::npos);  // peak bin full width
+}
+
+TEST(AsciiHistogram, PairRequiresMatchingBins) {
+  Histogram a;
+  a.counts = {1, 2};
+  Histogram b;
+  b.counts = {1, 2, 3};
+  EXPECT_THROW(render_histogram_pair(a, "a", b, "b", "t"),
+               std::invalid_argument);
+}
+
+TEST(AsciiFmt, FixedPrecision) {
+  EXPECT_EQ(fmt(0.123456, 4), "0.1235");
+  EXPECT_EQ(fmt(2.0, 2), "2.00");
+}
+
+TEST(Csv, RoundTripsRowsToString) {
+  CsvWriter w({"x", "y"});
+  w.add_row(std::vector<std::string>{"1", "2"});
+  w.add_row(std::vector<double>{3.5, 4.5});
+  const std::string s = w.to_string();
+  EXPECT_EQ(s, "x,y\n1,2\n3.5,4.5\n");
+}
+
+TEST(Csv, SaveWritesFile) {
+  CsvWriter w({"a"});
+  w.add_row(std::vector<std::string>{"42"});
+  const std::string path = testing::TempDir() + "cirstag_csv_test.csv";
+  w.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row(std::vector<std::string>{"1"}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::core;
+
+TEST(Baselines, RandomScoresInUnitInterval) {
+  linalg::Rng rng(1);
+  const auto s = random_scores(100, rng);
+  EXPECT_EQ(s.size(), 100u);
+  for (double v : s) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Baselines, DegreeScoresMatchGraph) {
+  graphs::Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 3.0);
+  const auto s = degree_scores(g);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+}
+
+TEST(Baselines, FeatureMagnitudeSelectsColumn) {
+  linalg::Matrix x(2, 3);
+  x(0, 1) = 7.0;
+  x(1, 1) = -2.0;
+  const auto s = feature_magnitude_scores(x, 1);
+  EXPECT_DOUBLE_EQ(s[0], 7.0);
+  EXPECT_DOUBLE_EQ(s[1], -2.0);
+  EXPECT_THROW(feature_magnitude_scores(x, 9), std::out_of_range);
+}
+
+TEST(Baselines, EmbeddingRoughnessFlagsOutliers) {
+  // Path where node 2's embedding deviates from its neighbors.
+  graphs::Graph g(5);
+  for (graphs::NodeId i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  linalg::Matrix emb(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) emb(i, 0) = static_cast<double>(i);
+  emb(2, 1) = 10.0;  // spike
+  const auto s = embedding_roughness_scores(g, emb);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 5; ++i)
+    if (s[i] > s[best]) best = i;
+  EXPECT_EQ(best, 2u);
+}
+
+TEST(Baselines, EmbeddingRoughnessValidatesShape) {
+  graphs::Graph g(3);
+  linalg::Matrix emb(2, 2);
+  EXPECT_THROW(embedding_roughness_scores(g, emb), std::invalid_argument);
+}
+
+}  // namespace

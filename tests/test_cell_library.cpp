@@ -1,0 +1,52 @@
+#include "circuit/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cirstag::circuit;
+
+TEST(CellLibrary, StandardLibraryHasExpectedCells) {
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_GE(lib.size(), 15u);
+  EXPECT_NO_THROW(lib.id_of("INV_X1"));
+  EXPECT_NO_THROW(lib.id_of("NAND2_X1"));
+  EXPECT_NO_THROW(lib.id_of("MUX2_X1"));
+  EXPECT_THROW(lib.id_of("NONEXISTENT"), std::out_of_range);
+}
+
+TEST(CellLibrary, ArityQueriesArePartition) {
+  const CellLibrary lib = CellLibrary::standard();
+  std::size_t total = 0;
+  for (std::uint8_t a = 1; a <= 4; ++a)
+    total += lib.cells_with_arity(a).size();
+  EXPECT_EQ(total, lib.size());
+  // Every arity 1..3 must be populated for the generator.
+  EXPECT_FALSE(lib.cells_with_arity(1).empty());
+  EXPECT_FALSE(lib.cells_with_arity(2).empty());
+  EXPECT_FALSE(lib.cells_with_arity(3).empty());
+}
+
+TEST(CellLibrary, DriveStrengthOrdering) {
+  const CellLibrary lib = CellLibrary::standard();
+  // Higher drive -> lower resistance, larger input cap.
+  const CellType& x1 = lib.cell(lib.id_of("INV_X1"));
+  const CellType& x4 = lib.cell(lib.id_of("INV_X4"));
+  EXPECT_GT(x1.drive_resistance, x4.drive_resistance);
+  EXPECT_LT(x1.input_capacitance, x4.input_capacitance);
+}
+
+TEST(CellLibrary, AddCellValidates) {
+  CellLibrary lib;
+  CellType bad;
+  bad.num_inputs = 0;
+  EXPECT_THROW(lib.add_cell(bad), std::invalid_argument);
+  CellType ok;
+  ok.name = "T";
+  ok.num_inputs = 2;
+  const CellTypeId id = lib.add_cell(ok);
+  EXPECT_EQ(lib.cell(id).name, "T");
+  EXPECT_THROW(lib.cell(99), std::out_of_range);
+}
+
+}  // namespace

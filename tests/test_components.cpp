@@ -1,0 +1,78 @@
+#include "graphs/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace {
+
+using namespace cirstag::graphs;
+
+TEST(Components, SingleComponent) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, MultipleComponentsLabelled) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1}, {2,3}, {4}
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[4], c.label[0]);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  Graph g(0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, ConnectComponentsBridges) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  const Graph h = connect_components(g, 0.5);
+  EXPECT_TRUE(is_connected(h));
+  EXPECT_EQ(h.num_edges(), 5u);  // 3 original + 2 bridges
+  // Bridges carry the requested weight.
+  EXPECT_DOUBLE_EQ(h.edge(3).weight, 0.5);
+  EXPECT_DOUBLE_EQ(h.edge(4).weight, 0.5);
+}
+
+TEST(Components, ConnectComponentsNoOpWhenConnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Graph h = connect_components(g, 1.0);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(BfsDistances, HopCountsOnPath) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(BfsDistances, UnreachableIsMax) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], std::numeric_limits<std::size_t>::max());
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "gnn/dag_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "circuit/views.hpp"
+#include "grad_check.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::gnn;
+using circuit::CellLibrary;
+using circuit::Netlist;
+using linalg::Matrix;
+using linalg::Rng;
+
+class DagPropTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  /// PI -> INV -> INV -> ... -> PO chain.
+  Netlist chain(std::size_t length) {
+    Netlist nl(lib);
+    circuit::PinId prev = nl.add_primary_input();
+    for (std::size_t i = 0; i < length; ++i) {
+      const circuit::GateId g = nl.add_gate(lib.id_of("INV_X1"));
+      nl.connect_input(g, 0, prev);
+      prev = nl.gate(g).output;
+    }
+    nl.add_primary_output(prev);
+    nl.finalize();
+    return nl;
+  }
+};
+
+TEST_F(DagPropTest, ForwardShapeAndDeterminism) {
+  const Netlist nl = chain(4);
+  Rng rng(1);
+  DagPropagation layer(nl, 3, 5, rng);
+  const Matrix x = Matrix::random_normal(nl.num_pins(), 3, rng);
+  const Matrix h1 = layer.forward(x);
+  const Matrix h2 = layer.forward(x);
+  EXPECT_EQ(h1.rows(), nl.num_pins());
+  EXPECT_EQ(h1.cols(), 5u);
+  for (std::size_t i = 0; i < h1.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(h1.data()[i], h2.data()[i]);
+}
+
+TEST_F(DagPropTest, FullDepthReceptiveField) {
+  // Perturbing the PI pin's features must change the PO pin's hidden state
+  // even on a long chain — the property plain k-hop convolutions lack.
+  const Netlist nl = chain(12);
+  Rng rng(2);
+  DagPropagation layer(nl, 2, 4, rng);
+  Matrix x = Matrix::random_normal(nl.num_pins(), 2, rng);
+  const Matrix h0 = layer.forward(x);
+  const circuit::PinId pi = nl.primary_inputs()[0];
+  x(pi, 0) += 1.0;
+  x(pi, 1) -= 0.5;
+  const Matrix h1 = layer.forward(x);
+  const circuit::PinId po = nl.primary_outputs()[0];
+  double diff = 0.0;
+  for (std::size_t c = 0; c < 4; ++c)
+    diff += std::abs(h1(po, c) - h0(po, c));
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST_F(DagPropTest, NoBackwardFlow) {
+  // Perturbing the PO-side has no effect on PI-side states (propagation is
+  // strictly along the DAG).
+  const Netlist nl = chain(5);
+  Rng rng(3);
+  DagPropagation layer(nl, 2, 3, rng);
+  Matrix x = Matrix::random_normal(nl.num_pins(), 2, rng);
+  const Matrix h0 = layer.forward(x);
+  const circuit::PinId po = nl.primary_outputs()[0];
+  x(po, 0) += 2.0;
+  const Matrix h1 = layer.forward(x);
+  const circuit::PinId pi = nl.primary_inputs()[0];
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_DOUBLE_EQ(h0(pi, c), h1(pi, c));
+}
+
+TEST_F(DagPropTest, GradientCheckOnChain) {
+  const Netlist nl = chain(3);
+  Rng rng(4);
+  DagPropagation layer(nl, 2, 3, rng);
+  Matrix x = Matrix::random_normal(nl.num_pins(), 2, rng);
+  // Keep pre-activations away from the ReLU kink for finite differences.
+  for (auto& v : x.data()) v += (v >= 0 ? 0.3 : -0.3);
+  const auto res = testutil::grad_check(layer, x, rng, 1e-6);
+  EXPECT_LT(res.max_input_error, 2e-4);
+  EXPECT_LT(res.max_param_error, 2e-4);
+}
+
+TEST_F(DagPropTest, GradientCheckOnRandomLogic) {
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = 25;
+  spec.num_inputs = 5;
+  spec.num_outputs = 3;
+  spec.num_levels = 4;
+  spec.seed = 5;
+  const Netlist nl = circuit::generate_random_logic(lib, spec);
+  Rng rng(6);
+  DagPropagation layer(nl, 3, 4, rng);
+  const Matrix x = Matrix::random_normal(nl.num_pins(), 3, rng, 0.0, 0.5);
+  const auto res = testutil::grad_check(layer, x, rng, 1e-6);
+  EXPECT_LT(res.max_input_error, 5e-4);
+  EXPECT_LT(res.max_param_error, 5e-4);
+}
+
+TEST_F(DagPropTest, RequiresFinalizedNetlistAndMatchingRows) {
+  Netlist nl(lib);
+  nl.add_primary_input();
+  Rng rng(7);
+  EXPECT_THROW(DagPropagation(nl, 2, 2, rng), std::invalid_argument);
+
+  const Netlist ok = chain(2);
+  DagPropagation layer(ok, 2, 2, rng);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(layer.forward(wrong), std::invalid_argument);
+}
+
+}  // namespace

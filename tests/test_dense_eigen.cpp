@@ -1,0 +1,168 @@
+#include "linalg/dense_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag::linalg;
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+  Matrix a = Matrix::random_normal(n, n, rng);
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) s(i, j) = 0.5 * (a(i, j) + a(j, i));
+  return s;
+}
+
+TEST(JacobiEigen, DiagonalMatrixTrivial) {
+  Matrix a(3, 3);
+  a(0, 0) = 3.0; a(1, 1) = 1.0; a(2, 2) = 2.0;
+  const auto d = jacobi_eigen(a);
+  ASSERT_EQ(d.values.size(), 3u);
+  EXPECT_NEAR(d.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(d.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(d.values[2], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1; a(1, 0) = 1; a(1, 1) = 2;
+  const auto d = jacobi_eigen(a);
+  EXPECT_NEAR(d.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(d.values[1], 3.0, 1e-12);
+}
+
+TEST(JacobiEigen, ReconstructsMatrix) {
+  Rng rng(11);
+  const Matrix a = random_symmetric(6, rng);
+  const auto d = jacobi_eigen(a);
+  // A == V diag(λ) Vᵀ
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 6; ++k)
+        s += d.vectors(i, k) * d.values[k] * d.vectors(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  Rng rng(13);
+  const Matrix a = random_symmetric(5, rng);
+  const auto d = jacobi_eigen(a);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < 5; ++k)
+        dot += d.vectors(k, i) * d.vectors(k, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(JacobiEigen, NonSquareThrows) {
+  EXPECT_THROW(jacobi_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(TridiagonalEigen, MatchesJacobiOnSameMatrix) {
+  // Tridiagonal with diag {2,2,2,2}, offdiag {1,1,1}: eigenvalues
+  // 2 + 2cos(kπ/5).
+  std::vector<double> diag(4, 2.0);
+  std::vector<double> off(3, 1.0);
+  const auto d = tridiagonal_eigen(diag, off);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double expect = 2.0 + 2.0 * std::cos(double(k) * M_PI / 5.0);
+    EXPECT_NEAR(d.values[4 - k], expect, 1e-10);
+  }
+}
+
+TEST(TridiagonalEigen, EigenpairsSatisfyDefinition) {
+  std::vector<double> diag{1.0, -2.0, 0.5, 3.0};
+  std::vector<double> off{0.7, -1.1, 0.3};
+  const auto d = tridiagonal_eigen(diag, off);
+  for (std::size_t j = 0; j < 4; ++j) {
+    // (T v)_i == λ v_i
+    for (std::size_t i = 0; i < 4; ++i) {
+      double tv = diag[i] * d.vectors(i, j);
+      if (i > 0) tv += off[i - 1] * d.vectors(i - 1, j);
+      if (i < 3) tv += off[i] * d.vectors(i + 1, j);
+      EXPECT_NEAR(tv, d.values[j] * d.vectors(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(TridiagonalEigen, BadSizesThrow) {
+  EXPECT_THROW(tridiagonal_eigen({1.0, 2.0}, {}), std::invalid_argument);
+}
+
+TEST(Cholesky, FactorsAndSolves) {
+  Matrix a(3, 3);
+  // SPD: AᵀA + I of a simple matrix, hand-picked.
+  a(0, 0) = 4; a(0, 1) = 2; a(0, 2) = 0;
+  a(1, 0) = 2; a(1, 1) = 5; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 3;
+  const Matrix l = cholesky(a);
+  // L Lᵀ == A
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 3; ++k) s += l(i, k) * l(j, k);
+      EXPECT_NEAR(s, a(i, j), 1e-12);
+    }
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const auto x = cholesky_solve(l, b);
+  // A x == b
+  for (std::size_t i = 0; i < 3; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) s += a(i, j) * x[j];
+    EXPECT_NEAR(s, b[i], 1e-10);
+  }
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::runtime_error);
+}
+
+TEST(GeneralizedEigenDense, ReducesToStandardWithIdentityB) {
+  Rng rng(17);
+  const Matrix a = random_symmetric(4, rng);
+  const Matrix b = Matrix::identity(4);
+  const auto gen = generalized_eigen_dense(a, b);
+  const auto std_d = jacobi_eigen(a);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(gen.values[i], std_d.values[i], 1e-9);
+}
+
+TEST(GeneralizedEigenDense, SatisfiesAvEqualsLambdaBv) {
+  Rng rng(19);
+  const Matrix a = random_symmetric(5, rng);
+  Matrix b = Matrix::identity(5);
+  // Make B SPD but not identity.
+  const Matrix r = Matrix::random_normal(5, 5, rng, 0.0, 0.3);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) s += r(i, k) * r(j, k);
+      b(i, j) += s;
+    }
+  const auto gen = generalized_eigen_dense(a, b);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      double av = 0.0, bv = 0.0;
+      for (std::size_t k = 0; k < 5; ++k) {
+        av += a(i, k) * gen.vectors(k, j);
+        bv += b(i, k) * gen.vectors(k, j);
+      }
+      EXPECT_NEAR(av, gen.values[j] * bv, 1e-8);
+    }
+  }
+}
+
+}  // namespace

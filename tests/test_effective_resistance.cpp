@@ -1,0 +1,111 @@
+#include "graphs/effective_resistance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphs/laplacian.hpp"
+
+namespace {
+
+using namespace cirstag::graphs;
+using cirstag::linalg::LaplacianSolver;
+
+TEST(EffectiveResistance, SeriesResistorsAdd) {
+  // Path 0-1-2 with unit weights: R(0,2) = 2.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_NEAR(effective_resistance(solver, 0, 2), 2.0, 1e-8);
+  EXPECT_NEAR(effective_resistance(solver, 0, 1), 1.0, 1e-8);
+}
+
+TEST(EffectiveResistance, ParallelResistorsCombine) {
+  // Two parallel unit edges between 0 and 1: R = 1/2.
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 1.0);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_NEAR(effective_resistance(solver, 0, 1), 0.5, 1e-8);
+}
+
+TEST(EffectiveResistance, WeightIsConductance) {
+  // Edge weight w acts as conductance: R = 1/w.
+  Graph g(2);
+  g.add_edge(0, 1, 4.0);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_NEAR(effective_resistance(solver, 0, 1), 0.25, 1e-8);
+}
+
+TEST(EffectiveResistance, TriangleKnownValue) {
+  // Unit triangle: R between any pair = 2/3 (1 in parallel with 2).
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_NEAR(effective_resistance(solver, 0, 1), 2.0 / 3.0, 1e-8);
+  EXPECT_NEAR(effective_resistance(solver, 1, 2), 2.0 / 3.0, 1e-8);
+}
+
+TEST(EffectiveResistance, SelfDistanceZeroAndSymmetry) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_DOUBLE_EQ(effective_resistance(solver, 1, 1), 0.0);
+  EXPECT_NEAR(effective_resistance(solver, 0, 2),
+              effective_resistance(solver, 2, 0), 1e-10);
+}
+
+TEST(EffectiveResistance, TriangleInequalityOnRandomGraph) {
+  cirstag::linalg::Rng rng(37);
+  Graph g(10);
+  for (int i = 0; i < 9; ++i) g.add_edge(i, i + 1, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < 6; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(10));
+    const auto v = static_cast<NodeId>(rng.index(10));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  LaplacianSolver solver(laplacian(g));
+  // Effective resistance is a metric: R(a,c) <= R(a,b) + R(b,c).
+  for (NodeId a = 0; a < 10; ++a)
+    for (NodeId b = 0; b < 10; ++b)
+      for (NodeId c = 0; c < 10; ++c)
+        EXPECT_LE(effective_resistance(solver, a, c),
+                  effective_resistance(solver, a, b) +
+                      effective_resistance(solver, b, c) + 1e-7);
+}
+
+TEST(EffectiveResistanceSketch, ApproximatesExactOnEveryEdge) {
+  cirstag::linalg::Rng rng(41);
+  Graph g(30);
+  for (int i = 0; i < 29; ++i) g.add_edge(i, i + 1, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < 25; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(30));
+    const auto v = static_cast<NodeId>(rng.index(30));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  const auto exact = edge_effective_resistances_exact(g);
+  ResistanceSketchOptions opts;
+  opts.num_probes = 192;  // high probe count -> tight approximation
+  const auto approx = edge_effective_resistances(g, opts);
+  ASSERT_EQ(exact.size(), approx.size());
+  for (std::size_t e = 0; e < exact.size(); ++e) {
+    EXPECT_NEAR(approx[e], exact[e], 0.35 * exact[e] + 1e-3)
+        << "edge " << e;
+  }
+}
+
+TEST(EffectiveResistanceSketch, EmptyGraphReturnsEmpty) {
+  Graph g(5);
+  EXPECT_TRUE(edge_effective_resistances(g).empty());
+}
+
+TEST(EffectiveResistance, OutOfRangeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  LaplacianSolver solver(laplacian(g));
+  EXPECT_THROW(effective_resistance(solver, 0, 5), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include "gnn/gat.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::gnn;
+using linalg::Matrix;
+using linalg::Rng;
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ring_edges(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> e;
+  for (std::uint32_t i = 0; i < n; ++i)
+    e.emplace_back(i, static_cast<std::uint32_t>((i + 1) % n));
+  return e;
+}
+
+TEST(GatConv, ForwardShapeAndAttentionNormalization) {
+  Rng rng(11);
+  GatConv gat(6, ring_edges(6), 4, 3, rng);
+  const Matrix x = Matrix::random_normal(6, 4, rng);
+  const Matrix y = gat.forward(x);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 3u);
+  // Attention per destination sums to 1: each node has 2 ring neighbors +
+  // self-loop = 3 arcs; total arcs = 18, summed alphas = 6.
+  const auto& alpha = gat.last_attention();
+  ASSERT_EQ(alpha.size(), 18u);
+  double total = 0.0;
+  for (double a : alpha) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    total += a;
+  }
+  EXPECT_NEAR(total, 6.0, 1e-9);
+}
+
+TEST(GatConv, GradientCheck) {
+  Rng rng(13);
+  GatConv gat(5, ring_edges(5), 3, 2, rng);
+  const Matrix x = Matrix::random_normal(5, 3, rng);
+  const auto res = testutil::grad_check(gat, x, rng, 1e-6);
+  EXPECT_LT(res.max_input_error, 1e-4);
+  EXPECT_LT(res.max_param_error, 1e-4);
+}
+
+TEST(GatConv, GradientCheckDenserGraph) {
+  Rng rng(17);
+  auto edges = ring_edges(7);
+  edges.emplace_back(0, 3);
+  edges.emplace_back(2, 5);
+  edges.emplace_back(1, 4);
+  GatConv gat(7, edges, 4, 4, rng);
+  const Matrix x = Matrix::random_normal(7, 4, rng);
+  const auto res = testutil::grad_check(gat, x, rng, 1e-6);
+  EXPECT_LT(res.max_input_error, 1e-4);
+  EXPECT_LT(res.max_param_error, 1e-4);
+}
+
+TEST(GatConv, IsolatedNodeAttendsOnlyToSelf) {
+  Rng rng(19);
+  // Node 2 isolated (self-loop only).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}};
+  GatConv gat(3, edges, 2, 2, rng);
+  const Matrix x = Matrix::random_normal(3, 2, rng);
+  const Matrix y = gat.forward(x);
+  // The isolated node's output only depends on itself (alpha = 1 on the
+  // self-loop), so perturbing other nodes must not change it.
+  Matrix x2 = x;
+  x2(0, 0) += 1.0;
+  x2(1, 1) -= 2.0;
+  const Matrix y2 = gat.forward(x2);
+  EXPECT_DOUBLE_EQ(y(2, 0), y2(2, 0));
+  EXPECT_DOUBLE_EQ(y(2, 1), y2(2, 1));
+}
+
+TEST(GatConv, TopologyChangesOutput) {
+  Rng rng(23);
+  const Matrix x = Matrix::random_normal(6, 3, rng);
+  Rng r1(99), r2(99);
+  GatConv a(6, ring_edges(6), 3, 2, r1);
+  auto rewired = ring_edges(6);
+  rewired[0] = {0, 3};  // rewire one edge
+  GatConv b(6, rewired, 3, 2, r2);
+  // Same init (same seed), same input, different edges -> different output.
+  const Matrix ya = a.forward(x);
+  const Matrix yb = b.forward(x);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < ya.data().size(); ++i)
+    diff += std::abs(ya.data()[i] - yb.data()[i]);
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(MultiHeadGat, ForwardConcatenatesHeads) {
+  Rng rng(31);
+  MultiHeadGat gat(5, ring_edges(5), 3, 6, /*num_heads=*/2, rng);
+  EXPECT_EQ(gat.num_heads(), 2u);
+  const Matrix x = Matrix::random_normal(5, 3, rng);
+  const Matrix y = gat.forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 6u);
+  // Heads are independent: the two halves are not identical.
+  double diff = 0.0;
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      diff += std::abs(y(r, c) - y(r, 3 + c));
+  EXPECT_GT(diff, 1e-9);
+}
+
+TEST(MultiHeadGat, GradientCheck) {
+  Rng rng(37);
+  MultiHeadGat gat(5, ring_edges(5), 3, 4, /*num_heads=*/2, rng);
+  const Matrix x = Matrix::random_normal(5, 3, rng);
+  const auto res = testutil::grad_check(gat, x, rng, 1e-6);
+  EXPECT_LT(res.max_input_error, 1e-4);
+  EXPECT_LT(res.max_param_error, 1e-4);
+}
+
+TEST(MultiHeadGat, SingleHeadMatchesGatConv) {
+  Rng r1(41), r2(41);
+  GatConv plain(6, ring_edges(6), 3, 4, r1);
+  MultiHeadGat multi(6, ring_edges(6), 3, 4, 1, r2);
+  Rng rx(43);
+  const Matrix x = Matrix::random_normal(6, 3, rx);
+  const Matrix a = plain.forward(x);
+  const Matrix b = multi.forward(x);
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(MultiHeadGat, InvalidHeadSplitThrows) {
+  Rng rng(47);
+  EXPECT_THROW(MultiHeadGat(4, ring_edges(4), 2, 5, 2, rng),
+               std::invalid_argument);
+  EXPECT_THROW(MultiHeadGat(4, ring_edges(4), 2, 4, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(GatConv, EdgeOutOfRangeThrows) {
+  Rng rng(29);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 9}};
+  EXPECT_THROW(GatConv(3, edges, 2, 2, rng), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "linalg/generalized_eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace cirstag::linalg;
+
+SparseMatrix path_laplacian(std::size_t n, double w = 1.0) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i, w});
+    t.push_back({i + 1, i + 1, w});
+    t.push_back({i, i + 1, -w});
+    t.push_back({i + 1, i, -w});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(t));
+}
+
+TEST(GeneralizedEigenSparse, IdenticalLaplaciansGiveUnitDistortion) {
+  // L_X == L_Y: every generalized eigenvalue on the non-null subspace is 1.
+  const auto l = path_laplacian(20);
+  GeneralizedEigenOptions opts;
+  opts.num_pairs = 4;
+  const auto res = generalized_eigen_sparse(l, l, opts);
+  ASSERT_EQ(res.values.size(), 4u);
+  for (double z : res.values) EXPECT_NEAR(z, 1.0, 1e-3);
+}
+
+TEST(GeneralizedEigenSparse, UniformScalingIsRecovered) {
+  // L_X = 5 L_Y  =>  distortion 5 everywhere.
+  const auto ly = path_laplacian(16);
+  const auto lx = path_laplacian(16, 5.0);
+  GeneralizedEigenOptions opts;
+  opts.num_pairs = 3;
+  const auto res = generalized_eigen_sparse(lx, ly, opts);
+  for (double z : res.values) EXPECT_NEAR(z, 5.0, 5e-3);
+}
+
+TEST(GeneralizedEigenSparse, DetectsLocallyStretchedEdge) {
+  // Y shrinks one edge's weight (distance grows): the dominant distortion
+  // eigenvector should localize the difference across that edge.
+  const std::size_t n = 12;
+  auto lx = path_laplacian(n);
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double w = (i == 5) ? 0.05 : 1.0;  // edge 5-6 weak in Y
+    t.push_back({i, i, w});
+    t.push_back({i + 1, i + 1, w});
+    t.push_back({i, i + 1, -w});
+    t.push_back({i + 1, i, -w});
+  }
+  const auto ly = SparseMatrix::from_triplets(n, n, std::move(t));
+  GeneralizedEigenOptions opts;
+  opts.num_pairs = 2;
+  opts.iterations = 60;
+  const auto res = generalized_eigen_sparse(lx, ly, opts);
+  EXPECT_GT(res.values[0], 5.0);  // large distortion present
+  // Dominant eigenvector jumps across the weak edge.
+  const auto v = res.vectors.col(0);
+  double max_jump = 0.0;
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double jump = std::abs(v[i + 1] - v[i]);
+    if (jump > max_jump) {
+      max_jump = jump;
+      arg = i;
+    }
+  }
+  EXPECT_EQ(arg, 5u);
+}
+
+TEST(GeneralizedEigenSparse, AgreesWithDenseOracle) {
+  const std::size_t n = 10;
+  const auto lx = path_laplacian(n, 2.0);
+  // Ring for Y.
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    t.push_back({i, i, 1.0});
+    t.push_back({j, j, 1.0});
+    t.push_back({i, j, -1.0});
+    t.push_back({j, i, -1.0});
+  }
+  const auto ly = SparseMatrix::from_triplets(n, n, std::move(t));
+
+  GeneralizedEigenOptions opts;
+  opts.num_pairs = 3;
+  opts.iterations = 80;
+  opts.ly_regularization = 1e-6;
+  const auto sparse_res = generalized_eigen_sparse(lx, ly, opts);
+
+  // Dense oracle: eigenvalues of (L_Y + eps I)^{-1} L_X restricted off the
+  // constant vector = generalized problem solved densely.
+  Matrix lyd = ly.to_dense();
+  for (std::size_t i = 0; i < n; ++i) lyd(i, i) += 1e-6;
+  const auto dense = generalized_eigen_dense(lx.to_dense(), lyd);
+  // Largest dense eigenvalues (excluding the ~0 from the shared nullspace).
+  EXPECT_NEAR(sparse_res.values[0], dense.values[n - 1], 0.02);
+  EXPECT_NEAR(sparse_res.values[1], dense.values[n - 2], 0.02);
+  EXPECT_NEAR(sparse_res.values[2], dense.values[n - 3], 0.02);
+}
+
+TEST(GeneralizedEigenSparse, ShapeMismatchThrows) {
+  const auto a = path_laplacian(4);
+  const auto b = path_laplacian(5);
+  EXPECT_THROW(generalized_eigen_sparse(a, b), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include "circuit/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/sta.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+};
+
+TEST_F(GeneratorTest, ProducesRequestedSize) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 200;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.seed = 5;
+  const Netlist nl = generate_random_logic(lib, spec);
+  EXPECT_EQ(nl.num_gates(), 200u);
+  EXPECT_EQ(nl.primary_inputs().size(), 16u);
+  EXPECT_EQ(nl.primary_outputs().size(), 8u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 100;
+  spec.seed = 9;
+  const Netlist a = generate_random_logic(lib, spec);
+  const Netlist b = generate_random_logic(lib, spec);
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (PinId p = 0; p < a.num_pins(); ++p)
+    EXPECT_DOUBLE_EQ(a.pin(p).capacitance, b.pin(p).capacitance);
+  const auto ra = run_sta(a);
+  const auto rb = run_sta(b);
+  EXPECT_DOUBLE_EQ(ra.worst_arrival, rb.worst_arrival);
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  RandomCircuitSpec s1, s2;
+  s1.num_gates = s2.num_gates = 100;
+  s1.seed = 1;
+  s2.seed = 2;
+  const double a = run_sta(generate_random_logic(lib, s1)).worst_arrival;
+  const double b = run_sta(generate_random_logic(lib, s2)).worst_arrival;
+  EXPECT_NE(a, b);
+}
+
+TEST_F(GeneratorTest, StaRunsOnAllSuiteBenchmarks) {
+  for (const auto& spec : benchmark_suite()) {
+    const Netlist nl = generate_random_logic(lib, spec);
+    EXPECT_EQ(nl.num_gates(), spec.num_gates) << spec.name;
+    const TimingReport rep = run_sta(nl);
+    EXPECT_GT(rep.worst_arrival, 0.0) << spec.name;
+  }
+}
+
+TEST_F(GeneratorTest, SuiteHasNineNamedBenchmarks) {
+  const auto suite = benchmark_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  EXPECT_EQ(suite[0].name, "blabla");
+  EXPECT_EQ(suite[4].name, "aes128");
+  // All names distinct.
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    for (std::size_t j = i + 1; j < suite.size(); ++j)
+      EXPECT_NE(suite[i].name, suite[j].name);
+}
+
+TEST_F(GeneratorTest, ScalabilitySuiteGrowsGeometrically) {
+  const auto suite = scalability_suite(4, 500, 2.0);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].num_gates, 500u);
+  EXPECT_EQ(suite[1].num_gates, 1000u);
+  EXPECT_EQ(suite[3].num_gates, 4000u);
+}
+
+TEST_F(GeneratorTest, EmptySpecThrows) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 0;
+  EXPECT_THROW(generate_random_logic(lib, spec), std::invalid_argument);
+}
+
+TEST_F(GeneratorTest, CapJitterStaysPositive) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 150;
+  spec.cap_jitter = 0.2;
+  const Netlist nl = generate_random_logic(lib, spec);
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    EXPECT_GE(nl.pin(p).capacitance, 0.0);
+}
+
+}  // namespace

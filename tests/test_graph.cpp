@@ -1,0 +1,83 @@
+#include "graphs/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cirstag::graphs;
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  const EdgeId e = g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).u, 0u);
+  EXPECT_EQ(g.edge(e).v, 1u);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 2.0);
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].neighbor, 2u);
+  EXPECT_EQ(g.neighbors(2)[0].neighbor, 0u);
+  EXPECT_EQ(g.neighbors(1).size(), 0u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadInputs) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, WeightedDegreeSumsIncidentWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 2.0);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 5.0);
+}
+
+TEST(Graph, SetWeightValidates) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.set_weight(e, 4.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).weight, 4.0);
+  EXPECT_THROW(g.set_weight(e, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.set_weight(99, 1.0), std::out_of_range);
+}
+
+TEST(Graph, AddNodesReturnsFirstNewId) {
+  Graph g(2);
+  const NodeId first = g.add_nodes(3);
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(Graph, EdgeSubgraphKeepsSelectedEdges) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  const EdgeId keep = g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  std::vector<EdgeId> sel{keep};
+  const Graph sub = g.edge_subgraph(sel);
+  EXPECT_EQ(sub.num_nodes(), 4u);
+  ASSERT_EQ(sub.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(sub.edge(0).weight, 2.0);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 3.0);
+}
+
+}  // namespace

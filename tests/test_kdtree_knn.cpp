@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graphs/kdtree.hpp"
+#include "graphs/knn.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag::graphs;
+using cirstag::linalg::Matrix;
+using cirstag::linalg::Rng;
+
+/// Brute-force kNN oracle.
+std::vector<Neighbor> brute_knn(const Matrix& pts, std::size_t q,
+                                std::size_t k) {
+  std::vector<Neighbor> all;
+  for (std::size_t i = 0; i < pts.rows(); ++i) {
+    if (i == q) continue;
+    all.push_back({i, pts.row_distance2(q, i)});
+  }
+  std::sort(all.begin(), all.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance2 < b.distance2;
+  });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(KdTree, MatchesBruteForceOnRandomPoints) {
+  Rng rng(67);
+  const Matrix pts = Matrix::random_normal(120, 5, rng);
+  const KdTree tree(pts);
+  for (std::size_t q : {0ul, 17ul, 63ul, 119ul}) {
+    const auto fast = tree.knn_of_point(q, 7);
+    const auto slow = brute_knn(pts, q, 7);
+    ASSERT_EQ(fast.size(), slow.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(fast[i].distance2, slow[i].distance2, 1e-12)
+          << "query " << q << " rank " << i;
+  }
+}
+
+TEST(KdTree, ExcludesQueryPoint) {
+  Rng rng(71);
+  const Matrix pts = Matrix::random_normal(20, 3, rng);
+  const KdTree tree(pts);
+  const auto nn = tree.knn_of_point(4, 5);
+  for (const auto& n : nn) EXPECT_NE(n.index, 4u);
+}
+
+TEST(KdTree, KLargerThanPointCount) {
+  Rng rng(73);
+  const Matrix pts = Matrix::random_normal(5, 2, rng);
+  const KdTree tree(pts);
+  const auto nn = tree.knn_of_point(0, 100);
+  EXPECT_EQ(nn.size(), 4u);
+}
+
+TEST(KdTree, DuplicatePointsHandled) {
+  Matrix pts(4, 2);
+  // Two coincident pairs.
+  pts(0, 0) = 0; pts(0, 1) = 0;
+  pts(1, 0) = 0; pts(1, 1) = 0;
+  pts(2, 0) = 1; pts(2, 1) = 1;
+  pts(3, 0) = 1; pts(3, 1) = 1;
+  const KdTree tree(pts);
+  const auto nn = tree.knn_of_point(0, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].index, 1u);
+  EXPECT_DOUBLE_EQ(nn[0].distance2, 0.0);
+}
+
+TEST(KdTree, EmptyOrBadInputsThrow) {
+  EXPECT_THROW(KdTree{Matrix{}}, std::invalid_argument);
+  Rng rng(79);
+  const Matrix pts = Matrix::random_normal(3, 2, rng);
+  const KdTree tree(pts);
+  EXPECT_THROW(tree.knn_of_point(5, 1), std::out_of_range);
+  std::vector<double> bad_query{1.0};
+  EXPECT_THROW(tree.knn(bad_query, 1, 0), std::invalid_argument);
+}
+
+TEST(KnnGraph, DegreesAtLeastK) {
+  Rng rng(83);
+  const Matrix pts = Matrix::random_normal(60, 4, rng);
+  KnnGraphOptions opts;
+  opts.k = 5;
+  const Graph g = build_knn_graph(pts, opts);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  for (NodeId u = 0; u < 60; ++u) EXPECT_GE(g.degree(u), 5u);
+}
+
+TEST(KnnGraph, WeightsAreInverseSquaredDistance) {
+  Matrix pts(3, 1);
+  pts(0, 0) = 0.0;
+  pts(1, 0) = 1.0;
+  pts(2, 0) = 3.0;
+  KnnGraphOptions opts;
+  opts.k = 1;
+  opts.distance_floor = 0.0;
+  opts.relative_floor = 0.0;
+  const Graph g = build_knn_graph(pts, opts);
+  // Nearest pairs: (0,1) dist²=1, (2,1) dist²=4.
+  bool found01 = false, found12 = false;
+  for (const auto& e : g.edges()) {
+    if ((e.u == 0 && e.v == 1)) {
+      EXPECT_DOUBLE_EQ(e.weight, 1.0);
+      found01 = true;
+    }
+    if ((e.u == 1 && e.v == 2)) {
+      EXPECT_DOUBLE_EQ(e.weight, 0.25);
+      found12 = true;
+    }
+  }
+  EXPECT_TRUE(found01);
+  EXPECT_TRUE(found12);
+}
+
+TEST(KnnGraph, NoDuplicateEdges) {
+  Rng rng(89);
+  const Matrix pts = Matrix::random_normal(40, 3, rng);
+  KnnGraphOptions opts;
+  opts.k = 6;
+  const Graph g = build_knn_graph(pts, opts);
+  std::vector<std::pair<NodeId, NodeId>> seen;
+  for (const auto& e : g.edges())
+    seen.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(KnnGraph, TinyInputs) {
+  Matrix one(1, 2, 0.0);
+  EXPECT_EQ(build_knn_graph(one).num_edges(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "linalg/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/dense_eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace cirstag::linalg;
+
+SparseMatrix ring_laplacian(std::size_t n) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    t.push_back({i, i, 1.0});
+    t.push_back({j, j, 1.0});
+    t.push_back({i, j, -1.0});
+    t.push_back({j, i, -1.0});
+  }
+  return SparseMatrix::from_triplets(n, n, std::move(t));
+}
+
+TEST(Lanczos, ExtremeEigenvaluesOfDiagonalOperator) {
+  const std::size_t n = 40;
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = static_cast<double>(i + 1);
+  auto op = [&diag](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += diag[i] * x[i];
+  };
+  LanczosOptions opts;
+  opts.num_eigenpairs = 3;
+  opts.want_smallest = true;
+  const auto small = lanczos_eigen(op, n, opts);
+  ASSERT_EQ(small.values.size(), 3u);
+  EXPECT_NEAR(small.values[0], 1.0, 1e-6);
+  EXPECT_NEAR(small.values[1], 2.0, 1e-6);
+  EXPECT_NEAR(small.values[2], 3.0, 1e-6);
+
+  opts.want_smallest = false;
+  const auto large = lanczos_eigen(op, n, opts);
+  EXPECT_NEAR(large.values[0], 40.0, 1e-6);
+  EXPECT_NEAR(large.values[1], 39.0, 1e-6);
+}
+
+TEST(Lanczos, RitzVectorsAreEigenvectors) {
+  const auto lap = ring_laplacian(24);
+  auto op = [&lap](std::span<const double> x, std::span<double> y) {
+    lap.multiply_add(x, y);
+  };
+  LanczosOptions opts;
+  opts.num_eigenpairs = 4;
+  opts.want_smallest = true;
+  const auto d = lanczos_eigen(op, 24, opts);
+  for (std::size_t j = 0; j < d.values.size(); ++j) {
+    const auto v = d.vectors.col(j);
+    const auto av = lap.multiply(v);
+    for (std::size_t i = 0; i < v.size(); ++i)
+      EXPECT_NEAR(av[i], d.values[j] * v[i], 1e-6);
+  }
+}
+
+TEST(SmallestEigenpairs, RingLaplacianSpectrum) {
+  // Ring C_n Laplacian eigenvalues: 2 - 2cos(2πk/n).
+  const std::size_t n = 16;
+  const auto lap = ring_laplacian(n);
+  const auto d = smallest_eigenpairs(lap, 5, /*upper=*/4.0);
+  ASSERT_GE(d.values.size(), 5u);
+  EXPECT_NEAR(d.values[0], 0.0, 1e-8);
+  const double l1 = 2.0 - 2.0 * std::cos(2.0 * M_PI / 16.0);
+  // λ_1 is doubly degenerate on a ring.
+  EXPECT_NEAR(d.values[1], l1, 1e-6);
+  EXPECT_NEAR(d.values[2], l1, 1e-6);
+}
+
+TEST(SmallestEigenpairs, MatchesJacobiOracle) {
+  const auto lap = ring_laplacian(10);
+  const auto lanczos_d = smallest_eigenpairs(lap, 4, 4.0);
+  const auto dense_d = jacobi_eigen(lap.to_dense());
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(lanczos_d.values[j], dense_d.values[j], 1e-7);
+}
+
+TEST(SmallestEigenpairs, FirstEigenvectorIsConstantOnConnectedGraph) {
+  const auto lap = ring_laplacian(12);
+  const auto d = smallest_eigenpairs(lap, 1, 4.0);
+  const auto v = d.vectors.col(0);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_NEAR(v[i], v[0], 1e-6);
+}
+
+TEST(Lanczos, EmptyOperator) {
+  auto op = [](std::span<const double>, std::span<double>) {};
+  const auto d = lanczos_eigen(op, 0, {});
+  EXPECT_TRUE(d.values.empty());
+}
+
+TEST(SmallestEigenpairs, NonSquareThrows) {
+  auto m = SparseMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_THROW(smallest_eigenpairs(m, 1, 2.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,110 @@
+#include "graphs/laplacian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_eigen.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag::graphs;
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  return g;
+}
+
+TEST(Laplacian, EntriesMatchDefinition) {
+  const auto l = laplacian(triangle());
+  EXPECT_DOUBLE_EQ(l.coeff(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(l.coeff(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(l.coeff(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(l.coeff(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(l.coeff(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(l.coeff(0, 2), -3.0);
+}
+
+TEST(Laplacian, RowSumsAreZero) {
+  const auto l = laplacian(triangle());
+  const std::vector<double> ones(3, 1.0);
+  const auto y = l.multiply(ones);
+  for (double v : y) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Laplacian, QuadraticFormMatchesEdgeSum) {
+  const Graph g = triangle();
+  const auto l = laplacian(g);
+  const std::vector<double> x{1.0, -2.0, 0.5};
+  const auto lx = l.multiply(x);
+  double quad = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) quad += x[i] * lx[i];
+  double expect = 0.0;
+  for (const auto& e : g.edges()) {
+    const double d = x[e.u] - x[e.v];
+    expect += e.weight * d * d;
+  }
+  EXPECT_NEAR(quad, expect, 1e-12);
+}
+
+TEST(Laplacian, ParallelEdgesSum) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.5);
+  const auto l = laplacian(g);
+  EXPECT_DOUBLE_EQ(l.coeff(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(l.coeff(0, 1), -3.5);
+}
+
+TEST(Adjacency, SymmetricWeights) {
+  const auto a = adjacency(triangle());
+  EXPECT_DOUBLE_EQ(a.coeff(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.coeff(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.coeff(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.coeff(0, 0), 0.0);
+}
+
+TEST(NormalizedLaplacian, SpectrumInZeroTwo) {
+  cirstag::linalg::Rng rng(31);
+  Graph g(12);
+  for (int i = 0; i < 11; ++i)
+    g.add_edge(i, i + 1, rng.uniform(0.5, 2.0));
+  for (int i = 0; i < 8; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(12));
+    const auto v = static_cast<NodeId>(rng.index(12));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  const auto ln = normalized_laplacian(g);
+  const auto eig = cirstag::linalg::jacobi_eigen(ln.to_dense());
+  for (double v : eig.values) {
+    EXPECT_GE(v, -1e-10);
+    EXPECT_LE(v, 2.0 + 1e-10);
+  }
+  // Smallest eigenvalue of a connected graph's normalized Laplacian is 0.
+  EXPECT_NEAR(eig.values[0], 0.0, 1e-10);
+}
+
+TEST(NormalizedLaplacian, IsolatedNodeHasUnitDiagonal) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto ln = normalized_laplacian(g);
+  EXPECT_DOUBLE_EQ(ln.coeff(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(ln.coeff(2, 0), 0.0);
+}
+
+TEST(GcnNormAdjacency, SymmetricWithSpectralRadiusAtMostOne) {
+  const auto a = gcn_norm_adjacency(triangle());
+  const auto dense = a.to_dense();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(dense(r, c), dense(c, r), 1e-14);
+  // D̂^{-1/2}(A+I)D̂^{-1/2} has eigenvalues in [-1, 1], with 1 attained by
+  // the D̂^{1/2}-weighted constant vector.
+  const auto eig = cirstag::linalg::jacobi_eigen(dense);
+  EXPECT_GE(eig.values.front(), -1.0 - 1e-10);
+  EXPECT_NEAR(eig.values.back(), 1.0, 1e-10);
+}
+
+}  // namespace

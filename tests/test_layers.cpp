@@ -1,0 +1,148 @@
+#include "gnn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::gnn;
+using linalg::Matrix;
+using linalg::Rng;
+
+TEST(Linear, ForwardAffine) {
+  Rng rng(1);
+  Linear lin(2, 3, rng);
+  Matrix x(1, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = -1.0;
+  const Matrix y = lin.forward(x);
+  EXPECT_EQ(y.rows(), 1u);
+  EXPECT_EQ(y.cols(), 3u);
+}
+
+TEST(Linear, GradientCheck) {
+  Rng rng(2);
+  Linear lin(4, 3, rng);
+  const Matrix x = Matrix::random_normal(5, 4, rng);
+  const auto res = testutil::grad_check(lin, x, rng);
+  EXPECT_LT(res.max_input_error, 1e-5);
+  EXPECT_LT(res.max_param_error, 1e-5);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  Matrix x(1, 3);
+  x(0, 0) = -1.0;
+  x(0, 1) = 0.0;
+  x(0, 2) = 2.0;
+  const Matrix y = relu.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+}
+
+TEST(ReLU, GradientCheckAwayFromKink) {
+  Rng rng(3);
+  ReLU relu;
+  Matrix x = Matrix::random_normal(6, 4, rng);
+  // Push values away from 0 so finite differences are valid.
+  for (auto& v : x.data()) v += (v >= 0 ? 0.5 : -0.5);
+  const auto res = testutil::grad_check(relu, x, rng);
+  EXPECT_LT(res.max_input_error, 1e-6);
+}
+
+TEST(Tanh, GradientCheck) {
+  Rng rng(4);
+  Tanh tanh_layer;
+  const Matrix x = Matrix::random_normal(5, 3, rng);
+  const auto res = testutil::grad_check(tanh_layer, x, rng);
+  EXPECT_LT(res.max_input_error, 1e-6);
+}
+
+linalg::SparseMatrix chain_operator(std::size_t n) {
+  // Each node i>0 averages from node i-1.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) arcs.emplace_back(i, i + 1);
+  return normalized_arc_operator(n, arcs);
+}
+
+TEST(NormalizedArcOperator, RowsSumToOneForNonEmptyRows) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs{
+      {0, 2}, {1, 2}, {0, 1}};
+  const auto op = normalized_arc_operator(4, arcs);
+  // Node 2 has indegree 2: entries 0.5 each.
+  EXPECT_DOUBLE_EQ(op.coeff(2, 0), 0.5);
+  EXPECT_DOUBLE_EQ(op.coeff(2, 1), 0.5);
+  EXPECT_DOUBLE_EQ(op.coeff(1, 0), 1.0);
+  // Node 3 has no in-arcs: empty row.
+  EXPECT_EQ(op.row_indices(3).size(), 0u);
+}
+
+TEST(NormalizedArcOperator, ReverseSwapsDirection) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs{{0, 1}};
+  const auto fwd = normalized_arc_operator(2, arcs, false);
+  const auto bwd = normalized_arc_operator(2, arcs, true);
+  EXPECT_DOUBLE_EQ(fwd.coeff(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(bwd.coeff(0, 1), 1.0);
+}
+
+TEST(TypedGraphConv, ForwardShape) {
+  Rng rng(5);
+  std::vector<linalg::SparseMatrix> ops{chain_operator(6)};
+  TypedGraphConv conv(ops, 3, 4, rng);
+  const Matrix x = Matrix::random_normal(6, 3, rng);
+  const Matrix y = conv.forward(x);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(TypedGraphConv, GradientCheckSingleOperator) {
+  Rng rng(6);
+  std::vector<linalg::SparseMatrix> ops{chain_operator(5)};
+  TypedGraphConv conv(ops, 3, 2, rng);
+  const Matrix x = Matrix::random_normal(5, 3, rng);
+  const auto res = testutil::grad_check(conv, x, rng);
+  EXPECT_LT(res.max_input_error, 1e-5);
+  EXPECT_LT(res.max_param_error, 1e-5);
+}
+
+TEST(TypedGraphConv, GradientCheckMultipleOperators) {
+  Rng rng(7);
+  // Forward chain and its reverse as two types.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> arcs;
+  for (std::uint32_t i = 0; i + 1 < 5; ++i) arcs.emplace_back(i, i + 1);
+  std::vector<linalg::SparseMatrix> ops{
+      normalized_arc_operator(5, arcs, false),
+      normalized_arc_operator(5, arcs, true)};
+  TypedGraphConv conv(ops, 2, 3, rng);
+  const Matrix x = Matrix::random_normal(5, 2, rng);
+  const auto res = testutil::grad_check(conv, x, rng);
+  EXPECT_LT(res.max_input_error, 1e-5);
+  EXPECT_LT(res.max_param_error, 1e-5);
+}
+
+TEST(TypedGraphConv, InformationPropagatesAlongArcs) {
+  Rng rng(8);
+  std::vector<linalg::SparseMatrix> ops{chain_operator(3)};
+  TypedGraphConv conv(ops, 1, 1, rng);
+  Matrix x(3, 1);
+  x(0, 0) = 1.0;  // only node 0 carries signal
+  Matrix y0 = conv.forward(x);
+  x(0, 0) = 2.0;
+  Matrix y1 = conv.forward(x);
+  // Node 1 receives from node 0, so its output must change.
+  EXPECT_NE(y0(1, 0), y1(1, 0));
+  // Node 2 receives only from node 1 (whose features are unchanged) - its
+  // propagated component stays, so outputs remain equal.
+  EXPECT_DOUBLE_EQ(y0(2, 0), y1(2, 0));
+}
+
+TEST(TypedGraphConv, RequiresOperators) {
+  Rng rng(9);
+  std::vector<linalg::SparseMatrix> none;
+  EXPECT_THROW(TypedGraphConv(none, 2, 2, rng), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+#include "gnn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag::gnn;
+using cirstag::linalg::Matrix;
+using cirstag::linalg::Rng;
+
+TEST(MseLoss, ValueAndGradient) {
+  Matrix pred(3, 1);
+  pred(0, 0) = 1.0;
+  pred(1, 0) = 2.0;
+  pred(2, 0) = 3.0;
+  const std::vector<double> target{1.0, 0.0, 5.0};
+  const auto res = mse_loss(pred, target);
+  EXPECT_NEAR(res.value, (0.0 + 4.0 + 4.0) / 3.0, 1e-12);
+  EXPECT_NEAR(res.grad(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(res.grad(1, 0), 2.0 * 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(res.grad(2, 0), 2.0 * -2.0 / 3.0, 1e-12);
+}
+
+TEST(MseLoss, MaskRestrictsRows) {
+  Matrix pred(3, 1);
+  pred(0, 0) = 10.0;  // excluded, huge error would dominate
+  pred(1, 0) = 1.0;
+  pred(2, 0) = 2.0;
+  const std::vector<double> target{0.0, 1.0, 2.0};
+  const std::vector<std::size_t> mask{1, 2};
+  const auto res = mse_loss(pred, target, mask);
+  EXPECT_DOUBLE_EQ(res.value, 0.0);
+  EXPECT_DOUBLE_EQ(res.grad(0, 0), 0.0);  // masked row has no gradient
+}
+
+TEST(MseLoss, ValidatesShapes) {
+  Matrix pred(2, 2);
+  const std::vector<double> t{1.0, 2.0};
+  EXPECT_THROW(mse_loss(pred, t), std::invalid_argument);
+  Matrix ok(3, 1);
+  EXPECT_THROW(mse_loss(ok, t), std::invalid_argument);
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  Rng rng(31);
+  const Matrix logits = Matrix::random_normal(4, 5, rng, 0.0, 3.0);
+  const Matrix p = softmax_rows(logits);
+  for (std::size_t r = 0; r < 4; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_GT(p(r, c), 0.0);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxRows, StableUnderLargeLogits) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 1000.0;
+  logits(0, 1) = 999.0;
+  const Matrix p = softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(p(0, 0)));
+  EXPECT_NEAR(p(0, 0), 1.0 / (1.0 + std::exp(-1.0)), 1e-9);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 0.0;
+  logits(0, 1) = 0.0;
+  const std::vector<std::uint32_t> labels{0};
+  const auto res = cross_entropy_loss(logits, labels);
+  EXPECT_NEAR(res.value, std::log(2.0), 1e-12);
+  // grad = (p - onehot)/n = (0.5-1, 0.5)/1
+  EXPECT_NEAR(res.grad(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(res.grad(0, 1), 0.5, 1e-12);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(37);
+  Matrix logits = Matrix::random_normal(3, 4, rng);
+  const std::vector<std::uint32_t> labels{2, 0, 3};
+  const auto res = cross_entropy_loss(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.data().size(); ++i) {
+    Matrix lp = logits, lm = logits;
+    lp.data()[i] += eps;
+    lm.data()[i] -= eps;
+    const double numeric = (cross_entropy_loss(lp, labels).value -
+                            cross_entropy_loss(lm, labels).value) /
+                           (2 * eps);
+    EXPECT_NEAR(res.grad.data()[i], numeric, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, LabelOutOfRangeThrows) {
+  Matrix logits(1, 2);
+  const std::vector<std::uint32_t> labels{5};
+  EXPECT_THROW(cross_entropy_loss(logits, labels), std::out_of_range);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Matrix logits(2, 3);
+  logits(0, 0) = 1.0; logits(0, 1) = 5.0; logits(0, 2) = 2.0;
+  logits(1, 0) = 7.0; logits(1, 1) = -1.0; logits(1, 2) = 3.0;
+  const auto pred = argmax_rows(logits);
+  EXPECT_EQ(pred[0], 1u);
+  EXPECT_EQ(pred[1], 0u);
+}
+
+}  // namespace

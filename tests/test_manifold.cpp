@@ -1,0 +1,85 @@
+#include "core/manifold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphs/components.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::core;
+using linalg::Matrix;
+using linalg::Rng;
+
+Matrix gaussian_blobs(std::size_t per_blob, Rng& rng) {
+  Matrix pts(2 * per_blob, 3);
+  for (std::size_t i = 0; i < per_blob; ++i)
+    for (std::size_t c = 0; c < 3; ++c)
+      pts(i, c) = rng.normal(0.0, 0.3);
+  for (std::size_t i = per_blob; i < 2 * per_blob; ++i)
+    for (std::size_t c = 0; c < 3; ++c)
+      pts(i, c) = rng.normal(10.0, 0.3);  // far-away blob
+  return pts;
+}
+
+TEST(Manifold, ConnectedEvenWhenKnnIsNot) {
+  Rng rng(101);
+  const Matrix pts = gaussian_blobs(20, rng);
+  ManifoldOptions opts;
+  opts.knn.k = 4;  // far blobs: kNN graph disconnected
+  const auto m = build_manifold(pts, opts);
+  EXPECT_EQ(m.num_nodes(), 40u);
+  EXPECT_TRUE(graphs::is_connected(m));
+}
+
+TEST(Manifold, SparsificationReducesEdges) {
+  Rng rng(103);
+  const Matrix pts = Matrix::random_normal(80, 4, rng);
+  ManifoldOptions dense;
+  dense.apply_sparsification = false;
+  dense.knn.k = 12;
+  ManifoldOptions sparse = dense;
+  sparse.apply_sparsification = true;
+  sparse.sparsify.offtree_keep_fraction = 0.1;
+  const auto gd = build_manifold(pts, dense);
+  const auto gs = build_manifold(pts, sparse);
+  EXPECT_LT(gs.num_edges(), gd.num_edges());
+  EXPECT_GE(gs.num_edges(), gd.num_nodes() - 1);  // at least the tree
+  EXPECT_TRUE(graphs::is_connected(gs));
+}
+
+TEST(Manifold, NearbyPointsGetHeavyEdges) {
+  Matrix pts(3, 1);
+  pts(0, 0) = 0.0;
+  pts(1, 0) = 0.1;   // close pair
+  pts(2, 0) = 5.0;   // far point
+  ManifoldOptions opts;
+  opts.knn.k = 2;
+  opts.apply_sparsification = false;
+  const auto m = build_manifold(pts, opts);
+  double w01 = 0.0, w12 = 0.0;
+  for (const auto& e : m.edges()) {
+    if (e.u == 0 && e.v == 1) w01 = e.weight;
+    if (e.u == 1 && e.v == 2) w12 = e.weight;
+  }
+  EXPECT_GT(w01, w12);
+  EXPECT_GT(w01, 0.0);
+}
+
+TEST(Manifold, DeterministicForFixedInputs) {
+  Rng rng(107);
+  const Matrix pts = Matrix::random_normal(50, 3, rng);
+  ManifoldOptions opts;
+  opts.knn.k = 6;
+  const auto a = build_manifold(pts, opts);
+  const auto b = build_manifold(pts, opts);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+    EXPECT_DOUBLE_EQ(a.edge(e).weight, b.edge(e).weight);
+  }
+}
+
+}  // namespace

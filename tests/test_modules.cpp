@@ -1,0 +1,112 @@
+#include "circuit/modules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/sta.hpp"
+#include "circuit/views.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class ModulesTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  std::vector<PinId> make_inputs(Netlist& nl, std::size_t n) {
+    std::vector<PinId> pins;
+    for (std::size_t i = 0; i < n; ++i) pins.push_back(nl.add_primary_input());
+    return pins;
+  }
+};
+
+TEST_F(ModulesTest, RippleAdderGateCountAndLabels) {
+  Netlist nl(lib);
+  const auto ins = make_inputs(nl, 9);
+  const auto outs = make_ripple_adder(nl, ins, 4);
+  EXPECT_EQ(outs.size(), 5u);            // 4 sums + carry-out
+  EXPECT_EQ(nl.num_gates(), 4u * 5u);    // 5 gates per bit
+  for (GateId g = 0; g < nl.num_gates(); ++g)
+    EXPECT_EQ(nl.gate(g).module_label,
+              static_cast<std::uint32_t>(ModuleClass::Adder));
+}
+
+TEST_F(ModulesTest, MultiplierProducesOutputs) {
+  Netlist nl(lib);
+  const auto ins = make_inputs(nl, 8);
+  const auto outs = make_array_multiplier(nl, ins, 3);
+  EXPECT_FALSE(outs.empty());
+  EXPECT_GT(nl.num_gates(), 9u);  // at least the partial-product array
+}
+
+TEST_F(ModulesTest, MuxTreeSingleOutput) {
+  Netlist nl(lib);
+  const auto ins = make_inputs(nl, 6);
+  const auto outs = make_mux_tree(nl, ins, 2);
+  EXPECT_EQ(outs.size(), 1u);
+  EXPECT_EQ(nl.num_gates(), 3u);  // 4->2->1 MUX2s
+}
+
+TEST_F(ModulesTest, CounterAndComparatorShapes) {
+  Netlist nl(lib);
+  const auto ins = make_inputs(nl, 10);
+  const auto cnt = make_counter(nl, ins, 4);
+  EXPECT_EQ(cnt.size(), 5u);  // 4 sum bits + overflow
+  const auto cmp = make_comparator(nl, ins, 4);
+  EXPECT_EQ(cmp.size(), 1u);
+}
+
+TEST_F(ModulesTest, ModuleClassNamesAreDistinct) {
+  std::set<std::string> names;
+  for (std::uint32_t c = 0; c < kNumModuleClasses; ++c)
+    names.insert(module_class_name(static_cast<ModuleClass>(c)));
+  EXPECT_EQ(names.size(), kNumModuleClasses);
+}
+
+TEST_F(ModulesTest, ReNetlistIsValidAndFullyLabelled) {
+  ReDesignSpec spec;
+  spec.seed = 21;
+  const Netlist nl = make_re_netlist(lib, spec);
+  EXPECT_TRUE(nl.finalized());
+  EXPECT_GT(nl.num_gates(), 100u);
+  // Every gate labelled; all classes present.
+  std::set<std::uint32_t> seen;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    ASSERT_NE(nl.gate(g).module_label, kInvalidId);
+    seen.insert(nl.gate(g).module_label);
+  }
+  EXPECT_EQ(seen.size(), kNumModuleClasses);
+  // Labels round-trip through the view helper.
+  const auto labels = gate_labels(nl);
+  EXPECT_EQ(labels.size(), nl.num_gates());
+}
+
+TEST_F(ModulesTest, ReNetlistTimingIsSane) {
+  ReDesignSpec spec;
+  spec.seed = 23;
+  const Netlist nl = make_re_netlist(lib, spec);
+  const TimingReport rep = run_sta(nl);
+  EXPECT_GT(rep.worst_arrival, 0.0);
+}
+
+TEST_F(ModulesTest, ReNetlistDeterministic) {
+  ReDesignSpec spec;
+  spec.seed = 29;
+  const Netlist a = make_re_netlist(lib, spec);
+  const Netlist b = make_re_netlist(lib, spec);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (GateId g = 0; g < a.num_gates(); ++g) {
+    EXPECT_EQ(a.gate(g).type, b.gate(g).type);
+    EXPECT_EQ(a.gate(g).module_label, b.gate(g).module_label);
+  }
+}
+
+TEST_F(ModulesTest, GeneratorsRejectEmptyInputs) {
+  Netlist nl(lib);
+  std::vector<PinId> empty;
+  EXPECT_THROW(make_ripple_adder(nl, empty, 2), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+#include "circuit/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class NetlistTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+};
+
+TEST_F(NetlistTest, BuildTinyCircuit) {
+  // a, b -> NAND2 -> INV -> out
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const PinId b = nl.add_primary_input();
+  const GateId g1 = nl.add_gate(lib.id_of("NAND2_X1"));
+  nl.connect_input(g1, 0, a);
+  nl.connect_input(g1, 1, b);
+  const GateId g2 = nl.add_gate(lib.id_of("INV_X1"));
+  nl.connect_input(g2, 0, nl.gate(g1).output);
+  nl.add_primary_output(nl.gate(g2).output);
+  nl.finalize();
+
+  EXPECT_EQ(nl.num_gates(), 2u);
+  // 2 PI + (2 in + 1 out) + (1 in + 1 out) + 1 PO = 8 pins.
+  EXPECT_EQ(nl.num_pins(), 8u);
+  EXPECT_EQ(nl.num_nets(), 4u);
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  // Topological order: NAND before INV.
+  ASSERT_EQ(nl.topological_order().size(), 2u);
+  EXPECT_EQ(nl.topological_order()[0], g1);
+  EXPECT_EQ(nl.topological_order()[1], g2);
+}
+
+TEST_F(NetlistTest, UnconnectedInputFailsFinalize) {
+  Netlist nl(lib);
+  nl.add_primary_input();
+  nl.add_gate(lib.id_of("INV_X1"));  // input never connected
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST_F(NetlistTest, DoubleConnectThrows) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g = nl.add_gate(lib.id_of("INV_X1"));
+  nl.connect_input(g, 0, a);
+  EXPECT_THROW(nl.connect_input(g, 0, a), std::invalid_argument);
+}
+
+TEST_F(NetlistTest, ConnectValidatesDriverKind) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g = nl.add_gate(lib.id_of("NAND2_X1"));
+  nl.connect_input(g, 0, a);
+  // A cell *input* pin cannot drive.
+  const PinId g_in0 = nl.gate(g).inputs[0];
+  EXPECT_THROW(nl.connect_input(g, 1, g_in0), std::invalid_argument);
+  EXPECT_THROW(nl.connect_input(g, 7, a), std::out_of_range);
+}
+
+TEST_F(NetlistTest, NetLoadSumsWireAndSinkCaps) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g1 = nl.add_gate(lib.id_of("INV_X1"));
+  const GateId g2 = nl.add_gate(lib.id_of("INV_X2"));
+  nl.connect_input(g1, 0, a);
+  nl.connect_input(g2, 0, a);
+  const NetId net = nl.pin(a).net;
+  nl.set_net_wire(net, 0.1, 0.4);
+  const double expected = 0.4 + nl.pin(nl.gate(g1).inputs[0]).capacitance +
+                          nl.pin(nl.gate(g2).inputs[0]).capacitance;
+  EXPECT_DOUBLE_EQ(nl.net_load(net), expected);
+}
+
+TEST_F(NetlistTest, CapacitanceMutators) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g = nl.add_gate(lib.id_of("INV_X1"));
+  nl.connect_input(g, 0, a);
+  const PinId in_pin = nl.gate(g).inputs[0];
+  const double base = nl.pin(in_pin).capacitance;
+  nl.scale_pin_capacitance(in_pin, 5.0);
+  EXPECT_DOUBLE_EQ(nl.pin(in_pin).capacitance, base * 5.0);
+  nl.set_pin_capacitance(in_pin, 1.25);
+  EXPECT_DOUBLE_EQ(nl.pin(in_pin).capacitance, 1.25);
+  EXPECT_THROW(nl.scale_pin_capacitance(in_pin, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.set_pin_capacitance(in_pin, -1.0), std::invalid_argument);
+}
+
+TEST_F(NetlistTest, TopologicalOrderRequiresFinalize) {
+  Netlist nl(lib);
+  nl.add_primary_input();
+  EXPECT_THROW(static_cast<void>(nl.topological_order()), std::runtime_error);
+}
+
+TEST_F(NetlistTest, DiamondTopologyOrdersCorrectly) {
+  // a -> g1, g1 -> g2 and g1 -> g3, (g2,g3) -> g4.
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g1 = nl.add_gate(lib.id_of("INV_X1"));
+  nl.connect_input(g1, 0, a);
+  const GateId g2 = nl.add_gate(lib.id_of("BUF_X1"));
+  nl.connect_input(g2, 0, nl.gate(g1).output);
+  const GateId g3 = nl.add_gate(lib.id_of("INV_X2"));
+  nl.connect_input(g3, 0, nl.gate(g1).output);
+  const GateId g4 = nl.add_gate(lib.id_of("NAND2_X1"));
+  nl.connect_input(g4, 0, nl.gate(g2).output);
+  nl.connect_input(g4, 1, nl.gate(g3).output);
+  nl.add_primary_output(nl.gate(g4).output);
+  nl.finalize();
+
+  const auto order = nl.topological_order();
+  auto pos = [&](GateId g) {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == g) return i;
+    return order.size();
+  };
+  EXPECT_LT(pos(g1), pos(g2));
+  EXPECT_LT(pos(g1), pos(g3));
+  EXPECT_LT(pos(g2), pos(g4));
+  EXPECT_LT(pos(g3), pos(g4));
+}
+
+TEST_F(NetlistTest, ModuleLabelRoundTrip) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g = nl.add_gate(lib.id_of("INV_X1"), /*module_label=*/3);
+  nl.connect_input(g, 0, a);
+  EXPECT_EQ(nl.gate(g).module_label, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/metrics.hpp"
+#include "gnn/normalize.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag::gnn;
+using cirstag::linalg::Matrix;
+using cirstag::linalg::Rng;
+
+TEST(Standardizer, ZeroMeanUnitVarianceAfterFit) {
+  Rng rng(41);
+  const Matrix x = Matrix::random_normal(200, 3, rng, 5.0, 2.0);
+  Standardizer s;
+  const Matrix z = s.fit_transform(x);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r) mean += z(r, c);
+    mean /= static_cast<double>(z.rows());
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    double var = 0.0;
+    for (std::size_t r = 0; r < z.rows(); ++r)
+      var += (z(r, c) - mean) * (z(r, c) - mean);
+    var /= static_cast<double>(z.rows());
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(Standardizer, ConstantColumnPassesThrough) {
+  Matrix x(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    x(r, 0) = 7.0;  // constant
+    x(r, 1) = static_cast<double>(r);
+  }
+  Standardizer s;
+  const Matrix z = s.fit_transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(z(r, 0), 7.0);
+}
+
+TEST(Standardizer, TransformConsistentOnNewData) {
+  Rng rng(43);
+  const Matrix train = Matrix::random_normal(50, 2, rng);
+  Standardizer s;
+  s.fit(train);
+  Matrix probe(1, 2);
+  probe(0, 0) = 1.0;
+  probe(0, 1) = 1.0;
+  const Matrix a = s.transform(probe);
+  const Matrix b = s.transform(probe);
+  EXPECT_DOUBLE_EQ(a(0, 0), b(0, 0));
+}
+
+TEST(Standardizer, UsageErrorsThrow) {
+  Standardizer s;
+  Matrix x(2, 2);
+  EXPECT_THROW(s.transform(x), std::runtime_error);
+  s.fit(x);
+  Matrix wrong(2, 3);
+  EXPECT_THROW(s.transform(wrong), std::invalid_argument);
+  EXPECT_THROW(s.fit(Matrix{}), std::invalid_argument);
+}
+
+TEST(Metrics, AccuracyCounts) {
+  const std::vector<std::uint32_t> pred{0, 1, 2, 1};
+  const std::vector<std::uint32_t> truth{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.75);
+}
+
+TEST(Metrics, F1MacroPerfect) {
+  const std::vector<std::uint32_t> y{0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(f1_macro(y, y, 3), 1.0);
+}
+
+TEST(Metrics, F1MacroHandlesMissingPredictions) {
+  // Model never predicts class 2.
+  const std::vector<std::uint32_t> pred{0, 0, 1, 1};
+  const std::vector<std::uint32_t> truth{0, 2, 1, 2};
+  // class0: tp=1 fp=1 fn=0 -> f1=2/3; class1: tp=1 fp=1 fn=0 -> 2/3;
+  // class2: tp=0 fn=2 -> 0. macro = 4/9.
+  EXPECT_NEAR(f1_macro(pred, truth, 3), 4.0 / 9.0, 1e-12);
+}
+
+TEST(Metrics, F1IgnoresClassesAbsentFromTruth) {
+  const std::vector<std::uint32_t> pred{0, 0};
+  const std::vector<std::uint32_t> truth{0, 0};
+  // 5 classes declared but only class 0 in truth.
+  EXPECT_DOUBLE_EQ(f1_macro(pred, truth, 5), 1.0);
+}
+
+TEST(Metrics, CosineSimilarityIdenticalAndOrthogonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 0.0;
+  a(1, 0) = 0.0; a(1, 1) = 2.0;
+  EXPECT_DOUBLE_EQ(mean_cosine_similarity(a, a), 1.0);
+  Matrix b(2, 2);
+  b(0, 0) = 0.0; b(0, 1) = 3.0;  // orthogonal to a row 0
+  b(1, 0) = 0.0; b(1, 1) = 2.0;  // parallel to a row 1
+  EXPECT_DOUBLE_EQ(mean_cosine_similarity(a, b), 0.5);
+}
+
+TEST(Metrics, CosineZeroRowConventions) {
+  Matrix a(1, 2);  // zero row
+  Matrix b(1, 2);
+  EXPECT_DOUBLE_EQ(mean_cosine_similarity(a, b), 1.0);  // both zero
+  b(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(mean_cosine_similarity(a, b), 0.0);  // one zero
+}
+
+TEST(Metrics, ShapeValidation) {
+  const std::vector<std::uint32_t> a{0};
+  const std::vector<std::uint32_t> b{0, 1};
+  EXPECT_THROW(accuracy(a, b), std::invalid_argument);
+  EXPECT_THROW(f1_macro(a, b, 2), std::invalid_argument);
+  Matrix m1(1, 2), m2(2, 2);
+  EXPECT_THROW(mean_cosine_similarity(m1, m2), std::invalid_argument);
+}
+
+}  // namespace

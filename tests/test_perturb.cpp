@@ -1,0 +1,119 @@
+#include "circuit/perturb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/generator.hpp"
+#include "circuit/views.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+TEST(SelectFraction, TopAndBottomAreDisjointAndOrdered) {
+  const std::vector<double> scores{0.1, 0.9, 0.5, 0.7, 0.3, 0.2, 0.8, 0.4};
+  const auto top = select_top_fraction(scores, 0.25);
+  const auto bottom = select_bottom_fraction(scores, 0.25);
+  ASSERT_EQ(top.size(), 2u);
+  ASSERT_EQ(bottom.size(), 2u);
+  EXPECT_EQ(top[0], 1u);   // 0.9
+  EXPECT_EQ(top[1], 6u);   // 0.8
+  EXPECT_EQ(bottom[0], 0u);  // 0.1
+  EXPECT_EQ(bottom[1], 5u);  // 0.2
+}
+
+TEST(SelectFraction, ExclusionsAreRespected) {
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.1};
+  const std::vector<std::size_t> excluded{0};
+  const auto top = select_top_fraction(scores, 0.5, excluded);
+  // From {1,2,3} pick ceil-ish half: 0.5*3 = 1.5 -> 2 entries.
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_TRUE(std::find(top.begin(), top.end(), 0u) == top.end());
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(SelectFraction, BadFractionThrows) {
+  const std::vector<double> s{1.0};
+  EXPECT_THROW(select_top_fraction(s, -0.1), std::invalid_argument);
+  EXPECT_THROW(select_top_fraction(s, 1.5), std::invalid_argument);
+}
+
+TEST(PerturbPins, ScalesOnlySelectedPins) {
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = 50;
+  spec.seed = 61;
+  const Netlist nl = generate_random_logic(lib, spec);
+  const std::vector<std::size_t> sel{3, 7, 11};
+  const Netlist pert = perturb_pin_capacitances(nl, sel, 5.0);
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    const bool chosen = std::find(sel.begin(), sel.end(), p) != sel.end();
+    const double expect =
+        nl.pin(p).capacitance * (chosen ? 5.0 : 1.0);
+    EXPECT_DOUBLE_EQ(pert.pin(p).capacitance, expect);
+  }
+}
+
+TEST(PerturbFeatures, MatchesNetlistPerturbation) {
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = 40;
+  spec.seed = 67;
+  const Netlist nl = generate_random_logic(lib, spec);
+  const auto base = pin_features(nl);
+  const std::vector<std::size_t> sel{1, 2, 5};
+  const auto pert_features =
+      perturb_capacitance_features(base, sel, 10.0, kPinCapFeature);
+  const Netlist pert_nl = perturb_pin_capacitances(nl, sel, 10.0);
+  const auto oracle = pin_features(pert_nl);
+  for (std::size_t p : sel)
+    EXPECT_DOUBLE_EQ(pert_features(p, kPinCapFeature),
+                     oracle(p, kPinCapFeature));
+  // Note: oracle also updates net_load columns; the feature-side perturbation
+  // intentionally touches only the cap column (the GNN's view of the knob).
+  EXPECT_THROW(
+      perturb_capacitance_features(base, sel, 2.0, /*cap_column=*/999),
+      std::out_of_range);
+}
+
+TEST(RelativeChanges, ComputesElementwise) {
+  const std::vector<double> base{1.0, 2.0, 0.0};
+  const std::vector<double> pert{1.5, 1.0, 1.0};
+  const auto rel = relative_changes(base, pert);
+  EXPECT_DOUBLE_EQ(rel[0], 0.5);
+  EXPECT_DOUBLE_EQ(rel[1], 0.5);
+  EXPECT_GT(rel[2], 1e6);  // guarded by eps
+  EXPECT_THROW(relative_changes(base, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(RewireEdges, KeepsCountsAndChangesTopology) {
+  cirstag::linalg::Rng rng(71);
+  cirstag::graphs::Graph g(10);
+  for (cirstag::graphs::NodeId i = 0; i + 1 < 10; ++i) g.add_edge(i, i + 1);
+  const std::vector<cirstag::graphs::EdgeId> sel{0, 4};
+  const auto h = rewire_edges(g, sel, rng);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  // Untouched edges identical.
+  EXPECT_EQ(h.edge(1).u, g.edge(1).u);
+  EXPECT_EQ(h.edge(1).v, g.edge(1).v);
+}
+
+TEST(RewireAroundNodes, PerturbsIncidentEdges) {
+  cirstag::linalg::Rng rng(73);
+  cirstag::graphs::Graph g(12);
+  for (cirstag::graphs::NodeId i = 0; i + 1 < 12; ++i) g.add_edge(i, i + 1);
+  const std::vector<std::size_t> nodes{3, 6, 9};
+  const auto h = rewire_around_nodes(g, nodes, rng);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  // At least one edge endpoint differs.
+  bool changed = false;
+  for (cirstag::graphs::EdgeId e = 0; e < g.num_edges(); ++e)
+    if (h.edge(e).u != g.edge(e).u || h.edge(e).v != g.edge(e).v)
+      changed = true;
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace

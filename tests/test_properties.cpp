@@ -1,0 +1,291 @@
+// Parameterized property suites: invariants that must hold across whole
+// families of random graphs and circuits, not just hand-picked fixtures.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/generator.hpp"
+#include "circuit/sta.hpp"
+#include "core/cirstag.hpp"
+#include "graphs/components.hpp"
+#include "graphs/effective_resistance.hpp"
+#include "graphs/knn.hpp"
+#include "graphs/laplacian.hpp"
+#include "graphs/sparsify.hpp"
+#include "linalg/dense_eigen.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag;
+using graphs::Graph;
+using graphs::NodeId;
+
+Graph random_connected(std::size_t n, std::size_t extra, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+               rng.uniform(0.5, 2.0));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(n));
+    const auto v = static_cast<NodeId>(rng.index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Laplacian invariants over a family of random weighted graphs.
+
+struct GraphParam {
+  std::size_t n;
+  std::size_t extra;
+  std::uint64_t seed;
+};
+
+class LaplacianFamily : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(LaplacianFamily, QuadraticFormNonNegative) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  const auto l = graphs::laplacian(g);
+  linalg::Rng rng(seed + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.normal();
+    const auto lx = l.multiply(x);
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) quad += x[i] * lx[i];
+    EXPECT_GE(quad, -1e-9);
+  }
+}
+
+TEST_P(LaplacianFamily, ConstantVectorInNullspace) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  const auto l = graphs::laplacian(g);
+  const std::vector<double> ones(n, 1.0);
+  for (double v : l.multiply(ones)) EXPECT_NEAR(v, 0.0, 1e-10);
+}
+
+TEST_P(LaplacianFamily, NormalizedSpectrumBounded) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  const auto eig =
+      linalg::jacobi_eigen(graphs::normalized_laplacian(g).to_dense());
+  EXPECT_NEAR(eig.values.front(), 0.0, 1e-9);
+  EXPECT_LE(eig.values.back(), 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, LaplacianFamily,
+    ::testing::Values(GraphParam{8, 6, 1}, GraphParam{16, 20, 2},
+                      GraphParam{24, 40, 3}, GraphParam{40, 10, 4},
+                      GraphParam{40, 120, 5}));
+
+// ---------------------------------------------------------------------------
+// Effective resistance is a metric and obeys Rayleigh monotonicity.
+
+class ResistanceFamily : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(ResistanceFamily, SymmetryAndTriangleInequality) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  linalg::LaplacianSolver solver(graphs::laplacian(g));
+  linalg::Rng rng(seed + 7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto a = static_cast<NodeId>(rng.index(n));
+    const auto b = static_cast<NodeId>(rng.index(n));
+    const auto c = static_cast<NodeId>(rng.index(n));
+    const double rab = graphs::effective_resistance(solver, a, b);
+    const double rba = graphs::effective_resistance(solver, b, a);
+    EXPECT_NEAR(rab, rba, 1e-7);
+    EXPECT_LE(graphs::effective_resistance(solver, a, c),
+              rab + graphs::effective_resistance(solver, b, c) + 1e-7);
+  }
+}
+
+TEST_P(ResistanceFamily, EdgeResistanceBoundedByInverseWeight) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  const auto r = graphs::edge_effective_resistances_exact(g);
+  for (std::size_t e = 0; e < g.num_edges(); ++e)
+    EXPECT_LE(r[e], 1.0 / g.edge(e).weight + 1e-7);
+}
+
+TEST_P(ResistanceFamily, RayleighMonotonicity) {
+  // Adding an edge can only lower (or keep) every pairwise resistance.
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  Graph denser = g;
+  denser.add_edge(0, static_cast<NodeId>(n / 2), 1.5);
+  linalg::LaplacianSolver before(graphs::laplacian(g));
+  linalg::LaplacianSolver after(graphs::laplacian(denser));
+  linalg::Rng rng(seed + 13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto a = static_cast<NodeId>(rng.index(n));
+    const auto b = static_cast<NodeId>(rng.index(n));
+    EXPECT_LE(graphs::effective_resistance(after, a, b),
+              graphs::effective_resistance(before, a, b) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ResistanceFamily,
+    ::testing::Values(GraphParam{10, 10, 11}, GraphParam{16, 30, 12},
+                      GraphParam{24, 24, 13}, GraphParam{32, 64, 14}));
+
+// ---------------------------------------------------------------------------
+// Sparsifier invariants across keep fractions.
+
+struct SparsifyParam {
+  std::size_t n;
+  std::size_t extra;
+  double keep;
+  std::uint64_t seed;
+};
+
+class SparsifierFamily : public ::testing::TestWithParam<SparsifyParam> {};
+
+TEST_P(SparsifierFamily, ConnectivityEdgeBudgetAndSpectralContainment) {
+  const auto [n, extra, keep, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  graphs::SparsifyOptions opts;
+  opts.offtree_keep_fraction = keep;
+  const auto res = graphs::sparsify_pgm(g, opts);
+
+  EXPECT_TRUE(graphs::is_connected(res.graph));
+  EXPECT_GE(res.graph.num_edges(), n - 1);
+  EXPECT_LE(res.graph.num_edges(), g.num_edges());
+
+  // Subgraph Laplacian is dominated by the original: λ_max(H) <= λ_max(G)
+  // and λ_2(H) <= λ_2(G) (interlacing under edge removal).
+  const auto eg = linalg::jacobi_eigen(graphs::laplacian(g).to_dense());
+  const auto eh = linalg::jacobi_eigen(graphs::laplacian(res.graph).to_dense());
+  EXPECT_LE(eh.values.back(), eg.values.back() + 1e-9);
+  EXPECT_LE(eh.values[1], eg.values[1] + 1e-9);
+  EXPECT_GT(eh.values[1], 0.0);  // still connected
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeepFractions, SparsifierFamily,
+    ::testing::Values(SparsifyParam{20, 60, 0.0, 21},
+                      SparsifyParam{20, 60, 0.25, 22},
+                      SparsifyParam{20, 60, 0.75, 23},
+                      SparsifyParam{30, 90, 0.1, 24},
+                      SparsifyParam{30, 30, 0.5, 25}));
+
+// ---------------------------------------------------------------------------
+// Golden STA monotonicity across random circuit families.
+
+struct CircuitParam {
+  std::size_t gates;
+  std::size_t levels;
+  std::uint64_t seed;
+};
+
+class StaFamily : public ::testing::TestWithParam<CircuitParam> {};
+
+TEST_P(StaFamily, CapacitanceIncreaseNeverSpeedsUp) {
+  const auto [gates, levels, seed] = GetParam();
+  const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = gates;
+  spec.num_levels = levels;
+  spec.num_inputs = 8;
+  spec.num_outputs = 6;
+  spec.seed = seed;
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+  const double base = circuit::run_sta(nl).worst_arrival;
+  linalg::Rng rng(seed + 3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto p = static_cast<circuit::PinId>(rng.index(nl.num_pins()));
+    if (nl.pin(p).capacitance <= 0.0) continue;
+    circuit::Netlist copy = nl;
+    copy.scale_pin_capacitance(p, rng.uniform(2.0, 12.0));
+    EXPECT_GE(circuit::run_sta(copy).worst_arrival, base - 1e-12);
+  }
+}
+
+TEST_P(StaFamily, WireResistanceIncreaseNeverSpeedsUp) {
+  const auto [gates, levels, seed] = GetParam();
+  const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = gates;
+  spec.num_levels = levels;
+  spec.num_inputs = 8;
+  spec.num_outputs = 6;
+  spec.seed = seed;
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+  const double base = circuit::run_sta(nl).worst_arrival;
+  linalg::Rng rng(seed + 5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto n = static_cast<circuit::NetId>(rng.index(nl.num_nets()));
+    circuit::Netlist copy = nl;
+    copy.set_net_wire(n, nl.net(n).wire_resistance * 4.0,
+                      nl.net(n).wire_capacitance);
+    EXPECT_GE(circuit::run_sta(copy).worst_arrival, base - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Circuits, StaFamily,
+    ::testing::Values(CircuitParam{40, 5, 31}, CircuitParam{80, 8, 32},
+                      CircuitParam{150, 10, 33}, CircuitParam{150, 20, 34}));
+
+// ---------------------------------------------------------------------------
+// Lanczos agrees with the dense oracle across graph families.
+
+class EigenAgreement : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(EigenAgreement, SmallestEigenvaluesMatchJacobi) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = random_connected(n, extra, seed);
+  const auto l = graphs::normalized_laplacian(g);
+  const auto fast = linalg::smallest_eigenpairs(l, 4, 2.0, 0, seed);
+  const auto dense = linalg::jacobi_eigen(l.to_dense());
+  for (std::size_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(fast.values[j], dense.values[j], 1e-6) << "pair " << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, EigenAgreement,
+    ::testing::Values(GraphParam{12, 12, 41}, GraphParam{20, 30, 42},
+                      GraphParam{32, 20, 43}, GraphParam{48, 80, 44}));
+
+// ---------------------------------------------------------------------------
+// Pipeline determinism and score sanity across seeds.
+
+class PipelineFamily : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFamily, DeterministicAndNonNegative) {
+  const std::uint64_t seed = GetParam();
+  linalg::Rng rng(seed);
+  const std::size_t n = 50;
+  Graph g = random_connected(n, 60, seed);
+  const auto y = linalg::Matrix::random_normal(n, 4, rng);
+  const auto f = linalg::Matrix::random_normal(n, 3, rng);
+
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 6;
+  cfg.manifold.knn.k = 6;
+  cfg.stability.eigensubspace_dim = 4;
+  const core::CirStag analyzer(cfg);
+  const auto a = analyzer.analyze(g, f, y);
+  const auto b = analyzer.analyze(g, f, y);
+  ASSERT_EQ(a.node_scores.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(a.node_scores[i], b.node_scores[i]);
+    EXPECT_GE(a.node_scores[i], 0.0);
+  }
+  for (std::size_t i = 1; i < a.eigenvalues.size(); ++i)
+    EXPECT_GE(a.eigenvalues[i - 1], a.eigenvalues[i] - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFamily,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005));
+
+}  // namespace

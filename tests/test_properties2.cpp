@@ -1,0 +1,123 @@
+// Second parameterized property batch: serialization round trips across
+// generator families, Monte-Carlo variance behaviour, and DAG-propagation
+// consistency with golden STA.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+#include "circuit/modules.hpp"
+#include "circuit/variation.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::circuit;
+
+// ---------------------------------------------------------------------------
+// Netlist serialization round-trips across the generator family.
+
+struct SpecParam {
+  std::size_t gates;
+  std::size_t levels;
+  std::uint64_t seed;
+};
+
+class IoRoundTripFamily : public ::testing::TestWithParam<SpecParam> {};
+
+TEST_P(IoRoundTripFamily, TimingIdenticalAfterRoundTrip) {
+  const auto [gates, levels, seed] = GetParam();
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = gates;
+  spec.num_levels = levels;
+  spec.num_inputs = 12;
+  spec.num_outputs = 6;
+  spec.seed = seed;
+  const Netlist original = generate_random_logic(lib, spec);
+
+  std::stringstream buffer;
+  write_netlist(buffer, original);
+  const Netlist loaded = read_netlist(buffer, lib);
+
+  const TimingReport a = run_sta(original);
+  const TimingReport b = run_sta(loaded);
+  ASSERT_EQ(a.arrival.size(), b.arrival.size());
+  for (std::size_t p = 0; p < a.arrival.size(); ++p)
+    EXPECT_DOUBLE_EQ(a.arrival[p], b.arrival[p]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, IoRoundTripFamily,
+    ::testing::Values(SpecParam{40, 4, 1}, SpecParam{120, 8, 2},
+                      SpecParam{300, 12, 3}, SpecParam{300, 20, 4}));
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo: variance scales with the variation model.
+
+class McSigmaFamily : public ::testing::TestWithParam<double> {};
+
+TEST_P(McSigmaFamily, WorstArrivalSpreadGrowsWithSigma) {
+  const double sigma = GetParam();
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_levels = 6;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.seed = 5;
+  const Netlist nl = generate_random_logic(lib, spec);
+
+  VariationModel narrow;
+  narrow.global_sigma = narrow.local_sigma = sigma;
+  narrow.cap_sigma = 0.0;
+  narrow.seed = 11;
+  VariationModel wide = narrow;
+  wide.global_sigma = wide.local_sigma = 2.0 * sigma;
+
+  const auto a = monte_carlo_sta(nl, narrow, 48);
+  const auto b = monte_carlo_sta(nl, wide, 48);
+  EXPECT_GT(b.worst_std, a.worst_std);
+  EXPECT_GE(a.worst_std, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, McSigmaFamily,
+                         ::testing::Values(0.02, 0.05, 0.10));
+
+// ---------------------------------------------------------------------------
+// The trained DAG-propagation surrogate tracks golden STA across seeds.
+
+class SurrogateFamily : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SurrogateFamily, HighR2AndRankAgreementWithGoldenSta) {
+  const std::uint64_t seed = GetParam();
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = 120;
+  spec.num_levels = 8;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.seed = seed;
+  const Netlist nl = generate_random_logic(lib, spec);
+
+  gnn::TimingGnnOptions opts;
+  opts.epochs = 220;
+  opts.hidden_dim = 16;
+  gnn::TimingGnn model(nl, opts);
+  const auto stats = model.train();
+  EXPECT_GT(stats.r2, 0.9) << "seed " << seed;
+
+  // Rank agreement: predicted arrivals order pins like golden arrivals.
+  const auto pred = model.predict(model.base_features());
+  const auto golden = run_sta(nl);
+  EXPECT_GT(util::spearman(pred, golden.arrival), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurrogateFamily,
+                         ::testing::Values(21, 22, 23));
+
+}  // namespace

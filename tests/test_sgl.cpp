@@ -1,0 +1,117 @@
+#include "graphs/sgl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graphs/components.hpp"
+#include "graphs/knn.hpp"
+#include "graphs/sparsify.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::graphs;
+using linalg::Matrix;
+using linalg::Rng;
+
+/// Two well-separated Gaussian blobs plus their kNN graph: the classic PGM
+/// learning testbed.
+struct Blobs {
+  Matrix data;
+  Graph knn;
+};
+
+Blobs make_blobs(std::size_t per_blob, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix pts(2 * per_blob, 3);
+  for (std::size_t i = 0; i < per_blob; ++i)
+    for (std::size_t c = 0; c < 3; ++c) pts(i, c) = rng.normal(0.0, 0.5);
+  for (std::size_t i = per_blob; i < 2 * per_blob; ++i)
+    for (std::size_t c = 0; c < 3; ++c) pts(i, c) = rng.normal(4.0, 0.5);
+  KnnGraphOptions opts;
+  opts.k = 6;
+  Graph g = build_knn_graph(pts, opts);
+  g = connect_components(g, 1e-3);
+  return {std::move(pts), std::move(g)};
+}
+
+TEST(PgmObjective, MatchesHandComputationOnTinyGraph) {
+  // Single edge graph, 1-column data.
+  Graph g(2);
+  g.add_edge(0, 1, 2.0);
+  Matrix x(2, 1);
+  x(0, 0) = 1.0;
+  x(1, 0) = -1.0;
+  const double sigma2 = 4.0;
+  // Θ = [[2.25, -2], [-2, 2.25]]; det = 2.25² - 4 = 1.0625.
+  // Tr(XᵀΘX) = Tr(XᵀX)/σ² + w·‖Xᵀe‖² = 2/4 + 2·4 = 8.5; M = 1.
+  const double expect = std::log(1.0625) - 8.5;
+  EXPECT_NEAR(pgm_objective(g, x, sigma2), expect, 1e-10);
+}
+
+TEST(PgmObjective, ValidatesShapes) {
+  Graph g(3);
+  Matrix x(2, 1);
+  EXPECT_THROW(pgm_objective(g, x, 1.0), std::invalid_argument);
+}
+
+TEST(SglLearning, ObjectiveImproves) {
+  const Blobs blobs = make_blobs(15, 5);
+  SglOptions opts;
+  opts.iterations = 15;
+  opts.track_objective = true;
+  opts.resistance.num_probes = 64;
+  const SglResult res = learn_pgm_sgl(blobs.knn, blobs.data, opts);
+  ASSERT_GE(res.objective_history.size(), 2u);
+  EXPECT_GT(res.objective_history.back(), res.objective_history.front());
+}
+
+TEST(SglLearning, KeepsConnectivityAfterPruning) {
+  const Blobs blobs = make_blobs(20, 7);
+  SglOptions opts;
+  opts.iterations = 10;
+  opts.prune_fraction_of_median = 0.2;
+  const SglResult res = learn_pgm_sgl(blobs.knn, blobs.data, opts);
+  EXPECT_TRUE(is_connected(res.graph));
+  EXPECT_LE(res.graph.num_edges(), blobs.knn.num_edges());
+}
+
+TEST(SglLearning, WeightsStayAboveFloor) {
+  const Blobs blobs = make_blobs(12, 9);
+  SglOptions opts;
+  opts.iterations = 8;
+  opts.weight_floor = 1e-5;
+  const SglResult res = learn_pgm_sgl(blobs.knn, blobs.data, opts);
+  for (const auto& e : res.graph.edges())
+    EXPECT_GE(e.weight, opts.weight_floor);
+}
+
+TEST(SglLearning, ComparableObjectiveToOneShotSparsifier) {
+  // The paper's claim: one-shot η-pruning reaches a comparable PGM
+  // objective to iterative SGL at a fraction of the work. Verify the
+  // one-shot result is within a reasonable band of the SGL result.
+  const Blobs blobs = make_blobs(20, 11);
+  const double sigma2 = 1e4;
+
+  SglOptions sopts;
+  sopts.iterations = 20;
+  sopts.sigma2 = sigma2;
+  const SglResult sgl = learn_pgm_sgl(blobs.knn, blobs.data, sopts);
+  const double f_sgl = pgm_objective(sgl.graph, blobs.data, sigma2);
+
+  SparsifyOptions popts;
+  popts.offtree_keep_fraction = 0.5;
+  const auto pruned = sparsify_pgm(blobs.knn, popts);
+  const double f_pruned = pgm_objective(pruned.graph, blobs.data, sigma2);
+
+  // Both should beat a bare spanning tree and land in the same ballpark.
+  EXPECT_GT(f_pruned, f_sgl - std::abs(f_sgl) * 0.5);
+}
+
+TEST(SglLearning, ValidatesShapes) {
+  Graph g(3);
+  Matrix x(2, 2);
+  EXPECT_THROW(learn_pgm_sgl(g, x), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include "circuit/slack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/generator.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class SlackTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  Netlist chain(std::size_t length) {
+    Netlist nl(lib);
+    PinId prev = nl.add_primary_input();
+    for (std::size_t i = 0; i < length; ++i) {
+      const GateId g = nl.add_gate(lib.id_of("INV_X1"));
+      nl.connect_input(g, 0, prev);
+      prev = nl.gate(g).output;
+    }
+    nl.add_primary_output(prev);
+    nl.finalize();
+    return nl;
+  }
+
+  Netlist random_circuit(std::uint64_t seed) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 120;
+    spec.num_inputs = 10;
+    spec.num_outputs = 8;
+    spec.num_levels = 8;
+    spec.seed = seed;
+    return generate_random_logic(lib, spec);
+  }
+};
+
+TEST_F(SlackTest, ChainHasZeroSlackEverywhereOnPath) {
+  // A single path at the default target (= worst arrival): every pin on the
+  // path has slack 0.
+  const Netlist nl = chain(5);
+  const TimingReport timing = run_sta(nl);
+  const SlackReport slack = compute_slack(nl, timing);
+  EXPECT_NEAR(slack.worst_slack, 0.0, 1e-9);
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    EXPECT_NEAR(slack.slack[p], 0.0, 1e-9) << "pin " << p;
+}
+
+TEST_F(SlackTest, ClockPeriodShiftsSlackUniformly) {
+  const Netlist nl = chain(4);
+  const TimingReport timing = run_sta(nl);
+  const SlackReport tight = compute_slack(nl, timing);
+  const SlackReport relaxed =
+      compute_slack(nl, timing, {}, timing.worst_arrival + 3.0);
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    EXPECT_NEAR(relaxed.slack[p], tight.slack[p] + 3.0, 1e-9);
+  EXPECT_NEAR(relaxed.worst_slack, 3.0, 1e-9);
+}
+
+TEST_F(SlackTest, NegativeSlackWhenClockTooFast) {
+  const Netlist nl = chain(4);
+  const TimingReport timing = run_sta(nl);
+  const SlackReport rep =
+      compute_slack(nl, timing, {}, timing.worst_arrival * 0.5);
+  EXPECT_LT(rep.worst_slack, 0.0);
+  EXPECT_NE(rep.worst_pin, kInvalidId);
+}
+
+TEST_F(SlackTest, SlackNonNegativeAtDefaultTargetOnRandomCircuit) {
+  const Netlist nl = random_circuit(91);
+  const TimingReport timing = run_sta(nl);
+  const SlackReport rep = compute_slack(nl, timing);
+  // Default target = worst arrival: nothing violates, something is critical.
+  EXPECT_NEAR(rep.worst_slack, 0.0, 1e-9);
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    EXPECT_GE(rep.slack[p], -1e-9);
+}
+
+TEST_F(SlackTest, CriticalPathEndsAtWorstOutput) {
+  const Netlist nl = random_circuit(93);
+  const TimingReport timing = run_sta(nl);
+  const auto paths = critical_paths(nl, timing, {}, 3);
+  ASSERT_GE(paths.size(), 1u);
+  EXPECT_NEAR(paths[0].arrival, timing.worst_arrival, 1e-12);
+  // Path runs PI -> ... -> PO.
+  const auto& p = paths[0];
+  EXPECT_EQ(nl.pin(p.pins.front()).kind, PinKind::PrimaryInput);
+  EXPECT_EQ(nl.pin(p.pins.back()).kind, PinKind::PrimaryOutput);
+  // Arrivals are nondecreasing along the path.
+  for (std::size_t i = 1; i < p.pins.size(); ++i)
+    EXPECT_GE(timing.arrival[p.pins[i]], timing.arrival[p.pins[i - 1]] - 1e-12);
+}
+
+TEST_F(SlackTest, PathsRankedByArrival) {
+  const Netlist nl = random_circuit(97);
+  const TimingReport timing = run_sta(nl);
+  const auto paths = critical_paths(nl, timing, {}, 5);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i - 1].arrival, paths[i].arrival);
+}
+
+TEST_F(SlackTest, CriticalPathPinsOnChainAreWholeChain) {
+  const Netlist nl = chain(3);
+  const TimingReport timing = run_sta(nl);
+  const auto paths = critical_paths(nl, timing, {}, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  // PI + 3x(in,out) + PO = 8 pins.
+  EXPECT_EQ(paths[0].pins.size(), 8u);
+}
+
+TEST_F(SlackTest, DanglingConesAreNotViolations) {
+  // A dangling cone slower than the only constrained output must not create
+  // negative slack (it is unconstrained, like an untested signoff endpoint).
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  // Constrained: one fast inverter to a PO.
+  const GateId fast = nl.add_gate(lib.id_of("INV_X4"));
+  nl.connect_input(fast, 0, a);
+  nl.add_primary_output(nl.gate(fast).output);
+  // Dangling: a long slow chain that feeds nothing.
+  PinId prev = a;
+  for (int i = 0; i < 6; ++i) {
+    const GateId g = nl.add_gate(lib.id_of("INV_X1"));
+    nl.connect_input(g, 0, prev);
+    prev = nl.gate(g).output;
+  }
+  nl.finalize();
+
+  const TimingReport timing = run_sta(nl);
+  const SlackReport rep = compute_slack(nl, timing);
+  // The dangling chain's tail is slower than the constrained output...
+  EXPECT_GT(timing.arrival[prev], timing.worst_arrival);
+  // ...yet nothing is reported as violating.
+  EXPECT_GE(rep.worst_slack, -1e-9);
+  EXPECT_NEAR(rep.slack[prev], 0.0, 1e-9);
+}
+
+TEST_F(SlackTest, ValidatesInputs) {
+  const Netlist nl = chain(2);
+  TimingReport bogus;
+  EXPECT_THROW(compute_slack(nl, bogus), std::invalid_argument);
+  Netlist unfinalized(lib);
+  unfinalized.add_primary_input();
+  EXPECT_THROW(compute_slack(unfinalized, bogus), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "graphs/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graphs/components.hpp"
+
+namespace {
+
+using namespace cirstag::graphs;
+
+TEST(UnionFind, UniteAndFind) {
+  UnionFind uf(4);
+  EXPECT_NE(uf.find(0), uf.find(1));
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_FALSE(uf.unite(0, 1));  // already joined
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_EQ(uf.find(1), uf.find(2));
+}
+
+TEST(SpanningTree, TreeHasNMinusOneEdgesOnConnectedGraph) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(3, 4, 4.0);
+  g.add_edge(0, 4, 5.0);
+  g.add_edge(1, 3, 6.0);
+  const auto tree = max_weight_spanning_forest(g);
+  EXPECT_EQ(tree.size(), 4u);
+  EXPECT_TRUE(is_connected(g.edge_subgraph(tree)));
+}
+
+TEST(SpanningTree, MaxTreePrefersHeavyEdges) {
+  Graph g(3);
+  const EdgeId light = g.add_edge(0, 1, 0.1);
+  const EdgeId heavy1 = g.add_edge(1, 2, 10.0);
+  const EdgeId heavy2 = g.add_edge(0, 2, 9.0);
+  const auto tree = max_weight_spanning_forest(g);
+  ASSERT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(std::find(tree.begin(), tree.end(), heavy1) != tree.end());
+  EXPECT_TRUE(std::find(tree.begin(), tree.end(), heavy2) != tree.end());
+  EXPECT_TRUE(std::find(tree.begin(), tree.end(), light) == tree.end());
+}
+
+TEST(SpanningTree, MinTreePrefersLightEdges) {
+  Graph g(3);
+  const EdgeId light = g.add_edge(0, 1, 0.1);
+  g.add_edge(1, 2, 10.0);
+  const EdgeId mid = g.add_edge(0, 2, 1.0);
+  const auto tree = min_weight_spanning_forest(g);
+  ASSERT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(std::find(tree.begin(), tree.end(), light) != tree.end());
+  EXPECT_TRUE(std::find(tree.begin(), tree.end(), mid) != tree.end());
+}
+
+TEST(SpanningTree, ForestOnDisconnectedGraph) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto forest = max_weight_spanning_forest(g);
+  EXPECT_EQ(forest.size(), 2u);  // one per component
+}
+
+TEST(SpanningTree, EmptyGraph) {
+  Graph g(3);
+  EXPECT_TRUE(max_weight_spanning_forest(g).empty());
+}
+
+}  // namespace

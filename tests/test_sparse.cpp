@@ -1,0 +1,103 @@
+#include "linalg/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace cirstag::linalg;
+
+SparseMatrix small() {
+  // [ 1 0 2 ]
+  // [ 0 3 0 ]
+  return SparseMatrix::from_triplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 3.0}});
+}
+
+TEST(Sparse, FromTripletsSumsDuplicates) {
+  const auto m = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -1.0}});
+  EXPECT_DOUBLE_EQ(m.coeff(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 1), -1.0);
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Sparse, DropsExplicitZeros) {
+  const auto m = SparseMatrix::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {0, 1, -1.0}});
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 0.0);
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix::from_triplets(1, 1, {{1, 0, 1.0}}),
+               std::out_of_range);
+}
+
+TEST(Sparse, MultiplyVector) {
+  const auto m = small();
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const auto y = m.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Sparse, MultiplyAddAlpha) {
+  const auto m = small();
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{10.0, 10.0};
+  m.multiply_add(x, y, -1.0);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);   // 10 - 3
+  EXPECT_DOUBLE_EQ(y[1], 7.0);   // 10 - 3
+}
+
+TEST(Sparse, MultiplyDense) {
+  const auto m = small();
+  Matrix b(3, 2);
+  b(0, 0) = 1; b(1, 0) = 2; b(2, 0) = 3;
+  b(0, 1) = -1; b(1, 1) = 0; b(2, 1) = 1;
+  const Matrix c = m.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 0.0);
+}
+
+TEST(Sparse, TransposeMatchesDense) {
+  const auto m = small();
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  const Matrix md = m.to_dense();
+  const Matrix td = t.to_dense();
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(md(r, c), td(c, r));
+}
+
+TEST(Sparse, DiagonalAndCoeff) {
+  const auto m = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 5.0}, {1, 2, 1.0}, {2, 2, -2.0}});
+  const auto d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -2.0);
+  EXPECT_DOUBLE_EQ(m.coeff(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.coeff(0, 1), 0.0);
+  EXPECT_THROW(m.coeff(3, 0), std::out_of_range);
+}
+
+TEST(Sparse, RowIterationSpans) {
+  const auto m = small();
+  EXPECT_EQ(m.row_indices(0).size(), 2u);
+  EXPECT_EQ(m.row_values(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[0], 3.0);
+}
+
+TEST(Sparse, SizeMismatchThrows) {
+  const auto m = small();
+  std::vector<double> bad(2);
+  EXPECT_THROW(m.multiply(bad), std::invalid_argument);
+}
+
+}  // namespace

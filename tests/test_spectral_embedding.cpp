@@ -1,0 +1,93 @@
+#include "core/spectral_embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::core;
+using graphs::Graph;
+
+Graph path(std::size_t n) {
+  Graph g(n);
+  for (graphs::NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph two_clusters() {
+  // Two dense K4 blobs joined by one weak edge.
+  Graph g(8);
+  for (graphs::NodeId i = 0; i < 4; ++i)
+    for (graphs::NodeId j = i + 1; j < 4; ++j) g.add_edge(i, j, 2.0);
+  for (graphs::NodeId i = 4; i < 8; ++i)
+    for (graphs::NodeId j = i + 1; j < 8; ++j) g.add_edge(i, j, 2.0);
+  g.add_edge(0, 4, 0.05);
+  return g;
+}
+
+TEST(SpectralEmbedding, ShapeMatchesRequest) {
+  SpectralEmbeddingOptions opts;
+  opts.dimensions = 4;
+  const auto u = spectral_embedding(path(12), opts);
+  EXPECT_EQ(u.rows(), 12u);
+  EXPECT_EQ(u.cols(), 4u);
+}
+
+TEST(SpectralEmbedding, DimensionsClampedToNodeCount) {
+  SpectralEmbeddingOptions opts;
+  opts.dimensions = 50;
+  const auto u = spectral_embedding(path(5), opts);
+  EXPECT_EQ(u.cols(), 5u);
+}
+
+TEST(SpectralEmbedding, FirstColumnNearConstantDistance) {
+  // λ_1 ≈ 0 with weight sqrt|1-0| = 1; the first coordinate is the Perron
+  // vector (degree-proportional), near-constant for a regular-ish graph, so
+  // pairwise distances are dominated by later coordinates.
+  SpectralEmbeddingOptions opts;
+  opts.dimensions = 3;
+  const auto u = spectral_embedding(path(10), opts);
+  // Consecutive path nodes must be closer than endpoints.
+  const double near = u.row_distance2(4, 5);
+  const double far = u.row_distance2(0, 9);
+  EXPECT_LT(near, far);
+}
+
+TEST(SpectralEmbedding, SeparatesClusters) {
+  SpectralEmbeddingOptions opts;
+  opts.dimensions = 3;
+  const auto u = spectral_embedding(two_clusters(), opts);
+  // Interior nodes of a cluster are structurally identical, so they land
+  // (nearly) on the same point; nodes in different clusters are separated
+  // by the Fiedler coordinate. (Nodes 0 and 4 carry the bridge edge and
+  // have different degrees, so they are excluded from the "intra" probes.)
+  double intra = 0.0;
+  intra = std::max(intra, u.row_distance2(1, 2));
+  intra = std::max(intra, u.row_distance2(5, 6));
+  const double inter = u.row_distance2(1, 6);
+  EXPECT_GT(inter, 100.0 * intra);
+  // Even the bridge endpoints separate across clusters more than they
+  // deviate from their own cluster interiors.
+  EXPECT_GT(u.row_distance2(0, 4), u.row_distance2(0, 1));
+}
+
+TEST(SpectralEmbedding, DeterministicForSeed) {
+  SpectralEmbeddingOptions opts;
+  opts.dimensions = 3;
+  opts.seed = 9;
+  const auto a = spectral_embedding(path(8), opts);
+  const auto b = spectral_embedding(path(8), opts);
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(SpectralEmbedding, EmptyGraph) {
+  const auto u = spectral_embedding(Graph(0), {});
+  EXPECT_EQ(u.rows(), 0u);
+}
+
+}  // namespace

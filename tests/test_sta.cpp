@@ -1,0 +1,130 @@
+#include "circuit/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class StaTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  /// a -> INV -> INV -> out chain.
+  Netlist chain(std::size_t length) {
+    Netlist nl(lib);
+    PinId prev = nl.add_primary_input();
+    for (std::size_t i = 0; i < length; ++i) {
+      const GateId g = nl.add_gate(lib.id_of("INV_X1"));
+      nl.connect_input(g, 0, prev);
+      prev = nl.gate(g).output;
+    }
+    nl.add_primary_output(prev);
+    nl.finalize();
+    return nl;
+  }
+};
+
+TEST_F(StaTest, ArrivalMonotoneAlongChain) {
+  const Netlist nl = chain(4);
+  const TimingReport rep = run_sta(nl);
+  // Each gate output arrival strictly exceeds its input arrival.
+  for (GateId g : nl.topological_order()) {
+    const auto& gate = nl.gate(g);
+    for (PinId in : gate.inputs)
+      EXPECT_GT(rep.arrival[gate.output], rep.arrival[in]);
+  }
+  EXPECT_GT(rep.worst_arrival, 0.0);
+  ASSERT_EQ(rep.output_arrivals.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.output_arrivals[0], rep.worst_arrival);
+}
+
+TEST_F(StaTest, LongerChainIsSlower) {
+  const TimingReport short_rep = run_sta(chain(2));
+  const TimingReport long_rep = run_sta(chain(8));
+  EXPECT_GT(long_rep.worst_arrival, short_rep.worst_arrival);
+}
+
+TEST_F(StaTest, DelayIncreasesWithLoadCapacitance) {
+  Netlist nl = chain(3);
+  const TimingReport base = run_sta(nl);
+  // Bump the cap of the middle inverter's input pin.
+  const GateId mid = nl.topological_order()[1];
+  nl.scale_pin_capacitance(nl.gate(mid).inputs[0], 10.0);
+  const TimingReport bumped = run_sta(nl);
+  EXPECT_GT(bumped.worst_arrival, base.worst_arrival);
+}
+
+TEST_F(StaTest, MonotoneInEveryPinCap) {
+  // Property: scaling any single pin cap up never decreases worst arrival.
+  const RandomCircuitSpec spec{
+      .name = "tiny", .num_inputs = 6, .num_outputs = 4,
+      .num_gates = 40, .num_levels = 5, .seed = 3};
+  Netlist nl = generate_random_logic(lib, spec);
+  const double base = run_sta(nl).worst_arrival;
+  for (PinId p = 0; p < nl.num_pins(); p += 7) {  // sample every 7th pin
+    if (nl.pin(p).capacitance <= 0.0) continue;
+    Netlist copy = nl;
+    copy.scale_pin_capacitance(p, 4.0);
+    EXPECT_GE(run_sta(copy).worst_arrival, base - 1e-12) << "pin " << p;
+  }
+}
+
+TEST_F(StaTest, HigherDriveCellIsFaster) {
+  auto build = [&](const char* inv_type) {
+    Netlist nl(lib);
+    const PinId a = nl.add_primary_input();
+    const GateId g = nl.add_gate(lib.id_of(inv_type));
+    nl.connect_input(g, 0, a);
+    // Give it a heavy load so drive strength matters.
+    for (int i = 0; i < 4; ++i) {
+      const GateId sink = nl.add_gate(lib.id_of("BUF_X1"));
+      nl.connect_input(sink, 0, nl.gate(g).output);
+      nl.add_primary_output(nl.gate(sink).output);
+    }
+    nl.finalize();
+    return run_sta(nl).worst_arrival;
+  };
+  EXPECT_GT(build("INV_X1"), build("INV_X4"));
+}
+
+TEST_F(StaTest, InputArrivalShiftsOutputs) {
+  const Netlist nl = chain(3);
+  StaOptions opts;
+  const double base = run_sta(nl, opts).worst_arrival;
+  opts.input_arrival = 5.0;
+  EXPECT_NEAR(run_sta(nl, opts).worst_arrival, base + 5.0, 1e-9);
+}
+
+TEST_F(StaTest, RequiresFinalizedNetlist) {
+  Netlist nl(lib);
+  nl.add_primary_input();
+  EXPECT_THROW(run_sta(nl), std::runtime_error);
+}
+
+TEST_F(StaTest, ExhaustiveSensitivityFlagsLoadBearingPins) {
+  const Netlist nl = chain(4);
+  const auto sens = exhaustive_sensitivity(nl, 10.0);
+  ASSERT_EQ(sens.size(), nl.num_pins());
+  // Cell-input pins on the single path must be sensitive; the PI pin has
+  // zero cap so its sensitivity is zero.
+  const PinId pi = nl.primary_inputs()[0];
+  EXPECT_DOUBLE_EQ(sens[pi], 0.0);
+  double max_sens = 0.0;
+  for (double s : sens) max_sens = std::max(max_sens, s);
+  EXPECT_GT(max_sens, 0.01);
+}
+
+TEST_F(StaTest, SlewPropagatesAndIsPositive) {
+  const Netlist nl = chain(3);
+  const TimingReport rep = run_sta(nl);
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    EXPECT_GE(rep.slew[p], 0.0);
+  // Output slew of a gate reflects its load, strictly positive.
+  const GateId g = nl.topological_order()[0];
+  EXPECT_GT(rep.slew[nl.gate(g).output], 0.0);
+}
+
+}  // namespace

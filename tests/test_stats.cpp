@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace cirstag::util;
+
+TEST(Stats, MeanMaxMinOfKnownValues) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(max_value(xs), 4.0);
+  EXPECT_DOUBLE_EQ(min_value(xs), 1.0);
+}
+
+TEST(Stats, EmptyInputsReturnZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stdev(xs), 0.0);
+}
+
+TEST(Stats, StdevMatchesHandComputation) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stdev with (n-1) denominator.
+  EXPECT_NEAR(stdev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MedianAndQuantiles) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonDegenerateIsZero) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, SpearmanInvariantToMonotoneTransform) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(std::exp(x));  // monotone, nonlinear
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, SpearmanHandlesTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  const std::vector<double> ys{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallTauSignsAgree) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> up{10, 20, 30, 40};
+  const std::vector<double> down{40, 30, 20, 10};
+  EXPECT_NEAR(kendall_tau(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(kendall_tau(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, R2PerfectAndBaseline) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r2_score(truth, truth), 1.0);
+  const std::vector<double> mean_pred{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r2_score(truth, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Stats, AverageRanksWithTieGroup) {
+  const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+  const auto r = average_ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  const std::vector<double> xs{-1.0, 0.05, 0.15, 0.95, 2.0};
+  const Histogram h = make_histogram(xs, 0.0, 1.0, 10);
+  ASSERT_EQ(h.counts.size(), 10u);
+  EXPECT_EQ(h.counts[0], 2u);  // -1.0 clamped + 0.05
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[9], 2u);  // 0.95 + 2.0 clamped
+  EXPECT_NEAR(h.bin_center(0), 0.05, 1e-12);
+}
+
+TEST(Stats, HistogramRejectsBadSpec) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(make_histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(make_histogram(xs, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, TopKOverlapIdenticalAndDisjoint) {
+  const std::vector<double> a{9, 8, 7, 1, 2, 3};
+  const std::vector<double> b{9, 8, 7, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 3), 1.0);
+  const std::vector<double> c{1, 2, 3, 9, 8, 7};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, c, 3), 0.0);
+}
+
+TEST(Stats, SizeMismatchThrows) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW(pearson(a, b), std::invalid_argument);
+  EXPECT_THROW(spearman(a, b), std::invalid_argument);
+  EXPECT_THROW(kendall_tau(a, b), std::invalid_argument);
+  EXPECT_THROW(r2_score(a, b), std::invalid_argument);
+  EXPECT_THROW(top_k_overlap(a, b, 1), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,37 @@
+// The umbrella header must compile standalone and expose the full API.
+#include "cirstag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndSmokeThroughPublicApi) {
+  using namespace cirstag;
+  const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = 60;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_levels = 5;
+  spec.seed = 2;
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = 30;
+  gopts.hidden_dim = 8;
+  gnn::TimingGnn model(nl, gopts);
+  model.train();
+
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 6;
+  cfg.manifold.knn.k = 5;
+  cfg.stability.eigensubspace_dim = 4;
+  const core::CirStag analyzer(cfg);
+  const auto report =
+      analyzer.analyze(circuit::pin_graph(nl), model.base_features(),
+                       model.embed(model.base_features()));
+  EXPECT_EQ(report.node_scores.size(), nl.num_pins());
+  EXPECT_FALSE(report.eigenvalues.empty());
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+#include "circuit/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class VariationTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  Netlist circuit(std::uint64_t seed = 55) {
+    RandomCircuitSpec spec;
+    spec.num_gates = 80;
+    spec.num_inputs = 8;
+    spec.num_outputs = 6;
+    spec.num_levels = 7;
+    spec.seed = seed;
+    return generate_random_logic(lib, spec);
+  }
+};
+
+TEST_F(VariationTest, DeratedStaScalesDelays) {
+  const Netlist nl = circuit();
+  const double base = run_sta(nl).worst_arrival;
+  const std::vector<double> slow(nl.num_gates(), 2.0);
+  const std::vector<double> fast(nl.num_gates(), 0.5);
+  EXPECT_GT(run_sta(nl, {}, slow).worst_arrival, base);
+  EXPECT_LT(run_sta(nl, {}, fast).worst_arrival, base);
+}
+
+TEST_F(VariationTest, UnitScaleMatchesBaseline) {
+  const Netlist nl = circuit();
+  const std::vector<double> unit(nl.num_gates(), 1.0);
+  EXPECT_DOUBLE_EQ(run_sta(nl, {}, unit).worst_arrival,
+                   run_sta(nl).worst_arrival);
+}
+
+TEST_F(VariationTest, DerateSizeMismatchThrows) {
+  const Netlist nl = circuit();
+  const std::vector<double> wrong(nl.num_gates() + 1, 1.0);
+  EXPECT_THROW(run_sta(nl, {}, wrong), std::invalid_argument);
+}
+
+TEST_F(VariationTest, MonteCarloStatisticsAreSane) {
+  const Netlist nl = circuit();
+  VariationModel model;
+  model.seed = 77;
+  const MonteCarloResult res = monte_carlo_sta(nl, model, 64);
+  EXPECT_EQ(res.samples, 64u);
+  const double nominal = run_sta(nl).worst_arrival;
+  // Mean within a plausible band of nominal; spread strictly positive.
+  EXPECT_NEAR(res.worst_mean, nominal, 0.3 * nominal);
+  EXPECT_GT(res.worst_std, 0.0);
+  EXPECT_GE(res.worst_p95, res.worst_mean);
+  // Deep pins vary more than primary inputs (variance accumulates).
+  const PinId pi = nl.primary_inputs()[0];
+  double max_std = 0.0;
+  for (double s : res.arrival_std) max_std = std::max(max_std, s);
+  EXPECT_LT(res.arrival_std[pi], max_std);
+}
+
+TEST_F(VariationTest, MonteCarloDeterministicPerSeed) {
+  const Netlist nl = circuit();
+  VariationModel model;
+  model.seed = 99;
+  const auto a = monte_carlo_sta(nl, model, 16);
+  const auto b = monte_carlo_sta(nl, model, 16);
+  EXPECT_DOUBLE_EQ(a.worst_mean, b.worst_mean);
+  EXPECT_DOUBLE_EQ(a.worst_std, b.worst_std);
+}
+
+TEST_F(VariationTest, ZeroSigmasCollapseToNominal) {
+  const Netlist nl = circuit();
+  VariationModel model;
+  model.global_sigma = model.local_sigma = model.cap_sigma = 0.0;
+  const auto res = monte_carlo_sta(nl, model, 8);
+  EXPECT_NEAR(res.worst_std, 0.0, 1e-12);
+  EXPECT_NEAR(res.worst_mean, run_sta(nl).worst_arrival, 1e-12);
+}
+
+TEST_F(VariationTest, MonteCarloValidatesInputs) {
+  const Netlist nl = circuit();
+  EXPECT_THROW(monte_carlo_sta(nl, {}, 0), std::invalid_argument);
+  Netlist unfinalized(lib);
+  unfinalized.add_primary_input();
+  EXPECT_THROW(monte_carlo_sta(unfinalized, {}, 4), std::invalid_argument);
+}
+
+TEST_F(VariationTest, CornersOrderedFastToSlow) {
+  const Netlist nl = circuit();
+  const auto corners = standard_corners();
+  const auto results = corner_analysis(nl, corners);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_LT(results[0], results[1]);  // fast < typical
+  EXPECT_LT(results[1], results[2]);  // typical < slow
+}
+
+}  // namespace

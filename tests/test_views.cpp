@@ -1,0 +1,136 @@
+#include "circuit/views.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/generator.hpp"
+#include "circuit/modules.hpp"
+#include "graphs/components.hpp"
+
+namespace {
+
+using namespace cirstag::circuit;
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::standard();
+
+  Netlist tiny() {
+    Netlist nl(lib);
+    const PinId a = nl.add_primary_input();
+    const PinId b = nl.add_primary_input();
+    const GateId g1 = nl.add_gate(lib.id_of("NAND2_X1"), 0);
+    nl.connect_input(g1, 0, a);
+    nl.connect_input(g1, 1, b);
+    const GateId g2 = nl.add_gate(lib.id_of("INV_X1"), 1);
+    nl.connect_input(g2, 0, nl.gate(g1).output);
+    nl.add_primary_output(nl.gate(g2).output);
+    nl.finalize();
+    return nl;
+  }
+};
+
+TEST_F(ViewsTest, PinGraphCountsNetAndCellEdges) {
+  const Netlist nl = tiny();
+  const auto g = pin_graph(nl);
+  EXPECT_EQ(g.num_nodes(), nl.num_pins());
+  // Net edges: a->nand.in0, b->nand.in1, nand.out->inv.in, inv.out->PO = 4.
+  // Cell edges: 2 (nand inputs) + 1 (inv input) = 3.
+  EXPECT_EQ(g.num_edges(), 7u);
+}
+
+TEST_F(ViewsTest, PinGraphIsConnectedForRandomCircuit) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 120;
+  spec.seed = 31;
+  const Netlist nl = generate_random_logic(lib, spec);
+  const auto g = pin_graph(nl);
+  // A generated circuit may have a few isolated PI nets at worst; the bulk
+  // must be one component.
+  const auto comps = cirstag::graphs::connected_components(g);
+  std::vector<std::size_t> sizes(comps.count, 0);
+  for (auto l : comps.label) ++sizes[l];
+  EXPECT_GE(*std::max_element(sizes.begin(), sizes.end()),
+            g.num_nodes() * 9 / 10);
+}
+
+TEST_F(ViewsTest, PinArcsSplitByType) {
+  const Netlist nl = tiny();
+  const auto arcs = pin_arcs(nl);
+  EXPECT_EQ(arcs.net_arcs.size(), 4u);
+  EXPECT_EQ(arcs.cell_arcs.size(), 3u);
+  // Cell arcs run input -> output of the same gate.
+  for (const auto& [src, dst] : arcs.cell_arcs) {
+    EXPECT_EQ(nl.pin(src).gate, nl.pin(dst).gate);
+    EXPECT_EQ(nl.pin(src).kind, PinKind::CellInput);
+    EXPECT_EQ(nl.pin(dst).kind, PinKind::CellOutput);
+  }
+}
+
+TEST_F(ViewsTest, GateGraphConnectsDriverToSinkGates) {
+  const Netlist nl = tiny();
+  const auto g = gate_graph(nl);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);  // NAND -> INV
+}
+
+TEST_F(ViewsTest, PinFeaturesShapeAndContent) {
+  const Netlist nl = tiny();
+  const auto x = pin_features(nl);
+  EXPECT_EQ(x.rows(), nl.num_pins());
+  EXPECT_EQ(x.cols(), kPinFeatureDim);
+  for (PinId p = 0; p < nl.num_pins(); ++p) {
+    // Capacitance column matches the netlist.
+    EXPECT_DOUBLE_EQ(x(p, kPinCapFeature), nl.pin(p).capacitance);
+    // Exactly one of the four kind indicator columns is set.
+    const double kind_sum = x(p, 1) + x(p, 2) + x(p, 3) + x(p, 4);
+    EXPECT_DOUBLE_EQ(kind_sum, 1.0);
+    // Depth is normalized.
+    EXPECT_GE(x(p, 10), 0.0);
+    EXPECT_LE(x(p, 10), 1.0);
+  }
+}
+
+TEST_F(ViewsTest, PinDepthsIncreaseAlongPath) {
+  const Netlist nl = tiny();
+  const auto depth = pin_depths(nl);
+  const PinId pi = nl.primary_inputs()[0];
+  const PinId po = nl.primary_outputs()[0];
+  EXPECT_LT(depth[pi], depth[po]);
+  EXPECT_DOUBLE_EQ(depth[po], 1.0);  // deepest pin normalizes to 1
+}
+
+TEST_F(ViewsTest, GateFeaturesOneHotPlusNeighborhood) {
+  const Netlist nl = tiny();
+  const auto x = gate_features(nl);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), 2 * lib.size());
+  // Own one-hot set.
+  EXPECT_DOUBLE_EQ(x(0, lib.id_of("NAND2_X1")), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, lib.id_of("INV_X1")), 1.0);
+  // Neighborhood histogram: gate 0's only neighbor is the INV.
+  EXPECT_DOUBLE_EQ(x(0, lib.size() + lib.id_of("INV_X1")), 1.0);
+}
+
+TEST_F(ViewsTest, GateFeaturesWithExplicitTopology) {
+  const Netlist nl = tiny();
+  cirstag::graphs::Graph empty(nl.num_gates());
+  const auto x = gate_features(nl, empty);
+  // No neighbors: histogram half must be all zero.
+  for (std::size_t c = lib.size(); c < 2 * lib.size(); ++c) {
+    EXPECT_DOUBLE_EQ(x(0, c), 0.0);
+    EXPECT_DOUBLE_EQ(x(1, c), 0.0);
+  }
+  cirstag::graphs::Graph wrong(nl.num_gates() + 1);
+  EXPECT_THROW(gate_features(nl, wrong), std::invalid_argument);
+}
+
+TEST_F(ViewsTest, GateLabelsThrowWhenUnlabelled) {
+  Netlist nl(lib);
+  const PinId a = nl.add_primary_input();
+  const GateId g = nl.add_gate(lib.id_of("INV_X1"));  // no label
+  nl.connect_input(g, 0, a);
+  nl.finalize();
+  EXPECT_THROW(gate_labels(nl), std::runtime_error);
+}
+
+}  // namespace

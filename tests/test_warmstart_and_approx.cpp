@@ -1,0 +1,157 @@
+// Focused tests for the performance-path features: warm-started CG,
+// JL-projected approximate kNN, and the arbitrary-pair stability scores.
+
+#include <gtest/gtest.h>
+
+#include "core/stability.hpp"
+#include "graphs/knn.hpp"
+#include "graphs/laplacian.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag;
+using graphs::Graph;
+using graphs::NodeId;
+
+Graph random_connected(std::size_t n, std::size_t extra, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1),
+               rng.uniform(0.5, 2.0));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const auto u = static_cast<NodeId>(rng.index(n));
+    const auto v = static_cast<NodeId>(rng.index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.5, 2.0));
+  }
+  return g;
+}
+
+TEST(CgWarmStart, ExactGuessConvergesImmediately) {
+  const Graph g = random_connected(40, 60, 3);
+  linalg::LaplacianSolver solver(graphs::laplacian(g), 1e-2);
+  linalg::Rng rng(4);
+  std::vector<double> b(40);
+  for (auto& v : b) v = rng.normal();
+  const auto x = solver.solve(b);
+  // Warm-starting with the solution: CG should exit almost instantly and
+  // return (numerically) the same vector.
+  const auto x2 = solver.solve(b, x);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x2[i], x[i], 1e-6);
+}
+
+TEST(CgWarmStart, NearbyGuessGivesSameSolution) {
+  const Graph g = random_connected(30, 40, 5);
+  linalg::LaplacianSolver solver(graphs::laplacian(g), 1e-2);
+  linalg::Rng rng(6);
+  std::vector<double> b(30);
+  for (auto& v : b) v = rng.normal();
+  const auto cold = solver.solve(b);
+  std::vector<double> guess = cold;
+  for (auto& v : guess) v += rng.normal(0.0, 0.05);
+  const auto warm = solver.solve(b, guess);
+  for (std::size_t i = 0; i < cold.size(); ++i)
+    EXPECT_NEAR(warm[i], cold[i], 1e-5);
+}
+
+TEST(CgWarmStart, BadGuessSizeThrows) {
+  const Graph g = random_connected(8, 4, 7);
+  linalg::LaplacianSolver solver(graphs::laplacian(g), 1e-2);
+  std::vector<double> b(8, 1.0);
+  std::vector<double> wrong(5, 0.0);
+  EXPECT_THROW(static_cast<void>(solver.solve(b, wrong)),
+               std::invalid_argument);
+}
+
+TEST(ApproxKnn, RecallAgainstExactIsHigh) {
+  linalg::Rng rng(8);
+  // Decaying per-dimension variance, like spectral embeddings (coordinates
+  // ordered by eigenvalue) — the regime the approximate search targets.
+  auto pts = linalg::Matrix::random_normal(300, 20, rng);
+  for (std::size_t r = 0; r < pts.rows(); ++r)
+    for (std::size_t c = 0; c < pts.cols(); ++c)
+      pts(r, c) *= std::pow(0.8, static_cast<double>(c));
+
+  graphs::KnnGraphOptions exact;
+  exact.k = 8;
+  exact.search_dims = 0;  // exact full-dimension search
+  graphs::KnnGraphOptions approx;
+  approx.k = 8;
+  approx.search_dims = 8;
+  approx.oversample = 6;
+
+  const Graph ge = graphs::build_knn_graph(pts, exact);
+  const Graph ga = graphs::build_knn_graph(pts, approx);
+
+  // Count exact edges recovered by the approximate graph.
+  auto key = [](const graphs::Edge& e) {
+    return (std::uint64_t(std::min(e.u, e.v)) << 32) | std::max(e.u, e.v);
+  };
+  std::vector<std::uint64_t> exact_keys, approx_keys;
+  for (const auto& e : ge.edges()) exact_keys.push_back(key(e));
+  for (const auto& e : ga.edges()) approx_keys.push_back(key(e));
+  std::sort(exact_keys.begin(), exact_keys.end());
+  std::sort(approx_keys.begin(), approx_keys.end());
+  std::vector<std::uint64_t> shared;
+  std::set_intersection(exact_keys.begin(), exact_keys.end(),
+                        approx_keys.begin(), approx_keys.end(),
+                        std::back_inserter(shared));
+  const double recall =
+      double(shared.size()) / double(exact_keys.size());
+  EXPECT_GT(recall, 0.80) << "approximate kNN recall too low";
+}
+
+TEST(ApproxKnn, ExactWhenSearchDimsCoverInput) {
+  linalg::Rng rng(9);
+  const auto pts = linalg::Matrix::random_normal(100, 4, rng);
+  graphs::KnnGraphOptions a;
+  a.k = 5;
+  a.search_dims = 8;  // >= dims -> exact path
+  graphs::KnnGraphOptions b = a;
+  b.search_dims = 0;
+  const Graph ga = graphs::build_knn_graph(pts, a);
+  const Graph gb = graphs::build_knn_graph(pts, b);
+  ASSERT_EQ(ga.num_edges(), gb.num_edges());
+  for (std::size_t e = 0; e < ga.num_edges(); ++e) {
+    EXPECT_EQ(ga.edge(e).u, gb.edge(e).u);
+    EXPECT_EQ(ga.edge(e).v, gb.edge(e).v);
+  }
+}
+
+TEST(PairScores, MatchManifoldEdgeScores) {
+  // pair_score on a manifold edge must equal the reported edge score.
+  Graph gx(10), gy(10);
+  for (NodeId i = 0; i + 1 < 10; ++i) {
+    gx.add_edge(i, i + 1, 1.0);
+    gy.add_edge(i, i + 1, i == 4 ? 0.1 : 1.0);
+  }
+  const auto res = core::stability_scores(gx, gy, {});
+  for (std::size_t e = 0; e < gx.num_edges(); ++e) {
+    const auto& ed = gx.edge(e);
+    EXPECT_DOUBLE_EQ(res.pair_score(ed.u, ed.v), res.edge_scores[e]);
+  }
+}
+
+TEST(PairScores, ScoresForEdgesOnArbitraryGraph) {
+  Graph gx(8), gy(8);
+  for (NodeId i = 0; i + 1 < 8; ++i) {
+    gx.add_edge(i, i + 1);
+    gy.add_edge(i, i + 1, i == 3 ? 0.05 : 1.0);
+  }
+  const auto res = core::stability_scores(gx, gy, {});
+  // Score the edges of a completely different graph over the same nodes.
+  Graph probe(8);
+  probe.add_edge(0, 7);
+  probe.add_edge(3, 4);
+  const auto scores = res.scores_for_edges(probe);
+  ASSERT_EQ(scores.size(), 2u);
+  // Edge (3,4) crosses the distorted region: larger than anything fully on
+  // one side would be... and the long-range (0,7) edge also crosses it.
+  EXPECT_GT(scores[1], 0.0);
+  Graph wrong(9);
+  EXPECT_THROW(res.scores_for_edges(wrong), std::invalid_argument);
+}
+
+}  // namespace

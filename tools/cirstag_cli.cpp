@@ -1,0 +1,234 @@
+// cirstag_cli — command-line front end for the CirSTAG library.
+//
+//   cirstag_cli generate <out.ckt> [--name N] [--gates G] [--seed S]
+//   cirstag_cli sta <in.ckt> [--paths K] [--clock T]
+//   cirstag_cli analyze <in.ckt> [--scores out.csv] [--epochs E] [--top K]
+//   cirstag_cli montecarlo <in.ckt> [--samples N]
+//   cirstag_cli corners <in.ckt>
+//
+// Netlists use the plain-text "cirstag-netlist 1" format (circuit/io.hpp).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+#include "circuit/slack.hpp"
+#include "circuit/variation.hpp"
+#include "circuit/views.hpp"
+#include "core/cirstag.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::circuit;
+
+/// "--key value" option map for everything after the positional args.
+std::map<std::string, std::string> parse_options(int argc, char** argv,
+                                                 int start) {
+  std::map<std::string, std::string> opts;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    opts[argv[i] + 2] = argv[i + 1];
+  }
+  return opts;
+}
+
+double opt_double(const std::map<std::string, std::string>& opts,
+                  const std::string& key, double fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback : std::stod(it->second);
+}
+
+std::size_t opt_size(const std::map<std::string, std::string>& opts,
+                     const std::string& key, std::size_t fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback
+                          : static_cast<std::size_t>(std::stoull(it->second));
+}
+
+std::string opt_str(const std::map<std::string, std::string>& opts,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? fallback : it->second;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli generate <out.ckt> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 3);
+  const CellLibrary lib = CellLibrary::standard();
+
+  RandomCircuitSpec spec;
+  spec.name = opt_str(opts, "name", "cli_design");
+  spec.num_gates = opt_size(opts, "gates", 1000);
+  spec.num_inputs = opt_size(opts, "inputs", std::max<std::size_t>(
+                                                  16, spec.num_gates / 40));
+  spec.num_outputs = opt_size(opts, "outputs", std::max<std::size_t>(
+                                                   8, spec.num_gates / 80));
+  spec.num_levels = opt_size(opts, "levels", 12);
+  spec.seed = opt_size(opts, "seed", 1);
+
+  const Netlist nl = generate_random_logic(lib, spec);
+  save_netlist(argv[2], nl);
+  std::printf("wrote %s: %zu gates, %zu pins, %zu nets\n", argv[2],
+              nl.num_gates(), nl.num_pins(), nl.num_nets());
+  return 0;
+}
+
+int cmd_sta(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli sta <in.ckt> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 3);
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+  const TimingReport timing = run_sta(nl);
+  const double clock = opt_double(opts, "clock", 0.0);
+  const SlackReport slack = compute_slack(nl, timing, {}, clock);
+
+  std::printf("design: %zu gates, %zu pins, %zu outputs\n", nl.num_gates(),
+              nl.num_pins(), nl.primary_outputs().size());
+  std::printf("worst arrival: %.4f\n", timing.worst_arrival);
+  std::printf("worst slack:   %.4f (pin %u)\n", slack.worst_slack,
+              slack.worst_pin);
+
+  const auto k = opt_size(opts, "paths", 3);
+  const auto paths = critical_paths(nl, timing, {}, k);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::printf("path %zu: arrival %.4f, %zu pins:", i + 1, paths[i].arrival,
+                paths[i].pins.size());
+    for (PinId p : paths[i].pins) std::printf(" %u", p);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli analyze <in.ckt> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 3);
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+
+  std::printf("training timing GNN surrogate...\n");
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = opt_size(opts, "epochs", 300);
+  gopts.hidden_dim = opt_size(opts, "hidden", 24);
+  gnn::TimingGnn model(nl, gopts);
+  const auto stats = model.train();
+  std::printf("  R2 = %.4f\n", stats.r2);
+
+  std::printf("running CirSTAG...\n");
+  core::CirStagConfig cfg;
+  const core::CirStag analyzer(cfg);
+  const auto report =
+      analyzer.analyze(pin_graph(nl), model.base_features(),
+                       model.embed(model.base_features()));
+  std::printf("  DMD spectrum head: %.4g %.4g %.4g\n", report.eigenvalues[0],
+              report.eigenvalues[1], report.eigenvalues[2]);
+  std::printf("  timings: embed %.2fs manifold %.2fs stability %.2fs\n",
+              report.timings.embedding_seconds,
+              report.timings.manifold_seconds,
+              report.timings.stability_seconds);
+
+  const auto top = opt_size(opts, "top", 10);
+  std::vector<std::size_t> order(nl.num_pins());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.node_scores[a] > report.node_scores[b];
+  });
+  util::AsciiTable table({"rank", "pin", "score", "kind", "cap"});
+  const char* kinds[] = {"PI", "PO", "cell-in", "cell-out"};
+  for (std::size_t i = 0; i < std::min(top, order.size()); ++i) {
+    const auto p = static_cast<PinId>(order[i]);
+    table.add_row({std::to_string(i + 1), std::to_string(p),
+                   util::fmt(report.node_scores[p], 6),
+                   kinds[static_cast<int>(nl.pin(p).kind)],
+                   util::fmt(nl.pin(p).capacitance, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const std::string csv_path = opt_str(opts, "scores", "");
+  if (!csv_path.empty()) {
+    util::CsvWriter csv({"pin", "score"});
+    for (PinId p = 0; p < nl.num_pins(); ++p)
+      csv.add_row(std::vector<double>{static_cast<double>(p),
+                                      report.node_scores[p]});
+    csv.save(csv_path);
+    std::printf("scores written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_montecarlo(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli montecarlo <in.ckt> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 3);
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+
+  VariationModel model;
+  model.seed = opt_size(opts, "seed", 1234);
+  const auto samples = opt_size(opts, "samples", 200);
+  const auto res = monte_carlo_sta(nl, model, samples);
+  std::printf("Monte-Carlo STA over %zu samples:\n", res.samples);
+  std::printf("  worst arrival: mean %.4f  std %.4f  p95 %.4f\n",
+              res.worst_mean, res.worst_std, res.worst_p95);
+  std::printf("  nominal: %.4f\n", run_sta(nl).worst_arrival);
+  return 0;
+}
+
+int cmd_corners(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli corners <in.ckt>\n");
+    return 2;
+  }
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+  const auto corners = standard_corners();
+  const auto results = corner_analysis(nl, corners);
+  for (std::size_t i = 0; i < corners.size(); ++i)
+    std::printf("  %-8s (x%.2f): worst arrival %.4f\n", corners[i].name,
+                corners[i].delay_scale, results[i]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: cirstag_cli <generate|sta|analyze|montecarlo|"
+                 "corners> ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "sta") return cmd_sta(argc, argv);
+    if (cmd == "analyze") return cmd_analyze(argc, argv);
+    if (cmd == "montecarlo") return cmd_montecarlo(argc, argv);
+    if (cmd == "corners") return cmd_corners(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
