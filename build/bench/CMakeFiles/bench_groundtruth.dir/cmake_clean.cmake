@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groundtruth.dir/bench_groundtruth.cpp.o"
+  "CMakeFiles/bench_groundtruth.dir/bench_groundtruth.cpp.o.d"
+  "bench_groundtruth"
+  "bench_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_bench_common.dir/common.cpp.o"
+  "CMakeFiles/cirstag_bench_common.dir/common.cpp.o.d"
+  "libcirstag_bench_common.a"
+  "libcirstag_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_sizing_advisor.dir/gate_sizing_advisor.cpp.o"
+  "CMakeFiles/gate_sizing_advisor.dir/gate_sizing_advisor.cpp.o.d"
+  "gate_sizing_advisor"
+  "gate_sizing_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_sizing_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

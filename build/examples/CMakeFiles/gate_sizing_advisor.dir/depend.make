@@ -1,0 +1,2 @@
+# Empty dependencies file for gate_sizing_advisor.
+# This may be replaced when dependencies are built.

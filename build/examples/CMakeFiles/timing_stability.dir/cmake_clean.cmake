@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_stability.dir/timing_stability.cpp.o"
+  "CMakeFiles/timing_stability.dir/timing_stability.cpp.o.d"
+  "timing_stability"
+  "timing_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

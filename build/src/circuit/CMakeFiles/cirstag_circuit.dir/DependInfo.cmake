@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/cell_library.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/cell_library.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/cell_library.cpp.o.d"
+  "/root/repo/src/circuit/generator.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/generator.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/generator.cpp.o.d"
+  "/root/repo/src/circuit/io.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/io.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/io.cpp.o.d"
+  "/root/repo/src/circuit/modules.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/modules.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/modules.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/perturb.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/perturb.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/perturb.cpp.o.d"
+  "/root/repo/src/circuit/slack.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/slack.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/slack.cpp.o.d"
+  "/root/repo/src/circuit/sta.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/sta.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/sta.cpp.o.d"
+  "/root/repo/src/circuit/variation.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/variation.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/variation.cpp.o.d"
+  "/root/repo/src/circuit/views.cpp" "src/circuit/CMakeFiles/cirstag_circuit.dir/views.cpp.o" "gcc" "src/circuit/CMakeFiles/cirstag_circuit.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphs/CMakeFiles/cirstag_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_circuit.dir/cell_library.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/cell_library.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/generator.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/generator.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/io.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/io.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/modules.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/modules.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/perturb.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/perturb.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/slack.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/slack.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/sta.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/sta.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/variation.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/variation.cpp.o.d"
+  "CMakeFiles/cirstag_circuit.dir/views.cpp.o"
+  "CMakeFiles/cirstag_circuit.dir/views.cpp.o.d"
+  "libcirstag_circuit.a"
+  "libcirstag_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/cirstag_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/cirstag_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/cirstag.cpp" "src/core/CMakeFiles/cirstag_core.dir/cirstag.cpp.o" "gcc" "src/core/CMakeFiles/cirstag_core.dir/cirstag.cpp.o.d"
+  "/root/repo/src/core/manifold.cpp" "src/core/CMakeFiles/cirstag_core.dir/manifold.cpp.o" "gcc" "src/core/CMakeFiles/cirstag_core.dir/manifold.cpp.o.d"
+  "/root/repo/src/core/spectral_embedding.cpp" "src/core/CMakeFiles/cirstag_core.dir/spectral_embedding.cpp.o" "gcc" "src/core/CMakeFiles/cirstag_core.dir/spectral_embedding.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/cirstag_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/cirstag_core.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graphs/CMakeFiles/cirstag_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_core.dir/baselines.cpp.o"
+  "CMakeFiles/cirstag_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/cirstag_core.dir/cirstag.cpp.o"
+  "CMakeFiles/cirstag_core.dir/cirstag.cpp.o.d"
+  "CMakeFiles/cirstag_core.dir/manifold.cpp.o"
+  "CMakeFiles/cirstag_core.dir/manifold.cpp.o.d"
+  "CMakeFiles/cirstag_core.dir/spectral_embedding.cpp.o"
+  "CMakeFiles/cirstag_core.dir/spectral_embedding.cpp.o.d"
+  "CMakeFiles/cirstag_core.dir/stability.cpp.o"
+  "CMakeFiles/cirstag_core.dir/stability.cpp.o.d"
+  "libcirstag_core.a"
+  "libcirstag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

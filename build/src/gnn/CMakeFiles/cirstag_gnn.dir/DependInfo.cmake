@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/adam.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/adam.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/adam.cpp.o.d"
+  "/root/repo/src/gnn/dag_prop.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/dag_prop.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/dag_prop.cpp.o.d"
+  "/root/repo/src/gnn/gat.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/gat.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/gat.cpp.o.d"
+  "/root/repo/src/gnn/layers.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/layers.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/layers.cpp.o.d"
+  "/root/repo/src/gnn/loss.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/loss.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/loss.cpp.o.d"
+  "/root/repo/src/gnn/metrics.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/metrics.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/metrics.cpp.o.d"
+  "/root/repo/src/gnn/normalize.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/normalize.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/normalize.cpp.o.d"
+  "/root/repo/src/gnn/re_gat.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/re_gat.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/re_gat.cpp.o.d"
+  "/root/repo/src/gnn/timing_gnn.cpp" "src/gnn/CMakeFiles/cirstag_gnn.dir/timing_gnn.cpp.o" "gcc" "src/gnn/CMakeFiles/cirstag_gnn.dir/timing_gnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/cirstag_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/cirstag_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

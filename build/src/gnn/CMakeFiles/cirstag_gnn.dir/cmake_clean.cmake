@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_gnn.dir/adam.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/adam.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/dag_prop.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/dag_prop.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/gat.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/gat.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/layers.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/layers.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/loss.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/loss.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/metrics.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/metrics.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/normalize.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/normalize.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/re_gat.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/re_gat.cpp.o.d"
+  "CMakeFiles/cirstag_gnn.dir/timing_gnn.cpp.o"
+  "CMakeFiles/cirstag_gnn.dir/timing_gnn.cpp.o.d"
+  "libcirstag_gnn.a"
+  "libcirstag_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

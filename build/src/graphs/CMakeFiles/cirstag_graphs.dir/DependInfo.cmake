@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graphs/components.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/components.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/components.cpp.o.d"
+  "/root/repo/src/graphs/effective_resistance.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/effective_resistance.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/effective_resistance.cpp.o.d"
+  "/root/repo/src/graphs/graph.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/graph.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/graph.cpp.o.d"
+  "/root/repo/src/graphs/kdtree.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/kdtree.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/kdtree.cpp.o.d"
+  "/root/repo/src/graphs/knn.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/knn.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/knn.cpp.o.d"
+  "/root/repo/src/graphs/laplacian.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/laplacian.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/laplacian.cpp.o.d"
+  "/root/repo/src/graphs/sgl.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/sgl.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/sgl.cpp.o.d"
+  "/root/repo/src/graphs/spanning_tree.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/spanning_tree.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/spanning_tree.cpp.o.d"
+  "/root/repo/src/graphs/sparsify.cpp" "src/graphs/CMakeFiles/cirstag_graphs.dir/sparsify.cpp.o" "gcc" "src/graphs/CMakeFiles/cirstag_graphs.dir/sparsify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

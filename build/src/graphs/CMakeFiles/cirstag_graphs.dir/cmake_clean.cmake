@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_graphs.dir/components.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/components.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/effective_resistance.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/effective_resistance.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/graph.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/graph.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/kdtree.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/kdtree.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/knn.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/knn.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/laplacian.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/laplacian.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/sgl.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/sgl.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/spanning_tree.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/spanning_tree.cpp.o.d"
+  "CMakeFiles/cirstag_graphs.dir/sparsify.cpp.o"
+  "CMakeFiles/cirstag_graphs.dir/sparsify.cpp.o.d"
+  "libcirstag_graphs.a"
+  "libcirstag_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_linalg.dir/cg.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/cirstag_linalg.dir/dense_eigen.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/dense_eigen.cpp.o.d"
+  "CMakeFiles/cirstag_linalg.dir/generalized_eigen.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/generalized_eigen.cpp.o.d"
+  "CMakeFiles/cirstag_linalg.dir/lanczos.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/lanczos.cpp.o.d"
+  "CMakeFiles/cirstag_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/cirstag_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/cirstag_linalg.dir/sparse.cpp.o.d"
+  "libcirstag_linalg.a"
+  "libcirstag_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

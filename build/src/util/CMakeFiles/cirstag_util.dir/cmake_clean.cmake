@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_util.dir/ascii.cpp.o"
+  "CMakeFiles/cirstag_util.dir/ascii.cpp.o.d"
+  "CMakeFiles/cirstag_util.dir/csv.cpp.o"
+  "CMakeFiles/cirstag_util.dir/csv.cpp.o.d"
+  "CMakeFiles/cirstag_util.dir/stats.cpp.o"
+  "CMakeFiles/cirstag_util.dir/stats.cpp.o.d"
+  "libcirstag_util.a"
+  "libcirstag_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

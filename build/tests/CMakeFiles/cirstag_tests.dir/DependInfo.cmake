@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adam.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_adam.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_adam.cpp.o.d"
+  "/root/repo/tests/test_ascii_csv.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_ascii_csv.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_ascii_csv.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_cell_library.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_cell_library.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_cell_library.cpp.o.d"
+  "/root/repo/tests/test_cg.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_cg.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_cg.cpp.o.d"
+  "/root/repo/tests/test_cirstag_pipeline.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_cirstag_pipeline.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_cirstag_pipeline.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_dag_prop.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_dag_prop.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_dag_prop.cpp.o.d"
+  "/root/repo/tests/test_dense_eigen.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_dense_eigen.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_dense_eigen.cpp.o.d"
+  "/root/repo/tests/test_effective_resistance.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_effective_resistance.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_effective_resistance.cpp.o.d"
+  "/root/repo/tests/test_gat.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_gat.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_gat.cpp.o.d"
+  "/root/repo/tests/test_generalized_eigen.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_generalized_eigen.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_generalized_eigen.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kdtree_knn.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_kdtree_knn.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_kdtree_knn.cpp.o.d"
+  "/root/repo/tests/test_lanczos.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_lanczos.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_lanczos.cpp.o.d"
+  "/root/repo/tests/test_laplacian.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_laplacian.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_laplacian.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_manifold.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_manifold.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_manifold.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_modules.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_modules.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_modules.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_normalize_metrics.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_normalize_metrics.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_normalize_metrics.cpp.o.d"
+  "/root/repo/tests/test_perturb.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_perturb.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_perturb.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_properties2.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_properties2.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_properties2.cpp.o.d"
+  "/root/repo/tests/test_re_gat.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_re_gat.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_re_gat.cpp.o.d"
+  "/root/repo/tests/test_sgl.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_sgl.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_sgl.cpp.o.d"
+  "/root/repo/tests/test_slack.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_slack.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_slack.cpp.o.d"
+  "/root/repo/tests/test_spanning_tree.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_spanning_tree.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_spanning_tree.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_sparsify.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_sparsify.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_sparsify.cpp.o.d"
+  "/root/repo/tests/test_spectral_embedding.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_spectral_embedding.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_spectral_embedding.cpp.o.d"
+  "/root/repo/tests/test_sta.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_sta.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_sta.cpp.o.d"
+  "/root/repo/tests/test_stability.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_stability.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_stability.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_timing_gnn.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_timing_gnn.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_timing_gnn.cpp.o.d"
+  "/root/repo/tests/test_umbrella.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_umbrella.cpp.o.d"
+  "/root/repo/tests/test_variation.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_variation.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_variation.cpp.o.d"
+  "/root/repo/tests/test_views.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_views.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_views.cpp.o.d"
+  "/root/repo/tests/test_warmstart_and_approx.cpp" "tests/CMakeFiles/cirstag_tests.dir/test_warmstart_and_approx.cpp.o" "gcc" "tests/CMakeFiles/cirstag_tests.dir/test_warmstart_and_approx.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cirstag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/cirstag_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/cirstag_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/cirstag_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/cirstag_cli.cpp" "tools/CMakeFiles/cirstag_cli.dir/cirstag_cli.cpp.o" "gcc" "tools/CMakeFiles/cirstag_cli.dir/cirstag_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cirstag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/cirstag_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/cirstag_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graphs/CMakeFiles/cirstag_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/cirstag_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cirstag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirstag_cli.dir/cirstag_cli.cpp.o"
+  "CMakeFiles/cirstag_cli.dir/cirstag_cli.cpp.o.d"
+  "cirstag_cli"
+  "cirstag_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirstag_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
