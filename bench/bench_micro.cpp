@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "circuit/generator.hpp"
 #include "circuit/sta.hpp"
 #include "circuit/views.hpp"
@@ -17,6 +20,7 @@
 #include "linalg/cg.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
@@ -126,6 +130,50 @@ void BM_GoldenSta(benchmark::State& state) {
                           static_cast<long>(nl.num_pins()));
 }
 BENCHMARK(BM_GoldenSta)->Arg(1000)->Arg(8000);
+
+/// Thread counts for the scaling sweeps: 1, 2, 4, and the full machine.
+/// Each (size, threads) pair emits its own benchmark row, so BENCH_*.json
+/// captures the per-thread-count scaling curve for Fig. 5.
+void thread_sweep(benchmark::internal::Benchmark* b) {
+  const auto hw = static_cast<long>(runtime::default_thread_count());
+  std::vector<long> threads{1, 2, 4};
+  if (std::find(threads.begin(), threads.end(), hw) == threads.end())
+    threads.push_back(hw);
+  for (long n : {4000L, 16000L})
+    for (long t : threads) b->Args({n, t});
+}
+
+void BM_KnnGraphThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  runtime::set_global_threads(static_cast<std::size_t>(state.range(1)));
+  linalg::Rng rng(4);
+  const auto pts = linalg::Matrix::random_normal(n, 12, rng);
+  graphs::KnnGraphOptions opts;
+  opts.k = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::build_knn_graph(pts, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  runtime::set_global_threads(0);
+}
+BENCHMARK(BM_KnnGraphThreads)->Apply(thread_sweep);
+
+void BM_ResistanceSketchThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  runtime::set_global_threads(static_cast<std::size_t>(state.range(1)));
+  const auto g = random_graph(n, 4 * n, 5);
+  graphs::ResistanceSketchOptions opts;
+  opts.num_probes = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graphs::edge_effective_resistances(g, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  runtime::set_global_threads(0);
+}
+BENCHMARK(BM_ResistanceSketchThreads)->Apply(thread_sweep);
 
 void BM_TimingGnnForward(benchmark::State& state) {
   const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));

@@ -140,7 +140,48 @@ void Netlist::finalize() {
   }
   if (topo_order_.size() != gates_.size())
     throw std::runtime_error("Netlist::finalize: combinational cycle detected");
+
+  // Levelize the gate DAG: level(g) = 1 + max level over fan-in gates
+  // (0 when fed only by primary inputs). Gates sharing a level have no
+  // dependencies among themselves, which the level-parallel STA exploits.
+  std::vector<std::size_t> level(gates_.size(), 0);
+  std::size_t max_level = 0;
+  for (const GateId gid : topo_order_) {
+    std::size_t lv = 0;
+    for (PinId in : gates_[gid].inputs) {
+      const Pin& drv = pins_[nets_[pins_[in].net].driver];
+      if (drv.kind == PinKind::CellOutput) lv = std::max(lv, level[drv.gate] + 1);
+    }
+    level[gid] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  level_offsets_.assign(gates_.empty() ? 1 : max_level + 2, 0);
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi)
+    ++level_offsets_[level[gi] + 1];
+  for (std::size_t l = 1; l < level_offsets_.size(); ++l)
+    level_offsets_[l] += level_offsets_[l - 1];
+  level_order_.resize(gates_.size());
+  std::vector<std::size_t> cursor(level_offsets_.begin(),
+                                  level_offsets_.end() - 1);
+  for (const GateId gid : topo_order_)  // stable within each level
+    level_order_[cursor[level[gid]]++] = gid;
+
   finalized_ = true;
+}
+
+std::size_t Netlist::num_gate_levels() const {
+  if (!finalized_)
+    throw std::runtime_error("Netlist: call finalize() before num_gate_levels()");
+  return level_offsets_.size() - 1;
+}
+
+std::span<const GateId> Netlist::gates_at_level(std::size_t l) const {
+  if (!finalized_)
+    throw std::runtime_error("Netlist: call finalize() before gates_at_level()");
+  if (l + 1 >= level_offsets_.size())
+    throw std::out_of_range("Netlist::gates_at_level");
+  return {level_order_.data() + level_offsets_[l],
+          level_offsets_[l + 1] - level_offsets_[l]};
 }
 
 std::span<const GateId> Netlist::topological_order() const {

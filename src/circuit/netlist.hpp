@@ -99,6 +99,14 @@ class Netlist {
   /// Gate evaluation order (defined after finalize()).
   [[nodiscard]] std::span<const GateId> topological_order() const;
 
+  /// Number of topological gate levels (defined after finalize()). A gate's
+  /// level is 1 + the max level of the gates feeding it (0 when fed only by
+  /// primary inputs), so gates within one level are mutually independent —
+  /// the unit of parallelism for the levelized STA traversal.
+  [[nodiscard]] std::size_t num_gate_levels() const;
+  /// Gates of one topological level, in topological-order-stable order.
+  [[nodiscard]] std::span<const GateId> gates_at_level(std::size_t level) const;
+
   /// Total capacitive load seen by a net's driver: wire + sink pins.
   [[nodiscard]] double net_load(NetId n) const;
 
@@ -116,6 +124,8 @@ class Netlist {
   std::vector<PinId> primary_inputs_;
   std::vector<PinId> primary_outputs_;
   std::vector<GateId> topo_order_;
+  std::vector<GateId> level_order_;        // topo_order_ regrouped by level
+  std::vector<std::size_t> level_offsets_; // level l = [l, l+1) slice above
   bool finalized_ = false;
 };
 

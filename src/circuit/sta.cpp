@@ -4,7 +4,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace cirstag::circuit {
+
+namespace {
+/// Gates (or primary inputs) per parallel chunk within one topological
+/// level. Every gate writes only its own output pin and its net's sink
+/// pins (each pin has exactly one driving net), so levels are data-race
+/// free and the traversal is bit-identical to the serial sweep.
+constexpr std::size_t kStaLevelGrain = 64;
+/// Pins per chunk for the perturbation sweep; each chunk clones the
+/// netlist once and reuses the clone across its pins.
+constexpr std::size_t kSensitivityGrain = 16;
+}  // namespace
 
 TimingReport run_sta(const Netlist& nl, const StaOptions& opts) {
   return run_sta(nl, opts, {});
@@ -31,16 +44,20 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
     }
   };
 
-  // Primary inputs: external driver sees the whole net load.
-  for (PinId pi : nl.primary_inputs()) {
+  // Primary inputs: external driver sees the whole net load. Each PI owns
+  // its pin and its net's sinks, so the sweep is embarrassingly parallel.
+  const auto pis = nl.primary_inputs();
+  runtime::parallel_for(0, pis.size(), kStaLevelGrain, [&](std::size_t i) {
+    const PinId pi = pis[i];
     const double load = nl.net_load(nl.pin(pi).net);
     rep.arrival[pi] = opts.input_arrival + opts.input_drive_resistance * load;
     rep.slew[pi] = opts.input_slew;
     propagate_net(pi);
-  }
+  });
 
-  // Gates in topological order.
-  for (GateId gid : nl.topological_order()) {
+  // Levelized traversal: parallel within a level, barrier between levels
+  // (Tatum's TopoBarrier shape). Gate inputs live in strictly lower levels.
+  auto eval_gate = [&](GateId gid) {
     const Gate& g = nl.gate(gid);
     const CellType& ct = nl.library().cell(g.type);
     const double load = nl.net_load(nl.pin(g.output).net);
@@ -59,6 +76,11 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
     rep.arrival[g.output] = out_arrival;
     rep.slew[g.output] = out_slew;
     propagate_net(g.output);
+  };
+  for (std::size_t l = 0; l < nl.num_gate_levels(); ++l) {
+    const auto gates = nl.gates_at_level(l);
+    runtime::parallel_for(0, gates.size(), kStaLevelGrain,
+                          [&](std::size_t i) { eval_gate(gates[i]); });
   }
 
   rep.output_arrivals.reserve(nl.primary_outputs().size());
@@ -76,15 +98,24 @@ std::vector<double> exhaustive_sensitivity(const Netlist& netlist,
   const double base_worst = std::max(base.worst_arrival, 1e-12);
 
   std::vector<double> sensitivity(netlist.num_pins(), 0.0);
-  Netlist working = netlist;  // value copy; we mutate one pin at a time
-  for (PinId p = 0; p < netlist.num_pins(); ++p) {
-    const double original = netlist.pin(p).capacitance;
-    if (original <= 0.0) continue;
-    working.set_pin_capacitance(p, original * factor);
-    const TimingReport rep = run_sta(working, opts);
-    sensitivity[p] = std::abs(rep.worst_arrival - base.worst_arrival) / base_worst;
-    working.set_pin_capacitance(p, original);
-  }
+  // One netlist clone per chunk; within a chunk one pin is perturbed at a
+  // time and restored, exactly like the serial sweep. Each pin's score is
+  // independent, so chunking does not affect the result.
+  runtime::parallel_for_chunks(
+      0, netlist.num_pins(), kSensitivityGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        Netlist working = netlist;
+        for (std::size_t p = lo; p < hi; ++p) {
+          const auto pin = static_cast<PinId>(p);
+          const double original = netlist.pin(pin).capacitance;
+          if (original <= 0.0) continue;
+          working.set_pin_capacitance(pin, original * factor);
+          const TimingReport rep = run_sta(working, opts);
+          sensitivity[p] =
+              std::abs(rep.worst_arrival - base.worst_arrival) / base_worst;
+          working.set_pin_capacitance(pin, original);
+        }
+      });
   return sensitivity;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cirstag::core {
@@ -52,14 +53,19 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
     throw std::invalid_argument(
         "CirStag::analyze: graph nodes != feature rows");
 
+  if (config_.threads != 0) runtime::set_global_threads(config_.threads);
+
   CirStagReport report;
+  report.timings.threads = runtime::global_pool().num_threads();
   util::WallTimer timer;
+  runtime::TaskTimer task_timer;
 
   // Phase 1: input spectral embedding (Eq. 4), optionally augmented with
   // the standardized node features so the input manifold reflects both
   // structure and feature proximity. The GNN's own embeddings are the
   // output side; they are already low-dimensional.
   if (config_.use_dimension_reduction) {
+    const runtime::ScopedTaskTimer scope(task_timer);
     const linalg::Matrix u =
         spectral_embedding(input_graph, config_.embedding);
     if (!node_features.empty() && config_.feature_weight > 0.0) {
@@ -79,25 +85,37 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
     }
   }
   report.timings.embedding_seconds = timer.elapsed_seconds();
+  report.timings.embedding_busy_seconds = task_timer.busy_seconds();
+  task_timer.reset();
   timer.reset();
 
   // Phase 2: kNN + PGM sparsification on both sides. Without dimension
   // reduction the raw input graph itself serves as the input manifold
   // (Fig. 4 ablation).
-  if (config_.use_dimension_reduction) {
-    report.manifold_x =
-        build_manifold(report.input_embedding, config_.manifold);
-  } else {
-    report.manifold_x = input_graph;
+  {
+    const runtime::ScopedTaskTimer scope(task_timer);
+    if (config_.use_dimension_reduction) {
+      report.manifold_x =
+          build_manifold(report.input_embedding, config_.manifold);
+    } else {
+      report.manifold_x = input_graph;
+    }
+    report.manifold_y = build_manifold(output_embedding, config_.manifold);
   }
-  report.manifold_y = build_manifold(output_embedding, config_.manifold);
   report.timings.manifold_seconds = timer.elapsed_seconds();
+  report.timings.manifold_busy_seconds = task_timer.busy_seconds();
+  task_timer.reset();
   timer.reset();
 
   // Phase 3: DMD spectrum + stability scores (Algorithm 1, steps 6-11).
-  StabilityResult stab = stability_scores(report.manifold_x,
-                                          report.manifold_y, config_.stability);
+  StabilityResult stab;
+  {
+    const runtime::ScopedTaskTimer scope(task_timer);
+    stab = stability_scores(report.manifold_x, report.manifold_y,
+                            config_.stability);
+  }
   report.timings.stability_seconds = timer.elapsed_seconds();
+  report.timings.stability_busy_seconds = task_timer.busy_seconds();
 
   report.node_scores = std::move(stab.node_scores);
   report.edge_scores = std::move(stab.edge_scores);

@@ -24,15 +24,31 @@ struct CirStagConfig {
   /// features, so a large output distance between them flags genuine
   /// mapping instability. 0 disables the feature channel.
   double feature_weight = 2.0;
+  /// Width of the parallel runtime pool used by analyze(): 0 keeps the
+  /// current global pool (CIRSTAG_THREADS env var or hardware concurrency
+  /// on first use); any other value resizes the global pool. Scores are
+  /// bit-identical at every setting — the runtime's chunked reductions fix
+  /// chunk boundaries independent of thread count.
+  std::size_t threads = 0;
 };
 
-/// Wall-clock per phase (Fig. 5 scalability series).
+/// Wall-clock per phase (Fig. 5 scalability series), plus the summed busy
+/// time of parallel runtime tasks inside each phase: busy/wall ≈ effective
+/// parallel speedup, so the Fig. 5 benchmarks can report per-phase scaling.
 struct PhaseTimings {
   double embedding_seconds = 0.0;
   double manifold_seconds = 0.0;
   double stability_seconds = 0.0;
+  double embedding_busy_seconds = 0.0;
+  double manifold_busy_seconds = 0.0;
+  double stability_busy_seconds = 0.0;
+  std::size_t threads = 1;  ///< pool width the analysis ran with
   [[nodiscard]] double total() const {
     return embedding_seconds + manifold_seconds + stability_seconds;
+  }
+  [[nodiscard]] double total_busy() const {
+    return embedding_busy_seconds + manifold_busy_seconds +
+           stability_busy_seconds;
   }
 };
 

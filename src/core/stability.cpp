@@ -5,18 +5,25 @@
 
 #include "graphs/effective_resistance.hpp"
 #include "graphs/laplacian.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace cirstag::core {
+
+namespace {
+/// Nodes/edges per parallel chunk for the score loops; each element is
+/// independent, so parallel execution is bit-identical to serial.
+constexpr std::size_t kScoreGrain = 256;
+}  // namespace
 
 std::vector<double> StabilityResult::scores_for_edges(
     const graphs::Graph& g) const {
   if (g.num_nodes() != weighted_subspace.rows())
     throw std::invalid_argument("scores_for_edges: node-count mismatch");
   std::vector<double> scores(g.num_edges(), 0.0);
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+  runtime::parallel_for(0, g.num_edges(), kScoreGrain, [&](std::size_t e) {
     const auto& ed = g.edge(e);
     scores[e] = pair_score(ed.u, ed.v);
-  }
+  });
   return scores;
 }
 
@@ -44,28 +51,31 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   out.eigenvalues = eig.values;
   const std::size_t s = eig.values.size();
   out.weighted_subspace = linalg::Matrix(n, s);
-  for (std::size_t j = 0; j < s; ++j) {
-    const double w = std::sqrt(std::max(eig.values[j], 0.0));
-    for (std::size_t i = 0; i < n; ++i)
-      out.weighted_subspace(i, j) = w * eig.vectors(i, j);
-  }
+  std::vector<double> col_weight(s);
+  for (std::size_t j = 0; j < s; ++j)
+    col_weight[j] = std::sqrt(std::max(eig.values[j], 0.0));
+  runtime::parallel_for(0, n, kScoreGrain, [&](std::size_t i) {
+    for (std::size_t j = 0; j < s; ++j)
+      out.weighted_subspace(i, j) = col_weight[j] * eig.vectors(i, j);
+  });
 
   // Edge scores ‖V_sᵀ e_pq‖² on the input manifold.
   out.edge_scores.resize(manifold_x.num_edges());
-  for (std::size_t e = 0; e < manifold_x.num_edges(); ++e) {
+  runtime::parallel_for(0, manifold_x.num_edges(), kScoreGrain,
+                        [&](std::size_t e) {
     const auto& ed = manifold_x.edge(e);
     out.edge_scores[e] = out.weighted_subspace.row_distance2(ed.u, ed.v);
-  }
+  });
 
   // Eq. 9: node score = mean incident edge score over G_X neighbors.
   out.node_scores.assign(n, 0.0);
-  for (std::size_t p = 0; p < n; ++p) {
+  runtime::parallel_for(0, n, kScoreGrain, [&](std::size_t p) {
     const auto nbrs = manifold_x.neighbors(static_cast<graphs::NodeId>(p));
-    if (nbrs.empty()) continue;
+    if (nbrs.empty()) return;
     double acc = 0.0;
     for (const auto& inc : nbrs) acc += out.edge_scores[inc.edge];
     out.node_scores[p] = acc / static_cast<double>(nbrs.size());
-  }
+  });
   return out;
 }
 
@@ -79,12 +89,12 @@ std::vector<double> edge_dmd_ratios(const graphs::Graph& manifold_x,
   linalg::LaplacianSolver sy(graphs::laplacian(manifold_y), reg);
 
   std::vector<double> ratios(manifold_x.num_edges(), 0.0);
-  for (std::size_t e = 0; e < manifold_x.num_edges(); ++e) {
+  runtime::parallel_for(0, manifold_x.num_edges(), 1, [&](std::size_t e) {
     const auto& ed = manifold_x.edge(e);
     const double dx = graphs::effective_resistance(sx, ed.u, ed.v);
     const double dy = graphs::effective_resistance(sy, ed.u, ed.v);
     ratios[e] = dx > 1e-300 ? dy / dx : 0.0;
-  }
+  });
   return ratios;
 }
 

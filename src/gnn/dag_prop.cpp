@@ -1,12 +1,17 @@
 #include "gnn/dag_prop.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
 
 namespace cirstag::gnn {
 
 namespace {
 constexpr double kLeakySlope = 0.1;
+/// Pins per parallel chunk inside one topological level.
+constexpr std::size_t kLevelGrain = 64;
 }  // namespace
 
 DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
@@ -38,6 +43,27 @@ DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
   for (circuit::PinId po : nl.primary_outputs()) order_.push_back(po);
   if (order_.size() != n)
     throw std::logic_error("DagPropagation: order does not cover all pins");
+
+  // Levelize: level(p) = 1 + max level over fan-in (0 at sources). Pins in
+  // one level have no dependencies among themselves, so forward can process
+  // a level in parallel with a barrier before the next (TopoBarrier shape).
+  std::vector<std::size_t> level(n, 0);
+  std::size_t max_level = 0;
+  for (const std::uint32_t p : order_) {
+    std::size_t lv = 0;
+    for (const std::uint32_t q : fanin_[p]) lv = std::max(lv, level[q] + 1);
+    level[p] = lv;
+    max_level = std::max(max_level, lv);
+  }
+  level_offsets_.assign(max_level + 2, 0);
+  for (std::size_t p = 0; p < n; ++p) ++level_offsets_[level[p] + 1];
+  for (std::size_t l = 1; l < level_offsets_.size(); ++l)
+    level_offsets_[l] += level_offsets_[l - 1];
+  level_pins_.resize(n);
+  std::vector<std::size_t> cursor(level_offsets_.begin(),
+                                  level_offsets_.end() - 1);
+  for (const std::uint32_t p : order_)  // stable within each level
+    level_pins_[cursor[level[p]]++] = p;
 }
 
 Matrix DagPropagation::forward(const Matrix& x) {
@@ -53,7 +79,10 @@ Matrix DagPropagation::forward(const Matrix& x) {
 
   const Matrix xw = linalg::matmul(x, w_x_.value);  // local term, batched
 
-  for (const std::uint32_t p : order_) {
+  // Each pin reads only strictly-lower-level hidden states and writes only
+  // its own rows, so a level can run fully parallel; results are identical
+  // to the serial topological sweep at any thread count.
+  auto process_pin = [&](std::uint32_t p) {
     auto agg = cached_agg_.row(p);
     const auto& fan = fanin_[p];
     if (!fan.empty()) {
@@ -79,6 +108,13 @@ Matrix DagPropagation::forward(const Matrix& x) {
     // entire downstream cone's sensitivity to upstream features.
     for (std::size_t c = 0; c < d; ++c)
       h[c] = pre[c] > 0.0 ? pre[c] : kLeakySlope * pre[c];
+  };
+  for (std::size_t l = 0; l + 1 < level_offsets_.size(); ++l) {
+    const std::size_t lo = level_offsets_[l];
+    const std::size_t hi = level_offsets_[l + 1];
+    runtime::parallel_for(lo, hi, kLevelGrain, [&](std::size_t idx) {
+      process_pin(level_pins_[idx]);
+    });
   }
   return cached_h_;
 }

@@ -30,9 +30,20 @@ class DagPropagation : public Layer {
   std::vector<Param*> params() override { return {&w_x_, &w_h_, &bias_}; }
 
   [[nodiscard]] std::size_t num_pins() const { return order_.size(); }
+  /// Number of topological levels (pins in the same level have all fan-in
+  /// strictly below them, so forward processes levels with a barrier between
+  /// them and full parallelism inside — Tatum's TopoBarrier traversal).
+  [[nodiscard]] std::size_t num_levels() const {
+    return level_offsets_.empty() ? 0 : level_offsets_.size() - 1;
+  }
 
  private:
   std::vector<std::uint32_t> order_;                 // topological pin order
+  /// Pins regrouped by topological level (stable within order_): level l is
+  /// level_pins_[level_offsets_[l] .. level_offsets_[l+1]). Used by the
+  /// level-parallel forward; backward keeps the exact order_ traversal.
+  std::vector<std::uint32_t> level_pins_;
+  std::vector<std::size_t> level_offsets_;
   std::vector<std::vector<std::uint32_t>> fanin_;    // per pin
   Param w_x_;   // in x out
   Param w_h_;   // out x out

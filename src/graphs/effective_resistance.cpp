@@ -6,8 +6,14 @@
 #include "graphs/laplacian.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace cirstag::graphs {
+
+namespace {
+/// Edges per chunk for the per-edge distance loops (cheap, memory bound).
+constexpr std::size_t kEdgeGrain = 512;
+}  // namespace
 
 double effective_resistance(const linalg::LaplacianSolver& solver, NodeId u,
                             NodeId v) {
@@ -37,41 +43,49 @@ std::vector<double> edge_effective_resistances(
   const std::size_t k = std::max<std::size_t>(1, opts.num_probes);
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
 
-  // Z rows: z_i = L^+ (B^T W^{1/2} q_i), q_i Rademacher over edges.
-  std::vector<std::vector<double>> z_rows;
-  z_rows.reserve(k);
-  std::vector<double> y(n, 0.0);
+  // Probe vectors y_i = B^T W^{1/2} q_i, q_i Rademacher over edges. Drawn
+  // serially from the single seed stream so the sketch is identical to the
+  // historical serial implementation at every thread count.
+  std::vector<std::vector<double>> probes(k, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < k; ++i) {
-    std::fill(y.begin(), y.end(), 0.0);
+    std::vector<double>& y = probes[i];
     for (std::size_t e = 0; e < m; ++e) {
       const Edge& ed = g.edge(e);
       const double q = rng.rademacher() * inv_sqrt_k * std::sqrt(ed.weight);
       y[ed.u] += q;
       y[ed.v] -= q;
     }
-    z_rows.push_back(solver.solve(y));
   }
 
+  // Z rows: z_i = L^+ y_i — k independent CG solves, one task each.
+  std::vector<std::vector<double>> z_rows(k);
+  runtime::parallel_for(0, k, 1, [&](std::size_t i) {
+    z_rows[i] = solver.solve(probes[i]);
+  });
+
   std::vector<double> r(m, 0.0);
-  for (std::size_t e = 0; e < m; ++e) {
-    const Edge& ed = g.edge(e);
-    double s = 0.0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const double d = z_rows[i][ed.u] - z_rows[i][ed.v];
-      s += d * d;
+  runtime::parallel_for_chunks(0, m, kEdgeGrain,
+                               [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e) {
+      const Edge& ed = g.edge(e);
+      double s = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double d = z_rows[i][ed.u] - z_rows[i][ed.v];
+        s += d * d;
+      }
+      r[e] = s;
     }
-    r[e] = s;
-  }
+  });
   return r;
 }
 
 std::vector<double> edge_effective_resistances_exact(const Graph& g) {
   linalg::LaplacianSolver solver(laplacian(g));
   std::vector<double> r(g.num_edges(), 0.0);
-  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+  runtime::parallel_for(0, g.num_edges(), 1, [&](std::size_t e) {
     const Edge& ed = g.edge(e);
     r[e] = effective_resistance(solver, ed.u, ed.v);
-  }
+  });
   return r;
 }
 

@@ -7,10 +7,16 @@
 
 #include "graphs/kdtree.hpp"
 #include "linalg/rng.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace cirstag::graphs {
 
 namespace {
+
+/// Query points per parallel chunk. Each query is independent and writes
+/// only its own result slot, so parallel construction is bit-identical to
+/// the serial loop at any thread count.
+constexpr std::size_t kKnnQueryGrain = 32;
 
 /// Neighbor candidates for every point: exact, or approximate via a KD-tree
 /// over the leading coordinates with exact full-dimension re-ranking.
@@ -24,7 +30,9 @@ std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
   const bool approximate = opts.search_dims > 0 && opts.search_dims < d;
   if (!approximate) {
     const KdTree tree(points);
-    for (std::size_t i = 0; i < n; ++i) result[i] = tree.knn_of_point(i, k);
+    runtime::parallel_for(0, n, kKnnQueryGrain, [&](std::size_t i) {
+      result[i] = tree.knn_of_point(i, k);
+    });
     return result;
   }
 
@@ -39,7 +47,7 @@ std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
   const KdTree tree(reduced);
   const std::size_t pool = std::min(n - 1, k * std::max<std::size_t>(
                                                opts.oversample, 1));
-  for (std::size_t i = 0; i < n; ++i) {
+  runtime::parallel_for(0, n, kKnnQueryGrain, [&](std::size_t i) {
     std::vector<Neighbor> candidates = tree.knn_of_point(i, pool);
     for (auto& c : candidates) c.distance2 = points.row_distance2(i, c.index);
     std::sort(candidates.begin(), candidates.end(),
@@ -48,7 +56,7 @@ std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
               });
     candidates.resize(std::min(k, candidates.size()));
     result[i] = std::move(candidates);
-  }
+  });
   return result;
 }
 

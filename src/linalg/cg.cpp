@@ -105,7 +105,7 @@ std::vector<double> LaplacianSolver::solve(
     for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
   };
   CgResult res = conjugate_gradient(op, b, n, precond, opts_, initial_guess);
-  last_residual_ = res.residual;
+  last_residual_.store(res.residual, std::memory_order_relaxed);
   return std::move(res.solution);
 }
 

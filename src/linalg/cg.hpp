@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <span>
 #include <vector>
@@ -53,6 +54,9 @@ class LaplacianSolver {
                            CgOptions opts = {});
 
   /// Solve (L + regularization*I) x = b, optionally warm-started.
+  /// Thread-safe: independent solves may run concurrently on one solver
+  /// (the probe-parallel resistance sketch and edge-parallel DMD ratios
+  /// rely on this); last_residual() then reports one of the recent solves.
   [[nodiscard]] std::vector<double> solve(
       std::span<const double> b,
       std::span<const double> initial_guess = {}) const;
@@ -62,14 +66,16 @@ class LaplacianSolver {
   [[nodiscard]] std::size_t dimension() const { return laplacian_.rows(); }
 
   /// Relative residual of the last solve (diagnostics).
-  [[nodiscard]] double last_residual() const { return last_residual_; }
+  [[nodiscard]] double last_residual() const {
+    return last_residual_.load(std::memory_order_relaxed);
+  }
 
  private:
   SparseMatrix laplacian_;
   double regularization_;
   CgOptions opts_;
   std::vector<double> inv_diag_;  // Jacobi preconditioner
-  mutable double last_residual_ = 0.0;
+  mutable std::atomic<double> last_residual_{0.0};
 };
 
 }  // namespace cirstag::linalg

@@ -3,7 +3,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "runtime/parallel_for.hpp"
+
 namespace cirstag::linalg {
+
+namespace {
+/// Flop threshold below which dense products stay on the calling thread,
+/// and the fixed row grain used above it. Row-partitioned: each output row
+/// keeps its serial accumulation order, so results are thread-count
+/// invariant.
+constexpr std::size_t kMatmulParallelMinFlops = 1u << 18;
+constexpr std::size_t kMatmulGrain = 64;
+}  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
     : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
@@ -100,14 +111,21 @@ double Matrix::row_distance2(std::size_t r1, std::size_t r2) const {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const auto brow = b.row(k);
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  auto row_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const auto brow = b.row(k);
+        auto crow = c.row(i);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
+  };
+  if (a.rows() * a.cols() * b.cols() < kMatmulParallelMinFlops) {
+    row_range(0, a.rows());
+  } else {
+    runtime::parallel_for_chunks(0, a.rows(), kMatmulGrain, row_range);
   }
   return c;
 }

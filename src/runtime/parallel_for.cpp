@@ -1,0 +1,42 @@
+#include "runtime/parallel_for.hpp"
+
+namespace cirstag::runtime {
+
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(begin, end, grain);
+  if (chunks == 0) return;
+  if (chunks == 1) {  // skip the dispatch machinery for a single chunk
+    chunk_body(begin, end);
+    return;
+  }
+  pool.run(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    chunk_body(lo, hi);
+  });
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body) {
+  parallel_for_chunks(global_pool(), begin, end, grain, chunk_body);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, begin, end, grain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) body(i);
+                      });
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for(global_pool(), begin, end, grain, body);
+}
+
+}  // namespace cirstag::runtime

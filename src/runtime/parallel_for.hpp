@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace cirstag::runtime {
+
+/// Deterministic chunk decomposition of [begin, end): chunk c covers
+/// [begin + c*grain, begin + (c+1)*grain) clipped to end. The chunk size is
+/// a fixed function of `grain` alone — NOT of the pool width — which is the
+/// heart of the determinism contract: per-chunk work (and any per-chunk
+/// floating-point partials) is identical whether the pool has 1 or 64 lanes;
+/// only the thread a chunk lands on varies.
+[[nodiscard]] inline std::size_t chunk_count(std::size_t begin,
+                                             std::size_t end,
+                                             std::size_t grain) {
+  if (end <= begin) return 0;
+  if (grain == 0) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+/// Run chunk_body(chunk_begin, chunk_end) over the deterministic chunk
+/// decomposition of [begin, end) on `pool`. Blocks until complete;
+/// exceptions from chunk bodies propagate to the caller.
+void parallel_for_chunks(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
+/// parallel_for_chunks on the global pool.
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_body);
+
+/// Per-index convenience: body(i) for every i in [begin, end), chunked by
+/// `grain`. Iterations must be independent (no cross-index writes).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+/// parallel_for on the global pool.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+/// Deterministic parallel reduction: chunk_fn(chunk_begin, chunk_end)
+/// produces one partial per fixed-size chunk (computed in parallel), then the
+/// partials are combined *serially in ascending chunk order*:
+///
+///   result = combine(...combine(combine(init, p_0), p_1)..., p_{C-1})
+///
+/// Because the chunk boundaries and the fold order are independent of the
+/// pool width, the result is bit-identical across thread counts even for
+/// non-associative floating-point combines.
+template <typename T>
+[[nodiscard]] T parallel_reduce(
+    ThreadPool& pool, std::size_t begin, std::size_t end, std::size_t grain,
+    T init, const std::function<T(std::size_t, std::size_t)>& chunk_fn,
+    const std::function<T(T, T)>& combine) {
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(begin, end, grain);
+  if (chunks == 0) return init;
+  std::vector<T> partials(chunks);
+  pool.run(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    partials[c] = chunk_fn(lo, hi);
+  });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+/// parallel_reduce on the global pool.
+template <typename T>
+[[nodiscard]] T parallel_reduce(
+    std::size_t begin, std::size_t end, std::size_t grain, T init,
+    const std::function<T(std::size_t, std::size_t)>& chunk_fn,
+    const std::function<T(T, T)>& combine) {
+  return parallel_reduce<T>(global_pool(), begin, end, grain, std::move(init),
+                            chunk_fn, combine);
+}
+
+}  // namespace cirstag::runtime

@@ -1,0 +1,181 @@
+#include "runtime/thread_pool.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace cirstag::runtime {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+std::atomic<TaskTimer*> g_active_timer{nullptr};
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+ScopedTaskTimer::ScopedTaskTimer(TaskTimer& timer)
+    : previous_(g_active_timer.exchange(&timer, std::memory_order_acq_rel)) {}
+
+ScopedTaskTimer::~ScopedTaskTimer() {
+  g_active_timer.store(previous_, std::memory_order_release);
+}
+
+TaskTimer* active_task_timer() {
+  return g_active_timer.load(std::memory_order_acquire);
+}
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("CIRSTAG_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr) continue;  // job already finished; stay parked
+    ++attached_;
+    lock.unlock();
+    drain(*job);
+    lock.lock();
+    if (--attached_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::drain(Job& job) {
+  t_in_parallel_region = true;
+  double busy = 0.0;
+  std::size_t executed = 0;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.num_tasks) break;
+    if (!job.cancel.load(std::memory_order_relaxed)) {
+      const auto t0 = Clock::now();
+      try {
+        (*job.task)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) job.error = std::current_exception();
+        job.cancel.store(true, std::memory_order_relaxed);
+      }
+      busy += seconds_since(t0);
+      ++executed;
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.num_tasks) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cv_done_.notify_all();
+    }
+  }
+  t_in_parallel_region = false;
+  if (job.timer != nullptr && executed > 0) job.timer->add(busy, executed);
+}
+
+void ThreadPool::run_serial(std::size_t num_tasks,
+                            const std::function<void(std::size_t)>& task,
+                            TaskTimer* timer) {
+  const bool outer = !t_in_parallel_region;
+  if (!outer) timer = nullptr;  // nested time is already inside the outer task
+  t_in_parallel_region = true;
+  double busy = 0.0;
+  try {
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      const auto t0 = Clock::now();
+      task(i);
+      busy += seconds_since(t0);
+    }
+  } catch (...) {
+    if (outer) t_in_parallel_region = false;
+    if (timer != nullptr) timer->add(busy, num_tasks);
+    throw;
+  }
+  if (outer) t_in_parallel_region = false;
+  if (timer != nullptr && num_tasks > 0) timer->add(busy, num_tasks);
+}
+
+void ThreadPool::run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (num_tasks == 0) return;
+  TaskTimer* timer = active_task_timer();
+  if (workers_.empty() || num_tasks == 1 || t_in_parallel_region) {
+    run_serial(num_tasks, task, timer);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Job job;
+  job.task = &task;
+  job.num_tasks = num_tasks;
+  job.timer = timer;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  drain(job);  // the calling thread is one of the lanes
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [&] {
+    return job.done.load(std::memory_order_acquire) >= num_tasks &&
+           attached_ == 0;
+  });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>();
+  return *g_pool;
+}
+
+void set_global_threads(std::size_t num_threads) {
+  const std::size_t resolved =
+      num_threads == 0 ? default_thread_count() : num_threads;
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool && g_pool->num_threads() == resolved) return;
+  g_pool.reset();  // join old workers before spawning the replacement
+  g_pool = std::make_unique<ThreadPool>(resolved);
+}
+
+}  // namespace cirstag::runtime

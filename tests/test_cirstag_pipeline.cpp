@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "circuit/generator.hpp"
 #include "circuit/perturb.hpp"
 #include "circuit/sta.hpp"
 #include "circuit/views.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -130,6 +133,53 @@ TEST(CirStagPipeline, ZeroFeatureWeightMatchesStructureOnly) {
   ASSERT_EQ(a.node_scores.size(), b.node_scores.size());
   for (std::size_t i = 0; i < n; ++i)
     EXPECT_DOUBLE_EQ(a.node_scores[i], b.node_scores[i]);
+}
+
+/// The parallel-runtime determinism contract, end to end: on a 2k-gate
+/// netlist, node and edge scores must be bit-identical whether the analysis
+/// runs on 1 thread or on every hardware thread.
+TEST(CirStagPipeline, ScoresBitIdenticalAcrossThreadCounts) {
+  using namespace cirstag::circuit;
+  const CellLibrary lib = CellLibrary::standard();
+  RandomCircuitSpec spec;
+  spec.num_gates = 2000;
+  spec.num_inputs = 64;
+  spec.num_outputs = 32;
+  spec.num_levels = 14;
+  spec.seed = 77;
+  const Netlist nl = generate_random_logic(lib, spec);
+
+  // Untrained surrogate embeddings: deterministic from the seed and cheap,
+  // which is all a determinism test needs.
+  gnn::TimingGnnOptions gopts;
+  gopts.hidden_dim = 16;
+  gnn::TimingGnn model(nl, gopts);
+  const linalg::Matrix embedding = model.embed(model.base_features());
+
+  auto run_with_threads = [&](std::size_t threads) {
+    CirStagConfig cfg = fast_config();
+    cfg.threads = threads;
+    const CirStag analyzer(cfg);
+    return analyzer.analyze(pin_graph(nl), model.base_features(), embedding);
+  };
+
+  const std::size_t hw =
+      std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  const CirStagReport serial = run_with_threads(1);
+  const CirStagReport parallel = run_with_threads(hw);
+  runtime::set_global_threads(0);  // restore the default for later tests
+
+  EXPECT_EQ(serial.timings.threads, 1u);
+  EXPECT_EQ(parallel.timings.threads, hw);
+  ASSERT_EQ(serial.node_scores.size(), parallel.node_scores.size());
+  for (std::size_t i = 0; i < serial.node_scores.size(); ++i)
+    ASSERT_EQ(serial.node_scores[i], parallel.node_scores[i]) << "node " << i;
+  ASSERT_EQ(serial.edge_scores.size(), parallel.edge_scores.size());
+  for (std::size_t e = 0; e < serial.edge_scores.size(); ++e)
+    ASSERT_EQ(serial.edge_scores[e], parallel.edge_scores[e]) << "edge " << e;
+  ASSERT_EQ(serial.eigenvalues.size(), parallel.eigenvalues.size());
+  for (std::size_t j = 0; j < serial.eigenvalues.size(); ++j)
+    ASSERT_EQ(serial.eigenvalues[j], parallel.eigenvalues[j]);
 }
 
 /// Full Case-A integration: train the timing GNN on a small circuit, run

@@ -1,0 +1,182 @@
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace cirstag;
+
+/// An ill-conditioned summand stream: magnitudes spanning ~12 orders, signs
+/// alternating, so any change in floating-point association changes the sum.
+double wild(std::size_t i) {
+  const double mag = std::pow(10.0, static_cast<double>(i % 13) - 6.0);
+  return (i % 2 == 0 ? 1.0 : -1.0) * mag * (1.0 + 1e-9 * static_cast<double>(i));
+}
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+double reduce_with_pool(runtime::ThreadPool& pool, std::size_t n,
+                        std::size_t grain) {
+  return runtime::parallel_reduce<double>(
+      pool, 0, n, grain, 0.0,
+      [](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) s += wild(i);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+TEST(Runtime, ParallelForMatchesSerialLoop) {
+  const std::size_t n = 10'000;
+  std::vector<double> serial(n), parallel(n);
+  for (std::size_t i = 0; i < n; ++i)
+    serial[i] = std::sin(static_cast<double>(i)) * wild(i);
+
+  runtime::ThreadPool pool(4);
+  runtime::parallel_for(pool, 0, n, 64, [&](std::size_t i) {
+    parallel[i] = std::sin(static_cast<double>(i)) * wild(i);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(serial[i], parallel[i]);
+}
+
+TEST(Runtime, ParallelForChunksCoversRangeExactlyOnce) {
+  const std::size_t n = 1237;  // not a multiple of the grain
+  std::vector<std::atomic<int>> touched(n);
+  runtime::ThreadPool pool(8);
+  runtime::parallel_for_chunks(pool, 0, n, 100,
+                               [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi, n);
+    for (std::size_t i = lo; i < hi; ++i)
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(touched[i].load(), 1);
+}
+
+TEST(Runtime, ReductionBitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 50'000;
+  const std::size_t grain = 128;
+  runtime::ThreadPool pool1(1);
+  runtime::ThreadPool pool2(2);
+  runtime::ThreadPool pool8(8);
+  const double r1 = reduce_with_pool(pool1, n, grain);
+  const double r2 = reduce_with_pool(pool2, n, grain);
+  const double r8 = reduce_with_pool(pool8, n, grain);
+  // Bit-identical, not just approximately equal: the chunk boundaries and
+  // the serial fold order are fixed by the grain alone.
+  EXPECT_EQ(bits_of(r1), bits_of(r2));
+  EXPECT_EQ(bits_of(r1), bits_of(r8));
+  // And repeated runs on the same pool are stable too.
+  EXPECT_EQ(bits_of(r8), bits_of(reduce_with_pool(pool8, n, grain)));
+}
+
+TEST(Runtime, WorkerExceptionPropagatesToCaller) {
+  runtime::ThreadPool pool(4);
+  EXPECT_THROW(
+      runtime::parallel_for(pool, 0, 1000, 8,
+                            [](std::size_t i) {
+                              if (i == 437)
+                                throw std::runtime_error("task 437 failed");
+                            }),
+      std::runtime_error);
+
+  // The error message of the *first* failure is preserved.
+  try {
+    pool.run(64, [](std::size_t) { throw std::invalid_argument("boom"); });
+    FAIL() << "expected an exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Runtime, PoolIsReusableAcrossSubmissions) {
+  runtime::ThreadPool pool(4);
+  for (std::size_t round = 0; round < 50; ++round) {
+    const std::size_t n = 1 + (round * 37) % 500;
+    std::atomic<std::size_t> sum{0};
+    runtime::parallel_for(pool, 0, n, 7, [&](std::size_t i) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+  // ...including immediately after a failed submission.
+  EXPECT_THROW(pool.run(10, [](std::size_t) {
+    throw std::runtime_error("x");
+  }),
+               std::runtime_error);
+  std::atomic<std::size_t> count{0};
+  pool.run(100, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(Runtime, NestedParallelRegionsRunInlineWithoutDeadlock) {
+  runtime::ThreadPool pool(4);
+  std::vector<double> out(64 * 64, 0.0);
+  runtime::parallel_for(pool, 0, 64, 1, [&](std::size_t i) {
+    EXPECT_TRUE(runtime::ThreadPool::in_parallel_region());
+    // The nested region must execute serially inline on this lane.
+    runtime::parallel_for(pool, 0, 64, 1, [&](std::size_t j) {
+      out[i * 64 + j] = wild(i * 64 + j);
+    });
+  });
+  for (std::size_t k = 0; k < out.size(); ++k) EXPECT_EQ(out[k], wild(k));
+  EXPECT_FALSE(runtime::ThreadPool::in_parallel_region());
+}
+
+TEST(Runtime, TaskTimerAccumulatesBusyTime) {
+  runtime::TaskTimer timer;
+  runtime::ThreadPool pool(2);
+  {
+    const runtime::ScopedTaskTimer scope(timer);
+    runtime::parallel_for(pool, 0, 256, 16, [](std::size_t) {
+      volatile double x = 0.0;
+      for (int k = 0; k < 2000; ++k) x = x + 1.0;
+    });
+  }
+  EXPECT_GT(timer.busy_seconds(), 0.0);
+  EXPECT_EQ(timer.tasks(), 256u / 16u);
+  // Outside the scope no further accounting happens.
+  const double before = timer.busy_seconds();
+  runtime::parallel_for(pool, 0, 64, 16, [](std::size_t) {});
+  EXPECT_EQ(timer.busy_seconds(), before);
+  timer.reset();
+  EXPECT_EQ(timer.tasks(), 0u);
+  EXPECT_EQ(timer.busy_seconds(), 0.0);
+}
+
+TEST(Runtime, SingleLanePoolAndEmptyRangesWork) {
+  runtime::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t count = 0;
+  runtime::parallel_for(pool, 0, 100, 10,
+                        [&](std::size_t) { ++count; });  // inline, no races
+  EXPECT_EQ(count, 100u);
+  runtime::parallel_for(pool, 5, 5, 10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(reduce_with_pool(pool, 0, 64), 0.0);
+}
+
+TEST(Runtime, GlobalPoolResizes) {
+  runtime::set_global_threads(3);
+  EXPECT_EQ(runtime::global_pool().num_threads(), 3u);
+  runtime::set_global_threads(1);
+  EXPECT_EQ(runtime::global_pool().num_threads(), 1u);
+  runtime::set_global_threads(0);  // back to the environment default
+  EXPECT_EQ(runtime::global_pool().num_threads(),
+            runtime::default_thread_count());
+}
+
+}  // namespace

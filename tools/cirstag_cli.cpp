@@ -5,8 +5,12 @@
 //   cirstag_cli analyze <in.ckt> [--scores out.csv] [--epochs E] [--top K]
 //   cirstag_cli montecarlo <in.ckt> [--samples N]
 //   cirstag_cli corners <in.ckt>
+//   cirstag_cli help
 //
-// Netlists use the plain-text "cirstag-netlist 1" format (circuit/io.hpp).
+// Every command accepts --threads N to size the parallel runtime pool
+// (CIRSTAG_THREADS env var is the default; results are identical at any
+// thread count). Netlists use the plain-text "cirstag-netlist 1" format
+// (circuit/io.hpp).
 
 #include <cstdio>
 #include <cstring>
@@ -20,6 +24,7 @@
 #include "circuit/views.hpp"
 #include "core/cirstag.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/ascii.hpp"
 #include "util/csv.hpp"
 
@@ -28,13 +33,41 @@ namespace {
 using namespace cirstag;
 using namespace cirstag::circuit;
 
+constexpr const char* kUsage =
+    "usage: cirstag_cli <command> [args] [--flag value ...]\n"
+    "\n"
+    "commands:\n"
+    "  generate <out.ckt>   synthesize a random netlist\n"
+    "                       [--name N] [--gates G] [--inputs I] [--outputs O]\n"
+    "                       [--levels L] [--seed S]\n"
+    "  sta <in.ckt>         golden static timing analysis\n"
+    "                       [--paths K] [--clock T]\n"
+    "  analyze <in.ckt>     train GNN surrogate + CirSTAG stability scores\n"
+    "                       [--scores out.csv] [--epochs E] [--hidden H]\n"
+    "                       [--top K]\n"
+    "  montecarlo <in.ckt>  Monte-Carlo STA under process variation\n"
+    "                       [--samples N] [--seed S]\n"
+    "  corners <in.ckt>     corner-based STA sweep\n"
+    "  help                 print this message\n"
+    "\n"
+    "global flags:\n"
+    "  --threads N          parallel runtime pool width (default: the\n"
+    "                       CIRSTAG_THREADS env var, else hardware threads;\n"
+    "                       scores are bit-identical at every setting)\n";
+
 /// "--key value" option map for everything after the positional args.
+/// A trailing flag with no value is an error (it used to be silently
+/// dropped by the old `i + 1 < argc` loop bound).
 std::map<std::string, std::string> parse_options(int argc, char** argv,
                                                  int start) {
   std::map<std::string, std::string> opts;
-  for (int i = start; i + 1 < argc; i += 2) {
+  for (int i = start; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for option '%s'\n", argv[i]);
       std::exit(2);
     }
     opts[argv[i] + 2] = argv[i + 1];
@@ -42,17 +75,40 @@ std::map<std::string, std::string> parse_options(int argc, char** argv,
   return opts;
 }
 
+[[noreturn]] void bad_option_value(const std::string& key,
+                                   const std::string& value,
+                                   const char* expected) {
+  std::fprintf(stderr, "invalid value '%s' for option '--%s' (expected %s)\n",
+               value.c_str(), key.c_str(), expected);
+  std::exit(2);
+}
+
 double opt_double(const std::map<std::string, std::string>& opts,
                   const std::string& key, double fallback) {
   const auto it = opts.find(key);
-  return it == opts.end() ? fallback : std::stod(it->second);
+  if (it == opts.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    bad_option_value(key, it->second, "a number");
+  }
 }
 
 std::size_t opt_size(const std::map<std::string, std::string>& opts,
                      const std::string& key, std::size_t fallback) {
   const auto it = opts.find(key);
-  return it == opts.end() ? fallback
-                          : static_cast<std::size_t>(std::stoull(it->second));
+  if (it == opts.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stoull(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument(it->second);
+    return static_cast<std::size_t>(v);
+  } catch (const std::exception&) {
+    bad_option_value(key, it->second, "a non-negative integer");
+  }
 }
 
 std::string opt_str(const std::map<std::string, std::string>& opts,
@@ -61,12 +117,19 @@ std::string opt_str(const std::map<std::string, std::string>& opts,
   return it == opts.end() ? fallback : it->second;
 }
 
+/// Honors the global --threads flag (0 / absent = keep the default pool).
+void apply_threads(const std::map<std::string, std::string>& opts) {
+  const std::size_t n = opt_size(opts, "threads", 0);
+  if (n > 0) runtime::set_global_threads(n);
+}
+
 int cmd_generate(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: cirstag_cli generate <out.ckt> [options]\n");
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
+  apply_threads(opts);
   const CellLibrary lib = CellLibrary::standard();
 
   RandomCircuitSpec spec;
@@ -92,6 +155,7 @@ int cmd_sta(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
+  apply_threads(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
   const TimingReport timing = run_sta(nl);
@@ -121,6 +185,7 @@ int cmd_analyze(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
+  apply_threads(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
 
@@ -140,10 +205,12 @@ int cmd_analyze(int argc, char** argv) {
                        model.embed(model.base_features()));
   std::printf("  DMD spectrum head: %.4g %.4g %.4g\n", report.eigenvalues[0],
               report.eigenvalues[1], report.eigenvalues[2]);
-  std::printf("  timings: embed %.2fs manifold %.2fs stability %.2fs\n",
+  std::printf("  timings: embed %.2fs manifold %.2fs stability %.2fs "
+              "(%zu threads, %.2fs parallel busy)\n",
               report.timings.embedding_seconds,
               report.timings.manifold_seconds,
-              report.timings.stability_seconds);
+              report.timings.stability_seconds, report.timings.threads,
+              report.timings.total_busy());
 
   const auto top = opt_size(opts, "top", 10);
   std::vector<std::size_t> order(nl.num_pins());
@@ -180,6 +247,7 @@ int cmd_montecarlo(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
+  apply_threads(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
 
@@ -199,6 +267,7 @@ int cmd_corners(int argc, char** argv) {
     std::fprintf(stderr, "usage: cirstag_cli corners <in.ckt>\n");
     return 2;
   }
+  apply_threads(parse_options(argc, argv, 3));
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
   const auto corners = standard_corners();
@@ -213,12 +282,14 @@ int cmd_corners(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: cirstag_cli <generate|sta|analyze|montecarlo|"
-                 "corners> ...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    std::printf("%s", kUsage);
+    return 0;
+  }
   try {
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "sta") return cmd_sta(argc, argv);
@@ -229,6 +300,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(), kUsage);
   return 2;
 }
