@@ -6,12 +6,14 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "circuit/generator.hpp"
 #include "circuit/sta.hpp"
 #include "circuit/views.hpp"
 #include "core/spectral_embedding.hpp"
+#include "graphs/components.hpp"
 #include "graphs/effective_resistance.hpp"
 #include "graphs/knn.hpp"
 #include "graphs/laplacian.hpp"
@@ -174,6 +176,99 @@ void BM_ResistanceSketchThreads(benchmark::State& state) {
   runtime::set_global_threads(0);
 }
 BENCHMARK(BM_ResistanceSketchThreads)->Apply(thread_sweep);
+
+/// (size, threads) sweep at 1 thread and the full machine only — the two
+/// points the solver-engine acceptance compares.
+void solver_sweep(benchmark::internal::Benchmark* b) {
+  const auto hw = static_cast<long>(runtime::default_thread_count());
+  for (long n : {4000L, 16000L}) {
+    b->Args({n, 1});
+    if (hw != 1) b->Args({n, hw});
+  }
+}
+
+/// Manifold-like kNN graph: a noisy 1-D filament winding through 6-D space
+/// with sampling density that drifts over ~2 decades. The kNN backbone is a
+/// long path whose w = 1/dist² weights span orders of magnitude — the
+/// diameter-limited, ill-conditioned regime low-dimensional embeddings put
+/// the probe solves in (a uniform random graph is expander-like and
+/// flattering to Jacobi, hence unrepresentative).
+graphs::Graph manifold_like_graph(std::size_t n, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  // Unit-speed curve on three incommensurate circles: revisits of any one
+  // circle stay far apart on the others, so kNN never shortcuts the filament.
+  constexpr double ka = 1.0 / 40.0, kb = 1.0 / 97.0, kc = 1.0 / 233.0;
+  const double amp = 1.0 / std::sqrt(ka * ka + kb * kb + kc * kc);
+  linalg::Matrix pts(n, 6);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i) / static_cast<double>(n);
+    // Arc-length step drifts smoothly through [1e-3, 1e-1].
+    const double step = 1e-3 * std::pow(10.0, 1.0 + std::sin(6.0 * u));
+    s += step;
+    const double noise = 0.05 * step;
+    pts(i, 0) = amp * std::cos(ka * s) + noise * rng.normal();
+    pts(i, 1) = amp * std::sin(ka * s) + noise * rng.normal();
+    pts(i, 2) = amp * std::cos(kb * s) + noise * rng.normal();
+    pts(i, 3) = amp * std::sin(kb * s) + noise * rng.normal();
+    pts(i, 4) = amp * std::cos(kc * s) + noise * rng.normal();
+    pts(i, 5) = amp * std::sin(kc * s) + noise * rng.normal();
+  }
+  graphs::KnnGraphOptions ko;
+  ko.k = 10;
+  return graphs::connect_components(graphs::build_knn_graph(pts, ko), 1e-3);
+}
+
+/// Shared body of the k=24 probe-sketch solver benches: one full resistance
+/// sketch per iteration, reporting wall time plus the summed CG iteration
+/// count across probes (the `cg_iters` counter).
+void sketch_solver_bench(benchmark::State& state,
+                         graphs::SolverPreconditioner precond,
+                         bool use_block_cg) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  runtime::set_global_threads(static_cast<std::size_t>(state.range(1)));
+  const auto g = manifold_like_graph(n, 5);
+  graphs::ResistanceSketchOptions opts;
+  opts.num_probes = 24;
+  opts.preconditioner = precond;
+  opts.use_block_cg = use_block_cg;
+  // Let every configuration run to convergence so the reported iteration
+  // counts compare converged solves, not budget caps.
+  opts.cg_max_iterations = 20000;
+  graphs::ResistanceSketchStats stats;
+  std::size_t iters = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graphs::edge_effective_resistances(g, opts, nullptr, &stats));
+    iters = stats.cg_iterations;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["cg_iters"] = static_cast<double>(iters);
+  runtime::set_global_threads(0);
+}
+
+/// Pre-PR baseline: one Jacobi-CG task per probe.
+void BM_SketchSingleJacobi(benchmark::State& state) {
+  sketch_solver_bench(state, graphs::SolverPreconditioner::jacobi,
+                      /*use_block_cg=*/false);
+}
+BENCHMARK(BM_SketchSingleJacobi)->Apply(solver_sweep);
+
+/// Blocked multi-RHS CG, same Jacobi preconditioner (bit-identical results).
+void BM_SketchBlockJacobi(benchmark::State& state) {
+  sketch_solver_bench(state, graphs::SolverPreconditioner::jacobi,
+                      /*use_block_cg=*/true);
+}
+BENCHMARK(BM_SketchBlockJacobi)->Apply(solver_sweep);
+
+/// Blocked multi-RHS CG with the spanning-tree preconditioner.
+void BM_SketchBlockTree(benchmark::State& state) {
+  sketch_solver_bench(state, graphs::SolverPreconditioner::spanning_tree,
+                      /*use_block_cg=*/true);
+}
+BENCHMARK(BM_SketchBlockTree)->Apply(solver_sweep);
 
 void BM_TimingGnnForward(benchmark::State& state) {
   const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));

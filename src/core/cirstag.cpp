@@ -89,6 +89,13 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   task_timer.reset();
   timer.reset();
 
+  // Cross-phase solver cache: the resistance sketches of Phase 2 and the
+  // L_Y solver of Phase 3 key their solvers here, so a manifold reused
+  // across phases is assembled once.
+  graphs::LaplacianSolverCache solver_cache;
+  graphs::LaplacianSolverCache* cache =
+      config_.use_solver_cache ? &solver_cache : nullptr;
+
   // Phase 2: kNN + PGM sparsification on both sides. Without dimension
   // reduction the raw input graph itself serves as the input manifold
   // (Fig. 4 ablation).
@@ -96,11 +103,12 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
     const runtime::ScopedTaskTimer scope(task_timer);
     if (config_.use_dimension_reduction) {
       report.manifold_x =
-          build_manifold(report.input_embedding, config_.manifold);
+          build_manifold(report.input_embedding, config_.manifold, cache);
     } else {
       report.manifold_x = input_graph;
     }
-    report.manifold_y = build_manifold(output_embedding, config_.manifold);
+    report.manifold_y =
+        build_manifold(output_embedding, config_.manifold, cache);
   }
   report.timings.manifold_seconds = timer.elapsed_seconds();
   report.timings.manifold_busy_seconds = task_timer.busy_seconds();
@@ -112,7 +120,7 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   {
     const runtime::ScopedTaskTimer scope(task_timer);
     stab = stability_scores(report.manifold_x, report.manifold_y,
-                            config_.stability);
+                            config_.stability, cache);
   }
   report.timings.stability_seconds = timer.elapsed_seconds();
   report.timings.stability_busy_seconds = task_timer.busy_seconds();

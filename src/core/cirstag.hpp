@@ -30,6 +30,11 @@ struct CirStagConfig {
   /// bit-identical at every setting — the runtime's chunked reductions fix
   /// chunk boundaries independent of thread count.
   std::size_t threads = 0;
+  /// Share one Laplacian-solver cache across the manifold and stability
+  /// phases so each distinct manifold is assembled/factored once per
+  /// analyze(). Purely an assembly cache: scores are bit-identical with it
+  /// on or off.
+  bool use_solver_cache = true;
 };
 
 /// Wall-clock per phase (Fig. 5 scalability series), plus the summed busy

@@ -27,12 +27,14 @@ graphs::Graph normalize_median_weight(const graphs::Graph& g) {
 }  // namespace
 
 graphs::Graph build_manifold(const linalg::Matrix& embedding,
-                             const ManifoldOptions& opts) {
+                             const ManifoldOptions& opts,
+                             graphs::LaplacianSolverCache* cache) {
   graphs::Graph knn = graphs::build_knn_graph(embedding, opts.knn);
   if (opts.normalize_weights) knn = normalize_median_weight(knn);
   knn = graphs::connect_components(knn, opts.bridge_weight);
   if (!opts.apply_sparsification) return knn;
-  graphs::SparsifyResult sparse = graphs::sparsify_pgm(knn, opts.sparsify);
+  graphs::SparsifyResult sparse =
+      graphs::sparsify_pgm(knn, opts.sparsify, cache);
   return std::move(sparse.graph);
 }
 

@@ -28,7 +28,10 @@ struct ManifoldOptions {
 /// PGM-stationary weights w = 1/dist², reconnected if the kNN graph is
 /// disconnected (effective resistance needs a connected support), then
 /// refined by η-pruning spectral sparsification (Eq. 8).
-[[nodiscard]] graphs::Graph build_manifold(const linalg::Matrix& embedding,
-                                           const ManifoldOptions& opts = {});
+///
+/// `cache` (optional) is forwarded to the sparsifier's resistance sketch.
+[[nodiscard]] graphs::Graph build_manifold(
+    const linalg::Matrix& embedding, const ManifoldOptions& opts = {},
+    graphs::LaplacianSolverCache* cache = nullptr);
 
 }  // namespace cirstag::core

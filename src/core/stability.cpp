@@ -1,6 +1,7 @@
 #include "core/stability.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "graphs/effective_resistance.hpp"
@@ -29,7 +30,8 @@ std::vector<double> StabilityResult::scores_for_edges(
 
 StabilityResult stability_scores(const graphs::Graph& manifold_x,
                                  const graphs::Graph& manifold_y,
-                                 const StabilityOptions& opts) {
+                                 const StabilityOptions& opts,
+                                 graphs::LaplacianSolverCache* cache) {
   if (manifold_x.num_nodes() != manifold_y.num_nodes())
     throw std::invalid_argument("stability_scores: manifold size mismatch");
   const std::size_t n = manifold_x.num_nodes();
@@ -44,8 +46,25 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   eopts.ly_regularization = 1.0 / opts.sigma2;
   eopts.cg_tolerance = opts.cg_tolerance;
   eopts.cg_max_iterations = opts.cg_max_iterations;
+  eopts.use_block_cg = opts.use_block_cg;
+
+  // Build (or fetch) the (L_Y + I/σ²) solver through the shared path so the
+  // rest of the pipeline can reuse it; same construction as the solver
+  // generalized_eigen_sparse would build internally.
+  graphs::SolverOptions sopts;
+  sopts.regularization = eopts.ly_regularization;
+  sopts.preconditioner = opts.preconditioner;
+  sopts.cg.tolerance = eopts.cg_tolerance;
+  sopts.cg.max_iterations = eopts.cg_max_iterations;
+  std::shared_ptr<const linalg::LaplacianSolver> ly_solver;
+  if (cache) {
+    ly_solver = cache->solver(manifold_y, sopts);
+  } else {
+    ly_solver = std::make_shared<const linalg::LaplacianSolver>(
+        graphs::make_laplacian_solver(manifold_y, sopts));
+  }
   const linalg::GeneralizedEigenResult eig =
-      linalg::generalized_eigen_sparse(l_x, l_y, eopts);
+      linalg::generalized_eigen_sparse(l_x, l_y, eopts, ly_solver.get());
 
   StabilityResult out;
   out.eigenvalues = eig.values;
@@ -84,9 +103,12 @@ std::vector<double> edge_dmd_ratios(const graphs::Graph& manifold_x,
                                     double sigma2) {
   if (manifold_x.num_nodes() != manifold_y.num_nodes())
     throw std::invalid_argument("edge_dmd_ratios: manifold size mismatch");
-  const double reg = 1.0 / sigma2;
-  linalg::LaplacianSolver sx(graphs::laplacian(manifold_x), reg);
-  linalg::LaplacianSolver sy(graphs::laplacian(manifold_y), reg);
+  graphs::SolverOptions sopts;
+  sopts.regularization = 1.0 / sigma2;
+  const linalg::LaplacianSolver sx =
+      graphs::make_laplacian_solver(manifold_x, sopts);
+  const linalg::LaplacianSolver sy =
+      graphs::make_laplacian_solver(manifold_y, sopts);
 
   std::vector<double> ratios(manifold_x.num_edges(), 0.0);
   runtime::parallel_for(0, manifold_x.num_edges(), 1, [&](std::size_t e) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "graphs/graph.hpp"
+#include "graphs/solver_cache.hpp"
 #include "linalg/generalized_eigen.hpp"
 #include "linalg/matrix.hpp"
 
@@ -20,6 +21,13 @@ struct StabilityOptions {
   double cg_tolerance = 1e-7;
   std::size_t cg_max_iterations = 400;
   std::uint64_t seed = 99;
+  /// Preconditioner for the inner L_Y solves (jacobi reproduces the
+  /// historical iterates bit-for-bit; spanning_tree converges faster).
+  graphs::SolverPreconditioner preconditioner =
+      graphs::SolverPreconditioner::jacobi;
+  /// Solve all subspace columns per sweep in one blocked CG call
+  /// (bit-identical per column; see GeneralizedEigenOptions::use_block_cg).
+  bool use_block_cg = true;
 };
 
 /// Phase-3 output: the DMD spectrum and per-edge/per-node stability scores.
@@ -53,9 +61,14 @@ struct StabilityResult {
 /// generalized eigenpairs of L_Y^+ L_X, the √ζ-weighted eigensubspace
 /// embedding, and edge/node scores. A large score marks a node whose
 /// neighborhood the GNN stretches the most — the local Lipschitz surrogate.
+///
+/// `cache` (optional) supplies/keeps the (L_Y + I/σ²) solver so it is shared
+/// with other phases operating on the same manifold; results are identical
+/// with or without it.
 [[nodiscard]] StabilityResult stability_scores(
     const graphs::Graph& manifold_x, const graphs::Graph& manifold_y,
-    const StabilityOptions& opts = {});
+    const StabilityOptions& opts = {},
+    graphs::LaplacianSolverCache* cache = nullptr);
 
 /// Direct per-edge DMD ratios δ(p,q) = d_Y(p,q)/d_X(p,q) using effective-
 /// resistance distances on both manifolds (diagnostic / validation of the

@@ -1,9 +1,11 @@
 #include "graphs/effective_resistance.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "graphs/laplacian.hpp"
+#include "linalg/matrix.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
 #include "runtime/parallel_for.hpp"
@@ -13,6 +15,21 @@ namespace cirstag::graphs {
 namespace {
 /// Edges per chunk for the per-edge distance loops (cheap, memory bound).
 constexpr std::size_t kEdgeGrain = 512;
+
+/// Fetch the solver from the cache (if any) or build a one-shot instance.
+std::shared_ptr<const linalg::LaplacianSolver> obtain_solver(
+    const Graph& g, const SolverOptions& sopts, LaplacianSolverCache* cache,
+    bool* was_hit) {
+  if (cache) {
+    const std::size_t before = cache->hits();
+    auto solver = cache->solver(g, sopts);
+    if (was_hit) *was_hit = cache->hits() > before;
+    return solver;
+  }
+  if (was_hit) *was_hit = false;
+  return std::make_shared<const linalg::LaplacianSolver>(
+      make_laplacian_solver(g, sopts));
+}
 }  // namespace
 
 double effective_resistance(const linalg::LaplacianSolver& solver, NodeId u,
@@ -29,62 +46,117 @@ double effective_resistance(const linalg::LaplacianSolver& solver, NodeId u,
 }
 
 std::vector<double> edge_effective_resistances(
-    const Graph& g, const ResistanceSketchOptions& opts) {
+    const Graph& g, const ResistanceSketchOptions& opts,
+    LaplacianSolverCache* cache, ResistanceSketchStats* stats) {
   const std::size_t n = g.num_nodes();
   const std::size_t m = g.num_edges();
+  if (stats) *stats = {};
   if (m == 0) return {};
 
-  linalg::CgOptions cg;
-  cg.tolerance = opts.cg_tolerance;
-  cg.max_iterations = opts.cg_max_iterations;
-  linalg::LaplacianSolver solver(laplacian(g), /*regularization=*/0.0, cg);
+  SolverOptions sopts;
+  sopts.preconditioner = opts.preconditioner;
+  sopts.cg.tolerance = opts.cg_tolerance;
+  sopts.cg.max_iterations = opts.cg_max_iterations;
+  bool cache_hit = false;
+  auto solver = obtain_solver(g, sopts, cache, &cache_hit);
 
   linalg::Rng rng(opts.seed);
   const std::size_t k = std::max<std::size_t>(1, opts.num_probes);
   const double inv_sqrt_k = 1.0 / std::sqrt(static_cast<double>(k));
 
-  // Probe vectors y_i = B^T W^{1/2} q_i, q_i Rademacher over edges. Drawn
-  // serially from the single seed stream so the sketch is identical to the
-  // historical serial implementation at every thread count.
-  std::vector<std::vector<double>> probes(k, std::vector<double>(n, 0.0));
+  // Probe vectors y_i = B^T W^{1/2} q_i, q_i Rademacher over edges, stored
+  // as columns of Y. Drawn serially from the single seed stream (probe-major,
+  // the historical order) so the sketch is identical to the serial
+  // implementation at every thread count and under either solve path.
+  linalg::Matrix probes(n, k);
   for (std::size_t i = 0; i < k; ++i) {
-    std::vector<double>& y = probes[i];
     for (std::size_t e = 0; e < m; ++e) {
       const Edge& ed = g.edge(e);
       const double q = rng.rademacher() * inv_sqrt_k * std::sqrt(ed.weight);
-      y[ed.u] += q;
-      y[ed.v] -= q;
+      probes(ed.u, i) += q;
+      probes(ed.v, i) -= q;
     }
   }
 
-  // Z rows: z_i = L^+ y_i — k independent CG solves, one task each.
-  std::vector<std::vector<double>> z_rows(k);
-  runtime::parallel_for(0, k, 1, [&](std::size_t i) {
-    z_rows[i] = solver.solve(probes[i]);
-  });
+  // Z columns: z_i = L^+ y_i.
+  linalg::Matrix z(n, k);
+  std::size_t iterations = 0;
+  bool warm_started = false;
+  if (opts.use_block_cg) {
+    linalg::Matrix guess;
+    const bool have_guess =
+        cache && !opts.warm_start_tag.empty() &&
+        cache->take_warm_block(opts.warm_start_tag, n, k, guess);
+    warm_started = have_guess;
+    linalg::BlockSolveStats bstats;
+    z = solver->solve_block(probes, have_guess ? &guess : nullptr, &bstats);
+    iterations = bstats.total_iterations;
+  } else {
+    // Historical path: one CG task per probe.
+    const std::size_t before = solver->cumulative_iterations();
+    runtime::parallel_for(0, k, 1, [&](std::size_t i) {
+      std::vector<double> y(n);
+      for (std::size_t r = 0; r < n; ++r) y[r] = probes(r, i);
+      const std::vector<double> x = solver->solve(y);
+      for (std::size_t r = 0; r < n; ++r) z(r, i) = x[r];
+    });
+    iterations = solver->cumulative_iterations() - before;
+  }
 
   std::vector<double> r(m, 0.0);
   runtime::parallel_for_chunks(0, m, kEdgeGrain,
                                [&](std::size_t lo, std::size_t hi) {
     for (std::size_t e = lo; e < hi; ++e) {
       const Edge& ed = g.edge(e);
+      const auto zu = z.row(ed.u);
+      const auto zv = z.row(ed.v);
       double s = 0.0;
       for (std::size_t i = 0; i < k; ++i) {
-        const double d = z_rows[i][ed.u] - z_rows[i][ed.v];
+        const double d = zu[i] - zv[i];
         s += d * d;
       }
       r[e] = s;
     }
   });
+
+  if (cache && !opts.warm_start_tag.empty())
+    cache->store_warm_block(opts.warm_start_tag, std::move(z));
+  if (stats) {
+    stats->cg_iterations = iterations;
+    stats->cache_hit = cache_hit;
+    stats->used_block_cg = opts.use_block_cg;
+    stats->warm_started = warm_started;
+  }
   return r;
 }
 
-std::vector<double> edge_effective_resistances_exact(const Graph& g) {
-  linalg::LaplacianSolver solver(laplacian(g));
-  std::vector<double> r(g.num_edges(), 0.0);
-  runtime::parallel_for(0, g.num_edges(), 1, [&](std::size_t e) {
-    const Edge& ed = g.edge(e);
-    r[e] = effective_resistance(solver, ed.u, ed.v);
+std::vector<double> edge_effective_resistances_exact(
+    const Graph& g, const ExactResistanceOptions& opts) {
+  SolverOptions sopts;
+  sopts.preconditioner = opts.preconditioner;
+  sopts.cg = opts.cg;
+  const linalg::LaplacianSolver solver = make_laplacian_solver(g, sopts);
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  std::vector<double> r(m, 0.0);
+  const std::size_t grain = std::max<std::size_t>(1, opts.chunk_grain);
+  runtime::parallel_for_chunks(0, m, grain,
+                               [&](std::size_t lo, std::size_t hi) {
+    std::vector<double> b(n, 0.0);
+    std::vector<double> prev;  // previous edge's solution in this chunk
+    for (std::size_t e = lo; e < hi; ++e) {
+      const Edge& ed = g.edge(e);
+      b[ed.u] = 1.0;
+      b[ed.v] = -1.0;
+      std::vector<double> x =
+          (opts.warm_start && !prev.empty())
+              ? solver.solve(b, prev)
+              : solver.solve(b);
+      r[e] = x[ed.u] - x[ed.v];
+      b[ed.u] = 0.0;
+      b[ed.v] = 0.0;
+      if (opts.warm_start) prev = std::move(x);
+    }
   });
   return r;
 }

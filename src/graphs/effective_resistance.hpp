@@ -1,8 +1,10 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "graphs/graph.hpp"
+#include "graphs/solver_cache.hpp"
 #include "linalg/cg.hpp"
 
 namespace cirstag::graphs {
@@ -23,6 +25,27 @@ struct ResistanceSketchOptions {
   double cg_tolerance = 1e-6;
   std::size_t cg_max_iterations = 300;
   std::uint64_t seed = 7;
+  /// Preconditioner for the probe solves. Jacobi reproduces the historical
+  /// iterates bit-for-bit; spanning_tree typically converges in far fewer
+  /// iterations but follows a different (equally valid) iterate path.
+  SolverPreconditioner preconditioner = SolverPreconditioner::jacobi;
+  /// Solve all probes in one blocked CG call (one CSR traversal per
+  /// iteration serves every probe). Bit-identical to the per-probe path at
+  /// every thread count; off = the historical one-task-per-probe solves.
+  bool use_block_cg = true;
+  /// Non-empty + a cache: seed the probe solves from the solutions stored
+  /// under this tag by the previous sketch (e.g. the prior SGL pruning
+  /// iteration) and store this sketch's solutions back. Changes results at
+  /// CG-tolerance level, hence opt-in.
+  std::string warm_start_tag;
+};
+
+/// Diagnostics from one sketch run (all optional to consume).
+struct ResistanceSketchStats {
+  std::size_t cg_iterations = 0;  ///< Σ iterations across probe solves
+  bool cache_hit = false;         ///< solver came from the cache
+  bool used_block_cg = false;
+  bool warm_started = false;
 };
 
 /// Approximate effective resistance of every edge of `g` simultaneously
@@ -31,12 +54,29 @@ struct ResistanceSketchOptions {
 /// computed with `num_probes` Laplacian solves. This is the near-linear
 /// R_eff engine backing the paper's η = w·R_eff pruning criterion (Eq. 8)
 /// and LRD decomposition.
+///
+/// `cache` (optional) reuses/persists the Laplacian solver across calls with
+/// the same graph and solver options — the cross-phase solver cache.
 [[nodiscard]] std::vector<double> edge_effective_resistances(
-    const Graph& g, const ResistanceSketchOptions& opts = {});
+    const Graph& g, const ResistanceSketchOptions& opts = {},
+    LaplacianSolverCache* cache = nullptr,
+    ResistanceSketchStats* stats = nullptr);
+
+/// Options for the exact per-edge solver (satellite of the sketch).
+struct ExactResistanceOptions {
+  linalg::CgOptions cg;  ///< defaults: 1e-10 tolerance, 2000 iterations
+  SolverPreconditioner preconditioner = SolverPreconditioner::jacobi;
+  /// Chain each solve from the previous edge's solution within a chunk —
+  /// consecutive edges share endpoints in kNN graphs, so the guesses are
+  /// close. Chunk boundaries are fixed by `chunk_grain` alone, keeping
+  /// results thread-count independent.
+  bool warm_start = true;
+  std::size_t chunk_grain = 32;
+};
 
 /// Exact per-edge effective resistances (one solve per edge); quadratic-ish,
 /// used as a test oracle and for small graphs.
 [[nodiscard]] std::vector<double> edge_effective_resistances_exact(
-    const Graph& g);
+    const Graph& g, const ExactResistanceOptions& opts = {});
 
 }  // namespace cirstag::graphs

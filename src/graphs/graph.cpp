@@ -1,8 +1,26 @@
 #include "graphs/graph.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 namespace cirstag::graphs {
+
+namespace {
+
+// FNV-1a, 64-bit. Deterministic across platforms and runs — fingerprints may
+// end up in cache keys that outlive the process image, so no std::hash.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
   if (u >= num_nodes() || v >= num_nodes())
@@ -14,12 +32,14 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
   edges_.push_back({u, v, weight});
   adjacency_[u].push_back({v, id});
   adjacency_[v].push_back({u, id});
+  fingerprint_valid_ = false;
   return id;
 }
 
 NodeId Graph::add_nodes(std::size_t count) {
   const auto first = static_cast<NodeId>(adjacency_.size());
   adjacency_.resize(adjacency_.size() + count);
+  fingerprint_valid_ = false;
   return first;
 }
 
@@ -28,6 +48,7 @@ void Graph::set_weight(EdgeId e, double weight) {
   if (!(weight > 0.0))
     throw std::invalid_argument("Graph::set_weight: weight must be positive");
   edges_[e].weight = weight;
+  fingerprint_valid_ = false;
 }
 
 double Graph::weighted_degree(NodeId u) const {
@@ -40,6 +61,20 @@ double Graph::total_weight() const {
   double s = 0.0;
   for (const auto& e : edges_) s += e.weight;
   return s;
+}
+
+const GraphFingerprint& Graph::fingerprint() const {
+  if (!fingerprint_valid_) {
+    std::uint64_t h = fnv_mix(kFnvOffset, num_nodes());
+    for (const Edge& e : edges_) {
+      h = fnv_mix(h, e.u);
+      h = fnv_mix(h, e.v);
+      h = fnv_mix(h, std::bit_cast<std::uint64_t>(e.weight));
+    }
+    fingerprint_ = {h, num_nodes(), num_edges()};
+    fingerprint_valid_ = true;
+  }
+  return fingerprint_;
 }
 
 Graph Graph::edge_subgraph(std::span<const EdgeId> keep) const {

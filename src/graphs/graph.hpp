@@ -23,6 +23,19 @@ struct Incidence {
   EdgeId edge = 0;
 };
 
+/// Content fingerprint of a graph: node/edge counts plus a 64-bit hash over
+/// the ordered edge stream (endpoints and weight bits). Two graphs with
+/// equal fingerprints have the same Laplacian, so the fingerprint is the
+/// cache key of the Laplacian solver cache — identity survives copies and
+/// is invalidated by any mutation (a "revision" in cache terms).
+struct GraphFingerprint {
+  std::uint64_t hash = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
 /// Undirected weighted graph stored as an edge list plus adjacency lists.
 ///
 /// The common currency of the library: circuit connectivity graphs, kNN
@@ -66,9 +79,16 @@ class Graph {
   /// Subgraph keeping only the listed edges (same node set).
   [[nodiscard]] Graph edge_subgraph(std::span<const EdgeId> keep) const;
 
+  /// Content fingerprint (see GraphFingerprint). Lazily computed and cached;
+  /// any mutation invalidates the cache, so repeated lookups on a stable
+  /// graph — the solver-cache hot path — cost one comparison, not a rehash.
+  [[nodiscard]] const GraphFingerprint& fingerprint() const;
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<Incidence>> adjacency_;
+  mutable GraphFingerprint fingerprint_;
+  mutable bool fingerprint_valid_ = false;
 };
 
 }  // namespace cirstag::graphs

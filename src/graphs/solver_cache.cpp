@@ -1,0 +1,118 @@
+#include "graphs/solver_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "graphs/laplacian.hpp"
+#include "graphs/spanning_tree.hpp"
+#include "linalg/tree_precond.hpp"
+
+namespace cirstag::graphs {
+
+linalg::LaplacianSolver make_laplacian_solver(const Graph& g,
+                                              const SolverOptions& opts) {
+  linalg::SparseMatrix lap = laplacian(g);
+  if (opts.preconditioner == SolverPreconditioner::spanning_tree) {
+    const std::vector<EdgeId> tree = max_weight_spanning_forest(g);
+    const RootedForest forest = rooted_forest(g, tree);
+    auto fact = linalg::TreeFactorization::build(
+        forest.parent, forest.parent_weight, forest.order,
+        opts.regularization);
+    return linalg::LaplacianSolver(std::move(lap), opts.regularization,
+                                   opts.cg, std::move(fact));
+  }
+  return linalg::LaplacianSolver(std::move(lap), opts.regularization, opts.cg);
+}
+
+std::shared_ptr<const linalg::LaplacianSolver> LaplacianSolverCache::solver(
+    const Graph& g, const SolverOptions& opts) {
+  const Key key{g.fingerprint(), opts.regularization,
+                std::bit_cast<std::uint64_t>(opts.cg.tolerance),
+                opts.cg.max_iterations, opts.preconditioner};
+  {
+    std::lock_guard lock(mutex_);
+    for (Entry& e : entries_) {
+      if (e.key == key) {
+        e.last_used = ++clock_;
+        ++hits_;
+        return e.solver;
+      }
+    }
+    ++misses_;
+  }
+  // Build outside the lock — factorization is the expensive part and other
+  // threads may be hitting unrelated entries meanwhile.
+  auto built = std::make_shared<const linalg::LaplacianSolver>(
+      make_laplacian_solver(g, opts));
+  std::lock_guard lock(mutex_);
+  // A racing builder may have inserted the same key; prefer the existing
+  // entry so concurrent callers converge on one solver object.
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.last_used = ++clock_;
+      return e.solver;
+    }
+  }
+  if (entries_.size() >= capacity_) {
+    auto lru = std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+    entries_.erase(lru);
+  }
+  entries_.push_back({key, built, ++clock_});
+  return built;
+}
+
+bool LaplacianSolverCache::take_warm_block(const std::string& tag,
+                                           std::size_t rows, std::size_t cols,
+                                           linalg::Matrix& out) {
+  std::lock_guard lock(mutex_);
+  for (auto it = warm_.begin(); it != warm_.end(); ++it) {
+    if (it->tag != tag) continue;
+    if (it->block.rows() != rows || it->block.cols() != cols) {
+      warm_.erase(it);  // shape changed (e.g. pruned graph) — stale
+      return false;
+    }
+    out = std::move(it->block);
+    warm_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void LaplacianSolverCache::store_warm_block(const std::string& tag,
+                                            linalg::Matrix block) {
+  std::lock_guard lock(mutex_);
+  for (auto& e : warm_) {
+    if (e.tag == tag) {
+      e.block = std::move(block);
+      return;
+    }
+  }
+  warm_.push_back({tag, std::move(block)});
+}
+
+std::size_t LaplacianSolverCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t LaplacianSolverCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::size_t LaplacianSolverCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void LaplacianSolverCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+  warm_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace cirstag::graphs

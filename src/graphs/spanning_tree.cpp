@@ -57,4 +57,39 @@ std::vector<EdgeId> min_weight_spanning_forest(const Graph& g) {
   return kruskal(g, /*maximize=*/false);
 }
 
+RootedForest rooted_forest(const Graph& g,
+                           std::span<const EdgeId> tree_edges) {
+  const std::size_t n = g.num_nodes();
+  RootedForest f;
+  f.parent.resize(n);
+  std::iota(f.parent.begin(), f.parent.end(), std::uint32_t{0});
+  f.parent_weight.assign(n, 0.0);
+  f.order.reserve(n);
+
+  std::vector<std::uint8_t> in_tree(g.num_edges(), 0);
+  for (EdgeId e : tree_edges) in_tree[e] = 1;
+
+  std::vector<std::uint8_t> visited(n, 0);
+  std::vector<std::uint32_t> queue;
+  queue.reserve(n);
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = 1;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t u = queue[head];
+      f.order.push_back(u);
+      for (const Incidence& inc : g.neighbors(u)) {
+        if (!in_tree[inc.edge] || visited[inc.neighbor]) continue;
+        visited[inc.neighbor] = 1;
+        f.parent[inc.neighbor] = u;
+        f.parent_weight[inc.neighbor] = g.edge(inc.edge).weight;
+        queue.push_back(inc.neighbor);
+      }
+    }
+  }
+  return f;
+}
+
 }  // namespace cirstag::graphs

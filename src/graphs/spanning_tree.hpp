@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graphs/graph.hpp"
@@ -30,5 +31,25 @@ class UnionFind {
 
 /// Minimum-weight spanning forest (Kruskal, ascending weights).
 [[nodiscard]] std::vector<EdgeId> min_weight_spanning_forest(const Graph& g);
+
+/// A spanning forest oriented away from per-component roots — the input
+/// format of `linalg::TreeFactorization` (fill-free LDLᵀ on trees).
+struct RootedForest {
+  /// parent[u] == u for roots/isolated nodes; the tree edge otherwise.
+  std::vector<std::uint32_t> parent;
+  /// Weight of the edge (u, parent[u]); 0 for roots.
+  std::vector<double> parent_weight;
+  /// Topological order, roots first: parent[order[i]] appears before
+  /// order[i]. Exactly the elimination order the tree factorization wants
+  /// (reversed) and its solve sweeps want (forward).
+  std::vector<std::uint32_t> order;
+};
+
+/// Orient the forest given by `tree_edges` (e.g. from
+/// max_weight_spanning_forest) away from the lowest-id node of each
+/// component. Deterministic: BFS visits neighbors in adjacency order
+/// restricted to tree edges.
+[[nodiscard]] RootedForest rooted_forest(const Graph& g,
+                                         std::span<const EdgeId> tree_edges);
 
 }  // namespace cirstag::graphs

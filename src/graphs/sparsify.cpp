@@ -8,7 +8,8 @@
 
 namespace cirstag::graphs {
 
-SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts) {
+SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts,
+                            LaplacianSolverCache* cache) {
   SparsifyResult out;
   const std::size_t m = g.num_edges();
   if (m == 0) {
@@ -17,7 +18,7 @@ SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts) {
   }
 
   const std::vector<double> r_eff =
-      edge_effective_resistances(g, opts.resistance);
+      edge_effective_resistances(g, opts.resistance, cache);
 
   out.eta.resize(m);
   for (std::size_t e = 0; e < m; ++e)

@@ -37,7 +37,11 @@ struct SparsifyResult {
 /// retains the off-tree edges with the largest η_pq = w_pq · R_eff(p,q):
 /// those are exactly the edges whose removal would most perturb
 /// log det(Θ) relative to the data-fit term (Eqs. 6–7).
+///
+/// `cache` (optional) is threaded through to the resistance sketch so the
+/// Laplacian solver for `g` is shared with other phases of the pipeline.
 [[nodiscard]] SparsifyResult sparsify_pgm(const Graph& g,
-                                          const SparsifyOptions& opts = {});
+                                          const SparsifyOptions& opts = {},
+                                          LaplacianSolverCache* cache = nullptr);
 
 }  // namespace cirstag::graphs

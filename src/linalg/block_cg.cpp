@@ -1,0 +1,243 @@
+#include "linalg/block_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
+
+namespace cirstag::linalg {
+
+namespace {
+
+/// Rows per parallel chunk for element-wise block updates; fixed grain keeps
+/// the decomposition (and hence every partial) thread-count independent.
+constexpr std::size_t kRowGrain = 2048;
+/// Below this many elements an update is cheaper than waking the pool.
+constexpr std::size_t kParallelMinElems = 16384;
+
+using Mask = std::vector<std::uint8_t>;
+
+/// out[j] = Σ_i A(i,j)·B(i,j) for active columns. The i-outer serial loop
+/// reproduces each column's single-vector `dot` association exactly.
+void column_dots(const Matrix& a, const Matrix& b, const Mask& active,
+                 std::vector<double>& out) {
+  const std::size_t n = a.rows(), k = a.cols();
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ra = a.row(i);
+    const auto rb = b.row(i);
+    for (std::size_t j = 0; j < k; ++j)
+      if (active[j]) out[j] += ra[j] * rb[j];
+  }
+}
+
+/// Remove the mean of every active column (two-pass, row-ascending — the
+/// per-column association of the single-vector deflate_constant).
+void deflate_columns(Matrix& x, const Mask& active) {
+  const std::size_t n = x.rows(), k = x.cols();
+  if (n == 0) return;
+  std::vector<double> mean(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto r = x.row(i);
+    for (std::size_t j = 0; j < k; ++j)
+      if (active[j]) mean[j] += r[j];
+  }
+  for (std::size_t j = 0; j < k; ++j) mean[j] /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = x.row(i);
+    for (std::size_t j = 0; j < k; ++j)
+      if (active[j]) r[j] -= mean[j];
+  }
+}
+
+/// Deflate one column — used exactly once per column, at retirement, so a
+/// column is never double-deflated (deflation is not bitwise idempotent).
+void deflate_column(Matrix& x, std::size_t j) {
+  const std::size_t n = x.rows();
+  if (n == 0) return;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += x(i, j);
+  mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) x(i, j) -= mean;
+}
+
+/// y(i,j) += c[j]·x(i,j) on active columns (element-parallel, fixed chunks).
+void axpy_columns(const std::vector<double>& c, const Matrix& x, Matrix& y,
+                  const Mask& active) {
+  const std::size_t n = x.rows(), k = x.cols();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto rx = x.row(i);
+      auto ry = y.row(i);
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) ry[j] += c[j] * rx[j];
+    }
+  };
+  if (n * k < kParallelMinElems) {
+    body(0, n);
+  } else {
+    runtime::parallel_for_chunks(0, n, kRowGrain, body);
+  }
+}
+
+/// p(i,j) = z(i,j) + beta[j]·p(i,j) on active columns.
+void update_directions(const Matrix& z, const std::vector<double>& beta,
+                       Matrix& p, const Mask& active) {
+  const std::size_t n = z.rows(), k = z.cols();
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto rz = z.row(i);
+      auto rp = p.row(i);
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) rp[j] = rz[j] + beta[j] * rp[j];
+    }
+  };
+  if (n * k < kParallelMinElems) {
+    body(0, n);
+  } else {
+    runtime::parallel_for_chunks(0, n, kRowGrain, body);
+  }
+}
+
+}  // namespace
+
+BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
+                                       const Matrix& b,
+                                       const BlockLinearOperator& precond,
+                                       const CgOptions& opts,
+                                       const Matrix* initial_guess) {
+  const std::size_t n = b.rows();
+  const std::size_t k = b.cols();
+  BlockCgResult res;
+  res.solutions = Matrix(n, k);
+  res.residuals.assign(k, 0.0);
+  res.iterations.assign(k, 0);
+  res.converged.assign(k, 0);
+  res.breakdown.assign(k, 0);
+  if (k == 0 || n == 0) return res;
+  if (initial_guess &&
+      (initial_guess->rows() != n || initial_guess->cols() != k))
+    throw std::invalid_argument("block_conjugate_gradient: bad guess shape");
+
+  Matrix r = b;
+  const Mask all(k, 1);
+  if (opts.deflate_constant) deflate_columns(r, all);
+
+  std::vector<double> bnorm(k, 0.0);
+  column_dots(r, r, all, bnorm);
+  for (auto& v : bnorm) v = std::sqrt(v);
+
+  Mask active(k, 0);
+  std::size_t num_active = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (bnorm[j] == 0.0) {
+      res.converged[j] = 1;  // x stays 0 — single CG's zero-rhs early return
+    } else {
+      active[j] = 1;
+      ++num_active;
+    }
+  }
+  if (num_active == 0) return res;
+
+  if (initial_guess) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto g = initial_guess->row(i);
+      auto x = res.solutions.row(i);
+      for (std::size_t j = 0; j < k; ++j)
+        if (active[j]) x[j] = g[j];
+    }
+    if (opts.deflate_constant) deflate_columns(res.solutions, active);
+    Matrix ax(n, k);
+    op(res.solutions, ax);
+    if (opts.deflate_constant) deflate_columns(ax, active);
+    const std::vector<double> minus_one(k, -1.0);
+    axpy_columns(minus_one, ax, r, active);
+  }
+
+  Matrix z(n, k);
+  auto apply_precond = [&](const Matrix& in, Matrix& out) {
+    if (precond) {
+      precond(in, out);
+    } else {
+      std::copy(in.data().begin(), in.data().end(), out.data().begin());
+    }
+    if (opts.deflate_constant) deflate_columns(out, active);
+  };
+
+  apply_precond(r, z);
+  Matrix p = z;
+  Matrix ap(n, k);
+  std::vector<double> rz(k, 0.0);
+  column_dots(r, z, active, rz);
+
+  std::vector<double> pap(k, 0.0), alpha(k, 0.0), neg_alpha(k, 0.0),
+      rnorm2(k, 0.0), rz_new(k, 0.0), beta(k, 0.0);
+
+  // ‖r_j‖/‖b_j‖ recomputed at breakdown / max-iteration retirement, matching
+  // the single-vector tail.
+  auto tail_residual = [&](std::size_t j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) s += r(i, j) * r(i, j);
+    return std::sqrt(s) / bnorm[j];
+  };
+
+  for (std::size_t it = 0; it < opts.max_iterations && num_active > 0; ++it) {
+    ap.fill(0.0);
+    op(p, ap);
+    if (opts.deflate_constant) deflate_columns(ap, active);
+    column_dots(p, ap, active, pap);
+    // Indefinite directions retire before the α step — the single-vector
+    // early break, but per column.
+    for (std::size_t j = 0; j < k; ++j) {
+      if (active[j] && pap[j] <= 0.0) {
+        res.breakdown[j] = 1;
+        res.residuals[j] = tail_residual(j);
+        if (opts.deflate_constant) deflate_column(res.solutions, j);
+        active[j] = 0;
+        --num_active;
+      }
+    }
+    if (num_active == 0) break;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      alpha[j] = rz[j] / pap[j];
+      neg_alpha[j] = -alpha[j];
+    }
+    axpy_columns(alpha, p, res.solutions, active);
+    axpy_columns(neg_alpha, ap, r, active);
+    column_dots(r, r, active, rnorm2);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      res.iterations[j] = it + 1;
+      const double rel = std::sqrt(rnorm2[j]) / bnorm[j];
+      if (rel < opts.tolerance) {
+        res.converged[j] = 1;
+        res.residuals[j] = rel;
+        if (opts.deflate_constant) deflate_column(res.solutions, j);
+        active[j] = 0;
+        --num_active;
+      }
+    }
+    if (num_active == 0) break;
+    apply_precond(r, z);
+    column_dots(r, z, active, rz_new);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!active[j]) continue;
+      beta[j] = rz_new[j] / rz[j];
+      rz[j] = rz_new[j];
+    }
+    update_directions(z, beta, p, active);
+  }
+
+  // Columns that exhausted the iteration budget.
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!active[j]) continue;
+    res.residuals[j] = tail_residual(j);
+    if (opts.deflate_constant) deflate_column(res.solutions, j);
+  }
+  for (std::size_t j = 0; j < k; ++j) res.total_iterations += res.iterations[j];
+  return res;
+}
+
+}  // namespace cirstag::linalg

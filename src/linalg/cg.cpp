@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/block_cg.hpp"
 #include "linalg/vector_ops.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace cirstag::linalg {
 
@@ -55,7 +57,12 @@ CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
     op(p, ap);
     if (opts.deflate_constant) deflate_constant(ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // operator numerically indefinite along p
+    if (pap <= 0.0) {
+      // Operator numerically indefinite along p: stop, but report the true
+      // residual so callers never see a stale 0.0 with converged=false.
+      result.breakdown = true;
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, result.solution);
     axpy(-alpha, ap, r);
@@ -81,11 +88,19 @@ CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
 
 LaplacianSolver::LaplacianSolver(SparseMatrix laplacian, double regularization,
                                  CgOptions opts)
+    : LaplacianSolver(std::move(laplacian), regularization, opts,
+                      TreeFactorization{}) {}
+
+LaplacianSolver::LaplacianSolver(SparseMatrix laplacian, double regularization,
+                                 CgOptions opts, TreeFactorization tree)
     : laplacian_(std::move(laplacian)),
       regularization_(regularization),
-      opts_(opts) {
+      opts_(opts),
+      tree_(std::move(tree)) {
   if (laplacian_.rows() != laplacian_.cols())
     throw std::invalid_argument("LaplacianSolver: matrix not square");
+  if (!tree_.empty() && tree_.dimension() != laplacian_.rows())
+    throw std::invalid_argument("LaplacianSolver: tree dimension mismatch");
   opts_.deflate_constant = (regularization_ == 0.0);
   inv_diag_ = laplacian_.diagonal();
   for (auto& d : inv_diag_) {
@@ -102,11 +117,77 @@ std::vector<double> LaplacianSolver::solve(
     if (regularization_ != 0.0) axpy(regularization_, x, y);
   };
   auto precond = [this](std::span<const double> x, std::span<double> y) {
-    for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
+    if (!tree_.empty()) {
+      tree_.apply(x, y);
+    } else {
+      for (std::size_t i = 0; i < x.size(); ++i) y[i] = inv_diag_[i] * x[i];
+    }
   };
   CgResult res = conjugate_gradient(op, b, n, precond, opts_, initial_guess);
   last_residual_.store(res.residual, std::memory_order_relaxed);
+  cumulative_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
   return std::move(res.solution);
+}
+
+Matrix LaplacianSolver::solve_block(const Matrix& rhs,
+                                    const Matrix* initial_guess,
+                                    BlockSolveStats* stats) const {
+  if (rhs.rows() != dimension())
+    throw std::invalid_argument("LaplacianSolver::solve_block: size mismatch");
+  const std::size_t k = rhs.cols();
+  auto op = [this](const Matrix& x, Matrix& y) {
+    laplacian_.multiply_add(x, y);
+    if (regularization_ != 0.0) {
+      const std::size_t n = x.rows(), cols = x.cols();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto rx = x.row(i);
+        auto ry = y.row(i);
+        for (std::size_t j = 0; j < cols; ++j)
+          ry[j] += regularization_ * rx[j];
+      }
+    }
+  };
+  BlockLinearOperator precond;
+  if (!tree_.empty()) {
+    precond = [this](const Matrix& x, Matrix& y) {
+      // Columns are independent O(n) tree solves — parallel across columns,
+      // each column's sweep identical to the single-vector apply.
+      runtime::parallel_for(0, x.cols(), 1, [&](std::size_t j) {
+        const std::size_t n = x.rows();
+        std::vector<double> in(n), out(n);
+        for (std::size_t i = 0; i < n; ++i) in[i] = x(i, j);
+        tree_.apply(in, out);
+        for (std::size_t i = 0; i < n; ++i) y(i, j) = out[i];
+      });
+    };
+  } else {
+    precond = [this](const Matrix& x, Matrix& y) {
+      const std::size_t n = x.rows(), cols = x.cols();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto rx = x.row(i);
+        auto ry = y.row(i);
+        for (std::size_t j = 0; j < cols; ++j) ry[j] = inv_diag_[i] * rx[j];
+      }
+    };
+  }
+
+  BlockCgResult res =
+      block_conjugate_gradient(op, rhs, precond, opts_, initial_guess);
+  double worst = 0.0;
+  std::size_t slowest = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    worst = std::max(worst, res.residuals[j]);
+    slowest = std::max(slowest, res.iterations[j]);
+  }
+  last_residual_.store(worst, std::memory_order_relaxed);
+  cumulative_iterations_.fetch_add(res.total_iterations,
+                                   std::memory_order_relaxed);
+  if (stats) {
+    stats->total_iterations = res.total_iterations;
+    stats->max_iterations = slowest;
+    stats->all_converged = res.all_converged();
+  }
+  return std::move(res.solutions);
 }
 
 }  // namespace cirstag::linalg

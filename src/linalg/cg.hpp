@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/sparse.hpp"
+#include "linalg/tree_precond.hpp"
 
 namespace cirstag::linalg {
 
@@ -28,6 +29,9 @@ struct CgResult {
   double residual = 0.0;          ///< final relative residual
   std::size_t iterations = 0;
   bool converged = false;
+  /// The iteration hit an indefinite direction (pᵀAp ≤ 0) and stopped early;
+  /// `residual` still reports the true relative residual at that point.
+  bool breakdown = false;
 };
 
 /// Preconditioned conjugate gradient for SPD (or PSD-with-deflation) systems.
@@ -39,19 +43,48 @@ struct CgResult {
     const LinearOperator& precond = {}, const CgOptions& opts = {},
     std::span<const double> initial_guess = {});
 
+/// Aggregate report from a multi-RHS LaplacianSolver::solve_block call.
+struct BlockSolveStats {
+  std::size_t total_iterations = 0;  ///< Σ per-column CG iterations
+  std::size_t max_iterations = 0;    ///< slowest column
+  bool all_converged = false;
+};
+
 /// Convenience solver for graph-Laplacian systems.
 ///
-/// Wraps a Laplacian (or regularized Laplacian Θ = L + I/σ²) with a Jacobi
-/// preconditioner; for the singular pure-Laplacian case, right-hand sides
-/// and iterates are deflated against the constant vector (valid on connected
-/// graphs). Used for effective-resistance computation and for applying
-/// L_Y^+ inside the generalized eigensolver.
+/// Wraps a Laplacian (or regularized Laplacian Θ = L + I/σ²) with a
+/// preconditioner — Jacobi by default, or an O(n) spanning-tree LDLᵀ solve
+/// when a `TreeFactorization` is supplied; for the singular pure-Laplacian
+/// case, right-hand sides and iterates are deflated against the constant
+/// vector (valid on connected graphs). Used for effective-resistance
+/// computation and for applying L_Y^+ inside the generalized eigensolver.
 class LaplacianSolver {
  public:
   /// `regularization` is added to the diagonal (0 keeps L singular and
   /// enables constant-deflation instead).
   explicit LaplacianSolver(SparseMatrix laplacian, double regularization = 0.0,
                            CgOptions opts = {});
+
+  /// As above, with a combinatorial (spanning-tree) preconditioner replacing
+  /// Jacobi. `tree` must factor a spanning forest of the same graph with
+  /// diag_shift equal to `regularization`; an empty factorization falls back
+  /// to Jacobi.
+  LaplacianSolver(SparseMatrix laplacian, double regularization,
+                  CgOptions opts, TreeFactorization tree);
+
+  /// Movable despite the atomic diagnostics counters (move is not expected
+  /// to race with solves; counters transfer by value).
+  LaplacianSolver(LaplacianSolver&& other) noexcept
+      : laplacian_(std::move(other.laplacian_)),
+        regularization_(other.regularization_),
+        opts_(other.opts_),
+        inv_diag_(std::move(other.inv_diag_)),
+        tree_(std::move(other.tree_)),
+        last_residual_(
+            other.last_residual_.load(std::memory_order_relaxed)),
+        cumulative_iterations_(
+            other.cumulative_iterations_.load(std::memory_order_relaxed)) {}
+  LaplacianSolver& operator=(LaplacianSolver&&) = delete;
 
   /// Solve (L + regularization*I) x = b, optionally warm-started.
   /// Thread-safe: independent solves may run concurrently on one solver
@@ -61,13 +94,30 @@ class LaplacianSolver {
       std::span<const double> b,
       std::span<const double> initial_guess = {}) const;
 
+  /// Solve all k columns of `rhs` simultaneously with blocked CG: one CSR
+  /// traversal per iteration serves every right-hand side, and converged
+  /// columns retire early. Column j of the result is bit-identical to
+  /// solve(rhs.col(j), guess.col(j)) at every thread count (see
+  /// block_conjugate_gradient). `initial_guess` may be nullptr.
+  [[nodiscard]] Matrix solve_block(const Matrix& rhs,
+                                   const Matrix* initial_guess = nullptr,
+                                   BlockSolveStats* stats = nullptr) const;
+
   [[nodiscard]] const SparseMatrix& matrix() const { return laplacian_; }
   [[nodiscard]] double regularization() const { return regularization_; }
   [[nodiscard]] std::size_t dimension() const { return laplacian_.rows(); }
+  [[nodiscard]] const CgOptions& options() const { return opts_; }
+  [[nodiscard]] bool has_tree_preconditioner() const { return !tree_.empty(); }
 
   /// Relative residual of the last solve (diagnostics).
   [[nodiscard]] double last_residual() const {
     return last_residual_.load(std::memory_order_relaxed);
+  }
+
+  /// Total CG iterations across every solve()/solve_block() on this solver —
+  /// the per-row iteration counts behind the bench_micro solver benches.
+  [[nodiscard]] std::size_t cumulative_iterations() const {
+    return cumulative_iterations_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -75,7 +125,9 @@ class LaplacianSolver {
   double regularization_;
   CgOptions opts_;
   std::vector<double> inv_diag_;  // Jacobi preconditioner
+  TreeFactorization tree_;        // combinatorial preconditioner (optional)
   mutable std::atomic<double> last_residual_{0.0};
+  mutable std::atomic<std::size_t> cumulative_iterations_{0};
 };
 
 }  // namespace cirstag::linalg

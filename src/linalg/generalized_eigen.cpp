@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "linalg/rng.hpp"
@@ -40,7 +41,8 @@ void orthonormalize_columns(Matrix& v, Rng& rng) {
 
 GeneralizedEigenResult generalized_eigen_sparse(
     const SparseMatrix& l_x, const SparseMatrix& l_y,
-    const GeneralizedEigenOptions& opts) {
+    const GeneralizedEigenOptions& opts,
+    const LaplacianSolver* external_solver) {
   if (l_x.rows() != l_x.cols() || l_y.rows() != l_y.cols() ||
       l_x.rows() != l_y.rows())
     throw std::invalid_argument("generalized_eigen_sparse: shape mismatch");
@@ -51,7 +53,16 @@ GeneralizedEigenResult generalized_eigen_sparse(
   CgOptions cg_opts;
   cg_opts.tolerance = opts.cg_tolerance;
   cg_opts.max_iterations = opts.cg_max_iterations;
-  LaplacianSolver solver(l_y, opts.ly_regularization, cg_opts);
+  std::optional<LaplacianSolver> own_solver;
+  if (external_solver) {
+    if (external_solver->dimension() != n)
+      throw std::invalid_argument(
+          "generalized_eigen_sparse: external solver dimension mismatch");
+  } else {
+    own_solver.emplace(l_y, opts.ly_regularization, cg_opts);
+  }
+  const LaplacianSolver& solver =
+      external_solver ? *external_solver : *own_solver;
 
   Rng rng(opts.seed);
   Matrix v(n, s);
@@ -67,20 +78,41 @@ GeneralizedEigenResult generalized_eigen_sparse(
   // Warm starts: as the subspace converges, consecutive solves for the same
   // column are nearby, so seeding CG with the previous solution cuts the
   // iteration count dramatically on large manifolds.
-  std::vector<std::vector<double>> warm(s);
-  for (std::size_t it = 0; it < opts.iterations; ++it) {
-    Matrix w(n, s);
-    for (std::size_t j = 0; j < s; ++j) {
-      const std::vector<double> col = v.col(j);
-      std::fill(tmp.begin(), tmp.end(), 0.0);
-      l_x.multiply_add(col, tmp);
-      std::vector<double> sol = solver.solve(tmp, warm[j]);
-      deflate_constant(sol);
-      warm[j] = sol;
-      w.set_col(j, sol);
+  if (opts.use_block_cg) {
+    // Blocked sweep: one multi-RHS SpMV + one block-CG call serve all s
+    // columns. Each column's iterate sequence — including the post-solve
+    // deflation — is bit-identical to the scalar loop below.
+    Matrix warm;
+    for (std::size_t it = 0; it < opts.iterations; ++it) {
+      Matrix rhs(n, s);
+      l_x.multiply_add(v, rhs);
+      Matrix z = solver.solve_block(rhs, warm.empty() ? nullptr : &warm);
+      Matrix w(n, s);
+      for (std::size_t j = 0; j < s; ++j) {
+        std::vector<double> sol = z.col(j);
+        deflate_constant(sol);
+        w.set_col(j, sol);
+      }
+      warm = w;
+      orthonormalize_columns(w, rng);
+      v = std::move(w);
     }
-    orthonormalize_columns(w, rng);
-    v = std::move(w);
+  } else {
+    std::vector<std::vector<double>> warm(s);
+    for (std::size_t it = 0; it < opts.iterations; ++it) {
+      Matrix w(n, s);
+      for (std::size_t j = 0; j < s; ++j) {
+        const std::vector<double> col = v.col(j);
+        std::fill(tmp.begin(), tmp.end(), 0.0);
+        l_x.multiply_add(col, tmp);
+        std::vector<double> sol = solver.solve(tmp, warm[j]);
+        deflate_constant(sol);
+        warm[j] = sol;
+        w.set_col(j, sol);
+      }
+      orthonormalize_columns(w, rng);
+      v = std::move(w);
+    }
   }
 
   // Rayleigh-Ritz: project both Laplacians onto the converged subspace and

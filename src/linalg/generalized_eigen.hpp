@@ -17,6 +17,10 @@ struct GeneralizedEigenOptions {
   double ly_regularization = 1e-6;
   double cg_tolerance = 1e-8;
   std::size_t cg_max_iterations = 1500;
+  /// Apply (L_Y + εI)^{-1} to all s subspace columns in one blocked CG call
+  /// per sweep instead of s sequential solves. Bit-identical per column at
+  /// every thread count; off = the historical column-at-a-time loop.
+  bool use_block_cg = true;
 };
 
 /// Result: values[i] descending (largest generalized eigenvalues of
@@ -37,8 +41,14 @@ struct GeneralizedEigenResult {
 /// x -> (L_Y + εI)^{-1} L_X x with constant-vector deflation, followed by a
 /// dense Rayleigh-Ritz projection solving the small generalized problem
 /// (Vᵀ L_X V) c = ζ (Vᵀ L_Y V) c exactly.
+/// `external_solver` (optional) supplies a prebuilt solver for
+/// (L_Y + ly_regularization·I) — e.g. from the pipeline's solver cache — and
+/// must have been constructed with the same regularization and CG options;
+/// results are then identical to the internally-built solver (same
+/// construction), merely skipping reassembly.
 [[nodiscard]] GeneralizedEigenResult generalized_eigen_sparse(
     const SparseMatrix& l_x, const SparseMatrix& l_y,
-    const GeneralizedEigenOptions& opts = {});
+    const GeneralizedEigenOptions& opts = {},
+    const LaplacianSolver* external_solver = nullptr);
 
 }  // namespace cirstag::linalg

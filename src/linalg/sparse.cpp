@@ -80,6 +80,36 @@ void SparseMatrix::multiply_add(std::span<const double> x, std::span<double> y,
   }
 }
 
+void SparseMatrix::multiply_add(const Matrix& x, Matrix& y,
+                                double alpha) const {
+  if (x.rows() != cols_ || y.rows() != rows_ || x.cols() != y.cols())
+    throw std::invalid_argument(
+        "SparseMatrix::multiply_add(Matrix): shape mismatch");
+  const std::size_t k = x.cols();
+  if (k == 0) return;
+  auto row_range = [&](std::size_t lo, std::size_t hi) {
+    // Per-row accumulator mirrors the scalar kernel's register `s`: each
+    // column sums its products in nnz order, then lands in y with a single
+    // alpha-scaled add — bit-identical to k single-vector products.
+    std::vector<double> acc(k);
+    for (std::size_t r = lo; r < hi; ++r) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
+        const double v = values_[e];
+        const auto xrow = x.row(col_idx_[e]);
+        for (std::size_t j = 0; j < k; ++j) acc[j] += v * xrow[j];
+      }
+      auto yrow = y.row(r);
+      for (std::size_t j = 0; j < k; ++j) yrow[j] += alpha * acc[j];
+    }
+  };
+  if (nnz() * k < kSpmvParallelMinNnz) {
+    row_range(0, rows_);
+  } else {
+    runtime::parallel_for_chunks(0, rows_, kSpmvGrain / 4, row_range);
+  }
+}
+
 Matrix SparseMatrix::multiply(const Matrix& b) const {
   if (b.rows() != cols_)
     throw std::invalid_argument("SparseMatrix::multiply(Matrix): shape mismatch");

@@ -40,6 +40,13 @@ class SparseMatrix {
   void multiply_add(std::span<const double> x, std::span<double> y,
                     double alpha = 1.0) const;
 
+  /// Y += alpha * A X — multi-vector SpMV, the block-CG workhorse. One CSR
+  /// traversal is amortized across all columns of X (contiguous row-major
+  /// blocks, row-partitioned over the parallel runtime). Each (row, column)
+  /// output accumulates in exactly the order of the single-vector kernel, so
+  /// column j of the result is bit-identical to multiply_add(X.col(j), ...).
+  void multiply_add(const Matrix& x, Matrix& y, double alpha = 1.0) const;
+
   /// Dense product A * B (B dense, result dense). Used by GNN layers.
   [[nodiscard]] Matrix multiply(const Matrix& b) const;
 

@@ -1,0 +1,414 @@
+// Tests for the fast Laplacian-solve engine: blocked multi-RHS CG
+// bit-identity, the spanning-tree preconditioner, CG breakdown reporting,
+// and the cross-phase solver cache.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graphs/effective_resistance.hpp"
+#include "graphs/sgl.hpp"
+#include "graphs/solver_cache.hpp"
+#include "graphs/spanning_tree.hpp"
+#include "linalg/block_cg.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/rng.hpp"
+#include "linalg/tree_precond.hpp"
+#include "linalg/vector_ops.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace cirstag;
+using graphs::Graph;
+using graphs::LaplacianSolverCache;
+using graphs::SolverOptions;
+using graphs::SolverPreconditioner;
+using linalg::Matrix;
+
+/// Ring + random chords: connected, irregular weights.
+Graph random_connected_graph(std::size_t n, std::size_t chords,
+                             std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_edge(static_cast<graphs::NodeId>(i),
+               static_cast<graphs::NodeId>((i + 1) % n),
+               rng.uniform(0.5, 2.0));
+  for (std::size_t c = 0; c < chords; ++c) {
+    const auto u = static_cast<graphs::NodeId>(rng.index(n));
+    const auto v = static_cast<graphs::NodeId>(rng.index(n));
+    if (u != v) g.add_edge(u, v, rng.uniform(0.1, 3.0));
+  }
+  return g;
+}
+
+Matrix random_rhs(std::size_t n, std::size_t k, std::uint64_t seed,
+                  bool deflate) {
+  linalg::Rng rng(seed);
+  Matrix b(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<double> col(n);
+    for (auto& v : col) v = rng.normal();
+    if (deflate) linalg::deflate_constant(col);
+    b.set_col(j, col);
+  }
+  return b;
+}
+
+/// Every column of solve_block must equal the corresponding single-RHS
+/// solve() bit-for-bit — the core contract of the blocked engine.
+void expect_block_matches_single(const linalg::LaplacianSolver& solver,
+                                 const Matrix& rhs,
+                                 const Matrix* guess = nullptr) {
+  const Matrix z = solver.solve_block(rhs, guess);
+  for (std::size_t j = 0; j < rhs.cols(); ++j) {
+    const std::vector<double> b = rhs.col(j);
+    const std::vector<double> x =
+        guess ? solver.solve(b, guess->col(j)) : solver.solve(b);
+    for (std::size_t i = 0; i < rhs.rows(); ++i)
+      EXPECT_EQ(z(i, j), x[i]) << "column " << j << " row " << i;
+  }
+}
+
+TEST(BlockCg, BitIdenticalToSingleRhsJacobiSingular) {
+  const Graph g = random_connected_graph(60, 80, 11);
+  const auto solver = graphs::make_laplacian_solver(g);
+  expect_block_matches_single(solver, random_rhs(60, 5, 21, true));
+}
+
+TEST(BlockCg, BitIdenticalToSingleRhsTreeSingular) {
+  const Graph g = random_connected_graph(60, 80, 12);
+  SolverOptions opts;
+  opts.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto solver = graphs::make_laplacian_solver(g, opts);
+  ASSERT_TRUE(solver.has_tree_preconditioner());
+  expect_block_matches_single(solver, random_rhs(60, 5, 22, true));
+}
+
+TEST(BlockCg, BitIdenticalToSingleRhsRegularized) {
+  const Graph g = random_connected_graph(50, 60, 13);
+  SolverOptions opts;
+  opts.regularization = 1e-4;
+  const auto solver = graphs::make_laplacian_solver(g, opts);
+  expect_block_matches_single(solver, random_rhs(50, 4, 23, false));
+}
+
+TEST(BlockCg, BitIdenticalToSingleRhsWithInitialGuess) {
+  const Graph g = random_connected_graph(50, 60, 14);
+  SolverOptions opts;
+  opts.regularization = 1e-4;
+  opts.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto solver = graphs::make_laplacian_solver(g, opts);
+  const Matrix rhs = random_rhs(50, 4, 24, false);
+  const Matrix guess = random_rhs(50, 4, 25, false);
+  expect_block_matches_single(solver, rhs, &guess);
+}
+
+TEST(BlockCg, ThreadCountDoesNotChangeBits) {
+  const Graph g = random_connected_graph(120, 200, 15);
+  SolverOptions opts;
+  opts.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto solver = graphs::make_laplacian_solver(g, opts);
+  const Matrix rhs = random_rhs(120, 6, 26, true);
+
+  runtime::set_global_threads(1);
+  const Matrix z1 = solver.solve_block(rhs);
+  runtime::set_global_threads(4);
+  const Matrix z4 = solver.solve_block(rhs);
+  runtime::set_global_threads(0);
+
+  for (std::size_t i = 0; i < z1.rows(); ++i)
+    for (std::size_t j = 0; j < z1.cols(); ++j)
+      EXPECT_EQ(z1(i, j), z4(i, j));
+}
+
+TEST(BlockCg, ZeroColumnsConvergeImmediately) {
+  const Graph g = random_connected_graph(30, 20, 16);
+  const auto solver = graphs::make_laplacian_solver(g);
+  Matrix rhs = random_rhs(30, 3, 27, true);
+  for (std::size_t i = 0; i < 30; ++i) rhs(i, 1) = 0.0;  // zero middle column
+  linalg::BlockSolveStats stats;
+  const Matrix z = solver.solve_block(rhs, nullptr, &stats);
+  EXPECT_TRUE(stats.all_converged);
+  for (std::size_t i = 0; i < 30; ++i) EXPECT_EQ(z(i, 1), 0.0);
+}
+
+TEST(TreePreconditioner, ExactOnTreeGraphs) {
+  // On a spanning tree the preconditioner is the exact inverse, so CG needs
+  // only a couple of iterations regardless of the tree's conditioning.
+  linalg::Rng rng(31);
+  Graph g(64);
+  for (std::size_t i = 1; i < 64; ++i)
+    g.add_edge(static_cast<graphs::NodeId>(rng.index(i)),
+               static_cast<graphs::NodeId>(i), rng.uniform(0.01, 100.0));
+  SolverOptions opts;
+  opts.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto solver = graphs::make_laplacian_solver(g, opts);
+
+  std::vector<double> b(64);
+  for (auto& v : b) v = rng.normal();
+  linalg::deflate_constant(b);
+  const std::size_t before = solver.cumulative_iterations();
+  solver.solve(b);
+  EXPECT_LE(solver.cumulative_iterations() - before, 3u);
+  EXPECT_LT(solver.last_residual(), 1e-10);
+}
+
+TEST(TreePreconditioner, AgreesWithJacobiWithinTolerance) {
+  const Graph g = random_connected_graph(80, 160, 32);
+  SolverOptions jac;
+  SolverOptions tree;
+  tree.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto sj = graphs::make_laplacian_solver(g, jac);
+  const auto st = graphs::make_laplacian_solver(g, tree);
+
+  linalg::Rng rng(33);
+  std::vector<double> b(80);
+  for (auto& v : b) v = rng.normal();
+  linalg::deflate_constant(b);
+  const auto xj = sj.solve(b);
+  const auto xt = st.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(xj[i], xt[i], 1e-7);
+}
+
+TEST(TreePreconditioner, CutsIterationsOnIllConditionedGraphs) {
+  // Weights spanning 4 orders of magnitude: Jacobi struggles, the tree
+  // preconditioner absorbs the dominant backbone.
+  linalg::Rng rng(34);
+  Graph g(200);
+  for (std::size_t i = 0; i + 1 < 200; ++i)
+    g.add_edge(static_cast<graphs::NodeId>(i),
+               static_cast<graphs::NodeId>(i + 1), rng.uniform(1.0, 1e4));
+  for (std::size_t c = 0; c < 100; ++c) {
+    const auto u = static_cast<graphs::NodeId>(rng.index(200));
+    const auto v = static_cast<graphs::NodeId>(rng.index(200));
+    if (u != v) g.add_edge(u, v, rng.uniform(1e-2, 1.0));
+  }
+  SolverOptions jac;
+  SolverOptions tree;
+  tree.preconditioner = SolverPreconditioner::spanning_tree;
+  const auto sj = graphs::make_laplacian_solver(g, jac);
+  const auto st = graphs::make_laplacian_solver(g, tree);
+  std::vector<double> b(200);
+  for (auto& v : b) v = rng.normal();
+  linalg::deflate_constant(b);
+  sj.solve(b);
+  st.solve(b);
+  EXPECT_LT(st.cumulative_iterations(), sj.cumulative_iterations());
+}
+
+TEST(CgBreakdown, IndefiniteOperatorSetsFlagAndResidual) {
+  // op = -I is negative definite: pᵀAp < 0 on the very first iteration.
+  auto op = [](std::span<const double> x, std::span<double> y) {
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += -x[i];
+  };
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  const auto res = linalg::conjugate_gradient(op, b, 3);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_DOUBLE_EQ(res.residual, 1.0);  // nothing solved: ||r|| == ||b||
+}
+
+TEST(CgBreakdown, BlockReportsPerColumn) {
+  auto op = [](const Matrix& x, Matrix& y) {
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j) y(i, j) += -x(i, j);
+  };
+  Matrix b(3, 2);
+  b(0, 0) = 1.0;
+  b(1, 1) = 2.0;
+  const auto res = linalg::block_conjugate_gradient(op, b);
+  EXPECT_FALSE(res.all_converged());
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_TRUE(res.breakdown[j]);
+    EXPECT_FALSE(res.converged[j]);
+    EXPECT_DOUBLE_EQ(res.residuals[j], 1.0);
+  }
+}
+
+TEST(ResistanceSketch, FastPathMatchesExactWithinJlError) {
+  const Graph g = random_connected_graph(80, 120, 41);
+  graphs::ExactResistanceOptions exact_opts;
+  const auto exact = graphs::edge_effective_resistances_exact(g, exact_opts);
+
+  graphs::ResistanceSketchOptions opts;
+  opts.num_probes = 400;
+  opts.preconditioner = SolverPreconditioner::spanning_tree;
+  opts.use_block_cg = true;
+  graphs::ResistanceSketchStats stats;
+  const auto approx =
+      graphs::edge_effective_resistances(g, opts, nullptr, &stats);
+  EXPECT_TRUE(stats.used_block_cg);
+
+  ASSERT_EQ(exact.size(), approx.size());
+  double worst = 0.0;
+  for (std::size_t e = 0; e < exact.size(); ++e) {
+    const double rel = std::abs(approx[e] - exact[e]) / exact[e];
+    worst = std::max(worst, rel);
+  }
+  // JL error ~ 1/sqrt(k) = 0.05; allow generous slack for the tail.
+  EXPECT_LT(worst, 0.35);
+}
+
+TEST(ResistanceSketch, BlockPathBitIdenticalToLegacyPath) {
+  const Graph g = random_connected_graph(70, 120, 42);
+  graphs::ResistanceSketchOptions block;
+  block.num_probes = 8;
+  graphs::ResistanceSketchOptions legacy = block;
+  legacy.use_block_cg = false;
+  const auto rb = graphs::edge_effective_resistances(g, block);
+  const auto rl = graphs::edge_effective_resistances(g, legacy);
+  ASSERT_EQ(rb.size(), rl.size());
+  for (std::size_t e = 0; e < rb.size(); ++e) EXPECT_EQ(rb[e], rl[e]);
+}
+
+TEST(ExactResistance, WarmStartMatchesColdWithinTolerance) {
+  const Graph g = random_connected_graph(50, 80, 43);
+  graphs::ExactResistanceOptions cold;
+  cold.warm_start = false;
+  graphs::ExactResistanceOptions warm;
+  warm.warm_start = true;
+  const auto rc = graphs::edge_effective_resistances_exact(g, cold);
+  const auto rw = graphs::edge_effective_resistances_exact(g, warm);
+  ASSERT_EQ(rc.size(), rw.size());
+  for (std::size_t e = 0; e < rc.size(); ++e)
+    EXPECT_NEAR(rc[e], rw[e], 1e-7 * (1.0 + rc[e]));
+}
+
+TEST(GraphFingerprint, TracksContent) {
+  Graph a = random_connected_graph(20, 10, 51);
+  const Graph copy = a;
+  EXPECT_EQ(a.fingerprint(), copy.fingerprint());
+
+  const auto before = a.fingerprint();
+  a.set_weight(0, 42.0);
+  EXPECT_FALSE(a.fingerprint() == before);
+
+  Graph b = random_connected_graph(20, 10, 51);
+  b.add_nodes(1);
+  EXPECT_FALSE(b.fingerprint() == copy.fingerprint());
+}
+
+TEST(SolverCache, HitsOnSameGraphMissesAfterMutation) {
+  LaplacianSolverCache cache;
+  Graph g = random_connected_graph(30, 30, 52);
+  const SolverOptions opts;
+  const auto s1 = cache.solver(g, opts);
+  const auto s2 = cache.solver(g, opts);
+  EXPECT_EQ(s1.get(), s2.get());
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const Graph copy = g;  // same content, different object: still a hit
+  EXPECT_EQ(cache.solver(copy, opts).get(), s1.get());
+  EXPECT_EQ(cache.hits(), 2u);
+
+  g.set_weight(0, 9.0);
+  const auto s3 = cache.solver(g, opts);
+  EXPECT_NE(s3.get(), s1.get());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  SolverOptions tree;
+  tree.preconditioner = SolverPreconditioner::spanning_tree;
+  EXPECT_NE(cache.solver(copy, tree).get(), s1.get());  // options in the key
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(SolverCache, WarmBlocksRoundTripAndValidateShape) {
+  LaplacianSolverCache cache;
+  Matrix block(4, 2);
+  block(0, 0) = 1.5;
+  cache.store_warm_block("tag", block);
+
+  Matrix out;
+  EXPECT_FALSE(cache.take_warm_block("other", 4, 2, out));
+  EXPECT_FALSE(cache.take_warm_block("tag", 5, 2, out));  // shape mismatch
+  cache.store_warm_block("tag", block);
+  EXPECT_TRUE(cache.take_warm_block("tag", 4, 2, out));
+  EXPECT_EQ(out(0, 0), 1.5);
+  EXPECT_FALSE(cache.take_warm_block("tag", 4, 2, out));  // consumed
+}
+
+TEST(SolverCache, SketchIsBitIdenticalWithAndWithoutCache) {
+  const Graph g = random_connected_graph(60, 90, 53);
+  graphs::ResistanceSketchOptions opts;
+  opts.num_probes = 8;
+  LaplacianSolverCache cache;
+  const auto plain = graphs::edge_effective_resistances(g, opts);
+  const auto cached = graphs::edge_effective_resistances(g, opts, &cache);
+  ASSERT_EQ(plain.size(), cached.size());
+  for (std::size_t e = 0; e < plain.size(); ++e)
+    EXPECT_EQ(plain[e], cached[e]);
+}
+
+linalg::Matrix sgl_data(std::size_t n, std::size_t m, std::uint64_t seed) {
+  linalg::Rng rng(seed);
+  return Matrix::random_normal(n, m, rng);
+}
+
+TEST(SolverCache, SglOutputIdenticalWithCacheOnAndOff) {
+  const Graph initial = random_connected_graph(40, 50, 54);
+  const Matrix data = sgl_data(40, 6, 55);
+  graphs::SglOptions opts;
+  opts.iterations = 5;
+  opts.resistance.num_probes = 6;
+
+  const auto plain = graphs::learn_pgm_sgl(initial, data, opts);
+  LaplacianSolverCache cache;
+  const auto cached = graphs::learn_pgm_sgl(initial, data, opts, &cache);
+
+  ASSERT_EQ(plain.graph.num_edges(), cached.graph.num_edges());
+  EXPECT_EQ(plain.graph.fingerprint(), cached.graph.fingerprint());
+  for (std::size_t e = 0; e < plain.graph.num_edges(); ++e)
+    EXPECT_EQ(plain.graph.edge(e).weight, cached.graph.edge(e).weight);
+}
+
+TEST(SolverCache, SglWarmStartedProbesStayClose) {
+  const Graph initial = random_connected_graph(40, 50, 56);
+  const Matrix data = sgl_data(40, 6, 57);
+  graphs::SglOptions opts;
+  opts.iterations = 4;
+  opts.resistance.num_probes = 6;
+
+  const auto plain = graphs::learn_pgm_sgl(initial, data, opts);
+  LaplacianSolverCache cache;
+  graphs::SglOptions warm = opts;
+  warm.warm_start_probes = true;
+  const auto warmed = graphs::learn_pgm_sgl(initial, data, warm, &cache);
+
+  // Warm starts change iterates only at CG-tolerance level; the learned
+  // weights must stay numerically indistinguishable.
+  ASSERT_EQ(plain.graph.num_edges(), warmed.graph.num_edges());
+  for (std::size_t e = 0; e < plain.graph.num_edges(); ++e)
+    EXPECT_NEAR(plain.graph.edge(e).weight, warmed.graph.edge(e).weight,
+                1e-4 * (1.0 + plain.graph.edge(e).weight));
+}
+
+TEST(RootedForest, OrientsAwayFromRootsDeterministically) {
+  const Graph g = random_connected_graph(25, 30, 58);
+  const auto tree = graphs::max_weight_spanning_forest(g);
+  const auto forest = graphs::rooted_forest(g, tree);
+
+  ASSERT_EQ(forest.parent.size(), 25u);
+  ASSERT_EQ(forest.order.size(), 25u);
+  EXPECT_EQ(forest.parent[forest.order[0]], forest.order[0]);  // root first
+
+  // Topological: every node's parent appears earlier in `order`.
+  std::vector<std::size_t> pos(25);
+  for (std::size_t i = 0; i < 25; ++i) pos[forest.order[i]] = i;
+  std::size_t roots = 0;
+  for (std::size_t u = 0; u < 25; ++u) {
+    if (forest.parent[u] == u) {
+      ++roots;
+    } else {
+      EXPECT_LT(pos[forest.parent[u]], pos[u]);
+      EXPECT_GT(forest.parent_weight[u], 0.0);
+    }
+  }
+  EXPECT_EQ(roots, 25u - tree.size());  // one root per component
+}
+
+}  // namespace

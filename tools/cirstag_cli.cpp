@@ -44,7 +44,9 @@ constexpr const char* kUsage =
     "                       [--paths K] [--clock T]\n"
     "  analyze <in.ckt>     train GNN surrogate + CirSTAG stability scores\n"
     "                       [--scores out.csv] [--epochs E] [--hidden H]\n"
-    "                       [--top K]\n"
+    "                       [--top K] [--probes P]\n"
+    "                       [--solver-precond jacobi|tree] [--block-cg 0|1]\n"
+    "                       [--solver-cache 0|1]\n"
     "  montecarlo <in.ckt>  Monte-Carlo STA under process variation\n"
     "                       [--samples N] [--seed S]\n"
     "  corners <in.ckt>     corner-based STA sweep\n"
@@ -53,7 +55,17 @@ constexpr const char* kUsage =
     "global flags:\n"
     "  --threads N          parallel runtime pool width (default: the\n"
     "                       CIRSTAG_THREADS env var, else hardware threads;\n"
-    "                       scores are bit-identical at every setting)\n";
+    "                       scores are bit-identical at every setting)\n"
+    "\n"
+    "analyze solver knobs:\n"
+    "  --probes P           JL probe count of the resistance sketch (24)\n"
+    "  --solver-precond X   'jacobi' (default, historical iterates) or\n"
+    "                       'tree' (spanning-tree preconditioner, fewer CG\n"
+    "                       iterations, same accuracy)\n"
+    "  --block-cg 0|1       multi-RHS blocked CG for probe/subspace solves\n"
+    "                       (default 1; bit-identical either way)\n"
+    "  --solver-cache 0|1   cross-phase Laplacian-solver cache (default 1;\n"
+    "                       bit-identical either way)\n";
 
 /// "--key value" option map for everything after the positional args.
 /// A trailing flag with no value is an error (it used to be silently
@@ -189,6 +201,25 @@ int cmd_analyze(int argc, char** argv) {
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
 
+  // Validate all solver knobs before the (slow) GNN training step.
+  core::CirStagConfig cfg;
+  const std::size_t probes = opt_size(opts, "probes", 0);
+  if (probes > 0) {
+    cfg.manifold.sparsify.resistance.num_probes = probes;
+  }
+  const std::string precond = opt_str(opts, "solver-precond", "jacobi");
+  if (precond == "tree") {
+    cfg.manifold.sparsify.resistance.preconditioner =
+        graphs::SolverPreconditioner::spanning_tree;
+    cfg.stability.preconditioner = graphs::SolverPreconditioner::spanning_tree;
+  } else if (precond != "jacobi") {
+    bad_option_value("solver-precond", precond, "'jacobi' or 'tree'");
+  }
+  const bool block_cg = opt_size(opts, "block-cg", 1) != 0;
+  cfg.manifold.sparsify.resistance.use_block_cg = block_cg;
+  cfg.stability.use_block_cg = block_cg;
+  cfg.use_solver_cache = opt_size(opts, "solver-cache", 1) != 0;
+
   std::printf("training timing GNN surrogate...\n");
   gnn::TimingGnnOptions gopts;
   gopts.epochs = opt_size(opts, "epochs", 300);
@@ -198,7 +229,6 @@ int cmd_analyze(int argc, char** argv) {
   std::printf("  R2 = %.4f\n", stats.r2);
 
   std::printf("running CirSTAG...\n");
-  core::CirStagConfig cfg;
   const core::CirStag analyzer(cfg);
   const auto report =
       analyzer.analyze(pin_graph(nl), model.base_features(),
