@@ -13,7 +13,7 @@
 #include "common.hpp"
 #include "util/ascii.hpp"
 #include "util/csv.hpp"
-#include "util/timer.hpp"
+#include "obs/timer.hpp"
 
 int main() {
   using namespace cirstag;
@@ -39,7 +39,7 @@ int main() {
     gopts.hidden_dim = 24;
     gnn::TimingGnn model(nl, gopts);
 
-    util::WallTimer timer;
+    obs::WallTimer timer;
     const auto embedding = model.embed(model.base_features());
     const double embed_s = timer.elapsed_seconds();
 

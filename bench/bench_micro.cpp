@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "circuit/generator.hpp"
@@ -285,4 +287,31 @@ BENCHMARK(BM_TimingGnnForward)->Arg(1000)->Arg(4000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main so CI can say `bench_micro --perf-json out.json`: shorthand
+// for google-benchmark's --benchmark_out=<path> in JSON format, the schema
+// tools/check_bench_regression.py and BENCH_baseline.json consume.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> rewritten;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--perf-json") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "missing path after --perf-json\n");
+        return 2;
+      }
+      rewritten.push_back("--benchmark_out=" + std::string(args[i + 1]));
+      rewritten.push_back("--benchmark_out_format=json");
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      for (std::string& s : rewritten) args.push_back(s.data());
+      break;
+    }
+  }
+  int rewritten_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&rewritten_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(rewritten_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

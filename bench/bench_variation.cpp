@@ -18,7 +18,7 @@
 #include "core/baselines.hpp"
 #include "util/ascii.hpp"
 #include "util/stats.hpp"
-#include "util/timer.hpp"
+#include "obs/timer.hpp"
 
 int main() {
   using namespace cirstag;
@@ -37,7 +37,7 @@ int main() {
               "===\n\n");
 
   CaseAOptions opts;
-  util::WallTimer timer;
+  obs::WallTimer timer;
   CaseA c = prepare_case_a(lib, spec, opts);
   const double cirstag_seconds = timer.elapsed_seconds();
   std::printf("[%s] pins=%zu R2=%.4f (GNN training + CirSTAG: %.1fs)\n",

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::circuit {
@@ -29,6 +31,14 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
     throw std::runtime_error("run_sta: netlist must be finalized");
   if (!gate_delay_scale.empty() && gate_delay_scale.size() != nl.num_gates())
     throw std::invalid_argument("run_sta: gate_delay_scale size mismatch");
+
+  const obs::TraceSpan trace_span("sta.run", "circuit");
+  static const obs::Counter runs("sta.runs");
+  static const obs::Counter gates("sta.gates");
+  static const obs::Counter levels("sta.levels");
+  runs.add();
+  gates.add(nl.num_gates());
+  levels.add(nl.num_gate_levels());
 
   TimingReport rep;
   rep.arrival.assign(nl.num_pins(), 0.0);

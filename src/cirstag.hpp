@@ -3,7 +3,8 @@
 /// Umbrella header: the full public API of the CirSTAG library.
 ///
 /// Layering (each header can also be included individually):
-///   util    -> stats, tables, CSV, timers
+///   obs     -> metrics registry, trace spans, wall timers
+///   util    -> stats, tables, CSV
 ///   linalg  -> dense/sparse matrices, solvers, eigensolvers, RNG
 ///   graphs  -> graphs, Laplacians, effective resistance, sparsifiers, kNN
 ///   circuit -> cell library, netlists, STA, generators, variation, I/O
@@ -33,6 +34,9 @@
 #include "graphs/laplacian.hpp"       // IWYU pragma: export
 #include "graphs/sgl.hpp"             // IWYU pragma: export
 #include "graphs/sparsify.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"            // IWYU pragma: export
+#include "obs/timer.hpp"              // IWYU pragma: export
+#include "obs/trace.hpp"              // IWYU pragma: export
 #include "util/ascii.hpp"             // IWYU pragma: export
 #include "util/csv.hpp"               // IWYU pragma: export
 #include "util/stats.hpp"             // IWYU pragma: export

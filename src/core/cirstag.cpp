@@ -3,8 +3,10 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace cirstag::core {
 
@@ -55,9 +57,14 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
 
   if (config_.threads != 0) runtime::set_global_threads(config_.threads);
 
+  static const obs::Counter analyze_runs("pipeline.analyze_runs");
+  static const obs::Gauge nodes_gauge("pipeline.nodes");
+  analyze_runs.add();
+  nodes_gauge.set(static_cast<double>(input_graph.num_nodes()));
+
   CirStagReport report;
   report.timings.threads = runtime::global_pool().num_threads();
-  util::WallTimer timer;
+  obs::WallTimer timer;
   runtime::TaskTimer task_timer;
 
   // Phase 1: input spectral embedding (Eq. 4), optionally augmented with
@@ -65,6 +72,7 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   // structure and feature proximity. The GNN's own embeddings are the
   // output side; they are already low-dimensional.
   if (config_.use_dimension_reduction) {
+    const obs::TraceSpan span("phase.embedding", "pipeline");
     const runtime::ScopedTaskTimer scope(task_timer);
     const linalg::Matrix u =
         spectral_embedding(input_graph, config_.embedding);
@@ -101,15 +109,25 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   // (Fig. 4 ablation).
   {
     const runtime::ScopedTaskTimer scope(task_timer);
-    if (config_.use_dimension_reduction) {
-      report.manifold_x =
-          build_manifold(report.input_embedding, config_.manifold, cache);
-    } else {
-      report.manifold_x = input_graph;
+    {
+      const obs::TraceSpan span("phase.manifold_x", "pipeline");
+      if (config_.use_dimension_reduction) {
+        report.manifold_x =
+            build_manifold(report.input_embedding, config_.manifold, cache);
+      } else {
+        report.manifold_x = input_graph;
+      }
     }
-    report.manifold_y =
-        build_manifold(output_embedding, config_.manifold, cache);
+    {
+      const obs::TraceSpan span("phase.manifold_y", "pipeline");
+      report.manifold_y =
+          build_manifold(output_embedding, config_.manifold, cache);
+    }
   }
+  static const obs::Gauge mx_edges("pipeline.manifold_x_edges");
+  static const obs::Gauge my_edges("pipeline.manifold_y_edges");
+  mx_edges.set(static_cast<double>(report.manifold_x.num_edges()));
+  my_edges.set(static_cast<double>(report.manifold_y.num_edges()));
   report.timings.manifold_seconds = timer.elapsed_seconds();
   report.timings.manifold_busy_seconds = task_timer.busy_seconds();
   task_timer.reset();

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graphs/components.hpp"
+#include "obs/metrics.hpp"
 
 namespace cirstag::core {
 
@@ -29,12 +30,21 @@ graphs::Graph normalize_median_weight(const graphs::Graph& g) {
 graphs::Graph build_manifold(const linalg::Matrix& embedding,
                              const ManifoldOptions& opts,
                              graphs::LaplacianSolverCache* cache) {
+  static const obs::Counter builds("manifold.builds");
+  static const obs::Counter knn_edges("manifold.knn_edges");
+  static const obs::Counter final_edges("manifold.final_edges");
+  builds.add();
   graphs::Graph knn = graphs::build_knn_graph(embedding, opts.knn);
   if (opts.normalize_weights) knn = normalize_median_weight(knn);
   knn = graphs::connect_components(knn, opts.bridge_weight);
-  if (!opts.apply_sparsification) return knn;
+  knn_edges.add(knn.num_edges());
+  if (!opts.apply_sparsification) {
+    final_edges.add(knn.num_edges());
+    return knn;
+  }
   graphs::SparsifyResult sparse =
       graphs::sparsify_pgm(knn, opts.sparsify, cache);
+  final_edges.add(sparse.graph.num_edges());
   return std::move(sparse.graph);
 }
 

@@ -6,6 +6,8 @@
 
 #include "graphs/effective_resistance.hpp"
 #include "graphs/laplacian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::core {
@@ -56,15 +58,24 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   sopts.preconditioner = opts.preconditioner;
   sopts.cg.tolerance = eopts.cg_tolerance;
   sopts.cg.max_iterations = eopts.cg_max_iterations;
+  // Phase 3a: DMD spectrum — the generalized eigenpairs of L_Y^+ L_X.
   std::shared_ptr<const linalg::LaplacianSolver> ly_solver;
-  if (cache) {
-    ly_solver = cache->solver(manifold_y, sopts);
-  } else {
-    ly_solver = std::make_shared<const linalg::LaplacianSolver>(
-        graphs::make_laplacian_solver(manifold_y, sopts));
+  linalg::GeneralizedEigenResult eig;
+  {
+    const obs::TraceSpan span("phase.dmd", "pipeline");
+    if (cache) {
+      ly_solver = cache->solver(manifold_y, sopts);
+    } else {
+      ly_solver = std::make_shared<const linalg::LaplacianSolver>(
+          graphs::make_laplacian_solver(manifold_y, sopts));
+    }
+    eig = linalg::generalized_eigen_sparse(l_x, l_y, eopts, ly_solver.get());
   }
-  const linalg::GeneralizedEigenResult eig =
-      linalg::generalized_eigen_sparse(l_x, l_y, eopts, ly_solver.get());
+
+  // Phase 3b: edge/node stability scores from the weighted eigensubspace.
+  const obs::TraceSpan span("phase.scores", "pipeline");
+  static const obs::Counter score_runs("stability.score_runs");
+  score_runs.add();
 
   StabilityResult out;
   out.eigenvalues = eig.values;

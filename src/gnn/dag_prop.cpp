@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::gnn {
@@ -71,6 +73,12 @@ Matrix DagPropagation::forward(const Matrix& x) {
   if (x.rows() != n)
     throw std::invalid_argument("DagPropagation::forward: pin count mismatch");
   const std::size_t d = w_x_.value.cols();
+
+  const obs::TraceSpan trace_span("gnn.dag_forward", "gnn");
+  static const obs::Counter forwards("gnn.dag_forwards");
+  static const obs::Counter pins("gnn.dag_pins");
+  forwards.add();
+  pins.add(n);
 
   cached_x_ = x;
   cached_agg_ = Matrix(n, d);

@@ -7,6 +7,8 @@
 #include "circuit/views.hpp"
 #include "gnn/dag_prop.hpp"
 #include "gnn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace cirstag::gnn {
@@ -52,6 +54,11 @@ std::pair<Matrix, Matrix> TimingGnn::forward(const Matrix& standardized) {
 }
 
 TrainStats TimingGnn::train(const circuit::StaOptions& sta_opts) {
+  const obs::TraceSpan trace_span("gnn.train", "gnn");
+  static const obs::Counter train_runs("gnn.train_runs");
+  static const obs::Counter train_epochs("gnn.train_epochs");
+  train_runs.add();
+  train_epochs.add(opts_.epochs);
   const circuit::TimingReport golden = circuit::run_sta(*netlist_, sta_opts);
 
   // Normalize targets to zero-mean/unit-std for conditioning.
@@ -104,6 +111,7 @@ std::vector<double> TimingGnn::predict(const linalg::Matrix& raw_features) {
 }
 
 linalg::Matrix TimingGnn::embed(const linalg::Matrix& raw_features) {
+  const obs::TraceSpan trace_span("gnn.embed", "gnn");
   auto [h, pred] = forward(feature_scaler_.transform(raw_features));
   (void)pred;
   return std::move(h);

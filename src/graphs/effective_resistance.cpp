@@ -8,6 +8,8 @@
 #include "linalg/matrix.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::graphs {
@@ -52,6 +54,7 @@ std::vector<double> edge_effective_resistances(
   const std::size_t m = g.num_edges();
   if (stats) *stats = {};
   if (m == 0) return {};
+  const obs::TraceSpan trace_span("sketch.reff", "graphs");
 
   SolverOptions sopts;
   sopts.preconditioner = opts.preconditioner;
@@ -121,6 +124,14 @@ std::vector<double> edge_effective_resistances(
 
   if (cache && !opts.warm_start_tag.empty())
     cache->store_warm_block(opts.warm_start_tag, std::move(z));
+  static const obs::Counter sketch_runs("sketch.runs");
+  static const obs::Counter sketch_iters("sketch.cg_iterations");
+  static const obs::Counter sketch_cache_hits("sketch.cache_hits");
+  static const obs::Counter sketch_warm_starts("sketch.warm_starts");
+  sketch_runs.add();
+  sketch_iters.add(iterations);
+  if (cache_hit) sketch_cache_hits.add();
+  if (warm_started) sketch_warm_starts.add();
   if (stats) {
     stats->cg_iterations = iterations;
     stats->cache_hit = cache_hit;

@@ -7,6 +7,8 @@
 
 #include "graphs/kdtree.hpp"
 #include "linalg/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::graphs {
@@ -67,6 +69,7 @@ Graph build_knn_graph(const linalg::Matrix& points,
   const std::size_t n = points.rows();
   Graph g(n);
   if (n < 2) return g;
+  const obs::TraceSpan trace_span("knn.build", "graphs");
 
   const std::size_t k = std::min(opts.k, n - 1);
   const auto hits = all_knn(points, k, opts);
@@ -106,6 +109,10 @@ Graph build_knn_graph(const linalg::Matrix& points,
     const double w = 1.0 / (dists[order[i]] + floor);
     g.add_edge(u, v, w);
   }
+  static const obs::Counter builds("knn.builds");
+  static const obs::Counter edges("knn.edges");
+  builds.add();
+  edges.add(g.num_edges());
   return g;
 }
 

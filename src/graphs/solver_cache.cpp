@@ -7,8 +7,24 @@
 #include "graphs/laplacian.hpp"
 #include "graphs/spanning_tree.hpp"
 #include "linalg/tree_precond.hpp"
+#include "obs/metrics.hpp"
 
 namespace cirstag::graphs {
+
+namespace {
+const obs::Counter& cache_hits() {
+  static const obs::Counter c("solver_cache.hits");
+  return c;
+}
+const obs::Counter& cache_misses() {
+  static const obs::Counter c("solver_cache.misses");
+  return c;
+}
+const obs::Counter& cache_evictions() {
+  static const obs::Counter c("solver_cache.evictions");
+  return c;
+}
+}  // namespace
 
 linalg::LaplacianSolver make_laplacian_solver(const Graph& g,
                                               const SolverOptions& opts) {
@@ -36,10 +52,12 @@ std::shared_ptr<const linalg::LaplacianSolver> LaplacianSolverCache::solver(
       if (e.key == key) {
         e.last_used = ++clock_;
         ++hits_;
+        cache_hits().add();
         return e.solver;
       }
     }
     ++misses_;
+    cache_misses().add();
   }
   // Build outside the lock — factorization is the expensive part and other
   // threads may be hitting unrelated entries meanwhile.
@@ -59,6 +77,7 @@ std::shared_ptr<const linalg::LaplacianSolver> LaplacianSolverCache::solver(
         entries_.begin(), entries_.end(),
         [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
     entries_.erase(lru);
+    cache_evictions().add();
   }
   entries_.push_back({key, built, ++clock_});
   return built;
@@ -67,22 +86,29 @@ std::shared_ptr<const linalg::LaplacianSolver> LaplacianSolverCache::solver(
 bool LaplacianSolverCache::take_warm_block(const std::string& tag,
                                            std::size_t rows, std::size_t cols,
                                            linalg::Matrix& out) {
+  static const obs::Counter warm_hits("solver_cache.warm_start_hits");
+  static const obs::Counter warm_misses("solver_cache.warm_start_misses");
   std::lock_guard lock(mutex_);
   for (auto it = warm_.begin(); it != warm_.end(); ++it) {
     if (it->tag != tag) continue;
     if (it->block.rows() != rows || it->block.cols() != cols) {
       warm_.erase(it);  // shape changed (e.g. pruned graph) — stale
+      warm_misses.add();
       return false;
     }
     out = std::move(it->block);
     warm_.erase(it);
+    warm_hits.add();
     return true;
   }
+  warm_misses.add();
   return false;
 }
 
 void LaplacianSolverCache::store_warm_block(const std::string& tag,
                                             linalg::Matrix block) {
+  static const obs::Counter warm_stores("solver_cache.warm_start_stores");
+  warm_stores.add();
   std::lock_guard lock(mutex_);
   for (auto& e : warm_) {
     if (e.tag == tag) {

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "graphs/spanning_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 
 namespace cirstag::graphs {
@@ -16,6 +18,7 @@ SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts,
     out.graph = g;
     return out;
   }
+  const obs::TraceSpan trace_span("sparsify.pgm", "graphs");
 
   const std::vector<double> r_eff =
       edge_effective_resistances(g, opts.resistance, cache);
@@ -60,6 +63,14 @@ SparsifyResult sparsify_pgm(const Graph& g, const SparsifyOptions& opts,
                         offtree.begin() + static_cast<long>(keep_count));
   std::sort(out.kept_edges.begin(), out.kept_edges.end());
   out.graph = g.edge_subgraph(out.kept_edges);
+  static const obs::Counter runs("sparsify.runs");
+  static const obs::Counter input_edges("sparsify.input_edges");
+  static const obs::Counter kept_edges("sparsify.kept_edges");
+  static const obs::Counter tree_edges("sparsify.tree_edges");
+  runs.add();
+  input_edges.add(m);
+  kept_edges.add(out.kept_edges.size());
+  tree_edges.add(out.tree_edges);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::linalg {
@@ -182,7 +183,9 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
     return std::sqrt(s) / bnorm[j];
   };
 
+  std::size_t sweeps = 0;
   for (std::size_t it = 0; it < opts.max_iterations && num_active > 0; ++it) {
+    ++sweeps;
     ap.fill(0.0);
     op(p, ap);
     if (opts.deflate_constant) deflate_columns(ap, active);
@@ -237,6 +240,19 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
     if (opts.deflate_constant) deflate_column(res.solutions, j);
   }
   for (std::size_t j = 0; j < k; ++j) res.total_iterations += res.iterations[j];
+
+  static const obs::Counter solves("blockcg.solves");
+  static const obs::Counter block_sweeps("blockcg.sweeps");
+  static const obs::Counter column_iterations("blockcg.column_iterations");
+  static const obs::Counter breakdown_columns("blockcg.breakdown_columns");
+  static const obs::Counter columns("blockcg.columns");
+  solves.add();
+  block_sweeps.add(sweeps);
+  column_iterations.add(res.total_iterations);
+  columns.add(k);
+  std::uint64_t broken = 0;
+  for (std::size_t j = 0; j < k; ++j) broken += res.breakdown[j];
+  if (broken > 0) breakdown_columns.add(broken);
   return res;
 }
 

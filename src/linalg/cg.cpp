@@ -5,14 +5,39 @@
 
 #include "linalg/block_cg.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::linalg {
 
-CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
-                            std::size_t n, const LinearOperator& precond,
-                            const CgOptions& opts,
-                            std::span<const double> initial_guess) {
+namespace {
+
+/// One observation per finished solve; instrumentation only reads the
+/// result, so iterates are untouched.
+void record_cg_metrics(const CgResult& result) {
+  static const obs::Counter solves("cg.solves");
+  static const obs::Counter iterations("cg.iterations");
+  static const obs::Counter breakdowns("cg.breakdowns");
+  static const obs::Counter unconverged("cg.unconverged");
+  static const obs::Histogram iters_per_solve(
+      "cg.iterations_per_solve",
+      {1, 3, 10, 30, 100, 300, 1000, 3000, 10000});
+  solves.add();
+  iterations.add(result.iterations);
+  if (result.breakdown) breakdowns.add();
+  if (!result.converged) unconverged.add();
+  iters_per_solve.observe(static_cast<double>(result.iterations));
+}
+
+}  // namespace
+
+namespace {
+
+CgResult conjugate_gradient_impl(const LinearOperator& op,
+                                 std::span<const double> b, std::size_t n,
+                                 const LinearOperator& precond,
+                                 const CgOptions& opts,
+                                 std::span<const double> initial_guess) {
   if (b.size() != n)
     throw std::invalid_argument("conjugate_gradient: size mismatch");
   if (!initial_guess.empty() && initial_guess.size() != n)
@@ -86,6 +111,18 @@ CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
   return result;
 }
 
+}  // namespace
+
+CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
+                            std::size_t n, const LinearOperator& precond,
+                            const CgOptions& opts,
+                            std::span<const double> initial_guess) {
+  CgResult result =
+      conjugate_gradient_impl(op, b, n, precond, opts, initial_guess);
+  record_cg_metrics(result);
+  return result;
+}
+
 LaplacianSolver::LaplacianSolver(SparseMatrix laplacian, double regularization,
                                  CgOptions opts)
     : LaplacianSolver(std::move(laplacian), regularization, opts,
@@ -126,6 +163,10 @@ std::vector<double> LaplacianSolver::solve(
   CgResult res = conjugate_gradient(op, b, n, precond, opts_, initial_guess);
   last_residual_.store(res.residual, std::memory_order_relaxed);
   cumulative_iterations_.fetch_add(res.iterations, std::memory_order_relaxed);
+  static const obs::Counter solves("laplacian_solver.solves");
+  static const obs::Counter iterations("laplacian_solver.iterations");
+  solves.add();
+  iterations.add(res.iterations);
   return std::move(res.solution);
 }
 
@@ -182,6 +223,10 @@ Matrix LaplacianSolver::solve_block(const Matrix& rhs,
   last_residual_.store(worst, std::memory_order_relaxed);
   cumulative_iterations_.fetch_add(res.total_iterations,
                                    std::memory_order_relaxed);
+  static const obs::Counter block_solves("laplacian_solver.block_solves");
+  static const obs::Counter iterations("laplacian_solver.iterations");
+  block_solves.add();
+  iterations.add(res.total_iterations);
   if (stats) {
     stats->total_iterations = res.total_iterations;
     stats->max_iterations = slowest;

@@ -7,6 +7,7 @@
 
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace cirstag::linalg {
 
@@ -49,6 +50,11 @@ GeneralizedEigenResult generalized_eigen_sparse(
   const std::size_t n = l_x.rows();
   const std::size_t s = std::min(opts.num_pairs, n > 1 ? n - 1 : n);
   if (s == 0) return {};
+
+  static const obs::Counter eigen_runs("eigen.runs");
+  static const obs::Counter subspace_iterations("eigen.subspace_iterations");
+  eigen_runs.add();
+  subspace_iterations.add(opts.iterations);
 
   CgOptions cg_opts;
   cg_opts.tolerance = opts.cg_tolerance;

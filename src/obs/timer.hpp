@@ -2,9 +2,11 @@
 
 #include <chrono>
 
-namespace cirstag::util {
+namespace cirstag::obs {
 
-/// Simple monotonic wall-clock stopwatch.
+/// Simple monotonic wall-clock stopwatch (absorbed from the old
+/// util/timer.hpp — wall timing is observability, so it lives here next to
+/// TraceSpan and the metrics registry).
 ///
 /// Starts running on construction; `elapsed_*()` reports time since the last
 /// `reset()` (or construction).
@@ -27,4 +29,4 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-}  // namespace cirstag::util
+}  // namespace cirstag::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace cirstag::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct TlsEntry {
+  std::uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+constexpr std::size_t kTlsSlots = 4;
+thread_local std::array<TlsEntry, kTlsSlots> t_buffer_cache{};
+thread_local std::size_t t_buffer_rr = 0;
+
+}  // namespace
+
+Tracer::Tracer()
+    : tracer_id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // intentionally leaked
+  return *tracer;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint32_t Tracer::current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+Tracer::Buffer& Tracer::buffer() {
+  for (const TlsEntry& e : t_buffer_cache)
+    if (e.tracer_id == tracer_id_) return *static_cast<Buffer*>(e.buffer);
+  return acquire_buffer();
+}
+
+Tracer::Buffer& Tracer::acquire_buffer() {
+  std::lock_guard lock(mutex_);
+  Buffer*& slot = buffer_by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    buffers_.push_back(std::make_unique<Buffer>());
+    slot = buffers_.back().get();
+  }
+  t_buffer_cache[t_buffer_rr] = {tracer_id_, slot};
+  t_buffer_rr = (t_buffer_rr + 1) % kTlsSlots;
+  return *slot;
+}
+
+void Tracer::record(Event event) {
+  Buffer& buf = buffer();
+  std::lock_guard lock(buf.mutex);
+  buf.events.push_back(std::move(event));
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::vector<Event> all;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard buf_lock(buf->mutex);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.ts_us < b.ts_us;
+  });
+  return all;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<Event> all = events();
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += "{\"name\": ";
+    out += json_quote(e.name);
+    out += ", \"cat\": ";
+    out += json_quote(e.category);
+    out += ", \"ph\": \"X\", \"ts\": ";
+    append_json_number(out, e.ts_us);
+    out += ", \"dur\": ";
+    append_json_number(out, e.dur_us);
+    out += ", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cirstag::obs

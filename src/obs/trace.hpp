@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cirstag::obs {
+
+/// Collector of nested begin/end trace spans, serializable to the Chrome
+/// "Trace Event Format" (load the JSON in chrome://tracing or Perfetto).
+///
+/// Spans are recorded into per-thread buffers (one short uncontended mutex
+/// acquisition per completed span), so instrumenting code that runs inside
+/// `parallel_for` bodies is safe and cheap. Tracing is OFF by default: an
+/// inactive `TraceSpan` costs one relaxed atomic load and stores nothing.
+///
+/// Span names follow the same `subsystem.noun` scheme as metrics; the five
+/// pipeline phases are `phase.embedding`, `phase.manifold_x`,
+/// `phase.manifold_y`, `phase.dmd`, and `phase.scores` (DESIGN.md §8).
+class Tracer {
+ public:
+  struct Event {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;   ///< start, microseconds since the tracer epoch
+    double dur_us = 0.0;  ///< duration in microseconds
+    std::uint32_t tid = 0;
+  };
+
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Process-wide tracer used by the single-argument TraceSpan constructor.
+  /// Never destroyed, for the same reason as MetricsRegistry::global().
+  [[nodiscard]] static Tracer& global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Append a completed span (called by ~TraceSpan).
+  void record(Event event);
+
+  /// All recorded events, merged across threads and sorted by start time.
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Discard all recorded events.
+  void clear();
+
+  /// Serialize to Trace Event Format: {"traceEvents":[...]} with "ph":"X"
+  /// complete events (ts/dur in microseconds).
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Write to_chrome_json() to `path`; returns false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Microseconds since this tracer's construction (the trace time base).
+  [[nodiscard]] double now_us() const;
+
+  /// Small dense id for the calling thread (stable for the thread's life).
+  [[nodiscard]] static std::uint32_t current_tid();
+
+ private:
+  struct Buffer {
+    std::mutex mutex;
+    std::vector<Event> events;
+  };
+
+  [[nodiscard]] Buffer& buffer();
+  Buffer& acquire_buffer();
+
+  const std::uint64_t tracer_id_;  ///< process-unique, for the TLS cache
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  // guards the buffer list
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::map<std::thread::id, Buffer*> buffer_by_thread_;
+};
+
+/// RAII scope: records one complete trace event covering its lifetime.
+/// `name` and `category` must outlive the span (string literals in
+/// practice). Inactive (and free of side effects) when tracing is disabled
+/// at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "cirstag")
+      : TraceSpan(Tracer::global(), name, category) {}
+  TraceSpan(Tracer& tracer, const char* name, const char* category = "cirstag")
+      : tracer_(tracer.enabled() ? &tracer : nullptr),
+        name_(name),
+        category_(category),
+        start_us_(tracer_ != nullptr ? tracer.now_us() : 0.0) {}
+  ~TraceSpan() {
+    if (tracer_ == nullptr) return;
+    const double end_us = tracer_->now_us();
+    tracer_->record({name_, category_, start_us_, end_us - start_us_,
+                     Tracer::current_tid()});
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Tracer* tracer_;  // nullptr when tracing was disabled at construction
+  const char* name_;
+  const char* category_;
+  double start_us_;
+};
+
+}  // namespace cirstag::obs

@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace cirstag::runtime {
 
 namespace {
@@ -16,6 +18,23 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// Pool-wide counters; worker time spent parked waiting for work vs.
+/// executing tasks. Reads clocks already taken for TaskTimer where possible.
+const obs::Counter& pool_idle_ns() {
+  static const obs::Counter c("runtime.pool.idle_ns");
+  return c;
+}
+const obs::Counter& pool_busy_ns() {
+  static const obs::Counter c("runtime.pool.busy_ns");
+  return c;
 }
 
 }  // namespace
@@ -63,7 +82,9 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    const auto idle_start = Clock::now();
     cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    pool_idle_ns().add(ns_since(idle_start));
     if (stop_) return;
     seen = generation_;
     Job* job = job_;
@@ -103,6 +124,11 @@ void ThreadPool::drain(Job& job) {
   }
   t_in_parallel_region = false;
   if (job.timer != nullptr && executed > 0) job.timer->add(busy, executed);
+  if (executed > 0) {
+    static const obs::Counter claimed("runtime.pool.tasks");
+    claimed.add(executed);
+    pool_busy_ns().add(static_cast<std::uint64_t>(busy * 1e9));
+  }
 }
 
 void ThreadPool::run_serial(std::size_t num_tasks,
@@ -132,9 +158,17 @@ void ThreadPool::run(std::size_t num_tasks,
   if (num_tasks == 0) return;
   TaskTimer* timer = active_task_timer();
   if (workers_.empty() || num_tasks == 1 || t_in_parallel_region) {
+    static const obs::Counter serial_runs("runtime.pool.serial_runs");
+    static const obs::Counter serial_tasks("runtime.pool.serial_tasks");
+    serial_runs.add();
+    serial_tasks.add(num_tasks);
     run_serial(num_tasks, task, timer);
     return;
   }
+  static const obs::Counter runs("runtime.pool.runs");
+  static const obs::Counter submitted("runtime.pool.submitted_tasks");
+  runs.add();
+  submitted.add(num_tasks);
 
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   Job job;

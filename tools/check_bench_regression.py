@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over deterministic benchmark counters.
+
+Compares a google-benchmark JSON report (bench_micro --perf-json out.json)
+against the checked-in baseline bench/BENCH_baseline.json. The gate is on
+CG *iteration counts*, not wall time: the solver math is bit-identical
+across machines and thread counts, so iteration counts are reproducible on
+any CI runner, while nanoseconds are not. Thresholds are generous (2x by
+default) so the gate only trips on genuine algorithmic regressions — a
+broken preconditioner, a lost warm start — never on noise.
+
+Exit status: 0 when every baseline row is present and within threshold,
+1 on a regression or a baseline row missing from the current report,
+2 on malformed input.
+
+Usage: check_bench_regression.py <current.json> [baseline.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "BENCH_baseline.json"
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load_json(argv[1])
+    baseline = load_json(argv[2] if len(argv) == 3 else DEFAULT_BASELINE)
+
+    counter = baseline.get("counter", "cg_iters")
+    max_ratio = float(baseline.get("max_ratio", 2.0))
+    expected = baseline.get("benchmarks", {})
+    if not expected:
+        print("error: baseline has no benchmarks", file=sys.stderr)
+        return 2
+
+    # Plain (non-aggregate) rows only; aggregates repeat the same counters.
+    observed = {}
+    for row in current.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue
+        if counter in row:
+            observed[row["name"]] = float(row[counter])
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name, base_value in sorted(expected.items()):
+        base_value = float(base_value)
+        if name not in observed:
+            print(f"{name:<40} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
+            failures.append(f"{name}: missing from current report")
+            continue
+        value = observed[name]
+        ratio = value / base_value if base_value > 0 else float("inf")
+        verdict = ""
+        if ratio > max_ratio:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{name}: {counter} {value:.0f} vs baseline {base_value:.0f} "
+                f"(ratio {ratio:.2f} > {max_ratio:.2f})")
+        elif ratio < 1.0 / max_ratio:
+            verdict = "  improved — consider updating the baseline"
+        print(f"{name:<40} {base_value:>10.0f} {value:>10.0f} {ratio:>7.2f}{verdict}")
+
+    extra = sorted(set(observed) - set(expected))
+    if extra:
+        print(f"note: {len(extra)} benchmark(s) not in baseline (ignored): "
+              + ", ".join(extra))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(expected)} benchmark(s) within {max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

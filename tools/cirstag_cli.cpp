@@ -24,6 +24,8 @@
 #include "circuit/views.hpp"
 #include "core/cirstag.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/ascii.hpp"
 #include "util/csv.hpp"
@@ -56,6 +58,11 @@ constexpr const char* kUsage =
     "  --threads N          parallel runtime pool width (default: the\n"
     "                       CIRSTAG_THREADS env var, else hardware threads;\n"
     "                       scores are bit-identical at every setting)\n"
+    "  --trace-json PATH    record trace spans and write a Chrome Trace\n"
+    "                       Event Format file (open in chrome://tracing or\n"
+    "                       Perfetto); instrumentation never changes results\n"
+    "  --metrics-json PATH  write the aggregated metrics registry (counters,\n"
+    "                       gauges, histograms) as JSON on exit\n"
     "\n"
     "analyze solver knobs:\n"
     "  --probes P           JL probe count of the resistance sketch (24)\n"
@@ -129,10 +136,39 @@ std::string opt_str(const std::map<std::string, std::string>& opts,
   return it == opts.end() ? fallback : it->second;
 }
 
-/// Honors the global --threads flag (0 / absent = keep the default pool).
-void apply_threads(const std::map<std::string, std::string>& opts) {
+/// Output paths of --trace-json / --metrics-json; written by main() after
+/// the command returns so the files cover the whole run.
+std::string g_trace_path;
+std::string g_metrics_path;
+
+/// Honors the global flags every command accepts: --threads sizes the pool,
+/// --trace-json / --metrics-json arm the observability sinks.
+void apply_global_flags(const std::map<std::string, std::string>& opts) {
   const std::size_t n = opt_size(opts, "threads", 0);
   if (n > 0) runtime::set_global_threads(n);
+  g_trace_path = opt_str(opts, "trace-json", "");
+  g_metrics_path = opt_str(opts, "metrics-json", "");
+  if (!g_trace_path.empty()) obs::Tracer::global().set_enabled(true);
+}
+
+/// Flush the observability sinks (no-ops when the flags were absent).
+void write_observability_outputs() {
+  if (!g_trace_path.empty()) {
+    if (obs::Tracer::global().write_chrome_json(g_trace_path)) {
+      std::printf("trace written to %s\n", g_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   g_trace_path.c_str());
+    }
+  }
+  if (!g_metrics_path.empty()) {
+    if (obs::MetricsRegistry::global().write_json(g_metrics_path)) {
+      std::printf("metrics written to %s\n", g_metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   g_metrics_path.c_str());
+    }
+  }
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -141,7 +177,7 @@ int cmd_generate(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
-  apply_threads(opts);
+  apply_global_flags(opts);
   const CellLibrary lib = CellLibrary::standard();
 
   RandomCircuitSpec spec;
@@ -167,7 +203,7 @@ int cmd_sta(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
-  apply_threads(opts);
+  apply_global_flags(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
   const TimingReport timing = run_sta(nl);
@@ -197,7 +233,7 @@ int cmd_analyze(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
-  apply_threads(opts);
+  apply_global_flags(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
 
@@ -277,7 +313,7 @@ int cmd_montecarlo(int argc, char** argv) {
     return 2;
   }
   const auto opts = parse_options(argc, argv, 3);
-  apply_threads(opts);
+  apply_global_flags(opts);
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
 
@@ -297,7 +333,7 @@ int cmd_corners(int argc, char** argv) {
     std::fprintf(stderr, "usage: cirstag_cli corners <in.ckt>\n");
     return 2;
   }
-  apply_threads(parse_options(argc, argv, 3));
+  apply_global_flags(parse_options(argc, argv, 3));
   const CellLibrary lib = CellLibrary::standard();
   const Netlist nl = load_netlist(argv[2], lib);
   const auto corners = standard_corners();
@@ -321,11 +357,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    if (cmd == "generate") return cmd_generate(argc, argv);
-    if (cmd == "sta") return cmd_sta(argc, argv);
-    if (cmd == "analyze") return cmd_analyze(argc, argv);
-    if (cmd == "montecarlo") return cmd_montecarlo(argc, argv);
-    if (cmd == "corners") return cmd_corners(argc, argv);
+    int rc = -1;
+    if (cmd == "generate") rc = cmd_generate(argc, argv);
+    else if (cmd == "sta") rc = cmd_sta(argc, argv);
+    else if (cmd == "analyze") rc = cmd_analyze(argc, argv);
+    else if (cmd == "montecarlo") rc = cmd_montecarlo(argc, argv);
+    else if (cmd == "corners") rc = cmd_corners(argc, argv);
+    if (rc >= 0) {
+      // Flush after the command so the trace/metrics cover the whole run.
+      write_observability_outputs();
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
