@@ -21,7 +21,8 @@ core::CirStagConfig default_config() {
 CaseA prepare_case_a(const circuit::CellLibrary& lib,
                      const circuit::RandomCircuitSpec& spec,
                      const CaseAOptions& opts) {
-  CaseA c{spec.name, circuit::generate_random_logic(lib, spec), nullptr, 0.0, {}, {}, {}};
+  CaseA c{spec.name, circuit::generate_random_logic(lib, spec),
+          nullptr, nullptr, 0.0, {}, {}, {}};
 
   gnn::TimingGnnOptions gopts;
   gopts.epochs = opts.gnn_epochs;
@@ -29,10 +30,14 @@ CaseA prepare_case_a(const circuit::CellLibrary& lib,
   c.model = std::make_unique<gnn::TimingGnn>(c.netlist, gopts);
   c.r2 = c.model->train().r2;
 
-  const core::CirStag analyzer(opts.config);
-  c.report = analyzer.analyze(circuit::pin_graph(c.netlist),
-                              c.model->base_features(),
-                              c.model->embed(c.model->base_features()));
+  // The engine captures the baseline analysis once (byte-identical to
+  // CirStag::analyze on the unperturbed circuit); every cohort perturbation
+  // below rides its incremental GNN forward.
+  core::SweepOptions sopts;
+  sopts.config = opts.config;
+  sopts.exact = opts.exact_sweep;
+  c.engine = std::make_unique<core::SweepEngine>(c.netlist, *c.model, sopts);
+  c.report = c.engine->baseline();
 
   const auto pred = c.model->predict(c.model->base_features());
   for (circuit::PinId po : c.netlist.primary_outputs()) {
@@ -44,8 +49,7 @@ CaseA prepare_case_a(const circuit::CellLibrary& lib,
 
 std::vector<double> po_changes(CaseA& c, const std::vector<std::size_t>& pins,
                                double factor) {
-  const auto feats = circuit::perturbed_pin_features(c.netlist, pins, factor);
-  const auto pred = c.model->predict(feats);
+  const auto pred = c.engine->predict_case_a(pins, factor);
   std::vector<double> po;
   po.reserve(c.base_po_pred.size());
   for (circuit::PinId p : c.netlist.primary_outputs()) po.push_back(pred[p]);

@@ -7,6 +7,7 @@
 #include "circuit/netlist.hpp"
 #include "circuit/sta.hpp"
 #include "core/cirstag.hpp"
+#include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
 
 /// Shared experiment protocol for the Table-I / Fig. 3-5 benches (Case A):
@@ -21,6 +22,12 @@ struct CaseA {
   std::string name;
   circuit::Netlist netlist;
   std::unique_ptr<gnn::TimingGnn> model;
+  /// Batched perturbation-sweep engine over the trained model: its captured
+  /// baseline is `report` below (byte-identical to CirStag::analyze), and
+  /// every per-variant perturbation in the benches goes through it — the
+  /// GNN forward is incremental (changed-row re-propagation) instead of a
+  /// full predict per cohort.
+  std::unique_ptr<core::SweepEngine> engine;
   double r2 = 0.0;
   core::CirStagReport report;        ///< full pipeline (with dim reduction)
   std::vector<double> base_po_pred;  ///< unperturbed PO predictions
@@ -35,6 +42,10 @@ struct CaseAOptions {
   std::size_t gnn_epochs = 250;
   std::size_t gnn_hidden = 24;
   core::CirStagConfig config = default_config();
+  /// Run the sweep engine in exact (byte-identical) mode. The benches'
+  /// per-cohort work is the incremental GNN forward, which is exact in both
+  /// modes, so this only matters when a bench calls engine->run().
+  bool exact_sweep = false;
 };
 
 /// Build + train + analyze one benchmark.

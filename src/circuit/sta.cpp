@@ -19,6 +19,61 @@ constexpr std::size_t kStaLevelGrain = 64;
 /// Pins per chunk for the perturbation sweep; each chunk clones the
 /// netlist once and reuses the clone across its pins.
 constexpr std::size_t kSensitivityGrain = 16;
+
+// The arithmetic below is shared between run_sta and IncrementalSta::run so
+// the incremental engine is bit-identical by construction, not by accident.
+
+/// Arrival/slew pair of a single pin.
+struct PinTiming {
+  double arrival = 0.0;
+  double slew = 0.0;
+};
+
+/// Timing of one net-arc sink given its driver's timing (Elmore wire RC).
+inline PinTiming eval_sink(const Netlist& nl, const Net& net, PinId sink,
+                           const PinTiming& driver) {
+  const double wire_delay = net.wire_resistance * nl.pin(sink).capacitance;
+  // Wire RC degrades the slew slightly.
+  return {driver.arrival + wire_delay, driver.slew + 0.5 * wire_delay};
+}
+
+/// Timing asserted at a primary input (external driver sees the net load).
+inline PinTiming eval_pi(const Netlist& nl, const StaOptions& opts, PinId pi) {
+  const double load = nl.net_load(nl.pin(pi).net);
+  return {opts.input_arrival + opts.input_drive_resistance * load,
+          opts.input_slew};
+}
+
+/// Timing of a gate's output pin from its input pins' timing.
+inline PinTiming eval_gate(const Netlist& nl, const StaOptions& opts,
+                           GateId gid, double derate,
+                           const std::vector<double>& arrival,
+                           const std::vector<double>& slew) {
+  const Gate& g = nl.gate(gid);
+  const CellType& ct = nl.library().cell(g.type);
+  const double load = nl.net_load(nl.pin(g.output).net);
+
+  PinTiming out;
+  for (PinId in : g.inputs) {
+    const double arc_delay = derate * (ct.intrinsic_delay +
+                                       ct.drive_resistance * load +
+                                       opts.slew_delay_fraction * slew[in]);
+    out.arrival = std::max(out.arrival, arrival[in] + arc_delay);
+    out.slew = std::max(out.slew, ct.slew_intrinsic + ct.slew_factor * load);
+  }
+  return out;
+}
+
+/// Collect output arrivals / worst arrival from the finished pin arrays.
+void finish_report(const Netlist& nl, TimingReport& rep) {
+  rep.output_arrivals.clear();
+  rep.output_arrivals.reserve(nl.primary_outputs().size());
+  rep.worst_arrival = 0.0;
+  for (PinId po : nl.primary_outputs()) {
+    rep.output_arrivals.push_back(rep.arrival[po]);
+    rep.worst_arrival = std::max(rep.worst_arrival, rep.arrival[po]);
+  }
+}
 }  // namespace
 
 TimingReport run_sta(const Netlist& nl, const StaOptions& opts) {
@@ -46,11 +101,11 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
 
   auto propagate_net = [&](PinId driver) {
     const Net& net = nl.net(nl.pin(driver).net);
+    const PinTiming dt{rep.arrival[driver], rep.slew[driver]};
     for (PinId sink : net.sinks) {
-      const double wire_delay = net.wire_resistance * nl.pin(sink).capacitance;
-      rep.arrival[sink] = rep.arrival[driver] + wire_delay;
-      // Wire RC degrades the slew slightly.
-      rep.slew[sink] = rep.slew[driver] + 0.5 * wire_delay;
+      const PinTiming st = eval_sink(nl, net, sink, dt);
+      rep.arrival[sink] = st.arrival;
+      rep.slew[sink] = st.slew;
     }
   };
 
@@ -59,58 +114,146 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
   const auto pis = nl.primary_inputs();
   runtime::parallel_for(0, pis.size(), kStaLevelGrain, [&](std::size_t i) {
     const PinId pi = pis[i];
-    const double load = nl.net_load(nl.pin(pi).net);
-    rep.arrival[pi] = opts.input_arrival + opts.input_drive_resistance * load;
-    rep.slew[pi] = opts.input_slew;
+    const PinTiming t = eval_pi(nl, opts, pi);
+    rep.arrival[pi] = t.arrival;
+    rep.slew[pi] = t.slew;
     propagate_net(pi);
   });
 
   // Levelized traversal: parallel within a level, barrier between levels
   // (Tatum's TopoBarrier shape). Gate inputs live in strictly lower levels.
-  auto eval_gate = [&](GateId gid) {
-    const Gate& g = nl.gate(gid);
-    const CellType& ct = nl.library().cell(g.type);
-    const double load = nl.net_load(nl.pin(g.output).net);
-    const double derate =
-        gate_delay_scale.empty() ? 1.0 : gate_delay_scale[gid];
-
-    double out_arrival = 0.0;
-    double out_slew = 0.0;
-    for (PinId in : g.inputs) {
-      const double arc_delay = derate * (ct.intrinsic_delay +
-                                         ct.drive_resistance * load +
-                                         opts.slew_delay_fraction * rep.slew[in]);
-      out_arrival = std::max(out_arrival, rep.arrival[in] + arc_delay);
-      out_slew = std::max(out_slew, ct.slew_intrinsic + ct.slew_factor * load);
-    }
-    rep.arrival[g.output] = out_arrival;
-    rep.slew[g.output] = out_slew;
-    propagate_net(g.output);
-  };
   for (std::size_t l = 0; l < nl.num_gate_levels(); ++l) {
-    const auto gates = nl.gates_at_level(l);
-    runtime::parallel_for(0, gates.size(), kStaLevelGrain,
-                          [&](std::size_t i) { eval_gate(gates[i]); });
+    const auto level_gates = nl.gates_at_level(l);
+    runtime::parallel_for(0, level_gates.size(), kStaLevelGrain,
+                          [&](std::size_t i) {
+      const GateId gid = level_gates[i];
+      const double derate =
+          gate_delay_scale.empty() ? 1.0 : gate_delay_scale[gid];
+      const PinTiming t =
+          eval_gate(nl, opts, gid, derate, rep.arrival, rep.slew);
+      const PinId out = nl.gate(gid).output;
+      rep.arrival[out] = t.arrival;
+      rep.slew[out] = t.slew;
+      propagate_net(out);
+    });
   }
 
-  rep.output_arrivals.reserve(nl.primary_outputs().size());
-  for (PinId po : nl.primary_outputs()) {
-    rep.output_arrivals.push_back(rep.arrival[po]);
-    rep.worst_arrival = std::max(rep.worst_arrival, rep.arrival[po]);
+  finish_report(nl, rep);
+  return rep;
+}
+
+IncrementalSta::IncrementalSta(const Netlist& baseline, const StaOptions& opts)
+    : opts_(opts),
+      base_(run_sta(baseline, opts)),
+      num_pins_(baseline.num_pins()),
+      num_gates_(baseline.num_gates()) {}
+
+TimingReport IncrementalSta::run(const Netlist& variant,
+                                 std::span<const PinId> touched_pins,
+                                 IncrementalStaStats* stats) const {
+  if (!variant.finalized())
+    throw std::runtime_error("IncrementalSta: netlist must be finalized");
+  if (variant.num_pins() != num_pins_ || variant.num_gates() != num_gates_)
+    throw std::invalid_argument(
+        "IncrementalSta: variant structure differs from baseline");
+
+  const obs::TraceSpan trace_span("sta.incremental", "circuit");
+  static const obs::Counter runs("sta.incremental_runs");
+  static const obs::Counter evaluated("sta.incremental_gates_evaluated");
+  static const obs::Counter skipped("sta.incremental_gates_skipped");
+  runs.add();
+
+  TimingReport rep;
+  rep.arrival = base_.arrival;
+  rep.slew = base_.slew;
+
+  IncrementalStaStats local;
+  local.total_gates = variant.num_gates();
+
+  // Seed the dirty set: a touched pin's capacitance enters the timing model
+  // only through its net — the net load seen by the net's producer and the
+  // Elmore wire delay of the touched sink itself — so re-evaluating the
+  // producer (PI or driving gate) covers every first-order effect.
+  std::vector<char> gate_dirty(variant.num_gates(), 0);
+  std::vector<PinId> dirty_pis;
+  for (PinId p : touched_pins) {
+    const NetId n = variant.pin(p).net;
+    if (n == kInvalidId) continue;
+    const PinId driver = variant.net(n).driver;
+    if (driver == kInvalidId) continue;
+    const Pin& dp = variant.pin(driver);
+    if (dp.kind == PinKind::PrimaryInput) {
+      dirty_pis.push_back(driver);
+    } else if (dp.gate != kInvalidId) {
+      gate_dirty[dp.gate] = 1;
+    }
   }
+  std::sort(dirty_pis.begin(), dirty_pis.end());
+  dirty_pis.erase(std::unique(dirty_pis.begin(), dirty_pis.end()),
+                  dirty_pis.end());
+
+  // Write `t` to pin p; when the value moved, wake the pin's consumer gate.
+  auto commit = [&](PinId p, const PinTiming& t) {
+    if (rep.arrival[p] == t.arrival && rep.slew[p] == t.slew) return;
+    rep.arrival[p] = t.arrival;
+    rep.slew[p] = t.slew;
+    ++local.pins_changed;
+    const Pin& pin = variant.pin(p);
+    if (pin.kind == PinKind::CellInput && pin.gate != kInvalidId)
+      gate_dirty[pin.gate] = 1;
+  };
+
+  auto propagate_net = [&](PinId driver) {
+    const Net& net = variant.net(variant.pin(driver).net);
+    const PinTiming dt{rep.arrival[driver], rep.slew[driver]};
+    for (PinId sink : net.sinks) commit(sink, eval_sink(variant, net, sink, dt));
+  };
+
+  for (PinId pi : dirty_pis) {
+    ++local.pis_evaluated;
+    const PinTiming t = eval_pi(variant, opts_, pi);
+    rep.arrival[pi] = t.arrival;
+    rep.slew[pi] = t.slew;
+    propagate_net(pi);
+  }
+
+  // Levelized sweep over dirty gates only. Inputs live in strictly lower
+  // levels, so by induction every non-dirty pin still holds exactly the
+  // value a full run_sta on the variant would produce.
+  for (std::size_t l = 0; l < variant.num_gate_levels(); ++l) {
+    for (GateId gid : variant.gates_at_level(l)) {
+      if (!gate_dirty[gid]) continue;
+      ++local.gates_evaluated;
+      const PinTiming t =
+          eval_gate(variant, opts_, gid, /*derate=*/1.0, rep.arrival, rep.slew);
+      const PinId out = variant.gate(gid).output;
+      rep.arrival[out] = t.arrival;
+      rep.slew[out] = t.slew;
+      propagate_net(out);
+    }
+  }
+
+  finish_report(variant, rep);
+
+  evaluated.add(local.gates_evaluated);
+  skipped.add(local.total_gates - local.gates_evaluated);
+  if (stats) *stats = local;
   return rep;
 }
 
 std::vector<double> exhaustive_sensitivity(const Netlist& netlist,
                                            double factor,
                                            const StaOptions& opts) {
-  const TimingReport base = run_sta(netlist, opts);
+  const IncrementalSta inc(netlist, opts);
+  const TimingReport& base = inc.baseline_report();
   const double base_worst = std::max(base.worst_arrival, 1e-12);
 
   std::vector<double> sensitivity(netlist.num_pins(), 0.0);
   // One netlist clone per chunk; within a chunk one pin is perturbed at a
   // time and restored, exactly like the serial sweep. Each pin's score is
-  // independent, so chunking does not affect the result.
+  // independent, so chunking does not affect the result. Per pin only the
+  // fanout cone is re-timed (bit-identical to a full STA; see
+  // IncrementalSta).
   runtime::parallel_for_chunks(
       0, netlist.num_pins(), kSensitivityGrain,
       [&](std::size_t lo, std::size_t hi) {
@@ -120,7 +263,8 @@ std::vector<double> exhaustive_sensitivity(const Netlist& netlist,
           const double original = netlist.pin(pin).capacitance;
           if (original <= 0.0) continue;
           working.set_pin_capacitance(pin, original * factor);
-          const TimingReport rep = run_sta(working, opts);
+          const PinId touched[] = {pin};
+          const TimingReport rep = inc.run(working, touched);
           sensitivity[p] =
               std::abs(rep.worst_arrival - base.worst_arrival) / base_worst;
           working.set_pin_capacitance(pin, original);

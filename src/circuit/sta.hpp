@@ -46,10 +46,61 @@ struct StaOptions {
                                    const StaOptions& opts,
                                    std::span<const double> gate_delay_scale);
 
+/// Reuse statistics of one IncrementalSta::run call.
+struct IncrementalStaStats {
+  std::size_t gates_evaluated = 0;  ///< gates re-evaluated (the dirty cone)
+  std::size_t total_gates = 0;      ///< gate count of the netlist
+  std::size_t pis_evaluated = 0;    ///< primary inputs re-evaluated
+  std::size_t pins_changed = 0;     ///< pins whose arrival or slew moved
+
+  /// Fraction of gates actually re-evaluated (1.0 on an empty netlist).
+  [[nodiscard]] double cone_fraction() const {
+    return total_gates == 0
+               ? 1.0
+               : static_cast<double>(gates_evaluated) /
+                     static_cast<double>(total_gates);
+  }
+};
+
+/// Incremental STA for perturbation sweeps: captures one full baseline
+/// report, then re-times capacitance-edited variants by re-propagating only
+/// the fanout cone of the touched pins.
+///
+/// Bit-identity: run() shares the exact per-PI / per-gate / per-net-arc
+/// arithmetic with run_sta, and a gate is re-evaluated whenever its output
+/// load or any input arrival/slew differs from the baseline, so the returned
+/// report is byte-identical to run_sta(variant, opts) — the reuse is pure
+/// work-skipping, not approximation.
+///
+/// The variant must share the baseline's structure (same pins, gates, nets,
+/// levels); only pin capacitances may differ, and every edited pin must be
+/// listed in `touched_pins`. Topology edits need a fresh run_sta.
+class IncrementalSta {
+ public:
+  explicit IncrementalSta(const Netlist& baseline, const StaOptions& opts = {});
+
+  [[nodiscard]] const TimingReport& baseline_report() const { return base_; }
+  [[nodiscard]] const StaOptions& options() const { return opts_; }
+
+  /// Re-time `variant` given the pins whose capacitance changed. Thread-safe
+  /// (const; all state is per-call). `stats`, when non-null, receives the
+  /// cone-size accounting for this run.
+  [[nodiscard]] TimingReport run(const Netlist& variant,
+                                 std::span<const PinId> touched_pins,
+                                 IncrementalStaStats* stats = nullptr) const;
+
+ private:
+  StaOptions opts_;
+  TimingReport base_;
+  std::size_t num_pins_ = 0;
+  std::size_t num_gates_ = 0;
+};
+
 /// Ground-truth per-pin delay sensitivity: relative change of the worst
-/// output arrival when pin p's capacitance is scaled by `factor`, computed
-/// by exhaustive re-simulation (one STA per pin). The expensive oracle that
-/// CirSTAG replaces; used for rank-validation experiments.
+/// output arrival when pin p's capacitance is scaled by `factor`. The
+/// expensive oracle that CirSTAG replaces; used for rank-validation
+/// experiments. Internally runs IncrementalSta per pin (bit-identical to
+/// one full STA per pin, but only the pin's fanout cone is re-timed).
 [[nodiscard]] std::vector<double> exhaustive_sensitivity(
     const Netlist& netlist, double factor, const StaOptions& opts = {});
 

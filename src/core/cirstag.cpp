@@ -10,14 +10,12 @@
 
 namespace cirstag::core {
 
-namespace {
-
-/// Column-standardize (zero mean, unit variance; constant columns zeroed)
-/// and scale by `weight`.
-linalg::Matrix standardized_scaled(const linalg::Matrix& x, double weight) {
+FeatureColumnStats fit_feature_stats(const linalg::Matrix& x, double weight) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
-  linalg::Matrix out(n, d);
+  FeatureColumnStats stats;
+  stats.mean.assign(d, 0.0);
+  stats.scale.assign(d, 0.0);
   for (std::size_t c = 0; c < d; ++c) {
     double mean = 0.0;
     for (std::size_t r = 0; r < n; ++r) mean += x(r, c);
@@ -29,13 +27,42 @@ linalg::Matrix standardized_scaled(const linalg::Matrix& x, double weight) {
     }
     const double sd = std::sqrt(var / static_cast<double>(n));
     if (sd <= 1e-12) continue;  // constant column carries no information
-    const double scale = weight / sd;
+    stats.mean[c] = mean;
+    stats.scale[c] = weight / sd;
+  }
+  return stats;
+}
+
+linalg::Matrix apply_feature_stats(const linalg::Matrix& x,
+                                   const FeatureColumnStats& stats) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (stats.mean.size() != d || stats.scale.size() != d)
+    throw std::invalid_argument("apply_feature_stats: dimension mismatch");
+  linalg::Matrix out(n, d);
+  for (std::size_t c = 0; c < d; ++c) {
+    const double scale = stats.scale[c];
+    if (scale == 0.0) continue;  // constant column: stays zero
+    const double mean = stats.mean[c];
     for (std::size_t r = 0; r < n; ++r) out(r, c) = (x(r, c) - mean) * scale;
   }
   return out;
 }
 
-}  // namespace
+linalg::Matrix augment_embedding(const linalg::Matrix& u,
+                                 const linalg::Matrix& f) {
+  if (u.rows() != f.rows())
+    throw std::invalid_argument("augment_embedding: row-count mismatch");
+  linalg::Matrix out(u.rows(), u.cols() + f.cols());
+  for (std::size_t r = 0; r < u.rows(); ++r) {
+    auto dst = out.row(r);
+    const auto su = u.row(r);
+    const auto sf = f.row(r);
+    for (std::size_t c = 0; c < su.size(); ++c) dst[c] = su[c];
+    for (std::size_t c = 0; c < sf.size(); ++c) dst[su.size() + c] = sf[c];
+  }
+  return out;
+}
 
 CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
                                const linalg::Matrix& output_embedding) const {
@@ -77,17 +104,10 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
     const linalg::Matrix u =
         spectral_embedding(input_graph, config_.embedding);
     if (!node_features.empty() && config_.feature_weight > 0.0) {
-      const linalg::Matrix f =
-          standardized_scaled(node_features, config_.feature_weight);
-      report.input_embedding = linalg::Matrix(u.rows(), u.cols() + f.cols());
-      for (std::size_t r = 0; r < u.rows(); ++r) {
-        auto dst = report.input_embedding.row(r);
-        const auto su = u.row(r);
-        const auto sf = f.row(r);
-        for (std::size_t c = 0; c < su.size(); ++c) dst[c] = su[c];
-        for (std::size_t c = 0; c < sf.size(); ++c)
-          dst[su.size() + c] = sf[c];
-      }
+      const linalg::Matrix f = apply_feature_stats(
+          node_features,
+          fit_feature_stats(node_features, config_.feature_weight));
+      report.input_embedding = augment_embedding(u, f);
     } else {
       report.input_embedding = u;
     }

@@ -76,6 +76,32 @@ struct CirStagReport {
   }
 };
 
+/// Column standardization used by the Phase-1 feature augmentation: per-
+/// column mean and multiplier (feature_weight / sd, or 0 for a constant
+/// column, which is dropped to zero). analyze() refits these on every call;
+/// the sweep engine's exact mode matches that, while its fast mode keeps
+/// the baseline frame so untouched rows stay bitwise stable (see
+/// SweepOptions::baseline_feature_frame).
+struct FeatureColumnStats {
+  std::vector<double> mean;
+  std::vector<double> scale;
+};
+
+/// Fit mean/scale on the columns of `x` exactly as analyze() does.
+[[nodiscard]] FeatureColumnStats fit_feature_stats(const linalg::Matrix& x,
+                                                   double weight);
+
+/// Apply fitted stats: out(r,c) = (x(r,c) - mean[c]) * scale[c], with
+/// constant columns (scale 0) left at zero. Row-local: rows equal in `x`
+/// produce equal output rows.
+[[nodiscard]] linalg::Matrix apply_feature_stats(
+    const linalg::Matrix& x, const FeatureColumnStats& stats);
+
+/// Row-concatenation [u ‖ f] used by analyze() for the augmented input
+/// embedding.
+[[nodiscard]] linalg::Matrix augment_embedding(const linalg::Matrix& u,
+                                               const linalg::Matrix& f);
+
 /// CirSTAG: node/edge stability analysis of a black-box GNN on graph-based
 /// manifolds (DAC 2025). Usage:
 ///

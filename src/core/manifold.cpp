@@ -27,14 +27,16 @@ graphs::Graph normalize_median_weight(const graphs::Graph& g) {
 
 }  // namespace
 
-graphs::Graph build_manifold(const linalg::Matrix& embedding,
-                             const ManifoldOptions& opts,
-                             graphs::LaplacianSolverCache* cache) {
+namespace {
+
+/// Shared tail of every manifold build: median normalization, component
+/// bridging, PGM sparsification.
+graphs::Graph finish_manifold(graphs::Graph knn, const ManifoldOptions& opts,
+                              graphs::LaplacianSolverCache* cache) {
   static const obs::Counter builds("manifold.builds");
   static const obs::Counter knn_edges("manifold.knn_edges");
   static const obs::Counter final_edges("manifold.final_edges");
   builds.add();
-  graphs::Graph knn = graphs::build_knn_graph(embedding, opts.knn);
   if (opts.normalize_weights) knn = normalize_median_weight(knn);
   knn = graphs::connect_components(knn, opts.bridge_weight);
   knn_edges.add(knn.num_edges());
@@ -46,6 +48,35 @@ graphs::Graph build_manifold(const linalg::Matrix& embedding,
       graphs::sparsify_pgm(knn, opts.sparsify, cache);
   final_edges.add(sparse.graph.num_edges());
   return std::move(sparse.graph);
+}
+
+}  // namespace
+
+graphs::Graph build_manifold(const linalg::Matrix& embedding,
+                             const ManifoldOptions& opts,
+                             graphs::LaplacianSolverCache* cache) {
+  return finish_manifold(graphs::build_knn_graph(embedding, opts.knn), opts,
+                         cache);
+}
+
+ManifoldBaseline capture_manifold_baseline(const linalg::Matrix& embedding,
+                                           const ManifoldOptions& opts,
+                                           graphs::LaplacianSolverCache* cache) {
+  ManifoldBaseline base;
+  base.knn = graphs::capture_knn_baseline(embedding, opts.knn);
+  base.manifold = finish_manifold(base.knn.graph, opts, cache);
+  return base;
+}
+
+graphs::Graph build_manifold_delta(const ManifoldBaseline& baseline,
+                                   const linalg::Matrix& embedding,
+                                   std::span<const std::uint32_t> moved_rows,
+                                   const ManifoldOptions& opts,
+                                   graphs::LaplacianSolverCache* cache,
+                                   graphs::KnnUpdateStats* stats) {
+  return finish_manifold(graphs::update_knn_graph(baseline.knn, embedding,
+                                                  moved_rows, opts.knn, stats),
+                         opts, cache);
 }
 
 }  // namespace cirstag::core

@@ -34,4 +34,29 @@ struct ManifoldOptions {
     const linalg::Matrix& embedding, const ManifoldOptions& opts = {},
     graphs::LaplacianSolverCache* cache = nullptr);
 
+/// Baseline of one manifold build kept for perturbation sweeps: the kNN
+/// candidate lists (pre-normalization) plus the finished manifold, which is
+/// byte-identical to build_manifold on the same inputs.
+struct ManifoldBaseline {
+  graphs::KnnBaseline knn;
+  graphs::Graph manifold;
+};
+
+/// build_manifold that additionally captures the kNN baseline for later
+/// build_manifold_delta calls.
+[[nodiscard]] ManifoldBaseline capture_manifold_baseline(
+    const linalg::Matrix& embedding, const ManifoldOptions& opts = {},
+    graphs::LaplacianSolverCache* cache = nullptr);
+
+/// Fast-mode manifold rebuild for an embedding whose rows moved only at
+/// `moved_rows`: delta kNN re-query against the baseline lists (see
+/// graphs::update_knn_graph for the documented approximation), then the
+/// normal normalize/connect/sparsify tail. With empty `moved_rows` the kNN
+/// stage reproduces the baseline graph exactly.
+[[nodiscard]] graphs::Graph build_manifold_delta(
+    const ManifoldBaseline& baseline, const linalg::Matrix& embedding,
+    std::span<const std::uint32_t> moved_rows, const ManifoldOptions& opts = {},
+    graphs::LaplacianSolverCache* cache = nullptr,
+    graphs::KnnUpdateStats* stats = nullptr);
+
 }  // namespace cirstag::core

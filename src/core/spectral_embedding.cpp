@@ -10,15 +10,33 @@ namespace cirstag::core {
 
 linalg::Matrix spectral_embedding(const graphs::Graph& g,
                                   const SpectralEmbeddingOptions& opts) {
+  return spectral_embedding_warm(g, opts, nullptr);
+}
+
+linalg::Matrix spectral_embedding_warm(const graphs::Graph& g,
+                                       const SpectralEmbeddingOptions& opts,
+                                       const linalg::Matrix* warm_basis) {
   const std::size_t n = g.num_nodes();
   if (n == 0) return {};
   const std::size_t m = std::min(opts.dimensions, n);
+
+  // Warm start vector: equal mix of the baseline eigenbasis columns, which
+  // biases the Krylov recurrence toward the wanted low-frequency subspace.
+  std::vector<double> start;
+  if (warm_basis != nullptr && warm_basis->rows() == n &&
+      warm_basis->cols() > 0) {
+    start.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = warm_basis->row(i);
+      for (const double v : row) start[i] += v;
+    }
+  }
 
   const linalg::SparseMatrix l_norm = graphs::normalized_laplacian(g);
   // Normalized-Laplacian spectrum lives in [0, 2].
   const linalg::EigenDecomposition eig = linalg::smallest_eigenpairs(
       l_norm, m, /*spectrum_upper_bound=*/2.0, opts.lanczos_subspace,
-      opts.seed);
+      opts.seed, start.empty() ? nullptr : &start);
 
   linalg::Matrix u(n, eig.values.size());
   for (std::size_t j = 0; j < eig.values.size(); ++j) {

@@ -24,4 +24,14 @@ struct SpectralEmbeddingOptions {
 [[nodiscard]] linalg::Matrix spectral_embedding(
     const graphs::Graph& g, const SpectralEmbeddingOptions& opts = {});
 
+/// Spectral embedding with an optional Lanczos warm start: when `warm_basis`
+/// is non-null with matching row count, the initial Krylov vector is the
+/// normalized column sum of the baseline basis instead of a random draw —
+/// the perturbation-sweep fast path for variants whose graph changed only
+/// locally. Changes results at tolerance level; a null `warm_basis` is
+/// exactly spectral_embedding(g, opts).
+[[nodiscard]] linalg::Matrix spectral_embedding_warm(
+    const graphs::Graph& g, const SpectralEmbeddingOptions& opts,
+    const linalg::Matrix* warm_basis);
+
 }  // namespace cirstag::core

@@ -49,6 +49,14 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   eopts.cg_tolerance = opts.cg_tolerance;
   eopts.cg_max_iterations = opts.cg_max_iterations;
   eopts.use_block_cg = opts.use_block_cg;
+  if (opts.initial_subspace != nullptr) {
+    eopts.initial_subspace = opts.initial_subspace;
+    if (opts.warm_subspace_iterations > 0)
+      eopts.iterations = opts.warm_subspace_iterations;
+  }
+  eopts.sweep_seed = opts.eigen_sweep_seed;
+  eopts.sweep_capture = opts.eigen_sweep_capture;
+  eopts.ritz_tolerance = opts.ritz_tolerance;
 
   // Build (or fetch) the (L_Y + I/σ²) solver through the shared path so the
   // rest of the pipeline can reuse it; same construction as the solver
@@ -78,7 +86,9 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   score_runs.add();
 
   StabilityResult out;
+  out.subspace_sweeps = eig.sweeps_executed;
   out.eigenvalues = eig.values;
+  out.raw_subspace = eig.vectors;
   const std::size_t s = eig.values.size();
   out.weighted_subspace = linalg::Matrix(n, s);
   std::vector<double> col_weight(s);

@@ -28,6 +28,31 @@ struct StabilityOptions {
   /// Solve all subspace columns per sweep in one blocked CG call
   /// (bit-identical per column; see GeneralizedEigenOptions::use_block_cg).
   bool use_block_cg = true;
+  /// Optional eigensolver warm start (perturbation sweeps): seed the
+  /// subspace iteration with these columns (a converged baseline subspace,
+  /// see StabilityResult::raw_subspace) instead of the random init. Changes
+  /// results at convergence-tolerance level — bit-exact paths leave it null.
+  const linalg::Matrix* initial_subspace = nullptr;
+  /// Sweep count used when `initial_subspace` is set (0 = keep
+  /// subspace_iterations). Caution: on near-degenerate spectra the warm
+  /// subspace converges no faster than the random init, so reducing the
+  /// sweep count moves the scores — prefer `eigen_sweep_seed`.
+  std::size_t warm_subspace_iterations = 0;
+  /// Per-sweep CG warm start from a nearby problem's captured sweep
+  /// solutions (see GeneralizedEigenOptions::sweep_seed): accelerates each
+  /// sweep without changing the iterate trajectory beyond cg_tolerance.
+  /// Bit-exact paths leave both null.
+  const std::vector<linalg::Matrix>* eigen_sweep_seed = nullptr;
+  /// Capture this run's per-sweep solution blocks as the seed for
+  /// subsequent nearby runs (GeneralizedEigenOptions::sweep_capture).
+  std::vector<linalg::Matrix>* eigen_sweep_capture = nullptr;
+  /// Adaptive subspace-iteration early stop: finish once the sorted
+  /// Rayleigh quotients change by ≤ ritz_tolerance·ρ_max between sweeps
+  /// (see GeneralizedEigenOptions::ritz_tolerance). Deterministic and
+  /// thread-count invariant; the executed count lands in
+  /// StabilityResult::subspace_sweeps. 0 = fixed `subspace_iterations`
+  /// count, the bit-exact historical behaviour.
+  double ritz_tolerance = 0.0;
 };
 
 /// Phase-3 output: the DMD spectrum and per-edge/per-node stability scores.
@@ -37,10 +62,17 @@ struct StabilityResult {
   std::vector<double> eigenvalues;
   /// Weighted eigensubspace V_s = [v_1 √ζ_1, ..., v_s √ζ_s].
   linalg::Matrix weighted_subspace;
+  /// Unweighted converged eigenvectors (columns) — the warm-start seed for
+  /// nearby problems (StabilityOptions::initial_subspace).
+  linalg::Matrix raw_subspace;
   /// ‖V_sᵀ e_pq‖² for every edge of the input manifold G_X.
   std::vector<double> edge_scores;
   /// Eq. 9 node scores: neighbor-average of incident edge scores over G_X.
   std::vector<double> node_scores;
+  /// Subspace sweeps the eigensolver executed (< subspace_iterations when
+  /// ritz_tolerance stopped early). Deterministic — usable as a locked
+  /// perf-regression metric.
+  std::size_t subspace_sweeps = 0;
 
   /// Stability score ‖V_sᵀ e_pq‖² of an arbitrary node pair — the paper's
   /// edge-stability measure evaluated on any candidate edge (e.g. the edges

@@ -1,0 +1,494 @@
+#include "core/sweep.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "circuit/perturb.hpp"
+#include "circuit/views.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cirstag::core {
+
+namespace {
+
+/// Rows of `a` whose relative L2 distance from the same row of `b` exceeds
+/// `tolerance` (same shape assumed). Tolerance 0 degenerates to an exact
+/// inequality test.
+std::vector<std::uint32_t> changed_rows(const linalg::Matrix& a,
+                                        const linalg::Matrix& b,
+                                        double tolerance) {
+  std::vector<std::uint32_t> out;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    double d2 = 0.0, n2 = 0.0;
+    for (std::size_t c = 0; c < ra.size(); ++c) {
+      const double d = ra[c] - rb[c];
+      d2 += d * d;
+      n2 += rb[c] * rb[c];
+    }
+    const bool moved =
+        tolerance <= 0.0 ? d2 > 0.0 : d2 > tolerance * tolerance * n2;
+    if (moved) out.push_back(static_cast<std::uint32_t>(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(const circuit::Netlist& netlist, gnn::TimingGnn& model,
+                         SweepOptions opts)
+    : opts_(std::move(opts)), netlist_(&netlist), model_(&model) {
+  if (!netlist.finalized())
+    throw std::invalid_argument("SweepEngine: netlist must be finalized");
+  if (opts_.config.threads != 0)
+    runtime::set_global_threads(opts_.config.threads);
+  const obs::TraceSpan span("sweep.baseline", "sweep");
+  obs::WallTimer timer;
+
+  pin_graph_ = circuit::pin_graph(netlist);
+  features0_ = circuit::pin_features(netlist);
+  snap_ = model.snapshot(features0_);
+  if (opts_.with_sta)
+    sta_ = std::make_unique<circuit::IncrementalSta>(netlist);
+  baseline_timing_ =
+      sta_ ? sta_->baseline_report() : circuit::run_sta(netlist);
+
+  build_baseline(pin_graph_, features0_,
+                 snap_.layer_outputs.empty() ? snap_.std_features
+                                             : snap_.layer_outputs.back());
+  stats_.baseline_seconds = timer.elapsed_seconds();
+}
+
+SweepEngine::SweepEngine(const graphs::Graph& input_graph,
+                         const linalg::Matrix& node_features,
+                         const linalg::Matrix& output_embedding,
+                         SweepOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.config.threads != 0)
+    runtime::set_global_threads(opts_.config.threads);
+  const obs::TraceSpan span("sweep.baseline", "sweep");
+  obs::WallTimer timer;
+  features0_ = node_features;
+  build_baseline(input_graph, node_features, output_embedding);
+  stats_.baseline_seconds = timer.elapsed_seconds();
+}
+
+const circuit::TimingReport& SweepEngine::baseline_timing() const {
+  if (netlist_ == nullptr)
+    throw std::logic_error("SweepEngine: no netlist (graph-mode engine)");
+  return baseline_timing_;
+}
+
+void SweepEngine::build_baseline(const graphs::Graph& input_graph,
+                                 const linalg::Matrix& node_features,
+                                 const linalg::Matrix& output_embedding) {
+  static const obs::Counter baselines("sweep.baselines");
+  baselines.add();
+  const CirStagConfig& cfg = opts_.config;
+  if (input_graph.num_nodes() != output_embedding.rows())
+    throw std::invalid_argument("SweepEngine: graph nodes != embedding rows");
+
+  baseline_.timings.threads = runtime::global_pool().num_threads();
+  obs::WallTimer timer;
+
+  // Phase 1 — same construction as CirStag::analyze. The fitted stats are
+  // kept: fast Case-A variants standardize in this baseline frame so that
+  // untouched pins' augmented rows stay bitwise identical to the baseline's
+  // (see SweepOptions::baseline_feature_frame).
+  linalg::Matrix x_emb;
+  if (cfg.use_dimension_reduction) {
+    u0_ = spectral_embedding(input_graph, cfg.embedding);
+    if (!node_features.empty() && cfg.feature_weight > 0.0) {
+      stats0_ = fit_feature_stats(node_features, cfg.feature_weight);
+      const linalg::Matrix f0 = apply_feature_stats(node_features, stats0_);
+      x_emb = augment_embedding(u0_, f0);
+    } else {
+      x_emb = u0_;
+    }
+  }
+  baseline_.input_embedding = x_emb;
+  baseline_.timings.embedding_seconds = timer.elapsed_seconds();
+  timer.reset();
+
+  graphs::LaplacianSolverCache* cache =
+      cfg.use_solver_cache ? &cache_ : nullptr;
+
+  // Phase 2 — in fast mode capture kNN baselines and store the resistance
+  // sketch's solutions, both of which seed every variant later. The warm
+  // tag is a pure side effect on the baseline itself: the sketch's own
+  // take_warm_block finds an empty store and solves cold, bit-identical to
+  // the untagged path.
+  const bool fast = !opts_.exact;
+  ManifoldOptions mo_x = cfg.manifold;
+  ManifoldOptions mo_y = cfg.manifold;
+  if (fast && opts_.warm_sketch) {
+    mo_x.sparsify.resistance.warm_start_tag = "sweep/base/x";
+    mo_y.sparsify.resistance.warm_start_tag = "sweep/base/y";
+  }
+  if (cfg.use_dimension_reduction) {
+    if (fast) {
+      mx_base_ = capture_manifold_baseline(x_emb, mo_x, cache);
+      baseline_.manifold_x = mx_base_.manifold;
+    } else {
+      baseline_.manifold_x = build_manifold(x_emb, mo_x, cache);
+    }
+  } else {
+    baseline_.manifold_x = input_graph;
+  }
+  if (fast) {
+    my_base_ = capture_manifold_baseline(output_embedding, mo_y, cache);
+    baseline_.manifold_y = my_base_.manifold;
+  } else {
+    baseline_.manifold_y = build_manifold(output_embedding, mo_y, cache);
+  }
+  baseline_.timings.manifold_seconds = timer.elapsed_seconds();
+  timer.reset();
+
+  // Phase 3 — keep the converged eigenbasis plus (fast mode) the per-sweep
+  // CG solution blocks as the variants' warm starts. The baseline runs the
+  // config's own trajectory (preconditioner, tolerance, sweep count) so the
+  // captured report stays byte-identical to CirStag::analyze in both modes.
+  StabilityOptions so = cfg.stability;
+  if (fast && opts_.warm_sweep_cg) so.eigen_sweep_capture = &sweep_blocks0_;
+  StabilityResult stab = stability_scores(baseline_.manifold_x,
+                                          baseline_.manifold_y, so, cache);
+  baseline_.timings.stability_seconds = timer.elapsed_seconds();
+  raw_subspace0_ = std::move(stab.raw_subspace);
+  baseline_.node_scores = std::move(stab.node_scores);
+  baseline_.edge_scores = std::move(stab.edge_scores);
+  baseline_.eigenvalues = std::move(stab.eigenvalues);
+  baseline_.weighted_subspace = std::move(stab.weighted_subspace);
+
+  // Claim the baseline sketch solutions for per-variant seeding.
+  if (fast && opts_.warm_sketch) {
+    const std::size_t n = input_graph.num_nodes();
+    const std::size_t k = cfg.manifold.sparsify.resistance.num_probes;
+    cache_.take_warm_block("sweep/base/x", n, k, warm_x_block_);
+    cache_.take_warm_block("sweep/base/y", n, k, warm_y_block_);
+  }
+}
+
+std::vector<SweepVariantResult> SweepEngine::run(
+    std::span<const SweepVariant> variants) {
+  const obs::TraceSpan span("sweep.run", "sweep");
+  static const obs::Counter runs("sweep.runs");
+  static const obs::Counter variant_count("sweep.variants");
+  static const obs::Counter exact_count("sweep.variants_exact");
+  runs.add();
+  variant_count.add(variants.size());
+  if (opts_.exact) exact_count.add(variants.size());
+
+  obs::WallTimer timer;
+  const std::size_t cache_hits_before = cache_.hits();
+
+  std::vector<SweepVariantResult> results(variants.size());
+  // One task per variant: inner phases' nested parallel_for calls run
+  // serially inline, so per-variant results are bit-identical at any pool
+  // width, and all warm data is seeded from the baseline only — sibling
+  // variants never feed each other.
+  runtime::parallel_for(0, variants.size(), 1, [&](std::size_t i) {
+    results[i] = run_variant(variants[i], i);
+  });
+
+  stats_.sweep_seconds = timer.elapsed_seconds();
+  stats_.variants = results.size();
+  stats_.solver_cache_hits = cache_.hits() - cache_hits_before;
+  stats_.eigen_warm_starts = 0;
+  double sta_sum = 0.0, gnn_sum = 0.0, knn_sum = 0.0, sweep_sum = 0.0;
+  std::size_t sta_n = 0, gnn_n = 0, knn_n = 0, sweep_n = 0;
+  const double sweep_budget =
+      static_cast<double>(opts_.config.stability.subspace_iterations);
+  for (const SweepVariantResult& r : results) {
+    if (r.stats.subspace_sweeps > 0 && sweep_budget > 0.0) {
+      sweep_sum += static_cast<double>(r.stats.subspace_sweeps) / sweep_budget;
+      ++sweep_n;
+    }
+    if (r.stats.sta.total_gates > 0) {
+      sta_sum += r.stats.sta.cone_fraction();
+      ++sta_n;
+    }
+    if (r.stats.gnn.total_rows > 0) {
+      gnn_sum += r.stats.gnn.row_fraction();
+      ++gnn_n;
+    }
+    for (const graphs::KnnUpdateStats* k : {&r.stats.knn_x, &r.stats.knn_y}) {
+      if (k->total_points > 0) {
+        knn_sum += static_cast<double>(k->requeried_points) /
+                   static_cast<double>(k->total_points);
+        ++knn_n;
+      }
+    }
+    if (r.stats.eigen_warm_started) ++stats_.eigen_warm_starts;
+  }
+  stats_.avg_sta_cone_fraction = sta_n ? sta_sum / sta_n : 1.0;
+  stats_.avg_gnn_row_fraction = gnn_n ? gnn_sum / gnn_n : 1.0;
+  stats_.avg_knn_requery_fraction = knn_n ? knn_sum / knn_n : 1.0;
+  stats_.avg_subspace_sweep_fraction = sweep_n ? sweep_sum / sweep_n : 1.0;
+
+  static const obs::Gauge g_sta("sweep.sta_cone_fraction");
+  static const obs::Gauge g_gnn("sweep.gnn_row_fraction");
+  static const obs::Gauge g_knn("sweep.knn_requery_fraction");
+  static const obs::Gauge g_sweeps("sweep.subspace_sweep_fraction");
+  static const obs::Gauge g_hits("sweep.solver_cache_hits");
+  static const obs::Counter warm_eig("sweep.eigen_warm_starts");
+  g_sta.set(stats_.avg_sta_cone_fraction);
+  g_gnn.set(stats_.avg_gnn_row_fraction);
+  g_knn.set(stats_.avg_knn_requery_fraction);
+  g_sweeps.set(stats_.avg_subspace_sweep_fraction);
+  g_hits.set(static_cast<double>(stats_.solver_cache_hits));
+  warm_eig.add(stats_.eigen_warm_starts);
+  return results;
+}
+
+SweepVariantResult SweepEngine::run_variant(const SweepVariant& v,
+                                            std::size_t index) {
+  if (v.input_graph != nullptr || v.output_embedding != nullptr)
+    return run_case_b(v, index);
+  return run_case_a(v, index);
+}
+
+SweepVariantResult SweepEngine::run_case_a(const SweepVariant& v,
+                                           std::size_t index) {
+  if (netlist_ == nullptr || model_ == nullptr)
+    throw std::invalid_argument(
+        "SweepEngine: Case-A variant on a graph-mode engine");
+  const obs::TraceSpan span("sweep.variant_a", "sweep");
+  SweepVariantResult out;
+
+  // Perturbed netlist + the physically-consistent feature view (net loads
+  // move together with the caps — the Table-I protocol).
+  circuit::Netlist nlv = *netlist_;
+  std::vector<circuit::PinId> touched;
+  touched.reserve(v.cap_scalings.size());
+  for (const CapScaling& cs : v.cap_scalings) {
+    nlv.scale_pin_capacitance(cs.pin, cs.factor);
+    touched.push_back(cs.pin);
+  }
+  const linalg::Matrix fv = circuit::pin_features(nlv);
+
+  if (opts_.with_sta && sta_) {
+    const circuit::TimingReport rep = sta_->run(nlv, touched, &out.stats.sta);
+    out.worst_arrival = rep.worst_arrival;
+  }
+
+  // Incremental GNN forward (bit-identical to a full forward).
+  gnn::GnnIncrementalResult inc =
+      model_->forward_incremental(snap_, fv, &out.stats.gnn);
+  out.prediction = std::move(inc.prediction);
+
+  // Input side: the pin graph is untouched by capacitance edits, so the
+  // baseline spectral embedding is reused verbatim in both modes; only the
+  // feature channel moves. Exact mode refits the column stats on the
+  // variant (analyze()'s own behavior). Fast mode standardizes in the
+  // baseline frame by default: a refit would move every standardized row
+  // and disable the input-side kNN delta, while the frames differ only by
+  // a mean shift (invisible to kNN distances) and a tiny scale ratio.
+  linalg::Matrix x_emb;
+  const CirStagConfig& cfg = opts_.config;
+  const bool fast = !opts_.exact;
+  if (cfg.use_dimension_reduction) {
+    out.stats.spectral_reused = true;
+    if (!fv.empty() && cfg.feature_weight > 0.0) {
+      const linalg::Matrix f =
+          fast && opts_.baseline_feature_frame
+              ? apply_feature_stats(fv, stats0_)
+              : apply_feature_stats(fv,
+                                    fit_feature_stats(fv, cfg.feature_weight));
+      x_emb = augment_embedding(u0_, f);
+    } else {
+      x_emb = u0_;
+    }
+  }
+
+  finish_variant(out, std::move(x_emb), &pin_graph_, inc.embedding, index);
+  return out;
+}
+
+SweepVariantResult SweepEngine::run_case_b(const SweepVariant& v,
+                                           std::size_t index) {
+  if (v.input_graph == nullptr || v.output_embedding == nullptr)
+    throw std::invalid_argument(
+        "SweepEngine: Case-B variant needs input_graph and output_embedding");
+  const obs::TraceSpan span("sweep.variant_b", "sweep");
+  SweepVariantResult out;
+  const CirStagConfig& cfg = opts_.config;
+  const graphs::Graph& g = *v.input_graph;
+  if (g.num_nodes() != v.output_embedding->rows())
+    throw std::invalid_argument(
+        "SweepEngine: variant graph nodes != embedding rows");
+
+  linalg::Matrix x_emb;
+  if (cfg.use_dimension_reduction) {
+    // The topology changed, so the spectrum must be recomputed; with
+    // warm_spectral the fast mode seeds the Krylov recurrence with the
+    // baseline eigenbasis. Feature stats are refit per variant (analyze()'s
+    // behavior) in both modes.
+    const bool warm = !opts_.exact && opts_.warm_spectral && !u0_.empty();
+    const linalg::Matrix u =
+        warm ? spectral_embedding_warm(g, cfg.embedding, &u0_)
+             : spectral_embedding(g, cfg.embedding);
+    const linalg::Matrix* feats = v.node_features;
+    if (feats != nullptr && !feats->empty() && cfg.feature_weight > 0.0) {
+      const linalg::Matrix f = apply_feature_stats(
+          *feats, fit_feature_stats(*feats, cfg.feature_weight));
+      x_emb = augment_embedding(u, f);
+    } else {
+      x_emb = u;
+    }
+  }
+
+  finish_variant(out, std::move(x_emb), &g, *v.output_embedding, index);
+  return out;
+}
+
+void SweepEngine::finish_variant(SweepVariantResult& out,
+                                 linalg::Matrix input_embedding,
+                                 const graphs::Graph* input_graph,
+                                 const linalg::Matrix& output_embedding,
+                                 std::size_t index) {
+  const CirStagConfig& cfg = opts_.config;
+  const bool fast = !opts_.exact;
+  graphs::LaplacianSolverCache* cache =
+      cfg.use_solver_cache ? &cache_ : nullptr;
+  CirStagReport& report = out.report;
+  report.timings.threads = runtime::global_pool().num_threads();
+  obs::WallTimer timer;
+  report.input_embedding = std::move(input_embedding);
+
+  // Adaptive kNN delta (fast mode): each side re-queries only around the
+  // rows that moved relative to the captured baseline — worthwhile only
+  // when a minority moved, otherwise a full build is both faster and free
+  // of the delta's one-sided-neighbor approximation. Rows below
+  // moved_row_tolerance count as unmoved: GNN-output perturbations
+  // attenuate with DAG distance and the baseline feature frame keeps
+  // untouched input rows bitwise stable, so the genuinely-moved sets are
+  // the perturbation cones, not the whole embedding.
+  std::vector<std::uint32_t> moved_x, moved_y;
+  bool delta_x = false, delta_y = false;
+  if (fast) {
+    const double tol = opts_.moved_row_tolerance;
+    const linalg::Matrix& x = report.input_embedding;
+    if (!x.empty() && mx_base_.knn.points.rows() == x.rows() &&
+        mx_base_.knn.points.cols() == x.cols()) {
+      moved_x = changed_rows(x, mx_base_.knn.points, tol);
+      delta_x = moved_x.size() * 2 < x.rows();
+    }
+    if (my_base_.knn.points.rows() == output_embedding.rows() &&
+        my_base_.knn.points.cols() == output_embedding.cols()) {
+      moved_y = changed_rows(output_embedding, my_base_.knn.points, tol);
+      delta_y = moved_y.size() * 2 < output_embedding.rows();
+    }
+  }
+
+  // Per-variant warm-start tags, seeded from the baseline sketch only so
+  // concurrent variants stay independent (and deterministic).
+  ManifoldOptions mo_x = cfg.manifold;
+  ManifoldOptions mo_y = cfg.manifold;
+  std::string tag_x, tag_y;
+  if (fast && opts_.warm_sketch && cache != nullptr) {
+    if (!warm_x_block_.empty()) {
+      tag_x = "sweep/x/v" + std::to_string(index);
+      cache_.store_warm_block(tag_x, warm_x_block_);
+      mo_x.sparsify.resistance.warm_start_tag = tag_x;
+    }
+    if (!warm_y_block_.empty()) {
+      tag_y = "sweep/y/v" + std::to_string(index);
+      cache_.store_warm_block(tag_y, warm_y_block_);
+      mo_y.sparsify.resistance.warm_start_tag = tag_y;
+    }
+  }
+
+  // Phase 2.
+  if (report.input_embedding.empty()) {
+    report.manifold_x = input_graph != nullptr ? *input_graph : graphs::Graph();
+  } else if (delta_x) {
+    report.manifold_x =
+        build_manifold_delta(mx_base_, report.input_embedding, moved_x, mo_x,
+                             cache, &out.stats.knn_x);
+  } else {
+    report.manifold_x = build_manifold(report.input_embedding, mo_x, cache);
+  }
+  if (delta_y) {
+    report.manifold_y = build_manifold_delta(my_base_, output_embedding,
+                                             moved_y, mo_y, cache,
+                                             &out.stats.knn_y);
+  } else {
+    report.manifold_y = build_manifold(output_embedding, mo_y, cache);
+  }
+  report.timings.manifold_seconds = timer.elapsed_seconds();
+  timer.reset();
+
+  // Drop the variant's own stored sketch solutions: the next variant seeds
+  // from the baseline block again, keeping results order-independent.
+  if (!tag_x.empty() || !tag_y.empty()) {
+    linalg::Matrix dropped;
+    const std::size_t k = cfg.manifold.sparsify.resistance.num_probes;
+    if (!tag_x.empty())
+      cache_.take_warm_block(tag_x, report.manifold_x.num_nodes(), k, dropped);
+    if (!tag_y.empty())
+      cache_.take_warm_block(tag_y, report.manifold_y.num_nodes(), k, dropped);
+  }
+
+  // Phase 3 — accelerated in fast mode by three levers that each keep the
+  // cold deterministic start: the spanning-tree preconditioner for the
+  // inner solves and a relaxed CG tolerance (measured drift ≤ 1e-4 each —
+  // Phase 3 makes no discrete decisions, so trajectory changes stay at
+  // tolerance level), plus the adaptive Ritz early stop (the whole drift
+  // budget; see SweepOptions::fast_ritz_tolerance). With
+  // warm_sweep_cg the baseline's captured sweep-k CG solutions are offered
+  // as per-sweep seeds, adopted per column only when their true residual
+  // beats the own-chain guess. (Measured: across variants the converged
+  // solutions genuinely differ — near-nullspace components of (L_Y+εI)⁻¹
+  // amplify tiny manifold deltas — so adoption is rare and the seeds save
+  // nothing; the residual check is what makes offering them safe.) Opting
+  // into warm_subspace_iterations instead seeds the subspace itself with
+  // the baseline eigenbasis and cuts the sweep count below the settled
+  // regime — faster still, but on near-degenerate spectra that truncated
+  // warm trajectory drifts well past kFastScoreDriftTolerance; the sweep
+  // seeds are withheld there since they belong to a different (cold-start)
+  // trajectory.
+  StabilityOptions so = cfg.stability;
+  if (fast) {
+    if (opts_.tree_preconditioner)
+      so.preconditioner = graphs::SolverPreconditioner::spanning_tree;
+    if (opts_.fast_cg_tolerance > 0.0)
+      so.cg_tolerance = opts_.fast_cg_tolerance;
+    if (opts_.fast_ritz_tolerance > 0.0)
+      so.ritz_tolerance = opts_.fast_ritz_tolerance;
+  }
+  if (fast && report.manifold_x.num_nodes() == baseline_.manifold_x.num_nodes()) {
+    if (opts_.warm_subspace_iterations > 0 && raw_subspace0_.cols() > 0) {
+      so.initial_subspace = &raw_subspace0_;
+      so.warm_subspace_iterations = opts_.warm_subspace_iterations;
+      out.stats.eigen_warm_started = true;
+    } else if (!sweep_blocks0_.empty()) {
+      so.eigen_sweep_seed = &sweep_blocks0_;
+      out.stats.eigen_warm_started = true;
+    }
+  }
+  StabilityResult stab =
+      stability_scores(report.manifold_x, report.manifold_y, so, cache);
+  report.timings.stability_seconds = timer.elapsed_seconds();
+  out.stats.subspace_sweeps = stab.subspace_sweeps;
+  report.node_scores = std::move(stab.node_scores);
+  report.edge_scores = std::move(stab.edge_scores);
+  report.eigenvalues = std::move(stab.eigenvalues);
+  report.weighted_subspace = std::move(stab.weighted_subspace);
+}
+
+std::vector<double> SweepEngine::predict_case_a(
+    std::span<const std::size_t> pins, double factor) const {
+  if (netlist_ == nullptr || model_ == nullptr)
+    throw std::logic_error("SweepEngine: predict_case_a needs a netlist");
+  const linalg::Matrix fv =
+      circuit::perturbed_pin_features(*netlist_, pins, factor);
+  return model_->forward_incremental(snap_, fv).prediction;
+}
+
+}  // namespace cirstag::core

@@ -31,6 +31,10 @@ DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
     for (circuit::PinId sink : net.sinks) fanin_[sink].push_back(net.driver);
   for (const circuit::Gate& gate : nl.gates())
     for (circuit::PinId in : gate.inputs) fanin_[gate.output].push_back(in);
+  fanout_.assign(n, {});
+  for (std::size_t p = 0; p < n; ++p)
+    for (const std::uint32_t q : fanin_[p])
+      fanout_[q].push_back(static_cast<std::uint32_t>(p));
 
   // Processing order: PI pins, then per gate (in topological order) its
   // input pins then its output pin; net sinks always follow their driver,
@@ -125,6 +129,82 @@ Matrix DagPropagation::forward(const Matrix& x) {
     });
   }
   return cached_h_;
+}
+
+std::size_t DagPropagation::forward_incremental(
+    const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+    std::vector<std::uint32_t>& dirty_out) const {
+  const std::size_t n = order_.size();
+  const std::size_t d = w_x_.value.cols();
+  if (x.rows() != n || y.rows() != n || y.cols() != d)
+    throw std::invalid_argument(
+        "DagPropagation::forward_incremental: shape mismatch");
+
+  static const obs::Counter inc_forwards("gnn.dag_incremental_forwards");
+  static const obs::Counter inc_pins("gnn.dag_incremental_pins");
+  inc_forwards.add();
+
+  // A pin needs recomputation when its own feature row changed or a fan-in
+  // hidden state moved; the flag cascades downstream through fanout_ as
+  // changes commit, level by level (fanout pins sit at strictly higher
+  // levels).
+  std::vector<char> recompute(n, 0);
+  for (const std::uint32_t p : dirty_in) recompute[p] = 1;
+
+  std::size_t evaluated = 0;
+  std::vector<double> agg(d), pre(d), fresh(d), xw(d);
+  const auto b = bias_.value.row(0);
+  for (std::size_t l = 0; l + 1 < level_offsets_.size(); ++l) {
+    for (std::size_t idx = level_offsets_[l]; idx < level_offsets_[l + 1];
+         ++idx) {
+      const std::uint32_t p = level_pins_[idx];
+      if (!recompute[p]) continue;
+      ++evaluated;
+      // Same per-pin arithmetic as process_pin in forward(), reading hidden
+      // states out of y (non-recomputed rows still hold the exact values a
+      // full forward would produce, by induction over levels).
+      std::fill(agg.begin(), agg.end(), 0.0);
+      const auto& fan = fanin_[p];
+      if (!fan.empty()) {
+        const double inv = 1.0 / static_cast<double>(fan.size());
+        for (const std::uint32_t q : fan) {
+          const auto hq = y.row(q);
+          for (std::size_t c = 0; c < d; ++c) agg[c] += inv * hq[c];
+        }
+      }
+      // Local term: row p of matmul(x, w_x) — ascending k, zero-skip,
+      // exactly the batched product's row arithmetic.
+      std::fill(xw.begin(), xw.end(), 0.0);
+      const auto xr = x.row(p);
+      for (std::size_t k = 0; k < xr.size(); ++k) {
+        const double aik = xr[k];
+        if (aik == 0.0) continue;
+        const auto wrow = w_x_.value.row(k);
+        for (std::size_t c = 0; c < d; ++c) xw[c] += aik * wrow[c];
+      }
+      for (std::size_t c = 0; c < d; ++c) pre[c] = xw[c] + b[c];
+      for (std::size_t k = 0; k < d; ++k) {
+        const double a = agg[k];
+        if (a == 0.0) continue;
+        const auto wrow = w_h_.value.row(k);
+        for (std::size_t c = 0; c < d; ++c) pre[c] += a * wrow[c];
+      }
+      for (std::size_t c = 0; c < d; ++c)
+        fresh[c] = pre[c] > 0.0 ? pre[c] : kLeakySlope * pre[c];
+
+      auto hrow = y.row(p);
+      bool same = true;
+      for (std::size_t c = 0; c < d; ++c)
+        if (hrow[c] != fresh[c]) { same = false; break; }
+      if (same) continue;
+      std::copy(fresh.begin(), fresh.end(), hrow.begin());
+      dirty_out.push_back(p);
+      for (const std::uint32_t q : fanout_[p]) recompute[q] = 1;
+    }
+  }
+  std::sort(dirty_out.begin(), dirty_out.end());
+  inc_pins.add(evaluated);
+  return evaluated;
 }
 
 Matrix DagPropagation::backward(const Matrix& grad_out) {

@@ -28,6 +28,12 @@ class DagPropagation : public Layer {
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Param*> params() override { return {&w_x_, &w_h_, &bias_}; }
+  /// Incremental DAG re-propagation: recomputes a pin when its feature row
+  /// changed or any fan-in hidden state moved, cascading level by level with
+  /// equality pruning — the GNN analogue of incremental STA.
+  std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const override;
 
   [[nodiscard]] std::size_t num_pins() const { return order_.size(); }
   /// Number of topological levels (pins in the same level have all fan-in
@@ -45,6 +51,7 @@ class DagPropagation : public Layer {
   std::vector<std::uint32_t> level_pins_;
   std::vector<std::size_t> level_offsets_;
   std::vector<std::vector<std::uint32_t>> fanin_;    // per pin
+  std::vector<std::vector<std::uint32_t>> fanout_;   // reverse arcs (sweeps)
   Param w_x_;   // in x out
   Param w_h_;   // out x out
   Param bias_;  // 1 x out

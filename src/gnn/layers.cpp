@@ -1,9 +1,47 @@
 #include "gnn/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace cirstag::gnn {
+
+namespace {
+/// Row r of matmul(x, w): the exact per-row arithmetic of linalg::matmul
+/// (ascending k, zero-skip), so incremental row recomputes are byte-equal
+/// to the batched product.
+void matmul_row(std::span<const double> xrow, const Matrix& w,
+                std::span<double> out) {
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t k = 0; k < xrow.size(); ++k) {
+    const double aik = xrow[k];
+    if (aik == 0.0) continue;
+    const auto brow = w.row(k);
+    for (std::size_t j = 0; j < out.size(); ++j) out[j] += aik * brow[j];
+  }
+}
+
+/// Compare-and-commit: write `fresh` into y.row(r) only when it moved,
+/// recording r in dirty_out. Equality pruning is what keeps the incremental
+/// cone from flooding the whole graph.
+bool commit_row(Matrix& y, std::size_t r, std::span<const double> fresh,
+                std::vector<std::uint32_t>& dirty_out) {
+  auto row = y.row(r);
+  bool same = true;
+  for (std::size_t c = 0; c < row.size(); ++c)
+    if (row[c] != fresh[c]) { same = false; break; }
+  if (same) return false;
+  std::copy(fresh.begin(), fresh.end(), row.begin());
+  dirty_out.push_back(static_cast<std::uint32_t>(r));
+  return true;
+}
+}  // namespace
+
+std::size_t Layer::forward_incremental(const Matrix&, Matrix&,
+                                       const std::vector<std::uint32_t>&,
+                                       std::vector<std::uint32_t>&) const {
+  throw std::logic_error("Layer::forward_incremental: unsupported layer type");
+}
 
 // ---------------------------------------------------------------- Linear
 
@@ -20,6 +58,19 @@ Matrix Linear::forward(const Matrix& x) {
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += b[c];
   }
   return y;
+}
+
+std::size_t Linear::forward_incremental(
+    const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+    std::vector<std::uint32_t>& dirty_out) const {
+  std::vector<double> fresh(weight_.value.cols());
+  const auto b = bias_.value.row(0);
+  for (const std::uint32_t r : dirty_in) {
+    matmul_row(x.row(r), weight_.value, fresh);
+    for (std::size_t c = 0; c < fresh.size(); ++c) fresh[c] += b[c];
+    commit_row(y, r, fresh, dirty_out);
+  }
+  return dirty_in.size();
 }
 
 Matrix Linear::backward(const Matrix& grad_out) {
@@ -41,6 +92,19 @@ Matrix ReLU::forward(const Matrix& x) {
   return y;
 }
 
+std::size_t ReLU::forward_incremental(
+    const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+    std::vector<std::uint32_t>& dirty_out) const {
+  std::vector<double> fresh(x.cols());
+  for (const std::uint32_t r : dirty_in) {
+    const auto xr = x.row(r);
+    for (std::size_t c = 0; c < fresh.size(); ++c)
+      fresh[c] = xr[c] > 0.0 ? xr[c] : 0.0;
+    commit_row(y, r, fresh, dirty_out);
+  }
+  return dirty_in.size();
+}
+
 Matrix ReLU::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
   const auto in = cached_input_.data();
@@ -57,6 +121,18 @@ Matrix Tanh::forward(const Matrix& x) {
   for (auto& v : y.data()) v = std::tanh(v);
   cached_output_ = y;
   return y;
+}
+
+std::size_t Tanh::forward_incremental(
+    const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+    std::vector<std::uint32_t>& dirty_out) const {
+  std::vector<double> fresh(x.cols());
+  for (const std::uint32_t r : dirty_in) {
+    const auto xr = x.row(r);
+    for (std::size_t c = 0; c < fresh.size(); ++c) fresh[c] = std::tanh(xr[c]);
+    commit_row(y, r, fresh, dirty_out);
+  }
+  return dirty_in.size();
 }
 
 Matrix Tanh::backward(const Matrix& grad_out) {
@@ -104,6 +180,46 @@ Matrix TypedGraphConv::forward(const Matrix& x) {
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += b[c];
   }
   return y;
+}
+
+std::size_t TypedGraphConv::forward_incremental(
+    const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+    std::vector<std::uint32_t>& dirty_out) const {
+  // Candidate output rows: the dirty rows themselves (self path) plus every
+  // row whose operators reference a dirty column — read off the stored
+  // transposes (ops_t_[t] row q holds exactly {r : Â_t(r, q) != 0}).
+  std::vector<std::uint32_t> cand(dirty_in.begin(), dirty_in.end());
+  for (const auto& opt : ops_t_)
+    for (const std::uint32_t q : dirty_in)
+      for (const std::size_t r : opt.row_indices(q))
+        cand.push_back(static_cast<std::uint32_t>(r));
+  std::sort(cand.begin(), cand.end());
+  cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+
+  const std::size_t d = w_self_.value.cols();
+  std::vector<double> fresh(d), px(x.cols()), tmp(d);
+  const auto b = bias_.value.row(0);
+  for (const std::uint32_t r : cand) {
+    // Same element-wise sequence as forward(): self product, then += each
+    // typed product (itself a fresh zero-initialized accumulation), then
+    // bias.
+    matmul_row(x.row(r), w_self_.value, fresh);
+    for (std::size_t t = 0; t < ops_.size(); ++t) {
+      std::fill(px.begin(), px.end(), 0.0);
+      const auto idx = ops_[t].row_indices(r);
+      const auto val = ops_[t].row_values(r);
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        const double v = val[k];
+        const auto brow = x.row(idx[k]);
+        for (std::size_t j = 0; j < px.size(); ++j) px[j] += v * brow[j];
+      }
+      matmul_row(px, w_type_[t]->value, tmp);
+      for (std::size_t c = 0; c < d; ++c) fresh[c] += tmp[c];
+    }
+    for (std::size_t c = 0; c < d; ++c) fresh[c] += b[c];
+    commit_row(y, r, fresh, dirty_out);
+  }
+  return cand.size();
 }
 
 Matrix TypedGraphConv::backward(const Matrix& grad_out) {

@@ -20,6 +20,18 @@ class Layer {
   virtual Matrix forward(const Matrix& x) = 0;
   virtual Matrix backward(const Matrix& grad_out) = 0;
   virtual std::vector<Param*> params() { return {}; }
+
+  /// Incremental re-forward for perturbation sweeps. `x` is the full variant
+  /// input; `dirty_in` lists (sorted, unique) the rows of `x` that differ
+  /// from the input of the baseline forward whose output `y` holds on entry.
+  /// On exit `y` is the variant output and `dirty_out` the (sorted, unique)
+  /// output rows that moved. Row arithmetic replicates forward() exactly, so
+  /// the result is byte-identical to forward(x) — only unchanged rows are
+  /// skipped. Const: training caches are untouched. Returns the number of
+  /// rows recomputed. Base implementation throws (layer not sweep-capable).
+  virtual std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const;
 };
 
 /// Dense affine layer: Y = X W + 1 bᵀ.
@@ -30,6 +42,9 @@ class Linear : public Layer {
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const override;
 
   [[nodiscard]] const Param& weight() const { return weight_; }
 
@@ -44,6 +59,9 @@ class ReLU : public Layer {
  public:
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const override;
 
  private:
   Matrix cached_input_;
@@ -54,6 +72,9 @@ class Tanh : public Layer {
  public:
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
+  std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const override;
 
  private:
   Matrix cached_output_;
@@ -76,6 +97,9 @@ class TypedGraphConv : public Layer {
   Matrix forward(const Matrix& x) override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Param*> params() override;
+  std::size_t forward_incremental(
+      const Matrix& x, Matrix& y, const std::vector<std::uint32_t>& dirty_in,
+      std::vector<std::uint32_t>& dirty_out) const override;
 
  private:
   std::vector<linalg::SparseMatrix> ops_;

@@ -110,6 +110,84 @@ std::vector<double> TimingGnn::predict(const linalg::Matrix& raw_features) {
   return out;
 }
 
+GnnSnapshot TimingGnn::snapshot(const linalg::Matrix& raw_features) {
+  const obs::TraceSpan trace_span("gnn.snapshot", "gnn");
+  GnnSnapshot snap;
+  snap.std_features = feature_scaler_.transform(raw_features);
+  Matrix h = snap.std_features;
+  snap.layer_outputs.reserve(conv_stack_.size());
+  for (auto& layer : conv_stack_) {
+    h = layer->forward(h);
+    snap.layer_outputs.push_back(h);
+  }
+  snap.head_output = head_->forward(h);
+  snap.prediction.resize(snap.head_output.rows());
+  for (std::size_t i = 0; i < snap.prediction.size(); ++i)
+    snap.prediction[i] = snap.head_output(i, 0) * target_scale_ + target_mean_;
+  return snap;
+}
+
+GnnIncrementalResult TimingGnn::forward_incremental(
+    const GnnSnapshot& snap, const linalg::Matrix& raw_features,
+    GnnIncrementalStats* stats) const {
+  if (snap.layer_outputs.size() != conv_stack_.size())
+    throw std::invalid_argument(
+        "TimingGnn::forward_incremental: snapshot/model layer mismatch");
+  const obs::TraceSpan trace_span("gnn.incremental_forward", "gnn");
+  static const obs::Counter inc_forwards("gnn.incremental_forwards");
+  static const obs::Counter inc_rows("gnn.incremental_rows");
+  inc_forwards.add();
+
+  GnnIncrementalStats local;
+  Matrix x = feature_scaler_.transform(raw_features);
+  if (x.rows() != snap.std_features.rows() ||
+      x.cols() != snap.std_features.cols())
+    throw std::invalid_argument(
+        "TimingGnn::forward_incremental: feature shape mismatch");
+
+  // Seed: feature rows that differ from the snapshot (the transform is
+  // row-local, so identical raw rows standardize to identical rows).
+  std::vector<std::uint32_t> dirty;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto a = x.row(r);
+    const auto bse = snap.std_features.row(r);
+    for (std::size_t c = 0; c < a.size(); ++c)
+      if (a[c] != bse[c]) {
+        dirty.push_back(static_cast<std::uint32_t>(r));
+        break;
+      }
+  }
+  local.dirty_input_rows = dirty.size();
+  local.total_rows = x.rows() * (conv_stack_.size() + 1);
+
+  Matrix cur = std::move(x);
+  for (std::size_t i = 0; i < conv_stack_.size(); ++i) {
+    Matrix y = snap.layer_outputs[i];
+    std::vector<std::uint32_t> dirty_out;
+    local.recomputed_rows +=
+        conv_stack_[i]->forward_incremental(cur, y, dirty, dirty_out);
+    cur = std::move(y);
+    dirty = std::move(dirty_out);
+  }
+
+  GnnIncrementalResult out;
+  out.changed_rows = dirty;
+
+  // Head: de-normalize only the rows whose hidden state moved.
+  Matrix head = snap.head_output;
+  std::vector<std::uint32_t> head_dirty;
+  local.recomputed_rows +=
+      head_->forward_incremental(cur, head, dirty, head_dirty);
+  out.prediction = snap.prediction;
+  for (const std::uint32_t r : head_dirty)
+    out.prediction[r] = head(r, 0) * target_scale_ + target_mean_;
+  out.embedding = std::move(cur);
+
+  inc_rows.add(local.recomputed_rows);
+  if (stats) *stats = local;
+  return out;
+}
+
 linalg::Matrix TimingGnn::embed(const linalg::Matrix& raw_features) {
   const obs::TraceSpan trace_span("gnn.embed", "gnn");
   auto [h, pred] = forward(feature_scaler_.transform(raw_features));

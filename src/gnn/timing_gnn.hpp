@@ -34,6 +34,37 @@ struct TrainStats {
   double r2 = 0.0;  ///< against the golden STA labels
 };
 
+/// Frozen full forward pass of one feature matrix — the baseline that
+/// forward_incremental() patches for nearby (perturbed) feature matrices.
+struct GnnSnapshot {
+  linalg::Matrix std_features;                ///< standardized input
+  std::vector<linalg::Matrix> layer_outputs;  ///< after each conv-stack layer
+  linalg::Matrix head_output;                 ///< raw head output (n x 1)
+  std::vector<double> prediction;             ///< de-normalized arrivals
+};
+
+/// Reuse accounting of one incremental forward.
+struct GnnIncrementalStats {
+  std::size_t dirty_input_rows = 0;  ///< feature rows that differed
+  std::size_t recomputed_rows = 0;   ///< row evaluations summed over layers
+  std::size_t total_rows = 0;        ///< pins x layers (full-forward cost)
+
+  /// Fraction of per-layer row work actually done (1.0 on an empty model).
+  [[nodiscard]] double row_fraction() const {
+    return total_rows == 0 ? 1.0
+                           : static_cast<double>(recomputed_rows) /
+                                 static_cast<double>(total_rows);
+  }
+};
+
+/// Output of an incremental forward: full variant embedding/prediction plus
+/// the embedding rows that actually moved (the kNN delta set).
+struct GnnIncrementalResult {
+  linalg::Matrix embedding;                ///< variant hidden states (n x d)
+  std::vector<double> prediction;          ///< variant de-normalized arrivals
+  std::vector<std::uint32_t> changed_rows; ///< embedding rows that moved
+};
+
 /// Pre-routing timing predictor standing in for the GNN of [17]
 /// (Case Study A). Nodes are cell pins; message passing runs over four
 /// typed arc sets (net/cell arcs, forward/backward) so arrival information
@@ -56,6 +87,19 @@ class TimingGnn {
 
   /// Hidden node embeddings for raw features (rows = pins).
   [[nodiscard]] linalg::Matrix embed(const linalg::Matrix& raw_features);
+
+  /// Capture a full forward pass as the baseline for incremental variants.
+  /// The snapshot's embedding/prediction are byte-identical to embed() /
+  /// predict() on the same features.
+  [[nodiscard]] GnnSnapshot snapshot(const linalg::Matrix& raw_features);
+
+  /// Forward a perturbed feature matrix by recomputing only the rows that
+  /// differ from `snap` (plus their graph-propagated fanout, with equality
+  /// pruning at every layer). Byte-identical to a full embed()/predict() on
+  /// `raw_features`; thread-safe (const, no training caches touched).
+  [[nodiscard]] GnnIncrementalResult forward_incremental(
+      const GnnSnapshot& snap, const linalg::Matrix& raw_features,
+      GnnIncrementalStats* stats = nullptr) const;
 
   /// The unperturbed feature matrix the model was built from.
   [[nodiscard]] const linalg::Matrix& base_features() const { return features_; }

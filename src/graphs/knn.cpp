@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -20,19 +21,25 @@ namespace {
 /// the serial loop at any thread count.
 constexpr std::size_t kKnnQueryGrain = 32;
 
-/// Neighbor candidates for every point: exact, or approximate via a KD-tree
-/// over the leading coordinates with exact full-dimension re-ranking.
-std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
-                                           std::size_t k,
-                                           const KnnGraphOptions& opts) {
+/// Neighbor candidates for the selected points (all of them when `subset`
+/// is null): exact, or approximate via a KD-tree over a JL projection with
+/// exact full-dimension re-ranking. Non-selected slots stay empty.
+std::vector<std::vector<Neighbor>> all_knn(
+    const linalg::Matrix& points, std::size_t k, const KnnGraphOptions& opts,
+    const std::vector<std::uint32_t>* subset = nullptr) {
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   std::vector<std::vector<Neighbor>> result(n);
+  const std::size_t num_queries = subset ? subset->size() : n;
+  auto query_point = [&](std::size_t q) {
+    return subset ? static_cast<std::size_t>((*subset)[q]) : q;
+  };
 
   const bool approximate = opts.search_dims > 0 && opts.search_dims < d;
   if (!approximate) {
     const KdTree tree(points);
-    runtime::parallel_for(0, n, kKnnQueryGrain, [&](std::size_t i) {
+    runtime::parallel_for(0, num_queries, kKnnQueryGrain, [&](std::size_t q) {
+      const std::size_t i = query_point(q);
       result[i] = tree.knn_of_point(i, k);
     });
     return result;
@@ -49,7 +56,8 @@ std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
   const KdTree tree(reduced);
   const std::size_t pool = std::min(n - 1, k * std::max<std::size_t>(
                                                opts.oversample, 1));
-  runtime::parallel_for(0, n, kKnnQueryGrain, [&](std::size_t i) {
+  runtime::parallel_for(0, num_queries, kKnnQueryGrain, [&](std::size_t q) {
+    const std::size_t i = query_point(q);
     std::vector<Neighbor> candidates = tree.knn_of_point(i, pool);
     for (auto& c : candidates) c.distance2 = points.row_distance2(i, c.index);
     std::sort(candidates.begin(), candidates.end(),
@@ -62,17 +70,14 @@ std::vector<std::vector<Neighbor>> all_knn(const linalg::Matrix& points,
   return result;
 }
 
-}  // namespace
-
-Graph build_knn_graph(const linalg::Matrix& points,
-                      const KnnGraphOptions& opts) {
-  const std::size_t n = points.rows();
+/// Assemble the undirected graph from per-point candidate lists: median
+/// relative floor, symmetric dedup, w = 1/(d² + floor). Shared by the full
+/// build and the delta update so both produce the same graph for the same
+/// lists.
+Graph assemble_knn_graph(const std::vector<std::vector<Neighbor>>& hits,
+                         std::size_t n, std::size_t k,
+                         const KnnGraphOptions& opts) {
   Graph g(n);
-  if (n < 2) return g;
-  const obs::TraceSpan trace_span("knn.build", "graphs");
-
-  const std::size_t k = std::min(opts.k, n - 1);
-  const auto hits = all_knn(points, k, opts);
 
   std::vector<std::pair<NodeId, NodeId>> pairs;
   std::vector<double> dists;
@@ -114,6 +119,81 @@ Graph build_knn_graph(const linalg::Matrix& points,
   builds.add();
   edges.add(g.num_edges());
   return g;
+}
+
+}  // namespace
+
+Graph build_knn_graph(const linalg::Matrix& points,
+                      const KnnGraphOptions& opts) {
+  const std::size_t n = points.rows();
+  if (n < 2) return Graph(n);
+  const obs::TraceSpan trace_span("knn.build", "graphs");
+
+  const std::size_t k = std::min(opts.k, n - 1);
+  const auto hits = all_knn(points, k, opts);
+  return assemble_knn_graph(hits, n, k, opts);
+}
+
+KnnBaseline capture_knn_baseline(const linalg::Matrix& points,
+                                 const KnnGraphOptions& opts) {
+  const obs::TraceSpan trace_span("knn.capture_baseline", "graphs");
+  KnnBaseline base;
+  base.points = points;
+  const std::size_t n = points.rows();
+  if (n < 2) {
+    base.graph = Graph(n);
+    base.hits.assign(n, {});
+    return base;
+  }
+  base.k = std::min(opts.k, n - 1);
+  base.hits = all_knn(points, base.k, opts);
+  base.graph = assemble_knn_graph(base.hits, n, base.k, opts);
+  return base;
+}
+
+Graph update_knn_graph(const KnnBaseline& baseline,
+                       const linalg::Matrix& points,
+                       std::span<const std::uint32_t> moved_rows,
+                       const KnnGraphOptions& opts, KnnUpdateStats* stats) {
+  const std::size_t n = points.rows();
+  if (n != baseline.points.rows() || points.cols() != baseline.points.cols())
+    throw std::invalid_argument("update_knn_graph: point-matrix shape differs");
+  if (n < 2) return Graph(n);
+  const std::size_t k = std::min(opts.k, n - 1);
+  if (k != baseline.k)
+    throw std::invalid_argument("update_knn_graph: k differs from baseline");
+
+  const obs::TraceSpan trace_span("knn.delta_update", "graphs");
+  static const obs::Counter updates("knn.delta_updates");
+  static const obs::Counter requeries("knn.requeried_points");
+  updates.add();
+
+  // Re-query set: the moved points plus every point whose baseline list
+  // references a moved point (its distances — possibly its membership —
+  // changed).
+  std::vector<char> moved(n, 0);
+  for (const std::uint32_t r : moved_rows) moved[r] = 1;
+  std::vector<std::uint32_t> requery;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool affected = moved[i] != 0;
+    if (!affected)
+      for (const Neighbor& nb : baseline.hits[i])
+        if (moved[nb.index]) { affected = true; break; }
+    if (affected) requery.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<std::vector<Neighbor>> hits = baseline.hits;
+  if (!requery.empty()) {
+    auto fresh = all_knn(points, k, opts, &requery);
+    for (const std::uint32_t i : requery) hits[i] = std::move(fresh[i]);
+  }
+
+  requeries.add(requery.size());
+  if (stats) {
+    stats->requeried_points = requery.size();
+    stats->total_points = n;
+  }
+  return assemble_knn_graph(hits, n, k, opts);
 }
 
 }  // namespace cirstag::graphs

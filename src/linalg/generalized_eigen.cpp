@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 
@@ -38,6 +39,80 @@ void orthonormalize_columns(Matrix& v, Rng& rng) {
   }
 }
 
+/// Per-column squared residuals ‖b_j − (L_Y + εI) x_j‖² of a candidate
+/// initial-guess block against the sweep's right-hand sides. Accumulation
+/// order (rows ascending per column) matches a per-column scalar loop, so
+/// the block and scalar sweep paths make identical seed decisions.
+std::vector<double> block_residual2(const SparseMatrix& l_y, double eps,
+                                    const Matrix& x, const Matrix& rhs) {
+  const std::size_t n = x.rows();
+  const std::size_t s = x.cols();
+  Matrix ax(n, s);
+  l_y.multiply_add(x, ax);
+  std::vector<double> r2(s, 0.0);
+  for (std::size_t j = 0; j < s; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = rhs(i, j) - ax(i, j) - eps * x(i, j);
+      acc += r * r;
+    }
+    r2[j] = acc;
+  }
+  return r2;
+}
+
+/// ‖b_j‖² per column — the residual of the zero (cold) initial guess.
+std::vector<double> rhs_norm2(const Matrix& rhs) {
+  std::vector<double> r2(rhs.cols(), 0.0);
+  for (std::size_t j = 0; j < rhs.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rhs.rows(); ++i) acc += rhs(i, j) * rhs(i, j);
+    r2[j] = acc;
+  }
+  return r2;
+}
+
+/// Tracks the sorted Rayleigh quotients ρ_j = v_jᵀ(Mv)_j across sweeps and
+/// signals convergence once they stabilize (GeneralizedEigenOptions::
+/// ritz_tolerance). Sorting makes the comparison robust to column swaps
+/// inside near-degenerate clusters; the fixed sequential accumulation order
+/// keeps the decision thread-count invariant.
+class RitzStop {
+ public:
+  RitzStop(double tolerance, std::size_t min_iterations)
+      : tolerance_(tolerance), min_iterations_(min_iterations) {}
+
+  /// `v` = the orthonormal iterate the sweep started from, `w` = M·v
+  /// (deflated, pre-orthonormalization). Returns true when the iteration may
+  /// stop after this sweep (`it` is 0-based).
+  bool converged(const Matrix& v, const Matrix& w, std::size_t it) {
+    if (tolerance_ <= 0.0) return false;
+    const std::size_t s = v.cols();
+    std::vector<double> rho(s, 0.0);
+    for (std::size_t j = 0; j < s; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < v.rows(); ++i) acc += v(i, j) * w(i, j);
+      rho[j] = acc;
+    }
+    std::sort(rho.begin(), rho.end(), std::greater<>());
+    bool stable = false;
+    if (!prev_.empty()) {
+      const double scale = std::max(std::abs(rho[0]), 1e-300);
+      double worst = 0.0;
+      for (std::size_t j = 0; j < s; ++j)
+        worst = std::max(worst, std::abs(rho[j] - prev_[j]));
+      stable = worst <= tolerance_ * scale;
+    }
+    prev_ = std::move(rho);
+    return stable && it + 1 >= min_iterations_;
+  }
+
+ private:
+  double tolerance_;
+  std::size_t min_iterations_;
+  std::vector<double> prev_;
+};
+
 }  // namespace
 
 GeneralizedEigenResult generalized_eigen_sparse(
@@ -53,8 +128,8 @@ GeneralizedEigenResult generalized_eigen_sparse(
 
   static const obs::Counter eigen_runs("eigen.runs");
   static const obs::Counter subspace_iterations("eigen.subspace_iterations");
+  static const obs::Counter early_stops("eigen.ritz_early_stops");
   eigen_runs.add();
-  subspace_iterations.add(opts.iterations);
 
   CgOptions cg_opts;
   cg_opts.tolerance = opts.cg_tolerance;
@@ -70,17 +145,46 @@ GeneralizedEigenResult generalized_eigen_sparse(
   const LaplacianSolver& solver =
       external_solver ? *external_solver : *own_solver;
 
+  static const obs::Counter warm_inits("eigen.warm_subspace_starts");
   Rng rng(opts.seed);
   Matrix v(n, s);
-  for (std::size_t j = 0; j < s; ++j) {
-    std::vector<double> col(n);
-    for (auto& x : col) x = rng.normal();
-    deflate_constant(col);
-    v.set_col(j, col);
+  const bool warm = opts.initial_subspace != nullptr &&
+                    opts.initial_subspace->rows() == n &&
+                    opts.initial_subspace->cols() >= s;
+  if (warm) {
+    // Warm start from a baseline eigenbasis: deflate + re-orthonormalize the
+    // provided columns. The rng stream stays aligned with the cold path so
+    // any rank-repair draws inside orthonormalize_columns are reproducible.
+    warm_inits.add();
+    for (std::size_t j = 0; j < s; ++j) {
+      std::vector<double> col = opts.initial_subspace->col(j);
+      deflate_constant(col);
+      v.set_col(j, col);
+    }
+  } else {
+    for (std::size_t j = 0; j < s; ++j) {
+      std::vector<double> col(n);
+      for (auto& x : col) x = rng.normal();
+      deflate_constant(col);
+      v.set_col(j, col);
+    }
   }
   orthonormalize_columns(v, rng);
 
-  std::vector<double> tmp(n, 0.0);
+  static const obs::Counter seeded_columns("eigen.sweep_seeded_columns");
+  // Per-sweep cross-run seed: columns of (*opts.sweep_seed)[it] replace the
+  // own-chain CG guess wherever their true residual is smaller.
+  const auto seed_block = [&](std::size_t it) -> const Matrix* {
+    if (opts.sweep_seed == nullptr || it >= opts.sweep_seed->size())
+      return nullptr;
+    const Matrix& cand = (*opts.sweep_seed)[it];
+    if (cand.rows() != n || cand.cols() != s) return nullptr;
+    return &cand;
+  };
+
+  RitzStop ritz_stop(opts.ritz_tolerance, opts.min_iterations);
+  std::size_t executed = 0;
+
   // Warm starts: as the subspace converges, consecutive solves for the same
   // column are nearby, so seeding CG with the previous solution cuts the
   // iteration count dramatically on large manifolds.
@@ -92,7 +196,27 @@ GeneralizedEigenResult generalized_eigen_sparse(
     for (std::size_t it = 0; it < opts.iterations; ++it) {
       Matrix rhs(n, s);
       l_x.multiply_add(v, rhs);
-      Matrix z = solver.solve_block(rhs, warm.empty() ? nullptr : &warm);
+      const Matrix* guess = warm.empty() ? nullptr : &warm;
+      Matrix mixed;
+      if (const Matrix* cand = seed_block(it)) {
+        const std::vector<double> cand_r2 =
+            block_residual2(l_y, opts.ly_regularization, *cand, rhs);
+        const std::vector<double> own_r2 =
+            warm.empty() ? rhs_norm2(rhs)
+                         : block_residual2(l_y, opts.ly_regularization, warm,
+                                           rhs);
+        std::size_t adopted = 0;
+        for (std::size_t j = 0; j < s; ++j)
+          if (cand_r2[j] < own_r2[j]) ++adopted;
+        if (adopted > 0) {
+          mixed = warm.empty() ? Matrix(n, s) : warm;
+          for (std::size_t j = 0; j < s; ++j)
+            if (cand_r2[j] < own_r2[j]) mixed.set_col(j, cand->col(j));
+          guess = &mixed;
+          seeded_columns.add(adopted);
+        }
+      }
+      Matrix z = solver.solve_block(rhs, guess);
       Matrix w(n, s);
       for (std::size_t j = 0; j < s; ++j) {
         std::vector<double> sol = z.col(j);
@@ -100,26 +224,63 @@ GeneralizedEigenResult generalized_eigen_sparse(
         w.set_col(j, sol);
       }
       warm = w;
+      if (opts.sweep_capture) opts.sweep_capture->push_back(warm);
+      const bool stop = ritz_stop.converged(v, warm, it);
       orthonormalize_columns(w, rng);
       v = std::move(w);
+      ++executed;
+      if (stop) {
+        early_stops.add();
+        break;
+      }
     }
   } else {
     std::vector<std::vector<double>> warm(s);
     for (std::size_t it = 0; it < opts.iterations; ++it) {
       Matrix w(n, s);
+      Matrix rhs(n, s);
+      l_x.multiply_add(v, rhs);
+      std::vector<double> cand_r2, own_r2;
+      const Matrix* cand = seed_block(it);
+      if (cand != nullptr) {
+        cand_r2 = block_residual2(l_y, opts.ly_regularization, *cand, rhs);
+        own_r2.resize(s);
+        for (std::size_t j = 0; j < s; ++j) {
+          const std::vector<double> b = rhs.col(j);
+          if (warm[j].empty()) {
+            own_r2[j] = dot(b, b);
+          } else {
+            Matrix wj(n, 1);
+            wj.set_col(0, warm[j]);
+            Matrix bj(n, 1);
+            bj.set_col(0, b);
+            own_r2[j] =
+                block_residual2(l_y, opts.ly_regularization, wj, bj)[0];
+          }
+        }
+      }
       for (std::size_t j = 0; j < s; ++j) {
-        const std::vector<double> col = v.col(j);
-        std::fill(tmp.begin(), tmp.end(), 0.0);
-        l_x.multiply_add(col, tmp);
-        std::vector<double> sol = solver.solve(tmp, warm[j]);
+        const std::vector<double> col = rhs.col(j);
+        const bool use_seed = cand != nullptr && cand_r2[j] < own_r2[j];
+        if (use_seed) seeded_columns.add();
+        std::vector<double> sol =
+            solver.solve(col, use_seed ? cand->col(j) : warm[j]);
         deflate_constant(sol);
         warm[j] = sol;
         w.set_col(j, sol);
       }
+      if (opts.sweep_capture) opts.sweep_capture->push_back(w);
+      const bool stop = ritz_stop.converged(v, w, it);
       orthonormalize_columns(w, rng);
       v = std::move(w);
+      ++executed;
+      if (stop) {
+        early_stops.add();
+        break;
+      }
     }
   }
+  subspace_iterations.add(executed);
 
   // Rayleigh-Ritz: project both Laplacians onto the converged subspace and
   // solve the small generalized problem exactly.
@@ -141,6 +302,7 @@ GeneralizedEigenResult generalized_eigen_sparse(
   EigenDecomposition small = generalized_eigen_dense(a_small, b_small);
 
   GeneralizedEigenResult out;
+  out.sweeps_executed = executed;
   out.values.resize(s);
   out.vectors = Matrix(n, s);
   // small.values ascending -> emit descending.

@@ -20,7 +20,14 @@ EigenDecomposition lanczos_eigen(const LinearOperator& op, std::size_t n,
   basis.reserve(m);
 
   std::vector<double> v(n);
-  for (auto& x : v) x = rng.normal();
+  const bool warm = opts.start_vector != nullptr &&
+                    opts.start_vector->size() == n &&
+                    norm2(*opts.start_vector) > 1e-12;
+  if (warm) {
+    v = *opts.start_vector;
+  } else {
+    for (auto& x : v) x = rng.normal();
+  }
   scale(1.0 / norm2(v), v);
   basis.push_back(v);
 
@@ -95,7 +102,8 @@ EigenDecomposition lanczos_eigen(const LinearOperator& op, std::size_t n,
 EigenDecomposition smallest_eigenpairs(const SparseMatrix& a, std::size_t k,
                                        double spectrum_upper_bound,
                                        std::size_t max_subspace,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       const std::vector<double>* start_vector) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("smallest_eigenpairs: matrix not square");
   const std::size_t n = a.rows();
@@ -113,6 +121,7 @@ EigenDecomposition smallest_eigenpairs(const SparseMatrix& a, std::size_t k,
   opts.max_subspace = max_subspace;
   opts.want_smallest = false;  // largest of (shift*I - A)
   opts.seed = seed;
+  opts.start_vector = start_vector;
   EigenDecomposition shifted = lanczos_eigen(op, n, opts);
 
   for (auto& v : shifted.values) v = shift - v;  // map back to eigenvalues of A

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/cg.hpp"
 #include "linalg/dense_eigen.hpp"
@@ -15,6 +16,12 @@ struct LanczosOptions {
   double tolerance = 1e-8;           ///< residual bound on Ritz pairs
   bool want_smallest = true;         ///< smallest vs largest eigenvalues
   std::uint64_t seed = 1234;         ///< start-vector seed
+  /// Optional warm start (perturbation sweeps): the initial Krylov vector,
+  /// normalized internally, replacing the random draw. A mix of baseline
+  /// eigenvectors steers the recurrence toward the wanted invariant
+  /// subspace on nearby problems. Changes results at tolerance level —
+  /// bit-exact paths must leave this null. Must be length n and nonzero.
+  const std::vector<double>* start_vector = nullptr;
 };
 
 /// Lanczos with full reorthogonalization for a symmetric operator.
@@ -37,6 +44,7 @@ struct LanczosOptions {
 /// (2.0 for normalized Laplacians).
 [[nodiscard]] EigenDecomposition smallest_eigenpairs(
     const SparseMatrix& a, std::size_t k, double spectrum_upper_bound,
-    std::size_t max_subspace = 0, std::uint64_t seed = 1234);
+    std::size_t max_subspace = 0, std::uint64_t seed = 1234,
+    const std::vector<double>* start_vector = nullptr);
 
 }  // namespace cirstag::linalg

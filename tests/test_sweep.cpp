@@ -1,0 +1,363 @@
+// SweepEngine contract tests: exact mode is byte-identical to the naive
+// per-variant CirStag::analyze loop (at any thread count), and fast mode's
+// score drift stays within the documented kFastScoreDriftTolerance on both
+// Case-A (capacitance) and Case-B (topology) sweeps.
+
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "circuit/perturb.hpp"
+#include "circuit/sta.hpp"
+#include "circuit/views.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "linalg/rng.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::core;
+using circuit::Netlist;
+using circuit::PinId;
+using gnn::TimingGnn;
+
+CirStagConfig fast_config() {
+  CirStagConfig cfg;
+  cfg.embedding.dimensions = 8;
+  cfg.manifold.knn.k = 8;
+  cfg.manifold.sparsify.offtree_keep_fraction = 0.3;
+  cfg.manifold.sparsify.resistance.num_probes = 12;
+  cfg.stability.eigensubspace_dim = 6;
+  cfg.stability.subspace_iterations = 25;
+  return cfg;
+}
+
+Netlist small_circuit(std::uint64_t seed = 77) {
+  // The netlist keeps a pointer to its cell library, so it must outlive it.
+  static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = 120;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_levels = 7;
+  spec.seed = seed;
+  return circuit::generate_random_logic(lib, spec);
+}
+
+void expect_same_vector(const std::vector<double>& a,
+                        const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at " << i;
+}
+
+void expect_same_matrix(const linalg::Matrix& a, const linalg::Matrix& b,
+                        const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    for (std::size_t c = 0; c < ra.size(); ++c)
+      ASSERT_EQ(ra[c], rb[c]) << what << " diverges at (" << r << "," << c
+                              << ")";
+  }
+}
+
+void expect_same_graph(const graphs::Graph& a, const graphs::Graph& b,
+                       const char* what) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes()) << what;
+  ASSERT_EQ(a.num_edges(), b.num_edges()) << what;
+  for (std::size_t e = 0; e < a.num_edges(); ++e) {
+    ASSERT_EQ(a.edges()[e].u, b.edges()[e].u) << what << " edge " << e;
+    ASSERT_EQ(a.edges()[e].v, b.edges()[e].v) << what << " edge " << e;
+    ASSERT_EQ(a.edges()[e].weight, b.edges()[e].weight) << what << " edge "
+                                                        << e;
+  }
+}
+
+void expect_same_report(const CirStagReport& a, const CirStagReport& b,
+                        const char* what) {
+  expect_same_vector(a.node_scores, b.node_scores, what);
+  expect_same_vector(a.edge_scores, b.edge_scores, what);
+  expect_same_vector(a.eigenvalues, b.eigenvalues, what);
+  expect_same_matrix(a.weighted_subspace, b.weighted_subspace, what);
+  expect_same_matrix(a.input_embedding, b.input_embedding, what);
+  expect_same_graph(a.manifold_x, b.manifold_x, what);
+  expect_same_graph(a.manifold_y, b.manifold_y, what);
+}
+
+/// Case-A variants: a few disjoint groups of cell-input pins, each scaled up.
+std::vector<SweepVariant> case_a_variants(const Netlist& nl,
+                                          std::size_t count) {
+  std::vector<PinId> cell_inputs;
+  for (PinId p = 0; p < nl.num_pins(); ++p)
+    if (nl.pin(p).kind == circuit::PinKind::CellInput) cell_inputs.push_back(p);
+  std::vector<SweepVariant> variants(count);
+  for (std::size_t v = 0; v < count; ++v) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t idx = (v * 4 + j) % cell_inputs.size();
+      variants[v].cap_scalings.push_back({cell_inputs[idx], 1.5 + 0.1 * v});
+    }
+  }
+  return variants;
+}
+
+/// Documented drift metric: relative L2 distance between score vectors.
+double relative_l2(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  return den == 0.0 ? 0.0 : std::sqrt(num / den);
+}
+
+/// The reference: one independent CirStag::analyze per perturbed netlist.
+std::vector<CirStagReport> naive_case_a(const Netlist& nl, TimingGnn& model,
+                                        const CirStagConfig& cfg,
+                                        const std::vector<SweepVariant>& vs) {
+  const CirStag analyzer(cfg);
+  std::vector<CirStagReport> out;
+  for (const SweepVariant& v : vs) {
+    Netlist nlv = nl;
+    for (const CapScaling& cs : v.cap_scalings)
+      nlv.scale_pin_capacitance(cs.pin, cs.factor);
+    const linalg::Matrix fv = circuit::pin_features(nlv);
+    out.push_back(
+        analyzer.analyze(circuit::pin_graph(nlv), fv, model.embed(fv)));
+  }
+  return out;
+}
+
+class SweepEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gnn::TimingGnnOptions gopts;
+    gopts.epochs = 80;
+    gopts.hidden_dim = 16;
+    model_ = std::make_unique<TimingGnn>(nl_, gopts);
+    model_->train();
+  }
+
+  Netlist nl_ = small_circuit();
+  std::unique_ptr<TimingGnn> model_;
+};
+
+TEST_F(SweepEngineTest, ExactModeMatchesNaiveAnalyzeLoop) {
+  const auto variants = case_a_variants(nl_, 4);
+  const auto naive = naive_case_a(nl_, *model_, fast_config(), variants);
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  opts.exact = true;
+  SweepEngine engine(nl_, *model_, opts);
+
+  // The captured baseline equals analyze() on the unperturbed circuit.
+  const linalg::Matrix f0 = circuit::pin_features(nl_);
+  const CirStagReport base = CirStag(fast_config())
+                                 .analyze(circuit::pin_graph(nl_), f0,
+                                          model_->embed(f0));
+  expect_same_report(engine.baseline(), base, "baseline");
+
+  const auto results = engine.run(variants);
+  ASSERT_EQ(results.size(), variants.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    expect_same_report(results[i].report, naive[i], "exact variant");
+    // Side products: incremental STA equals a full STA of the variant, the
+    // incremental GNN prediction equals a full predict().
+    Netlist nlv = nl_;
+    for (const CapScaling& cs : variants[i].cap_scalings)
+      nlv.scale_pin_capacitance(cs.pin, cs.factor);
+    EXPECT_EQ(results[i].worst_arrival, circuit::run_sta(nlv).worst_arrival);
+    expect_same_vector(results[i].prediction,
+                       model_->predict(circuit::pin_features(nlv)),
+                       "prediction");
+    // Reuse actually happened even in exact mode.
+    EXPECT_LT(results[i].stats.sta.cone_fraction(), 1.0);
+    EXPECT_LT(results[i].stats.gnn.row_fraction(), 1.0);
+    // Exact mode runs the full sweep budget — no adaptive early stop.
+    EXPECT_EQ(results[i].stats.subspace_sweeps,
+              fast_config().stability.subspace_iterations);
+  }
+}
+
+TEST_F(SweepEngineTest, ExactModeIsThreadCountInvariant) {
+  const auto variants = case_a_variants(nl_, 4);
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  opts.exact = true;
+  opts.config.threads = 1;
+  SweepEngine serial(nl_, *model_, opts);
+  const auto a = serial.run(variants);
+
+  opts.config.threads = 4;
+  SweepEngine wide(nl_, *model_, opts);
+  const auto b = wide.run(variants);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_same_report(a[i].report, b[i].report, "threaded variant");
+    EXPECT_EQ(a[i].worst_arrival, b[i].worst_arrival);
+    expect_same_vector(a[i].prediction, b[i].prediction, "prediction");
+  }
+}
+
+TEST_F(SweepEngineTest, FastModeDriftWithinToleranceCaseA) {
+  const auto variants = case_a_variants(nl_, 4);
+  const auto naive = naive_case_a(nl_, *model_, fast_config(), variants);
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  opts.exact = false;
+  SweepEngine engine(nl_, *model_, opts);
+  const auto results = engine.run(variants);
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_LE(relative_l2(results[i].report.node_scores,
+                          naive[i].node_scores),
+              kFastScoreDriftTolerance)
+        << "variant " << i;
+    // Fast-mode reuse engaged: spectral reuse, and the adaptive Ritz stop
+    // kept the sweep count inside the budget. (kNN deltas are adaptive —
+    // they engage only when a minority of embedding rows moved, which
+    // depends on the perturbed pins' fanout cones; eigen warm starts are
+    // opt-in and off by default.)
+    EXPECT_TRUE(results[i].stats.spectral_reused);
+    EXPECT_GE(results[i].stats.subspace_sweeps, 1u);
+    EXPECT_LE(results[i].stats.subspace_sweeps,
+              fast_config().stability.subspace_iterations);
+  }
+  const SweepStats& stats = engine.stats();
+  EXPECT_EQ(stats.variants, variants.size());
+  EXPECT_LT(stats.avg_sta_cone_fraction, 1.0);
+  EXPECT_LT(stats.avg_gnn_row_fraction, 1.0);
+  // The adaptive stop saved eigensolver work somewhere in the sweep.
+  EXPECT_LT(stats.avg_subspace_sweep_fraction, 1.0);
+  EXPECT_EQ(stats.eigen_warm_starts, 0u);
+}
+
+TEST_F(SweepEngineTest, OutputKnnDeltaEngagesForShallowCones) {
+  // Perturb cell-input pins of last-level gates only: their DAG-propagation
+  // cones are a handful of pins, so the output-side kNN delta re-queries a
+  // small neighborhood instead of rebuilding the graph.
+  // Both variants scale the same last-level gate's input pins (by different
+  // factors): even one gate a level earlier propagates to over half the
+  // embedding rows through the stacked GNN layers, which rightly makes the
+  // adaptive delta fall back to a full rebuild.
+  const std::size_t last = nl_.num_gate_levels() - 1;
+  const circuit::GateId g = nl_.gates_at_level(last).front();
+  std::vector<SweepVariant> variants(2);
+  for (circuit::PinId p = 0; p < nl_.num_pins(); ++p)
+    if (nl_.pin(p).kind == circuit::PinKind::CellInput &&
+        nl_.pin(p).gate == g) {
+      variants[0].cap_scalings.push_back({p, 1.5});
+      variants[1].cap_scalings.push_back({p, 1.7});
+    }
+  ASSERT_FALSE(variants[0].cap_scalings.empty());
+  ASSERT_FALSE(variants[1].cap_scalings.empty());
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  SweepEngine engine(nl_, *model_, opts);
+  const auto results = engine.run(variants);
+  for (const SweepVariantResult& r : results) {
+    ASSERT_GT(r.stats.knn_y.total_points, 0u) << "delta did not engage";
+    EXPECT_LT(r.stats.knn_y.requeried_points, r.stats.knn_y.total_points / 2);
+  }
+  EXPECT_LT(engine.stats().avg_knn_requery_fraction, 0.5);
+}
+
+TEST_F(SweepEngineTest, FastModeIsThreadCountInvariant) {
+  const auto variants = case_a_variants(nl_, 4);
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  opts.config.threads = 1;
+  SweepEngine serial(nl_, *model_, opts);
+  const auto a = serial.run(variants);
+
+  opts.config.threads = 4;
+  SweepEngine wide(nl_, *model_, opts);
+  const auto b = wide.run(variants);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_same_report(a[i].report, b[i].report, "fast threaded variant");
+}
+
+TEST_F(SweepEngineTest, PredictCaseAMatchesFullPredict) {
+  SweepOptions opts;
+  opts.config = fast_config();
+  SweepEngine engine(nl_, *model_, opts);
+  const std::vector<std::size_t> pins = {3, 17, 42};
+  expect_same_vector(
+      engine.predict_case_a(pins, 2.0),
+      model_->predict(circuit::perturbed_pin_features(nl_, pins, 2.0)),
+      "predict_case_a");
+}
+
+TEST_F(SweepEngineTest, CaseBExactMatchesNaiveAndFastWithinTolerance) {
+  const graphs::Graph g0 = circuit::pin_graph(nl_);
+  const linalg::Matrix feats = circuit::pin_features(nl_);
+  const linalg::Matrix y0 = model_->embed(feats);
+
+  // Topology variants: rewire one incident edge around a few pins each.
+  linalg::Rng rng(2024);
+  std::vector<graphs::Graph> graphs_v;
+  for (std::size_t v = 0; v < 3; ++v) {
+    std::vector<std::size_t> nodes = {5 + 7 * v, 30 + 5 * v, 60 + 3 * v};
+    graphs_v.push_back(circuit::rewire_around_nodes(g0, nodes, rng));
+  }
+  std::vector<SweepVariant> variants(graphs_v.size());
+  for (std::size_t v = 0; v < graphs_v.size(); ++v) {
+    variants[v].input_graph = &graphs_v[v];
+    variants[v].node_features = &feats;
+    variants[v].output_embedding = &y0;
+  }
+
+  const CirStag analyzer(fast_config());
+  std::vector<CirStagReport> naive;
+  for (const auto& gv : graphs_v) naive.push_back(analyzer.analyze(gv, feats, y0));
+
+  SweepOptions opts;
+  opts.config = fast_config();
+  opts.exact = true;
+  SweepEngine exact_engine(g0, feats, y0, opts);
+  const auto exact = exact_engine.run(variants);
+  ASSERT_EQ(exact.size(), naive.size());
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    expect_same_report(exact[i].report, naive[i], "Case-B exact variant");
+
+  opts.exact = false;
+  SweepEngine fast_engine(g0, feats, y0, opts);
+  const auto fast = fast_engine.run(variants);
+
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_LE(relative_l2(fast[i].report.node_scores, naive[i].node_scores),
+              kFastScoreDriftTolerance)
+        << "variant " << i;
+    EXPECT_GE(fast[i].stats.subspace_sweeps, 1u);
+  }
+}
+
+TEST_F(SweepEngineTest, RejectsCaseAOnGraphModeEngine) {
+  const graphs::Graph g0 = circuit::pin_graph(nl_);
+  const linalg::Matrix feats = circuit::pin_features(nl_);
+  const linalg::Matrix y0 = model_->embed(feats);
+  SweepOptions opts;
+  opts.config = fast_config();
+  SweepEngine engine(g0, feats, y0, opts);
+  std::vector<SweepVariant> variants(1);
+  variants[0].cap_scalings.push_back({3, 1.5});
+  EXPECT_THROW((void)engine.run(variants), std::invalid_argument);
+  EXPECT_THROW((void)engine.baseline_timing(), std::logic_error);
+}
+
+}  // namespace

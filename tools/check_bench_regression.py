@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
 """CI perf-regression gate over deterministic benchmark counters.
 
-Compares a google-benchmark JSON report (bench_micro --perf-json out.json)
-against the checked-in baseline bench/BENCH_baseline.json. The gate is on
-CG *iteration counts*, not wall time: the solver math is bit-identical
-across machines and thread counts, so iteration counts are reproducible on
-any CI runner, while nanoseconds are not. Thresholds are generous (2x by
-default) so the gate only trips on genuine algorithmic regressions — a
-broken preconditioner, a lost warm start — never on noise.
+Compares one or more google-benchmark JSON reports (bench_micro / bench_sweep
+--perf-json out.json) against the checked-in baseline
+bench/BENCH_baseline.json. The gate is on deterministic *counters* (CG
+iteration counts, subspace sweep counts), not wall time: the math is
+bit-identical across machines and thread counts, so the counts are
+reproducible on any CI runner, while nanoseconds are not. Thresholds are
+generous (2x by default) so the gate only trips on genuine algorithmic
+regressions — a broken preconditioner, a lost warm start, a disabled early
+stop — never on noise.
+
+Baseline schema: {"counter": <default counter>, "max_ratio": <default>,
+"benchmarks": {name: value, ...}}. An entry value may be a plain number
+(gated on the default counter) or an object
+{"counter": name, "value": N[, "max_ratio": R]} for per-entry overrides.
 
 Exit status: 0 when every baseline row is present and within threshold,
-1 on a regression or a baseline row missing from the current report,
+1 on a regression or a baseline row missing from the current reports,
 2 on malformed input.
 
-Usage: check_bench_regression.py <current.json> [baseline.json]
+Usage: check_bench_regression.py <report.json> [report2.json ...] [baseline.json]
+(the baseline is recognized by its dict-valued "benchmarks"; when none is
+given, bench/BENCH_baseline.json is used)
 """
 
 import json
@@ -33,14 +42,28 @@ def load_json(path):
 
 
 def main(argv):
-    if len(argv) < 2 or len(argv) > 3:
+    if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    current = load_json(argv[1])
-    baseline = load_json(argv[2] if len(argv) == 3 else DEFAULT_BASELINE)
+    baseline = None
+    reports = []
+    for path in argv[1:]:
+        data = load_json(path)
+        if isinstance(data.get("benchmarks"), dict):
+            if baseline is not None:
+                print("error: more than one baseline file given", file=sys.stderr)
+                return 2
+            baseline = data
+        else:
+            reports.append(data)
+    if baseline is None:
+        baseline = load_json(DEFAULT_BASELINE)
+    if not reports:
+        print("error: no benchmark reports given", file=sys.stderr)
+        return 2
 
-    counter = baseline.get("counter", "cg_iters")
-    max_ratio = float(baseline.get("max_ratio", 2.0))
+    default_counter = baseline.get("counter", "cg_iters")
+    default_ratio = float(baseline.get("max_ratio", 2.0))
     expected = baseline.get("benchmarks", {})
     if not expected:
         print("error: baseline has no benchmarks", file=sys.stderr)
@@ -48,21 +71,29 @@ def main(argv):
 
     # Plain (non-aggregate) rows only; aggregates repeat the same counters.
     observed = {}
-    for row in current.get("benchmarks", []):
-        if row.get("run_type", "iteration") != "iteration":
-            continue
-        if counter in row:
-            observed[row["name"]] = float(row[counter])
+    for report in reports:
+        for row in report.get("benchmarks", []):
+            if row.get("run_type", "iteration") != "iteration":
+                continue
+            observed[row["name"]] = row
 
     failures = []
-    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'ratio':>7}")
-    for name, base_value in sorted(expected.items()):
-        base_value = float(base_value)
-        if name not in observed:
-            print(f"{name:<40} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
-            failures.append(f"{name}: missing from current report")
+    print(f"{'benchmark':<40} {'counter':>16} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name, spec in sorted(expected.items()):
+        if isinstance(spec, dict):
+            counter = spec.get("counter", default_counter)
+            base_value = float(spec["value"])
+            max_ratio = float(spec.get("max_ratio", default_ratio))
+        else:
+            counter = default_counter
+            base_value = float(spec)
+            max_ratio = default_ratio
+        row = observed.get(name)
+        if row is None or counter not in row:
+            print(f"{name:<40} {counter:>16} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
+            failures.append(f"{name}: counter {counter} missing from current reports")
             continue
-        value = observed[name]
+        value = float(row[counter])
         ratio = value / base_value if base_value > 0 else float("inf")
         verdict = ""
         if ratio > max_ratio:
@@ -72,9 +103,11 @@ def main(argv):
                 f"(ratio {ratio:.2f} > {max_ratio:.2f})")
         elif ratio < 1.0 / max_ratio:
             verdict = "  improved — consider updating the baseline"
-        print(f"{name:<40} {base_value:>10.0f} {value:>10.0f} {ratio:>7.2f}{verdict}")
+        print(f"{name:<40} {counter:>16} {base_value:>10.0f} {value:>10.0f} {ratio:>7.2f}{verdict}")
 
-    extra = sorted(set(observed) - set(expected))
+    extra = sorted(
+        name for name, row in observed.items()
+        if name not in expected and default_counter in row)
     if extra:
         print(f"note: {len(extra)} benchmark(s) not in baseline (ignored): "
               + ", ".join(extra))
@@ -84,7 +117,7 @@ def main(argv):
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(expected)} benchmark(s) within {max_ratio:.1f}x of baseline")
+    print(f"\nOK: {len(expected)} benchmark(s) within threshold")
     return 0
 
 

@@ -3,6 +3,7 @@
 //   cirstag_cli generate <out.ckt> [--name N] [--gates G] [--seed S]
 //   cirstag_cli sta <in.ckt> [--paths K] [--clock T]
 //   cirstag_cli analyze <in.ckt> [--scores out.csv] [--epochs E] [--top K]
+//   cirstag_cli sweep <in.ckt> [--variants N] [--pins-per-variant K]
 //   cirstag_cli montecarlo <in.ckt> [--samples N]
 //   cirstag_cli corners <in.ckt>
 //   cirstag_cli help
@@ -17,13 +18,17 @@
 #include <map>
 #include <string>
 
+#include <cmath>
+
 #include "circuit/generator.hpp"
 #include "circuit/io.hpp"
 #include "circuit/slack.hpp"
 #include "circuit/variation.hpp"
 #include "circuit/views.hpp"
 #include "core/cirstag.hpp"
+#include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "linalg/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
@@ -49,6 +54,13 @@ constexpr const char* kUsage =
     "                       [--top K] [--probes P]\n"
     "                       [--solver-precond jacobi|tree] [--block-cg 0|1]\n"
     "                       [--solver-cache 0|1]\n"
+    "  sweep <in.ckt>       batched Case-A perturbation sweep: analyze N\n"
+    "                       capacitance-scaled variants through the sweep\n"
+    "                       engine (shared baseline, incremental STA/GNN,\n"
+    "                       cross-variant reuse)\n"
+    "                       [--variants N] [--pins-per-variant K]\n"
+    "                       [--factor F] [--exact 0|1] [--epochs E]\n"
+    "                       [--hidden H] [--seed S] [--scores out.csv]\n"
     "  montecarlo <in.ckt>  Monte-Carlo STA under process variation\n"
     "                       [--samples N] [--seed S]\n"
     "  corners <in.ckt>     corner-based STA sweep\n"
@@ -307,6 +319,103 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: cirstag_cli sweep <in.ckt> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 3);
+  apply_global_flags(opts);
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+
+  const auto num_variants = opt_size(opts, "variants", 16);
+  const auto pins_per_variant = opt_size(opts, "pins-per-variant", 4);
+  const double factor = opt_double(opts, "factor", 5.0);
+  const auto seed = opt_size(opts, "seed", 1);
+
+  std::printf("training timing GNN surrogate...\n");
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = opt_size(opts, "epochs", 300);
+  gopts.hidden_dim = opt_size(opts, "hidden", 24);
+  gnn::TimingGnn model(nl, gopts);
+  std::printf("  R2 = %.4f\n", model.train().r2);
+
+  core::SweepOptions sopts;
+  sopts.exact = opt_size(opts, "exact", 0) != 0;
+  std::printf("capturing sweep baseline (%s mode)...\n",
+              sopts.exact ? "exact" : "fast");
+  core::SweepEngine engine(nl, model, sopts);
+  std::printf("  baseline: %.2fs, worst arrival %.4f, top eig %.4g\n",
+              engine.stats().baseline_seconds,
+              engine.baseline_timing().worst_arrival,
+              engine.baseline().eigenvalues.empty()
+                  ? 0.0
+                  : engine.baseline().eigenvalues[0]);
+
+  // Random Case-A variants: each scales a small pin cohort's capacitance.
+  std::vector<core::SweepVariant> variants(num_variants);
+  linalg::Rng rng(seed);
+  for (auto& v : variants)
+    for (std::size_t p = 0; p < pins_per_variant; ++p)
+      v.cap_scalings.push_back(
+          {static_cast<PinId>(rng.index(nl.num_pins())), factor});
+
+  std::printf("running %zu-variant sweep...\n", variants.size());
+  const auto results = engine.run(variants);
+
+  const auto& base_scores = engine.baseline().node_scores;
+  double base_norm2 = 0.0;
+  for (double s : base_scores) base_norm2 += s * s;
+  const auto score_shift = [&](const std::vector<double>& scores) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const double d = scores[i] - base_scores[i];
+      d2 += d * d;
+    }
+    return base_norm2 > 0.0 ? std::sqrt(d2 / base_norm2) : 0.0;
+  };
+
+  util::AsciiTable table({"variant", "worst_arrival", "score_shift",
+                          "sta_cone", "gnn_rows", "sweeps"});
+  util::CsvWriter csv({"variant", "worst_arrival", "score_shift", "sta_cone",
+                       "gnn_rows", "subspace_sweeps"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double shift = score_shift(r.report.node_scores);
+    table.add_row({std::to_string(i), util::fmt(r.worst_arrival, 4),
+                   util::fmt(shift, 4),
+                   util::fmt(r.stats.sta.cone_fraction(), 3),
+                   util::fmt(r.stats.gnn.row_fraction(), 3),
+                   std::to_string(r.stats.subspace_sweeps)});
+    csv.add_row({std::to_string(i), util::fmt(r.worst_arrival, 6),
+                 util::fmt(shift, 6), util::fmt(r.stats.sta.cone_fraction(), 6),
+                 util::fmt(r.stats.gnn.row_fraction(), 6),
+                 std::to_string(r.stats.subspace_sweeps)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const auto& sw = engine.stats();
+  std::printf("sweep: %zu variants in %.2fs (baseline %.2fs)\n", sw.variants,
+              sw.sweep_seconds, sw.baseline_seconds);
+  std::printf("  reuse: STA cone %.3f, GNN rows %.3f, kNN re-query %.3f, "
+              "subspace sweeps %.3f of budget, solver-cache hits %zu\n",
+              sw.avg_sta_cone_fraction, sw.avg_gnn_row_fraction,
+              sw.avg_knn_requery_fraction, sw.avg_subspace_sweep_fraction,
+              sw.solver_cache_hits);
+  if (!sopts.exact)
+    std::printf("  (fast mode: scores within %.2f relative L2 of the naive "
+                "per-variant loop; --exact 1 for byte-identical reports)\n",
+                core::kFastScoreDriftTolerance);
+
+  const std::string csv_path = opt_str(opts, "scores", "");
+  if (!csv_path.empty()) {
+    csv.save(csv_path);
+    std::printf("per-variant summary written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_montecarlo(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: cirstag_cli montecarlo <in.ckt> [options]\n");
@@ -361,6 +470,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") rc = cmd_generate(argc, argv);
     else if (cmd == "sta") rc = cmd_sta(argc, argv);
     else if (cmd == "analyze") rc = cmd_analyze(argc, argv);
+    else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "montecarlo") rc = cmd_montecarlo(argc, argv);
     else if (cmd == "corners") rc = cmd_corners(argc, argv);
     if (rc >= 0) {
