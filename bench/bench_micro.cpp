@@ -24,6 +24,7 @@
 #include "linalg/cg.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/log.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
@@ -296,7 +297,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (std::string(args[i]) == "--perf-json") {
       if (i + 1 >= args.size()) {
-        std::fprintf(stderr, "missing path after --perf-json\n");
+        cirstag::obs::log_error("bench", "missing path after --perf-json");
         return 2;
       }
       rewritten.push_back("--benchmark_out=" + std::string(args[i + 1]));

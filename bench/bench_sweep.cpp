@@ -31,6 +31,7 @@
 #include "circuit/sta.hpp"
 #include "circuit/views.hpp"
 #include "common.hpp"
+#include "obs/log.hpp"
 #include "core/cirstag.hpp"
 #include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
@@ -169,7 +170,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (std::string(args[i]) == "--perf-json") {
       if (i + 1 >= args.size()) {
-        std::fprintf(stderr, "missing path after --perf-json\n");
+        cirstag::obs::log_error("bench", "missing path after --perf-json");
         return 2;
       }
       rewritten.push_back("--benchmark_out=" + std::string(args[i + 1]));

@@ -10,6 +10,46 @@
 
 namespace cirstag::core {
 
+namespace {
+
+/// FNV-1a over a graph's defining content (counts, endpoints, weight bits) —
+/// the manifest's phase checksum for graph-valued phase outputs.
+std::uint64_t checksum_graph(const graphs::Graph& g) {
+  std::uint64_t h = obs::kFnv1aOffset;
+  h = obs::fnv1a_u64(h, g.num_nodes());
+  h = obs::fnv1a_u64(h, g.num_edges());
+  for (const graphs::Edge& e : g.edges()) {
+    h = obs::fnv1a_u64(h, e.u);
+    h = obs::fnv1a_u64(h, e.v);
+    h = obs::fnv1a_double(h, e.weight);
+  }
+  return h;
+}
+
+std::uint64_t checksum_matrix(const linalg::Matrix& m) {
+  std::uint64_t h = obs::kFnv1aOffset;
+  h = obs::fnv1a_u64(h, m.rows());
+  h = obs::fnv1a_u64(h, m.cols());
+  return obs::fnv1a_doubles(m.data(), h);
+}
+
+/// NaN/Inf sentinel over a graph's edge weights (no allocation; skipped
+/// entirely when the health monitor is off).
+void check_graph_finite(const char* where, const graphs::Graph& g) {
+  if (!obs::HealthMonitor::global().enabled()) return;
+  std::size_t bad = 0;
+  for (const graphs::Edge& e : g.edges())
+    if (!std::isfinite(e.weight)) ++bad;
+  if (bad == 0) return;
+  obs::record_health_event(
+      "sentinel.nonfinite",
+      std::string(where) + ": " + std::to_string(bad) + " of " +
+          std::to_string(g.num_edges()) + " edge weights non-finite",
+      static_cast<double>(bad), 0.0, obs::HealthSeverity::error);
+}
+
+}  // namespace
+
 FeatureColumnStats fit_feature_stats(const linalg::Matrix& x, double weight) {
   const std::size_t n = x.rows();
   const std::size_t d = x.cols();
@@ -89,7 +129,14 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   analyze_runs.add();
   nodes_gauge.set(static_cast<double>(input_graph.num_nodes()));
 
+  // Health events recorded from here until the end of the call belong to
+  // this run's report.
+  const std::uint64_t health_begin = obs::HealthMonitor::global().next_index();
+
   CirStagReport report;
+  report.checksums.input_graph = checksum_graph(input_graph);
+  check_graph_finite("analyze.input_graph", input_graph);
+  obs::health_check_finite("analyze.output_embedding", output_embedding.data());
   report.timings.threads = runtime::global_pool().num_threads();
   obs::WallTimer timer;
   runtime::TaskTimer task_timer;
@@ -112,6 +159,8 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
       report.input_embedding = u;
     }
   }
+  report.checksums.embedding = checksum_matrix(report.input_embedding);
+  obs::health_check_finite("phase.embedding", report.input_embedding.data());
   report.timings.embedding_seconds = timer.elapsed_seconds();
   report.timings.embedding_busy_seconds = task_timer.busy_seconds();
   task_timer.reset();
@@ -148,6 +197,10 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   static const obs::Gauge my_edges("pipeline.manifold_y_edges");
   mx_edges.set(static_cast<double>(report.manifold_x.num_edges()));
   my_edges.set(static_cast<double>(report.manifold_y.num_edges()));
+  report.checksums.manifold_x = checksum_graph(report.manifold_x);
+  report.checksums.manifold_y = checksum_graph(report.manifold_y);
+  check_graph_finite("phase.manifold_x", report.manifold_x);
+  check_graph_finite("phase.manifold_y", report.manifold_y);
   report.timings.manifold_seconds = timer.elapsed_seconds();
   report.timings.manifold_busy_seconds = task_timer.busy_seconds();
   task_timer.reset();
@@ -167,6 +220,16 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   report.edge_scores = std::move(stab.edge_scores);
   report.eigenvalues = std::move(stab.eigenvalues);
   report.weighted_subspace = std::move(stab.weighted_subspace);
+
+  report.checksums.eigenvalues =
+      obs::fnv1a_doubles(report.eigenvalues);
+  report.checksums.node_scores = obs::fnv1a_doubles(report.node_scores);
+  report.checksums.edge_scores = obs::fnv1a_doubles(report.edge_scores);
+  obs::health_check_finite("phase.dmd.eigenvalues", report.eigenvalues);
+  obs::health_check_finite("phase.scores.node_scores", report.node_scores);
+  obs::health_check_finite("phase.scores.edge_scores", report.edge_scores);
+
+  report.health = obs::HealthMonitor::global().collect_since(health_begin);
   return report;
 }
 

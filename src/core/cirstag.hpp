@@ -5,6 +5,8 @@
 #include "core/stability.hpp"
 #include "graphs/graph.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/health.hpp"
+#include "obs/manifest.hpp"
 
 namespace cirstag::core {
 
@@ -69,6 +71,15 @@ struct CirStagReport {
   graphs::Graph manifold_y;
   linalg::Matrix input_embedding;    ///< U_M (empty when reduction disabled)
   PhaseTimings timings;
+  /// Numerical-health events recorded during this analyze() call (NaN/Inf
+  /// sentinels, unconverged solves, Ritz residuals, …). health.ok() means
+  /// nothing above info severity fired. Empty when the global HealthMonitor
+  /// is disabled.
+  obs::HealthReport health;
+  /// FNV-1a checksums of each phase boundary's produced doubles — the run
+  /// manifest's per-phase provenance (equal checksums certify bitwise-equal
+  /// intermediates across thread counts / machines).
+  obs::PhaseChecksums checksums;
 
   /// Edge-stability score ‖V_sᵀ e_pq‖² for any node pair (p, q).
   [[nodiscard]] double pair_score(std::size_t p, std::size_t q) const {

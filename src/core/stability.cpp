@@ -66,6 +66,10 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
   sopts.preconditioner = opts.preconditioner;
   sopts.cg.tolerance = eopts.cg_tolerance;
   sopts.cg.max_iterations = eopts.cg_max_iterations;
+  // Deliberate iteration budget (see StabilityOptions::cg_max_iterations):
+  // subspace iteration tolerates inexact inner solves, so hitting the cap
+  // is normal and must not raise "unconverged" health warnings.
+  sopts.cg.budget_bounded = true;
   // Phase 3a: DMD spectrum — the generalized eigenpairs of L_Y^+ L_X.
   std::shared_ptr<const linalg::LaplacianSolver> ly_solver;
   linalg::GeneralizedEigenResult eig;

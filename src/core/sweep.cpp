@@ -1,11 +1,13 @@
 #include "core/sweep.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "circuit/perturb.hpp"
 #include "circuit/views.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "obs/trace.hpp"
@@ -307,6 +309,8 @@ SweepVariantResult SweepEngine::run_case_a(const SweepVariant& v,
   }
 
   finish_variant(out, std::move(x_emb), &pin_graph_, inc.embedding, index);
+  if (!opts_.exact && opts_.audit_drift)
+    audit_variant_drift(out, pin_graph_, &fv, inc.embedding, index);
   return out;
 }
 
@@ -344,7 +348,54 @@ SweepVariantResult SweepEngine::run_case_b(const SweepVariant& v,
   }
 
   finish_variant(out, std::move(x_emb), &g, *v.output_embedding, index);
+  if (!opts_.exact && opts_.audit_drift)
+    audit_variant_drift(out, g, v.node_features, *v.output_embedding, index);
   return out;
+}
+
+void SweepEngine::audit_variant_drift(SweepVariantResult& out,
+                                      const graphs::Graph& input_graph,
+                                      const linalg::Matrix* node_features,
+                                      const linalg::Matrix& output_embedding,
+                                      std::size_t index) const {
+  // The reference is the naive per-variant loop: a fresh CirStag::analyze
+  // with the sweep's own config. threads is zeroed because the audit runs
+  // inside run()'s parallel region — resizing the global pool from a worker
+  // would tear down the pool mid-flight; the nested analyze simply runs
+  // serially inline like every nested parallel region.
+  CirStagConfig naive_cfg = opts_.config;
+  naive_cfg.threads = 0;
+  const CirStag naive(naive_cfg);
+  const CirStagReport ref =
+      node_features != nullptr && !node_features->empty()
+          ? naive.analyze(input_graph, *node_features, output_embedding)
+          : naive.analyze(input_graph, output_embedding);
+
+  const std::vector<double>& fast_scores = out.report.node_scores;
+  const std::vector<double>& ref_scores = ref.node_scores;
+  double diff2 = 0.0, ref2 = 0.0;
+  const std::size_t n = std::min(fast_scores.size(), ref_scores.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = fast_scores[i] - ref_scores[i];
+    diff2 += d * d;
+    ref2 += ref_scores[i] * ref_scores[i];
+  }
+  const double drift =
+      ref2 > 0.0 ? std::sqrt(diff2 / ref2) : std::sqrt(diff2);
+  out.stats.audited_drift = drift;
+
+  static const obs::Counter audits("sweep.drift_audits");
+  audits.add();
+  const bool over = drift > kFastScoreDriftTolerance ||
+                    fast_scores.size() != ref_scores.size();
+  obs::record_health_event(
+      "sweep.drift",
+      "variant " + std::to_string(index) +
+          ": fast-vs-naive node-score drift " + std::to_string(drift) +
+          " (documented bound " + std::to_string(kFastScoreDriftTolerance) +
+          ")",
+      drift, kFastScoreDriftTolerance,
+      over ? obs::HealthSeverity::error : obs::HealthSeverity::info);
 }
 
 void SweepEngine::finish_variant(SweepVariantResult& out,

@@ -157,6 +157,13 @@ struct SweepOptions {
   bool tree_preconditioner = true;
   /// Run incremental STA per Case-A variant (worst arrival + cone stats).
   bool with_sta = true;
+  /// Fast mode: after each variant, re-run the naive per-variant analyze()
+  /// and record the measured relative-L2 node-score drift in
+  /// SweepVariantStats::audited_drift, raising a health event (error past
+  /// kFastScoreDriftTolerance, info otherwise). Roughly doubles the sweep's
+  /// cost — a validation tool, not a production setting. No effect in exact
+  /// mode (drift is zero by construction there).
+  bool audit_drift = false;
 };
 
 /// Per-variant reuse accounting.
@@ -170,6 +177,9 @@ struct SweepVariantStats {
   /// Phase-3 subspace sweeps executed (< the config budget when the fast
   /// mode's adaptive Ritz stop converged early). Deterministic.
   std::size_t subspace_sweeps = 0;
+  /// Measured fast-vs-naive node-score drift (relative L2) when
+  /// SweepOptions::audit_drift is set; -1 when not audited.
+  double audited_drift = -1.0;
 };
 
 /// Result of one variant: the full CirSTAG report plus the Case-A side
@@ -251,6 +261,14 @@ class SweepEngine {
   SweepVariantResult run_variant(const SweepVariant& v, std::size_t index);
   SweepVariantResult run_case_a(const SweepVariant& v, std::size_t index);
   SweepVariantResult run_case_b(const SweepVariant& v, std::size_t index);
+  /// audit_drift support: re-analyze the variant with the naive per-variant
+  /// pipeline (no cross-variant reuse, no fast-mode Phase-3 levers) and
+  /// record the measured node-score drift on `out` plus a health event.
+  void audit_variant_drift(SweepVariantResult& out,
+                           const graphs::Graph& input_graph,
+                           const linalg::Matrix* node_features,
+                           const linalg::Matrix& output_embedding,
+                           std::size_t index) const;
   /// Manifold/stability tail shared by both cases; `index` keys the
   /// per-variant warm-start tags. In fast mode each side's kNN graph is
   /// delta-re-queried when only a minority of its embedding rows moved

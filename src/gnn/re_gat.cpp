@@ -7,6 +7,7 @@
 #include "circuit/views.hpp"
 #include "gnn/loss.hpp"
 #include "gnn/metrics.hpp"
+#include "obs/log.hpp"
 
 namespace cirstag::gnn {
 
@@ -125,7 +126,7 @@ TrainStats ReGat::train() {
     optimizer.step();
 
     if (opts_.verbose && epoch % 50 == 0)
-      std::printf("  [re-gat] epoch %zu loss %.6f\n", epoch, loss.value);
+      obs::logf_info("re-gat", "epoch %zu loss %.6f", epoch, loss.value);
   }
   stats.final_loss =
       stats.loss_history.empty() ? 0.0 : stats.loss_history.back();

@@ -7,6 +7,7 @@
 #include "circuit/views.hpp"
 #include "gnn/dag_prop.hpp"
 #include "gnn/loss.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/stats.hpp"
@@ -92,7 +93,7 @@ TrainStats TimingGnn::train(const circuit::StaOptions& sta_opts) {
     optimizer.step();
 
     if (opts_.verbose && epoch % 50 == 0)
-      std::printf("  [timing-gnn] epoch %zu loss %.6f\n", epoch, loss.value);
+      obs::logf_info("timing-gnn", "epoch %zu loss %.6f", epoch, loss.value);
   }
 
   const std::vector<double> pred = predict(features_);

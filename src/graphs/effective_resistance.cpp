@@ -60,6 +60,9 @@ std::vector<double> edge_effective_resistances(
   sopts.preconditioner = opts.preconditioner;
   sopts.cg.tolerance = opts.cg_tolerance;
   sopts.cg.max_iterations = opts.cg_max_iterations;
+  // The sketch's JL error (~1/sqrt(k)) dwarfs a tighter solve, so hitting
+  // the iteration cap here is the intended budget, not a health problem.
+  sopts.cg.budget_bounded = true;
   bool cache_hit = false;
   auto solver = obtain_solver(g, sopts, cache, &cache_hit);
 

@@ -7,6 +7,7 @@
 #include "graphs/laplacian.hpp"
 #include "graphs/spanning_tree.hpp"
 #include "linalg/tree_precond.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 
 namespace cirstag::graphs {
@@ -35,6 +36,17 @@ linalg::LaplacianSolver make_laplacian_solver(const Graph& g,
     auto fact = linalg::TreeFactorization::build(
         forest.parent, forest.parent_weight, forest.order,
         opts.regularization);
+    if (fact.empty()) {
+      // LaplacianSolver silently substitutes Jacobi for an empty
+      // factorization; surface the substitution so a run that asked for the
+      // tree preconditioner can see it did not get it.
+      obs::record_health_event(
+          "solver.tree_precond_fallback",
+          "spanning-tree preconditioner unavailable (empty factorization, " +
+              std::to_string(g.num_nodes()) + " nodes); using Jacobi",
+          static_cast<double>(g.num_nodes()), 0.0,
+          obs::HealthSeverity::warning);
+    }
     return linalg::LaplacianSolver(std::move(lap), opts.regularization,
                                    opts.cg, std::move(fact));
   }
@@ -43,9 +55,10 @@ linalg::LaplacianSolver make_laplacian_solver(const Graph& g,
 
 std::shared_ptr<const linalg::LaplacianSolver> LaplacianSolverCache::solver(
     const Graph& g, const SolverOptions& opts) {
-  const Key key{g.fingerprint(), opts.regularization,
+  const Key key{g.fingerprint(),       opts.regularization,
                 std::bit_cast<std::uint64_t>(opts.cg.tolerance),
-                opts.cg.max_iterations, opts.preconditioner};
+                opts.cg.max_iterations, opts.preconditioner,
+                opts.cg.budget_bounded};
   {
     std::lock_guard lock(mutex_);
     for (Entry& e : entries_) {

@@ -79,6 +79,9 @@ class LaplacianSolverCache {
     std::uint64_t tolerance_bits = 0;
     std::uint64_t max_iterations = 0;
     SolverPreconditioner preconditioner = SolverPreconditioner::jacobi;
+    /// Part of the key so a budget-bounded caller (health events suppressed)
+    /// never shares a solver object with one that wants them reported.
+    bool budget_bounded = false;
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct Entry {

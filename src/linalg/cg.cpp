@@ -5,6 +5,7 @@
 
 #include "linalg/block_cg.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
 
@@ -14,7 +15,7 @@ namespace {
 
 /// One observation per finished solve; instrumentation only reads the
 /// result, so iterates are untouched.
-void record_cg_metrics(const CgResult& result) {
+void record_cg_metrics(const CgResult& result, const CgOptions& opts) {
   static const obs::Counter solves("cg.solves");
   static const obs::Counter iterations("cg.iterations");
   static const obs::Counter breakdowns("cg.breakdowns");
@@ -27,6 +28,28 @@ void record_cg_metrics(const CgResult& result) {
   if (result.breakdown) breakdowns.add();
   if (!result.converged) unconverged.add();
   iters_per_solve.observe(static_cast<double>(result.iterations));
+  // Residual history as a distribution: where solves actually land relative
+  // to their tolerance, aggregated across the run.
+  static const obs::Histogram final_residuals(
+      "cg.final_relative_residual",
+      {1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0});
+  final_residuals.observe(result.residual);
+  if (result.breakdown) {
+    obs::record_health_event(
+        "cg.breakdown",
+        "CG hit an indefinite direction (p'Ap <= 0) after " +
+            std::to_string(result.iterations) + " iterations",
+        result.residual, opts.tolerance, obs::HealthSeverity::warning);
+  } else if (!result.converged &&
+             (!opts.budget_bounded ||
+              result.residual > kBudgetResidualAlarm)) {
+    obs::record_health_event(
+        "cg.unconverged",
+        "CG stopped at max_iterations=" +
+            std::to_string(opts.max_iterations) + " with relative residual " +
+            std::to_string(result.residual),
+        result.residual, opts.tolerance, obs::HealthSeverity::warning);
+  }
 }
 
 }  // namespace
@@ -119,7 +142,7 @@ CgResult conjugate_gradient(const LinearOperator& op, std::span<const double> b,
                             std::span<const double> initial_guess) {
   CgResult result =
       conjugate_gradient_impl(op, b, n, precond, opts, initial_guess);
-  record_cg_metrics(result);
+  record_cg_metrics(result, opts);
   return result;
 }
 
@@ -227,6 +250,19 @@ Matrix LaplacianSolver::solve_block(const Matrix& rhs,
   static const obs::Counter iterations("laplacian_solver.iterations");
   block_solves.add();
   iterations.add(res.total_iterations);
+  if (!res.all_converged() &&
+      (!opts_.budget_bounded || worst > kBudgetResidualAlarm)) {
+    std::size_t stalled = 0;
+    for (const bool c : res.converged)
+      if (!c) ++stalled;
+    obs::record_health_event(
+        "block_cg.unconverged",
+        std::to_string(stalled) + " of " + std::to_string(k) +
+            " block-CG columns stopped at max_iterations=" +
+            std::to_string(opts_.max_iterations) + "; worst relative residual " +
+            std::to_string(worst),
+        worst, opts_.tolerance, obs::HealthSeverity::warning);
+  }
   if (stats) {
     stats->total_iterations = res.total_iterations;
     stats->max_iterations = slowest;

@@ -21,7 +21,22 @@ struct CgOptions {
   /// Project iterates orthogonal to the all-ones vector. Required when
   /// solving singular Laplacian systems L x = b with 1^T b = 0.
   bool deflate_constant = false;
+  /// The caller caps iterations deliberately and tolerates an unconverged
+  /// result (the resistance sketch, whose JL error dwarfs a tighter solve;
+  /// the Phase-3 subspace iteration, which tolerates inexact inner solves).
+  /// Suppresses the "cg.unconverged" health event — hitting the cap is the
+  /// design, not a numerical problem — unless the final residual exceeds
+  /// kBudgetResidualAlarm, i.e. the budget assumption itself broke down.
+  /// Breakdowns still report.
+  bool budget_bounded = false;
 };
+
+/// Residual past which even a budget-bounded solve reports "unconverged":
+/// a deliberate budget trims tail precision (the Phase-3 inner solves start
+/// from a random subspace and legitimately land around 1e-2 on their first
+/// sweeps); a residual still above 10% after the full budget means the
+/// solve made no useful progress at all.
+inline constexpr double kBudgetResidualAlarm = 1e-1;
 
 /// Convergence report from a CG run.
 struct CgResult {

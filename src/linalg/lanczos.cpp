@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace cirstag::linalg {
 
@@ -64,6 +65,8 @@ EigenDecomposition lanczos_eigen(const LinearOperator& op, std::size_t n,
       const double fn = norm2(fresh);
       if (fn < 1e-12) break;  // space exhausted
       scale(1.0 / fn, fresh);
+      static const obs::Counter restarts("lanczos.restarts");
+      restarts.add();
       beta.push_back(0.0);
       basis.push_back(std::move(fresh));
     } else {

@@ -1,0 +1,122 @@
+#include "obs/health.hpp"
+
+#include <cmath>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace cirstag::obs {
+
+const char* health_severity_name(HealthSeverity severity) {
+  switch (severity) {
+    case HealthSeverity::info: return "info";
+    case HealthSeverity::warning: return "warning";
+    case HealthSeverity::error: return "error";
+  }
+  return "unknown";
+}
+
+bool HealthReport::ok() const {
+  for (const HealthEvent& e : events)
+    if (e.severity != HealthSeverity::info) return false;
+  return true;
+}
+
+std::size_t HealthReport::count(HealthSeverity severity) const {
+  std::size_t n = 0;
+  for (const HealthEvent& e : events)
+    if (e.severity == severity) ++n;
+  return n;
+}
+
+std::string HealthReport::to_json() const {
+  std::string out = "{\"ok\": ";
+  out += ok() ? "true" : "false";
+  out += ", \"dropped\": ";
+  out += std::to_string(dropped);
+  out += ", \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const HealthEvent& e = events[i];
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += "{\"kind\": ";
+    out += json_quote(e.kind);
+    out += ", \"severity\": ";
+    out += json_quote(health_severity_name(e.severity));
+    out += ", \"value\": ";
+    append_json_number(out, e.value);
+    out += ", \"threshold\": ";
+    append_json_number(out, e.threshold);
+    out += ", \"index\": ";
+    out += std::to_string(e.index);
+    out += ", \"detail\": ";
+    out += json_quote(e.detail);
+    out += "}";
+  }
+  out += events.empty() ? "]}" : "\n]}";
+  return out;
+}
+
+HealthMonitor& HealthMonitor::global() {
+  static HealthMonitor* monitor = new HealthMonitor();  // intentionally leaked
+  return *monitor;
+}
+
+void HealthMonitor::record(std::string kind, std::string detail, double value,
+                           double threshold, HealthSeverity severity) {
+  if (!enabled()) return;
+  static const Counter events_counter("health.events");
+  static const Counter warnings_counter("health.warnings");
+  static const Counter errors_counter("health.errors");
+  events_counter.add();
+  if (severity == HealthSeverity::warning) warnings_counter.add();
+  if (severity == HealthSeverity::error) errors_counter.add();
+  std::lock_guard lock(mutex_);
+  const std::uint64_t index = next_index_++;
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back({std::move(kind), std::move(detail), value, threshold,
+                     severity, index});
+}
+
+std::uint64_t HealthMonitor::next_index() const {
+  std::lock_guard lock(mutex_);
+  return next_index_;
+}
+
+HealthReport HealthMonitor::collect_since(std::uint64_t begin) const {
+  HealthReport report;
+  report.dropped = dropped_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  for (const HealthEvent& e : events_)
+    if (e.index >= begin) report.events.push_back(e);
+  return report;
+}
+
+void HealthMonitor::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+void record_health_event(std::string kind, std::string detail, double value,
+                         double threshold, HealthSeverity severity) {
+  HealthMonitor::global().record(std::move(kind), std::move(detail), value,
+                                 threshold, severity);
+}
+
+bool health_check_finite(const char* where, std::span<const double> values) {
+  if (!HealthMonitor::global().enabled()) return true;
+  std::size_t bad = 0;
+  for (const double v : values)
+    if (!std::isfinite(v)) ++bad;
+  if (bad == 0) return true;
+  record_health_event(
+      "sentinel.nonfinite",
+      std::string(where) + ": " + std::to_string(bad) + " of " +
+          std::to_string(values.size()) + " values non-finite",
+      static_cast<double>(bad), 0.0, HealthSeverity::error);
+  return false;
+}
+
+}  // namespace cirstag::obs

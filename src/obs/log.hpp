@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace cirstag::obs {
+
+/// Severity levels of the structured logger, ordered by verbosity.
+enum class LogLevel : int {
+  debug = 0,
+  info = 1,
+  warn = 2,
+  error = 3,
+  off = 4,
+};
+
+/// Parse "debug" | "info" | "warn" | "error" | "off" (case-sensitive);
+/// returns `fallback` on anything else.
+[[nodiscard]] LogLevel parse_log_level(const char* text, LogLevel fallback);
+[[nodiscard]] const char* log_level_name(LogLevel level);
+
+/// Minimal leveled structured logger.
+///
+/// Replaces the ad-hoc stderr/stdout diagnostics scattered through the CLI,
+/// the GNN trainers, and the bench harnesses with one sink that supports
+///   - a severity threshold (default `info`, overridable with the
+///     CIRSTAG_LOG_LEVEL environment variable or `--log-level`), and
+///   - an optional JSON-lines mirror (`--log-json PATH`): one
+///     {"ts":…,"level":…,"subsystem":…,"message":…} object per line, so a
+///     run's diagnostics are machine-parseable next to its metrics/manifest.
+///
+/// Human-readable output goes to stderr (never stdout — command output and
+/// diagnostics must not interleave). The logger is observability only: it
+/// reads scalars the caller already produced and never perturbs computation.
+class Logger {
+ public:
+  Logger();
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Process-wide logger used by the log_* convenience functions. Never
+  /// destroyed, for the same reason as MetricsRegistry::global().
+  [[nodiscard]] static Logger& global();
+
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  /// Mirror every emitted record to `path` as JSON lines (empty path closes
+  /// the mirror). Returns false when the file cannot be opened.
+  bool set_json_path(const std::string& path);
+
+  /// Suppress the human-readable stderr line (JSON mirror still written).
+  /// Used by tests that exercise error-level records.
+  void set_stderr_enabled(bool on) {
+    stderr_enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Emit one record if `level` passes the threshold.
+  void log(LogLevel level, const char* subsystem, const std::string& message);
+
+  /// printf-style convenience.
+  void logf(LogLevel level, const char* subsystem, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+  /// Records emitted since construction (all levels that passed the
+  /// threshold); lets tests assert on sink behaviour cheaply.
+  [[nodiscard]] std::uint64_t records_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> level_;
+  std::atomic<bool> stderr_enabled_{true};
+  std::atomic<std::uint64_t> emitted_{0};
+  std::mutex mutex_;  // guards the JSON sink
+  std::FILE* json_file_ = nullptr;
+  double epoch_seconds_ = 0.0;  // steady-clock origin for the "ts" field
+};
+
+// Convenience wrappers over Logger::global().
+void log_debug(const char* subsystem, const std::string& message);
+void log_info(const char* subsystem, const std::string& message);
+void log_warn(const char* subsystem, const std::string& message);
+void log_error(const char* subsystem, const std::string& message);
+void logf_info(const char* subsystem, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void logf_error(const char* subsystem, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace cirstag::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -193,7 +194,34 @@ MetricsRegistry::HistogramSnapshot MetricsRegistry::histogram_value(
   return snap;
 }
 
-std::string MetricsRegistry::to_json() const {
+double MetricsRegistry::HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || buckets.empty() || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, ceil) among `count` sorted
+  // observations, then walk the cumulative bucket counts to find its bucket.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b == bounds.size()) return bounds.back();  // overflow: clamp
+    const double lo = b == 0 ? 0.0 : bounds[b - 1];
+    const double hi = bounds[b];
+    const double into =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * into;
+  }
+  return bounds.back();
+}
+
+std::string MetricsRegistry::to_json() const { return to_json({}); }
+
+std::string MetricsRegistry::to_json(
+    std::span<const std::pair<std::string, std::string>> extra) const {
   std::lock_guard lock(mutex_);
   std::string out = "{\n  \"counters\": {";
   for (std::size_t i = 0; i < counter_names_.size(); ++i) {
@@ -214,43 +242,61 @@ std::string MetricsRegistry::to_json() const {
   }
   out += "\n  },\n  \"histograms\": {";
   for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
-    const std::vector<double>& bounds = histogram_bounds_[i];
-    std::vector<std::uint64_t> buckets(bounds.size() + 1, 0);
-    std::uint64_t count = 0;
-    double sum = 0.0;
+    HistogramSnapshot snap;
+    snap.bounds = histogram_bounds_[i];
+    snap.buckets.assign(snap.bounds.size() + 1, 0);
     for (const auto& s : shards_) {
-      for (std::size_t b = 0; b < buckets.size(); ++b)
-        buckets[b] += s->hist_buckets[i * kHistStride + b].load(
+      for (std::size_t b = 0; b < snap.buckets.size(); ++b)
+        snap.buckets[b] += s->hist_buckets[i * kHistStride + b].load(
             std::memory_order_relaxed);
-      count += s->hist_count[i].load(std::memory_order_relaxed);
-      sum += s->hist_sum[i].load(std::memory_order_relaxed);
+      snap.count += s->hist_count[i].load(std::memory_order_relaxed);
+      snap.sum += s->hist_sum[i].load(std::memory_order_relaxed);
     }
     out += i == 0 ? "\n    " : ",\n    ";
     out += json_quote(histogram_names_[i]);
     out += ": {\"bounds\": [";
-    for (std::size_t b = 0; b < bounds.size(); ++b) {
+    for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
       if (b > 0) out += ", ";
-      append_json_number(out, bounds[b]);
+      append_json_number(out, snap.bounds[b]);
     }
     out += "], \"buckets\": [";
-    for (std::size_t b = 0; b < buckets.size(); ++b) {
+    for (std::size_t b = 0; b < snap.buckets.size(); ++b) {
       if (b > 0) out += ", ";
-      out += std::to_string(buckets[b]);
+      out += std::to_string(snap.buckets[b]);
     }
     out += "], \"count\": ";
-    out += std::to_string(count);
+    out += std::to_string(snap.count);
     out += ", \"sum\": ";
-    append_json_number(out, sum);
+    append_json_number(out, snap.sum);
+    out += ", \"p50\": ";
+    append_json_number(out, snap.quantile(0.50));
+    out += ", \"p95\": ";
+    append_json_number(out, snap.quantile(0.95));
+    out += ", \"p99\": ";
+    append_json_number(out, snap.quantile(0.99));
     out += "}";
   }
-  out += "\n  }\n}\n";
+  out += "\n  }";
+  for (const auto& [name, raw] : extra) {
+    out += ",\n  ";
+    out += json_quote(name);
+    out += ": ";
+    out += raw;
+  }
+  out += "\n}\n";
   return out;
 }
 
 bool MetricsRegistry::write_json(const std::string& path) const {
+  return write_json(path, {});
+}
+
+bool MetricsRegistry::write_json(
+    const std::string& path,
+    std::span<const std::pair<std::string, std::string>> extra) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = to_json();
+  const std::string json = to_json(extra);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
 }

@@ -5,8 +5,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace cirstag::obs {
@@ -82,6 +84,14 @@ class MetricsRegistry {
     std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 cells
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Estimate the q-quantile (q in [0,1]) by linear interpolation inside
+    /// the bucket holding the q·count-th observation. Bucket 0 interpolates
+    /// from 0 (all recorded quantities are non-negative: iteration counts,
+    /// durations, residuals); the overflow bucket clamps to bounds.back() —
+    /// an upper-bound-free bucket has no defensible interior point, so the
+    /// estimate saturates rather than invents one. Returns 0 when empty.
+    [[nodiscard]] double quantile(double q) const;
   };
 
   /// Aggregated value of a counter (0 if never registered).
@@ -92,10 +102,20 @@ class MetricsRegistry {
       const std::string& name) const;
 
   /// Every metric, aggregated across shards, as a JSON object:
-  /// {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// {"counters":{...},"gauges":{...},"histograms":{...}}. Histograms carry
+  /// interpolated "p50"/"p95"/"p99" estimates alongside bounds/buckets.
   [[nodiscard]] std::string to_json() const;
+  /// As to_json(), with extra top-level sections appended after
+  /// "histograms": each (name, raw JSON value) pair becomes `"name": value`.
+  /// This is how the CLI embeds the health report and profiler summary into
+  /// one --metrics-json document.
+  [[nodiscard]] std::string to_json(
+      std::span<const std::pair<std::string, std::string>> extra) const;
   /// Write to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
+  bool write_json(
+      const std::string& path,
+      std::span<const std::pair<std::string, std::string>> extra) const;
 
   /// Zero every counter, gauge, and histogram. Intended for tests and for
   /// the start of a measured region; concurrent writers may land on either

@@ -1,0 +1,162 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cirstag::obs {
+
+double ProfileSnapshot::attribution_fraction() const {
+  const std::uint64_t considered = attributed_samples + idle_samples;
+  if (considered == 0) return 0.0;
+  return static_cast<double>(attributed_samples) /
+         static_cast<double>(considered);
+}
+
+std::string ProfileSnapshot::to_folded() const {
+  std::string out;
+  for (const auto& [path, count] : folded) {
+    out += path;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  if (idle_samples > 0) {
+    out += "(idle) ";
+    out += std::to_string(idle_samples);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ProfileSnapshot::to_json() const {
+  std::string out = "{\"period_us\": ";
+  append_json_number(out, period_us);
+  out += ", \"duration_seconds\": ";
+  append_json_number(out, duration_seconds);
+  out += ", \"samples\": ";
+  out += std::to_string(total_samples);
+  out += ", \"attributed\": ";
+  out += std::to_string(attributed_samples);
+  out += ", \"idle\": ";
+  out += std::to_string(idle_samples);
+  out += ", \"torn\": ";
+  out += std::to_string(torn_samples);
+  out += ", \"attribution_fraction\": ";
+  append_json_number(out, attribution_fraction());
+  out += ", \"self\": {";
+  bool first = true;
+  for (const auto& [name, count] : self_samples) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    out += json_quote(name);
+    out += ": ";
+    out += std::to_string(count);
+  }
+  out += first ? "}}" : "\n}}";
+  return out;
+}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+SamplingProfiler& SamplingProfiler::global() {
+  static SamplingProfiler* profiler =
+      new SamplingProfiler();  // intentionally leaked
+  return *profiler;
+}
+
+void SamplingProfiler::start(double hz) {
+  if (running_.load(std::memory_order_relaxed)) return;
+  const double clamped = std::clamp(hz, 1.0, 10000.0);
+  const double period_seconds = 1.0 / clamped;
+  {
+    std::lock_guard lock(mutex_);
+    snap_ = ProfileSnapshot{};
+    snap_.period_us = period_seconds * 1e6;
+  }
+  stacks_were_enabled_ = span_stacks_enabled();
+  set_span_stacks_enabled(true);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this, period_seconds] { sampler_loop(period_seconds); });
+}
+
+void SamplingProfiler::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+  if (!stacks_were_enabled_) set_span_stacks_enabled(false);
+}
+
+void SamplingProfiler::sampler_loop(double period_seconds) {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(period_seconds));
+  const auto start = clock::now();
+  auto next_tick = start + period;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const std::vector<SpanStackSample> samples = sample_span_stacks();
+    std::lock_guard lock(mutex_);
+    for (const SpanStackSample& s : samples) {
+      ++snap_.total_samples;
+      if (s.torn) {
+        ++snap_.torn_samples;
+        continue;
+      }
+      if (s.frames.empty()) {
+        ++snap_.idle_samples;
+        continue;
+      }
+      ++snap_.attributed_samples;
+      std::string path;
+      for (std::size_t i = 0; i < s.frames.size(); ++i) {
+        if (i > 0) path += ';';
+        path += s.frames[i];
+      }
+      if (s.truncated) path += ";(truncated)";
+      ++snap_.folded[path];
+      ++snap_.self_samples[s.frames.back()];
+    }
+    snap_.duration_seconds =
+        std::chrono::duration<double>(clock::now() - start).count();
+    // sleep_until keeps the average rate at the requested Hz even when a
+    // sampling pass (registry lock + string folding) overruns a period.
+    std::this_thread::sleep_until(next_tick);
+    next_tick += period;
+    if (next_tick < clock::now()) next_tick = clock::now() + period;
+  }
+}
+
+ProfileSnapshot SamplingProfiler::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return snap_;
+}
+
+bool SamplingProfiler::write_folded(const std::string& path) const {
+  const std::string text = snapshot().to_folded();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void SamplingProfiler::export_metrics() const {
+  const ProfileSnapshot snap = snapshot();
+  static const Counter total("profile.samples");
+  static const Counter attributed("profile.samples_attributed");
+  static const Counter idle("profile.samples_idle");
+  static const Counter torn("profile.samples_torn");
+  static const Gauge fraction("profile.attribution_fraction");
+  total.add(snap.total_samples);
+  attributed.add(snap.attributed_samples);
+  idle.add(snap.idle_samples);
+  torn.add(snap.torn_samples);
+  fraction.set(snap.attribution_fraction());
+}
+
+}  // namespace cirstag::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cirstag::obs {
+
+/// Aggregated result of one profiling session.
+struct ProfileSnapshot {
+  /// Folded call-stack counts: "outer;inner;leaf" -> samples. The
+  /// flamegraph-ready form (flamegraph.pl, inferno, speedscope all read it).
+  std::map<std::string, std::uint64_t> folded;
+  /// Samples per leaf span name — the self-time table (samples * period
+  /// ≈ wall time spent with that span innermost).
+  std::map<std::string, std::uint64_t> self_samples;
+  std::uint64_t total_samples = 0;      ///< thread-samples taken
+  std::uint64_t attributed_samples = 0; ///< landed inside >= 1 named span
+  std::uint64_t idle_samples = 0;       ///< thread had no active span
+  std::uint64_t torn_samples = 0;       ///< discarded: stack moved mid-read
+  double period_us = 0.0;               ///< sampling period
+  double duration_seconds = 0.0;        ///< session wall time
+
+  /// attributed / (attributed + idle): the fraction of non-discarded
+  /// samples the span taxonomy accounts for.
+  [[nodiscard]] double attribution_fraction() const;
+  /// Folded-stack text, one "path count" line per stack, idle samples as
+  /// "(idle)". Lines are sorted (map order) so output is deterministic for
+  /// a given sample set.
+  [[nodiscard]] std::string to_folded() const;
+  /// {"period_us":…,"samples":…,"self":{name:samples,…}} for embedding in
+  /// --metrics-json.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// In-process sampling profiler.
+///
+/// A background thread wakes at the configured frequency and snapshots every
+/// registered thread's TraceSpan stack (see SpanStack in trace.hpp) — the
+/// worker threads are never stopped, never signalled, and never take a lock
+/// the samplees contend on, so profiling cannot perturb the computation (the
+/// instrumented threads' only extra work is the two atomic stores a TraceSpan
+/// already pays once span stacks are armed).
+///
+/// start() arms span stacks; stop() disarms them (unless they were armed
+/// before start), joins the sampler thread, and freezes the snapshot.
+class SamplingProfiler {
+ public:
+  SamplingProfiler() = default;
+  ~SamplingProfiler();
+  SamplingProfiler(const SamplingProfiler&) = delete;
+  SamplingProfiler& operator=(const SamplingProfiler&) = delete;
+
+  /// Process-wide profiler driven by the CLI's --profile-folded flag.
+  [[nodiscard]] static SamplingProfiler& global();
+
+  /// Begin sampling at `hz` (clamped to [1, 10000]). No-op when already
+  /// running.
+  void start(double hz);
+  /// Stop sampling and aggregate. No-op when not running.
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the finished (or in-flight) session.
+  [[nodiscard]] ProfileSnapshot snapshot() const;
+
+  /// Write snapshot().to_folded() to `path`; returns false on I/O failure.
+  bool write_folded(const std::string& path) const;
+
+  /// Export the sample totals ("profile.samples", "profile.samples_attributed",
+  /// "profile.samples_idle", "profile.samples_torn" counters and the
+  /// "profile.attribution_fraction" gauge) into the global metrics registry.
+  /// The per-span self-time table is deliberately NOT exported as counters —
+  /// span names are open-ended and would exhaust the fixed counter table; it
+  /// travels as the "profile" extra section of --metrics-json instead
+  /// (snapshot().to_json()). Call after stop().
+  void export_metrics() const;
+
+ private:
+  void sampler_loop(double period_seconds);
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool stacks_were_enabled_ = false;
+  std::thread thread_;
+  mutable std::mutex mutex_;  // guards the aggregation maps
+  ProfileSnapshot snap_;
+};
+
+}  // namespace cirstag::obs

@@ -4,9 +4,8 @@
 
 namespace cirstag::obs {
 
-/// Simple monotonic wall-clock stopwatch (absorbed from the old
-/// util/timer.hpp — wall timing is observability, so it lives here next to
-/// TraceSpan and the metrics registry).
+/// Simple monotonic wall-clock stopwatch. Wall timing is observability, so
+/// it lives here next to TraceSpan and the metrics registry.
 ///
 /// Starts running on construction; `elapsed_*()` reports time since the last
 /// `reset()` (or construction).

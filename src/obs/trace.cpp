@@ -25,6 +25,119 @@ thread_local std::size_t t_buffer_rr = 0;
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Span stacks
+
+namespace {
+
+std::atomic<bool> g_span_stacks_enabled{false};
+
+/// Registry of every thread's stack. Stacks are never destroyed (threads
+/// come and go but the process-lifetime vector keeps them valid for the
+/// profiler), mirroring the leaked global registries elsewhere in obs.
+struct SpanStackRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<SpanStack>> stacks;
+};
+
+SpanStackRegistry& span_stack_registry() {
+  static SpanStackRegistry* reg = new SpanStackRegistry();
+  return *reg;
+}
+
+thread_local SpanStack* t_span_stack = nullptr;
+
+}  // namespace
+
+void set_span_stacks_enabled(bool on) {
+  g_span_stacks_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool span_stacks_enabled() {
+  return g_span_stacks_enabled.load(std::memory_order_relaxed);
+}
+
+SpanStack& current_span_stack() {
+  if (t_span_stack != nullptr) return *t_span_stack;
+  SpanStackRegistry& reg = span_stack_registry();
+  std::lock_guard lock(reg.mutex);
+  reg.stacks.push_back(std::make_unique<SpanStack>());
+  t_span_stack = reg.stacks.back().get();
+  t_span_stack->tid = Tracer::current_tid();
+  return *t_span_stack;
+}
+
+void span_stack_push(const char* name) {
+  SpanStack& st = current_span_stack();
+  const std::uint32_t d = st.depth.load(std::memory_order_relaxed);
+  if (d < SpanStack::kMaxDepth)
+    st.frames[d].store(name, std::memory_order_relaxed);
+  // The release on depth publishes the frame store above to the sampler.
+  st.depth.store(d + 1, std::memory_order_release);
+}
+
+void span_stack_pop() {
+  SpanStack& st = current_span_stack();
+  const std::uint32_t d = st.depth.load(std::memory_order_relaxed);
+  if (d > 0) st.depth.store(d - 1, std::memory_order_release);
+}
+
+void set_current_thread_parked(bool parked) {
+  current_span_stack().parked.store(parked, std::memory_order_relaxed);
+}
+
+std::vector<const char*> current_span_path() {
+  std::vector<const char*> path;
+  if (t_span_stack == nullptr) return path;
+  const SpanStack& st = *t_span_stack;
+  const std::uint32_t d = std::min<std::uint32_t>(
+      st.depth.load(std::memory_order_relaxed), SpanStack::kMaxDepth);
+  path.reserve(d);
+  for (std::uint32_t i = 0; i < d; ++i)
+    path.push_back(st.frames[i].load(std::memory_order_relaxed));
+  return path;
+}
+
+std::vector<SpanStackSample> sample_span_stacks() {
+  SpanStackRegistry& reg = span_stack_registry();
+  std::lock_guard lock(reg.mutex);
+  std::vector<SpanStackSample> samples;
+  samples.reserve(reg.stacks.size());
+  for (const auto& stack : reg.stacks) {
+    if (stack->parked.load(std::memory_order_relaxed)) continue;
+    SpanStackSample s;
+    s.tid = stack->tid;
+    const std::uint32_t before = stack->depth.load(std::memory_order_acquire);
+    const std::uint32_t copy =
+        std::min<std::uint32_t>(before, SpanStack::kMaxDepth);
+    s.truncated = before > SpanStack::kMaxDepth;
+    s.frames.reserve(copy);
+    for (std::uint32_t i = 0; i < copy; ++i)
+      s.frames.push_back(stack->frames[i].load(std::memory_order_relaxed));
+    // A depth change across the copy means the stack moved under us; the
+    // frame pointers themselves are atomic (never torn), but the *path* may
+    // mix two moments — mark the sample so the profiler can discard it.
+    const std::uint32_t after = stack->depth.load(std::memory_order_acquire);
+    s.torn = after != before;
+    for (const char* f : s.frames)
+      if (f == nullptr) s.torn = true;  // frame raced the depth publication
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+SpanStackPrefix::SpanStackPrefix(const std::vector<const char*>& names) {
+  if (!span_stacks_enabled()) return;
+  for (const char* name : names) {
+    span_stack_push(name);
+    ++pushed_;
+  }
+}
+
+SpanStackPrefix::~SpanStackPrefix() {
+  for (std::size_t i = 0; i < pushed_; ++i) span_stack_pop();
+}
+
 Tracer::Tracer()
     : tracer_id_(next_tracer_id()),
       epoch_(std::chrono::steady_clock::now()) {}

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -11,6 +12,79 @@
 #include <vector>
 
 namespace cirstag::obs {
+
+// ---------------------------------------------------------------------------
+// Span stacks — the sampling profiler's view of what each thread is doing.
+//
+// Every thread that opens a TraceSpan while span stacks are enabled keeps a
+// fixed-depth stack of the currently active span names (string literals).
+// Pushes/pops are single-writer relaxed-ish atomics on thread-local storage,
+// so the cost per span is two stores; the profiler thread reads the stacks
+// of all registered threads without stopping them (sample_span_stacks),
+// using the depth counter read before and after the frame copy to discard
+// torn samples.
+
+/// Per-thread stack of active span names. The owning thread writes, the
+/// profiler thread reads; `depth` counts every push (including those beyond
+/// kMaxDepth, whose frames are dropped) so pops always rebalance.
+struct SpanStack {
+  static constexpr std::size_t kMaxDepth = 48;
+  std::array<std::atomic<const char*>, kMaxDepth> frames{};
+  std::atomic<std::uint32_t> depth{0};
+  /// Thread is parked (pool worker waiting for a job) — the sampler skips
+  /// it entirely, so idle workers don't dilute the attribution fraction.
+  std::atomic<bool> parked{false};
+  std::uint32_t tid = 0;  ///< Tracer::current_tid() of the owning thread
+};
+
+/// Arm/disarm span-stack maintenance process-wide. Independent of tracer
+/// enablement: the profiler needs stacks without paying for event records.
+void set_span_stacks_enabled(bool on);
+[[nodiscard]] bool span_stacks_enabled();
+
+/// The calling thread's span stack (registered on first use, lives for the
+/// process). Push/pop helpers are what TraceSpan and the thread pool's
+/// span-prefix propagation use.
+[[nodiscard]] SpanStack& current_span_stack();
+void span_stack_push(const char* name);
+void span_stack_pop();
+
+/// Mark the calling thread parked/unparked (ThreadPool workers call this
+/// around their wait-for-work block). Parked threads are invisible to
+/// sample_span_stacks: a worker blocked on the pool's condition variable is
+/// not spending wall time, and counting it as "(idle)" would make the
+/// profiler's attribution fraction meaningless on wide machines.
+void set_current_thread_parked(bool parked);
+
+/// Names currently on the calling thread's stack, outermost first
+/// (truncated at SpanStack::kMaxDepth). Used by ThreadPool::run to capture
+/// the submitting thread's context for its workers.
+[[nodiscard]] std::vector<const char*> current_span_path();
+
+/// One profiler observation of one thread's stack.
+struct SpanStackSample {
+  std::uint32_t tid = 0;
+  std::vector<const char*> frames;  ///< outermost first; empty = idle
+  bool torn = false;      ///< stack changed mid-read; frames unreliable
+  bool truncated = false; ///< depth exceeded kMaxDepth
+};
+
+/// Snapshot every registered thread's span stack (profiler thread only).
+[[nodiscard]] std::vector<SpanStackSample> sample_span_stacks();
+
+/// RAII: push a sequence of span names (a parent thread's span path) onto
+/// the calling thread's stack, so a pool worker's samples attribute to the
+/// phase that launched its tasks. Pops exactly what it pushed.
+class SpanStackPrefix {
+ public:
+  explicit SpanStackPrefix(const std::vector<const char*>& names);
+  ~SpanStackPrefix();
+  SpanStackPrefix(const SpanStackPrefix&) = delete;
+  SpanStackPrefix& operator=(const SpanStackPrefix&) = delete;
+
+ private:
+  std::size_t pushed_ = 0;
+};
 
 /// Collector of nested begin/end trace spans, serializable to the Chrome
 /// "Trace Event Format" (load the JSON in chrome://tracing or Perfetto).
@@ -86,10 +160,11 @@ class Tracer {
   std::map<std::thread::id, Buffer*> buffer_by_thread_;
 };
 
-/// RAII scope: records one complete trace event covering its lifetime.
-/// `name` and `category` must outlive the span (string literals in
-/// practice). Inactive (and free of side effects) when tracing is disabled
-/// at construction time.
+/// RAII scope: records one complete trace event covering its lifetime, and
+/// (when span stacks are armed for the sampling profiler) maintains the
+/// calling thread's span stack. `name` and `category` must outlive the span
+/// (string literals in practice). Inactive (and free of side effects) when
+/// both tracing and span stacks are disabled at construction time.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "cirstag")
@@ -98,8 +173,14 @@ class TraceSpan {
       : tracer_(tracer.enabled() ? &tracer : nullptr),
         name_(name),
         category_(category),
-        start_us_(tracer_ != nullptr ? tracer.now_us() : 0.0) {}
+        pushed_(span_stacks_enabled()),
+        start_us_(tracer_ != nullptr ? tracer.now_us() : 0.0) {
+    // pushed_ remembers whether we pushed, so a mid-span toggle of the
+    // global flag never unbalances the stack.
+    if (pushed_) span_stack_push(name);
+  }
   ~TraceSpan() {
+    if (pushed_) span_stack_pop();
     if (tracer_ == nullptr) return;
     const double end_us = tracer_->now_us();
     tracer_->record({name_, category_, start_us_, end_us - start_us_,
@@ -112,6 +193,7 @@ class TraceSpan {
   Tracer* tracer_;  // nullptr when tracing was disabled at construction
   const char* name_;
   const char* category_;
+  bool pushed_;
   double start_us_;
 };
 

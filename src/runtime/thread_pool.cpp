@@ -6,6 +6,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace cirstag::runtime {
 
@@ -83,7 +84,12 @@ void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     const auto idle_start = Clock::now();
+    // Parked workers are invisible to the sampling profiler: waiting for a
+    // job is not wall time spent, and sampling it as "(idle)" would cap the
+    // attribution fraction at 1/num_threads on an idle pool.
+    obs::set_current_thread_parked(true);
     cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    obs::set_current_thread_parked(false);
     pool_idle_ns().add(ns_since(idle_start));
     if (stop_) return;
     seen = generation_;
@@ -91,13 +97,16 @@ void ThreadPool::worker_loop() {
     if (job == nullptr) continue;  // job already finished; stay parked
     ++attached_;
     lock.unlock();
-    drain(*job);
+    drain(*job, /*install_prefix=*/true);
     lock.lock();
     if (--attached_ == 0) cv_done_.notify_all();
   }
 }
 
-void ThreadPool::drain(Job& job) {
+void ThreadPool::drain(Job& job, bool install_prefix) {
+  static const std::vector<const char*> kNoPrefix;
+  const obs::SpanStackPrefix prefix(install_prefix ? job.span_prefix
+                                                   : kNoPrefix);
   t_in_parallel_region = true;
   double busy = 0.0;
   std::size_t executed = 0;
@@ -175,13 +184,16 @@ void ThreadPool::run(std::size_t num_tasks,
   job.task = &task;
   job.num_tasks = num_tasks;
   job.timer = timer;
+  if (obs::span_stacks_enabled()) job.span_prefix = obs::current_span_path();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;
     ++generation_;
   }
   cv_work_.notify_all();
-  drain(job);  // the calling thread is one of the lanes
+  // The calling thread is one of the lanes; its own span stack already
+  // carries the prefix, so only workers install it.
+  drain(job, /*install_prefix=*/false);
 
   std::unique_lock<std::mutex> lock(mutex_);
   cv_done_.wait(lock, [&] {

@@ -96,6 +96,10 @@ class ThreadPool {
     const std::function<void(std::size_t)>* task = nullptr;
     std::size_t num_tasks = 0;
     TaskTimer* timer = nullptr;
+    /// Submitting thread's span path (profiler attribution): workers push
+    /// these names while draining, so their samples fold under the phase
+    /// that launched the parallel region. Empty when span stacks are off.
+    std::vector<const char*> span_prefix;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> cancel{false};
@@ -103,7 +107,9 @@ class ThreadPool {
   };
 
   void worker_loop();
-  void drain(Job& job);
+  /// `install_prefix` is true only on the worker path — the submitting
+  /// thread's own stack already holds job.span_prefix.
+  void drain(Job& job, bool install_prefix);
   void run_serial(std::size_t num_tasks,
                   const std::function<void(std::size_t)>& task,
                   TaskTimer* timer);

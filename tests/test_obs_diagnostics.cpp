@@ -1,0 +1,517 @@
+// Second-generation diagnostics layer: histogram quantiles, registry
+// saturation behaviour, the structured logger, the numerical-health monitor
+// (including forced CG non-convergence surfacing on CirStagReport::health),
+// FNV-1a checksums + the run-provenance manifest, the sampling profiler
+// (including concurrent nested span stacks under the pool), the fast-mode
+// drift audit, and the end-to-end guarantee that every sink armed at once
+// still leaves pipeline scores byte-identical at any thread count.
+
+#include "obs/health.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "circuit/views.hpp"
+#include "core/cirstag.hpp"
+#include "core/sweep.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "json_checker.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace cirstag;
+using cirstag_test::JsonChecker;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles
+
+TEST(ObsQuantile, InterpolatesWithinBuckets) {
+  obs::MetricsRegistry reg;
+  const obs::Histogram h(reg, "q.hist", {10.0, 20.0});
+  h.observe(5.0);   // bucket 0
+  h.observe(15.0);  // bucket 1
+  h.observe(15.0);  // bucket 1
+  h.observe(25.0);  // overflow
+  const auto snap = reg.histogram_value("q.hist");
+  // rank(0.25) = 1 -> bucket 0, interpolated from the 0 lower edge.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.25), 10.0);
+  // rank(0.5) = 2 -> halfway through bucket (10, 20].
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 15.0);
+  // rank(1.0) = 4 -> overflow bucket clamps to the last finite bound.
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 20.0);
+}
+
+TEST(ObsQuantile, EmptyHistogramIsZeroAndInputsAreClamped) {
+  obs::MetricsRegistry reg;
+  const obs::Histogram h(reg, "q.empty", {1.0, 2.0});
+  const auto empty = reg.histogram_value("q.empty");
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  h.observe(0.5);
+  const auto one = reg.histogram_value("q.empty");
+  // q outside [0, 1] clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(one.quantile(-3.0), one.quantile(0.0));
+  EXPECT_DOUBLE_EQ(one.quantile(7.0), one.quantile(1.0));
+}
+
+TEST(ObsQuantile, JsonCarriesQuantileEstimates) {
+  obs::MetricsRegistry reg;
+  const obs::Histogram h(reg, "q.json", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5 + 0.03 * i);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Registry saturation: capacity is enforced at registration time with a
+// clear exception, never by corrupting the fixed tables.
+
+TEST(ObsSaturation, CounterTableOverflowThrowsAtRegistration) {
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0; i < obs::MetricsRegistry::kMaxCounters; ++i)
+    (void)obs::Counter(reg, "sat.counter." + std::to_string(i));
+  EXPECT_THROW((void)obs::Counter(reg, "sat.counter.overflow"),
+               std::length_error);
+  // Existing counters keep working after the failed registration.
+  const obs::Counter again(reg, "sat.counter.0");
+  again.add(3);
+  EXPECT_EQ(reg.counter_value("sat.counter.0"), 3u);
+}
+
+TEST(ObsSaturation, HistogramTableOverflowThrowsAtRegistration) {
+  obs::MetricsRegistry reg;
+  for (std::size_t i = 0; i < obs::MetricsRegistry::kMaxHistograms; ++i)
+    (void)obs::Histogram(reg, "sat.hist." + std::to_string(i), {1.0});
+  EXPECT_THROW((void)obs::Histogram(reg, "sat.hist.overflow", {1.0}),
+               std::length_error);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logger
+
+TEST(ObsLog, ParseLevelAcceptsKnownNamesOnly) {
+  EXPECT_EQ(obs::parse_log_level("debug", obs::LogLevel::info),
+            obs::LogLevel::debug);
+  EXPECT_EQ(obs::parse_log_level("warn", obs::LogLevel::info),
+            obs::LogLevel::warn);
+  EXPECT_EQ(obs::parse_log_level("off", obs::LogLevel::info),
+            obs::LogLevel::off);
+  EXPECT_EQ(obs::parse_log_level("bogus", obs::LogLevel::error),
+            obs::LogLevel::error);
+  EXPECT_EQ(obs::parse_log_level(nullptr, obs::LogLevel::warn),
+            obs::LogLevel::warn);
+}
+
+TEST(ObsLog, ThresholdFiltersAndJsonMirrorIsWellFormed) {
+  obs::Logger logger;
+  logger.set_stderr_enabled(false);
+  const std::string path = temp_path("obs_log_test.jsonl");
+  ASSERT_TRUE(logger.set_json_path(path));
+
+  logger.set_level(obs::LogLevel::warn);
+  const auto before = logger.records_emitted();
+  logger.log(obs::LogLevel::info, "test", "filtered out");
+  EXPECT_EQ(logger.records_emitted(), before);
+  logger.log(obs::LogLevel::warn, "test", "kept \"quoted\"\\");
+  logger.logf(obs::LogLevel::error, "test", "value %d", 42);
+  EXPECT_EQ(logger.records_emitted(), before + 2);
+  ASSERT_TRUE(logger.set_json_path(""));  // close + flush the mirror
+
+  std::istringstream lines(slurp(path));
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(JsonChecker(line).valid()) << line;
+    EXPECT_NE(line.find("\"level\""), std::string::npos);
+    EXPECT_NE(line.find("\"subsystem\""), std::string::npos);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Health monitor
+
+TEST(ObsHealth, RecordCollectSinceAndSeverityCounting) {
+  obs::HealthMonitor mon;
+  mon.record("a.info", "fine", 1.0, 0.0, obs::HealthSeverity::info);
+  const std::uint64_t begin = mon.next_index();
+  mon.record("b.warn", "meh", 2.0, 1.0, obs::HealthSeverity::warning);
+  mon.record("c.error", "bad", 3.0, 1.0, obs::HealthSeverity::error);
+
+  const obs::HealthReport all = mon.collect();
+  EXPECT_EQ(all.events.size(), 3u);
+  EXPECT_FALSE(all.ok());
+
+  const obs::HealthReport scoped = mon.collect_since(begin);
+  ASSERT_EQ(scoped.events.size(), 2u);
+  EXPECT_EQ(scoped.events[0].kind, "b.warn");
+  EXPECT_EQ(scoped.count(obs::HealthSeverity::warning), 1u);
+  EXPECT_EQ(scoped.count(obs::HealthSeverity::error), 1u);
+  EXPECT_TRUE(JsonChecker(scoped.to_json()).valid()) << scoped.to_json();
+
+  mon.clear();
+  EXPECT_TRUE(mon.collect().events.empty());
+  // Sequence numbers keep increasing across clear().
+  mon.record("d.info", "", 0.0, 0.0, obs::HealthSeverity::info);
+  EXPECT_GE(mon.collect().events[0].index, begin + 2);
+}
+
+TEST(ObsHealth, BufferBoundDegradesToDropCounter) {
+  obs::HealthMonitor mon;
+  for (std::size_t i = 0; i < obs::HealthMonitor::kMaxEvents + 10; ++i)
+    mon.record("flood", "", 0.0, 0.0, obs::HealthSeverity::info);
+  const obs::HealthReport r = mon.collect();
+  EXPECT_EQ(r.events.size(), obs::HealthMonitor::kMaxEvents);
+  EXPECT_EQ(r.dropped, 10u);
+}
+
+TEST(ObsHealth, DisabledMonitorRecordsNothing) {
+  obs::HealthMonitor mon;
+  mon.set_enabled(false);
+  mon.record("x", "", 0.0, 0.0, obs::HealthSeverity::error);
+  EXPECT_TRUE(mon.collect().events.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline fixtures
+
+core::CirStagConfig diag_config() {
+  core::CirStagConfig cfg;
+  cfg.embedding.dimensions = 8;
+  cfg.manifold.knn.k = 8;
+  cfg.manifold.sparsify.resistance.num_probes = 12;
+  cfg.stability.eigensubspace_dim = 6;
+  cfg.stability.subspace_iterations = 25;
+  return cfg;
+}
+
+core::CirStagReport run_diag_pipeline(const core::CirStagConfig& cfg) {
+  const std::size_t n = 60;
+  graphs::Graph g(n);
+  for (graphs::NodeId i = 0; i < n; ++i)
+    g.add_edge(i, static_cast<graphs::NodeId>((i + 1) % n));
+  linalg::Matrix y(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta =
+        2.0 * 3.14159265358979323846 * static_cast<double>(i) / n;
+    const double r = (i >= 10 && i <= 15) ? 6.0 : 1.0;
+    y(i, 0) = r * std::cos(theta);
+    y(i, 1) = r * std::sin(theta);
+  }
+  const core::CirStag analyzer(cfg);
+  return analyzer.analyze(g, y);
+}
+
+TEST(ObsHealth, ForcedNonConvergenceSurfacesOnReport) {
+  obs::HealthMonitor::global().set_enabled(true);
+  core::CirStagConfig cfg = diag_config();
+  // A 1-iteration CG budget cannot converge the Phase-3 subspace solves;
+  // the run must finish (degraded, finite) and say so in its health report.
+  cfg.stability.cg_max_iterations = 1;
+  const core::CirStagReport report = run_diag_pipeline(cfg);
+
+  bool unconverged_seen = false;
+  for (const auto& e : report.health.events)
+    if (e.kind.find("unconverged") != std::string::npos) {
+      unconverged_seen = true;
+      EXPECT_EQ(e.severity, obs::HealthSeverity::warning) << e.kind;
+    }
+  EXPECT_TRUE(unconverged_seen);
+  EXPECT_FALSE(report.health.ok());
+  for (double s : report.node_scores) ASSERT_TRUE(std::isfinite(s));
+}
+
+TEST(ObsHealth, HealthyRunReportsNoWarningsOrErrors) {
+  obs::HealthMonitor::global().set_enabled(true);
+  const core::CirStagReport report = run_diag_pipeline(diag_config());
+  EXPECT_TRUE(report.health.ok()) << report.health.to_json();
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a checksums + manifest
+
+TEST(ObsManifest, Fnv1aIsDeterministicAndOrderSensitive) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 1.0, 3.0};
+  EXPECT_EQ(obs::fnv1a_doubles(a), obs::fnv1a_doubles(a));
+  EXPECT_NE(obs::fnv1a_doubles(a), obs::fnv1a_doubles(b));
+  EXPECT_NE(obs::fnv1a_doubles(a), obs::kFnv1aOffset);
+  // -0.0 and +0.0 compare equal but have different bit patterns — the
+  // checksum is over bits, so it distinguishes them.
+  const std::vector<double> pz{0.0};
+  const std::vector<double> nz{-0.0};
+  EXPECT_NE(obs::fnv1a_doubles(pz), obs::fnv1a_doubles(nz));
+}
+
+TEST(ObsManifest, HexRenderingIsFixedWidthLowercase) {
+  EXPECT_EQ(obs::fnv1a_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::fnv1a_hex(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(obs::fnv1a_hex(~0ULL), "ffffffffffffffff");
+}
+
+TEST(ObsManifest, BuilderRendersOrderedWellFormedJson) {
+  obs::ManifestBuilder mb;
+  mb.set_string("run", "command", "test \"quoted\"");
+  mb.set_uint("run", "threads", 4);
+  mb.set_bool("run", "flag", true);
+  mb.set_number("config", "factor", 2.5);
+  mb.set_raw("config", "list", "[1, 2, 3]");
+  obs::PhaseChecksums cs;
+  cs.input_graph = 1;
+  cs.node_scores = 2;
+  mb.set_checksums("checksums", cs);
+
+  const std::string json = mb.to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Builder-provided provenance plus the caller's sections.
+  EXPECT_NE(json.find("\"manifest\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(json.find("\"input_graph\": \"0000000000000001\""),
+            std::string::npos);
+  // Sections render in insertion order; identical input -> identical bytes.
+  EXPECT_LT(json.find("\"run\""), json.find("\"config\""));
+  EXPECT_EQ(json, mb.to_json());
+  EXPECT_TRUE(JsonChecker(cs.to_json()).valid()) << cs.to_json();
+}
+
+TEST(ObsManifest, PhaseChecksumsAreThreadCountInvariant) {
+  core::CirStagConfig cfg = diag_config();
+  cfg.threads = 1;
+  const core::CirStagReport serial = run_diag_pipeline(cfg);
+  cfg.threads = 4;
+  const core::CirStagReport wide = run_diag_pipeline(cfg);
+  runtime::set_global_threads(0);
+
+  EXPECT_NE(serial.checksums.input_graph, 0u);
+  EXPECT_NE(serial.checksums.node_scores, 0u);
+  EXPECT_EQ(serial.checksums.input_graph, wide.checksums.input_graph);
+  EXPECT_EQ(serial.checksums.embedding, wide.checksums.embedding);
+  EXPECT_EQ(serial.checksums.manifold_x, wide.checksums.manifold_x);
+  EXPECT_EQ(serial.checksums.manifold_y, wide.checksums.manifold_y);
+  EXPECT_EQ(serial.checksums.eigenvalues, wide.checksums.eigenvalues);
+  EXPECT_EQ(serial.checksums.node_scores, wide.checksums.node_scores);
+  EXPECT_EQ(serial.checksums.edge_scores, wide.checksums.edge_scores);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling profiler
+
+TEST(ObsProfiler, AttributesSamplesToNestedSpans) {
+  obs::SamplingProfiler profiler;
+  profiler.start(1000.0);
+  {
+    const obs::TraceSpan outer("obs_diag.outer", "test");
+    const obs::TraceSpan inner("obs_diag.inner", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  profiler.stop();
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_GE(snap.total_samples, 1u);
+  EXPECT_GE(snap.attributed_samples, 1u);
+  EXPECT_GT(snap.attribution_fraction(), 0.0);
+  EXPECT_GT(snap.duration_seconds, 0.0);
+  ASSERT_FALSE(snap.folded.empty());
+  EXPECT_TRUE(snap.folded.count("obs_diag.outer;obs_diag.inner"))
+      << snap.to_folded();
+  EXPECT_GE(snap.self_samples.at("obs_diag.inner"), 1u);
+
+  // Folded text: one "path count" line per stack, flamegraph-ready.
+  const std::string folded = snap.to_folded();
+  EXPECT_NE(folded.find("obs_diag.outer;obs_diag.inner "), std::string::npos);
+  EXPECT_TRUE(JsonChecker(snap.to_json()).valid()) << snap.to_json();
+  // Sampling stopped: spans opened now must not change the snapshot.
+  { const obs::TraceSpan late("obs_diag.late", "test"); }
+  EXPECT_EQ(profiler.snapshot().total_samples, snap.total_samples);
+}
+
+TEST(ObsProfiler, ConcurrentNestedSpansUnderPoolAreSampledSafely) {
+  runtime::set_global_threads(4);
+  obs::SamplingProfiler profiler;
+  profiler.start(4000.0);
+  for (int round = 0; round < 4; ++round) {
+    const obs::TraceSpan submit("obs_diag.submit", "test");
+    runtime::parallel_for(0, 256, 1, [&](std::size_t i) {
+      const obs::TraceSpan task("obs_diag.task", "test");
+      const obs::TraceSpan leaf(i % 2 ? "obs_diag.odd" : "obs_diag.even",
+                                "test");
+      volatile double acc = 0.0;
+      for (int k = 0; k < 20000; ++k) acc = acc + std::sqrt(double(k));
+    });
+  }
+  profiler.stop();
+  runtime::set_global_threads(0);
+
+  const obs::ProfileSnapshot snap = profiler.snapshot();
+  EXPECT_GE(snap.total_samples, 1u);
+  // Worker stacks inherit the submitting thread's prefix, so any sample that
+  // landed in a task leaf must carry the full path.
+  for (const auto& [path, count] : snap.folded) {
+    if (path.find("obs_diag.task") != std::string::npos)
+      EXPECT_EQ(path.find("obs_diag.submit;obs_diag.task"), 0u) << path;
+    EXPECT_GE(count, 1u);
+  }
+}
+
+TEST(ObsProfiler, StartStopAreIdempotentAndRestoreSpanStacks) {
+  ASSERT_FALSE(obs::span_stacks_enabled());
+  obs::SamplingProfiler profiler;
+  profiler.start(100.0);
+  EXPECT_TRUE(profiler.running());
+  EXPECT_TRUE(obs::span_stacks_enabled());
+  profiler.start(100.0);  // no-op
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(obs::span_stacks_enabled());
+  profiler.stop();  // no-op
+}
+
+// ---------------------------------------------------------------------------
+// Fast-mode drift audit
+
+TEST(ObsSweepAudit, AuditPopulatesDriftAndRecordsHealthEvents) {
+  static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.num_gates = 120;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  spec.num_levels = 7;
+  spec.seed = 77;
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = 60;
+  gopts.hidden_dim = 16;
+  gnn::TimingGnn model(nl, gopts);
+  model.train();
+
+  std::vector<circuit::PinId> cell_inputs;
+  for (circuit::PinId p = 0; p < nl.num_pins(); ++p)
+    if (nl.pin(p).kind == circuit::PinKind::CellInput)
+      cell_inputs.push_back(p);
+  std::vector<core::SweepVariant> variants(2);
+  for (std::size_t v = 0; v < variants.size(); ++v)
+    for (std::size_t j = 0; j < 4; ++j)
+      variants[v].cap_scalings.push_back(
+          {cell_inputs[(v * 4 + j) % cell_inputs.size()], 1.5 + 0.1 * v});
+
+  obs::HealthMonitor::global().set_enabled(true);
+  core::SweepOptions opts;
+  opts.config = diag_config();
+  opts.exact = false;
+  opts.audit_drift = true;
+  core::SweepEngine engine(nl, model, opts);
+
+  const std::uint64_t begin = obs::HealthMonitor::global().next_index();
+  const auto results = engine.run(variants);
+  const obs::HealthReport health =
+      obs::HealthMonitor::global().collect_since(begin);
+
+  ASSERT_EQ(results.size(), variants.size());
+  for (const auto& r : results) {
+    EXPECT_GE(r.stats.audited_drift, 0.0);
+    EXPECT_LE(r.stats.audited_drift, core::kFastScoreDriftTolerance);
+  }
+  std::size_t drift_events = 0;
+  for (const auto& e : health.events)
+    if (e.kind == "sweep.drift") ++drift_events;
+  EXPECT_EQ(drift_events, variants.size());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end identity: every sink armed at once (profiler at 200 Hz, health
+// monitors, tracer, metrics, JSON log mirror) must leave scores byte-
+// identical to a fully uninstrumented run, at 1 and N threads.
+
+core::CirStagReport run_fully_instrumented(std::size_t threads) {
+  core::CirStagConfig cfg = diag_config();
+  cfg.threads = threads;
+
+  obs::MetricsRegistry::global().set_enabled(true);
+  obs::Tracer::global().set_enabled(true);
+  obs::HealthMonitor::global().set_enabled(true);
+  const std::string log_path = temp_path("obs_diag_identity.jsonl");
+  EXPECT_TRUE(obs::Logger::global().set_json_path(log_path));
+
+  obs::SamplingProfiler profiler;
+  profiler.start(200.0);
+  const core::CirStagReport report = run_diag_pipeline(cfg);
+  profiler.stop();
+
+  EXPECT_TRUE(obs::Logger::global().set_json_path(""));
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  std::remove(log_path.c_str());
+  return report;
+}
+
+core::CirStagReport run_uninstrumented(std::size_t threads) {
+  core::CirStagConfig cfg = diag_config();
+  cfg.threads = threads;
+  obs::MetricsRegistry::global().set_enabled(false);
+  obs::HealthMonitor::global().set_enabled(false);
+  const core::CirStagReport report = run_diag_pipeline(cfg);
+  obs::MetricsRegistry::global().set_enabled(true);
+  obs::HealthMonitor::global().set_enabled(true);
+  return report;
+}
+
+TEST(ObsDiagnosticsIdentity, AllSinksArmedScoresByteIdenticalAcrossThreads) {
+  const core::CirStagReport bare = run_uninstrumented(1);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const core::CirStagReport full = run_fully_instrumented(threads);
+    ASSERT_EQ(full.node_scores.size(), bare.node_scores.size());
+    for (std::size_t i = 0; i < full.node_scores.size(); ++i)
+      ASSERT_EQ(full.node_scores[i], bare.node_scores[i])
+          << "node " << i << " @" << threads << " threads";
+    ASSERT_EQ(full.edge_scores.size(), bare.edge_scores.size());
+    for (std::size_t i = 0; i < full.edge_scores.size(); ++i)
+      ASSERT_EQ(full.edge_scores[i], bare.edge_scores[i])
+          << "edge " << i << " @" << threads << " threads";
+    ASSERT_EQ(full.eigenvalues.size(), bare.eigenvalues.size());
+    for (std::size_t i = 0; i < full.eigenvalues.size(); ++i)
+      ASSERT_EQ(full.eigenvalues[i], bare.eigenvalues[i])
+          << "eig " << i << " @" << threads << " threads";
+    // Checksums certify the same thing from inside the manifest.
+    EXPECT_EQ(full.checksums.node_scores, bare.checksums.node_scores);
+    EXPECT_EQ(full.checksums.edge_scores, bare.checksums.edge_scores);
+  }
+  runtime::set_global_threads(0);
+}
+
+}  // namespace

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""CI perf-regression gate over deterministic benchmark counters.
+"""CI gate over deterministic benchmark counters and run-provenance documents.
 
-Compares one or more google-benchmark JSON reports (bench_micro / bench_sweep
---perf-json out.json) against the checked-in baseline
+Default mode compares one or more google-benchmark JSON reports (bench_micro /
+bench_sweep --perf-json out.json) against the checked-in baseline
 bench/BENCH_baseline.json. The gate is on deterministic *counters* (CG
 iteration counts, subspace sweep counts), not wall time: the math is
 bit-identical across machines and thread counts, so the counts are
@@ -16,9 +16,24 @@ Baseline schema: {"counter": <default counter>, "max_ratio": <default>,
 (gated on the default counter) or an object
 {"counter": name, "value": N[, "max_ratio": R]} for per-entry overrides.
 
-Exit status: 0 when every baseline row is present and within threshold,
-1 on a regression or a baseline row missing from the current reports,
-2 on malformed input.
+Additional modes over the cirstag_cli observability outputs:
+
+  --check-manifest M.json [...]   validate --manifest-json documents: the
+                                  manifest/build/run sections must be present
+                                  and checksums must be 16-digit lower hex
+  --diff-manifests A.json B.json  compare two manifests' per-phase checksums
+                                  key by key (e.g. current run vs the stored
+                                  bench/MANIFEST_baseline.json, or a 1-thread
+                                  vs an N-thread run); build/run provenance
+                                  may differ, the checksums may not
+  --check-health M.json [...]     validate the "health" section embedded in
+                                  --metrics-json documents (or a standalone
+                                  health report); exits 1 when any
+                                  error-severity event was recorded
+
+Exit status: 0 on success, 1 on a regression / checksum mismatch /
+error-severity health event, 2 on malformed input (every schema problem is
+reported with the offending file and key, never a bare traceback).
 
 Usage: check_bench_regression.py <report.json> [report2.json ...] [baseline.json]
 (the baseline is recognized by its dict-valued "benchmarks"; when none is
@@ -26,10 +41,18 @@ given, bench/BENCH_baseline.json is used)
 """
 
 import json
+import re
 import sys
 from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "bench" / "BENCH_baseline.json"
+
+HEX16 = re.compile(r"^[0-9a-f]{16}$")
+CHECKSUM_KEYS = (
+    "input_graph", "embedding", "manifold_x", "manifold_y",
+    "eigenvalues", "node_scores", "edge_scores",
+)
+SEVERITIES = ("info", "warning", "error")
 
 
 def load_json(path):
@@ -41,14 +64,20 @@ def load_json(path):
         sys.exit(2)
 
 
-def main(argv):
-    if len(argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
+# ---------------------------------------------------------------------------
+# Benchmark-counter gate (default mode)
+
+
+def run_bench_gate(argv):
     baseline = None
     reports = []
-    for path in argv[1:]:
+    report_paths = []
+    for path in argv:
         data = load_json(path)
+        if not isinstance(data, dict):
+            print(f"error: {path}: top-level JSON must be an object",
+                  file=sys.stderr)
+            return 2
         if isinstance(data.get("benchmarks"), dict):
             if baseline is not None:
                 print("error: more than one baseline file given", file=sys.stderr)
@@ -56,6 +85,7 @@ def main(argv):
             baseline = data
         else:
             reports.append(data)
+            report_paths.append(path)
     if baseline is None:
         baseline = load_json(DEFAULT_BASELINE)
     if not reports:
@@ -63,7 +93,12 @@ def main(argv):
         return 2
 
     default_counter = baseline.get("counter", "cg_iters")
-    default_ratio = float(baseline.get("max_ratio", 2.0))
+    try:
+        default_ratio = float(baseline.get("max_ratio", 2.0))
+    except (TypeError, ValueError):
+        print(f"error: baseline 'max_ratio' is not a number: "
+              f"{baseline.get('max_ratio')!r}", file=sys.stderr)
+        return 2
     expected = baseline.get("benchmarks", {})
     if not expected:
         print("error: baseline has no benchmarks", file=sys.stderr)
@@ -71,8 +106,17 @@ def main(argv):
 
     # Plain (non-aggregate) rows only; aggregates repeat the same counters.
     observed = {}
-    for report in reports:
-        for row in report.get("benchmarks", []):
+    for path, report in zip(report_paths, reports):
+        rows = report.get("benchmarks")
+        if not isinstance(rows, list):
+            print(f"error: {path}: no 'benchmarks' array (is this a "
+                  f"google-benchmark --benchmark_out JSON?)", file=sys.stderr)
+            return 2
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or "name" not in row:
+                print(f"error: {path}: benchmarks[{i}] has no 'name' field",
+                      file=sys.stderr)
+                return 2
             if row.get("run_type", "iteration") != "iteration":
                 continue
             observed[row["name"]] = row
@@ -82,18 +126,35 @@ def main(argv):
     for name, spec in sorted(expected.items()):
         if isinstance(spec, dict):
             counter = spec.get("counter", default_counter)
-            base_value = float(spec["value"])
-            max_ratio = float(spec.get("max_ratio", default_ratio))
+            if "value" not in spec:
+                print(f"error: baseline entry '{name}' is an object without "
+                      f"a 'value' key", file=sys.stderr)
+                return 2
+            raw_value = spec["value"]
+            raw_ratio = spec.get("max_ratio", default_ratio)
         else:
             counter = default_counter
-            base_value = float(spec)
-            max_ratio = default_ratio
+            raw_value = spec
+            raw_ratio = default_ratio
+        try:
+            base_value = float(raw_value)
+            max_ratio = float(raw_ratio)
+        except (TypeError, ValueError):
+            print(f"error: baseline entry '{name}': 'value'/'max_ratio' must "
+                  f"be numbers (got {raw_value!r}, {raw_ratio!r})",
+                  file=sys.stderr)
+            return 2
         row = observed.get(name)
         if row is None or counter not in row:
             print(f"{name:<40} {counter:>16} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
             failures.append(f"{name}: counter {counter} missing from current reports")
             continue
-        value = float(row[counter])
+        try:
+            value = float(row[counter])
+        except (TypeError, ValueError):
+            print(f"error: report row '{name}': counter '{counter}' is not "
+                  f"a number (got {row[counter]!r})", file=sys.stderr)
+            return 2
         ratio = value / base_value if base_value > 0 else float("inf")
         verdict = ""
         if ratio > max_ratio:
@@ -119,6 +180,162 @@ def main(argv):
         return 1
     print(f"\nOK: {len(expected)} benchmark(s) within threshold")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Run-provenance manifest validation / diffing
+
+
+def manifest_problems(path, doc):
+    """Schema problems of one --manifest-json document, each naming the key."""
+    problems = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level JSON must be an object"]
+    for section in ("manifest", "build", "run"):
+        if not isinstance(doc.get(section), dict):
+            problems.append(f"{path}: missing or non-object section '{section}'")
+    manifest = doc.get("manifest")
+    if isinstance(manifest, dict) and manifest.get("schema_version") != 1:
+        problems.append(f"{path}: manifest.schema_version is "
+                        f"{manifest.get('schema_version')!r}, expected 1")
+    build = doc.get("build")
+    if isinstance(build, dict):
+        for key in ("git_describe", "build_type", "compiler"):
+            if not isinstance(build.get(key), str):
+                problems.append(f"{path}: build.{key} missing or not a string")
+    run = doc.get("run")
+    if isinstance(run, dict) and not isinstance(run.get("command"), str):
+        problems.append(f"{path}: run.command missing or not a string")
+    checksums = doc.get("checksums")
+    if checksums is not None:
+        if not isinstance(checksums, dict):
+            problems.append(f"{path}: 'checksums' is not an object")
+        else:
+            for key in CHECKSUM_KEYS:
+                value = checksums.get(key)
+                if not isinstance(value, str) or not HEX16.match(value):
+                    problems.append(
+                        f"{path}: checksums.{key} is {value!r}, expected a "
+                        f"16-digit lower-hex string")
+    return problems
+
+
+def run_check_manifest(paths):
+    if not paths:
+        print("error: --check-manifest needs at least one manifest", file=sys.stderr)
+        return 2
+    problems = []
+    for path in paths:
+        problems += manifest_problems(path, load_json(path))
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if not problems:
+        print(f"OK: {len(paths)} manifest(s) valid")
+    return 2 if problems else 0
+
+
+def run_diff_manifests(paths):
+    if len(paths) != 2:
+        print("error: --diff-manifests needs exactly two manifests", file=sys.stderr)
+        return 2
+    docs = [load_json(p) for p in paths]
+    problems = []
+    for path, doc in zip(paths, docs):
+        problems += manifest_problems(path, doc)
+        if isinstance(doc, dict) and doc.get("checksums") is None:
+            problems.append(f"{path}: no 'checksums' section to diff (only "
+                            f"'analyze' and 'sweep' runs record them)")
+    if problems:
+        for p in problems:
+            print(f"error: {p}", file=sys.stderr)
+        return 2
+
+    mismatches = []
+    print(f"{'phase':<16} {paths[0]:>20} {paths[1]:>20}")
+    for key in CHECKSUM_KEYS:
+        a = docs[0]["checksums"][key]
+        b = docs[1]["checksums"][key]
+        marker = "" if a == b else "  MISMATCH"
+        print(f"{key:<16} {a:>20} {b:>20}{marker}")
+        if a != b:
+            mismatches.append(key)
+    if mismatches:
+        print(f"\nFAIL: per-phase checksums differ at: {', '.join(mismatches)}",
+              file=sys.stderr)
+        return 1
+    print("\nOK: all per-phase checksums match")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Health-report validation
+
+
+def run_check_health(paths):
+    if not paths:
+        print("error: --check-health needs at least one document", file=sys.stderr)
+        return 2
+    problems = []
+    error_events = []
+    for path in paths:
+        doc = load_json(path)
+        # Accept a --metrics-json document (health embedded) or a standalone
+        # health report.
+        health = doc.get("health", doc) if isinstance(doc, dict) else None
+        if not isinstance(health, dict) or "events" not in health:
+            problems.append(f"{path}: no 'health' section with an 'events' array")
+            continue
+        events = health["events"]
+        if not isinstance(events, list):
+            problems.append(f"{path}: health.events is not an array")
+            continue
+        for key, kind in (("ok", bool), ("dropped", (int, float))):
+            if not isinstance(health.get(key), kind):
+                problems.append(f"{path}: health.{key} missing or wrong type")
+        for i, event in enumerate(events):
+            if not isinstance(event, dict):
+                problems.append(f"{path}: health.events[{i}] is not an object")
+                continue
+            for key in ("kind", "severity", "detail"):
+                if not isinstance(event.get(key), str):
+                    problems.append(
+                        f"{path}: health.events[{i}].{key} missing or not a string")
+            for key in ("value", "threshold", "index"):
+                if not isinstance(event.get(key), (int, float)):
+                    problems.append(
+                        f"{path}: health.events[{i}].{key} missing or not a number")
+            if event.get("severity") not in SEVERITIES:
+                problems.append(
+                    f"{path}: health.events[{i}].severity is "
+                    f"{event.get('severity')!r}, expected one of {SEVERITIES}")
+            elif event["severity"] == "error":
+                error_events.append(
+                    f"{path}: {event.get('kind', '?')}: {event.get('detail', '')}")
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if problems:
+        return 2
+    if error_events:
+        print(f"FAIL: {len(error_events)} error-severity health event(s):",
+              file=sys.stderr)
+        for e in error_events:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {len(paths)} health report(s) valid, no error-severity events")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--check-manifest":
+        return run_check_manifest(argv[2:])
+    if argv[1] == "--diff-manifests":
+        return run_diff_manifests(argv[2:])
+    if argv[1] == "--check-health":
+        return run_check_health(argv[2:])
+    return run_bench_gate(argv[1:])
 
 
 if __name__ == "__main__":

@@ -13,10 +13,13 @@
 // thread count). Netlists use the plain-text "cirstag-netlist 1" format
 // (circuit/io.hpp).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <cmath>
 
@@ -29,7 +32,11 @@
 #include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
 #include "linalg/rng.hpp"
+#include "obs/health.hpp"
+#include "obs/log.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/ascii.hpp"
@@ -74,7 +81,29 @@ constexpr const char* kUsage =
     "                       Event Format file (open in chrome://tracing or\n"
     "                       Perfetto); instrumentation never changes results\n"
     "  --metrics-json PATH  write the aggregated metrics registry (counters,\n"
-    "                       gauges, histograms) as JSON on exit\n"
+    "                       gauges, histograms with p50/p95/p99) as JSON on\n"
+    "                       exit, with the run's health report and profiler\n"
+    "                       summary embedded when those are armed\n"
+    "  --profile-folded P   run the in-process sampling profiler for the\n"
+    "                       whole command and write folded stacks to P\n"
+    "                       (flamegraph.pl / inferno / speedscope input)\n"
+    "  --profile-hz HZ      sampling frequency of --profile-folded (200)\n"
+    "  --manifest-json P    write a run-provenance manifest (git describe,\n"
+    "                       build flags, resolved config, seeds, per-phase\n"
+    "                       FNV-1a checksums) to P\n"
+    "  --health 0|1         numerical-health monitors: CG convergence, Ritz\n"
+    "                       residuals, NaN/Inf sentinels, drift audits\n"
+    "                       (default 1; monitors only read already-produced\n"
+    "                       values, scores are unchanged either way)\n"
+    "  --log-json PATH      mirror diagnostics as JSON lines to PATH\n"
+    "  --log-level L        debug|info|warn|error|off (default: the\n"
+    "                       CIRSTAG_LOG_LEVEL env var, else info)\n"
+    "\n"
+    "sweep knobs:\n"
+    "  --audit-drift 0|1    fast mode only: re-run the naive pipeline per\n"
+    "                       variant and record the relative-L2 score drift\n"
+    "                       as a health event (default 0; expensive — it\n"
+    "                       exists to audit the documented 0.08 bound)\n"
     "\n"
     "analyze solver knobs:\n"
     "  --probes P           JL probe count of the resistance sketch (24)\n"
@@ -94,11 +123,11 @@ std::map<std::string, std::string> parse_options(int argc, char** argv,
   std::map<std::string, std::string> opts;
   for (int i = start; i < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
-      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      obs::logf_error("cli", "unexpected argument '%s'", argv[i]);
       std::exit(2);
     }
     if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value for option '%s'\n", argv[i]);
+      obs::logf_error("cli", "missing value for option '%s'", argv[i]);
       std::exit(2);
     }
     opts[argv[i] + 2] = argv[i + 1];
@@ -109,8 +138,8 @@ std::map<std::string, std::string> parse_options(int argc, char** argv,
 [[noreturn]] void bad_option_value(const std::string& key,
                                    const std::string& value,
                                    const char* expected) {
-  std::fprintf(stderr, "invalid value '%s' for option '--%s' (expected %s)\n",
-               value.c_str(), key.c_str(), expected);
+  obs::logf_error("cli", "invalid value '%s' for option '--%s' (expected %s)",
+                  value.c_str(), key.c_str(), expected);
   std::exit(2);
 }
 
@@ -148,38 +177,122 @@ std::string opt_str(const std::map<std::string, std::string>& opts,
   return it == opts.end() ? fallback : it->second;
 }
 
-/// Output paths of --trace-json / --metrics-json; written by main() after
-/// the command returns so the files cover the whole run.
+/// Output paths of --trace-json / --metrics-json / --profile-folded /
+/// --manifest-json; written by main() after the command returns so the
+/// files cover the whole run.
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_profile_path;
+std::string g_manifest_path;
+std::uint64_t g_health_begin = 0;
 
 /// Honors the global flags every command accepts: --threads sizes the pool,
-/// --trace-json / --metrics-json arm the observability sinks.
+/// --trace-json / --metrics-json / --profile-folded / --manifest-json arm
+/// the observability sinks, --health gates the numerical-health monitors,
+/// --log-level / --log-json configure the structured logger.
 void apply_global_flags(const std::map<std::string, std::string>& opts) {
   const std::size_t n = opt_size(opts, "threads", 0);
   if (n > 0) runtime::set_global_threads(n);
+
+  const std::string level = opt_str(opts, "log-level", "");
+  if (!level.empty()) {
+    const auto parsed =
+        obs::parse_log_level(level.c_str(), obs::LogLevel::off);
+    if (parsed == obs::LogLevel::off && level != "off")
+      bad_option_value("log-level", level,
+                       "debug|info|warn|error|off");
+    obs::Logger::global().set_level(parsed);
+  }
+  const std::string log_json = opt_str(opts, "log-json", "");
+  if (!log_json.empty() && !obs::Logger::global().set_json_path(log_json))
+    obs::logf_error("cli", "cannot open log sink %s", log_json.c_str());
+
+  obs::HealthMonitor::global().set_enabled(opt_size(opts, "health", 1) != 0);
+  g_health_begin = obs::HealthMonitor::global().next_index();
+
   g_trace_path = opt_str(opts, "trace-json", "");
   g_metrics_path = opt_str(opts, "metrics-json", "");
+  g_profile_path = opt_str(opts, "profile-folded", "");
+  g_manifest_path = opt_str(opts, "manifest-json", "");
   if (!g_trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  if (!g_profile_path.empty())
+    obs::SamplingProfiler::global().start(opt_double(opts, "profile-hz", 200.0));
 }
 
 /// Flush the observability sinks (no-ops when the flags were absent).
 void write_observability_outputs() {
+  auto& profiler = obs::SamplingProfiler::global();
+  if (profiler.running()) {
+    profiler.stop();
+    profiler.export_metrics();
+  }
+  if (!g_profile_path.empty()) {
+    const auto snap = profiler.snapshot();
+    if (profiler.write_folded(g_profile_path)) {
+      std::printf("profile written to %s (%llu samples, %.0f%% attributed)\n",
+                  g_profile_path.c_str(),
+                  static_cast<unsigned long long>(snap.total_samples),
+                  100.0 * snap.attribution_fraction());
+    } else {
+      obs::logf_error("cli", "cannot write profile to %s",
+                      g_profile_path.c_str());
+    }
+  }
+  const obs::HealthReport health =
+      obs::HealthMonitor::global().collect_since(g_health_begin);
+  if (!health.ok()) {
+    obs::log_warn(
+        "health",
+        "run recorded " +
+            std::to_string(health.count(obs::HealthSeverity::warning)) +
+            " warning(s) and " +
+            std::to_string(health.count(obs::HealthSeverity::error)) +
+            " error(s); see --metrics-json \"health\" section");
+  }
   if (!g_trace_path.empty()) {
     if (obs::Tracer::global().write_chrome_json(g_trace_path)) {
       std::printf("trace written to %s\n", g_trace_path.c_str());
     } else {
-      std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   g_trace_path.c_str());
+      obs::logf_error("cli", "cannot write trace to %s", g_trace_path.c_str());
     }
   }
   if (!g_metrics_path.empty()) {
-    if (obs::MetricsRegistry::global().write_json(g_metrics_path)) {
+    std::vector<std::pair<std::string, std::string>> extra;
+    if (obs::HealthMonitor::global().enabled())
+      extra.emplace_back("health", health.to_json());
+    if (!g_profile_path.empty())
+      extra.emplace_back("profile", profiler.snapshot().to_json());
+    if (obs::MetricsRegistry::global().write_json(g_metrics_path, extra)) {
       std::printf("metrics written to %s\n", g_metrics_path.c_str());
     } else {
-      std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                   g_metrics_path.c_str());
+      obs::logf_error("cli", "cannot write metrics to %s",
+                      g_metrics_path.c_str());
     }
+  }
+}
+
+/// Start the --manifest-json document: build section (baked in by the
+/// builder) plus the "run" section every command shares.
+obs::ManifestBuilder make_manifest(const char* command,
+                                   const std::string& netlist_path) {
+  obs::ManifestBuilder mb;
+  mb.set_string("run", "command", command);
+  mb.set_string("run", "netlist", netlist_path);
+  mb.set_uint("run", "threads", runtime::global_pool().num_threads());
+  mb.set_bool("run", "health_enabled",
+              obs::HealthMonitor::global().enabled());
+  mb.set_bool("run", "profiler_enabled", !g_profile_path.empty());
+  return mb;
+}
+
+/// Write the manifest when --manifest-json was given (no-op otherwise).
+void write_manifest(const obs::ManifestBuilder& mb) {
+  if (g_manifest_path.empty()) return;
+  if (mb.write(g_manifest_path)) {
+    std::printf("manifest written to %s\n", g_manifest_path.c_str());
+  } else {
+    obs::logf_error("cli", "cannot write manifest to %s",
+                    g_manifest_path.c_str());
   }
 }
 
@@ -206,6 +319,11 @@ int cmd_generate(int argc, char** argv) {
   save_netlist(argv[2], nl);
   std::printf("wrote %s: %zu gates, %zu pins, %zu nets\n", argv[2],
               nl.num_gates(), nl.num_pins(), nl.num_nets());
+
+  obs::ManifestBuilder mb = make_manifest("generate", argv[2]);
+  mb.set_uint("config", "gates", spec.num_gates);
+  mb.set_uint("config", "seed", spec.seed);
+  write_manifest(mb);
   return 0;
 }
 
@@ -236,6 +354,7 @@ int cmd_sta(int argc, char** argv) {
     for (PinId p : paths[i].pins) std::printf(" %u", p);
     std::printf("\n");
   }
+  write_manifest(make_manifest("sta", argv[2]));
   return 0;
 }
 
@@ -316,6 +435,18 @@ int cmd_analyze(int argc, char** argv) {
     csv.save(csv_path);
     std::printf("scores written to %s\n", csv_path.c_str());
   }
+
+  obs::ManifestBuilder mb = make_manifest("analyze", argv[2]);
+  mb.set_uint("config", "epochs", gopts.epochs);
+  mb.set_uint("config", "hidden_dim", gopts.hidden_dim);
+  mb.set_uint("config", "gnn_seed", gopts.seed);
+  mb.set_uint("config", "probes",
+              cfg.manifold.sparsify.resistance.num_probes);
+  mb.set_string("config", "solver_precond", precond);
+  mb.set_bool("config", "block_cg", block_cg);
+  mb.set_bool("config", "solver_cache", cfg.use_solver_cache);
+  mb.set_checksums("checksums", report.checksums);
+  write_manifest(mb);
   return 0;
 }
 
@@ -343,6 +474,7 @@ int cmd_sweep(int argc, char** argv) {
 
   core::SweepOptions sopts;
   sopts.exact = opt_size(opts, "exact", 0) != 0;
+  sopts.audit_drift = opt_size(opts, "audit-drift", 0) != 0;
   std::printf("capturing sweep baseline (%s mode)...\n",
               sopts.exact ? "exact" : "fast");
   core::SweepEngine engine(nl, model, sopts);
@@ -407,12 +539,31 @@ int cmd_sweep(int argc, char** argv) {
     std::printf("  (fast mode: scores within %.2f relative L2 of the naive "
                 "per-variant loop; --exact 1 for byte-identical reports)\n",
                 core::kFastScoreDriftTolerance);
+  if (sopts.audit_drift && !sopts.exact) {
+    double max_drift = 0.0;
+    for (const auto& r : results)
+      max_drift = std::max(max_drift, r.stats.audited_drift);
+    std::printf("  drift audit: max relative-L2 drift %.4g (bound %.2f)\n",
+                max_drift, core::kFastScoreDriftTolerance);
+  }
 
   const std::string csv_path = opt_str(opts, "scores", "");
   if (!csv_path.empty()) {
     csv.save(csv_path);
     std::printf("per-variant summary written to %s\n", csv_path.c_str());
   }
+
+  obs::ManifestBuilder mb = make_manifest("sweep", argv[2]);
+  mb.set_uint("config", "variants", num_variants);
+  mb.set_uint("config", "pins_per_variant", pins_per_variant);
+  mb.set_number("config", "factor", factor);
+  mb.set_uint("config", "variant_seed", seed);
+  mb.set_bool("config", "exact", sopts.exact);
+  mb.set_bool("config", "audit_drift", sopts.audit_drift);
+  mb.set_uint("config", "epochs", gopts.epochs);
+  mb.set_uint("config", "hidden_dim", gopts.hidden_dim);
+  mb.set_checksums("checksums", engine.baseline().checksums);
+  write_manifest(mb);
   return 0;
 }
 
@@ -434,6 +585,10 @@ int cmd_montecarlo(int argc, char** argv) {
   std::printf("  worst arrival: mean %.4f  std %.4f  p95 %.4f\n",
               res.worst_mean, res.worst_std, res.worst_p95);
   std::printf("  nominal: %.4f\n", run_sta(nl).worst_arrival);
+  obs::ManifestBuilder mb = make_manifest("montecarlo", argv[2]);
+  mb.set_uint("config", "samples", samples);
+  mb.set_uint("config", "seed", model.seed);
+  write_manifest(mb);
   return 0;
 }
 
@@ -450,6 +605,7 @@ int cmd_corners(int argc, char** argv) {
   for (std::size_t i = 0; i < corners.size(); ++i)
     std::printf("  %-8s (x%.2f): worst arrival %.4f\n", corners[i].name,
                 corners[i].delay_scale, results[i]);
+  write_manifest(make_manifest("corners", argv[2]));
   return 0;
 }
 
@@ -479,9 +635,10 @@ int main(int argc, char** argv) {
       return rc;
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    cirstag::obs::log_error("cli", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command '%s'\n%s", cmd.c_str(), kUsage);
+  cirstag::obs::logf_error("cli", "unknown command '%s'", cmd.c_str());
+  std::fprintf(stderr, "%s", kUsage);
   return 2;
 }
