@@ -1,0 +1,554 @@
+// bench_serve — load generator for the serving layer (src/serve).
+//
+// Three modes over one deterministic request mix (fixed RNG seed; per 8
+// requests: 6 single-pin Case-A /analyze, one /top-k, one /score-region):
+//
+//   --mode inproc   (default) drives a Service directly — no sockets, one
+//                   scheduler worker, wave submission through pause()/
+//                   resume() — so every gated counter is a pure function of
+//                   the request mix: requests_served, registry_hits, and
+//                   batches_formed (= ceil(analyzes-per-wave / max-batch)
+//                   summed over waves). This is the row CI pins tightly.
+//   --mode socket   drives a running daemon (cirstag_cli serve) over
+//                   HTTP/1.1 with open-loop arrivals: request i is sent at
+//                   start + i * --arrival-us regardless of completions,
+//                   across --connections keep-alive connections. Counters
+//                   are read back from the daemon's /metrics endpoint;
+//                   requests_served / registry_hits stay deterministic,
+//                   batches_formed depends on arrival timing (gated only by
+//                   its worst-case upper bound: one batch per analyze).
+//   --mode speedup  the acceptance comparison: per-request wall clock of a
+//                   warm resident registry (the mix submitted as one wave,
+//                   so compatible analyzes coalesce into one engine batch)
+//                   vs a cold stateless caller that re-pays parse + GNN
+//                   training + baseline capture for every request. Both
+//                   sides use the same engine mode (--engine-mode, default
+//                   fast) so the ratio isolates resident state, and the
+//                   cold side alternates perturbed analyzes with baseline
+//                   queries — under-weighting the expensive variant path
+//                   relative to the 6/8 warm mix, which keeps the reported
+//                   speedup conservative. Emits wall_* fields and the
+//                   warm_speedup ratio; --require-speedup X asserts it.
+//
+// --perf-json writes a google-benchmark-shaped report (name + counters per
+// row) that tools/check_bench_regression.py consumes; wall_* fields ride
+// along ungated.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+#include "core/query.hpp"
+#include "core/sweep.hpp"
+#include "gnn/timing_gnn.hpp"
+#include "linalg/rng.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+using namespace cirstag;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// -- tiny option parser (same "--key value" convention as cirstag_cli) ------
+
+std::map<std::string, std::string> parse_options(int argc, char** argv) {
+  std::map<std::string, std::string> opts;
+  for (int i = 1; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      std::fprintf(stderr, "bench_serve: bad option '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    opts[argv[i] + 2] = argv[i + 1];
+  }
+  return opts;
+}
+
+std::size_t opt_size(const std::map<std::string, std::string>& o,
+                     const std::string& k, std::size_t fallback) {
+  const auto it = o.find(k);
+  return it == o.end() ? fallback : std::stoull(it->second);
+}
+
+double opt_double(const std::map<std::string, std::string>& o,
+                  const std::string& k, double fallback) {
+  const auto it = o.find(k);
+  return it == o.end() ? fallback : std::stod(it->second);
+}
+
+std::string opt_str(const std::map<std::string, std::string>& o,
+                    const std::string& k, const std::string& fallback) {
+  const auto it = o.find(k);
+  return it == o.end() ? fallback : it->second;
+}
+
+// -- report emission --------------------------------------------------------
+
+struct BenchRow {
+  std::string name;
+  double real_time_ms = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+void write_report(const std::string& path, const std::vector<BenchRow>& rows,
+                  std::uint64_t seed) {
+  std::string out = "{\n  \"context\": {\"executable\": \"bench_serve\", "
+                    "\"seed\": " + std::to_string(seed) + "},\n"
+                    "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out += "    {\"name\": " + obs::json_quote(row.name) +
+           ", \"run_type\": \"iteration\", \"iterations\": 1, "
+           "\"time_unit\": \"ms\", \"real_time\": ";
+    obs::append_json_number(out, row.real_time_ms);
+    for (const auto& [key, value] : row.counters) {
+      out += ", " + obs::json_quote(key) + ": ";
+      obs::append_json_number(out, value);
+    }
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("report written to %s\n", path.c_str());
+}
+
+// -- deterministic workload -------------------------------------------------
+
+std::string netlist_text(std::size_t gates, std::uint64_t seed) {
+  circuit::RandomCircuitSpec spec;
+  spec.name = "bench_serve";
+  spec.num_gates = gates;
+  spec.num_inputs = std::max<std::size_t>(16, gates / 40);
+  spec.num_outputs = std::max<std::size_t>(8, gates / 80);
+  spec.seed = seed;
+  static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+  std::ostringstream out;
+  circuit::write_netlist(out, nl);
+  return out.str();
+}
+
+struct RequestSpec {
+  std::string path;
+  std::string body;
+};
+
+/// The fixed request mix: per 8 requests, 6 batchable single-pin analyzes,
+/// one top-k, one score-region. Identical across modes (same RNG draws).
+std::vector<RequestSpec> make_mix(const std::string& circuit,
+                                  std::size_t requests, std::size_t num_pins,
+                                  std::uint64_t seed) {
+  std::vector<RequestSpec> mix;
+  mix.reserve(requests);
+  linalg::Rng rng(seed + 1000);
+  const std::string quoted = obs::json_quote(circuit);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::size_t kind = i % 8;
+    if (kind <= 5) {
+      mix.push_back({"/analyze",
+                     "{\"circuit\": " + quoted + ", \"cap_scalings\": "
+                     "[{\"pin\": " + std::to_string(rng.index(num_pins)) +
+                     ", \"factor\": 5.0}]}"});
+    } else if (kind == 6) {
+      mix.push_back({"/top-k", "{\"circuit\": " + quoted + ", \"k\": 10}"});
+    } else {
+      std::string nodes;
+      for (std::size_t n = 0; n < 8; ++n) {
+        if (n != 0) nodes += ", ";
+        nodes += std::to_string(rng.index(num_pins));
+      }
+      mix.push_back({"/score-region",
+                     "{\"circuit\": " + quoted + ", \"nodes\": [" + nodes +
+                     "]}"});
+    }
+  }
+  return mix;
+}
+
+serve::HttpRequest make_request(const std::string& path,
+                                const std::string& body) {
+  serve::HttpRequest req;
+  req.method = "POST";
+  req.path = path;
+  req.body = body;
+  return req;
+}
+
+[[noreturn]] void die(const std::string& what, int status,
+                      const std::string& body) {
+  std::fprintf(stderr, "bench_serve: %s failed (HTTP %d): %s\n", what.c_str(),
+               status, body.c_str());
+  std::exit(1);
+}
+
+double counter(const std::string& name) {
+  return static_cast<double>(
+      obs::MetricsRegistry::global().counter_value(name));
+}
+
+// -- inproc mode ------------------------------------------------------------
+
+int run_inproc(const std::map<std::string, std::string>& opts,
+               std::vector<BenchRow>& rows) {
+  const std::size_t gates = opt_size(opts, "gates", 300);
+  const std::size_t requests = opt_size(opts, "requests", 48);
+  const std::size_t wave = opt_size(opts, "wave", 16);
+  const std::uint64_t seed = opt_size(opts, "seed", 1);
+
+  serve::Scheduler::Options sopts;
+  sopts.workers = 1;  // single worker => deterministic batch formation
+  sopts.max_batch_size = opt_size(opts, "max-batch", 8);
+  sopts.queue_capacity = std::max<std::size_t>(wave + 1, 256);
+  serve::Service service(sopts);
+
+  std::printf("inproc: loading %zu-gate circuit...\n", gates);
+  const std::string load_body =
+      "{\"name\": \"bench\", \"netlist\": " +
+      obs::json_quote(netlist_text(gates, seed)) +
+      ", \"epochs\": " + std::to_string(opt_size(opts, "epochs", 60)) +
+      ", \"hidden\": 16, \"mode\": \"exact\"}";
+  const serve::JobResponse loaded =
+      serve::handle_request(service, make_request("/load", load_body));
+  if (loaded.status != 200) die("/load", loaded.status, loaded.body);
+  const serve::JsonValue load_info = serve::parse_json(loaded.body);
+  const auto num_pins =
+      static_cast<std::size_t>(load_info.number_or("pins", 0));
+
+  const std::vector<RequestSpec> mix =
+      make_mix("bench", requests, num_pins, seed);
+  std::printf("inproc: %zu requests in waves of %zu (max batch %zu)...\n",
+              requests, wave, sopts.max_batch_size);
+  const auto t0 = Clock::now();
+  for (std::size_t start = 0; start < mix.size(); start += wave) {
+    // Wave submission: with the worker paused, batch formation depends only
+    // on queue content — ceil(analyzes / max_batch) batches per wave.
+    service.scheduler.pause();
+    std::vector<std::future<serve::JobResponse>> futures;
+    const std::size_t end = std::min(mix.size(), start + wave);
+    for (std::size_t i = start; i < end; ++i) {
+      serve::Dispatch d = serve::dispatch_request(
+          service, make_request(mix[i].path, mix[i].body));
+      if (d.immediate) die(mix[i].path, d.response.status, d.response.body);
+      futures.push_back(std::move(d.future));
+    }
+    service.scheduler.resume();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serve::JobResponse response = futures[i].get();
+      if (response.status != 200)
+        die(mix[start + i].path, response.status, response.body);
+    }
+  }
+  const double wall = seconds_since(t0);
+  service.scheduler.stop();
+
+  BenchRow row;
+  row.name = "BM_ServeInproc/" + std::to_string(gates) + "/" +
+             std::to_string(requests);
+  row.real_time_ms = wall * 1e3;
+  row.counters = {
+      {"requests_served", counter("serve.requests_served")},
+      {"batches_formed", counter("serve.scheduler.batches_formed")},
+      {"batched_requests", counter("serve.scheduler.batched_requests")},
+      {"registry_hits", counter("serve.registry.hits")},
+      {"registry_misses", counter("serve.registry.misses")},
+      {"rejected_429", counter("serve.rejected_429")},
+      {"expired_504", counter("serve.expired_504")},
+      {"wall_total_seconds", wall},
+      {"wall_per_request_seconds", wall / static_cast<double>(requests)},
+  };
+  rows.push_back(row);
+  std::printf("inproc: served %.0f requests, %.0f batches, %.0f registry "
+              "hits in %.2fs\n",
+              row.counters[0].second, row.counters[1].second,
+              row.counters[3].second, wall);
+  return 0;
+}
+
+// -- socket mode ------------------------------------------------------------
+
+serve::HttpResponse roundtrip_or_die(const serve::TcpSocket& socket,
+                                     const std::string& method,
+                                     const std::string& path,
+                                     const std::string& body) {
+  const auto response = serve::http_roundtrip(socket, method, path, body);
+  if (!response.has_value()) {
+    std::fprintf(stderr, "bench_serve: transport failure on %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return *response;
+}
+
+double metrics_counter(const serve::JsonValue& metrics,
+                       const std::string& name) {
+  const serve::JsonValue* counters = metrics.find("counters");
+  if (counters == nullptr || !counters->is_object()) return 0.0;
+  return counters->number_or(name, 0.0);
+}
+
+int run_socket(const std::map<std::string, std::string>& opts,
+               std::vector<BenchRow>& rows) {
+  const auto port =
+      static_cast<std::uint16_t>(opt_size(opts, "port", 8437));
+  const std::size_t requests = opt_size(opts, "requests", 48);
+  const std::size_t connections = opt_size(opts, "connections", 4);
+  const std::uint64_t seed = opt_size(opts, "seed", 1);
+  const auto arrival_us =
+      static_cast<long>(opt_size(opts, "arrival-us", 2000));
+  const std::string circuit = opt_str(opts, "circuit", "preload");
+
+  serve::TcpSocket probe = serve::tcp_connect(port);
+  if (!probe.valid()) {
+    std::fprintf(stderr, "bench_serve: cannot connect to 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  const serve::HttpResponse health =
+      roundtrip_or_die(probe, "GET", "/health", "");
+  if (health.status != 200) die("/health", health.status, health.body);
+  const serve::JsonValue health_doc = serve::parse_json(health.body);
+  std::size_t num_pins = 0, circuit_gates = 0;
+  if (const serve::JsonValue* circuits = health_doc.find("circuits")) {
+    for (const serve::JsonValue& info : circuits->as_array()) {
+      if (info.string_or("name", "") == circuit) {
+        num_pins = static_cast<std::size_t>(info.number_or("pins", 0));
+        circuit_gates = static_cast<std::size_t>(info.number_or("gates", 0));
+      }
+    }
+  }
+  if (num_pins == 0) {
+    std::fprintf(stderr,
+                 "bench_serve: circuit '%s' is not loaded on the daemon "
+                 "(start it with --preload, or /load it first)\n",
+                 circuit.c_str());
+    return 1;
+  }
+
+  const std::vector<RequestSpec> mix =
+      make_mix(circuit, requests, num_pins, seed);
+  std::printf("socket: %zu requests over %zu connections, one every %ldus "
+              "(open loop)...\n",
+              requests, connections, arrival_us);
+
+  // Open-loop arrival: request i is due at start + i*gap, whether or not
+  // earlier requests finished. Each connection owns the requests with
+  // i % connections == its index, so per-connection order is stable.
+  const auto start = Clock::now() + std::chrono::milliseconds(50);
+  std::vector<std::thread> workers;
+  std::vector<int> failures(connections, 0);
+  for (std::size_t c = 0; c < connections; ++c) {
+    workers.emplace_back([&, c] {
+      serve::TcpSocket socket = serve::tcp_connect(port);
+      if (!socket.valid()) {
+        failures[c] = -1;
+        return;
+      }
+      for (std::size_t i = c; i < mix.size(); i += connections) {
+        std::this_thread::sleep_until(
+            start + std::chrono::microseconds(arrival_us *
+                                              static_cast<long>(i)));
+        const auto response = serve::http_roundtrip(socket, "POST",
+                                                    mix[i].path, mix[i].body);
+        if (!response.has_value() || response->status != 200) ++failures[c];
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall = seconds_since(start);
+  int failed = 0;
+  for (const int f : failures) {
+    if (f < 0) {
+      std::fprintf(stderr, "bench_serve: a connection could not be opened\n");
+      return 1;
+    }
+    failed += f;
+  }
+  if (failed != 0) {
+    std::fprintf(stderr, "bench_serve: %d request(s) failed\n", failed);
+    return 1;
+  }
+
+  const serve::HttpResponse metrics =
+      roundtrip_or_die(probe, "GET", "/metrics", "");
+  if (metrics.status != 200) die("/metrics", metrics.status, metrics.body);
+  const serve::JsonValue metrics_doc = serve::parse_json(metrics.body);
+
+  BenchRow row;
+  row.name = "BM_ServeSocket/" + std::to_string(circuit_gates) + "/" +
+             std::to_string(requests);
+  row.real_time_ms = wall * 1e3;
+  row.counters = {
+      {"requests_served", metrics_counter(metrics_doc,
+                                          "serve.requests_served")},
+      {"batches_formed",
+       metrics_counter(metrics_doc, "serve.scheduler.batches_formed")},
+      {"registry_hits", metrics_counter(metrics_doc, "serve.registry.hits")},
+      {"registry_misses",
+       metrics_counter(metrics_doc, "serve.registry.misses")},
+      {"rejected_429", metrics_counter(metrics_doc, "serve.rejected_429")},
+      {"expired_504", metrics_counter(metrics_doc, "serve.expired_504")},
+      {"wall_total_seconds", wall},
+      {"wall_per_request_seconds", wall / static_cast<double>(requests)},
+  };
+  rows.push_back(row);
+  std::printf("socket: daemon served %.0f requests (%.0f batches, %.0f "
+              "registry hits) in %.2fs\n",
+              row.counters[0].second, row.counters[1].second,
+              row.counters[2].second, wall);
+  return 0;
+}
+
+// -- speedup mode -----------------------------------------------------------
+
+int run_speedup(const std::map<std::string, std::string>& opts,
+                std::vector<BenchRow>& rows) {
+  const std::size_t gates = opt_size(opts, "gates", 1500);
+  const std::size_t warm_requests = opt_size(opts, "warm-requests", 8);
+  const std::size_t cold_requests = opt_size(opts, "cold-requests", 2);
+  const std::size_t epochs = opt_size(opts, "epochs", 120);
+  const std::uint64_t seed = opt_size(opts, "seed", 1);
+  const double required = opt_double(opts, "require-speedup", 0.0);
+  const bool engine_exact = opt_str(opts, "engine-mode", "fast") == "exact";
+
+  const std::string text = netlist_text(gates, seed);
+  std::printf("speedup: %zu gates, %zu warm vs %zu cold requests...\n",
+              gates, warm_requests, cold_requests);
+
+  serve::Scheduler::Options sopts;
+  sopts.workers = 1;
+  sopts.max_batch_size = std::max<std::size_t>(1, warm_requests);
+  serve::Service service(sopts);
+  const std::string load_body =
+      "{\"name\": \"bench\", \"netlist\": " + obs::json_quote(text) +
+      ", \"epochs\": " + std::to_string(epochs) + ", \"hidden\": 16, " +
+      "\"mode\": " + (engine_exact ? "\"exact\"" : "\"fast\"") + "}";
+  const auto t_load = Clock::now();
+  const serve::JobResponse loaded =
+      serve::handle_request(service, make_request("/load", load_body));
+  if (loaded.status != 200) die("/load", loaded.status, loaded.body);
+  const double load_seconds = seconds_since(t_load);
+  const auto num_pins = static_cast<std::size_t>(
+      serve::parse_json(loaded.body).number_or("pins", 0));
+
+  // Warm: the resident engine answers the requests as the daemon would
+  // under concurrent load — submitted together so the scheduler coalesces
+  // the compatible analyzes into one batched engine run (queries ride along
+  // as immediate const reads of the resident baseline).
+  const std::vector<RequestSpec> mix =
+      make_mix("bench", warm_requests, num_pins, seed);
+  const auto t_warm = Clock::now();
+  service.scheduler.pause();
+  std::vector<std::future<serve::JobResponse>> futures;
+  futures.reserve(mix.size());
+  for (const RequestSpec& request : mix) {
+    serve::Dispatch d = serve::dispatch_request(
+        service, make_request(request.path, request.body));
+    if (d.immediate) die(request.path, d.response.status, d.response.body);
+    futures.push_back(std::move(d.future));
+  }
+  service.scheduler.resume();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::JobResponse response = futures[i].get();
+    if (response.status != 200)
+      die(mix[i].path, response.status, response.body);
+  }
+  const double warm_seconds = seconds_since(t_warm);
+  service.scheduler.stop();
+
+  // Cold: what a stateless caller pays per request — parse the netlist,
+  // train the surrogate, capture the baseline, then answer the request.
+  // Even iterations analyze one perturbed variant, odd iterations answer a
+  // baseline query (top-k), mirroring the warm mix's two request classes.
+  linalg::Rng rng(seed + 2000);
+  const auto t_cold = Clock::now();
+  for (std::size_t i = 0; i < cold_requests; ++i) {
+    std::istringstream in(text);
+    static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+    const circuit::Netlist nl = circuit::read_netlist(in, lib);
+    gnn::TimingGnnOptions gopts;
+    gopts.epochs = epochs;
+    gopts.hidden_dim = 16;
+    gnn::TimingGnn model(nl, gopts);
+    (void)model.train();
+    core::SweepOptions cold_sopts;
+    cold_sopts.exact = engine_exact;
+    core::SweepEngine engine(nl, model, cold_sopts);
+    if (i % 2 == 0) {
+      core::SweepVariant variant;
+      variant.cap_scalings.push_back(
+          {static_cast<circuit::PinId>(rng.index(nl.num_pins())), 5.0});
+      const std::vector<core::SweepVariant> variants{variant};
+      const auto results = engine.run(variants);
+      if (results.size() != 1) die("cold analyze", 500, "no result");
+    } else {
+      const auto top = core::top_k_nodes(engine.baseline(), 10);
+      if (top.empty()) die("cold top-k", 500, "no result");
+    }
+  }
+  const double cold_seconds = seconds_since(t_cold);
+
+  const double warm_avg = warm_seconds / static_cast<double>(warm_requests);
+  const double cold_avg = cold_seconds / static_cast<double>(cold_requests);
+  const double speedup = warm_avg > 0 ? cold_avg / warm_avg : 0.0;
+
+  BenchRow row;
+  row.name = "BM_ServeSpeedup/" + std::to_string(gates);
+  row.real_time_ms = (warm_seconds + cold_seconds) * 1e3;
+  row.counters = {
+      {"warm_speedup", speedup},
+      {"wall_load_seconds", load_seconds},
+      {"wall_warm_request_seconds", warm_avg},
+      {"wall_cold_request_seconds", cold_avg},
+  };
+  rows.push_back(row);
+  std::printf("speedup: load %.2fs once; warm %.3fs/request vs cold "
+              "%.2fs/request => %.1fx\n",
+              load_seconds, warm_avg, cold_avg, speedup);
+  if (required > 0.0 && speedup < required) {
+    std::fprintf(stderr,
+                 "bench_serve: warm speedup %.1fx below required %.1fx\n",
+                 speedup, required);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv);
+  const std::string mode = opt_str(opts, "mode", "inproc");
+  std::vector<BenchRow> rows;
+  int rc = 2;
+  if (mode == "inproc") rc = run_inproc(opts, rows);
+  else if (mode == "socket") rc = run_socket(opts, rows);
+  else if (mode == "speedup") rc = run_speedup(opts, rows);
+  else std::fprintf(stderr, "bench_serve: unknown mode '%s'\n", mode.c_str());
+  const std::string report = opt_str(opts, "perf-json", "");
+  if (rc == 0 && !report.empty())
+    write_report(report, rows, opt_size(opts, "seed", 1));
+  return rc;
+}

@@ -21,6 +21,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -95,7 +96,9 @@ void BM_SweepNaive(benchmark::State& state) {
       make_variants(f.netlist, static_cast<std::size_t>(state.range(1)));
   const core::CirStagConfig cfg = bench::default_config();
   const auto pin_graph = circuit::pin_graph(f.netlist);
+  double wall_total = 0.0;
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     const core::CirStag analyzer(cfg);
     for (const auto& v : variants) {
       circuit::Netlist nlv = f.netlist;
@@ -107,11 +110,18 @@ void BM_SweepNaive(benchmark::State& state) {
       const linalg::Matrix emb = f.model->embed(fv);
       benchmark::DoNotOptimize(analyzer.analyze(pin_graph, fv, emb));
     }
+    wall_total = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(variants.size()));
   state.counters["subspace_sweeps"] = static_cast<double>(
       variants.size() * cfg.stability.subspace_iterations);
+  // wall_* counters are informational wall-clock (machine-dependent); the
+  // regression gate never reads them, check_bench_regression.py only
+  // carries them through for side-by-side --perf-json comparisons.
+  state.counters["wall_total_seconds"] = wall_total;
 }
 BENCHMARK(BM_SweepNaive)->Args({300, 6})->Args({1500, 64})
     ->Unit(benchmark::kMillisecond);
@@ -121,6 +131,7 @@ void sweep_engine_bench(benchmark::State& state, bool exact) {
   const auto variants =
       make_variants(f.netlist, static_cast<std::size_t>(state.range(1)));
   std::size_t sweeps = 0, requeried = 0, cache_hits = 0;
+  double baseline_seconds = 0.0, sweep_seconds = 0.0;
   for (auto _ : state) {
     core::SweepOptions opts;
     opts.config = bench::default_config();
@@ -136,6 +147,8 @@ void sweep_engine_bench(benchmark::State& state, bool exact) {
           r.stats.knn_x.requeried_points + r.stats.knn_y.requeried_points;
     }
     cache_hits = engine.stats().solver_cache_hits;
+    baseline_seconds = engine.stats().baseline_seconds;
+    sweep_seconds = engine.stats().sweep_seconds;
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(variants.size()));
@@ -144,6 +157,11 @@ void sweep_engine_bench(benchmark::State& state, bool exact) {
   state.counters["subspace_sweeps"] = static_cast<double>(sweeps);
   state.counters["knn_requeried"] = static_cast<double>(requeried);
   state.counters["solver_cache_hits"] = static_cast<double>(cache_hits);
+  // Per-phase wall clock of the last iteration — informational only, never
+  // gated (see check_bench_regression.py's wall-time section).
+  state.counters["wall_baseline_seconds"] = baseline_seconds;
+  state.counters["wall_sweep_seconds"] = sweep_seconds;
+  state.counters["wall_total_seconds"] = baseline_seconds + sweep_seconds;
 }
 
 /// Exact mode: every report byte-identical to the naive loop's.

@@ -1,0 +1,55 @@
+#include "core/query.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cirstag::core {
+
+std::vector<NodeScore> top_k_nodes(const CirStagReport& report,
+                                   std::size_t k) {
+  const auto& scores = report.node_scores;
+  const std::size_t n = scores.size();
+  k = std::min(k, n);
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  std::vector<NodeScore> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i)
+    out.push_back({order[i], scores[order[i]]});
+  return out;
+}
+
+RegionScore score_region(const CirStagReport& report,
+                         std::span<const std::size_t> nodes) {
+  const auto& scores = report.node_scores;
+  RegionScore out;
+  double design_sum = 0.0;
+  for (const double s : scores) design_sum += s;
+  out.design_mean = scores.empty() ? 0.0 : design_sum / scores.size();
+  if (nodes.empty()) return out;
+
+  out.nodes.reserve(nodes.size());
+  double sum = 0.0;
+  for (const std::size_t id : nodes) {
+    if (id >= scores.size())
+      throw std::out_of_range("score_region: node " + std::to_string(id) +
+                              " past node count " +
+                              std::to_string(scores.size()));
+    const double s = scores[id];
+    out.nodes.push_back({id, s});
+    sum += s;
+    if (out.nodes.size() == 1 || s > out.max) {
+      out.max = s;
+      out.argmax = id;
+    }
+  }
+  out.mean = sum / out.nodes.size();
+  return out;
+}
+
+}  // namespace cirstag::core

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/cirstag.hpp"
+
+namespace cirstag::core {
+
+/// Read-only query helpers over a completed CirStagReport.
+///
+/// These are the serving layer's shared-state entry points: many scheduler
+/// workers answer `top-k` / `score-region` requests against the *same*
+/// resident baseline report concurrently, so every function here takes the
+/// report by const reference, touches only immutable members, and allocates
+/// all scratch locally — safe to call from any number of threads without
+/// synchronization (there is no mutable shared state to protect).
+
+/// One ranked node.
+struct NodeScore {
+  std::size_t node = 0;
+  double score = 0.0;
+};
+
+/// The k highest-scoring (most unstable) nodes, descending by score with
+/// node id as the deterministic tie-break. k past the node count clamps.
+[[nodiscard]] std::vector<NodeScore> top_k_nodes(const CirStagReport& report,
+                                                 std::size_t k);
+
+/// Aggregate stability of a node subset (a timing cone, a placement region,
+/// a module) against the whole-design score distribution.
+struct RegionScore {
+  std::vector<NodeScore> nodes;   ///< per queried node, input order
+  double mean = 0.0;
+  double max = 0.0;
+  std::size_t argmax = 0;         ///< node id attaining `max`
+  /// Mean node score over the whole design — the baseline the region's mean
+  /// is judged against (ratio > 1: region less stable than average).
+  double design_mean = 0.0;
+};
+
+/// Score a node subset. Throws std::out_of_range when any id is past the
+/// report's node count; empty input yields an all-zero result.
+[[nodiscard]] RegionScore score_region(const CirStagReport& report,
+                                       std::span<const std::size_t> nodes);
+
+}  // namespace cirstag::core

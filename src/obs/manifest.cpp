@@ -48,12 +48,19 @@ std::string PhaseChecksums::to_json() const {
   return out;
 }
 
+const BuildInfo& build_info() {
+  static const BuildInfo info{CIRSTAG_GIT_DESCRIBE, CIRSTAG_BUILD_TYPE,
+                              CIRSTAG_CXX_COMPILER, CIRSTAG_CXX_FLAGS};
+  return info;
+}
+
 ManifestBuilder::ManifestBuilder() {
+  const BuildInfo& info = build_info();
   set_uint("manifest", "schema_version", 1);
-  set_string("build", "git_describe", CIRSTAG_GIT_DESCRIBE);
-  set_string("build", "build_type", CIRSTAG_BUILD_TYPE);
-  set_string("build", "compiler", CIRSTAG_CXX_COMPILER);
-  set_string("build", "cxx_flags", CIRSTAG_CXX_FLAGS);
+  set_string("build", "git_describe", info.git_describe);
+  set_string("build", "build_type", info.build_type);
+  set_string("build", "compiler", info.compiler);
+  set_string("build", "cxx_flags", info.cxx_flags);
 }
 
 ManifestBuilder::Section& ManifestBuilder::section(const std::string& name) {

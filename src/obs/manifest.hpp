@@ -68,6 +68,22 @@ struct PhaseChecksums {
 };
 
 // ---------------------------------------------------------------------------
+// Build provenance
+
+/// Compile-time build provenance — the same git describe / build type /
+/// compiler fields the manifest "build" section records, exposed so other
+/// surfaces (`cirstag --version`, the serve /health endpoint) report the
+/// identical identity.
+struct BuildInfo {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+};
+
+[[nodiscard]] const BuildInfo& build_info();
+
+// ---------------------------------------------------------------------------
 // Run-provenance manifest
 
 /// Assembles the --manifest-json document: an ordered set of named sections,

@@ -1,0 +1,550 @@
+#include "serve/handlers.hpp"
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/query.hpp"
+#include "core/sweep.hpp"
+#include "obs/json.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "serve/json.hpp"
+
+namespace cirstag::serve {
+
+namespace {
+
+JobResponse error_response(int status, const std::string& message) {
+  std::string body = "{\"error\": ";
+  body += obs::json_quote(message);
+  body += "}";
+  return {status, std::move(body)};
+}
+
+Dispatch immediate(JobResponse response) {
+  Dispatch d;
+  d.immediate = true;
+  d.response = std::move(response);
+  return d;
+}
+
+Dispatch immediate_error(int status, const std::string& message) {
+  return immediate(error_response(status, message));
+}
+
+void append_double_array(std::string& out, std::span<const double> values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    obs::append_json_number(out, values[i]);
+  }
+  out += ']';
+}
+
+/// Report payload shared by the analyze and sweep responses. The score
+/// arrays render through %.17g (obs::append_json_number), which round-trips
+/// IEEE doubles exactly — the socket byte-identity contract the e2e test
+/// asserts rests on this.
+void append_report(std::string& out, const core::CirStagReport& report) {
+  out += "{\"node_scores\": ";
+  append_double_array(out, report.node_scores);
+  out += ", \"edge_scores\": ";
+  append_double_array(out, report.edge_scores);
+  out += ", \"eigenvalues\": ";
+  append_double_array(out, report.eigenvalues);
+  out += ", \"checksums\": ";
+  out += report.checksums.to_json();
+  out += ", \"health_ok\": ";
+  out += report.health.ok() ? "true" : "false";
+  out += ", \"total_seconds\": ";
+  obs::append_json_number(out, report.timings.total());
+  out += '}';
+}
+
+// -- request payloads -------------------------------------------------------
+
+struct AnalyzePayload {
+  std::string circuit;
+  std::shared_ptr<CircuitRecord> record;
+  core::SweepVariant variant;
+};
+
+struct SweepPayload {
+  std::string circuit;
+  std::shared_ptr<CircuitRecord> record;
+  std::vector<core::SweepVariant> variants;
+};
+
+struct LoadPayload {
+  std::string name;
+  std::string source;  ///< path or inline netlist text
+  bool is_path = false;
+  LoadOptions options;
+};
+
+/// Parse one [{"pin": id, "factor": f}, ...] array into Case-A cap
+/// scalings. Returns false with `error` set on malformed entries.
+bool parse_cap_scalings(const JsonValue& array, const CircuitRecord& record,
+                        std::vector<core::CapScaling>& out,
+                        std::string& error) {
+  if (!array.is_array()) {
+    error = "'cap_scalings' must be an array";
+    return false;
+  }
+  const std::size_t num_pins = record.netlist.num_pins();
+  for (const JsonValue& entry : array.as_array()) {
+    if (!entry.is_object()) {
+      error = "each cap scaling must be an object with 'pin' and 'factor'";
+      return false;
+    }
+    const JsonValue* pin = entry.find("pin");
+    const JsonValue* factor = entry.find("factor");
+    if (pin == nullptr || !pin->is_number() || factor == nullptr ||
+        !factor->is_number()) {
+      error = "each cap scaling must carry numeric 'pin' and 'factor'";
+      return false;
+    }
+    const double pin_value = pin->as_number();
+    if (pin_value < 0 || pin_value != std::floor(pin_value) ||
+        pin_value >= static_cast<double>(num_pins)) {
+      error = "cap scaling pin out of range (circuit has " +
+              std::to_string(num_pins) + " pins)";
+      return false;
+    }
+    const double factor_value = factor->as_number();
+    if (!(factor_value > 0.0) || !std::isfinite(factor_value)) {
+      error = "cap scaling factor must be finite and positive";
+      return false;
+    }
+    out.push_back({static_cast<circuit::PinId>(pin_value), factor_value});
+  }
+  return true;
+}
+
+JobResponse format_variant_response(const AnalyzePayload& payload,
+                                    const core::SweepVariantResult& result) {
+  std::string body = "{\"circuit\": ";
+  body += obs::json_quote(payload.circuit);
+  body += ", \"baseline\": false, \"report\": ";
+  append_report(body, result.report);
+  body += ", \"worst_arrival\": ";
+  obs::append_json_number(body, result.worst_arrival);
+  body += ", \"subspace_sweeps\": ";
+  body += std::to_string(result.stats.subspace_sweeps);
+  body += "}";
+  return {200, std::move(body)};
+}
+
+/// Batch executor: every job shares the analyze batch key (same circuit
+/// name), so normally the whole group is one engine->run call. Records are
+/// still grouped by identity — an unload/reload between submissions may
+/// leave two generations of the same name in one batch.
+std::vector<JobResponse> run_analyze_batch(std::vector<Job*>& jobs) {
+  std::vector<JobResponse> out(jobs.size());
+  std::map<CircuitRecord*, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto* payload = static_cast<AnalyzePayload*>(jobs[i]->payload.get());
+    groups[payload->record.get()].push_back(i);
+  }
+  for (auto& [record, indices] : groups) {
+    std::vector<core::SweepVariant> variants;
+    variants.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      variants.push_back(
+          static_cast<AnalyzePayload*>(jobs[i]->payload.get())->variant);
+    }
+    std::lock_guard<std::mutex> lock(record->run_mutex);
+    const std::vector<core::SweepVariantResult> results =
+        record->engine->run(variants);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::size_t i = indices[j];
+      out[i] = format_variant_response(
+          *static_cast<AnalyzePayload*>(jobs[i]->payload.get()), results[j]);
+    }
+  }
+  return out;
+}
+
+// -- endpoint dispatchers ---------------------------------------------------
+
+Dispatch submit_or_reject(Service& service, Job job) {
+  Scheduler::SubmitResult submitted = service.scheduler.submit(std::move(job));
+  if (!submitted.accepted)
+    return immediate_error(submitted.reject_status, submitted.reject_detail);
+  Dispatch d;
+  d.future = std::move(submitted.future);
+  return d;
+}
+
+/// Shared body-field plumbing: optional "deadline_ms" (0 < ms) applied to
+/// the job, else the scheduler default.
+bool apply_deadline(const JsonValue& body, Job& job, std::string& error) {
+  const JsonValue* deadline = body.find("deadline_ms");
+  if (deadline == nullptr) return true;
+  if (!deadline->is_number() || !(deadline->as_number() > 0)) {
+    error = "'deadline_ms' must be a positive number";
+    return false;
+  }
+  job.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(
+                     static_cast<long>(deadline->as_number()));
+  return true;
+}
+
+Dispatch dispatch_load(Service& service, const JsonValue& body) {
+  auto payload = std::make_shared<LoadPayload>();
+  payload->name = body.string_or("name", "");
+  if (payload->name.empty())
+    return immediate_error(422, "missing 'name'");
+  const JsonValue* path = body.find("path");
+  const JsonValue* netlist = body.find("netlist");
+  if ((path != nullptr) == (netlist != nullptr))
+    return immediate_error(422,
+                           "provide exactly one of 'path' or 'netlist'");
+  const JsonValue* source = path != nullptr ? path : netlist;
+  if (!source->is_string())
+    return immediate_error(422, "'path'/'netlist' must be a string");
+  payload->source = source->as_string();
+  payload->is_path = path != nullptr;
+
+  const double epochs = body.number_or("epochs", 300);
+  const double hidden = body.number_or("hidden", 24);
+  if (!(epochs >= 1) || !(hidden >= 1))
+    return immediate_error(422, "'epochs' and 'hidden' must be >= 1");
+  payload->options.gnn_epochs = static_cast<std::size_t>(epochs);
+  payload->options.gnn_hidden = static_cast<std::size_t>(hidden);
+  const std::string mode = body.string_or("mode", "exact");
+  if (mode != "exact" && mode != "fast")
+    return immediate_error(422, "'mode' must be \"exact\" or \"fast\"");
+  payload->options.exact = mode == "exact";
+
+  Job job;
+  job.endpoint = "load";
+  job.payload = payload;
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  CircuitRegistry* registry = &service.registry;
+  job.run = [registry, payload]() -> JobResponse {
+    const CircuitRegistry::LoadResult loaded =
+        payload->is_path
+            ? registry->load_from_path(payload->name, payload->source,
+                                       payload->options)
+            : registry->load_from_text(payload->name, payload->source,
+                                       payload->options);
+    if (loaded.record == nullptr)
+      return error_response(loaded.name_conflict ? 409 : 422, loaded.error);
+    const CircuitRecord& record = *loaded.record;
+    std::string out = "{\"name\": ";
+    out += obs::json_quote(record.name);
+    out += ", \"pins\": " + std::to_string(record.netlist.num_pins());
+    out += ", \"gates\": " + std::to_string(record.netlist.num_gates());
+    out += ", \"mode\": ";
+    out += obs::json_quote(record.options.exact ? "exact" : "fast");
+    out += ", \"train_r2\": ";
+    obs::append_json_number(out, record.train_r2);
+    out += ", \"train_seconds\": ";
+    obs::append_json_number(out, record.train_seconds);
+    out += ", \"baseline_seconds\": ";
+    obs::append_json_number(out, record.baseline_seconds);
+    out += "}";
+    return {200, std::move(out)};
+  };
+  return submit_or_reject(service, std::move(job));
+}
+
+Dispatch dispatch_unload(Service& service, const JsonValue& body) {
+  const std::string name = body.string_or("name", "");
+  if (name.empty()) return immediate_error(422, "missing 'name'");
+  Job job;
+  job.endpoint = "unload";
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  CircuitRegistry* registry = &service.registry;
+  job.run = [registry, name]() -> JobResponse {
+    if (!registry->unload(name))
+      return error_response(404, "circuit '" + name + "' is not loaded");
+    return {200, "{\"unloaded\": " + obs::json_quote(name) + "}"};
+  };
+  return submit_or_reject(service, std::move(job));
+}
+
+Dispatch dispatch_analyze(Service& service, const JsonValue& body) {
+  auto payload = std::make_shared<AnalyzePayload>();
+  payload->circuit = body.string_or("circuit", "");
+  if (payload->circuit.empty())
+    return immediate_error(422, "missing 'circuit'");
+  payload->record = service.registry.lookup(payload->circuit);
+  if (payload->record == nullptr)
+    return immediate_error(404,
+                           "circuit '" + payload->circuit + "' is not loaded");
+  if (const JsonValue* scalings = body.find("cap_scalings")) {
+    std::string error;
+    if (!parse_cap_scalings(*scalings, *payload->record,
+                            payload->variant.cap_scalings, error))
+      return immediate_error(422, error);
+  }
+
+  Job job;
+  job.endpoint = "analyze";
+  job.payload = payload;
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  if (payload->variant.cap_scalings.empty()) {
+    // Unperturbed request: serve the resident baseline (immutable after
+    // load, byte-identical to CirStag::analyze) — a const read, no
+    // run_mutex, no batching.
+    job.run = [payload]() -> JobResponse {
+      std::string out = "{\"circuit\": ";
+      out += obs::json_quote(payload->circuit);
+      out += ", \"baseline\": true, \"report\": ";
+      append_report(out, payload->record->engine->baseline());
+      out += "}";
+      return {200, std::move(out)};
+    };
+  } else {
+    job.batch_key = "analyze:" + payload->circuit;
+    job.run_batch = run_analyze_batch;
+  }
+  return submit_or_reject(service, std::move(job));
+}
+
+Dispatch dispatch_sweep(Service& service, const JsonValue& body) {
+  auto payload = std::make_shared<SweepPayload>();
+  payload->circuit = body.string_or("circuit", "");
+  if (payload->circuit.empty())
+    return immediate_error(422, "missing 'circuit'");
+  payload->record = service.registry.lookup(payload->circuit);
+  if (payload->record == nullptr)
+    return immediate_error(404,
+                           "circuit '" + payload->circuit + "' is not loaded");
+  const JsonValue* variants = body.find("variants");
+  if (variants == nullptr || !variants->is_array() ||
+      variants->as_array().empty())
+    return immediate_error(422, "'variants' must be a non-empty array");
+  for (const JsonValue& entry : variants->as_array()) {
+    // Each variant is an object ({"cap_scalings": [...]}) so the shape can
+    // grow Case-B fields later without breaking clients.
+    if (!entry.is_object())
+      return immediate_error(422,
+                             "each variant must be an object with "
+                             "'cap_scalings'");
+    const JsonValue* scalings = entry.find("cap_scalings");
+    if (scalings == nullptr)
+      return immediate_error(422,
+                             "each variant must carry a 'cap_scalings' array");
+    core::SweepVariant variant;
+    std::string error;
+    if (!parse_cap_scalings(*scalings, *payload->record, variant.cap_scalings,
+                            error))
+      return immediate_error(422, error);
+    payload->variants.push_back(std::move(variant));
+  }
+
+  Job job;
+  job.endpoint = "sweep";
+  job.payload = payload;
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  job.run = [payload]() -> JobResponse {
+    CircuitRecord& record = *payload->record;
+    std::lock_guard<std::mutex> lock(record.run_mutex);
+    const std::vector<core::SweepVariantResult> results =
+        record.engine->run(payload->variants);
+    const core::SweepStats& stats = record.engine->stats();
+    std::string out = "{\"circuit\": ";
+    out += obs::json_quote(payload->circuit);
+    out += ", \"results\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"report\": ";
+      append_report(out, results[i].report);
+      out += ", \"worst_arrival\": ";
+      obs::append_json_number(out, results[i].worst_arrival);
+      out += ", \"subspace_sweeps\": ";
+      out += std::to_string(results[i].stats.subspace_sweeps);
+      out += "}";
+    }
+    out += "], \"stats\": {\"variants\": ";
+    out += std::to_string(stats.variants);
+    out += ", \"sweep_seconds\": ";
+    obs::append_json_number(out, stats.sweep_seconds);
+    out += ", \"solver_cache_hits\": ";
+    out += std::to_string(stats.solver_cache_hits);
+    out += ", \"eigen_warm_starts\": ";
+    out += std::to_string(stats.eigen_warm_starts);
+    out += "}}";
+    return {200, std::move(out)};
+  };
+  return submit_or_reject(service, std::move(job));
+}
+
+Dispatch dispatch_top_k(Service& service, const JsonValue& body) {
+  const std::string name = body.string_or("circuit", "");
+  if (name.empty()) return immediate_error(422, "missing 'circuit'");
+  std::shared_ptr<CircuitRecord> record = service.registry.lookup(name);
+  if (record == nullptr)
+    return immediate_error(404, "circuit '" + name + "' is not loaded");
+  const double k_value = body.number_or("k", 10);
+  if (!(k_value >= 1) || k_value != std::floor(k_value))
+    return immediate_error(422, "'k' must be a positive integer");
+  const auto k = static_cast<std::size_t>(k_value);
+
+  Job job;
+  job.endpoint = "top-k";
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  job.run = [record, name, k]() -> JobResponse {
+    const std::vector<core::NodeScore> nodes =
+        core::top_k_nodes(record->engine->baseline(), k);
+    std::string out = "{\"circuit\": ";
+    out += obs::json_quote(name);
+    out += ", \"k\": " + std::to_string(k);
+    out += ", \"nodes\": [";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"node\": " + std::to_string(nodes[i].node) + ", \"score\": ";
+      obs::append_json_number(out, nodes[i].score);
+      out += "}";
+    }
+    out += "]}";
+    return {200, std::move(out)};
+  };
+  return submit_or_reject(service, std::move(job));
+}
+
+Dispatch dispatch_score_region(Service& service, const JsonValue& body) {
+  const std::string name = body.string_or("circuit", "");
+  if (name.empty()) return immediate_error(422, "missing 'circuit'");
+  std::shared_ptr<CircuitRecord> record = service.registry.lookup(name);
+  if (record == nullptr)
+    return immediate_error(404, "circuit '" + name + "' is not loaded");
+  const JsonValue* nodes = body.find("nodes");
+  if (nodes == nullptr || !nodes->is_array())
+    return immediate_error(422, "'nodes' must be an array of node ids");
+  auto ids = std::make_shared<std::vector<std::size_t>>();
+  ids->reserve(nodes->as_array().size());
+  for (const JsonValue& entry : nodes->as_array()) {
+    if (!entry.is_number() || entry.as_number() < 0 ||
+        entry.as_number() != std::floor(entry.as_number()))
+      return immediate_error(422, "'nodes' entries must be non-negative ids");
+    ids->push_back(static_cast<std::size_t>(entry.as_number()));
+  }
+
+  Job job;
+  job.endpoint = "score-region";
+  std::string error;
+  if (!apply_deadline(body, job, error)) return immediate_error(422, error);
+  job.run = [record, name, ids]() -> JobResponse {
+    core::RegionScore region;
+    try {
+      region = core::score_region(record->engine->baseline(), *ids);
+    } catch (const std::out_of_range& e) {
+      return error_response(422, e.what());
+    }
+    std::string out = "{\"circuit\": ";
+    out += obs::json_quote(name);
+    out += ", \"count\": " + std::to_string(region.nodes.size());
+    out += ", \"mean\": ";
+    obs::append_json_number(out, region.mean);
+    out += ", \"max\": ";
+    obs::append_json_number(out, region.max);
+    out += ", \"argmax\": " + std::to_string(region.argmax);
+    out += ", \"design_mean\": ";
+    obs::append_json_number(out, region.design_mean);
+    out += ", \"nodes\": [";
+    for (std::size_t i = 0; i < region.nodes.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"node\": " + std::to_string(region.nodes[i].node) +
+             ", \"score\": ";
+      obs::append_json_number(out, region.nodes[i].score);
+      out += "}";
+    }
+    out += "]}";
+    return {200, std::move(out)};
+  };
+  return submit_or_reject(service, std::move(job));
+}
+
+JobResponse handle_health(Service& service) {
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - service.started)
+                            .count();
+  const obs::BuildInfo& build = obs::build_info();
+  std::string out = "{\"status\": ";
+  out += obs::json_quote(service.scheduler.draining() ? "draining" : "ok");
+  out += ", \"uptime_seconds\": ";
+  obs::append_json_number(out, uptime);
+  out += ", \"queue_depth\": " +
+         std::to_string(service.scheduler.queue_depth());
+  out += ", \"circuits\": [";
+  const auto infos = service.registry.infos();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "{\"name\": ";
+    out += obs::json_quote(infos[i].name);
+    out += ", \"pins\": " + std::to_string(infos[i].pins);
+    out += ", \"gates\": " + std::to_string(infos[i].gates);
+    out += ", \"mode\": ";
+    out += obs::json_quote(infos[i].exact ? "exact" : "fast");
+    out += ", \"train_r2\": ";
+    obs::append_json_number(out, infos[i].train_r2);
+    out += "}";
+  }
+  out += "], \"build\": {\"git_describe\": ";
+  out += obs::json_quote(build.git_describe);
+  out += ", \"build_type\": ";
+  out += obs::json_quote(build.build_type);
+  out += ", \"compiler\": ";
+  out += obs::json_quote(build.compiler);
+  out += "}}";
+  return {200, std::move(out)};
+}
+
+}  // namespace
+
+Dispatch dispatch_request(Service& service, const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/health" || path == "/metrics") {
+    if (request.method != "GET")
+      return immediate_error(405, "use GET for " + path);
+    if (path == "/health") return immediate(handle_health(service));
+    return immediate({200, obs::MetricsRegistry::global().to_json()});
+  }
+
+  const bool known_post = path == "/load" || path == "/unload" ||
+                          path == "/analyze" || path == "/sweep" ||
+                          path == "/score-region" || path == "/top-k";
+  if (!known_post) return immediate_error(404, "unknown endpoint " + path);
+  if (request.method != "POST")
+    return immediate_error(405, "use POST for " + path);
+
+  JsonValue body;
+  try {
+    body = parse_json(request.body);
+  } catch (const JsonError& e) {
+    return immediate_error(400, std::string("malformed JSON body: ") +
+                                    e.what());
+  }
+  if (!body.is_object())
+    return immediate_error(400, "request body must be a JSON object");
+
+  if (path == "/load") return dispatch_load(service, body);
+  if (path == "/unload") return dispatch_unload(service, body);
+  if (path == "/analyze") return dispatch_analyze(service, body);
+  if (path == "/sweep") return dispatch_sweep(service, body);
+  if (path == "/top-k") return dispatch_top_k(service, body);
+  return dispatch_score_region(service, body);
+}
+
+JobResponse handle_request(Service& service, const HttpRequest& request) {
+  Dispatch d = dispatch_request(service, request);
+  if (d.immediate) return std::move(d.response);
+  return d.future.get();
+}
+
+}  // namespace cirstag::serve

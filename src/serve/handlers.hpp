@@ -1,0 +1,47 @@
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <string>
+
+#include "serve/http.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+
+namespace cirstag::serve {
+
+/// The serving application: resident circuits plus the request scheduler.
+/// One Service backs one daemon; bench/tests also drive it in-process
+/// (no sockets), which is what makes the scheduler counters deterministic
+/// enough to gate in CI.
+struct Service {
+  explicit Service(Scheduler::Options scheduler_options = {})
+      : scheduler(scheduler_options),
+        started(std::chrono::steady_clock::now()) {}
+
+  CircuitRegistry registry;
+  Scheduler scheduler;
+  std::chrono::steady_clock::time_point started;
+};
+
+/// Outcome of routing one request: either an immediate response (control
+/// plane: health/metrics, routing/parse errors, scheduler rejections) or an
+/// admitted job whose future resolves with the response.
+struct Dispatch {
+  bool immediate = false;
+  JobResponse response;             ///< valid when immediate
+  std::future<JobResponse> future;  ///< valid when !immediate
+};
+
+/// Route a parsed request to its endpoint. Data-plane endpoints (load,
+/// unload, analyze, sweep, score-region, top-k) go through the scheduler —
+/// bounded admission (429), deadlines (504), analyze batching; health and
+/// metrics answer inline so observability survives a saturated queue.
+[[nodiscard]] Dispatch dispatch_request(Service& service,
+                                        const HttpRequest& request);
+
+/// dispatch_request + block for the response (connection-thread form).
+[[nodiscard]] JobResponse handle_request(Service& service,
+                                         const HttpRequest& request);
+
+}  // namespace cirstag::serve

@@ -1,0 +1,285 @@
+#include "serve/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace cirstag::serve {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c <= 0x20 || c >= 0x7f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HttpRequest::keep_alive() const {
+  const std::string* conn = header("connection");
+  if (conn == nullptr) return true;  // HTTP/1.1 default
+  return to_lower(*conn) != "close";
+}
+
+std::optional<HttpRequest> parse_http_head(const std::string& head,
+                                           std::string& error) {
+  HttpRequest req;
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string& line) {
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) return false;
+    line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    return true;
+  };
+
+  std::string line;
+  if (!next_line(line) || line.empty()) {
+    error = "missing request line";
+    return std::nullopt;
+  }
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos) {
+    error = "malformed request line";
+    return std::nullopt;
+  }
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (req.method.empty() ||
+      !std::all_of(req.method.begin(), req.method.end(), [](unsigned char c) {
+        return std::isupper(c) || c == '-';
+      })) {
+    error = "invalid method token";
+    return std::nullopt;
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    error = "unsupported HTTP version '" + version + "'";
+    return std::nullopt;
+  }
+  if (target.empty() || target[0] != '/') {
+    error = "request target must be origin-form";
+    return std::nullopt;
+  }
+  const std::size_t q = target.find('?');
+  if (q != std::string::npos) {
+    req.query = target.substr(q + 1);
+    target.resize(q);
+  }
+  req.path = std::move(target);
+
+  while (next_line(line)) {
+    if (line.empty()) {  // end of headers
+      if (pos != head.size()) {
+        error = "bytes after header terminator";
+        return std::nullopt;
+      }
+      return req;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      error = "malformed header line";
+      return std::nullopt;
+    }
+    const std::string name = line.substr(0, colon);
+    if (!is_token(name)) {
+      error = "malformed header name";
+      return std::nullopt;
+    }
+    req.headers[to_lower(name)] = trim(line.substr(colon + 1));
+  }
+  error = "headers not terminated";
+  return std::nullopt;
+}
+
+bool HttpReader::fill(std::size_t need, HttpReadResult& out, bool first_byte,
+                      int idle_timeout_ms) {
+  char chunk[8192];
+  while (buffer_.size() < need) {
+    if (first_byte && buffer_.empty() && idle_timeout_ms >= 0) {
+      if (!socket_->wait_readable(idle_timeout_ms)) {
+        out.status = HttpReadResult::Status::timeout;
+        return false;
+      }
+    }
+    const long n = socket_->read_some(chunk, sizeof chunk);
+    if (n == 0) {
+      out.status = buffer_.empty() && first_byte
+                       ? HttpReadResult::Status::closed
+                       : HttpReadResult::Status::io_error;
+      return false;
+    }
+    if (n < 0) {
+      out.status = HttpReadResult::Status::io_error;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+HttpReadResult HttpReader::read_request(int idle_timeout_ms) {
+  HttpReadResult out;
+
+  // Grow the buffer until the header terminator appears (or limits trip).
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      out.status = HttpReadResult::Status::too_large;
+      out.error_code = 431;
+      out.error_detail = "header block larger than " +
+                         std::to_string(limits_.max_header_bytes) + " bytes";
+      return out;
+    }
+    if (!fill(buffer_.size() + 1, out, /*first_byte=*/true, idle_timeout_ms))
+      return out;
+  }
+
+  std::string error;
+  auto parsed = parse_http_head(buffer_.substr(0, head_end + 4), error);
+  if (!parsed) {
+    out.status = HttpReadResult::Status::bad_request;
+    out.error_code = 400;
+    out.error_detail = error;
+    return out;
+  }
+  out.request = std::move(*parsed);
+
+  std::size_t body_len = 0;
+  if (const std::string* cl = out.request.header("content-length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end != cl->c_str() + cl->size() || cl->empty()) {
+      out.status = HttpReadResult::Status::bad_request;
+      out.error_code = 400;
+      out.error_detail = "invalid Content-Length";
+      return out;
+    }
+    body_len = static_cast<std::size_t>(v);
+  } else if (out.request.header("transfer-encoding") != nullptr) {
+    out.status = HttpReadResult::Status::bad_request;
+    out.error_code = 400;
+    out.error_detail = "chunked transfer encoding not supported";
+    return out;
+  }
+  if (body_len > limits_.max_body_bytes) {
+    out.status = HttpReadResult::Status::too_large;
+    out.error_code = 413;
+    out.error_detail = "body larger than " +
+                       std::to_string(limits_.max_body_bytes) + " bytes";
+    return out;
+  }
+
+  const std::size_t total = head_end + 4 + body_len;
+  if (!fill(total, out, /*first_byte=*/false, -1)) return out;
+  out.request.body = buffer_.substr(head_end + 4, body_len);
+  buffer_.erase(0, total);
+  out.status = HttpReadResult::Status::ok;
+  return out;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Entity";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string format_http_response(int status, const std::string& content_type,
+                                 const std::string& body, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_status_reason(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<HttpResponse> http_roundtrip(const TcpSocket& socket,
+                                           const std::string& method,
+                                           const std::string& path,
+                                           const std::string& body) {
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: 127.0.0.1\r\n";
+  if (!body.empty()) req += "Content-Type: application/json\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "\r\n";
+  req += body;
+  if (!socket.write_all(req)) return std::nullopt;
+
+  // Read the status line + headers.
+  std::string buf;
+  char chunk[8192];
+  std::size_t head_end;
+  while ((head_end = buf.find("\r\n\r\n")) == std::string::npos) {
+    const long n = socket.read_some(chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  HttpResponse resp;
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string status_line = buf.substr(0, line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0)
+    return std::nullopt;
+  resp.status = std::atoi(status_line.c_str() + 9);
+
+  std::size_t pos = line_end + 2;
+  while (pos < head_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string line = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp.headers[to_lower(line.substr(0, colon))] =
+        trim(line.substr(colon + 1));
+  }
+
+  std::size_t body_len = 0;
+  const auto it = resp.headers.find("content-length");
+  if (it != resp.headers.end())
+    body_len = static_cast<std::size_t>(std::strtoull(it->second.c_str(),
+                                                      nullptr, 10));
+  const std::size_t total = head_end + 4 + body_len;
+  while (buf.size() < total) {
+    const long n = socket.read_some(chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  resp.body = buf.substr(head_end + 4, body_len);
+  return resp;
+}
+
+}  // namespace cirstag::serve

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/socket.hpp"
+
+namespace cirstag::serve {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased on parse
+/// (HTTP headers are case-insensitive); values keep their bytes minus
+/// surrounding whitespace.
+struct HttpRequest {
+  std::string method;  ///< upper-case token, e.g. "POST"
+  std::string path;    ///< path only — the query string is split off
+  std::string query;   ///< bytes after '?', empty when absent
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* header(const std::string& lower_name) const {
+    const auto it = headers.find(lower_name);
+    return it == headers.end() ? nullptr : &it->second;
+  }
+
+  /// True when the client asked to keep the connection open (HTTP/1.1
+  /// default, overridden by "Connection: close").
+  [[nodiscard]] bool keep_alive() const;
+};
+
+/// Outcome of reading one request off a connection.
+struct HttpReadResult {
+  enum class Status {
+    ok,            ///< `request` is valid
+    closed,        ///< orderly end-of-stream before any request byte
+    timeout,       ///< idle past the deadline before any request byte
+    bad_request,   ///< malformed request — respond 400 and close
+    too_large,     ///< headers or body past the limits — respond 413/431
+    io_error,      ///< socket error mid-request
+  };
+  Status status = Status::io_error;
+  HttpRequest request;
+  /// Suggested status code + detail for the error statuses.
+  int error_code = 0;
+  std::string error_detail;
+};
+
+/// Byte limits of the reader. The defaults fit the serving protocol: bodies
+/// carry netlist text on /load, so the body cap is generous; headers are
+/// protocol-controlled and stay small.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 64 * 1024 * 1024;
+};
+
+/// Blocking HTTP/1.1 request reader over a TcpSocket.
+///
+/// Buffers between calls so pipelined requests on one connection parse
+/// correctly. `idle_timeout_ms` bounds the wait for the *first* byte of a
+/// request (keep-alive idling); once a request has started, reads block
+/// until it completes or the peer vanishes.
+class HttpReader {
+ public:
+  explicit HttpReader(const TcpSocket& socket, HttpLimits limits = {})
+      : socket_(&socket), limits_(limits) {}
+
+  [[nodiscard]] HttpReadResult read_request(int idle_timeout_ms);
+
+ private:
+  /// Ensure buffer_ holds at least `need` bytes; false on EOF/error.
+  bool fill(std::size_t need, HttpReadResult& out, bool first_byte,
+            int idle_timeout_ms);
+
+  const TcpSocket* socket_;
+  HttpLimits limits_;
+  std::string buffer_;
+};
+
+/// Parse request line + headers from a raw header block (no body). Used by
+/// HttpReader and directly fuzz-tested. Returns nullopt on malformed input
+/// with `error` set.
+[[nodiscard]] std::optional<HttpRequest> parse_http_head(
+    const std::string& head, std::string& error);
+
+/// Serialize an HTTP/1.1 response with Content-Length framing.
+[[nodiscard]] std::string format_http_response(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive);
+
+/// Reason phrase of the status codes the serving layer emits.
+[[nodiscard]] const char* http_status_reason(int status);
+
+/// Client-side helper (bench / tests): send one request and block for the
+/// response. Returns nullopt on transport failure; `status`/`body` are
+/// filled from the response.
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+[[nodiscard]] std::optional<HttpResponse> http_roundtrip(
+    const TcpSocket& socket, const std::string& method,
+    const std::string& path, const std::string& body);
+
+}  // namespace cirstag::serve

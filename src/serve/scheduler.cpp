@@ -1,0 +1,243 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+
+#include "obs/metrics.hpp"
+
+namespace cirstag::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Per-endpoint latency histogram, registered on first use. Endpoint names
+/// come from the fixed routing table, so the map stays tiny.
+obs::Histogram& latency_histogram(const std::string& endpoint) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<obs::Histogram>> histograms;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = histograms[endpoint];
+  if (!slot) {
+    slot = std::make_unique<obs::Histogram>(
+        "serve.latency_ms." + endpoint,
+        std::vector<double>{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                            5000, 15000, 60000});
+  }
+  return *slot;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge gauge("serve.scheduler.queue_depth");
+  return gauge;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Options options) : options_(options) {
+  options_.workers = std::max<std::size_t>(1, options_.workers);
+  options_.max_batch_size = std::max<std::size_t>(1, options_.max_batch_size);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::complete(Job& job, JobResponse response) {
+  static obs::Counter served("serve.requests_served");
+  const int status = response.status;
+  // All telemetry lands before the promise resolves: a client that has its
+  // response (and immediately reads /metrics) must see this job counted.
+  served.add();
+  latency_histogram(job.endpoint).observe(ms_since(job.enqueued));
+  if (status == 504) {
+    static obs::Counter expired("serve.expired_504");
+    expired.add();
+  } else if (status >= 500) {
+    static obs::Counter failed("serve.failed_5xx");
+    failed.add();
+  }
+  job.promise.set_value(std::move(response));
+}
+
+Scheduler::SubmitResult Scheduler::submit(Job job) {
+  SubmitResult result;
+  if (job.deadline == Clock::time_point{})
+    job.deadline = Clock::now() +
+                   std::chrono::milliseconds(options_.default_deadline_ms);
+  job.enqueued = Clock::now();
+  result.future = job.promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (draining_ || stopping_) {
+    static obs::Counter rejected("serve.rejected_503");
+    rejected.add();
+    result.reject_status = 503;
+    result.reject_detail = "server is draining";
+    return result;
+  }
+  if (queue_.size() >= options_.queue_capacity) {
+    static obs::Counter rejected("serve.rejected_429");
+    rejected.add();
+    result.reject_status = 429;
+    result.reject_detail =
+        "admission queue full (" + std::to_string(options_.queue_capacity) +
+        " requests queued)";
+    return result;
+  }
+  queue_.push_back(std::move(job));
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  result.accepted = true;
+  lock.unlock();
+  cv_work_.notify_one();
+  return result;
+}
+
+void Scheduler::dispatch(std::unique_lock<std::mutex>& lock) {
+  static obs::Counter batches("serve.scheduler.batches_formed");
+  static obs::Counter batched_requests("serve.scheduler.batched_requests");
+  static obs::Histogram batch_size(
+      "serve.scheduler.batch_size",
+      std::vector<double>{1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+
+  std::vector<Job> group;
+  group.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const bool batchable =
+      !group.front().batch_key.empty() && group.front().run_batch != nullptr;
+  if (batchable) {
+    // Pull every queued job with the same key (up to the batch cap),
+    // preserving the relative order of everything left behind. The key is
+    // copied: push_back below reallocates `group`, which would dangle a
+    // reference into its front element.
+    const std::string key = group.front().batch_key;
+    for (auto it = queue_.begin();
+         it != queue_.end() && group.size() < options_.max_batch_size;) {
+      if (it->batch_key == key && it->run_batch != nullptr) {
+        group.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  ++active_;
+  lock.unlock();
+
+  // Expire lapsed deadlines without executing them; survivors execute.
+  std::vector<Job*> live;
+  live.reserve(group.size());
+  const auto now = Clock::now();
+  for (Job& job : group) {
+    if (job.deadline < now) {
+      complete(job, {504, "{\"error\": \"deadline expired before "
+                          "execution\"}"});
+    } else {
+      live.push_back(&job);
+    }
+  }
+
+  if (!live.empty()) {
+    try {
+      if (batchable) {
+        batches.add();
+        batched_requests.add(live.size());
+        batch_size.observe(static_cast<double>(live.size()));
+        std::vector<JobResponse> responses = live.front()->run_batch(live);
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          complete(*live[i], i < responses.size()
+                                 ? std::move(responses[i])
+                                 : JobResponse{500,
+                                               "{\"error\": \"batch executor "
+                                               "returned too few responses\"}"});
+        }
+      } else {
+        complete(*live.front(), live.front()->run());
+      }
+    } catch (const std::exception& e) {
+      std::string body = "{\"error\": \"internal error\", \"detail\": \"";
+      for (const char c : std::string(e.what())) {
+        if (c == '"' || c == '\\') body += '\\';
+        if (c >= 0x20) body += c;
+      }
+      body += "\"}";
+      for (Job* job : live) {
+        // complete() is idempotent-unsafe (promise single-set); jobs the
+        // batch path already completed cannot reach here because the
+        // exception aborts before any complete() call in run_batch's loop —
+        // responses are only assigned after the executor returns.
+        complete(*job, {500, body});
+      }
+    }
+  }
+
+  lock.lock();
+  --active_;
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_work_.wait(lock, [this] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty() || paused_) {
+      if (stopping_) return;
+      continue;
+    }
+    dispatch(lock);
+    if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+  }
+}
+
+void Scheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  paused_ = false;  // a paused scheduler must still finish queued work
+  cv_work_.notify_all();
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void Scheduler::stop() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void Scheduler::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void Scheduler::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+std::size_t Scheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_ || stopping_;
+}
+
+}  // namespace cirstag::serve

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cirstag::serve {
+
+/// Completed job outcome: an HTTP status plus a JSON body.
+struct JobResponse {
+  int status = 500;
+  std::string body;
+};
+
+/// One unit of admitted work.
+///
+/// `run` executes a lone job. A job with a non-empty `batch_key` AND a
+/// `run_batch` callback is *coalescable*: when a worker pops it, every other
+/// queued job with the same key is pulled along (up to max_batch_size) and
+/// the group executes through one `run_batch` call — the cross-request
+/// batching that turns N compatible Case-A analyze requests into a single
+/// SweepEngine::run. `payload` carries the per-job data the batch executor
+/// reads (e.g. the parsed SweepVariant); it is opaque to the scheduler.
+struct Job {
+  std::string endpoint;   ///< metrics label, e.g. "analyze"
+  std::string batch_key;  ///< empty = never coalesced
+  std::shared_ptr<void> payload;
+  std::function<JobResponse()> run;
+  /// Executes a coalesced group; must return exactly jobs.size() responses,
+  /// in order. All jobs in a group share the same batch_key (and, by
+  /// construction in the handler layer, the same executor).
+  std::function<std::vector<JobResponse>(std::vector<Job*>&)> run_batch;
+  std::chrono::steady_clock::time_point deadline;
+  std::chrono::steady_clock::time_point enqueued;
+  std::promise<JobResponse> promise;
+};
+
+/// Bounded-admission request scheduler over its own worker threads.
+///
+/// Admission: the queue holds at most queue_capacity jobs; submit() on a
+/// full queue rejects with 429 immediately (backpressure to the client)
+/// and a draining scheduler rejects with 503. Deadlines: a job whose
+/// deadline passed while queued is answered 504 without executing.
+/// Batching: see Job. Telemetry: per-endpoint latency histograms
+/// (serve.latency_ms.<endpoint>, p50/p95/p99 via --metrics-json), queue
+/// depth gauge, batch-size histogram, and the served/rejected/expired/
+/// batches-formed counters the CI gate pins.
+///
+/// Workers run analysis code that parallelizes through the global
+/// runtime::ThreadPool; concurrent pool use from several workers is safe
+/// (the pool serializes external run() calls), so scheduler workers provide
+/// request-level concurrency while the pool provides data parallelism
+/// within each batch.
+class Scheduler {
+ public:
+  struct Options {
+    std::size_t queue_capacity = 256;
+    std::size_t workers = 2;
+    /// Max jobs coalesced into one batch execution (1 disables batching).
+    std::size_t max_batch_size = 8;
+    /// Deadline applied when a request names none.
+    int default_deadline_ms = 60000;
+  };
+
+  // GCC cannot evaluate a nested aggregate's member initializers in a
+  // default argument here, so the no-options form is a separate constructor.
+  Scheduler() : Scheduler(Options()) {}
+  explicit Scheduler(Options options);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  struct SubmitResult {
+    bool accepted = false;
+    /// Valid only when accepted: resolves when the job completes/expires.
+    std::future<JobResponse> future;
+    /// Suggested rejection status (429 full, 503 draining) + detail.
+    int reject_status = 0;
+    std::string reject_detail;
+  };
+
+  /// Thread-safe; never blocks on queue space (bounded admission rejects).
+  [[nodiscard]] SubmitResult submit(Job job);
+
+  /// Stop admitting, execute everything already queued, and wait for the
+  /// workers to go idle. Safe to call more than once.
+  void drain();
+
+  /// drain() then join the workers; the destructor calls this.
+  void stop();
+
+  /// Deterministic-batching support (bench/tests): while paused, workers
+  /// pop nothing, so a caller can enqueue a wave of requests and resume —
+  /// batch formation then depends only on queue content, not on arrival
+  /// timing. With one worker the batch count per wave is exactly
+  /// ceil(compatible / max_batch_size).
+  void pause();
+  void resume();
+
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] bool draining() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  /// Pop one job (plus coalesced peers) and execute; assumes lock held on
+  /// entry, returns with lock held.
+  void dispatch(std::unique_lock<std::mutex>& lock);
+  static void complete(Job& job, JobResponse response);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   ///< workers wait for jobs / stop
+  std::condition_variable cv_idle_;   ///< drain() waits for empty + idle
+  std::deque<Job> queue_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool paused_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cirstag::serve

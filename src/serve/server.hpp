@@ -1,0 +1,67 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/socket.hpp"
+
+namespace cirstag::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 8437;  ///< 0 = kernel-assigned (tests)
+  HttpLimits limits;
+  Scheduler::Options scheduler;
+};
+
+/// The serving daemon: a loopback HTTP/1.1 listener in front of a Service.
+///
+/// Threading model: blocking sockets, one connection thread per accepted
+/// client (keep-alive, pipelining-capable), all request execution delegated
+/// to the Service's scheduler — connection threads only parse, submit, and
+/// wait. The accept loop polls in short ticks so a stop request (SIGINT /
+/// SIGTERM via the CLI, request_stop() from tests) is observed promptly and
+/// turns into a graceful drain: stop accepting, finish every admitted
+/// request, answer late arrivals 503, join connection threads, return.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen; false (with `error` set) when the port is taken.
+  [[nodiscard]] bool start(std::string& error);
+
+  /// Bound port; valid after start() (resolves a kernel-assigned port 0).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  [[nodiscard]] Service& service() { return service_; }
+
+  /// Accept loop; returns after a graceful drain once request_stop() is
+  /// called or `should_stop` returns true (checked every accept tick,
+  /// ~200ms — the CLI passes a signal-flag probe here).
+  void serve_forever(const std::function<bool()>& should_stop = {});
+
+  /// Ask serve_forever to drain and return. Thread-safe (one atomic store).
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  void connection_loop(TcpSocket socket);
+  void drain_and_join();
+
+  ServerOptions options_;
+  Service service_;
+  TcpListener listener_;
+  std::atomic<bool> stop_{false};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cirstag::serve

@@ -1,0 +1,168 @@
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace cirstag::serve {
+
+// ---------------------------------------------------------------------------
+// TcpSocket
+
+TcpSocket::~TcpSocket() { close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+long TcpSocket::read_some(char* data, std::size_t size) const {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return n;
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool TcpSocket::write_all(const char* data, std::size_t size) const {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd_, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpSocket::wait_readable(int timeout_ms) const {
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+void TcpSocket::shutdown_write() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      error_(std::move(other.error_)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+TcpListener TcpListener::open(std::uint16_t port, int backlog) {
+  TcpListener listener;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    listener.error_ = std::string("socket: ") + std::strerror(errno);
+    return listener;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    listener.error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return listener;
+  }
+  if (::listen(fd, backlog) < 0) {
+    listener.error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return listener;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    listener.port_ = ntohs(bound.sin_port);
+  listener.fd_ = fd;
+  return listener;
+}
+
+std::optional<TcpSocket> TcpListener::accept(int timeout_ms) const {
+  pollfd pfd{fd_, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0) return std::nullopt;
+    if (rc < 0) {
+      if (errno == EINTR) return std::nullopt;  // let the caller check flags
+      return std::nullopt;
+    }
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return TcpSocket(fd);
+    }
+    if (errno != EINTR && errno != ECONNABORTED) return std::nullopt;
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpSocket tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return TcpSocket{};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) < 0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return TcpSocket{};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpSocket(fd);
+}
+
+}  // namespace cirstag::serve

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cirstag::serve {
+
+/// Move-only owner of a connected TCP socket fd (blocking I/O).
+///
+/// All methods retry on EINTR so the CLI's signal handlers (which only set a
+/// flag) never surface as spurious I/O errors; writes use MSG_NOSIGNAL so a
+/// peer hanging up yields an error return instead of SIGPIPE.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Read up to `size` bytes; returns bytes read, 0 on orderly shutdown,
+  /// -1 on error.
+  [[nodiscard]] long read_some(char* data, std::size_t size) const;
+
+  /// Block until `size` bytes are written or the peer is gone; returns
+  /// false on any error.
+  [[nodiscard]] bool write_all(const char* data, std::size_t size) const;
+  [[nodiscard]] bool write_all(const std::string& data) const {
+    return write_all(data.data(), data.size());
+  }
+
+  /// Wait until the socket is readable; false on timeout/error. Lets the
+  /// server's connection loop wake up periodically to observe a drain
+  /// request instead of parking forever in read().
+  [[nodiscard]] bool wait_readable(int timeout_ms) const;
+
+  /// Half-close the write side (client end-of-requests signal).
+  void shutdown_write() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to the loopback interface (the serving daemon
+/// is an in-rack analysis service, not an internet-facing one; anything
+/// else belongs behind a real proxy).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { close(); }
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Bind + listen on 127.0.0.1:`port` (port 0 = kernel-assigned, see
+  /// port()). Returns an invalid listener on failure; error() explains.
+  [[nodiscard]] static TcpListener open(std::uint16_t port,
+                                        int backlog = 128);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// The bound port (resolves kernel-assigned port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Wait up to `timeout_ms` for a connection; nullopt on timeout or when
+  /// the listener was closed from another thread.
+  [[nodiscard]] std::optional<TcpSocket> accept(int timeout_ms) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+/// Blocking connect to 127.0.0.1:`port`; invalid socket on failure.
+[[nodiscard]] TcpSocket tcp_connect(std::uint16_t port);
+
+}  // namespace cirstag::serve

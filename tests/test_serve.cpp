@@ -1,0 +1,974 @@
+// Serving-layer tests (suite prefix "Serve" — the TSan CI job filters on
+// it): JSON codec round-trip + malformed fuzz corpora, HTTP head parsing,
+// registry load/unload/concurrent lookup, scheduler admission/deadline/
+// batching/drain edges, endpoint routing, and the loopback e2e contract —
+// an /analyze response served over a real socket is byte-identical to the
+// in-process answer (and its doubles bitwise-equal to the resident
+// SweepEngine baseline, which core contract tests pin to CirStag::analyze).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/generator.hpp"
+#include "circuit/io.hpp"
+#include "core/query.hpp"
+#include "core/sweep.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/handlers.hpp"
+#include "serve/http.hpp"
+#include "serve/json.hpp"
+#include "serve/registry.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+using namespace cirstag;
+using namespace cirstag::serve;
+
+std::string small_netlist_text(std::size_t gates = 60,
+                               std::uint64_t seed = 91) {
+  static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+  circuit::RandomCircuitSpec spec;
+  spec.name = "serve_test";
+  spec.num_gates = gates;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.num_levels = 6;
+  spec.seed = seed;
+  const circuit::Netlist nl = circuit::generate_random_logic(lib, spec);
+  std::ostringstream out;
+  circuit::write_netlist(out, nl);
+  return out.str();
+}
+
+HttpRequest make_request(const std::string& method, const std::string& path,
+                         const std::string& body) {
+  HttpRequest req;
+  req.method = method;
+  req.path = path;
+  req.body = body;
+  return req;
+}
+
+std::uint64_t counter(const std::string& name) {
+  return obs::MetricsRegistry::global().counter_value(name);
+}
+
+// ===========================================================================
+// ServeJson — the request-body codec
+// ===========================================================================
+
+TEST(ServeJson, ScalarsAndContainers) {
+  const JsonValue doc = parse_json(
+      " {\"a\": 1.5, \"b\": [true, false, null], \"c\": \"x\", "
+      "\"nested\": {\"d\": -2e3}} ");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.number_or("a", 0), 1.5);
+  const JsonValue* b = doc.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->as_array().size(), 3u);
+  EXPECT_TRUE(b->as_array()[0].as_bool());
+  EXPECT_FALSE(b->as_array()[1].as_bool());
+  EXPECT_TRUE(b->as_array()[2].is_null());
+  EXPECT_EQ(doc.string_or("c", ""), "x");
+  const JsonValue* nested = doc.find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->number_or("d", 0), -2000.0);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.number_or("missing", 7.0), 7.0);
+}
+
+TEST(ServeJson, MembersKeepDocumentOrder) {
+  const JsonValue doc = parse_json("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  const auto& members = doc.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+// The serving responses render doubles through obs::append_json_number
+// (%.17g); the byte-identity contract requires that parsing those bytes
+// reproduces the exact IEEE value.
+TEST(ServeJson, NumberRenderParseRoundTripIsExact) {
+  const double values[] = {0.0,         1.0 / 3.0,    0.1 + 0.2,
+                           1e-300,      -123.456e-7,  1e17,
+                           5e-324,      1.7976931348623157e308,
+                           -2.5000000000000004};
+  for (const double v : values) {
+    std::string rendered;
+    obs::append_json_number(rendered, v);
+    const JsonValue parsed = parse_json(rendered);
+    ASSERT_TRUE(parsed.is_number()) << rendered;
+    const double back = parsed.as_number();
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << rendered << " did not round-trip";
+  }
+}
+
+TEST(ServeJson, StringEscapes) {
+  const JsonValue doc =
+      parse_json("\"line\\n tab\\t quote\\\" back\\\\ u\\u0041\\u00e9\"");
+  EXPECT_EQ(doc.as_string(), "line\n tab\t quote\" back\\ uA\u00e9");
+}
+
+TEST(ServeJson, QuoteParseRoundTrip) {
+  const std::string nasty = "a\"b\\c\nd\te\x01f";
+  const JsonValue doc = parse_json(obs::json_quote(nasty));
+  EXPECT_EQ(doc.as_string(), nasty);
+}
+
+TEST(ServeJson, MalformedCorpusThrows) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "{",
+      "[1, 2",
+      "\"unterminated",
+      "{\"a\" 1}",
+      "{\"a\": 1,}",
+      "[1, 2,]",
+      "{\"a\": 1} trailing",
+      "1 2",
+      "nul",
+      "truex",
+      "NaN",
+      "Infinity",
+      "-",
+      "+1",
+      "01x",
+      "{\"a\": }",
+      "{: 1}",
+      "[,]",
+      "\"bad escape \\q\"",
+      "\"bad unicode \\u12g4\"",
+      "\"raw control \x01\"",
+      "}",
+      "]",
+  };
+  for (const char* text : corpus) {
+    EXPECT_THROW((void)parse_json(text), JsonError)
+        << "accepted: " << text;
+  }
+}
+
+TEST(ServeJson, DepthLimitStopsNestingBombs) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW((void)parse_json(deep, 8), JsonError);
+  EXPECT_NO_THROW((void)parse_json("[[[[1]]]]", 8));
+}
+
+TEST(ServeJson, KindMismatchThrows) {
+  const JsonValue doc = parse_json("{\"n\": 3}");
+  EXPECT_THROW((void)doc.as_string(), JsonError);
+  EXPECT_THROW((void)doc.find("n")->as_array(), JsonError);
+  EXPECT_THROW((void)parse_json("[1]").find("x"), JsonError);
+}
+
+// ===========================================================================
+// ServeHttp — request head parsing and response framing
+// ===========================================================================
+
+TEST(ServeHttp, ParsesRequestLineHeadersAndQuery) {
+  std::string error;
+  const auto req = parse_http_head(
+      "POST /analyze?trace=1 HTTP/1.1\r\n"
+      "Content-Type: application/json\r\n"
+      "X-MiXeD-Case:  spaced value \r\n"
+      "\r\n",
+      error);
+  ASSERT_TRUE(req.has_value()) << error;
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/analyze");
+  EXPECT_EQ(req->query, "trace=1");
+  ASSERT_NE(req->header("content-type"), nullptr);
+  EXPECT_EQ(*req->header("content-type"), "application/json");
+  ASSERT_NE(req->header("x-mixed-case"), nullptr);
+  EXPECT_EQ(*req->header("x-mixed-case"), "spaced value");
+}
+
+TEST(ServeHttp, KeepAliveSemantics) {
+  std::string error;
+  const auto plain = parse_http_head("GET /health HTTP/1.1\r\n\r\n", error);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->keep_alive());  // HTTP/1.1 default
+
+  const auto close = parse_http_head(
+      "GET /health HTTP/1.1\r\nConnection: Close\r\n\r\n", error);
+  ASSERT_TRUE(close.has_value());
+  EXPECT_FALSE(close->keep_alive());
+}
+
+TEST(ServeHttp, MalformedHeadCorpusRejected) {
+  const char* corpus[] = {
+      "\r\n\r\n",                                  // empty request line
+      "GET /x\r\n\r\n",                            // missing version
+      "GET /x HTTP/1.1 extra\r\n\r\n",             // four tokens
+      "get /x HTTP/1.1\r\n\r\n",                   // lower-case method
+      "GET x HTTP/1.1\r\n\r\n",                    // not origin-form
+      "GET /x HTTP/2\r\n\r\n",                     // unsupported version
+      "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",    // header without ':'
+      "GET /x HTTP/1.1\r\n: value\r\n\r\n",        // empty header name
+      "GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",    // space in header name
+      "GET /x HTTP/1.1\r\nA: b\r\n\r\nleftover",   // bytes past terminator
+      "GET /x HTTP/1.1\r\nA: b\r\n",               // unterminated headers
+  };
+  for (const char* text : corpus) {
+    std::string error;
+    EXPECT_FALSE(parse_http_head(text, error).has_value())
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ServeHttp, ResponseFraming) {
+  const std::string keep =
+      format_http_response(200, "application/json", "{\"k\": 1}", true);
+  EXPECT_EQ(keep.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(keep.find("Content-Length: 8\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_EQ(keep.substr(keep.size() - 8), "{\"k\": 1}");
+
+  const std::string close = format_http_response(429, "application/json",
+                                                 "{}", false);
+  EXPECT_EQ(close.rfind("HTTP/1.1 429 Too Many Requests\r\n", 0), 0u);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+}
+
+// ===========================================================================
+// ServeRegistry — resident-circuit lifecycle
+// ===========================================================================
+
+LoadOptions tiny_load_options() {
+  LoadOptions options;
+  options.gnn_epochs = 12;
+  options.gnn_hidden = 8;
+  options.exact = true;
+  return options;
+}
+
+TEST(ServeRegistry, LoadLookupUnloadCycle) {
+  CircuitRegistry registry;
+  const auto loaded =
+      registry.load_from_text("alpha", small_netlist_text(),
+                              tiny_load_options());
+  ASSERT_NE(loaded.record, nullptr) << loaded.error;
+  EXPECT_GT(loaded.record->netlist.num_pins(), 0u);
+  EXPECT_NE(loaded.record->engine, nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+
+  const auto record = registry.lookup("alpha");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record.get(), loaded.record.get());
+  EXPECT_EQ(registry.lookup("beta"), nullptr);
+
+  const auto infos = registry.infos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "alpha");
+  EXPECT_EQ(infos[0].pins, record->netlist.num_pins());
+  EXPECT_EQ(infos[0].gates, record->netlist.num_gates());
+
+  EXPECT_TRUE(registry.unload("alpha"));
+  EXPECT_EQ(registry.lookup("alpha"), nullptr);
+  EXPECT_FALSE(registry.unload("alpha"));
+  EXPECT_EQ(registry.size(), 0u);
+
+  // The handed-out record stays alive past unload.
+  EXPECT_GT(record->engine->baseline().node_scores.size(), 0u);
+}
+
+TEST(ServeRegistry, DuplicateNameConflicts) {
+  CircuitRegistry registry;
+  const std::string text = small_netlist_text();
+  ASSERT_NE(registry.load_from_text("dup", text, tiny_load_options()).record,
+            nullptr);
+  const auto second = registry.load_from_text("dup", text,
+                                              tiny_load_options());
+  EXPECT_EQ(second.record, nullptr);
+  EXPECT_TRUE(second.name_conflict);
+}
+
+TEST(ServeRegistry, FailedLoadReleasesTheName) {
+  CircuitRegistry registry;
+  const auto bad = registry.load_from_text("x", "not a netlist at all",
+                                           tiny_load_options());
+  EXPECT_EQ(bad.record, nullptr);
+  EXPECT_FALSE(bad.name_conflict);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_EQ(registry.size(), 0u);
+  // The reservation must have been rolled back.
+  EXPECT_NE(registry.load_from_text("x", small_netlist_text(),
+                                    tiny_load_options())
+                .record,
+            nullptr);
+}
+
+TEST(ServeRegistry, EmptyNameRejected) {
+  CircuitRegistry registry;
+  const auto result = registry.load_from_text("", small_netlist_text(),
+                                              tiny_load_options());
+  EXPECT_EQ(result.record, nullptr);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(ServeRegistry, ConcurrentLookupsDuringLoad) {
+  CircuitRegistry registry;
+  ASSERT_NE(registry.load_from_text("warm", small_netlist_text(60, 5),
+                                    tiny_load_options())
+                .record,
+            nullptr);
+
+  std::atomic<bool> go{true};
+  std::atomic<std::size_t> hits{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (go.load()) {
+        if (registry.lookup("warm") != nullptr) hits.fetch_add(1);
+        (void)registry.infos();
+        (void)registry.size();
+      }
+    });
+  }
+  // A second load runs while the readers hammer the registry.
+  const auto second = registry.load_from_text("cold",
+                                              small_netlist_text(60, 6),
+                                              tiny_load_options());
+  go.store(false);
+  for (std::thread& t : readers) t.join();
+  ASSERT_NE(second.record, nullptr) << second.error;
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+// ===========================================================================
+// ServeScheduler — admission, deadlines, batching, drain
+// ===========================================================================
+
+Job trivial_job(const std::string& body = "{}") {
+  Job job;
+  job.endpoint = "test";
+  job.run = [body]() -> JobResponse { return {200, body}; };
+  return job;
+}
+
+TEST(ServeScheduler, ExecutesSubmittedJobs) {
+  const std::uint64_t served_before = counter("serve.requests_served");
+  Scheduler::Options options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  auto result = scheduler.submit(trivial_job("{\"ok\": true}"));
+  ASSERT_TRUE(result.accepted);
+  const JobResponse response = result.future.get();
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"ok\": true}");
+  scheduler.stop();
+  EXPECT_EQ(counter("serve.requests_served"), served_before + 1);
+}
+
+TEST(ServeScheduler, FullQueueRejects429) {
+  Scheduler::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Scheduler scheduler(options);
+  scheduler.pause();
+  auto first = scheduler.submit(trivial_job());
+  ASSERT_TRUE(first.accepted);
+  EXPECT_EQ(scheduler.queue_depth(), 1u);
+  auto second = scheduler.submit(trivial_job());
+  EXPECT_FALSE(second.accepted);
+  EXPECT_EQ(second.reject_status, 429);
+  scheduler.resume();
+  EXPECT_EQ(first.future.get().status, 200);
+  scheduler.stop();
+}
+
+TEST(ServeScheduler, ExpiredDeadlineAnswers504WithoutExecuting) {
+  Scheduler::Options options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  scheduler.pause();
+  std::atomic<bool> executed{false};
+  Job job;
+  job.endpoint = "test";
+  job.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  job.run = [&executed]() -> JobResponse {
+    executed.store(true);
+    return {200, "{}"};
+  };
+  auto result = scheduler.submit(std::move(job));
+  ASSERT_TRUE(result.accepted);
+  scheduler.resume();
+  EXPECT_EQ(result.future.get().status, 504);
+  EXPECT_FALSE(executed.load());
+  scheduler.stop();
+}
+
+TEST(ServeScheduler, WaveBatchingIsDeterministic) {
+  const std::uint64_t batches_before =
+      counter("serve.scheduler.batches_formed");
+  Scheduler::Options options;
+  options.workers = 1;  // single worker => ceil(5 / 2) = 3 batches
+  options.max_batch_size = 2;
+  Scheduler scheduler(options);
+  scheduler.pause();
+
+  std::mutex sizes_mutex;
+  std::vector<std::size_t> batch_sizes;
+  std::vector<std::future<JobResponse>> futures;
+  for (int i = 0; i < 5; ++i) {
+    Job job;
+    job.endpoint = "test";
+    job.batch_key = "same";
+    job.payload = std::make_shared<int>(i);
+    job.run = []() -> JobResponse { return {200, "solo"}; };
+    job.run_batch =
+        [&](std::vector<Job*>& group) -> std::vector<JobResponse> {
+      {
+        std::lock_guard<std::mutex> lock(sizes_mutex);
+        batch_sizes.push_back(group.size());
+      }
+      std::vector<JobResponse> out;
+      for (Job* member : group)
+        out.push_back(
+            {200, std::to_string(*std::static_pointer_cast<int>(
+                      member->payload))});
+      return out;
+    };
+    auto result = scheduler.submit(std::move(job));
+    ASSERT_TRUE(result.accepted);
+    futures.push_back(std::move(result.future));
+  }
+  scheduler.resume();
+  for (int i = 0; i < 5; ++i) {
+    const JobResponse response = futures[i].get();
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, std::to_string(i)) << "order not preserved";
+  }
+  scheduler.stop();
+  EXPECT_EQ(counter("serve.scheduler.batches_formed"), batches_before + 3);
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(batch_sizes[0], 2u);
+  EXPECT_EQ(batch_sizes[1], 2u);
+  EXPECT_EQ(batch_sizes[2], 1u);
+}
+
+TEST(ServeScheduler, EmptyBatchKeyNeverCoalesces) {
+  const std::uint64_t batches_before =
+      counter("serve.scheduler.batches_formed");
+  Scheduler::Options options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  scheduler.pause();
+  std::vector<std::future<JobResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    auto result = scheduler.submit(trivial_job());
+    ASSERT_TRUE(result.accepted);
+    futures.push_back(std::move(result.future));
+  }
+  scheduler.resume();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, 200);
+  scheduler.stop();
+  EXPECT_EQ(counter("serve.scheduler.batches_formed"), batches_before);
+}
+
+TEST(ServeScheduler, DrainFinishesQueuedWorkThenRejects503) {
+  Scheduler::Options options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  scheduler.pause();
+  std::vector<std::future<JobResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    auto result = scheduler.submit(trivial_job());
+    ASSERT_TRUE(result.accepted);
+    futures.push_back(std::move(result.future));
+  }
+  scheduler.drain();  // un-pauses, executes everything, waits for idle
+  EXPECT_TRUE(scheduler.draining());
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+  for (auto& f : futures) EXPECT_EQ(f.get().status, 200);
+  auto late = scheduler.submit(trivial_job());
+  EXPECT_FALSE(late.accepted);
+  EXPECT_EQ(late.reject_status, 503);
+  scheduler.stop();
+}
+
+TEST(ServeScheduler, HandlerExceptionBecomes500) {
+  Scheduler::Options options;
+  options.workers = 1;
+  Scheduler scheduler(options);
+  Job job;
+  job.endpoint = "test";
+  job.run = []() -> JobResponse {
+    throw std::runtime_error("boom detail");
+  };
+  auto result = scheduler.submit(std::move(job));
+  ASSERT_TRUE(result.accepted);
+  const JobResponse response = result.future.get();
+  EXPECT_EQ(response.status, 500);
+  EXPECT_NE(response.body.find("boom detail"), std::string::npos);
+  scheduler.stop();
+}
+
+// ===========================================================================
+// ServeEndpoints — in-process routing against one resident circuit
+// ===========================================================================
+
+/// One Service with a pre-loaded circuit shared by the endpoint tests (GNN
+/// training is the expensive part; train once). Leaked on purpose so its
+/// scheduler workers outlive test teardown ordering concerns.
+Service& shared_service() {
+  static Service* service = [] {
+    Scheduler::Options options;
+    options.workers = 1;
+    auto* svc = new Service(options);
+    const std::string body =
+        "{\"name\": \"fixture\", \"netlist\": " +
+        obs::json_quote(small_netlist_text()) +
+        ", \"epochs\": 12, \"hidden\": 8, \"mode\": \"exact\"}";
+    const JobResponse loaded =
+        handle_request(*svc, make_request("POST", "/load", body));
+    EXPECT_EQ(loaded.status, 200) << loaded.body;
+    return svc;
+  }();
+  return *service;
+}
+
+const core::CirStagReport& fixture_baseline() {
+  return shared_service().registry.lookup("fixture")->engine->baseline();
+}
+
+TEST(ServeEndpoints, LoadValidation) {
+  Service& service = shared_service();
+  // Duplicate name → 409.
+  const std::string dup =
+      "{\"name\": \"fixture\", \"netlist\": " +
+      obs::json_quote(small_netlist_text()) +
+      ", \"epochs\": 12, \"hidden\": 8}";
+  EXPECT_EQ(handle_request(service, make_request("POST", "/load", dup)).status,
+            409);
+  // Both path and netlist → 422; neither → 422; bad epochs → 422.
+  EXPECT_EQ(handle_request(
+                service,
+                make_request("POST", "/load",
+                             "{\"name\": \"x\", \"path\": \"a\", "
+                             "\"netlist\": \"b\"}"))
+                .status,
+            422);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/load", "{\"name\": \"x\"}"))
+                .status,
+            422);
+  EXPECT_EQ(handle_request(
+                service,
+                make_request("POST", "/load",
+                             "{\"name\": \"x\", \"netlist\": \"n\", "
+                             "\"epochs\": 0}"))
+                .status,
+            422);
+}
+
+TEST(ServeEndpoints, RoutingErrors) {
+  Service& service = shared_service();
+  EXPECT_EQ(
+      handle_request(service, make_request("POST", "/nope", "{}")).status,
+      404);
+  EXPECT_EQ(
+      handle_request(service, make_request("GET", "/analyze", "")).status,
+      405);
+  EXPECT_EQ(
+      handle_request(service, make_request("POST", "/health", "{}")).status,
+      405);
+  EXPECT_EQ(
+      handle_request(service, make_request("POST", "/analyze", "not json"))
+          .status,
+      400);
+  EXPECT_EQ(
+      handle_request(service, make_request("POST", "/analyze", "[1,2]"))
+          .status,
+      400);
+  EXPECT_EQ(handle_request(service, make_request("POST", "/analyze", "{}"))
+                .status,
+            422);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/analyze",
+                                        "{\"circuit\": \"ghost\"}"))
+                .status,
+            404);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/analyze",
+                                        "{\"circuit\": \"fixture\", "
+                                        "\"deadline_ms\": -5}"))
+                .status,
+            422);
+}
+
+TEST(ServeEndpoints, HealthReportsCircuitsAndBuild) {
+  const JobResponse response =
+      handle_request(shared_service(), make_request("GET", "/health", ""));
+  ASSERT_EQ(response.status, 200);
+  const JsonValue doc = parse_json(response.body);
+  EXPECT_EQ(doc.string_or("status", ""), "ok");
+  EXPECT_GE(doc.number_or("uptime_seconds", -1), 0.0);
+  const JsonValue* circuits = doc.find("circuits");
+  ASSERT_NE(circuits, nullptr);
+  bool found = false;
+  for (const JsonValue& info : circuits->as_array()) {
+    if (info.string_or("name", "") != "fixture") continue;
+    found = true;
+    EXPECT_EQ(info.number_or("pins", 0),
+              static_cast<double>(fixture_baseline().node_scores.size()));
+    EXPECT_EQ(info.string_or("mode", ""), "exact");
+  }
+  EXPECT_TRUE(found);
+  const JsonValue* build = doc.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_TRUE(build->find("git_describe") != nullptr);
+  EXPECT_TRUE(build->find("build_type") != nullptr);
+}
+
+TEST(ServeEndpoints, MetricsEndpointServesRegistryJson) {
+  const JobResponse response =
+      handle_request(shared_service(), make_request("GET", "/metrics", ""));
+  ASSERT_EQ(response.status, 200);
+  const JsonValue doc = parse_json(response.body);
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_TRUE(counters->is_object());
+  // The fixture load went through the scheduler, so its counters exist.
+  EXPECT_GE(counters->number_or("serve.requests_served", 0), 1.0);
+}
+
+TEST(ServeEndpoints, AnalyzeBaselineMatchesResidentEngine) {
+  const JobResponse response = handle_request(
+      shared_service(),
+      make_request("POST", "/analyze",
+                   "{\"circuit\": \"fixture\", \"cap_scalings\": []}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  EXPECT_TRUE(doc.bool_or("baseline", false));
+  const JsonValue* report = doc.find("report");
+  ASSERT_NE(report, nullptr);
+  const core::CirStagReport& baseline = fixture_baseline();
+  const auto& scores = report->find("node_scores")->as_array();
+  ASSERT_EQ(scores.size(), baseline.node_scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double parsed = scores[i].as_number();
+    EXPECT_EQ(std::memcmp(&parsed, &baseline.node_scores[i], sizeof parsed),
+              0)
+        << "node score " << i << " not bitwise-identical";
+  }
+  EXPECT_TRUE(report->bool_or("health_ok", false));
+}
+
+TEST(ServeEndpoints, AnalyzeVariantMatchesDirectEngineRun) {
+  Service& service = shared_service();
+  const JobResponse response = handle_request(
+      service,
+      make_request("POST", "/analyze",
+                   "{\"circuit\": \"fixture\", \"cap_scalings\": "
+                   "[{\"pin\": 3, \"factor\": 5.0}]}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  EXPECT_FALSE(doc.bool_or("baseline", true));
+
+  // Exact mode is deterministic: a direct re-run of the same variant on the
+  // resident engine must reproduce the served scores bitwise.
+  const auto record = service.registry.lookup("fixture");
+  core::SweepVariant variant;
+  variant.cap_scalings.push_back({3, 5.0});
+  const std::vector<core::SweepVariant> variants{variant};
+  std::vector<core::SweepVariantResult> direct;
+  {
+    std::lock_guard<std::mutex> lock(record->run_mutex);
+    direct = record->engine->run(variants);
+  }
+  ASSERT_EQ(direct.size(), 1u);
+  const auto& scores = doc.find("report")->find("node_scores")->as_array();
+  ASSERT_EQ(scores.size(), direct[0].report.node_scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i)
+    EXPECT_EQ(scores[i].as_number(), direct[0].report.node_scores[i]);
+}
+
+TEST(ServeEndpoints, AnalyzeRejectsBadCapScalings) {
+  Service& service = shared_service();
+  const char* bad_bodies[] = {
+      "{\"circuit\": \"fixture\", \"cap_scalings\": 3}",
+      "{\"circuit\": \"fixture\", \"cap_scalings\": [5]}",
+      "{\"circuit\": \"fixture\", \"cap_scalings\": [{\"pin\": -1, "
+      "\"factor\": 2}]}",
+      "{\"circuit\": \"fixture\", \"cap_scalings\": [{\"pin\": 1000000, "
+      "\"factor\": 2}]}",
+      "{\"circuit\": \"fixture\", \"cap_scalings\": [{\"pin\": 1, "
+      "\"factor\": 0}]}",
+      "{\"circuit\": \"fixture\", \"cap_scalings\": [{\"pin\": 1.5, "
+      "\"factor\": 2}]}",
+  };
+  for (const char* body : bad_bodies) {
+    EXPECT_EQ(handle_request(service, make_request("POST", "/analyze", body))
+                  .status,
+              422)
+        << body;
+  }
+}
+
+TEST(ServeEndpoints, TopKMatchesQueryHelper) {
+  const JobResponse response = handle_request(
+      shared_service(),
+      make_request("POST", "/top-k",
+                   "{\"circuit\": \"fixture\", \"k\": 5}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  const auto expected = core::top_k_nodes(fixture_baseline(), 5);
+  const auto& nodes = doc.find("nodes")->as_array();
+  ASSERT_EQ(nodes.size(), expected.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].number_or("node", -1),
+              static_cast<double>(expected[i].node));
+    EXPECT_EQ(nodes[i].number_or("score", -1), expected[i].score);
+  }
+  EXPECT_EQ(handle_request(shared_service(),
+                           make_request("POST", "/top-k",
+                                        "{\"circuit\": \"fixture\", "
+                                        "\"k\": 0}"))
+                .status,
+            422);
+}
+
+TEST(ServeEndpoints, ScoreRegionMatchesQueryHelper) {
+  const JobResponse response = handle_request(
+      shared_service(),
+      make_request("POST", "/score-region",
+                   "{\"circuit\": \"fixture\", \"nodes\": [0, 3, 7]}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  const std::vector<std::size_t> ids{0, 3, 7};
+  const core::RegionScore expected =
+      core::score_region(fixture_baseline(), ids);
+  EXPECT_EQ(doc.number_or("mean", -1), expected.mean);
+  EXPECT_EQ(doc.number_or("max", -1), expected.max);
+  EXPECT_EQ(doc.number_or("argmax", -1),
+            static_cast<double>(expected.argmax));
+  EXPECT_EQ(doc.number_or("design_mean", -1), expected.design_mean);
+
+  // Out-of-range id surfaces as 422, not a crash.
+  EXPECT_EQ(handle_request(shared_service(),
+                           make_request("POST", "/score-region",
+                                        "{\"circuit\": \"fixture\", "
+                                        "\"nodes\": [99999999]}"))
+                .status,
+            422);
+}
+
+TEST(ServeEndpoints, SweepRunsVariantsInOrder) {
+  const JobResponse response = handle_request(
+      shared_service(),
+      make_request("POST", "/sweep",
+                   "{\"circuit\": \"fixture\", \"variants\": ["
+                   "{\"cap_scalings\": [{\"pin\": 1, \"factor\": 3.0}]}, "
+                   "{\"cap_scalings\": [{\"pin\": 2, \"factor\": 0.5}]}]}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  ASSERT_NE(doc.find("results"), nullptr);
+  EXPECT_EQ(doc.find("results")->as_array().size(), 2u);
+  const JsonValue* stats = doc.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->number_or("variants", 0), 2.0);
+}
+
+TEST(ServeEndpoints, UnloadLifecycle) {
+  Service& service = shared_service();
+  const std::string body =
+      "{\"name\": \"transient\", \"netlist\": " +
+      obs::json_quote(small_netlist_text(60, 7)) +
+      ", \"epochs\": 12, \"hidden\": 8}";
+  ASSERT_EQ(handle_request(service, make_request("POST", "/load", body))
+                .status,
+            200);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/unload",
+                                        "{\"name\": \"transient\"}"))
+                .status,
+            200);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/unload",
+                                        "{\"name\": \"transient\"}"))
+                .status,
+            404);
+}
+
+// ===========================================================================
+// ServeLoopback — end-to-end over a real socket
+// ===========================================================================
+
+struct RunningServer {
+  explicit RunningServer(ServerOptions options) : server(options) {
+    std::string error;
+    if (!server.start(error)) throw std::runtime_error(error);
+    thread = std::thread([this] { server.serve_forever(); });
+  }
+  ~RunningServer() {
+    server.request_stop();
+    thread.join();
+  }
+  Server server;
+  std::thread thread;
+};
+
+ServerOptions loopback_options() {
+  ServerOptions options;
+  options.port = 0;  // kernel-assigned
+  options.scheduler.workers = 1;
+  return options;
+}
+
+void expect_bitwise_array(const std::vector<JsonValue>& parsed,
+                          const std::vector<double>& expected,
+                          const char* what) {
+  ASSERT_EQ(parsed.size(), expected.size()) << what;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const double value = parsed[i].as_number();
+    EXPECT_EQ(std::memcmp(&value, &expected[i], sizeof value), 0)
+        << what << "[" << i << "] not bitwise-identical";
+  }
+}
+
+TEST(ServeLoopback, SocketAnalyzeIsByteIdenticalToInProcess) {
+  const std::string netlist = small_netlist_text(60, 42);
+  const std::string load_body =
+      "{\"name\": \"e2e\", \"netlist\": " + obs::json_quote(netlist) +
+      ", \"epochs\": 12, \"hidden\": 8, \"mode\": \"exact\"}";
+  const std::string analyze_body =
+      "{\"circuit\": \"e2e\", \"cap_scalings\": "
+      "[{\"pin\": 2, \"factor\": 4.0}]}";
+  const std::string baseline_body =
+      "{\"circuit\": \"e2e\", \"cap_scalings\": []}";
+
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  const auto loaded = http_roundtrip(client, "POST", "/load", load_body);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->status, 200) << loaded->body;
+
+  // Baseline path: the response renders a *stored* report (the resident
+  // SweepEngine baseline, whose identity with CirStag::analyze is pinned by
+  // the core sweep contract tests), so the socket answer must match an
+  // in-process handle_request on the same Service byte for byte — every
+  // %.17g double, every checksum, every timing.
+  const auto socket_baseline =
+      http_roundtrip(client, "POST", "/analyze", baseline_body);
+  ASSERT_TRUE(socket_baseline.has_value());
+  ASSERT_EQ(socket_baseline->status, 200) << socket_baseline->body;
+  const JobResponse local_baseline = handle_request(
+      running.server.service(),
+      make_request("POST", "/analyze", baseline_body));
+  ASSERT_EQ(local_baseline.status, 200) << local_baseline.body;
+  EXPECT_EQ(socket_baseline->body, local_baseline.body);
+
+  const core::CirStagReport& baseline =
+      running.server.service().registry.lookup("e2e")->engine->baseline();
+  const JsonValue baseline_doc = parse_json(socket_baseline->body);
+  EXPECT_TRUE(baseline_doc.bool_or("baseline", false));
+  const JsonValue* baseline_report = baseline_doc.find("report");
+  ASSERT_NE(baseline_report, nullptr);
+  expect_bitwise_array(baseline_report->find("node_scores")->as_array(),
+                       baseline.node_scores, "baseline node_scores");
+  expect_bitwise_array(baseline_report->find("edge_scores")->as_array(),
+                       baseline.edge_scores, "baseline edge_scores");
+  expect_bitwise_array(baseline_report->find("eigenvalues")->as_array(),
+                       baseline.eigenvalues, "baseline eigenvalues");
+
+  // Variant path: exact mode is deterministic, so the scores served over
+  // the socket are bitwise-equal to a direct engine re-run of the variant
+  // (timings differ run to run; the doubles must not).
+  const auto socket_variant =
+      http_roundtrip(client, "POST", "/analyze", analyze_body);
+  ASSERT_TRUE(socket_variant.has_value());
+  ASSERT_EQ(socket_variant->status, 200) << socket_variant->body;
+  const auto record = running.server.service().registry.lookup("e2e");
+  core::SweepVariant variant;
+  variant.cap_scalings.push_back({2, 4.0});
+  const std::vector<core::SweepVariant> variants{variant};
+  std::vector<core::SweepVariantResult> direct;
+  {
+    std::lock_guard<std::mutex> lock(record->run_mutex);
+    direct = record->engine->run(variants);
+  }
+  ASSERT_EQ(direct.size(), 1u);
+  const JsonValue variant_doc = parse_json(socket_variant->body);
+  EXPECT_FALSE(variant_doc.bool_or("baseline", true));
+  const JsonValue* variant_report = variant_doc.find("report");
+  ASSERT_NE(variant_report, nullptr);
+  expect_bitwise_array(variant_report->find("node_scores")->as_array(),
+                       direct[0].report.node_scores, "variant node_scores");
+  expect_bitwise_array(variant_report->find("edge_scores")->as_array(),
+                       direct[0].report.edge_scores, "variant edge_scores");
+}
+
+TEST(ServeLoopback, KeepAliveServesMultipleRequests) {
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  for (int i = 0; i < 3; ++i) {
+    const auto health = http_roundtrip(client, "GET", "/health", "");
+    ASSERT_TRUE(health.has_value()) << "round " << i;
+    EXPECT_EQ(health->status, 200);
+  }
+  const auto metrics = http_roundtrip(client, "GET", "/metrics", "");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(parse_json(metrics->body).find("counters"), nullptr);
+}
+
+TEST(ServeLoopback, MalformedRequestGets400) {
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  ASSERT_TRUE(client.write_all("THIS IS NOT HTTP\r\n\r\n"));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const long n = client.read_some(chunk, sizeof chunk);
+    if (n <= 0) break;  // server closes after a protocol error
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(response.rfind("HTTP/1.1 400 ", 0), 0u) << response;
+}
+
+TEST(ServeLoopback, GracefulStopDrainsAndClosesListener) {
+  auto running = std::make_unique<RunningServer>(loopback_options());
+  const std::uint16_t port = running->server.port();
+  {
+    TcpSocket client = tcp_connect(port);
+    ASSERT_TRUE(client.valid());
+    const auto health = http_roundtrip(client, "GET", "/health", "");
+    ASSERT_TRUE(health.has_value());
+    EXPECT_EQ(health->status, 200);
+  }
+  running.reset();  // request_stop + join: drain must complete
+  // The listener is gone; new connections fail (or are reset immediately).
+  TcpSocket late = tcp_connect(port);
+  if (late.valid()) {
+    const auto response = http_roundtrip(late, "GET", "/health", "");
+    EXPECT_FALSE(response.has_value());
+  }
+}
+
+}  // namespace

@@ -13,8 +13,15 @@ stop — never on noise.
 
 Baseline schema: {"counter": <default counter>, "max_ratio": <default>,
 "benchmarks": {name: value, ...}}. An entry value may be a plain number
-(gated on the default counter) or an object
-{"counter": name, "value": N[, "max_ratio": R]} for per-entry overrides.
+(gated on the default counter), an object
+{"counter": name, "value": N[, "max_ratio": R]} for per-entry overrides, or
+a list of such objects to gate several counters of one benchmark row (the
+serve bench pins requests_served / registry_hits / batches_formed this way).
+
+Wall-time fields are carried through but never gated: any report counter
+named wall_* (per-phase and end-to-end wall clock the benches attach to
+their rows) is echoed in an informational section after the gate table, so
+--perf-json diffs keep timing context without making CI timing-sensitive.
 
 Additional modes over the cirstag_cli observability outputs:
 
@@ -122,49 +129,52 @@ def run_bench_gate(argv):
             observed[row["name"]] = row
 
     failures = []
+    gated = 0
     print(f"{'benchmark':<40} {'counter':>16} {'baseline':>10} {'current':>10} {'ratio':>7}")
     for name, spec in sorted(expected.items()):
-        if isinstance(spec, dict):
-            counter = spec.get("counter", default_counter)
-            if "value" not in spec:
-                print(f"error: baseline entry '{name}' is an object without "
-                      f"a 'value' key", file=sys.stderr)
+        for sub in (spec if isinstance(spec, list) else [spec]):
+            if isinstance(sub, dict):
+                counter = sub.get("counter", default_counter)
+                if "value" not in sub:
+                    print(f"error: baseline entry '{name}' is an object without "
+                          f"a 'value' key", file=sys.stderr)
+                    return 2
+                raw_value = sub["value"]
+                raw_ratio = sub.get("max_ratio", default_ratio)
+            else:
+                counter = default_counter
+                raw_value = sub
+                raw_ratio = default_ratio
+            try:
+                base_value = float(raw_value)
+                max_ratio = float(raw_ratio)
+            except (TypeError, ValueError):
+                print(f"error: baseline entry '{name}': 'value'/'max_ratio' must "
+                      f"be numbers (got {raw_value!r}, {raw_ratio!r})",
+                      file=sys.stderr)
                 return 2
-            raw_value = spec["value"]
-            raw_ratio = spec.get("max_ratio", default_ratio)
-        else:
-            counter = default_counter
-            raw_value = spec
-            raw_ratio = default_ratio
-        try:
-            base_value = float(raw_value)
-            max_ratio = float(raw_ratio)
-        except (TypeError, ValueError):
-            print(f"error: baseline entry '{name}': 'value'/'max_ratio' must "
-                  f"be numbers (got {raw_value!r}, {raw_ratio!r})",
-                  file=sys.stderr)
-            return 2
-        row = observed.get(name)
-        if row is None or counter not in row:
-            print(f"{name:<40} {counter:>16} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
-            failures.append(f"{name}: counter {counter} missing from current reports")
-            continue
-        try:
-            value = float(row[counter])
-        except (TypeError, ValueError):
-            print(f"error: report row '{name}': counter '{counter}' is not "
-                  f"a number (got {row[counter]!r})", file=sys.stderr)
-            return 2
-        ratio = value / base_value if base_value > 0 else float("inf")
-        verdict = ""
-        if ratio > max_ratio:
-            verdict = "  REGRESSION"
-            failures.append(
-                f"{name}: {counter} {value:.0f} vs baseline {base_value:.0f} "
-                f"(ratio {ratio:.2f} > {max_ratio:.2f})")
-        elif ratio < 1.0 / max_ratio:
-            verdict = "  improved — consider updating the baseline"
-        print(f"{name:<40} {counter:>16} {base_value:>10.0f} {value:>10.0f} {ratio:>7.2f}{verdict}")
+            gated += 1
+            row = observed.get(name)
+            if row is None or counter not in row:
+                print(f"{name:<40} {counter:>16} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
+                failures.append(f"{name}: counter {counter} missing from current reports")
+                continue
+            try:
+                value = float(row[counter])
+            except (TypeError, ValueError):
+                print(f"error: report row '{name}': counter '{counter}' is not "
+                      f"a number (got {row[counter]!r})", file=sys.stderr)
+                return 2
+            ratio = value / base_value if base_value > 0 else float("inf")
+            verdict = ""
+            if ratio > max_ratio:
+                verdict = "  REGRESSION"
+                failures.append(
+                    f"{name}: {counter} {value:.0f} vs baseline {base_value:.0f} "
+                    f"(ratio {ratio:.2f} > {max_ratio:.2f})")
+            elif ratio < 1.0 / max_ratio:
+                verdict = "  improved — consider updating the baseline"
+            print(f"{name:<40} {counter:>16} {base_value:>10.0f} {value:>10.0f} {ratio:>7.2f}{verdict}")
 
     extra = sorted(
         name for name, row in observed.items()
@@ -173,12 +183,27 @@ def run_bench_gate(argv):
         print(f"note: {len(extra)} benchmark(s) not in baseline (ignored): "
               + ", ".join(extra))
 
+    # Wall-time carry-through: machine-dependent, so echoed but never gated.
+    wall_rows = [
+        (name, {k: v for k, v in row.items()
+                if isinstance(k, str) and k.startswith("wall_")
+                and isinstance(v, (int, float))})
+        for name, row in sorted(observed.items())
+    ]
+    wall_rows = [(name, walls) for name, walls in wall_rows if walls]
+    if wall_rows:
+        print("\nwall-time fields (informational, not gated):")
+        for name, walls in wall_rows:
+            rendered = "  ".join(
+                f"{k[len('wall_'):]}={v:.4g}" for k, v in sorted(walls.items()))
+            print(f"  {name:<40} {rendered}")
+
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)
         for f in failures:
             print(f"  {f}", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(expected)} benchmark(s) within threshold")
+    print(f"\nOK: {gated} gated counter(s) within threshold")
     return 0
 
 

@@ -6,15 +6,18 @@
 //   cirstag_cli sweep <in.ckt> [--variants N] [--pins-per-variant K]
 //   cirstag_cli montecarlo <in.ckt> [--samples N]
 //   cirstag_cli corners <in.ckt>
-//   cirstag_cli help
+//   cirstag_cli serve [--port N] [--workers W] [--preload in.ckt]
+//   cirstag_cli help | --version
 //
 // Every command accepts --threads N to size the parallel runtime pool
 // (CIRSTAG_THREADS env var is the default; results are identical at any
 // thread count). Netlists use the plain-text "cirstag-netlist 1" format
 // (circuit/io.hpp).
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -22,6 +25,8 @@
 #include <vector>
 
 #include <cmath>
+#include <csignal>
+#include <unistd.h>
 
 #include "circuit/generator.hpp"
 #include "circuit/io.hpp"
@@ -39,6 +44,8 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
 #include "util/ascii.hpp"
 #include "util/csv.hpp"
 
@@ -71,7 +78,18 @@ constexpr const char* kUsage =
     "  montecarlo <in.ckt>  Monte-Carlo STA under process variation\n"
     "                       [--samples N] [--seed S]\n"
     "  corners <in.ckt>     corner-based STA sweep\n"
+    "  serve                resident analysis daemon: keeps circuits (GNN +\n"
+    "                       sweep baseline + warm solver cache) loaded and\n"
+    "                       answers HTTP/1.1+JSON requests on 127.0.0.1\n"
+    "                       endpoints: /load /unload /analyze /sweep\n"
+    "                       /score-region /top-k /health /metrics\n"
+    "                       [--port N] [--workers W] [--queue-capacity Q]\n"
+    "                       [--max-batch B] [--deadline-ms D]\n"
+    "                       [--preload in.ckt] [--preload-name NAME]\n"
+    "                       [--epochs E] [--hidden H] [--exact 0|1]\n"
     "  help                 print this message\n"
+    "  --version            print build identity (git describe, build type,\n"
+    "                       compiler) and exit\n"
     "\n"
     "global flags:\n"
     "  --threads N          parallel runtime pool width (default: the\n"
@@ -294,6 +312,97 @@ void write_manifest(const obs::ManifestBuilder& mb) {
     obs::logf_error("cli", "cannot write manifest to %s",
                     g_manifest_path.c_str());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Signal handling
+//
+// SIGINT/SIGTERM must not lose the run's observability artifacts: a profiled
+// multi-minute sweep that gets Ctrl-C'd should still leave its
+// --metrics-json / --trace-json / --profile-folded / --manifest-json files
+// behind. Two modes:
+//   - serve: the handler only sets a flag; the accept loop polls it and
+//     turns it into a graceful drain, after which main() flushes the sinks
+//     through the normal exit path.
+//   - batch commands: there is no event loop to poll a flag, so the handler
+//     flushes the sinks directly and exits 128+sig. That flush is not
+//     strictly async-signal-safe (it allocates and writes files), which is
+//     an accepted trade on this diagnostics-only path: the alternative is
+//     losing the artifacts entirely, and a second signal always forces an
+//     immediate exit.
+
+std::atomic<int> g_signal_received{0};
+std::atomic<bool> g_serve_mode{false};
+
+extern "C" void cli_handle_signal(int sig) {
+  int expected = 0;
+  if (!g_signal_received.compare_exchange_strong(expected, sig))
+    std::_Exit(128 + sig);  // second signal: give up on graceful paths
+  if (g_serve_mode.load(std::memory_order_relaxed)) return;
+  write_observability_outputs();
+  std::_Exit(128 + sig);
+}
+
+void install_signal_handlers() {
+  struct sigaction action = {};
+  action.sa_handler = cli_handle_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+int cmd_serve(int argc, char** argv) {
+  const auto opts = parse_options(argc, argv, 2);
+  apply_global_flags(opts);
+
+  serve::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(opt_size(opts, "port", 8437));
+  sopts.scheduler.queue_capacity = opt_size(opts, "queue-capacity", 256);
+  sopts.scheduler.workers = opt_size(opts, "workers", 2);
+  sopts.scheduler.max_batch_size = opt_size(opts, "max-batch", 8);
+  sopts.scheduler.default_deadline_ms =
+      static_cast<int>(opt_size(opts, "deadline-ms", 60000));
+
+  serve::Server server(sopts);
+  std::string error;
+  if (!server.start(error)) {
+    obs::logf_error("serve", "cannot listen on 127.0.0.1:%zu: %s",
+                    static_cast<std::size_t>(sopts.port), error.c_str());
+    return 1;
+  }
+
+  // Optional warm start: load a circuit before accepting, so scripted
+  // drivers (CI smoke, bench) skip shipping the netlist over HTTP.
+  const std::string preload = opt_str(opts, "preload", "");
+  if (!preload.empty()) {
+    serve::LoadOptions lopts;
+    lopts.gnn_epochs = opt_size(opts, "epochs", 300);
+    lopts.gnn_hidden = opt_size(opts, "hidden", 24);
+    lopts.exact = opt_size(opts, "exact", 1) != 0;
+    const std::string name = opt_str(opts, "preload-name", "preload");
+    const auto loaded =
+        server.service().registry.load_from_path(name, preload, lopts);
+    if (loaded.record == nullptr) {
+      obs::logf_error("serve", "preload of %s failed: %s", preload.c_str(),
+                      loaded.error.c_str());
+      return 1;
+    }
+  }
+
+  g_serve_mode.store(true, std::memory_order_relaxed);
+  std::printf("cirstag serve: listening on 127.0.0.1:%u (pid %ld)\n",
+              static_cast<unsigned>(server.port()),
+              static_cast<long>(getpid()));
+  std::fflush(stdout);  // scripts wait for this line before driving load
+
+  server.serve_forever(
+      [] { return g_signal_received.load(std::memory_order_relaxed) != 0; });
+
+  const int sig = g_signal_received.load(std::memory_order_relaxed);
+  if (sig != 0)
+    obs::logf_info("serve", "signal %d: drained and stopped", sig);
+  return 0;
 }
 
 int cmd_generate(int argc, char** argv) {
@@ -621,6 +730,13 @@ int main(int argc, char** argv) {
     std::printf("%s", kUsage);
     return 0;
   }
+  if (cmd == "--version" || cmd == "version") {
+    const cirstag::obs::BuildInfo& info = cirstag::obs::build_info();
+    std::printf("cirstag %s (%s; %s)\n", info.git_describe.c_str(),
+                info.build_type.c_str(), info.compiler.c_str());
+    return 0;
+  }
+  install_signal_handlers();
   try {
     int rc = -1;
     if (cmd == "generate") rc = cmd_generate(argc, argv);
@@ -629,6 +745,7 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
     else if (cmd == "montecarlo") rc = cmd_montecarlo(argc, argv);
     else if (cmd == "corners") rc = cmd_corners(argc, argv);
+    else if (cmd == "serve") rc = cmd_serve(argc, argv);
     if (rc >= 0) {
       // Flush after the command so the trace/metrics cover the whole run.
       write_observability_outputs();
