@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -24,12 +25,33 @@
 #include "linalg/cg.hpp"
 #include "linalg/rng.hpp"
 #include "linalg/vector_ops.hpp"
+#include "kernels/kernels.hpp"
+#include "linalg/sparse.hpp"
 #include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace {
 
 using namespace cirstag;
+
+/// Per-entry wall clock, echoed (never gated) by check_bench_regression.py
+/// and collected into the wall-time trajectory artifact: mean milliseconds
+/// per benchmark iteration, measured across the whole hot loop.
+class WallClock {
+ public:
+  void finish(benchmark::State& state) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0_)
+                          .count();
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["wall_ms"] = iters > 0 ? ms / iters : 0.0;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_ =
+      std::chrono::steady_clock::now();
+};
 
 graphs::Graph random_graph(std::size_t n, std::size_t extra,
                            std::uint64_t seed) {
@@ -54,9 +76,11 @@ void BM_LaplacianCgSolve(benchmark::State& state) {
   std::vector<double> b(n);
   for (auto& v : b) v = rng.normal();
   linalg::deflate_constant(b);
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver.solve(b));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_LaplacianCgSolve)->Arg(1000)->Arg(4000)->Arg(16000);
@@ -66,9 +90,11 @@ void BM_SpectralEmbedding(benchmark::State& state) {
   const auto g = random_graph(n, 2 * n, 3);
   core::SpectralEmbeddingOptions opts;
   opts.dimensions = 12;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::spectral_embedding(g, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_SpectralEmbedding)->Arg(1000)->Arg(4000)->Arg(16000);
@@ -79,9 +105,11 @@ void BM_KnnGraph(benchmark::State& state) {
   const auto pts = linalg::Matrix::random_normal(n, 12, rng);
   graphs::KnnGraphOptions opts;
   opts.k = 10;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(graphs::build_knn_graph(pts, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
 }
 BENCHMARK(BM_KnnGraph)->Arg(1000)->Arg(4000)->Arg(16000);
@@ -91,9 +119,11 @@ void BM_ResistanceSketch(benchmark::State& state) {
   const auto g = random_graph(n, 4 * n, 5);
   graphs::ResistanceSketchOptions opts;
   opts.num_probes = 16;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(graphs::edge_effective_resistances(g, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(g.num_edges()));
 }
@@ -104,9 +134,11 @@ void BM_SparsifyPgm(benchmark::State& state) {
   const auto g = random_graph(n, 6 * n, 6);
   graphs::SparsifyOptions opts;
   opts.resistance.num_probes = 12;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(graphs::sparsify_pgm(g, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(g.num_edges()));
 }
@@ -128,9 +160,11 @@ circuit::Netlist bench_netlist(std::size_t gates) {
 
 void BM_GoldenSta(benchmark::State& state) {
   const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(circuit::run_sta(nl));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(nl.num_pins()));
 }
@@ -155,9 +189,11 @@ void BM_KnnGraphThreads(benchmark::State& state) {
   const auto pts = linalg::Matrix::random_normal(n, 12, rng);
   graphs::KnnGraphOptions opts;
   opts.k = 10;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(graphs::build_knn_graph(pts, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
   state.counters["threads"] = static_cast<double>(state.range(1));
   runtime::set_global_threads(0);
@@ -170,9 +206,11 @@ void BM_ResistanceSketchThreads(benchmark::State& state) {
   const auto g = random_graph(n, 4 * n, 5);
   graphs::ResistanceSketchOptions opts;
   opts.num_probes = 16;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(graphs::edge_effective_resistances(g, opts));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(g.num_edges()));
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -240,11 +278,13 @@ void sketch_solver_bench(benchmark::State& state,
   opts.cg_max_iterations = 20000;
   graphs::ResistanceSketchStats stats;
   std::size_t iters = 0;
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         graphs::edge_effective_resistances(g, opts, nullptr, &stats));
     iters = stats.cg_iterations;
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(g.num_edges()));
   state.counters["threads"] = static_cast<double>(state.range(1));
@@ -273,14 +313,102 @@ void BM_SketchBlockTree(benchmark::State& state) {
 }
 BENCHMARK(BM_SketchBlockTree)->Apply(solver_sweep);
 
+/// Raw CSR SpMV through the kernel layer: y += A x on a Laplacian of a
+/// random graph. Reports spmv_rows_per_s, the kernel-level throughput
+/// counter the --perf-json artifact carries.
+void BM_Spmv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 4 * n, 11);
+  const linalg::SparseMatrix a = graphs::laplacian(g);
+  linalg::Rng rng(12);
+  std::vector<double> x(n), y(n, 0.0);
+  for (auto& v : x) v = rng.normal();
+  WallClock wall;
+  for (auto _ : state) {
+    a.multiply_add(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  wall.finish(state);
+  const auto rows = static_cast<double>(state.iterations()) *
+                    static_cast<double>(n);
+  state.counters["spmv_rows_per_s"] =
+      benchmark::Counter(rows, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(a.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(4000)->Arg(16000);
+
+/// Register-blocked multi-RHS SpMM (the block-CG operator): Y += A X with
+/// k = 24 columns, one CSR traversal amortized across the block.
+void BM_SpmmMultiRhs(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_graph(n, 4 * n, 11);
+  const linalg::SparseMatrix a = graphs::laplacian(g);
+  linalg::Rng rng(13);
+  const auto x = linalg::Matrix::random_normal(n, 24, rng);
+  linalg::Matrix y(n, 24);
+  WallClock wall;
+  for (auto _ : state) {
+    a.multiply_add(x, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  wall.finish(state);
+  const auto rows = static_cast<double>(state.iterations()) *
+                    static_cast<double>(n);
+  state.counters["spmv_rows_per_s"] =
+      benchmark::Counter(rows, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(a.nnz() * 24));
+}
+BENCHMARK(BM_SpmmMultiRhs)->Arg(4000)->Arg(16000);
+
+/// Fused block-CG solve (k = 24 right-hand sides) on the manifold-like
+/// graph. cg_iters pins the deterministic iteration count;
+/// arena_bytes_reused shows the per-solve temporaries being served from the
+/// thread-local arena's retained blocks instead of the heap.
+void BM_BlockCgSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = manifold_like_graph(n, 5);
+  linalg::LaplacianSolver solver(graphs::laplacian(g));
+  linalg::Rng rng(14);
+  linalg::Matrix rhs = linalg::Matrix::random_normal(n, 24, rng);
+  linalg::BlockSolveStats stats;
+  const auto& reg = obs::MetricsRegistry::global();
+  const std::uint64_t reused_before = reg.counter_value("arena.bytes_reused");
+  WallClock wall;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve_block(rhs, nullptr, &stats));
+  }
+  wall.finish(state);
+  state.counters["cg_iters"] = static_cast<double>(stats.total_iterations);
+  state.counters["arena_bytes_reused"] = static_cast<double>(
+      reg.counter_value("arena.bytes_reused") - reused_before);
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) * 24);
+}
+BENCHMARK(BM_BlockCgSolve)->Arg(4000);
+
+/// Metrics-shard contention: every thread hammers the same counter. The
+/// 64-byte shard padding keeps per-thread cache lines private, so ops/s
+/// should scale near-linearly from 1 to 4 threads instead of collapsing
+/// under false sharing.
+void BM_MetricsContention(benchmark::State& state) {
+  static const obs::Counter counter("bench.metrics_contention");
+  for (auto _ : state) counter.add();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["counter_adds_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MetricsContention)->Threads(1)->Threads(4);
+
 void BM_TimingGnnForward(benchmark::State& state) {
   const auto nl = bench_netlist(static_cast<std::size_t>(state.range(0)));
   gnn::TimingGnnOptions opts;
   opts.hidden_dim = 24;
   gnn::TimingGnn model(nl, opts);
+  WallClock wall;
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.embed(model.base_features()));
   }
+  wall.finish(state);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long>(nl.num_pins()));
 }

@@ -278,6 +278,7 @@ int run_inproc(const std::map<std::string, std::string>& opts,
       {"expired_504", counter("serve.expired_504")},
       {"wall_total_seconds", wall},
       {"wall_per_request_seconds", wall / static_cast<double>(requests)},
+      {"wall_ms", wall * 1e3},
   };
   rows.push_back(row);
   std::printf("inproc: served %.0f requests, %.0f batches, %.0f registry "
@@ -412,6 +413,7 @@ int run_socket(const std::map<std::string, std::string>& opts,
       {"expired_504", metrics_counter(metrics_doc, "serve.expired_504")},
       {"wall_total_seconds", wall},
       {"wall_per_request_seconds", wall / static_cast<double>(requests)},
+      {"wall_ms", wall * 1e3},
   };
   rows.push_back(row);
   std::printf("socket: daemon served %.0f requests (%.0f batches, %.0f "

@@ -120,8 +120,10 @@ void BM_SweepNaive(benchmark::State& state) {
       variants.size() * cfg.stability.subspace_iterations);
   // wall_* counters are informational wall-clock (machine-dependent); the
   // regression gate never reads them, check_bench_regression.py only
-  // carries them through for side-by-side --perf-json comparisons.
+  // carries them through for side-by-side --perf-json comparisons and the
+  // wall-time trajectory artifact (which keys on wall_ms).
   state.counters["wall_total_seconds"] = wall_total;
+  state.counters["wall_ms"] = wall_total * 1e3;
 }
 BENCHMARK(BM_SweepNaive)->Args({300, 6})->Args({1500, 64})
     ->Unit(benchmark::kMillisecond);
@@ -162,6 +164,7 @@ void sweep_engine_bench(benchmark::State& state, bool exact) {
   state.counters["wall_baseline_seconds"] = baseline_seconds;
   state.counters["wall_sweep_seconds"] = sweep_seconds;
   state.counters["wall_total_seconds"] = baseline_seconds + sweep_seconds;
+  state.counters["wall_ms"] = (baseline_seconds + sweep_seconds) * 1e3;
 }
 
 /// Exact mode: every report byte-identical to the naive loop's.

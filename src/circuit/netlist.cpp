@@ -167,6 +167,51 @@ void Netlist::finalize() {
     level_order_[cursor[level[gid]]++] = gid;
 
   finalized_ = true;
+  build_soa_mirrors();
+}
+
+void Netlist::build_soa_mirrors() {
+  const std::size_t np = pins_.size(), ng = gates_.size(), nn = nets_.size();
+  pin_cap_.resize(np);
+  for (std::size_t p = 0; p < np; ++p) pin_cap_[p] = pins_[p].capacitance;
+
+  cell_intrinsic_.resize(ng);
+  cell_drive_res_.resize(ng);
+  cell_slew_intrinsic_.resize(ng);
+  cell_slew_factor_.resize(ng);
+  gate_output_.resize(ng);
+  gate_out_net_.resize(ng);
+  gate_input_offsets_.assign(ng + 1, 0);
+  for (std::size_t g = 0; g < ng; ++g)
+    gate_input_offsets_[g + 1] = gate_input_offsets_[g] + gates_[g].inputs.size();
+  gate_input_pins_.clear();
+  gate_input_pins_.reserve(gate_input_offsets_[ng]);
+  for (std::size_t g = 0; g < ng; ++g) {
+    const Gate& gate = gates_[g];
+    const CellType& ct = lib_->cell(gate.type);
+    cell_intrinsic_[g] = ct.intrinsic_delay;
+    cell_drive_res_[g] = ct.drive_resistance;
+    cell_slew_intrinsic_[g] = ct.slew_intrinsic;
+    cell_slew_factor_[g] = ct.slew_factor;
+    gate_output_[g] = gate.output;
+    gate_out_net_[g] = pins_[gate.output].net;
+    gate_input_pins_.insert(gate_input_pins_.end(), gate.inputs.begin(),
+                            gate.inputs.end());
+  }
+
+  net_load_.resize(nn);
+  for (std::size_t n = 0; n < nn; ++n)
+    refresh_net_load(static_cast<NetId>(n));
+}
+
+void Netlist::refresh_net_load(NetId n) {
+  // Full ascending recompute — the exact sum order of the pre-cache
+  // net_load(), so cached and on-demand values are bit-identical and a
+  // perturb/restore cycle lands back on the original double.
+  const Net& net = nets_[n];
+  double load = net.wire_capacitance;
+  for (PinId sink : net.sinks) load += pin_cap_[sink];
+  net_load_[n] = load;
 }
 
 std::size_t Netlist::num_gate_levels() const {
@@ -191,6 +236,7 @@ std::span<const GateId> Netlist::topological_order() const {
 }
 
 double Netlist::net_load(NetId n) const {
+  if (finalized_) return net_load_[n];
   const Net& net = nets_.at(n);
   double load = net.wire_capacitance;
   for (PinId sink : net.sinks) load += pins_[sink].capacitance;
@@ -200,13 +246,23 @@ double Netlist::net_load(NetId n) const {
 void Netlist::scale_pin_capacitance(PinId p, double factor) {
   if (!(factor > 0.0))
     throw std::invalid_argument("scale_pin_capacitance: factor must be > 0");
-  pins_.at(p).capacitance *= factor;
+  Pin& pin = pins_.at(p);
+  pin.capacitance *= factor;
+  if (finalized_) {
+    pin_cap_[p] = pin.capacitance;
+    if (pin.net != kInvalidId) refresh_net_load(pin.net);
+  }
 }
 
 void Netlist::set_pin_capacitance(PinId p, double value) {
   if (value < 0.0)
     throw std::invalid_argument("set_pin_capacitance: negative capacitance");
-  pins_.at(p).capacitance = value;
+  Pin& pin = pins_.at(p);
+  pin.capacitance = value;
+  if (finalized_) {
+    pin_cap_[p] = value;
+    if (pin.net != kInvalidId) refresh_net_load(pin.net);
+  }
 }
 
 void Netlist::set_net_wire(NetId n, double resistance, double capacitance) {
@@ -214,6 +270,7 @@ void Netlist::set_net_wire(NetId n, double resistance, double capacitance) {
     throw std::invalid_argument("set_net_wire: negative RC");
   nets_.at(n).wire_resistance = resistance;
   nets_.at(n).wire_capacitance = capacitance;
+  if (finalized_) refresh_net_load(n);
 }
 
 }  // namespace cirstag::circuit

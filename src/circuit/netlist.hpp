@@ -108,7 +108,39 @@ class Netlist {
   [[nodiscard]] std::span<const GateId> gates_at_level(std::size_t level) const;
 
   /// Total capacitive load seen by a net's driver: wire + sink pins.
+  /// O(1) after finalize() — served from a per-net cache the mutators keep
+  /// fresh by full ascending recomputation (bit-identical to the on-demand
+  /// sum, and restore-idempotent under perturb/restore cycles).
   [[nodiscard]] double net_load(NetId n) const;
+
+  /// --- hot-path SoA view (valid after finalize()) -------------------------
+  /// Flat mirrors of the AoS structures above, laid out for the levelized
+  /// STA sweep: per-pin capacitances, per-gate cell timing parameters and a
+  /// flat input-pin CSR, so the inner loop touches dense double arrays
+  /// instead of chasing Pin/Gate/CellType objects.
+  [[nodiscard]] std::span<const double> pin_capacitances() const {
+    return pin_cap_;
+  }
+  [[nodiscard]] std::span<const PinId> gate_inputs_flat(GateId g) const {
+    return {gate_input_pins_.data() + gate_input_offsets_[g],
+            gate_input_offsets_[g + 1] - gate_input_offsets_[g]};
+  }
+  [[nodiscard]] PinId gate_output(GateId g) const { return gate_output_[g]; }
+  [[nodiscard]] NetId gate_output_net(GateId g) const {
+    return gate_out_net_[g];
+  }
+  [[nodiscard]] double gate_intrinsic_delay(GateId g) const {
+    return cell_intrinsic_[g];
+  }
+  [[nodiscard]] double gate_drive_resistance(GateId g) const {
+    return cell_drive_res_[g];
+  }
+  [[nodiscard]] double gate_slew_intrinsic(GateId g) const {
+    return cell_slew_intrinsic_[g];
+  }
+  [[nodiscard]] double gate_slew_factor(GateId g) const {
+    return cell_slew_factor_[g];
+  }
 
   /// --- mutation for perturbation studies ----------------------------------
   /// Scale the capacitance of one pin (keeps topology; no re-finalize needed).
@@ -127,6 +159,22 @@ class Netlist {
   std::vector<GateId> level_order_;        // topo_order_ regrouped by level
   std::vector<std::size_t> level_offsets_; // level l = [l, l+1) slice above
   bool finalized_ = false;
+
+  // SoA mirrors (see accessors above); rebuilt in finalize(), kept in sync
+  // by the capacitance/wire mutators.
+  std::vector<double> pin_cap_;
+  std::vector<double> net_load_;
+  std::vector<double> cell_intrinsic_;
+  std::vector<double> cell_drive_res_;
+  std::vector<double> cell_slew_intrinsic_;
+  std::vector<double> cell_slew_factor_;
+  std::vector<PinId> gate_output_;
+  std::vector<NetId> gate_out_net_;
+  std::vector<std::size_t> gate_input_offsets_;
+  std::vector<PinId> gate_input_pins_;
+
+  void build_soa_mirrors();
+  void refresh_net_load(NetId n);
 };
 
 }  // namespace cirstag::circuit

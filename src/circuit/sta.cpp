@@ -32,7 +32,7 @@ struct PinTiming {
 /// Timing of one net-arc sink given its driver's timing (Elmore wire RC).
 inline PinTiming eval_sink(const Netlist& nl, const Net& net, PinId sink,
                            const PinTiming& driver) {
-  const double wire_delay = net.wire_resistance * nl.pin(sink).capacitance;
+  const double wire_delay = net.wire_resistance * nl.pin_capacitances()[sink];
   // Wire RC degrades the slew slightly.
   return {driver.arrival + wire_delay, driver.slew + 0.5 * wire_delay};
 }
@@ -49,17 +49,21 @@ inline PinTiming eval_gate(const Netlist& nl, const StaOptions& opts,
                            GateId gid, double derate,
                            const std::vector<double>& arrival,
                            const std::vector<double>& slew) {
-  const Gate& g = nl.gate(gid);
-  const CellType& ct = nl.library().cell(g.type);
-  const double load = nl.net_load(nl.pin(g.output).net);
+  // SoA fast path: cell parameters, input pins and the output net load all
+  // come from the flat per-gate arrays built at finalize() — no Gate/Pin/
+  // CellType chasing inside the level loop. Same doubles, same arithmetic.
+  const double load = nl.net_load(nl.gate_output_net(gid));
+  const double intrinsic = nl.gate_intrinsic_delay(gid);
+  const double drive_res = nl.gate_drive_resistance(gid);
+  const double slew_intrinsic = nl.gate_slew_intrinsic(gid);
+  const double slew_factor = nl.gate_slew_factor(gid);
 
   PinTiming out;
-  for (PinId in : g.inputs) {
-    const double arc_delay = derate * (ct.intrinsic_delay +
-                                       ct.drive_resistance * load +
+  for (PinId in : nl.gate_inputs_flat(gid)) {
+    const double arc_delay = derate * (intrinsic + drive_res * load +
                                        opts.slew_delay_fraction * slew[in]);
     out.arrival = std::max(out.arrival, arrival[in] + arc_delay);
-    out.slew = std::max(out.slew, ct.slew_intrinsic + ct.slew_factor * load);
+    out.slew = std::max(out.slew, slew_intrinsic + slew_factor * load);
   }
   return out;
 }
@@ -131,7 +135,7 @@ TimingReport run_sta(const Netlist& nl, const StaOptions& opts,
           gate_delay_scale.empty() ? 1.0 : gate_delay_scale[gid];
       const PinTiming t =
           eval_gate(nl, opts, gid, derate, rep.arrival, rep.slew);
-      const PinId out = nl.gate(gid).output;
+      const PinId out = nl.gate_output(gid);
       rep.arrival[out] = t.arrival;
       rep.slew[out] = t.slew;
       propagate_net(out);
@@ -226,7 +230,7 @@ TimingReport IncrementalSta::run(const Netlist& variant,
       ++local.gates_evaluated;
       const PinTiming t =
           eval_gate(variant, opts_, gid, /*derate=*/1.0, rep.arrival, rep.slew);
-      const PinId out = variant.gate(gid).output;
+      const PinId out = variant.gate_output(gid);
       rep.arrival[out] = t.arrival;
       rep.slew[out] = t.slew;
       propagate_net(out);

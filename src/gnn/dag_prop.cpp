@@ -4,9 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
+#include "util/arena.hpp"
 
 namespace cirstag::gnn {
 
@@ -24,17 +26,28 @@ DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
   if (!nl.finalized())
     throw std::invalid_argument("DagPropagation: netlist must be finalized");
   const std::size_t n = nl.num_pins();
-  fanin_.assign(n, {});
-
   // Fan-in arcs: net arcs (driver -> sink) and cell arcs (input -> output).
+  // Built as vector-of-vectors, then flattened to CSR for the hot sweeps.
+  std::vector<std::vector<std::uint32_t>> fanin(n);
   for (const circuit::Net& net : nl.nets())
-    for (circuit::PinId sink : net.sinks) fanin_[sink].push_back(net.driver);
+    for (circuit::PinId sink : net.sinks) fanin[sink].push_back(net.driver);
   for (const circuit::Gate& gate : nl.gates())
-    for (circuit::PinId in : gate.inputs) fanin_[gate.output].push_back(in);
-  fanout_.assign(n, {});
+    for (circuit::PinId in : gate.inputs) fanin[gate.output].push_back(in);
+  std::vector<std::vector<std::uint32_t>> fanout(n);
   for (std::size_t p = 0; p < n; ++p)
-    for (const std::uint32_t q : fanin_[p])
-      fanout_[q].push_back(static_cast<std::uint32_t>(p));
+    for (const std::uint32_t q : fanin[p])
+      fanout[q].push_back(static_cast<std::uint32_t>(p));
+  auto flatten = [n](const std::vector<std::vector<std::uint32_t>>& lists,
+                     std::vector<std::size_t>& offsets,
+                     std::vector<std::uint32_t>& arcs) {
+    offsets.assign(n + 1, 0);
+    for (std::size_t p = 0; p < n; ++p)
+      offsets[p + 1] = offsets[p] + lists[p].size();
+    arcs.reserve(offsets[n]);
+    for (const auto& l : lists) arcs.insert(arcs.end(), l.begin(), l.end());
+  };
+  flatten(fanin, fanin_offsets_, fanin_arcs_);
+  flatten(fanout, fanout_offsets_, fanout_arcs_);
 
   // Processing order: PI pins, then per gate (in topological order) its
   // input pins then its output pin; net sinks always follow their driver,
@@ -57,7 +70,7 @@ DagPropagation::DagPropagation(const circuit::Netlist& nl, std::size_t in_dim,
   std::size_t max_level = 0;
   for (const std::uint32_t p : order_) {
     std::size_t lv = 0;
-    for (const std::uint32_t q : fanin_[p]) lv = std::max(lv, level[q] + 1);
+    for (const std::uint32_t q : fanin[p]) lv = std::max(lv, level[q] + 1);
     level[p] = lv;
     max_level = std::max(max_level, lv);
   }
@@ -96,13 +109,11 @@ Matrix DagPropagation::forward(const Matrix& x) {
   // to the serial topological sweep at any thread count.
   auto process_pin = [&](std::uint32_t p) {
     auto agg = cached_agg_.row(p);
-    const auto& fan = fanin_[p];
+    const auto fan = this->fanin(p);
     if (!fan.empty()) {
       const double inv = 1.0 / static_cast<double>(fan.size());
-      for (const std::uint32_t q : fan) {
-        const auto hq = cached_h_.row(q);
-        for (std::size_t c = 0; c < d; ++c) agg[c] += inv * hq[c];
-      }
+      for (const std::uint32_t q : fan)
+        kernels::axpy(inv, cached_h_.row(q).data(), agg.data(), d);
     }
     auto pre = cached_pre_.row(p);
     const auto local = xw.row(p);
@@ -112,8 +123,7 @@ Matrix DagPropagation::forward(const Matrix& x) {
     for (std::size_t k = 0; k < d; ++k) {
       const double a = agg[k];
       if (a == 0.0) continue;
-      const auto wrow = w_h_.value.row(k);
-      for (std::size_t c = 0; c < d; ++c) pre[c] += a * wrow[c];
+      kernels::axpy(a, w_h_.value.row(k).data(), pre.data(), d);
     }
     auto h = cached_h_.row(p);
     // LeakyReLU: a hard ReLU can go fully dead at one pin and sever the
@@ -152,7 +162,11 @@ std::size_t DagPropagation::forward_incremental(
   for (const std::uint32_t p : dirty_in) recompute[p] = 1;
 
   std::size_t evaluated = 0;
-  std::vector<double> agg(d), pre(d), fresh(d), xw(d);
+  util::ArenaFrame frame;
+  std::span<double> agg = frame.alloc<double>(d);
+  std::span<double> pre = frame.alloc<double>(d);
+  std::span<double> fresh = frame.alloc<double>(d);
+  std::span<double> xw = frame.alloc<double>(d);
   const auto b = bias_.value.row(0);
   for (std::size_t l = 0; l + 1 < level_offsets_.size(); ++l) {
     for (std::size_t idx = level_offsets_[l]; idx < level_offsets_[l + 1];
@@ -164,13 +178,11 @@ std::size_t DagPropagation::forward_incremental(
       // states out of y (non-recomputed rows still hold the exact values a
       // full forward would produce, by induction over levels).
       std::fill(agg.begin(), agg.end(), 0.0);
-      const auto& fan = fanin_[p];
+      const auto fan = fanin(p);
       if (!fan.empty()) {
         const double inv = 1.0 / static_cast<double>(fan.size());
-        for (const std::uint32_t q : fan) {
-          const auto hq = y.row(q);
-          for (std::size_t c = 0; c < d; ++c) agg[c] += inv * hq[c];
-        }
+        for (const std::uint32_t q : fan)
+          kernels::axpy(inv, y.row(q).data(), agg.data(), d);
       }
       // Local term: row p of matmul(x, w_x) — ascending k, zero-skip,
       // exactly the batched product's row arithmetic.
@@ -179,15 +191,13 @@ std::size_t DagPropagation::forward_incremental(
       for (std::size_t k = 0; k < xr.size(); ++k) {
         const double aik = xr[k];
         if (aik == 0.0) continue;
-        const auto wrow = w_x_.value.row(k);
-        for (std::size_t c = 0; c < d; ++c) xw[c] += aik * wrow[c];
+        kernels::axpy(aik, w_x_.value.row(k).data(), xw.data(), d);
       }
       for (std::size_t c = 0; c < d; ++c) pre[c] = xw[c] + b[c];
       for (std::size_t k = 0; k < d; ++k) {
         const double a = agg[k];
         if (a == 0.0) continue;
-        const auto wrow = w_h_.value.row(k);
-        for (std::size_t c = 0; c < d; ++c) pre[c] += a * wrow[c];
+        kernels::axpy(a, w_h_.value.row(k).data(), pre.data(), d);
       }
       for (std::size_t c = 0; c < d; ++c)
         fresh[c] = pre[c] > 0.0 ? pre[c] : kLeakySlope * pre[c];
@@ -199,7 +209,7 @@ std::size_t DagPropagation::forward_incremental(
       if (same) continue;
       std::copy(fresh.begin(), fresh.end(), hrow.begin());
       dirty_out.push_back(p);
-      for (const std::uint32_t q : fanout_[p]) recompute[q] = 1;
+      for (const std::uint32_t q : fanout(p)) recompute[q] = 1;
     }
   }
   std::sort(dirty_out.begin(), dirty_out.end());
@@ -236,7 +246,7 @@ Matrix DagPropagation::backward(const Matrix& grad_out) {
     }
 
     // Push gradient to fan-in hidden states: dagg = dpre W_hᵀ, split evenly.
-    const auto& fan = fanin_[p];
+    const auto fan = fanin(p);
     if (!fan.empty()) {
       const double inv = 1.0 / static_cast<double>(fan.size());
       for (std::size_t k = 0; k < d; ++k) {

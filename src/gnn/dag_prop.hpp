@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "circuit/netlist.hpp"
@@ -50,8 +51,22 @@ class DagPropagation : public Layer {
   /// level-parallel forward; backward keeps the exact order_ traversal.
   std::vector<std::uint32_t> level_pins_;
   std::vector<std::size_t> level_offsets_;
-  std::vector<std::vector<std::uint32_t>> fanin_;    // per pin
-  std::vector<std::vector<std::uint32_t>> fanout_;   // reverse arcs (sweeps)
+  // Fan-in / fan-out arcs in flat CSR form (offsets into one contiguous arc
+  // array): one allocation each instead of a vector-of-vectors, so the
+  // level-parallel sweep streams arcs from adjacent cache lines.
+  std::vector<std::size_t> fanin_offsets_;   // size num_pins + 1
+  std::vector<std::uint32_t> fanin_arcs_;
+  std::vector<std::size_t> fanout_offsets_;  // size num_pins + 1
+  std::vector<std::uint32_t> fanout_arcs_;
+
+  [[nodiscard]] std::span<const std::uint32_t> fanin(std::uint32_t p) const {
+    return {fanin_arcs_.data() + fanin_offsets_[p],
+            fanin_offsets_[p + 1] - fanin_offsets_[p]};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> fanout(std::uint32_t p) const {
+    return {fanout_arcs_.data() + fanout_offsets_[p],
+            fanout_offsets_[p + 1] - fanout_offsets_[p]};
+  }
   Param w_x_;   // in x out
   Param w_h_;   // out x out
   Param bias_;  // 1 x out

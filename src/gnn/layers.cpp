@@ -4,20 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
+#include "util/arena.hpp"
+
 namespace cirstag::gnn {
 
 namespace {
 /// Row r of matmul(x, w): the exact per-row arithmetic of linalg::matmul
-/// (ascending k, zero-skip), so incremental row recomputes are byte-equal
-/// to the batched product.
+/// (ascending k, zero-skip, kernel axpy), so incremental row recomputes are
+/// byte-equal to the batched product.
 void matmul_row(std::span<const double> xrow, const Matrix& w,
                 std::span<double> out) {
   std::fill(out.begin(), out.end(), 0.0);
   for (std::size_t k = 0; k < xrow.size(); ++k) {
     const double aik = xrow[k];
     if (aik == 0.0) continue;
-    const auto brow = w.row(k);
-    for (std::size_t j = 0; j < out.size(); ++j) out[j] += aik * brow[j];
+    kernels::axpy(aik, w.row(k).data(), out.data(), out.size());
   }
 }
 
@@ -197,7 +199,17 @@ std::size_t TypedGraphConv::forward_incremental(
   cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
 
   const std::size_t d = w_self_.value.cols();
-  std::vector<double> fresh(d), px(x.cols()), tmp(d);
+  const std::size_t xc = x.cols();
+  util::ArenaFrame frame;
+  std::span<double> fresh = frame.alloc<double>(d);
+  std::span<double> px = frame.alloc<double>(xc);
+  std::span<double> tmp = frame.alloc<double>(d);
+  // Single-row SpMM scratch: forward() computes Â_t X through the kernel
+  // layer's 4-lane nnz reduction tree, so the recompute must run the very
+  // same kernel on the one row to stay byte-equal.
+  std::span<double> acc =
+      frame.alloc<double>(4 * kernels::padded_cols(xc));
+  const auto& kt = kernels::table();
   const auto b = bias_.value.row(0);
   for (const std::uint32_t r : cand) {
     // Same element-wise sequence as forward(): self product, then += each
@@ -208,11 +220,9 @@ std::size_t TypedGraphConv::forward_incremental(
       std::fill(px.begin(), px.end(), 0.0);
       const auto idx = ops_[t].row_indices(r);
       const auto val = ops_[t].row_values(r);
-      for (std::size_t k = 0; k < idx.size(); ++k) {
-        const double v = val[k];
-        const auto brow = x.row(idx[k]);
-        for (std::size_t j = 0; j < px.size(); ++j) px[j] += v * brow[j];
-      }
+      const std::size_t row_ptr[2] = {0, idx.size()};
+      kt.spmm_range(row_ptr, idx.data(), val.data(), x.data().data(), xc,
+                    /*alpha=*/1.0, px.data(), xc, xc, acc.data(), 0, 1);
       matmul_row(px, w_type_[t]->value, tmp);
       for (std::size_t c = 0; c < d; ++c) fresh[c] += tmp[c];
     }

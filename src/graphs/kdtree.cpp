@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
+
 namespace cirstag::graphs {
 
 KdTree::KdTree(const linalg::Matrix& points) : points_(points) {
@@ -59,18 +61,17 @@ std::vector<Neighbor> KdTree::knn(std::span<const double> query, std::size_t k,
 
   std::priority_queue<HeapEntry> best;  // max-heap of current k best
 
+  // Canonical 4-lane distance kernel — the same reduction as
+  // Matrix::row_distance2, so tree hits and exact re-ranks agree bit for bit.
   auto dist2 = [&](std::size_t p) {
     const auto row = points_.row(p);
-    double s = 0.0;
-    for (std::size_t c = 0; c < row.size(); ++c) {
-      const double d = row[c] - query[c];
-      s += d * d;
-    }
-    return s;
+    return kernels::distance2(row.data(), query.data(), row.size());
   };
 
-  // Iterative DFS with pruning.
+  // Iterative DFS with pruning. A balanced tree (median splits) bounds the
+  // live stack by its depth; reserving once keeps the loop allocation-free.
   std::vector<std::int64_t> stack;
+  stack.reserve(64);
   stack.push_back(root_);
   while (!stack.empty()) {
     const std::int64_t ni = stack.back();

@@ -1,0 +1,543 @@
+// AVX2 + FMA kernel table. Compiled with -mavx2 -mfma (see CMakeLists); the
+// dispatcher only installs it when __builtin_cpu_supports confirms both
+// features at runtime.
+//
+// Every loop reproduces the canonical lane shapes from kernels_scalar.cpp
+// bit for bit:
+//   * 8-lane reductions = two 4-wide accumulators; 4-lane = one.
+//   * Tail and masked lanes use maskload + blendv/maskstore so suppressed
+//     lanes contribute nothing at all (a multiply-by-zero tail would flip
+//     signed zeros: fma(0, x, -0.0) = +0.0).
+//   * Horizontal folds are the fixed trees documented in kernels.hpp.
+
+#include "kernels/kernels.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace cirstag::kernels {
+namespace {
+
+/// Load mask enabling the first r lanes (r in [0, 4]); MSB-driven, so it
+/// works for VMASKMOVPD, VBLENDVPD and VPMASKMOV alike.
+inline __m256i lane_mask(std::size_t r) {
+  static const __m256i kMasks[5] = {
+      _mm256_setzero_si256(),
+      _mm256_set_epi64x(0, 0, 0, -1),
+      _mm256_set_epi64x(0, 0, -1, -1),
+      _mm256_set_epi64x(0, -1, -1, -1),
+      _mm256_set_epi64x(-1, -1, -1, -1),
+  };
+  return kMasks[r];
+}
+
+/// (l0 + l2) + (l1 + l3) — the canonical 4-lane horizontal tree.
+inline double hfold4(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);       // l0 l1
+  const __m128d hi = _mm256_extractf128_pd(v, 1);     // l2 l3
+  const __m128d s = _mm_add_pd(lo, hi);               // l0+l2, l1+l3
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+/// Fold the 8-lane accumulator pair: vertical add, then the 4-lane tree.
+inline double hfold8(__m256d acc0, __m256d acc1) {
+  return hfold4(_mm256_add_pd(acc0, acc1));
+}
+
+/// Accumulate the final 0–7 elements of an 8-lane reduction at `a+base`,
+/// splitting lanes exactly like the scalar (i & 7) mapping.
+template <typename LoadFma>
+inline void tail8(std::size_t rem, __m256d& acc0, __m256d& acc1,
+                  LoadFma&& step) {
+  const std::size_t r0 = rem < 4 ? rem : 4;
+  const std::size_t r1 = rem - r0;
+  if (r0 != 0) acc0 = step(0, lane_mask(r0), acc0);
+  if (r1 != 0) acc1 = step(4, lane_mask(r1), acc1);
+}
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  const std::size_t main = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < main; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+  }
+  tail8(n - main, acc0, acc1,
+        [&](std::size_t off, __m256i m, __m256d acc) {
+          const __m256d av = _mm256_maskload_pd(a + main + off, m);
+          const __m256d bv = _mm256_maskload_pd(b + main + off, m);
+          const __m256d t = _mm256_fmadd_pd(av, bv, acc);
+          return _mm256_blendv_pd(acc, t, _mm256_castsi256_pd(m));
+        });
+  return hfold8(acc0, acc1);
+}
+
+double dot_self_avx2(const double* a, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  const std::size_t main = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < main; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(a + i);
+    const __m256d v1 = _mm256_loadu_pd(a + i + 4);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+  }
+  tail8(n - main, acc0, acc1,
+        [&](std::size_t off, __m256i m, __m256d acc) {
+          const __m256d v = _mm256_maskload_pd(a + main + off, m);
+          const __m256d t = _mm256_fmadd_pd(v, v, acc);
+          return _mm256_blendv_pd(acc, t, _mm256_castsi256_pd(m));
+        });
+  return hfold8(acc0, acc1);
+}
+
+double sum_avx2(const double* a, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  const std::size_t main = n & ~std::size_t{7};
+  for (std::size_t i = 0; i < main; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(a + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(a + i + 4));
+  }
+  tail8(n - main, acc0, acc1,
+        [&](std::size_t off, __m256i m, __m256d acc) {
+          const __m256d v = _mm256_maskload_pd(a + main + off, m);
+          const __m256d t = _mm256_add_pd(acc, v);
+          return _mm256_blendv_pd(acc, t, _mm256_castsi256_pd(m));
+        });
+  return hfold8(acc0, acc1);
+}
+
+double distance2_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4) {
+    const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                    _mm256_loadu_pd(b + i));
+    acc = _mm256_fmadd_pd(d, d, acc);
+  }
+  if (const std::size_t rem = n - main; rem != 0) {
+    const __m256i m = lane_mask(rem);
+    const __m256d d = _mm256_sub_pd(_mm256_maskload_pd(a + main, m),
+                                    _mm256_maskload_pd(b + main, m));
+    const __m256d t = _mm256_fmadd_pd(d, d, acc);
+    acc = _mm256_blendv_pd(acc, t, _mm256_castsi256_pd(m));
+  }
+  return hfold4(acc);
+}
+
+void axpy_avx2(double alpha, const double* x, double* y, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4)
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(av, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  if (const std::size_t rem = n - main; rem != 0) {
+    const __m256i m = lane_mask(rem);
+    const __m256d t = _mm256_fmadd_pd(av, _mm256_maskload_pd(x + main, m),
+                                      _mm256_maskload_pd(y + main, m));
+    _mm256_maskstore_pd(y + main, m, t);
+  }
+}
+
+void scale_avx2(double alpha, double* x, std::size_t n) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4)
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  if (const std::size_t rem = n - main; rem != 0) {
+    const __m256i m = lane_mask(rem);
+    _mm256_maskstore_pd(
+        x + main, m, _mm256_mul_pd(av, _mm256_maskload_pd(x + main, m)));
+  }
+}
+
+void sub_scalar_avx2(double s, double* x, std::size_t n) {
+  const __m256d sv = _mm256_set1_pd(s);
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4)
+    _mm256_storeu_pd(x + i, _mm256_sub_pd(_mm256_loadu_pd(x + i), sv));
+  if (const std::size_t rem = n - main; rem != 0) {
+    const __m256i m = lane_mask(rem);
+    _mm256_maskstore_pd(
+        x + main, m, _mm256_sub_pd(_mm256_maskload_pd(x + main, m), sv));
+  }
+}
+
+void xpby_avx2(double beta, const double* z, double* p, std::size_t n) {
+  const __m256d bv = _mm256_set1_pd(beta);
+  const std::size_t main = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < main; i += 4)
+    _mm256_storeu_pd(
+        p + i, _mm256_fmadd_pd(bv, _mm256_loadu_pd(p + i),
+                               _mm256_loadu_pd(z + i)));
+  if (const std::size_t rem = n - main; rem != 0) {
+    const __m256i m = lane_mask(rem);
+    const __m256d t = _mm256_fmadd_pd(bv, _mm256_maskload_pd(p + main, m),
+                                      _mm256_maskload_pd(z + main, m));
+    _mm256_maskstore_pd(p + main, m, t);
+  }
+}
+
+void spmv_range_avx2(const std::size_t* row_ptr, const std::uint32_t* col_idx,
+                     const double* values, const double* x, double alpha,
+                     double* y, std::size_t lo, std::size_t hi) {
+  // Sparse row dots are gather-bound, and vgatherdpd loses to plain scalar
+  // loads on typical CSR rows (~10 nnz): four independent scalar fma chains
+  // keep the exact 4-lane tree shape — lane (t - b) & 3, same fold — while
+  // the loads pipeline instead of serializing through the gather unit.
+  for (std::size_t r = lo; r < hi; ++r) {
+    const std::size_t b = row_ptr[r], e = row_ptr[r + 1];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    std::size_t t = b;
+    for (; t + 4 <= e; t += 4) {
+      _mm_prefetch(reinterpret_cast<const char*>(values + t + 16),
+                   _MM_HINT_T0);
+      a0 = std::fma(values[t], x[col_idx[t]], a0);
+      a1 = std::fma(values[t + 1], x[col_idx[t + 1]], a1);
+      a2 = std::fma(values[t + 2], x[col_idx[t + 2]], a2);
+      a3 = std::fma(values[t + 3], x[col_idx[t + 3]], a3);
+    }
+    // Ragged tail continues the lane assignment: lanes 0, 1, 2.
+    if (t < e) a0 = std::fma(values[t], x[col_idx[t]], a0), ++t;
+    if (t < e) a1 = std::fma(values[t], x[col_idx[t]], a1), ++t;
+    if (t < e) a2 = std::fma(values[t], x[col_idx[t]], a2);
+    y[r] = std::fma(alpha, (a0 + a2) + (a1 + a3), y[r]);
+  }
+}
+
+/// spmm rows for kp == 4 (k <= 4): the whole 4-lane accumulator block fits in
+/// four ymm registers, so the generic path's scratch round-trip per nnz
+/// disappears. Lane assignment — nnz position (t - b) & 3 — and the fold are
+/// unchanged, so results stay bit-identical. KFull selects plain loads/stores
+/// when k == 4; otherwise `km` masks the live columns.
+template <bool KFull>
+void spmm_rows_kp4(const std::size_t* row_ptr, const std::uint32_t* col_idx,
+                   const double* values, const double* x, std::size_t ldx,
+                   double alpha, double* y, std::size_t ldy, __m256i km,
+                   std::size_t lo, std::size_t hi) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t r = lo; r < hi; ++r) {
+    const std::size_t b = row_ptr[r], e = row_ptr[r + 1];
+    __m256d a0 = zero, a1 = zero, a2 = zero, a3 = zero;
+    const auto xrow = [&](std::size_t t) {
+      const double* p = x + static_cast<std::size_t>(col_idx[t]) * ldx;
+      return KFull ? _mm256_loadu_pd(p) : _mm256_maskload_pd(p, km);
+    };
+    std::size_t t = b;
+    for (; t + 4 <= e; t += 4) {
+      if (t + 4 < e)
+        _mm_prefetch(reinterpret_cast<const char*>(
+                         x + static_cast<std::size_t>(col_idx[t + 4]) * ldx),
+                     _MM_HINT_T0);
+      a0 = _mm256_fmadd_pd(_mm256_set1_pd(values[t]), xrow(t), a0);
+      a1 = _mm256_fmadd_pd(_mm256_set1_pd(values[t + 1]), xrow(t + 1), a1);
+      a2 = _mm256_fmadd_pd(_mm256_set1_pd(values[t + 2]), xrow(t + 2), a2);
+      a3 = _mm256_fmadd_pd(_mm256_set1_pd(values[t + 3]), xrow(t + 3), a3);
+    }
+    // Ragged tail continues the lane assignment: lanes 0, 1, 2.
+    if (t < e) a0 = _mm256_fmadd_pd(_mm256_set1_pd(values[t]), xrow(t), a0), ++t;
+    if (t < e) a1 = _mm256_fmadd_pd(_mm256_set1_pd(values[t]), xrow(t), a1), ++t;
+    if (t < e) a2 = _mm256_fmadd_pd(_mm256_set1_pd(values[t]), xrow(t), a2);
+    const __m256d fold =
+        _mm256_add_pd(_mm256_add_pd(a0, a2), _mm256_add_pd(a1, a3));
+    double* yrow = y + r * ldy;
+    if (KFull) {
+      _mm256_storeu_pd(yrow,
+                       _mm256_fmadd_pd(av, fold, _mm256_loadu_pd(yrow)));
+    } else {
+      const __m256d upd =
+          _mm256_fmadd_pd(av, fold, _mm256_maskload_pd(yrow, km));
+      _mm256_maskstore_pd(yrow, km, upd);
+    }
+  }
+}
+
+/// spmm rows for kp == 8 (5 <= k <= 8): eight register accumulators, two per
+/// lane. The low j-block is always full (k >= 5); KFull selects plain
+/// loads/stores for the high block when k == 8, else `km` masks it.
+template <bool KFull>
+void spmm_rows_kp8(const std::size_t* row_ptr, const std::uint32_t* col_idx,
+                   const double* values, const double* x, std::size_t ldx,
+                   double alpha, double* y, std::size_t ldy, __m256i km,
+                   std::size_t lo, std::size_t hi) {
+  const __m256d av = _mm256_set1_pd(alpha);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t r = lo; r < hi; ++r) {
+    const std::size_t b = row_ptr[r], e = row_ptr[r + 1];
+    __m256d a0l = zero, a1l = zero, a2l = zero, a3l = zero;
+    __m256d a0h = zero, a1h = zero, a2h = zero, a3h = zero;
+    const auto step = [&](std::size_t t, __m256d& al, __m256d& ah) {
+      const double* p = x + static_cast<std::size_t>(col_idx[t]) * ldx;
+      const __m256d v = _mm256_set1_pd(values[t]);
+      al = _mm256_fmadd_pd(v, _mm256_loadu_pd(p), al);
+      ah = _mm256_fmadd_pd(
+          v, KFull ? _mm256_loadu_pd(p + 4) : _mm256_maskload_pd(p + 4, km),
+          ah);
+    };
+    std::size_t t = b;
+    for (; t + 4 <= e; t += 4) {
+      if (t + 4 < e)
+        _mm_prefetch(reinterpret_cast<const char*>(
+                         x + static_cast<std::size_t>(col_idx[t + 4]) * ldx),
+                     _MM_HINT_T0);
+      step(t, a0l, a0h);
+      step(t + 1, a1l, a1h);
+      step(t + 2, a2l, a2h);
+      step(t + 3, a3l, a3h);
+    }
+    if (t < e) step(t, a0l, a0h), ++t;
+    if (t < e) step(t, a1l, a1h), ++t;
+    if (t < e) step(t, a2l, a2h);
+    const __m256d foldl =
+        _mm256_add_pd(_mm256_add_pd(a0l, a2l), _mm256_add_pd(a1l, a3l));
+    const __m256d foldh =
+        _mm256_add_pd(_mm256_add_pd(a0h, a2h), _mm256_add_pd(a1h, a3h));
+    double* yrow = y + r * ldy;
+    _mm256_storeu_pd(yrow,
+                     _mm256_fmadd_pd(av, foldl, _mm256_loadu_pd(yrow)));
+    if (KFull) {
+      _mm256_storeu_pd(yrow + 4,
+                       _mm256_fmadd_pd(av, foldh, _mm256_loadu_pd(yrow + 4)));
+    } else {
+      const __m256d upd =
+          _mm256_fmadd_pd(av, foldh, _mm256_maskload_pd(yrow + 4, km));
+      _mm256_maskstore_pd(yrow + 4, km, upd);
+    }
+  }
+}
+
+void spmm_range_avx2(const std::size_t* row_ptr, const std::uint32_t* col_idx,
+                     const double* values, const double* x, std::size_t ldx,
+                     double alpha, double* y, std::size_t ldy, std::size_t k,
+                     double* acc, std::size_t lo, std::size_t hi) {
+  const std::size_t kp = padded_cols(k);
+  const std::size_t kmain = k & ~std::size_t{3};
+  const std::size_t krem = k - kmain;
+  const __m256i ktail = lane_mask(krem);
+  if (kp == 4) {
+    if (krem == 0)
+      spmm_rows_kp4<true>(row_ptr, col_idx, values, x, ldx, alpha, y, ldy,
+                          ktail, lo, hi);
+    else
+      spmm_rows_kp4<false>(row_ptr, col_idx, values, x, ldx, alpha, y, ldy,
+                           ktail, lo, hi);
+    return;
+  }
+  if (kp == 8) {
+    if (krem == 0)
+      spmm_rows_kp8<true>(row_ptr, col_idx, values, x, ldx, alpha, y, ldy,
+                          ktail, lo, hi);
+    else
+      spmm_rows_kp8<false>(row_ptr, col_idx, values, x, ldx, alpha, y, ldy,
+                           ktail, lo, hi);
+    return;
+  }
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t r = lo; r < hi; ++r) {
+    const std::size_t b = row_ptr[r], e = row_ptr[r + 1];
+    for (std::size_t j = 0; j < 4 * kp; j += 4) _mm256_store_pd(acc + j, zero);
+    // nnz position (t - b) & 3 selects the accumulator lane — four
+    // independent fma chains per column (same tree as spmv_range), which is
+    // also what hides the fma latency.
+    for (std::size_t t = b; t < e; ++t) {
+      if (t + 2 < e)
+        _mm_prefetch(reinterpret_cast<const char*>(
+                         x + static_cast<std::size_t>(col_idx[t + 2]) * ldx),
+                     _MM_HINT_T0);
+      const __m256d v = _mm256_set1_pd(values[t]);
+      const double* xrow = x + static_cast<std::size_t>(col_idx[t]) * ldx;
+      double* lane = acc + ((t - b) & 3) * kp;
+      for (std::size_t j = 0; j < kmain; j += 4)
+        _mm256_store_pd(
+            lane + j, _mm256_fmadd_pd(v, _mm256_loadu_pd(xrow + j),
+                                      _mm256_load_pd(lane + j)));
+      if (krem != 0)
+        _mm256_store_pd(
+            lane + kmain,
+            _mm256_fmadd_pd(v, _mm256_maskload_pd(xrow + kmain, ktail),
+                            _mm256_load_pd(lane + kmain)));
+    }
+    const __m256d av = _mm256_set1_pd(alpha);
+    double* yrow = y + r * ldy;
+    for (std::size_t j = 0; j < kmain; j += 4) {
+      const __m256d fold = _mm256_add_pd(
+          _mm256_add_pd(_mm256_load_pd(acc + j),
+                        _mm256_load_pd(acc + 2 * kp + j)),
+          _mm256_add_pd(_mm256_load_pd(acc + kp + j),
+                        _mm256_load_pd(acc + 3 * kp + j)));
+      _mm256_storeu_pd(
+          yrow + j, _mm256_fmadd_pd(av, fold, _mm256_loadu_pd(yrow + j)));
+    }
+    if (krem != 0) {
+      const __m256d fold = _mm256_add_pd(
+          _mm256_add_pd(_mm256_load_pd(acc + kmain),
+                        _mm256_load_pd(acc + 2 * kp + kmain)),
+          _mm256_add_pd(_mm256_load_pd(acc + kp + kmain),
+                        _mm256_load_pd(acc + 3 * kp + kmain)));
+      const __m256d t = _mm256_fmadd_pd(
+          av, fold, _mm256_maskload_pd(yrow + kmain, ktail));
+      _mm256_maskstore_pd(yrow + kmain, ktail, t);
+    }
+  }
+}
+
+// Masked column-block kernels: mask arrays are zero-padded to 4 lanes, so
+// every j-block is processed uniformly — maskload suppresses out-of-range
+// and inactive lanes, maskstore leaves them untouched.
+
+void col_dots_avx2(const double* a, const double* b, std::size_t n,
+                   std::size_t k, const double* mask, double* out,
+                   double* scratch) {
+  const std::size_t kp = padded_cols(k);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < 8 * kp; j += 4) _mm256_store_pd(scratch + j, zero);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ar = a + i * k;
+    const double* br = b + i * k;
+    double* lane = scratch + (i & 7) * kp;
+    for (std::size_t j = 0; j < kp; j += 4) {
+      const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+      // Suppressed lanes load 0 and add fma(0, 0, acc) — the lane stays +0
+      // because it starts at +0 and is only ever written back masked below.
+      _mm256_store_pd(
+          lane + j, _mm256_fmadd_pd(_mm256_maskload_pd(ar + j, m),
+                                    _mm256_maskload_pd(br + j, m),
+                                    _mm256_load_pd(lane + j)));
+    }
+  }
+  for (std::size_t j = 0; j < kp; j += 4) {
+    const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+    const __m256d l0 = _mm256_add_pd(_mm256_load_pd(scratch + j),
+                                     _mm256_load_pd(scratch + 4 * kp + j));
+    const __m256d l1 = _mm256_add_pd(_mm256_load_pd(scratch + kp + j),
+                                     _mm256_load_pd(scratch + 5 * kp + j));
+    const __m256d l2 = _mm256_add_pd(_mm256_load_pd(scratch + 2 * kp + j),
+                                     _mm256_load_pd(scratch + 6 * kp + j));
+    const __m256d l3 = _mm256_add_pd(_mm256_load_pd(scratch + 3 * kp + j),
+                                     _mm256_load_pd(scratch + 7 * kp + j));
+    const __m256d fold =
+        _mm256_add_pd(_mm256_add_pd(l0, l2), _mm256_add_pd(l1, l3));
+    _mm256_maskstore_pd(out + j, m, fold);
+  }
+}
+
+void col_sums_avx2(const double* a, std::size_t n, std::size_t k,
+                   const double* mask, double* out, double* scratch) {
+  const std::size_t kp = padded_cols(k);
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t j = 0; j < 8 * kp; j += 4) _mm256_store_pd(scratch + j, zero);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ar = a + i * k;
+    double* lane = scratch + (i & 7) * kp;
+    for (std::size_t j = 0; j < kp; j += 4) {
+      const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+      _mm256_store_pd(lane + j,
+                      _mm256_add_pd(_mm256_load_pd(lane + j),
+                                    _mm256_maskload_pd(ar + j, m)));
+    }
+  }
+  for (std::size_t j = 0; j < kp; j += 4) {
+    const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+    const __m256d l0 = _mm256_add_pd(_mm256_load_pd(scratch + j),
+                                     _mm256_load_pd(scratch + 4 * kp + j));
+    const __m256d l1 = _mm256_add_pd(_mm256_load_pd(scratch + kp + j),
+                                     _mm256_load_pd(scratch + 5 * kp + j));
+    const __m256d l2 = _mm256_add_pd(_mm256_load_pd(scratch + 2 * kp + j),
+                                     _mm256_load_pd(scratch + 6 * kp + j));
+    const __m256d l3 = _mm256_add_pd(_mm256_load_pd(scratch + 3 * kp + j),
+                                     _mm256_load_pd(scratch + 7 * kp + j));
+    const __m256d fold =
+        _mm256_add_pd(_mm256_add_pd(l0, l2), _mm256_add_pd(l1, l3));
+    _mm256_maskstore_pd(out + j, m, fold);
+  }
+}
+
+void axpy_cols_avx2(const double* c, const double* x, double* y, std::size_t n,
+                    std::size_t k, const double* mask) {
+  const std::size_t kp = padded_cols(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* xr = x + i * k;
+    double* yr = y + i * k;
+    for (std::size_t j = 0; j < kp; j += 4) {
+      const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+      const __m256d t = _mm256_fmadd_pd(_mm256_loadu_pd(c + j),
+                                        _mm256_maskload_pd(xr + j, m),
+                                        _mm256_maskload_pd(yr + j, m));
+      _mm256_maskstore_pd(yr + j, m, t);
+    }
+  }
+}
+
+void xpby_cols_avx2(const double* beta, const double* z, double* p,
+                    std::size_t n, std::size_t k, const double* mask) {
+  const std::size_t kp = padded_cols(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* zr = z + i * k;
+    double* pr = p + i * k;
+    for (std::size_t j = 0; j < kp; j += 4) {
+      const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+      const __m256d t = _mm256_fmadd_pd(_mm256_loadu_pd(beta + j),
+                                        _mm256_maskload_pd(pr + j, m),
+                                        _mm256_maskload_pd(zr + j, m));
+      _mm256_maskstore_pd(pr + j, m, t);
+    }
+  }
+}
+
+void sub_cols_avx2(const double* s, double* x, std::size_t n, std::size_t k,
+                   const double* mask) {
+  const std::size_t kp = padded_cols(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xr = x + i * k;
+    for (std::size_t j = 0; j < kp; j += 4) {
+      const __m256i m = _mm256_castpd_si256(_mm256_loadu_pd(mask + j));
+      const __m256d t = _mm256_sub_pd(_mm256_maskload_pd(xr + j, m),
+                                      _mm256_loadu_pd(s + j));
+      _mm256_maskstore_pd(xr + j, m, t);
+    }
+  }
+}
+
+void diag_scale_cols_avx2(const double* d, const double* x, double* y,
+                          std::size_t n, std::size_t k) {
+  const std::size_t kmain = k & ~std::size_t{3};
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256d dv = _mm256_set1_pd(d[i]);
+    const double* xr = x + i * k;
+    double* yr = y + i * k;
+    std::size_t j = 0;
+    for (; j < kmain; j += 4)
+      _mm256_storeu_pd(yr + j, _mm256_mul_pd(dv, _mm256_loadu_pd(xr + j)));
+    for (; j < k; ++j) yr[j] = d[i] * xr[j];
+  }
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() {
+  static const KernelTable t{
+      "avx2",          dot_avx2,        dot_self_avx2,
+      sum_avx2,        distance2_avx2,  axpy_avx2,
+      scale_avx2,      sub_scalar_avx2, xpby_avx2,
+      spmv_range_avx2, spmm_range_avx2, col_dots_avx2,
+      col_sums_avx2,   axpy_cols_avx2,  xpby_cols_avx2,
+      sub_cols_avx2,   diag_scale_cols_avx2,
+  };
+  return &t;
+}
+
+}  // namespace cirstag::kernels
+
+#else  // !(__AVX2__ && __FMA__)
+
+namespace cirstag::kernels {
+const KernelTable* avx2_kernel_table() { return nullptr; }
+}  // namespace cirstag::kernels
+
+#endif

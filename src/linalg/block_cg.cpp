@@ -4,8 +4,11 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "util/aligned.hpp"
+#include "util/arena.hpp"
 
 namespace cirstag::linalg {
 
@@ -18,62 +21,68 @@ constexpr std::size_t kRowGrain = 2048;
 constexpr std::size_t kParallelMinElems = 16384;
 
 using Mask = std::vector<std::uint8_t>;
+/// Column mask in the kernel layer's bit-pattern form, zero-padded to the
+/// 4-lane multiple the masked kernels require (kernels.hpp).
+using LaneMask = std::vector<double, util::AlignedAllocator<double>>;
+/// Padded per-column coefficient vector (fully loaded by the kernels, so the
+/// pad lanes must exist and stay finite).
+using Coeffs = std::vector<double, util::AlignedAllocator<double>>;
 
-/// out[j] = Σ_i A(i,j)·B(i,j) for active columns. The i-outer serial loop
-/// reproduces each column's single-vector `dot` association exactly.
-void column_dots(const Matrix& a, const Matrix& b, const Mask& active,
-                 std::vector<double>& out) {
-  const std::size_t n = a.rows(), k = a.cols();
-  std::fill(out.begin(), out.end(), 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto ra = a.row(i);
-    const auto rb = b.row(i);
-    for (std::size_t j = 0; j < k; ++j)
-      if (active[j]) out[j] += ra[j] * rb[j];
-  }
+LaneMask make_lane_mask(const Mask& active) {
+  LaneMask m(kernels::padded_cols(active.size()), kernels::kMaskOff);
+  for (std::size_t j = 0; j < active.size(); ++j)
+    if (active[j]) m[j] = kernels::kMaskOn;
+  return m;
 }
 
-/// Remove the mean of every active column (two-pass, row-ascending — the
-/// per-column association of the single-vector deflate_constant).
-void deflate_columns(Matrix& x, const Mask& active) {
+/// out[j] = Σ_i A(i,j)·B(i,j) for active columns, reduced through the same
+/// 8-lane row tree as the single-vector `dot` kernel — bit-identical per
+/// column (serial over rows; thread-count invariant by construction).
+void column_dots(const Matrix& a, const Matrix& b, const LaneMask& mask,
+                 Coeffs& out) {
+  const std::size_t n = a.rows(), k = a.cols();
+  std::fill(out.begin(), out.end(), 0.0);
+  util::ArenaFrame frame;
+  const auto scratch = frame.alloc<double>(8 * kernels::padded_cols(k));
+  kernels::table().col_dots(a.data().data(), b.data().data(), n, k,
+                            mask.data(), out.data(), scratch.data());
+}
+
+/// Remove the mean of every active column (two-pass — the per-column
+/// association of the single-vector deflate_constant, 8-lane sum tree).
+void deflate_columns(Matrix& x, const LaneMask& mask) {
   const std::size_t n = x.rows(), k = x.cols();
   if (n == 0) return;
-  std::vector<double> mean(k, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto r = x.row(i);
-    for (std::size_t j = 0; j < k; ++j)
-      if (active[j]) mean[j] += r[j];
-  }
+  const kernels::KernelTable& kt = kernels::table();
+  util::ArenaFrame frame;
+  const std::size_t kp = kernels::padded_cols(k);
+  const auto mean = frame.alloc_zero<double>(kp);
+  const auto scratch = frame.alloc<double>(8 * kp);
+  kt.col_sums(x.data().data(), n, k, mask.data(), mean.data(), scratch.data());
   for (std::size_t j = 0; j < k; ++j) mean[j] /= static_cast<double>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto r = x.row(i);
-    for (std::size_t j = 0; j < k; ++j)
-      if (active[j]) r[j] -= mean[j];
-  }
+  kt.sub_cols(mean.data(), x.data().data(), n, k, mask.data());
 }
 
 /// Deflate one column — used exactly once per column, at retirement, so a
 /// column is never double-deflated (deflation is not bitwise idempotent).
+/// Strided mirror of deflate_constant: 8-lane sum tree, then subtract.
 void deflate_column(Matrix& x, std::size_t j) {
   const std::size_t n = x.rows();
   if (n == 0) return;
-  double mean = 0.0;
-  for (std::size_t i = 0; i < n; ++i) mean += x(i, j);
-  mean /= static_cast<double>(n);
+  double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) acc[i & 7] += x(i, j);
+  const double mean = kernels::reduce8_tree(acc) / static_cast<double>(n);
   for (std::size_t i = 0; i < n; ++i) x(i, j) -= mean;
 }
 
 /// y(i,j) += c[j]·x(i,j) on active columns (element-parallel, fixed chunks).
-void axpy_columns(const std::vector<double>& c, const Matrix& x, Matrix& y,
-                  const Mask& active) {
+void axpy_columns(const Coeffs& c, const Matrix& x, Matrix& y,
+                  const LaneMask& mask) {
   const std::size_t n = x.rows(), k = x.cols();
+  const kernels::KernelTable& kt = kernels::table();
   auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto rx = x.row(i);
-      auto ry = y.row(i);
-      for (std::size_t j = 0; j < k; ++j)
-        if (active[j]) ry[j] += c[j] * rx[j];
-    }
+    kt.axpy_cols(c.data(), x.data().data() + lo * k, y.data().data() + lo * k,
+                 hi - lo, k, mask.data());
   };
   if (n * k < kParallelMinElems) {
     body(0, n);
@@ -83,16 +92,13 @@ void axpy_columns(const std::vector<double>& c, const Matrix& x, Matrix& y,
 }
 
 /// p(i,j) = z(i,j) + beta[j]·p(i,j) on active columns.
-void update_directions(const Matrix& z, const std::vector<double>& beta,
-                       Matrix& p, const Mask& active) {
+void update_directions(const Matrix& z, const Coeffs& beta, Matrix& p,
+                       const LaneMask& mask) {
   const std::size_t n = z.rows(), k = z.cols();
+  const kernels::KernelTable& kt = kernels::table();
   auto body = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      const auto rz = z.row(i);
-      auto rp = p.row(i);
-      for (std::size_t j = 0; j < k; ++j)
-        if (active[j]) rp[j] = rz[j] + beta[j] * rp[j];
-    }
+    kt.xpby_cols(beta.data(), z.data().data() + lo * k,
+                 p.data().data() + lo * k, hi - lo, k, mask.data());
   };
   if (n * k < kParallelMinElems) {
     body(0, n);
@@ -121,12 +127,13 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
       (initial_guess->rows() != n || initial_guess->cols() != k))
     throw std::invalid_argument("block_conjugate_gradient: bad guess shape");
 
+  const std::size_t kp = kernels::padded_cols(k);
   Matrix r = b;
-  const Mask all(k, 1);
-  if (opts.deflate_constant) deflate_columns(r, all);
+  const LaneMask all_mask = make_lane_mask(Mask(k, 1));
+  if (opts.deflate_constant) deflate_columns(r, all_mask);
 
-  std::vector<double> bnorm(k, 0.0);
-  column_dots(r, r, all, bnorm);
+  Coeffs bnorm(kp, 0.0);
+  column_dots(r, r, all_mask, bnorm);
   for (auto& v : bnorm) v = std::sqrt(v);
 
   Mask active(k, 0);
@@ -140,6 +147,7 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
     }
   }
   if (num_active == 0) return res;
+  LaneMask amask = make_lane_mask(active);
 
   if (initial_guess) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -148,12 +156,13 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
       for (std::size_t j = 0; j < k; ++j)
         if (active[j]) x[j] = g[j];
     }
-    if (opts.deflate_constant) deflate_columns(res.solutions, active);
+    if (opts.deflate_constant) deflate_columns(res.solutions, amask);
     Matrix ax(n, k);
     op(res.solutions, ax);
-    if (opts.deflate_constant) deflate_columns(ax, active);
-    const std::vector<double> minus_one(k, -1.0);
-    axpy_columns(minus_one, ax, r, active);
+    if (opts.deflate_constant) deflate_columns(ax, amask);
+    Coeffs minus_one(kp, 0.0);
+    std::fill_n(minus_one.begin(), k, -1.0);
+    axpy_columns(minus_one, ax, r, amask);
   }
 
   Matrix z(n, k);
@@ -163,24 +172,25 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
     } else {
       std::copy(in.data().begin(), in.data().end(), out.data().begin());
     }
-    if (opts.deflate_constant) deflate_columns(out, active);
+    if (opts.deflate_constant) deflate_columns(out, amask);
   };
 
   apply_precond(r, z);
   Matrix p = z;
   Matrix ap(n, k);
-  std::vector<double> rz(k, 0.0);
-  column_dots(r, z, active, rz);
+  Coeffs rz(kp, 0.0);
+  column_dots(r, z, amask, rz);
 
-  std::vector<double> pap(k, 0.0), alpha(k, 0.0), neg_alpha(k, 0.0),
-      rnorm2(k, 0.0), rz_new(k, 0.0), beta(k, 0.0);
+  Coeffs pap(kp, 0.0), alpha(kp, 0.0), neg_alpha(kp, 0.0), rnorm2(kp, 0.0),
+      rz_new(kp, 0.0), beta(kp, 0.0);
 
-  // ‖r_j‖/‖b_j‖ recomputed at breakdown / max-iteration retirement, matching
-  // the single-vector tail.
+  // ‖r_j‖/‖b_j‖ recomputed at breakdown / max-iteration retirement — the
+  // strided mirror of the single-vector norm (8-lane tree over rows).
   auto tail_residual = [&](std::size_t j) {
-    double s = 0.0;
-    for (std::size_t i = 0; i < n; ++i) s += r(i, j) * r(i, j);
-    return std::sqrt(s) / bnorm[j];
+    double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i)
+      acc[i & 7] = std::fma(r(i, j), r(i, j), acc[i & 7]);
+    return std::sqrt(kernels::reduce8_tree(acc)) / bnorm[j];
   };
 
   std::size_t sweeps = 0;
@@ -188,8 +198,8 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
     ++sweeps;
     ap.fill(0.0);
     op(p, ap);
-    if (opts.deflate_constant) deflate_columns(ap, active);
-    column_dots(p, ap, active, pap);
+    if (opts.deflate_constant) deflate_columns(ap, amask);
+    column_dots(p, ap, amask, pap);
     // Indefinite directions retire before the α step — the single-vector
     // early break, but per column.
     for (std::size_t j = 0; j < k; ++j) {
@@ -202,14 +212,15 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
       }
     }
     if (num_active == 0) break;
+    amask = make_lane_mask(active);
     for (std::size_t j = 0; j < k; ++j) {
       if (!active[j]) continue;
       alpha[j] = rz[j] / pap[j];
       neg_alpha[j] = -alpha[j];
     }
-    axpy_columns(alpha, p, res.solutions, active);
-    axpy_columns(neg_alpha, ap, r, active);
-    column_dots(r, r, active, rnorm2);
+    axpy_columns(alpha, p, res.solutions, amask);
+    axpy_columns(neg_alpha, ap, r, amask);
+    column_dots(r, r, amask, rnorm2);
     for (std::size_t j = 0; j < k; ++j) {
       if (!active[j]) continue;
       res.iterations[j] = it + 1;
@@ -223,14 +234,15 @@ BlockCgResult block_conjugate_gradient(const BlockLinearOperator& op,
       }
     }
     if (num_active == 0) break;
+    amask = make_lane_mask(active);
     apply_precond(r, z);
-    column_dots(r, z, active, rz_new);
+    column_dots(r, z, amask, rz_new);
     for (std::size_t j = 0; j < k; ++j) {
       if (!active[j]) continue;
       beta[j] = rz_new[j] / rz[j];
       rz[j] = rz_new[j];
     }
-    update_directions(z, beta, p, active);
+    update_directions(z, beta, p, amask);
   }
 
   // Columns that exhausted the iteration budget.

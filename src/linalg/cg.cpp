@@ -3,11 +3,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "linalg/block_cg.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/parallel_for.hpp"
+#include "util/arena.hpp"
 
 namespace cirstag::linalg {
 
@@ -69,7 +71,12 @@ CgResult conjugate_gradient_impl(const LinearOperator& op,
   CgResult result;
   result.solution.assign(n, 0.0);
 
-  std::vector<double> r(b.begin(), b.end());
+  // Per-solve temporaries come from the thread-local arena: a solve is a
+  // strict LIFO scope, so repeated solves reuse the same cache-hot block
+  // instead of hitting the heap four times per call.
+  util::ArenaFrame frame;
+  std::span<double> r = frame.alloc<double>(n);
+  std::copy(b.begin(), b.end(), r.begin());
   if (opts.deflate_constant) deflate_constant(r);
   const double bnorm = norm2(r);
   if (bnorm == 0.0) {
@@ -79,13 +86,13 @@ CgResult conjugate_gradient_impl(const LinearOperator& op,
   if (!initial_guess.empty()) {
     result.solution.assign(initial_guess.begin(), initial_guess.end());
     if (opts.deflate_constant) deflate_constant(result.solution);
-    std::vector<double> ax(n, 0.0);
+    std::span<double> ax = frame.alloc_zero<double>(n);
     op(result.solution, ax);
     if (opts.deflate_constant) deflate_constant(ax);
     axpy(-1.0, ax, r);
   }
 
-  std::vector<double> z(n, 0.0);
+  std::span<double> z = frame.alloc_zero<double>(n);
   auto apply_precond = [&](std::span<const double> in, std::span<double> out) {
     if (precond) {
       precond(in, out);
@@ -96,8 +103,9 @@ CgResult conjugate_gradient_impl(const LinearOperator& op,
   };
 
   apply_precond(r, z);
-  std::vector<double> p = z;
-  std::vector<double> ap(n, 0.0);
+  std::span<double> p = frame.alloc<double>(n);
+  std::copy(z.begin(), z.end(), p.begin());
+  std::span<double> ap = frame.alloc_zero<double>(n);
   double rz = dot(r, z);
 
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
@@ -126,7 +134,9 @@ CgResult conjugate_gradient_impl(const LinearOperator& op,
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    // Contracted direction update — the scalar twin of xpby_cols, so
+    // solve_block stays bit-identical to per-column solve().
+    kernels::xpby(beta, z.data(), p.data(), n);
   }
 
   result.residual = norm2(r) / bnorm;
@@ -201,15 +211,11 @@ Matrix LaplacianSolver::solve_block(const Matrix& rhs,
   const std::size_t k = rhs.cols();
   auto op = [this](const Matrix& x, Matrix& y) {
     laplacian_.multiply_add(x, y);
-    if (regularization_ != 0.0) {
-      const std::size_t n = x.rows(), cols = x.cols();
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto rx = x.row(i);
-        auto ry = y.row(i);
-        for (std::size_t j = 0; j < cols; ++j)
-          ry[j] += regularization_ * rx[j];
-      }
-    }
+    // Contracted exactly like the single-vector operator's axpy — elementwise
+    // fma has no reduction shape, so one flat call covers all columns.
+    if (regularization_ != 0.0)
+      kernels::axpy(regularization_, x.data().data(), y.data().data(),
+                    x.rows() * x.cols());
   };
   BlockLinearOperator precond;
   if (!tree_.empty()) {
@@ -218,7 +224,9 @@ Matrix LaplacianSolver::solve_block(const Matrix& rhs,
       // each column's sweep identical to the single-vector apply.
       runtime::parallel_for(0, x.cols(), 1, [&](std::size_t j) {
         const std::size_t n = x.rows();
-        std::vector<double> in(n), out(n);
+        util::ArenaFrame frame;  // each worker bumps its own thread-local arena
+        std::span<double> in = frame.alloc<double>(n);
+        std::span<double> out = frame.alloc<double>(n);
         for (std::size_t i = 0; i < n; ++i) in[i] = x(i, j);
         tree_.apply(in, out);
         for (std::size_t i = 0; i < n; ++i) y(i, j) = out[i];
@@ -226,12 +234,8 @@ Matrix LaplacianSolver::solve_block(const Matrix& rhs,
     };
   } else {
     precond = [this](const Matrix& x, Matrix& y) {
-      const std::size_t n = x.rows(), cols = x.cols();
-      for (std::size_t i = 0; i < n; ++i) {
-        const auto rx = x.row(i);
-        auto ry = y.row(i);
-        for (std::size_t j = 0; j < cols; ++j) ry[j] = inv_diag_[i] * rx[j];
-      }
+      kernels::table().diag_scale_cols(inv_diag_.data(), x.data().data(),
+                                       y.data().data(), x.rows(), x.cols());
     };
   }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace cirstag::linalg {
@@ -92,33 +93,29 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 double Matrix::frobenius_norm() const {
-  double s = 0.0;
-  for (double x : data_) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::dot_self(data_.data(), data_.size()));
 }
 
 double Matrix::row_distance2(std::size_t r1, std::size_t r2) const {
-  double s = 0.0;
-  const auto a = row(r1);
-  const auto b = row(r2);
-  for (std::size_t c = 0; c < cols_; ++c) {
-    const double d = a[c] - b[c];
-    s += d * d;
-  }
-  return s;
+  // Canonical 4-lane distance kernel — every Euclidean distance in the
+  // pipeline (kNN, kd-tree, manifold edges) must route through the same
+  // kernel to stay bit-comparable.
+  return kernels::distance2(row(r1).data(), row(r2).data(), cols_);
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
   Matrix c(a.rows(), b.cols());
+  const kernels::KernelTable& kt = kernels::table();
   auto row_range = [&](std::size_t lo, std::size_t hi) {
+    // Row i of C accumulates fma(a_ik, b_k*, c_i*) in ascending k with the
+    // zero-skip; gnn::matmul_row and the DAG incremental path mirror this
+    // sequence exactly (see gnn/layers.cpp) — keep them in lockstep.
     for (std::size_t i = lo; i < hi; ++i) {
       for (std::size_t k = 0; k < a.cols(); ++k) {
         const double aik = a(i, k);
         if (aik == 0.0) continue;
-        const auto brow = b.row(k);
-        auto crow = c.row(i);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        kt.axpy(aik, b.row(k).data(), c.row(i).data(), b.cols());
       }
     }
   };
@@ -134,14 +131,14 @@ Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows())
     throw std::invalid_argument("matmul_at_b: shape mismatch");
   Matrix c(a.cols(), b.cols());
+  const kernels::KernelTable& kt = kernels::table();
   for (std::size_t k = 0; k < a.rows(); ++k) {
     const auto arow = a.row(k);
     const auto brow = b.row(k);
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double aki = arow[i];
       if (aki == 0.0) continue;
-      auto crow = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+      kt.axpy(aki, brow.data(), c.row(i).data(), b.cols());
     }
   }
   return c;
@@ -151,14 +148,11 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.cols())
     throw std::invalid_argument("matmul_a_bt: shape mismatch");
   Matrix c(a.rows(), b.rows());
+  const kernels::KernelTable& kt = kernels::table();
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const auto arow = a.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const auto brow = b.row(j);
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      c(i, j) = s;
-    }
+    for (std::size_t j = 0; j < b.rows(); ++j)
+      c(i, j) = kt.dot(arow.data(), b.row(j).data(), a.cols());
   }
   return c;
 }
@@ -166,12 +160,9 @@ Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
 std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   if (a.cols() != x.size()) throw std::invalid_argument("matvec: shape mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const auto arow = a.row(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += arow[j] * x[j];
-    y[i] = s;
-  }
+  const kernels::KernelTable& kt = kernels::table();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    y[i] = kt.dot(a.row(i).data(), x.data(), a.cols());
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/rng.hpp"
+#include "util/aligned.hpp"
 
 namespace cirstag::linalg {
 
@@ -72,7 +73,9 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned so the SIMD kernel layer sees cache-line-aligned rows
+  // whenever cols is a multiple of 8.
+  std::vector<double, util::AlignedAllocator<double>> data_;
 };
 
 /// C = A * B

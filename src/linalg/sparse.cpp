@@ -1,9 +1,12 @@
 #include "linalg/sparse.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "kernels/kernels.hpp"
 #include "runtime/parallel_for.hpp"
+#include "util/arena.hpp"
 
 namespace cirstag::linalg {
 
@@ -18,6 +21,9 @@ constexpr std::size_t kSpmvParallelMinNnz = 16384;
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                          std::vector<Triplet> triplets) {
+  // 32-bit signed gather indices bound the column count (kernels.hpp).
+  if (cols > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()))
+    throw std::length_error("SparseMatrix::from_triplets: too many columns");
   for (const auto& t : triplets) {
     if (t.row >= rows || t.col >= cols)
       throw std::out_of_range("SparseMatrix::from_triplets: index out of range");
@@ -46,7 +52,7 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
         ++i;
       }
       if (v != 0.0) {
-        m.col_idx_.push_back(c);
+        m.col_idx_.push_back(static_cast<std::uint32_t>(c));
         m.values_.push_back(v);
       }
     }
@@ -65,13 +71,10 @@ void SparseMatrix::multiply_add(std::span<const double> x, std::span<double> y,
                                 double alpha) const {
   if (x.size() != cols_ || y.size() != rows_)
     throw std::invalid_argument("SparseMatrix::multiply_add: size mismatch");
+  const kernels::KernelTable& kt = kernels::table();
   auto row_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      double s = 0.0;
-      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-        s += values_[k] * x[col_idx_[k]];
-      y[r] += alpha * s;
-    }
+    kt.spmv_range(row_ptr_.data(), col_idx_.data(), values_.data(), x.data(),
+                  alpha, y.data(), lo, hi);
   };
   if (nnz() < kSpmvParallelMinNnz) {
     row_range(0, rows_);
@@ -87,21 +90,16 @@ void SparseMatrix::multiply_add(const Matrix& x, Matrix& y,
         "SparseMatrix::multiply_add(Matrix): shape mismatch");
   const std::size_t k = x.cols();
   if (k == 0) return;
+  const kernels::KernelTable& kt = kernels::table();
   auto row_range = [&](std::size_t lo, std::size_t hi) {
-    // Per-row accumulator mirrors the scalar kernel's register `s`: each
-    // column sums its products in nnz order, then lands in y with a single
-    // alpha-scaled add — bit-identical to k single-vector products.
-    std::vector<double> acc(k);
-    for (std::size_t r = lo; r < hi; ++r) {
-      std::fill(acc.begin(), acc.end(), 0.0);
-      for (std::size_t e = row_ptr_[r]; e < row_ptr_[r + 1]; ++e) {
-        const double v = values_[e];
-        const auto xrow = x.row(col_idx_[e]);
-        for (std::size_t j = 0; j < k; ++j) acc[j] += v * xrow[j];
-      }
-      auto yrow = y.row(r);
-      for (std::size_t j = 0; j < k; ++j) yrow[j] += alpha * acc[j];
-    }
+    // The kernel accumulates each (row, column) in nnz order through a
+    // k-wide register-blocked accumulator, so column j of the result is
+    // bit-identical to the single-vector spmv on X.col(j).
+    util::ArenaFrame frame;
+    const auto acc = frame.alloc<double>(4 * kernels::padded_cols(k));
+    kt.spmm_range(row_ptr_.data(), col_idx_.data(), values_.data(),
+                  x.data().data(), x.cols(), alpha, y.data().data(), y.cols(),
+                  k, acc.data(), lo, hi);
   };
   if (nnz() * k < kSpmvParallelMinNnz) {
     row_range(0, rows_);
@@ -114,15 +112,15 @@ Matrix SparseMatrix::multiply(const Matrix& b) const {
   if (b.rows() != cols_)
     throw std::invalid_argument("SparseMatrix::multiply(Matrix): shape mismatch");
   Matrix c(rows_, b.cols());
+  if (b.cols() == 0) return c;
+  const kernels::KernelTable& kt = kernels::table();
   auto row_range = [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t r = lo; r < hi; ++r) {
-      auto crow = c.row(r);
-      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-        const double v = values_[k];
-        const auto brow = b.row(col_idx_[k]);
-        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += v * brow[j];
-      }
-    }
+    util::ArenaFrame frame;
+    const auto acc =
+        frame.alloc<double>(4 * kernels::padded_cols(b.cols()));
+    kt.spmm_range(row_ptr_.data(), col_idx_.data(), values_.data(),
+                  b.data().data(), b.cols(), 1.0, c.data().data(), c.cols(),
+                  b.cols(), acc.data(), lo, hi);
   };
   if (nnz() * b.cols() < kSpmvParallelMinNnz) {
     row_range(0, rows_);
@@ -157,7 +155,7 @@ double SparseMatrix::coeff(std::size_t row, std::size_t col) const {
   return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
-std::span<const std::size_t> SparseMatrix::row_indices(std::size_t r) const {
+std::span<const std::uint32_t> SparseMatrix::row_indices(std::size_t r) const {
   return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
 }
 

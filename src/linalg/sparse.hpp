@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "util/aligned.hpp"
 
 namespace cirstag::linalg {
 
@@ -60,7 +62,7 @@ class SparseMatrix {
   [[nodiscard]] double coeff(std::size_t row, std::size_t col) const;
 
   /// Row access for iteration: column indices and values of row r.
-  [[nodiscard]] std::span<const std::size_t> row_indices(std::size_t r) const;
+  [[nodiscard]] std::span<const std::uint32_t> row_indices(std::size_t r) const;
   [[nodiscard]] std::span<const double> row_values(std::size_t r) const;
 
   [[nodiscard]] Matrix to_dense() const;
@@ -68,9 +70,12 @@ class SparseMatrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  // SoA layout tuned for the SIMD kernels (kernels/kernels.hpp): 32-bit
+  // column indices halve index bandwidth and feed vpgatherdd-style loads;
+  // 64-byte alignment keeps the value/index streams on cache-line starts.
   std::vector<std::size_t> row_ptr_;  // size rows_+1
-  std::vector<std::size_t> col_idx_;
-  std::vector<double> values_;
+  std::vector<std::uint32_t, util::AlignedAllocator<std::uint32_t>> col_idx_;
+  std::vector<double, util::AlignedAllocator<double>> values_;
 };
 
 }  // namespace cirstag::linalg

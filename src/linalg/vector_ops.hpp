@@ -5,28 +5,35 @@
 #include <stdexcept>
 #include <vector>
 
+#include "kernels/kernels.hpp"
+
 /// Free-function BLAS-1 style helpers over std::vector<double>.
+///
+/// All of these forward to the runtime-dispatched kernel layer
+/// (kernels/kernels.hpp): reductions use the canonical fixed-shape lane tree
+/// and updates contract with fma, so results are bit-identical across the
+/// scalar and AVX2 paths and across thread counts.
 namespace cirstag::linalg {
 
 using Vector = std::vector<double>;
 
 inline double dot(std::span<const double> a, std::span<const double> b) {
   if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return kernels::dot(a.data(), b.data(), a.size());
 }
 
-inline double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+inline double norm2(std::span<const double> a) {
+  return std::sqrt(kernels::dot_self(a.data(), a.size()));
+}
 
 /// y += alpha * x
 inline void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::axpy(alpha, x.data(), y.data(), x.size());
 }
 
 inline void scale(double alpha, std::span<double> x) {
-  for (auto& v : x) v *= alpha;
+  kernels::scale(alpha, x.data(), x.size());
 }
 
 /// Remove the component of x along the (unnormalized) all-ones direction.
@@ -34,10 +41,9 @@ inline void scale(double alpha, std::span<double> x) {
 /// right-hand side and iterates keeps CG well-posed on connected graphs.
 inline void deflate_constant(std::span<double> x) {
   if (x.empty()) return;
-  double m = 0.0;
-  for (double v : x) m += v;
-  m /= static_cast<double>(x.size());
-  for (auto& v : x) v -= m;
+  const double m =
+      kernels::sum(x.data(), x.size()) / static_cast<double>(x.size());
+  kernels::sub_scalar(m, x.data(), x.size());
 }
 
 inline Vector zeros(std::size_t n) { return Vector(n, 0.0); }

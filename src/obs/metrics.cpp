@@ -33,7 +33,10 @@ std::uint64_t next_registry_id() {
 
 }  // namespace
 
-struct MetricsRegistry::Shard {
+// alignas(64): each shard starts on its own cache line and (being a
+// multiple of 64 bytes) never straddles into a neighbour, so one thread's
+// relaxed counter stores can't false-share with another shard's hot lines.
+struct alignas(64) MetricsRegistry::Shard {
   std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
   std::array<std::atomic<std::uint64_t>, kMaxHistograms * kHistStride>
       hist_buckets{};

@@ -1,0 +1,44 @@
+// Minimal aligned allocator so hot containers (Matrix storage, CSR arrays,
+// arena blocks) start on cache-line / vector-register boundaries.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace cirstag::util {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// std::allocator drop-in with a fixed over-alignment. Alignment must be a
+/// power of two and a multiple of sizeof(void*).
+template <typename T, std::size_t Align = kCacheLine>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T));
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t{Align});
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+}  // namespace cirstag::util

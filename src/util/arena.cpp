@@ -1,0 +1,72 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace cirstag::util {
+
+namespace {
+/// Smallest block the arena mallocs; later blocks double.
+constexpr std::size_t kMinBlockBytes = std::size_t{1} << 16;
+}  // namespace
+
+Arena& Arena::local() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+void* Arena::bump(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  // Round every bump to a cache line so the next span stays 64B-aligned.
+  bytes = (bytes + (kCacheLine - 1)) & ~(kCacheLine - 1);
+  static thread_local obs::Counter reused("arena.bytes_reused");
+  static thread_local obs::Counter allocated("arena.bytes_allocated");
+  while (true) {
+    if (!blocks_.empty()) {
+      Block& b = blocks_[current_];
+      if (b.size - b.used >= bytes) {
+        void* p = b.data.get() + b.used;
+        b.used += bytes;
+        reused.add(bytes);
+        return p;
+      }
+      if (current_ + 1 < blocks_.size()) {
+        ++current_;
+        blocks_[current_].used = 0;
+        continue;
+      }
+    }
+    const std::size_t prev = blocks_.empty() ? 0 : blocks_.back().size;
+    const std::size_t size = std::max({kMinBlockBytes, prev * 2, bytes});
+    Block b;
+    b.data.reset(static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kCacheLine})));
+    b.size = size;
+    b.used = bytes;
+    allocated.add(size);
+    blocks_.push_back(std::move(b));
+    current_ = blocks_.size() - 1;
+    return blocks_.back().data.get();
+  }
+}
+
+void Arena::release(Mark m) {
+  for (std::size_t i = m.block + 1; i <= current_ && i < blocks_.size(); ++i)
+    blocks_[i].used = 0;
+  if (!blocks_.empty()) blocks_[m.block].used = m.used;
+  current_ = blocks_.empty() ? 0 : m.block;
+}
+
+ArenaFrame::ArenaFrame() : arena_(Arena::local()), mark_(arena_.mark()) {
+  static thread_local obs::Counter frames("arena.frames");
+  frames.add(1);
+  ++arena_.depth_;
+}
+
+ArenaFrame::~ArenaFrame() {
+  --arena_.depth_;
+  arena_.release(mark_);
+}
+
+}  // namespace cirstag::util

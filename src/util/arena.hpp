@@ -1,0 +1,120 @@
+// Thread-local bump arena for per-solve temporaries.
+//
+// The sweep engine, serve scheduler, and incremental STA allocate the same
+// short-lived scratch vectors (CG residuals, SpMM accumulators, dirty flags,
+// kNN heaps) once per variant/request — thousands of malloc/free round trips
+// per run. The arena turns each of those into a pointer bump against memory
+// retained across solves.
+//
+// Usage (strictly LIFO):
+//
+//   util::ArenaFrame frame;                       // marks the high-water line
+//   std::span<double> r = frame.alloc<double>(n); // 64B-aligned, uninitialized
+//   std::span<double> z = frame.alloc_zero<double>(n);
+//   ...                                           // frame dtor releases both
+//
+// Lifetime rules (see DESIGN.md §11):
+//   * Allocations live until their frame is destroyed; frames nest LIFO.
+//   * Spans must not outlive the frame or cross threads — every thread has
+//     its own arena (`Arena::local()`), reached only through ArenaFrame.
+//   * Only trivially-destructible element types: the arena never runs
+//     destructors.
+//
+// Blocks are retained (and counted as `arena.bytes_reused` on the next pass)
+// rather than freed, growing geometrically until a run's peak footprint is
+// resident; fresh block mallocs count as `arena.bytes_allocated`.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace cirstag::util {
+
+class Arena {
+ public:
+  /// This thread's arena (created on first use, freed at thread exit).
+  static Arena& local();
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Total bytes held in retained blocks.
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const auto& b : blocks_) c += b.size;
+    return c;
+  }
+
+ private:
+  friend class ArenaFrame;
+
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      ::operator delete(p, std::align_val_t{kCacheLine});
+    }
+  };
+  struct Block {
+    std::unique_ptr<std::byte[], AlignedDelete> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Mark mark() const { return {current_, cur_used()}; }
+  void release(Mark m);
+  /// 64-byte-aligned uninitialized bytes, valid until the enclosing frame
+  /// releases past them.
+  void* bump(std::size_t bytes);
+
+  [[nodiscard]] std::size_t cur_used() const {
+    return blocks_.empty() ? 0 : blocks_[current_].used;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  ///< index of the block being bumped (if any)
+  std::size_t depth_ = 0;    ///< live frames on this thread's arena
+};
+
+/// RAII scope over Arena::local(): everything allocated through the frame is
+/// released (capacity retained) when the frame is destroyed.
+class ArenaFrame {
+ public:
+  ArenaFrame();
+  ~ArenaFrame();
+  ArenaFrame(const ArenaFrame&) = delete;
+  ArenaFrame& operator=(const ArenaFrame&) = delete;
+
+  /// Uninitialized n-element span, 64-byte-aligned.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T> &&
+                  std::is_trivially_copyable_v<T>);
+    return {static_cast<T*>(arena_.bump(n * sizeof(T))), n};
+  }
+
+  /// Zero-initialized n-element span, 64-byte-aligned.
+  template <typename T>
+  [[nodiscard]] std::span<T> alloc_zero(std::size_t n) {
+    auto s = alloc<T>(n);
+    std::fill(s.begin(), s.end(), T{});
+    return s;
+  }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+}  // namespace cirstag::util

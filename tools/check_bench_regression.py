@@ -22,6 +22,11 @@ Wall-time fields are carried through but never gated: any report counter
 named wall_* (per-phase and end-to-end wall clock the benches attach to
 their rows) is echoed in an informational section after the gate table, so
 --perf-json diffs keep timing context without making CI timing-sensitive.
+With `--walltime-out PATH` the default mode additionally writes a wall-time
+trajectory artifact: one JSON row per benchmark with its per-iteration
+wall_ms (explicit counter, else derived from real_time + time_unit) and any
+wall_* phase counters — an artifact CI uploads on every run so timing trends
+are trackable without ever failing a build over them.
 
 Additional modes over the cirstag_cli observability outputs:
 
@@ -75,7 +80,59 @@ def load_json(path):
 # Benchmark-counter gate (default mode)
 
 
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def wall_ms_of_row(row):
+    """Per-iteration wall milliseconds of a report row: the explicit wall_ms
+    counter when the bench attached one, else derived from google-benchmark's
+    real_time + time_unit."""
+    if isinstance(row.get("wall_ms"), (int, float)):
+        return float(row["wall_ms"])
+    real = row.get("real_time")
+    unit = row.get("time_unit", "ns")
+    if isinstance(real, (int, float)) and unit in TIME_UNIT_TO_MS:
+        return float(real) * TIME_UNIT_TO_MS[unit]
+    return None
+
+
+def write_walltime_trajectory(path, observed, report_paths):
+    """Non-gating wall-time artifact: one row per benchmark with its wall_ms
+    and any wall_* phase counters, for trajectory tracking across CI runs."""
+    rows = {}
+    for name, row in sorted(observed.items()):
+        entry = {}
+        ms = wall_ms_of_row(row)
+        if ms is not None:
+            entry["wall_ms"] = ms
+        for key, value in row.items():
+            if (isinstance(key, str) and key.startswith("wall_")
+                    and key != "wall_ms" and isinstance(value, (int, float))):
+                entry[key] = value
+        if entry:
+            rows[name] = entry
+    doc = {"schema_version": 1, "reports": report_paths, "benchmarks": rows}
+    try:
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+    except OSError as e:
+        print(f"error: cannot write wall-time trajectory {path}: {e}",
+              file=sys.stderr)
+        return False
+    print(f"wall-time trajectory ({len(rows)} row(s)) written to {path}")
+    return True
+
+
 def run_bench_gate(argv):
+    walltime_out = None
+    if "--walltime-out" in argv:
+        i = argv.index("--walltime-out")
+        if i + 1 >= len(argv):
+            print("error: missing path after --walltime-out", file=sys.stderr)
+            return 2
+        walltime_out = argv[i + 1]
+        argv = argv[:i] + argv[i + 2:]
     baseline = None
     reports = []
     report_paths = []
@@ -197,6 +254,10 @@ def run_bench_gate(argv):
             rendered = "  ".join(
                 f"{k[len('wall_'):]}={v:.4g}" for k, v in sorted(walls.items()))
             print(f"  {name:<40} {rendered}")
+
+    if walltime_out is not None:
+        if not write_walltime_trajectory(walltime_out, observed, report_paths):
+            return 2
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s)", file=sys.stderr)

@@ -39,6 +39,7 @@
 #include "linalg/rng.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
@@ -95,6 +96,10 @@ constexpr const char* kUsage =
     "  --threads N          parallel runtime pool width (default: the\n"
     "                       CIRSTAG_THREADS env var, else hardware threads;\n"
     "                       scores are bit-identical at every setting)\n"
+    "  --simd MODE          kernel dispatch: auto (AVX2+FMA when the CPU\n"
+    "                       has it; default, also via CIRSTAG_SIMD) or off\n"
+    "                       (portable scalar path); results are\n"
+    "                       bit-identical either way\n"
     "  --trace-json PATH    record trace spans and write a Chrome Trace\n"
     "                       Event Format file (open in chrome://tracing or\n"
     "                       Perfetto); instrumentation never changes results\n"
@@ -212,6 +217,15 @@ void apply_global_flags(const std::map<std::string, std::string>& opts) {
   const std::size_t n = opt_size(opts, "threads", 0);
   if (n > 0) runtime::set_global_threads(n);
 
+  const std::string simd = opt_str(opts, "simd", "");
+  if (!simd.empty() && !kernels::set_simd_mode(simd)) {
+    if (simd == "avx2")
+      obs::log_warn("cli", "--simd avx2 requested but unavailable; "
+                           "using the scalar kernels");
+    else
+      bad_option_value("simd", simd, "auto|off");
+  }
+
   const std::string level = opt_str(opts, "log-level", "");
   if (!level.empty()) {
     const auto parsed =
@@ -297,6 +311,7 @@ obs::ManifestBuilder make_manifest(const char* command,
   mb.set_string("run", "command", command);
   mb.set_string("run", "netlist", netlist_path);
   mb.set_uint("run", "threads", runtime::global_pool().num_threads());
+  mb.set_string("run", "simd", kernels::active_isa());
   mb.set_bool("run", "health_enabled",
               obs::HealthMonitor::global().enabled());
   mb.set_bool("run", "profiler_enabled", !g_profile_path.empty());
