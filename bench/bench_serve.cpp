@@ -538,6 +538,81 @@ int run_speedup(const std::map<std::string, std::string>& opts,
   return 0;
 }
 
+// -- region mode ------------------------------------------------------------
+
+/// Localized-query acceptance row: load once, then answer R cone-expanded
+/// /score-region requests. The gated proof is in the counters — eigen_runs
+/// stays at its load-time value (no full-chip solve per query) while every
+/// request takes the cone path.
+int run_region(const std::map<std::string, std::string>& opts,
+               std::vector<BenchRow>& rows) {
+  const std::size_t gates = opt_size(opts, "gates", 300);
+  const std::size_t requests = opt_size(opts, "requests", 32);
+  const std::size_t hops = opt_size(opts, "hops", 2);
+  const std::uint64_t seed = opt_size(opts, "seed", 1);
+
+  serve::Scheduler::Options sopts;
+  sopts.workers = 1;
+  serve::Service service(sopts);
+
+  std::printf("region: loading %zu-gate circuit...\n", gates);
+  const std::string load_body =
+      "{\"name\": \"bench\", \"netlist\": " +
+      obs::json_quote(netlist_text(gates, seed)) +
+      ", \"epochs\": " + std::to_string(opt_size(opts, "epochs", 60)) +
+      ", \"hidden\": 16, \"mode\": \"exact\"}";
+  const serve::JobResponse loaded =
+      serve::handle_request(service, make_request("/load", load_body));
+  if (loaded.status != 200) die("/load", loaded.status, loaded.body);
+  const serve::JsonValue load_info = serve::parse_json(loaded.body);
+  const auto num_pins =
+      static_cast<std::size_t>(load_info.number_or("pins", 0));
+  const double eigen_runs_at_load = counter("eigen.runs");
+
+  std::printf("region: %zu cone queries (%zu hops)...\n", requests, hops);
+  linalg::Rng rng(seed + 2000);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::string body =
+        "{\"circuit\": \"bench\", \"hops\": " + std::to_string(hops) +
+        ", \"nodes\": [" + std::to_string(rng.index(num_pins)) + "]}";
+    const serve::JobResponse response =
+        serve::handle_request(service, make_request("/score-region", body));
+    if (response.status != 200)
+      die("/score-region", response.status, response.body);
+  }
+  const double wall = seconds_since(t0);
+  service.scheduler.stop();
+
+  const double eigen_runs = counter("eigen.runs");
+  BenchRow row;
+  row.name = "BM_ServeRegion/" + std::to_string(gates) + "/" +
+             std::to_string(requests);
+  row.real_time_ms = wall * 1e3;
+  row.counters = {
+      {"requests_served", counter("serve.requests_served")},
+      {"region_cone_requests", counter("serve.region_cone_requests")},
+      {"eigen_runs", eigen_runs},
+      {"registry_hits", counter("serve.registry.hits")},
+      {"wall_total_seconds", wall},
+      {"wall_per_request_seconds", wall / static_cast<double>(requests)},
+      {"wall_ms", wall * 1e3},
+  };
+  rows.push_back(row);
+  std::printf("region: %zu queries in %.3fs (%.2f ms each); eigen runs "
+              "%.0f -> %.0f (no per-query solves)\n",
+              requests, wall, wall * 1e3 / static_cast<double>(requests),
+              eigen_runs_at_load, eigen_runs);
+  if (eigen_runs != eigen_runs_at_load) {
+    std::fprintf(stderr,
+                 "bench_serve: region queries triggered %.0f eigensolver "
+                 "runs — localized path is broken\n",
+                 eigen_runs - eigen_runs_at_load);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -548,6 +623,7 @@ int main(int argc, char** argv) {
   if (mode == "inproc") rc = run_inproc(opts, rows);
   else if (mode == "socket") rc = run_socket(opts, rows);
   else if (mode == "speedup") rc = run_speedup(opts, rows);
+  else if (mode == "region") rc = run_region(opts, rows);
   else std::fprintf(stderr, "bench_serve: unknown mode '%s'\n", mode.c_str());
   const std::string report = opt_str(opts, "perf-json", "");
   if (rc == 0 && !report.empty())

@@ -10,6 +10,13 @@
 
 namespace cirstag::core {
 
+double mean_node_score(std::span<const double> scores) {
+  if (scores.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : scores) sum += s;
+  return sum / static_cast<double>(scores.size());
+}
+
 namespace {
 
 /// FNV-1a over a graph's defining content (counts, endpoints, weight bits) —
@@ -220,6 +227,7 @@ CirStagReport CirStag::analyze(const graphs::Graph& input_graph,
   report.edge_scores = std::move(stab.edge_scores);
   report.eigenvalues = std::move(stab.eigenvalues);
   report.weighted_subspace = std::move(stab.weighted_subspace);
+  report.node_score_mean = mean_node_score(report.node_scores);
 
   report.checksums.eigenvalues =
       obs::fnv1a_doubles(report.eigenvalues);

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 #include "core/manifold.hpp"
 #include "core/spectral_embedding.hpp"
 #include "core/stability.hpp"
@@ -81,11 +83,24 @@ struct CirStagReport {
   /// intermediates across thread counts / machines).
   obs::PhaseChecksums checksums;
 
+  /// Design-wide mean of node_scores, cached at report assembly so localized
+  /// queries (core::score_region / score_cone) answer without an O(n) scan
+  /// over the whole design. Serial summation in node order — bit-equal to
+  /// the scan it replaces. Negative = not cached (hand-built reports);
+  /// queries then fall back to the scan.
+  double node_score_mean = -1.0;
+
   /// Edge-stability score ‖V_sᵀ e_pq‖² for any node pair (p, q).
   [[nodiscard]] double pair_score(std::size_t p, std::size_t q) const {
     return weighted_subspace.row_distance2(p, q);
   }
 };
+
+/// Canonical design-mean of a node-score vector: strictly serial summation
+/// in node order. CirStagReport::node_score_mean is always computed through
+/// this, and so is the localized-query fallback scan, so cached and scanned
+/// means are bit-equal.
+[[nodiscard]] double mean_node_score(std::span<const double> scores);
 
 /// Column standardization used by the Phase-1 feature augmentation: per-
 /// column mean and multiplier (feature_weight / sd, or 0 for a constant

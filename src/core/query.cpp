@@ -1,6 +1,7 @@
 #include "core/query.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 namespace cirstag::core {
@@ -28,9 +29,11 @@ RegionScore score_region(const CirStagReport& report,
                          std::span<const std::size_t> nodes) {
   const auto& scores = report.node_scores;
   RegionScore out;
-  double design_sum = 0.0;
-  for (const double s : scores) design_sum += s;
-  out.design_mean = scores.empty() ? 0.0 : design_sum / scores.size();
+  // The cached mean makes the query O(|region|) instead of O(n); it was
+  // computed with the same serial summation order as the fallback scan, so
+  // both paths return the same bits.
+  out.design_mean = report.node_score_mean >= 0.0 ? report.node_score_mean
+                                                  : mean_node_score(scores);
   if (nodes.empty()) return out;
 
   out.nodes.reserve(nodes.size());
@@ -50,6 +53,50 @@ RegionScore score_region(const CirStagReport& report,
   }
   out.mean = sum / out.nodes.size();
   return out;
+}
+
+ConeRegion expand_cone(const graphs::Graph& g,
+                       std::span<const std::size_t> seeds, std::size_t hops) {
+  ConeRegion out;
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<std::size_t> frontier;
+  for (const std::size_t id : seeds) {
+    if (id >= n)
+      throw std::out_of_range("expand_cone: node " + std::to_string(id) +
+                              " past node count " + std::to_string(n));
+    if (seen[id]) continue;
+    seen[id] = 1;
+    frontier.push_back(id);
+    out.nodes.push_back(id);
+  }
+  // Breadth-first over the undirected pin graph: each ring adds both fan-in
+  // and fan-out of the previous ring, so `hops` rings cover the combined
+  // fan-in/fan-out cone. Work is O(cone edges) — independent of design size.
+  std::vector<std::size_t> next;
+  for (std::size_t h = 0; h < hops && !frontier.empty(); ++h) {
+    next.clear();
+    for (const std::size_t u : frontier) {
+      for (const auto& inc : g.neighbors(static_cast<graphs::NodeId>(u))) {
+        if (seen[inc.neighbor]) continue;
+        seen[inc.neighbor] = 1;
+        next.push_back(inc.neighbor);
+        out.nodes.push_back(inc.neighbor);
+      }
+    }
+    frontier.swap(next);
+  }
+  std::sort(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+RegionScore score_cone(const CirStagReport& report, const graphs::Graph& g,
+                       std::span<const std::size_t> seeds, std::size_t hops) {
+  if (g.num_nodes() != report.node_scores.size())
+    throw std::invalid_argument(
+        "score_cone: graph node count != report node count");
+  const ConeRegion cone = expand_cone(g, seeds, hops);
+  return score_region(report, cone.nodes);
 }
 
 }  // namespace cirstag::core

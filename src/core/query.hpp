@@ -41,8 +41,33 @@ struct RegionScore {
 };
 
 /// Score a node subset. Throws std::out_of_range when any id is past the
-/// report's node count; empty input yields an all-zero result.
+/// report's node count; empty input yields an all-zero result. Cost is
+/// O(|nodes|) when the report carries its cached node_score_mean (every
+/// pipeline-produced report does); the whole-design scan runs only as a
+/// fallback for hand-assembled reports.
 [[nodiscard]] RegionScore score_region(const CirStagReport& report,
                                        std::span<const std::size_t> nodes);
+
+/// The hop-bounded combined fan-in/fan-out cone of a seed set, as sorted
+/// node ids. Deterministic: BFS ring by ring, then sorted ascending.
+struct ConeRegion {
+  std::vector<std::size_t> nodes;
+};
+
+/// Expand seeds `hops` rings outward over the (undirected) graph. Throws
+/// std::out_of_range on a seed past the node count. hops == 0 returns the
+/// deduplicated seeds themselves.
+[[nodiscard]] ConeRegion expand_cone(const graphs::Graph& g,
+                                     std::span<const std::size_t> seeds,
+                                     std::size_t hops);
+
+/// Score the fan-in/fan-out cone of a seed set against the cached global
+/// embedding: expand_cone + score_region, O(cone) total — the sub-linear
+/// localized-query path behind the serve layer's `score-region` endpoint
+/// when a request carries a hop count.
+[[nodiscard]] RegionScore score_cone(const CirStagReport& report,
+                                     const graphs::Graph& g,
+                                     std::span<const std::size_t> seeds,
+                                     std::size_t hops);
 
 }  // namespace cirstag::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "graphs/coarsen.hpp"
 #include "graphs/graph.hpp"
 #include "linalg/matrix.hpp"
 
@@ -10,6 +11,11 @@ struct SpectralEmbeddingOptions {
   std::size_t dimensions = 16;     ///< M, number of eigenpairs
   std::size_t lanczos_subspace = 0;  ///< 0 = auto
   std::uint64_t seed = 5;
+  /// Multilevel coarsening policy (DESIGN.md §12). The default `automatic`
+  /// engages only at coarsen.auto_threshold nodes and above, so small graphs
+  /// keep the exact Lanczos path byte for byte; warm-started sweep variants
+  /// always use the exact path regardless.
+  graphs::CoarsenOptions coarsen;
 };
 
 /// Weighted spectral (Laplacian-eigenmap) embedding of a graph, Eq. 4:

@@ -4,8 +4,10 @@
 #include <memory>
 #include <stdexcept>
 
+#include "graphs/coarsen.hpp"
 #include "graphs/effective_resistance.hpp"
 #include "graphs/laplacian.hpp"
+#include "linalg/multilevel_eigen.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
@@ -81,7 +83,36 @@ StabilityResult stability_scores(const graphs::Graph& manifold_x,
       ly_solver = std::make_shared<const linalg::LaplacianSolver>(
           graphs::make_laplacian_solver(manifold_y, sopts));
     }
-    eig = linalg::generalized_eigen_sparse(l_x, l_y, eopts, ly_solver.get());
+    if (opts.initial_subspace == nullptr &&
+        graphs::coarsen_engaged(opts.coarsen, n)) {
+      // Multilevel path (DESIGN.md §12): one shared matching per level over
+      // the edge union of both manifolds, coarsest-level solve, then
+      // warm-started refinement sweeps up the hierarchy. The finest level
+      // reuses the cached (L_Y + I/σ²) solver built above.
+      const graphs::CoarsenPairHierarchy hier =
+          graphs::coarsen_pair(manifold_x, manifold_y, opts.coarsen);
+      std::vector<linalg::SparseMatrix> lx_levels;
+      std::vector<linalg::SparseMatrix> ly_levels;
+      lx_levels.reserve(hier.maps.size() + 1);
+      ly_levels.reserve(hier.maps.size() + 1);
+      lx_levels.push_back(l_x);
+      ly_levels.push_back(l_y);
+      for (std::size_t l = 0; l < hier.maps.size(); ++l) {
+        lx_levels.push_back(graphs::laplacian(hier.x_levels[l]));
+        ly_levels.push_back(graphs::laplacian(hier.y_levels[l]));
+      }
+      linalg::MultilevelStats stats;
+      eig = linalg::multilevel_generalized_eigen(
+          lx_levels, ly_levels, hier.maps, eopts, opts.coarsen.refine_sweeps,
+          ly_solver.get(), &stats);
+      static const obs::Gauge levels_gauge("coarsen.levels");
+      static const obs::Gauge coarsest_gauge("coarsen.coarsest_n");
+      levels_gauge.set(static_cast<double>(stats.levels));
+      coarsest_gauge.set(static_cast<double>(stats.coarsest_n));
+    } else {
+      eig =
+          linalg::generalized_eigen_sparse(l_x, l_y, eopts, ly_solver.get());
+    }
   }
 
   // Phase 3b: edge/node stability scores from the weighted eigensubspace.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "graphs/coarsen.hpp"
 #include "graphs/graph.hpp"
 #include "graphs/solver_cache.hpp"
 #include "linalg/generalized_eigen.hpp"
@@ -53,6 +54,12 @@ struct StabilityOptions {
   /// StabilityResult::subspace_sweeps. 0 = fixed `subspace_iterations`
   /// count, the bit-exact historical behaviour.
   double ritz_tolerance = 0.0;
+  /// Multilevel coarsening policy (DESIGN.md §12): coarsen both manifolds
+  /// through one shared matching, solve the generalized problem at the
+  /// coarsest level, refine upward. The default `automatic` engages only at
+  /// coarsen.auto_threshold nodes and above; warm-started sweep variants
+  /// (initial_subspace set) always take the exact path.
+  graphs::CoarsenOptions coarsen;
 };
 
 /// Phase-3 output: the DMD spectrum and per-edge/per-node stability scores.

@@ -166,6 +166,7 @@ void SweepEngine::build_baseline(const graphs::Graph& input_graph,
   baseline_.edge_scores = std::move(stab.edge_scores);
   baseline_.eigenvalues = std::move(stab.eigenvalues);
   baseline_.weighted_subspace = std::move(stab.weighted_subspace);
+  baseline_.node_score_mean = mean_node_score(baseline_.node_scores);
 
   // Claim the baseline sketch solutions for per-variant seeding.
   if (fast && opts_.warm_sketch) {
@@ -531,6 +532,7 @@ void SweepEngine::finish_variant(SweepVariantResult& out,
   report.edge_scores = std::move(stab.edge_scores);
   report.eigenvalues = std::move(stab.eigenvalues);
   report.weighted_subspace = std::move(stab.weighted_subspace);
+  report.node_score_mean = mean_node_score(report.node_scores);
 }
 
 std::vector<double> SweepEngine::predict_case_a(

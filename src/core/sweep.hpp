@@ -238,6 +238,9 @@ class SweepEngine {
   [[nodiscard]] const CirStagReport& baseline() const { return baseline_; }
   [[nodiscard]] const circuit::TimingReport& baseline_timing() const;
   [[nodiscard]] const SweepOptions& options() const { return opts_; }
+  /// The pin-level connectivity graph (empty in graph mode) — the cone
+  /// topology behind localized score-region queries (core::score_cone).
+  [[nodiscard]] const graphs::Graph& pin_graph() const { return pin_graph_; }
 
   /// Analyze every variant (cross-variant parallel on the deterministic
   /// runtime; results are bit-identical at any thread count).

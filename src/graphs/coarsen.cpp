@@ -1,0 +1,167 @@
+#include "graphs/coarsen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace cirstag::graphs {
+
+bool coarsen_engaged(const CoarsenOptions& opts, std::size_t num_nodes) {
+  if (opts.mode == CoarsenMode::off) return false;
+  if (opts.max_levels == 0) return false;
+  return num_nodes >= opts.auto_threshold &&
+         num_nodes > opts.coarsest_target;
+}
+
+std::vector<std::uint32_t> heavy_edge_matching(const Graph& g,
+                                               std::size_t& num_coarse) {
+  const std::size_t n = g.num_nodes();
+  constexpr std::uint32_t kUnmatched = 0xffffffffu;
+  std::vector<std::uint32_t> map(n, kUnmatched);
+  // Per-neighbor weight accumulation scratch (parallel edges sum); the
+  // touched list keeps the reset O(deg) so the whole pass is O(edges).
+  std::vector<double> accum(n, 0.0);
+  std::vector<NodeId> touched;
+  std::uint32_t next = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (map[u] != kUnmatched) continue;
+    touched.clear();
+    for (const Incidence& inc : g.neighbors(static_cast<NodeId>(u))) {
+      if (map[inc.neighbor] != kUnmatched) continue;  // partner taken
+      if (accum[inc.neighbor] == 0.0) touched.push_back(inc.neighbor);
+      accum[inc.neighbor] += g.edge(inc.edge).weight;
+    }
+    NodeId best = kUnmatched;
+    double best_w = 0.0;
+    for (const NodeId v : touched) {
+      // Heaviest aggregate weight; ties resolve toward the smallest id so
+      // the matching is a pure function of the edge stream.
+      if (accum[v] > best_w || (accum[v] == best_w && v < best)) {
+        best = v;
+        best_w = accum[v];
+      }
+      accum[v] = 0.0;
+    }
+    map[u] = next;
+    if (best != kUnmatched) map[best] = next;
+    ++next;
+  }
+  num_coarse = next;
+  return map;
+}
+
+Graph aggregate_graph(const Graph& g, std::span<const std::uint32_t> map,
+                      std::size_t num_coarse) {
+  if (map.size() != g.num_nodes())
+    throw std::invalid_argument("aggregate_graph: map size != node count");
+  struct Triplet {
+    std::uint32_t a;
+    std::uint32_t b;
+    double w;
+  };
+  std::vector<Triplet> triplets;
+  triplets.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t a = map[e.u];
+    const std::uint32_t b = map[e.v];
+    if (a >= num_coarse || b >= num_coarse)
+      throw std::invalid_argument("aggregate_graph: map entry out of range");
+    if (a == b) continue;  // intra-aggregate edge: Pᵀ L P drops it
+    triplets.push_back({std::min(a, b), std::max(a, b), e.weight});
+  }
+  // stable_sort keeps insertion order within equal coarse pairs, so the
+  // weight summation order — and therefore the coarse weight bits — is a
+  // fixed function of the fine edge stream.
+  std::stable_sort(triplets.begin(), triplets.end(),
+                   [](const Triplet& l, const Triplet& r) {
+                     return l.a != r.a ? l.a < r.a : l.b < r.b;
+                   });
+  Graph coarse(num_coarse);
+  std::size_t i = 0;
+  while (i < triplets.size()) {
+    std::size_t j = i;
+    double w = 0.0;
+    while (j < triplets.size() && triplets[j].a == triplets[i].a &&
+           triplets[j].b == triplets[i].b) {
+      w += triplets[j].w;
+      ++j;
+    }
+    coarse.add_edge(triplets[i].a, triplets[i].b, w);
+    i = j;
+  }
+  return coarse;
+}
+
+namespace {
+
+/// Shared stop logic of both hierarchy builders: keep coarsening while the
+/// current level is above target, rounds keep shrinking, and the depth cap
+/// has room.
+bool another_round(const CoarsenOptions& opts, std::size_t current_n,
+                   std::size_t levels_built) {
+  return current_n > opts.coarsest_target && levels_built < opts.max_levels;
+}
+
+bool round_productive(const CoarsenOptions& opts, std::size_t fine_n,
+                      std::size_t coarse_n) {
+  return coarse_n < fine_n &&
+         static_cast<double>(coarse_n) <
+             opts.min_shrink * static_cast<double>(fine_n);
+}
+
+}  // namespace
+
+CoarsenHierarchy coarsen_graph(const Graph& g, const CoarsenOptions& opts) {
+  static const obs::Counter rounds("coarsen.matching_rounds");
+  CoarsenHierarchy out;
+  const Graph* current = &g;
+  while (another_round(opts, current->num_nodes(), out.levels.size())) {
+    std::size_t num_coarse = 0;
+    std::vector<std::uint32_t> map = heavy_edge_matching(*current, num_coarse);
+    rounds.add();
+    if (!round_productive(opts, current->num_nodes(), num_coarse)) break;
+    CoarsenLevel level;
+    level.graph = aggregate_graph(*current, map, num_coarse);
+    level.map = std::move(map);
+    out.levels.push_back(std::move(level));
+    current = &out.levels.back().graph;
+  }
+  return out;
+}
+
+CoarsenPairHierarchy coarsen_pair(const Graph& x, const Graph& y,
+                                  const CoarsenOptions& opts) {
+  if (x.num_nodes() != y.num_nodes())
+    throw std::invalid_argument("coarsen_pair: node-count mismatch");
+  static const obs::Counter rounds("coarsen.matching_rounds");
+  CoarsenPairHierarchy out;
+
+  // The matching runs on the edge-weight union of both sides so one P
+  // respects the connectivity of L_X and L_Y alike.
+  const auto make_union = [](const Graph& a, const Graph& b) {
+    Graph u(a.num_nodes());
+    for (const Edge& e : a.edges()) u.add_edge(e.u, e.v, e.weight);
+    for (const Edge& e : b.edges()) u.add_edge(e.u, e.v, e.weight);
+    return u;
+  };
+
+  Graph combined = make_union(x, y);
+  const Graph* cx = &x;
+  const Graph* cy = &y;
+  while (another_round(opts, combined.num_nodes(), out.maps.size())) {
+    std::size_t num_coarse = 0;
+    std::vector<std::uint32_t> map = heavy_edge_matching(combined, num_coarse);
+    rounds.add();
+    if (!round_productive(opts, combined.num_nodes(), num_coarse)) break;
+    out.x_levels.push_back(aggregate_graph(*cx, map, num_coarse));
+    out.y_levels.push_back(aggregate_graph(*cy, map, num_coarse));
+    combined = aggregate_graph(combined, map, num_coarse);
+    out.maps.push_back(std::move(map));
+    cx = &out.x_levels.back();
+    cy = &out.y_levels.back();
+  }
+  return out;
+}
+
+}  // namespace cirstag::graphs

@@ -435,14 +435,39 @@ Dispatch dispatch_score_region(Service& service, const JsonValue& body) {
     ids->push_back(static_cast<std::size_t>(entry.as_number()));
   }
 
+  // Optional cone expansion: "hops": h scores the h-ring fan-in/fan-out
+  // cone of the listed seed nodes instead of the exact node set — the
+  // localized sub-linear query path (needs the pin-level graph, so it is
+  // unavailable for circuits loaded in graph mode).
+  std::size_t hops = 0;
+  bool cone = false;
+  if (const JsonValue* h = body.find("hops"); h != nullptr) {
+    if (!h->is_number() || h->as_number() < 0 ||
+        h->as_number() != std::floor(h->as_number()) ||
+        h->as_number() > 1e6)
+      return immediate_error(422, "'hops' must be a small non-negative count");
+    hops = static_cast<std::size_t>(h->as_number());
+    cone = true;
+    if (record->engine->pin_graph().num_nodes() == 0)
+      return immediate_error(
+          422, "cone queries need a pin graph (circuit loaded in graph mode)");
+  }
+
   Job job;
   job.endpoint = "score-region";
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
-  job.run = [record, name, ids]() -> JobResponse {
+  job.run = [record, name, ids, hops, cone]() -> JobResponse {
     core::RegionScore region;
     try {
-      region = core::score_region(record->engine->baseline(), *ids);
+      if (cone) {
+        static const obs::Counter cone_requests("serve.region_cone_requests");
+        cone_requests.add();
+        region = core::score_cone(record->engine->baseline(),
+                                  record->engine->pin_graph(), *ids, hops);
+      } else {
+        region = core::score_region(record->engine->baseline(), *ids);
+      }
     } catch (const std::out_of_range& e) {
       return error_response(422, e.what());
     }

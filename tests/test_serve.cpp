@@ -776,6 +776,57 @@ TEST(ServeEndpoints, ScoreRegionMatchesQueryHelper) {
             422);
 }
 
+TEST(ServeEndpoints, ScoreRegionConeMatchesScoreConeHelper) {
+  // "hops" switches the endpoint onto the localized cone path; the response
+  // must equal core::score_cone over the engine's pin graph.
+  const JobResponse response = handle_request(
+      shared_service(),
+      make_request("POST", "/score-region",
+                   "{\"circuit\": \"fixture\", \"nodes\": [5], "
+                   "\"hops\": 2}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  const JsonValue doc = parse_json(response.body);
+  const std::vector<std::size_t> seeds{5};
+  const auto record = shared_service().registry.lookup("fixture");
+  const core::RegionScore expected = core::score_cone(
+      fixture_baseline(), record->engine->pin_graph(), seeds, 2);
+  EXPECT_GT(expected.nodes.size(), 1u);  // the cone actually expanded
+  EXPECT_EQ(doc.number_or("count", -1),
+            static_cast<double>(expected.nodes.size()));
+  EXPECT_EQ(doc.number_or("mean", -1), expected.mean);
+  EXPECT_EQ(doc.number_or("max", -1), expected.max);
+  EXPECT_EQ(doc.number_or("argmax", -1),
+            static_cast<double>(expected.argmax));
+  EXPECT_EQ(doc.number_or("design_mean", -1), expected.design_mean);
+
+  // hops: 0 must match the plain node-set query exactly.
+  const JobResponse zero_hops = handle_request(
+      shared_service(),
+      make_request("POST", "/score-region",
+                   "{\"circuit\": \"fixture\", \"nodes\": [0, 3, 7], "
+                   "\"hops\": 0}"));
+  ASSERT_EQ(zero_hops.status, 200) << zero_hops.body;
+  const JsonValue zero_doc = parse_json(zero_hops.body);
+  const std::vector<std::size_t> ids{0, 3, 7};
+  const core::RegionScore plain = core::score_region(fixture_baseline(), ids);
+  EXPECT_EQ(zero_doc.number_or("mean", -1), plain.mean);
+  EXPECT_EQ(zero_doc.number_or("design_mean", -1), plain.design_mean);
+
+  // Malformed hops values surface as 422.
+  EXPECT_EQ(handle_request(shared_service(),
+                           make_request("POST", "/score-region",
+                                        "{\"circuit\": \"fixture\", "
+                                        "\"nodes\": [0], \"hops\": -1}"))
+                .status,
+            422);
+  EXPECT_EQ(handle_request(shared_service(),
+                           make_request("POST", "/score-region",
+                                        "{\"circuit\": \"fixture\", "
+                                        "\"nodes\": [0], \"hops\": 1.5}"))
+                .status,
+            422);
+}
+
 TEST(ServeEndpoints, SweepRunsVariantsInOrder) {
   const JobResponse response = handle_request(
       shared_service(),

@@ -169,7 +169,10 @@ def run_bench_gate(argv):
         return 2
 
     # Plain (non-aggregate) rows only; aggregates repeat the same counters.
+    # row_source remembers which report file supplied each row so a missing
+    # counter can name the file that was expected to carry it.
     observed = {}
+    row_source = {}
     for path, report in zip(report_paths, reports):
         rows = report.get("benchmarks")
         if not isinstance(rows, list):
@@ -184,6 +187,7 @@ def run_bench_gate(argv):
             if row.get("run_type", "iteration") != "iteration":
                 continue
             observed[row["name"]] = row
+            row_source[row["name"]] = path
 
     failures = []
     gated = 0
@@ -214,7 +218,22 @@ def run_bench_gate(argv):
             row = observed.get(name)
             if row is None or counter not in row:
                 print(f"{name:<40} {counter:>16} {base_value:>10.0f} {'MISSING':>10} {'-':>7}")
-                failures.append(f"{name}: counter {counter} missing from current reports")
+                if row is None:
+                    # Which file should have carried it? Name them all so the
+                    # reader knows which bench invocation to look at.
+                    scanned = ", ".join(report_paths)
+                    failures.append(
+                        f"{name}: no row with this name in any submitted "
+                        f"report (scanned: {scanned}) — was the bench that "
+                        f"produces it run?")
+                else:
+                    present = ", ".join(sorted(
+                        k for k, v in row.items()
+                        if isinstance(v, (int, float)) and k != "name")) or "none"
+                    failures.append(
+                        f"{name}: row found in {row_source[name]} but it has "
+                        f"no counter '{counter}' (numeric fields present: "
+                        f"{present})")
                 continue
             try:
                 value = float(row[counter])

@@ -38,7 +38,9 @@
 #include "gnn/timing_gnn.hpp"
 #include "linalg/rng.hpp"
 #include "obs/health.hpp"
+#include "obs/json.hpp"
 #include "obs/log.hpp"
+#include "obs/timer.hpp"
 #include "kernels/kernels.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
@@ -68,7 +70,9 @@ constexpr const char* kUsage =
     "                       [--scores out.csv] [--epochs E] [--hidden H]\n"
     "                       [--top K] [--probes P]\n"
     "                       [--solver-precond jacobi|tree] [--block-cg 0|1]\n"
-    "                       [--solver-cache 0|1]\n"
+    "                       [--solver-cache 0|1] [--coarsen auto|off]\n"
+    "                       [--coarsen-levels L] [--coarsen-threshold N]\n"
+    "                       [--perf-json out.json]\n"
     "  sweep <in.ckt>       batched Case-A perturbation sweep: analyze N\n"
     "                       capacitance-scaled variants through the sweep\n"
     "                       engine (shared baseline, incremental STA/GNN,\n"
@@ -136,7 +140,19 @@ constexpr const char* kUsage =
     "  --block-cg 0|1       multi-RHS blocked CG for probe/subspace solves\n"
     "                       (default 1; bit-identical either way)\n"
     "  --solver-cache 0|1   cross-phase Laplacian-solver cache (default 1;\n"
-    "                       bit-identical either way)\n";
+    "                       bit-identical either way)\n"
+    "  --coarsen auto|off   multilevel eigensolver (DESIGN.md §12): 'auto'\n"
+    "                       (default) coarsens graphs at or above the\n"
+    "                       engagement threshold and solves coarse-to-fine;\n"
+    "                       'off' always runs the exact single-level path\n"
+    "                       (byte-identical to historical results; small\n"
+    "                       graphs are byte-identical under both settings)\n"
+    "  --coarsen-levels L   hierarchy depth cap of --coarsen auto (12)\n"
+    "  --coarsen-threshold N  node count at which 'auto' engages (20000)\n"
+    "  --perf-json PATH     write a benchmark-shaped JSON report with the\n"
+    "                       run's deterministic counters (coarsen.levels,\n"
+    "                       coarsen.coarsest_n, eigen.ritz_refine_sweeps,\n"
+    "                       eigen.runs) for the CI counter gate\n";
 
 /// "--key value" option map for everything after the positional args.
 /// A trailing flag with no value is an error (it used to be silently
@@ -482,6 +498,61 @@ int cmd_sta(int argc, char** argv) {
   return 0;
 }
 
+/// --coarsen / --coarsen-levels / --coarsen-threshold -> one policy applied
+/// to both eigensolver phases (Phase-1 embedding, Phase-3 generalized).
+void apply_coarsen_flags(const std::map<std::string, std::string>& opts,
+                         core::CirStagConfig& cfg) {
+  graphs::CoarsenOptions c;
+  const std::string mode = opt_str(opts, "coarsen", "auto");
+  if (mode == "off") {
+    c.mode = graphs::CoarsenMode::off;
+  } else if (mode != "auto") {
+    bad_option_value("coarsen", mode, "'auto' or 'off'");
+  }
+  c.max_levels = opt_size(opts, "coarsen-levels", c.max_levels);
+  c.auto_threshold = opt_size(opts, "coarsen-threshold", c.auto_threshold);
+  cfg.embedding.coarsen = c;
+  cfg.stability.coarsen = c;
+}
+
+/// One benchmark-shaped row of the run's deterministic counters, consumed by
+/// the same tools/check_bench_regression.py gate the benches feed (wall_ms
+/// rides along ungated).
+void write_perf_json(const std::string& path, std::size_t pins,
+                     double wall_ms) {
+  const obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  std::string out =
+      "{\n  \"context\": {\"executable\": \"cirstag_cli\"},\n"
+      "  \"benchmarks\": [\n    {\"name\": \"CLI_Analyze/" +
+      std::to_string(pins) +
+      "\", \"run_type\": \"iteration\", \"iterations\": 1, "
+      "\"time_unit\": \"ms\", \"real_time\": ";
+  obs::append_json_number(out, wall_ms);
+  const std::pair<const char*, double> counters[] = {
+      {"coarsen_levels", reg.gauge_value("coarsen.levels")},
+      {"coarsen_coarsest_n", reg.gauge_value("coarsen.coarsest_n")},
+      {"ritz_refine_sweeps",
+       static_cast<double>(reg.counter_value("eigen.ritz_refine_sweeps"))},
+      {"eigen_runs", static_cast<double>(reg.counter_value("eigen.runs"))},
+      {"wall_ms", wall_ms},
+  };
+  for (const auto& [key, value] : counters) {
+    out += ", \"";
+    out += key;
+    out += "\": ";
+    obs::append_json_number(out, value);
+  }
+  out += "}\n  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    obs::logf_error("cli", "cannot write perf report %s", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("perf report written to %s\n", path.c_str());
+}
+
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: cirstag_cli analyze <in.ckt> [options]\n");
@@ -510,6 +581,7 @@ int cmd_analyze(int argc, char** argv) {
   cfg.manifold.sparsify.resistance.use_block_cg = block_cg;
   cfg.stability.use_block_cg = block_cg;
   cfg.use_solver_cache = opt_size(opts, "solver-cache", 1) != 0;
+  apply_coarsen_flags(opts, cfg);
 
   std::printf("training timing GNN surrogate...\n");
   gnn::TimingGnnOptions gopts;
@@ -521,9 +593,11 @@ int cmd_analyze(int argc, char** argv) {
 
   std::printf("running CirSTAG...\n");
   const core::CirStag analyzer(cfg);
+  const obs::WallTimer analyze_timer;
   const auto report =
       analyzer.analyze(pin_graph(nl), model.base_features(),
                        model.embed(model.base_features()));
+  const double analyze_ms = analyze_timer.elapsed_seconds() * 1e3;
   std::printf("  DMD spectrum head: %.4g %.4g %.4g\n", report.eigenvalues[0],
               report.eigenvalues[1], report.eigenvalues[2]);
   std::printf("  timings: embed %.2fs manifold %.2fs stability %.2fs "
@@ -560,6 +634,9 @@ int cmd_analyze(int argc, char** argv) {
     std::printf("scores written to %s\n", csv_path.c_str());
   }
 
+  const std::string perf_path = opt_str(opts, "perf-json", "");
+  if (!perf_path.empty()) write_perf_json(perf_path, nl.num_pins(), analyze_ms);
+
   obs::ManifestBuilder mb = make_manifest("analyze", argv[2]);
   mb.set_uint("config", "epochs", gopts.epochs);
   mb.set_uint("config", "hidden_dim", gopts.hidden_dim);
@@ -569,6 +646,9 @@ int cmd_analyze(int argc, char** argv) {
   mb.set_string("config", "solver_precond", precond);
   mb.set_bool("config", "block_cg", block_cg);
   mb.set_bool("config", "solver_cache", cfg.use_solver_cache);
+  mb.set_bool("config", "coarsen",
+              cfg.embedding.coarsen.mode != graphs::CoarsenMode::off);
+  mb.set_uint("config", "coarsen_levels", cfg.embedding.coarsen.max_levels);
   mb.set_checksums("checksums", report.checksums);
   write_manifest(mb);
   return 0;
