@@ -16,6 +16,7 @@
 #include "circuit/sta.hpp"
 #include "circuit/views.hpp"
 #include "core/spectral_embedding.hpp"
+#include "graphs/coarsen.hpp"
 #include "graphs/components.hpp"
 #include "graphs/effective_resistance.hpp"
 #include "graphs/knn.hpp"
@@ -217,6 +218,41 @@ void BM_ResistanceSketchThreads(benchmark::State& state) {
   runtime::set_global_threads(0);
 }
 BENCHMARK(BM_ResistanceSketchThreads)->Apply(thread_sweep);
+
+/// Coarsening only engages above CoarsenOptions::auto_threshold, so its
+/// thread sweep runs a single large size (well past 100k nodes) instead of
+/// the {4000, 16000} pair the other sweeps use. The hierarchy is
+/// bit-identical at every thread count (tests/test_coarsen.cpp gates that);
+/// this row records the non-gated wall_ms payoff of the parallel
+/// propose/resolve matching and chunked Galerkin fill.
+void coarsen_thread_sweep(benchmark::internal::Benchmark* b) {
+  const auto hw = static_cast<long>(runtime::default_thread_count());
+  std::vector<long> threads{1, 2, 4};
+  if (std::find(threads.begin(), threads.end(), hw) == threads.end())
+    threads.push_back(hw);
+  for (long t : threads) b->Args({120000L, t});
+}
+
+void BM_CoarsenThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  runtime::set_global_threads(static_cast<std::size_t>(state.range(1)));
+  const auto g = random_graph(n, 3 * n, 9);
+  graphs::CoarsenOptions opts;
+  WallClock wall;
+  std::size_t coarsest = 0;
+  for (auto _ : state) {
+    const auto hier = graphs::coarsen_graph(g, opts);
+    coarsest = hier.coarsest_n();
+    benchmark::DoNotOptimize(coarsest);
+  }
+  wall.finish(state);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["coarsest_n"] = static_cast<double>(coarsest);
+  runtime::set_global_threads(0);
+}
+BENCHMARK(BM_CoarsenThreads)->Apply(coarsen_thread_sweep);
 
 /// (size, threads) sweep at 1 thread and the full machine only — the two
 /// points the solver-engine acceptance compares.

@@ -29,6 +29,15 @@
 //                   relative to the 6/8 warm mix, which keeps the reported
 //                   speedup conservative. Emits wall_* fields and the
 //                   warm_speedup ratio; --require-speedup X asserts it.
+//   --mode snapshot cold /load vs binary-snapshot restore (DESIGN.md §13):
+//                   one full cold load, write_snapshot of the resident
+//                   record, then /load {"snapshot": ...} under a second
+//                   name. Gated counters eigen_runs_restore /
+//                   train_epochs_restore are the deltas across the restore
+//                   and must be exactly 0; the cold/restore wall ratio is
+//                   emitted as wall_restore_speedup and asserted by
+//                   --require-speedup X. A /top-k cross-check proves the
+//                   restored resident answers byte-identically.
 //
 // --perf-json writes a google-benchmark-shaped report (name + counters per
 // row) that tools/check_bench_regression.py consumes; wall_* fields ride
@@ -50,6 +59,7 @@
 #include "core/query.hpp"
 #include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "io/snapshot.hpp"
 #include "linalg/rng.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -538,6 +548,126 @@ int run_speedup(const std::map<std::string, std::string>& opts,
   return 0;
 }
 
+// -- snapshot mode ----------------------------------------------------------
+
+/// Cold-vs-restore acceptance row (DESIGN.md §13): pay one full cold /load
+/// (parse + GNN training + baseline eigensolves), write the resident record
+/// to a binary snapshot, then restore it under a second name via
+/// /load {"snapshot": ...}. The gated proof is in the counters —
+/// eigen_runs_restore and train_epochs_restore are the *deltas across the
+/// restore* and must be exactly 0 (the BENCH_baseline rows pin them with the
+/// exact-zero gate) — while the wall-clock advantage rides along as wall_*
+/// fields and is optionally asserted with --require-speedup X. A /top-k
+/// cross-check proves the restored circuit answers byte-identically to the
+/// cold-loaded one.
+int run_snapshot(const std::map<std::string, std::string>& opts,
+                 std::vector<BenchRow>& rows) {
+  const std::size_t gates = opt_size(opts, "gates", 1500);
+  const std::size_t epochs = opt_size(opts, "epochs", 120);
+  const std::uint64_t seed = opt_size(opts, "seed", 1);
+  const double required = opt_double(opts, "require-speedup", 0.0);
+  const std::string snap_path =
+      opt_str(opts, "snapshot-path", "bench_serve_snapshot.bin");
+  const bool engine_exact = opt_str(opts, "engine-mode", "fast") == "exact";
+
+  serve::Scheduler::Options sopts;
+  sopts.workers = 1;
+  serve::Service service(sopts);
+
+  const std::string text = netlist_text(gates, seed);
+  std::printf("snapshot: cold /load of %zu gates (%s mode)...\n", gates,
+              engine_exact ? "exact" : "fast");
+  const std::string load_body =
+      "{\"name\": \"bench\", \"netlist\": " + obs::json_quote(text) +
+      ", \"epochs\": " + std::to_string(epochs) + ", \"hidden\": 16, " +
+      "\"mode\": " + (engine_exact ? "\"exact\"" : "\"fast\"") + "}";
+  const auto t_cold = Clock::now();
+  const serve::JobResponse loaded =
+      serve::handle_request(service, make_request("/load", load_body));
+  if (loaded.status != 200) die("/load", loaded.status, loaded.body);
+  const double cold_seconds = seconds_since(t_cold);
+
+  const std::shared_ptr<serve::CircuitRecord> record =
+      service.registry.lookup("bench");
+  if (record == nullptr) die("lookup", 500, "'bench' not resident");
+  io::SnapshotMeta meta;
+  meta.exact = record->options.exact;
+  meta.train_r2 = record->train_r2;
+  const auto t_write = Clock::now();
+  io::write_snapshot(snap_path, *record->model, *record->engine, meta);
+  const double write_seconds = seconds_since(t_write);
+  std::printf("snapshot: wrote %s in %.2fs\n", snap_path.c_str(),
+              write_seconds);
+
+  // The restore must re-solve and re-train nothing: snapshot the global
+  // counters around it and gate the deltas at exactly zero.
+  const double eigen_before = counter("eigen.runs");
+  const double train_before = counter("gnn.train_epochs");
+  const std::string restore_body =
+      "{\"name\": \"restored\", \"snapshot\": " + obs::json_quote(snap_path) +
+      "}";
+  const auto t_restore = Clock::now();
+  const serve::JobResponse restored =
+      serve::handle_request(service, make_request("/load", restore_body));
+  if (restored.status != 200) die("/load snapshot", restored.status,
+                                  restored.body);
+  const double restore_seconds = seconds_since(t_restore);
+  const double eigen_delta = counter("eigen.runs") - eigen_before;
+  const double train_delta = counter("gnn.train_epochs") - train_before;
+
+  // Cross-check: both residents must give byte-identical /top-k answers
+  // (the bodies differ only in the echoed circuit name).
+  const auto top_k_nodes_json = [&](const char* name) {
+    const std::string body =
+        std::string("{\"circuit\": \"") + name + "\", \"k\": 10}";
+    const serve::JobResponse response =
+        serve::handle_request(service, make_request("/top-k", body));
+    if (response.status != 200) die("/top-k", response.status, response.body);
+    const std::size_t at = response.body.find("\"nodes\"");
+    if (at == std::string::npos) die("/top-k", 500, "no 'nodes' in body");
+    return response.body.substr(at);
+  };
+  if (top_k_nodes_json("bench") != top_k_nodes_json("restored"))
+    die("/top-k cross-check", 500,
+        "restored circuit disagrees with the cold-loaded one");
+
+  const double speedup =
+      restore_seconds > 0.0 ? cold_seconds / restore_seconds : 0.0;
+  BenchRow row;
+  row.name = "BM_SnapshotRestore/" + std::to_string(gates);
+  row.real_time_ms = restore_seconds * 1e3;
+  row.counters = {
+      {"eigen_runs_restore", eigen_delta},
+      {"train_epochs_restore", train_delta},
+      {"snapshot_reads", counter("snapshot.reads")},
+      {"registry_snapshot_loads", counter("serve.registry.snapshot_loads")},
+      {"wall_cold_load_seconds", cold_seconds},
+      {"wall_snapshot_write_seconds", write_seconds},
+      {"wall_restore_seconds", restore_seconds},
+      {"wall_restore_speedup", speedup},
+      {"wall_ms", restore_seconds * 1e3},
+  };
+  rows.push_back(row);
+  std::printf("snapshot: cold load %.2fs vs restore %.3fs => %.1fx "
+              "(restore ran %.0f eigensolves, %.0f training epochs)\n",
+              cold_seconds, restore_seconds, speedup, eigen_delta,
+              train_delta);
+  if (eigen_delta != 0.0 || train_delta != 0.0) {
+    std::fprintf(stderr,
+                 "bench_serve: snapshot restore ran %.0f eigensolver runs "
+                 "and %.0f training epochs — the warm path is broken\n",
+                 eigen_delta, train_delta);
+    return 1;
+  }
+  if (required > 0.0 && speedup < required) {
+    std::fprintf(stderr,
+                 "bench_serve: restore speedup %.1fx below required %.1fx\n",
+                 speedup, required);
+    return 1;
+  }
+  return 0;
+}
+
 // -- region mode ------------------------------------------------------------
 
 /// Localized-query acceptance row: load once, then answer R cone-expanded
@@ -623,6 +753,7 @@ int main(int argc, char** argv) {
   if (mode == "inproc") rc = run_inproc(opts, rows);
   else if (mode == "socket") rc = run_socket(opts, rows);
   else if (mode == "speedup") rc = run_speedup(opts, rows);
+  else if (mode == "snapshot") rc = run_snapshot(opts, rows);
   else if (mode == "region") rc = run_region(opts, rows);
   else std::fprintf(stderr, "bench_serve: unknown mode '%s'\n", mode.c_str());
   const std::string report = opt_str(opts, "perf-json", "");

@@ -102,6 +102,54 @@ PinId Netlist::add_primary_output(PinId driver_pin, double load_capacitance) {
   return pid;
 }
 
+Netlist Netlist::from_parts(const CellLibrary& lib, std::vector<Pin> pins,
+                            std::vector<Gate> gates, std::vector<Net> nets,
+                            std::vector<PinId> primary_inputs,
+                            std::vector<PinId> primary_outputs) {
+  const std::size_t np = pins.size(), ng = gates.size(), nn = nets.size();
+  for (const Pin& p : pins) {
+    if (p.gate != kInvalidId && p.gate >= ng)
+      throw std::invalid_argument("Netlist::from_parts: pin gate out of range");
+    if (p.net != kInvalidId && p.net >= nn)
+      throw std::invalid_argument("Netlist::from_parts: pin net out of range");
+    if (!(p.capacitance >= 0.0))
+      throw std::invalid_argument("Netlist::from_parts: negative capacitance");
+  }
+  for (const Gate& g : gates) {
+    if (g.type >= lib.size())
+      throw std::invalid_argument("Netlist::from_parts: cell type out of range");
+    if (g.output == kInvalidId || g.output >= np)
+      throw std::invalid_argument("Netlist::from_parts: gate output invalid");
+    for (PinId in : g.inputs)
+      if (in == kInvalidId || in >= np)
+        throw std::invalid_argument("Netlist::from_parts: gate input invalid");
+  }
+  for (const Net& n : nets) {
+    if (n.driver == kInvalidId || n.driver >= np)
+      throw std::invalid_argument("Netlist::from_parts: net driver invalid");
+    for (PinId s : n.sinks)
+      if (s >= np)
+        throw std::invalid_argument("Netlist::from_parts: net sink invalid");
+    if (!(n.wire_resistance >= 0.0) || !(n.wire_capacitance >= 0.0))
+      throw std::invalid_argument("Netlist::from_parts: negative wire RC");
+  }
+  for (PinId p : primary_inputs)
+    if (p >= np || pins[p].kind != PinKind::PrimaryInput)
+      throw std::invalid_argument("Netlist::from_parts: bad primary input");
+  for (PinId p : primary_outputs)
+    if (p >= np || pins[p].kind != PinKind::PrimaryOutput)
+      throw std::invalid_argument("Netlist::from_parts: bad primary output");
+
+  Netlist nl(lib);
+  nl.pins_ = std::move(pins);
+  nl.gates_ = std::move(gates);
+  nl.nets_ = std::move(nets);
+  nl.primary_inputs_ = std::move(primary_inputs);
+  nl.primary_outputs_ = std::move(primary_outputs);
+  nl.finalize();
+  return nl;
+}
+
 void Netlist::finalize() {
   // Every gate input must be connected.
   for (const Gate& g : gates_) {

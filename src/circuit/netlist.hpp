@@ -76,6 +76,19 @@ class Netlist {
   /// Throws std::runtime_error on malformed netlists.
   void finalize();
 
+  /// Reassemble a finalized netlist from previously exported structure —
+  /// the binary-snapshot restore path (io/snapshot). The arrays are the
+  /// exact contents of pins()/gates()/nets()/primary_inputs()/
+  /// primary_outputs(); cross-references are range-checked here and the
+  /// deeper structural invariants (connected inputs, acyclicity) by the
+  /// finalize() call this performs. `lib` must outlive the netlist.
+  [[nodiscard]] static Netlist from_parts(const CellLibrary& lib,
+                                          std::vector<Pin> pins,
+                                          std::vector<Gate> gates,
+                                          std::vector<Net> nets,
+                                          std::vector<PinId> primary_inputs,
+                                          std::vector<PinId> primary_outputs);
+
   /// --- accessors ----------------------------------------------------------
   [[nodiscard]] const CellLibrary& library() const { return *lib_; }
   [[nodiscard]] std::size_t num_pins() const { return pins_.size(); }

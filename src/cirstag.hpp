@@ -10,6 +10,7 @@
 ///   circuit -> cell library, netlists, STA, generators, variation, I/O
 ///   gnn     -> trainable GNN surrogates (timing predictor, RE classifier)
 ///   core    -> the CirSTAG pipeline (Phases 1-3) and baselines
+///   io      -> binary circuit snapshots (warm-state save/restore)
 
 #include "circuit/cell_library.hpp"   // IWYU pragma: export
 #include "circuit/generator.hpp"      // IWYU pragma: export
@@ -29,6 +30,7 @@
 #include "gnn/re_gat.hpp"             // IWYU pragma: export
 #include "gnn/timing_gnn.hpp"         // IWYU pragma: export
 #include "graphs/effective_resistance.hpp"  // IWYU pragma: export
+#include "io/snapshot.hpp"            // IWYU pragma: export
 #include "graphs/graph.hpp"           // IWYU pragma: export
 #include "graphs/knn.hpp"             // IWYU pragma: export
 #include "graphs/laplacian.hpp"       // IWYU pragma: export

@@ -60,6 +60,19 @@ struct StabilityOptions {
   /// coarsen.auto_threshold nodes and above; warm-started sweep variants
   /// (initial_subspace set) always take the exact path.
   graphs::CoarsenOptions coarsen;
+  /// Capture slot for the pair hierarchy the multilevel path builds: when
+  /// set and the multilevel path runs, the hierarchy is moved here after the
+  /// solve so a sweep engine can reuse it across variants (DESIGN.md §13).
+  /// Left untouched when the multilevel path does not engage.
+  graphs::CoarsenPairHierarchy* hierarchy_capture = nullptr;
+  /// Reuse a previously captured hierarchy instead of re-matching: the
+  /// baseline's prolongation maps are kept verbatim and only the Galerkin
+  /// edge-weight aggregation is recomputed for THIS call's manifolds (valid
+  /// for any edge set over the same node set — sweep variants perturb
+  /// weights/edges, never the node count). Ignored unless the multilevel
+  /// path engages and the map's fine dimension matches; each use bumps the
+  /// deterministic coarsen.hierarchy_reuses counter.
+  const graphs::CoarsenPairHierarchy* hierarchy_reuse = nullptr;
 };
 
 /// Phase-3 output: the DMD spectrum and per-edge/per-node stability scores.

@@ -7,6 +7,7 @@
 
 #include "circuit/perturb.hpp"
 #include "circuit/views.hpp"
+#include "graphs/laplacian.hpp"
 #include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timer.hpp"
@@ -79,6 +80,123 @@ SweepEngine::SweepEngine(const graphs::Graph& input_graph,
   features0_ = node_features;
   build_baseline(input_graph, node_features, output_embedding);
   stats_.baseline_seconds = timer.elapsed_seconds();
+}
+
+SweepEngine::SweepEngine(const circuit::Netlist& netlist, gnn::TimingGnn& model,
+                         SweepOptions opts, SweepBaselineState state)
+    : opts_(std::move(opts)), netlist_(&netlist), model_(&model) {
+  if (!netlist.finalized())
+    throw std::invalid_argument("SweepEngine: netlist must be finalized");
+  if (opts_.config.threads != 0)
+    runtime::set_global_threads(opts_.config.threads);
+  const obs::TraceSpan span("sweep.restore", "sweep");
+  static const obs::Counter restores("sweep.baseline_restores");
+  restores.add();
+  obs::WallTimer timer;
+
+  // Cheap derived state — recomputed, not serialized: the pin graph and
+  // feature matrix are pure functions of the netlist, the GNN snapshot is
+  // one forward pass on the already-trained model, and the incremental-STA
+  // baseline is one levelized traversal. None of them touch an eigensolver.
+  pin_graph_ = circuit::pin_graph(netlist);
+  features0_ = circuit::pin_features(netlist);
+  snap_ = model.snapshot(features0_);
+  if (opts_.with_sta)
+    sta_ = std::make_unique<circuit::IncrementalSta>(netlist);
+  baseline_timing_ =
+      sta_ ? sta_->baseline_report() : circuit::run_sta(netlist);
+
+  // Adopt the warm state after shape validation against this netlist/model.
+  const std::size_t n = pin_graph_.num_nodes();
+  const CirStagConfig& cfg = opts_.config;
+  if (state.baseline.node_scores.size() != n)
+    throw std::invalid_argument(
+        "SweepEngine: snapshot node scores do not match the netlist (" +
+        std::to_string(state.baseline.node_scores.size()) + " vs " +
+        std::to_string(n) + " pins)");
+  if (cfg.use_dimension_reduction && state.u0.rows() != n)
+    throw std::invalid_argument(
+        "SweepEngine: snapshot spectral embedding does not match the netlist");
+  if (state.baseline.manifold_x.num_nodes() != n ||
+      state.baseline.manifold_y.num_nodes() != n)
+    throw std::invalid_argument(
+        "SweepEngine: snapshot manifolds do not match the netlist");
+  baseline_.timings.threads = runtime::global_pool().num_threads();
+  if (cfg.use_dimension_reduction && !features0_.empty() &&
+      cfg.feature_weight > 0.0)
+    stats0_ = fit_feature_stats(features0_, cfg.feature_weight);
+  u0_ = std::move(state.u0);
+  raw_subspace0_ = std::move(state.raw_subspace0);
+  mx_base_ = std::move(state.mx);
+  my_base_ = std::move(state.my);
+  hier0_ = std::move(state.hier0);
+  hier_key_ = state.hier_key;
+  baseline_ = std::move(state.baseline);
+
+  // Pre-seed the solver cache with the variant-phase (L_Y + I/σ²) solver,
+  // reattaching the snapshot's factored spanning-tree preconditioner so the
+  // first variant skips the Kruskal + BFS + LDLᵀ build too. The Laplacian
+  // assembly itself is O(m) and recomputed here.
+  if (!state.variant_tree.empty()) {
+    const graphs::SolverOptions vopts = variant_solver_options();
+    if (state.variant_tree.dimension() == n) {
+      auto solver = std::make_shared<const linalg::LaplacianSolver>(
+          graphs::laplacian(baseline_.manifold_y), vopts.regularization,
+          vopts.cg, std::move(state.variant_tree));
+      cache_.insert(baseline_.manifold_y, vopts, std::move(solver));
+    }
+  }
+  stats_.baseline_seconds = timer.elapsed_seconds();
+}
+
+graphs::SolverOptions SweepEngine::variant_solver_options() const {
+  // Mirrors finish_variant's StabilityOptions overrides plus the
+  // SolverOptions construction inside stability_scores — one place to keep
+  // the snapshot export/restore key honest.
+  const StabilityOptions& st = opts_.config.stability;
+  const bool fast = !opts_.exact;
+  graphs::SolverOptions s;
+  s.regularization = 1.0 / st.sigma2;
+  s.preconditioner = fast && opts_.tree_preconditioner
+                         ? graphs::SolverPreconditioner::spanning_tree
+                         : st.preconditioner;
+  s.cg.tolerance = fast && opts_.fast_cg_tolerance > 0.0
+                       ? opts_.fast_cg_tolerance
+                       : st.cg_tolerance;
+  s.cg.max_iterations = st.cg_max_iterations;
+  s.cg.budget_bounded = true;
+  return s;
+}
+
+SweepBaselineState SweepEngine::export_baseline_state() {
+  if (netlist_ == nullptr)
+    throw std::logic_error(
+        "SweepEngine: snapshot export needs a Case-A engine");
+  SweepBaselineState state;
+  state.baseline = baseline_;
+  state.u0 = u0_;
+  state.raw_subspace0 = raw_subspace0_;
+  state.mx = mx_base_;
+  state.my = my_base_;
+  state.hier0 = hier0_;
+  state.hier_key = hier_key_;
+  state.baseline_seconds = stats_.baseline_seconds;
+  // Export the variant-phase solver's tree factorization (builds through
+  // the shared cache when no variant has demanded it yet — snapshot-write
+  // time, so the one-off cost is fine).
+  const graphs::SolverOptions vopts = variant_solver_options();
+  if (vopts.preconditioner == graphs::SolverPreconditioner::spanning_tree) {
+    const auto solver = cache_.solver(baseline_.manifold_y, vopts);
+    if (solver->has_tree_preconditioner()) {
+      const linalg::TreeFactorization& t = solver->tree();
+      state.variant_tree = linalg::TreeFactorization::from_state(
+          {t.parent().begin(), t.parent().end()},
+          {t.order().begin(), t.order().end()},
+          {t.multipliers().begin(), t.multipliers().end()},
+          {t.inv_diag().begin(), t.inv_diag().end()});
+    }
+  }
+  return state;
 }
 
 const circuit::TimingReport& SweepEngine::baseline_timing() const {
@@ -158,8 +276,12 @@ void SweepEngine::build_baseline(const graphs::Graph& input_graph,
   // captured report stays byte-identical to CirStag::analyze in both modes.
   StabilityOptions so = cfg.stability;
   if (fast && opts_.warm_sweep_cg) so.eigen_sweep_capture = &sweep_blocks0_;
+  // Capture the multilevel pair hierarchy (when the path engages) so fast
+  // variants can reuse its prolongation maps instead of re-matching.
+  so.hierarchy_capture = &hier0_;
   StabilityResult stab = stability_scores(baseline_.manifold_x,
                                           baseline_.manifold_y, so, cache);
+  if (!hier0_.empty()) hier_key_ = baseline_.manifold_x.fingerprint();
   baseline_.timings.stability_seconds = timer.elapsed_seconds();
   raw_subspace0_ = std::move(stab.raw_subspace);
   baseline_.node_scores = std::move(stab.node_scores);
@@ -524,6 +646,16 @@ void SweepEngine::finish_variant(SweepVariantResult& out,
       out.stats.eigen_warm_started = true;
     }
   }
+  // Hierarchy reuse (fast mode, DESIGN.md §13): variants perturb manifold
+  // weights/edges but keep the node set, so the baseline's captured
+  // prolongation maps stay valid — the multilevel path then only
+  // re-aggregates edge weights through them (Galerkin) instead of
+  // re-matching every level. Keyed by the capture-time fingerprint's node
+  // count; exact mode stays on the fresh-matching path for byte-identity
+  // with the naive loop.
+  if (fast && !hier0_.empty() &&
+      report.manifold_x.fingerprint().nodes == hier_key_.nodes)
+    so.hierarchy_reuse = &hier0_;
   StabilityResult stab =
       stability_scores(report.manifold_x, report.manifold_y, so, cache);
   report.timings.stability_seconds = timer.elapsed_seconds();

@@ -206,6 +206,30 @@ struct SweepStats {
   std::size_t solver_cache_hits = 0;  ///< cross-variant cache hits in run()
 };
 
+/// The warm baseline state of a Case-A SweepEngine — everything expensive
+/// the constructor computes (spectral embedding, manifolds, Phase-3
+/// eigensolve, coarsening hierarchy, preconditioner factorization), exported
+/// for binary snapshots (io/snapshot) and re-adopted by the restoring
+/// constructor, which then skips the eigensolves entirely (eigen.runs == 0).
+/// Cheap derived state (pin graph, feature matrix, GNN forward snapshot,
+/// incremental-STA baseline) is deliberately absent: the restore path
+/// recomputes it deterministically from the netlist and trained model.
+struct SweepBaselineState {
+  CirStagReport baseline;          ///< full baseline report (incl. manifolds)
+  linalg::Matrix u0;               ///< baseline spectral embedding
+  linalg::Matrix raw_subspace0;    ///< baseline eigenbasis (warm starts)
+  ManifoldBaseline mx;             ///< input-side kNN baseline (fast mode)
+  ManifoldBaseline my;             ///< output-side kNN baseline (fast mode)
+  graphs::CoarsenPairHierarchy hier0;  ///< baseline pair hierarchy (if any)
+  graphs::GraphFingerprint hier_key;   ///< capture-time manifold_x key
+  /// Factored spanning-tree preconditioner of the variant-phase
+  /// (L_Y + I/σ²) solver; empty when the options select Jacobi. Restore
+  /// pre-seeds the engine's solver cache with it so the first variant skips
+  /// the Kruskal + BFS + LDLᵀ build.
+  linalg::TreeFactorization variant_tree;
+  double baseline_seconds = 0.0;   ///< original baseline-capture wall time
+};
+
 /// Batched perturbation-sweep engine: analyzes one baseline circuit plus N
 /// perturbed variants while sharing work across them — shared Laplacian
 /// solver cache, incremental STA (fanout-cone re-timing), incremental GNN
@@ -235,6 +259,21 @@ class SweepEngine {
               const linalg::Matrix& node_features,
               const linalg::Matrix& output_embedding, SweepOptions opts = {});
 
+  /// Restoring Case-A constructor (io/snapshot): adopt a previously exported
+  /// baseline instead of recomputing it. Rebuilds only the cheap derived
+  /// state (pin graph, features, one GNN forward, one STA traversal) — no
+  /// spectral embedding, no Phase-3 eigensolve, no GNN training. `opts` must
+  /// match the exporting engine's for the adopted warm state to be valid;
+  /// shape mismatches between `state` and the netlist/model throw
+  /// std::invalid_argument.
+  SweepEngine(const circuit::Netlist& netlist, gnn::TimingGnn& model,
+              SweepOptions opts, SweepBaselineState state);
+
+  /// Export the warm baseline for a binary snapshot. Non-const because the
+  /// variant-phase solver (whose tree factorization rides along) is built
+  /// through the shared cache if no variant has demanded it yet.
+  [[nodiscard]] SweepBaselineState export_baseline_state();
+
   [[nodiscard]] const CirStagReport& baseline() const { return baseline_; }
   [[nodiscard]] const circuit::TimingReport& baseline_timing() const;
   [[nodiscard]] const SweepOptions& options() const { return opts_; }
@@ -261,6 +300,11 @@ class SweepEngine {
   void build_baseline(const graphs::Graph& input_graph,
                       const linalg::Matrix& node_features,
                       const linalg::Matrix& output_embedding);
+  /// The exact SolverOptions finish_variant's stability_scores call will key
+  /// the variant-phase (L_Y + I/σ²) solver under — shared by the snapshot
+  /// export (which serializes that solver's tree factorization) and the
+  /// restore path (which pre-seeds the cache under the same key).
+  [[nodiscard]] graphs::SolverOptions variant_solver_options() const;
   SweepVariantResult run_variant(const SweepVariant& v, std::size_t index);
   SweepVariantResult run_case_a(const SweepVariant& v, std::size_t index);
   SweepVariantResult run_case_b(const SweepVariant& v, std::size_t index);
@@ -301,6 +345,17 @@ class SweepEngine {
   std::vector<linalg::Matrix> sweep_blocks0_;
   ManifoldBaseline mx_base_;          ///< input-side kNN baseline (fast)
   ManifoldBaseline my_base_;          ///< output-side kNN baseline (fast)
+  /// Baseline Phase-3 pair hierarchy, captured when the multilevel path
+  /// engaged at baseline time; fast-mode variants whose manifolds keep the
+  /// baseline node set re-enter multilevel_eigen with these prolongation
+  /// maps and only re-aggregate edge weights (counter
+  /// coarsen.hierarchy_reuses; DESIGN.md §13). Exact mode never reuses —
+  /// its contract is byte-identity with the naive per-variant analyze().
+  graphs::CoarsenPairHierarchy hier0_;
+  /// Fingerprint of the baseline manifold_x at capture time — the cache
+  /// key: reuse requires the variant manifold to share the node set
+  /// (`nodes` must match; edge content may differ, that is the point).
+  graphs::GraphFingerprint hier_key_;
   linalg::Matrix warm_x_block_;       ///< baseline sketch solutions (fast)
   linalg::Matrix warm_y_block_;
   CirStagReport baseline_;

@@ -49,4 +49,12 @@ linalg::Matrix Standardizer::fit_transform(const linalg::Matrix& x) {
   return transform(x);
 }
 
+void Standardizer::restore(std::vector<double> mean,
+                           std::vector<double> inv_std) {
+  if (mean.empty() || mean.size() != inv_std.size())
+    throw std::invalid_argument("Standardizer::restore: shape mismatch");
+  mean_ = std::move(mean);
+  inv_std_ = std::move(inv_std);
+}
+
 }  // namespace cirstag::gnn

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -16,6 +17,14 @@ class Standardizer {
   [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& x);
 
   [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+
+  /// Fitted state, exposed for binary snapshots (io/snapshot).
+  [[nodiscard]] std::span<const double> mean() const { return mean_; }
+  [[nodiscard]] std::span<const double> inv_std() const { return inv_std_; }
+
+  /// Adopt previously fitted state verbatim (snapshot restore). Both vectors
+  /// must have the same (non-zero) length.
+  void restore(std::vector<double> mean, std::vector<double> inv_std);
 
  private:
   std::vector<double> mean_;

@@ -72,9 +72,7 @@ TrainStats TimingGnn::train(const circuit::StaOptions& sta_opts) {
 
   const Matrix x = feature_scaler_.transform(features_);
 
-  std::vector<Param*> params = head_->params();
-  for (auto& layer : conv_stack_)
-    for (Param* p : layer->params()) params.push_back(p);
+  std::vector<Param*> params = trainable_params();
   AdamOptions aopts;
   aopts.learning_rate = opts_.learning_rate;
   aopts.grad_clip = opts_.grad_clip;
@@ -187,6 +185,36 @@ GnnIncrementalResult TimingGnn::forward_incremental(
   inc_rows.add(local.recomputed_rows);
   if (stats) *stats = local;
   return out;
+}
+
+std::vector<Param*> TimingGnn::trainable_params() {
+  std::vector<Param*> params = head_->params();
+  for (auto& layer : conv_stack_)
+    for (Param* p : layer->params()) params.push_back(p);
+  return params;
+}
+
+void TimingGnn::restore_trained_state(std::span<const linalg::Matrix> params,
+                                      std::vector<double> scaler_mean,
+                                      std::vector<double> scaler_inv_std,
+                                      double target_mean, double target_scale) {
+  const std::vector<Param*> slots = trainable_params();
+  if (params.size() != slots.size())
+    throw std::invalid_argument(
+        "TimingGnn::restore_trained_state: parameter count mismatch");
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (params[i].rows() != slots[i]->value.rows() ||
+        params[i].cols() != slots[i]->value.cols())
+      throw std::invalid_argument(
+          "TimingGnn::restore_trained_state: parameter shape mismatch");
+  }
+  if (scaler_mean.size() != features_.cols())
+    throw std::invalid_argument(
+        "TimingGnn::restore_trained_state: scaler dimension mismatch");
+  for (std::size_t i = 0; i < slots.size(); ++i) slots[i]->value = params[i];
+  feature_scaler_.restore(std::move(scaler_mean), std::move(scaler_inv_std));
+  target_mean_ = target_mean;
+  target_scale_ = target_scale;
 }
 
 linalg::Matrix TimingGnn::embed(const linalg::Matrix& raw_features) {

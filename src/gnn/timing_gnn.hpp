@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "circuit/netlist.hpp"
@@ -105,6 +106,29 @@ class TimingGnn {
   [[nodiscard]] const linalg::Matrix& base_features() const { return features_; }
 
   [[nodiscard]] const circuit::Netlist& netlist() const { return *netlist_; }
+
+  /// --- trained-state export/restore (io/snapshot) -------------------------
+  /// The constructor is cheap and deterministic (layer shapes + seeded init
+  /// from the netlist); train() is the expensive part. A binary snapshot
+  /// therefore stores only the trained state below and restores it onto a
+  /// freshly constructed model with the same options — predictions and
+  /// embeddings are then bit-identical to the original trained model's.
+  [[nodiscard]] const TimingGnnOptions& options() const { return opts_; }
+  [[nodiscard]] double target_mean() const { return target_mean_; }
+  [[nodiscard]] double target_scale() const { return target_scale_; }
+  [[nodiscard]] const Standardizer& feature_scaler() const {
+    return feature_scaler_;
+  }
+  /// Trainable parameters in the fixed serialization order train() hands
+  /// them to the optimizer: head first, then the conv stack front to back.
+  [[nodiscard]] std::vector<Param*> trainable_params();
+  /// Overwrite the trainable parameters (same order and shapes as
+  /// trainable_params()), the feature-scaler state, and the target
+  /// normalization. Throws std::invalid_argument on any shape mismatch.
+  void restore_trained_state(std::span<const linalg::Matrix> params,
+                             std::vector<double> scaler_mean,
+                             std::vector<double> scaler_inv_std,
+                             double target_mean, double target_scale);
 
  private:
   /// Forward through conv stack; returns (embedding, prediction).

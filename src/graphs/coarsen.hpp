@@ -19,10 +19,13 @@ namespace cirstag::graphs {
 /// summed. The eigensolvers in linalg/multilevel_eigen.hpp solve at the
 /// coarsest level and Rayleigh-Ritz-refine back up the hierarchy.
 ///
-/// Everything in this header is strictly serial and a pure function of the
-/// input graph: hierarchies are bit-identical across thread counts and SIMD
-/// modes, which is what lets the multilevel pipeline keep the repo's
-/// byte-determinism contract.
+/// Everything in this header is a pure function of the input graph:
+/// hierarchies are bit-identical across thread counts and SIMD modes, which
+/// is what lets the multilevel pipeline keep the repo's byte-determinism
+/// contract. Construction is parallel internally (a fixed-chunk
+/// propose/resolve matching scheme plus a chunked Galerkin triplet fill on
+/// runtime::parallel_for_chunks), but every parallel stage reproduces the
+/// historical serial output byte for byte — see heavy_edge_matching.
 
 /// Coarsening policy of a pipeline phase.
 enum class CoarsenMode {
@@ -62,6 +65,17 @@ struct CoarsenOptions {
 /// (summing parallel edges; ties broken toward the smallest neighbor id), or
 /// becomes a singleton aggregate. Aggregate ids are assigned in visit order.
 /// Returns the fine-node -> aggregate map and writes the aggregate count.
+///
+/// Internally parallel, externally serial-equivalent: a parallel propose
+/// phase computes every node's heaviest neighbor over ALL neighbors
+/// (match-state-independent, so chunks are embarrassingly parallel), then a
+/// serial resolve pass walks nodes in ascending order. When a node's
+/// proposed partner is still unmatched it provably equals the serial greedy
+/// choice (the unmatched argmax is dominated by the global argmax, and the
+/// smallest-id tie-break agrees); otherwise the resolve pass falls back to
+/// the exact historical serial scan for that node. The result is therefore
+/// bit-identical to the original strictly-serial algorithm at every thread
+/// count and SIMD mode.
 [[nodiscard]] std::vector<std::uint32_t> heavy_edge_matching(
     const Graph& g, std::size_t& num_coarse);
 

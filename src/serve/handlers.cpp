@@ -82,8 +82,9 @@ struct SweepPayload {
 
 struct LoadPayload {
   std::string name;
-  std::string source;  ///< path or inline netlist text
+  std::string source;  ///< path, inline netlist text, or snapshot path
   bool is_path = false;
+  bool is_snapshot = false;  ///< restore a binary snapshot (io/snapshot)
   LoadOptions options;
 };
 
@@ -203,25 +204,44 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
     return immediate_error(422, "missing 'name'");
   const JsonValue* path = body.find("path");
   const JsonValue* netlist = body.find("netlist");
-  if ((path != nullptr) == (netlist != nullptr))
-    return immediate_error(422,
-                           "provide exactly one of 'path' or 'netlist'");
-  const JsonValue* source = path != nullptr ? path : netlist;
-  if (!source->is_string())
-    return immediate_error(422, "'path'/'netlist' must be a string");
-  payload->source = source->as_string();
-  payload->is_path = path != nullptr;
+  const JsonValue* snapshot = body.find("snapshot");
+  const int sources = (path != nullptr ? 1 : 0) + (netlist != nullptr ? 1 : 0) +
+                      (snapshot != nullptr ? 1 : 0);
+  if (sources != 1)
+    return immediate_error(
+        422, "provide exactly one of 'path', 'netlist' or 'snapshot'");
+  if (snapshot != nullptr) {
+    // Binary-snapshot restore: the file itself records mode/epochs/hidden,
+    // so overriding them here can only produce an engine whose options
+    // disagree with the adopted warm state — reject instead of ignoring.
+    if (!snapshot->is_string() || snapshot->as_string().empty())
+      return immediate_error(400, "'snapshot' must be a non-empty path string");
+    if (body.find("epochs") != nullptr || body.find("hidden") != nullptr ||
+        body.find("mode") != nullptr)
+      return immediate_error(
+          422,
+          "'epochs'/'hidden'/'mode' are recorded in the snapshot and cannot "
+          "be overridden");
+    payload->source = snapshot->as_string();
+    payload->is_snapshot = true;
+  } else {
+    const JsonValue* source = path != nullptr ? path : netlist;
+    if (!source->is_string())
+      return immediate_error(422, "'path'/'netlist' must be a string");
+    payload->source = source->as_string();
+    payload->is_path = path != nullptr;
 
-  const double epochs = body.number_or("epochs", 300);
-  const double hidden = body.number_or("hidden", 24);
-  if (!(epochs >= 1) || !(hidden >= 1))
-    return immediate_error(422, "'epochs' and 'hidden' must be >= 1");
-  payload->options.gnn_epochs = static_cast<std::size_t>(epochs);
-  payload->options.gnn_hidden = static_cast<std::size_t>(hidden);
-  const std::string mode = body.string_or("mode", "exact");
-  if (mode != "exact" && mode != "fast")
-    return immediate_error(422, "'mode' must be \"exact\" or \"fast\"");
-  payload->options.exact = mode == "exact";
+    const double epochs = body.number_or("epochs", 300);
+    const double hidden = body.number_or("hidden", 24);
+    if (!(epochs >= 1) || !(hidden >= 1))
+      return immediate_error(422, "'epochs' and 'hidden' must be >= 1");
+    payload->options.gnn_epochs = static_cast<std::size_t>(epochs);
+    payload->options.gnn_hidden = static_cast<std::size_t>(hidden);
+    const std::string mode = body.string_or("mode", "exact");
+    if (mode != "exact" && mode != "fast")
+      return immediate_error(422, "'mode' must be \"exact\" or \"fast\"");
+    payload->options.exact = mode == "exact";
+  }
 
   Job job;
   job.endpoint = "load";
@@ -231,13 +251,21 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
   CircuitRegistry* registry = &service.registry;
   job.run = [registry, payload]() -> JobResponse {
     const CircuitRegistry::LoadResult loaded =
-        payload->is_path
+        payload->is_snapshot
+            ? registry->load_from_snapshot(payload->name, payload->source)
+        : payload->is_path
             ? registry->load_from_path(payload->name, payload->source,
                                        payload->options)
             : registry->load_from_text(payload->name, payload->source,
                                        payload->options);
-    if (loaded.record == nullptr)
-      return error_response(loaded.name_conflict ? 409 : 422, loaded.error);
+    if (loaded.record == nullptr) {
+      // A snapshot that fails to open/validate is a bad request artifact:
+      // 400 (vs 422 for semantic errors in textual netlist loads).
+      const int status = loaded.name_conflict        ? 409
+                         : payload->is_snapshot      ? 400
+                                                     : 422;
+      return error_response(status, loaded.error);
+    }
     const CircuitRecord& record = *loaded.record;
     std::string out = "{\"name\": ";
     out += obs::json_quote(record.name);
@@ -245,6 +273,8 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
     out += ", \"gates\": " + std::to_string(record.netlist.num_gates());
     out += ", \"mode\": ";
     out += obs::json_quote(record.options.exact ? "exact" : "fast");
+    out += ", \"restored\": ";
+    out += payload->is_snapshot ? "true" : "false";
     out += ", \"train_r2\": ";
     obs::append_json_number(out, record.train_r2);
     out += ", \"train_seconds\": ";

@@ -6,6 +6,7 @@
 
 #include "circuit/cell_library.hpp"
 #include "circuit/io.hpp"
+#include "io/snapshot.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 
@@ -30,6 +31,75 @@ CircuitRegistry::LoadResult CircuitRegistry::load_from_text(
     const std::string& name, const std::string& netlist_text,
     const LoadOptions& options) {
   return load_impl(name, netlist_text, /*is_path=*/false, options);
+}
+
+CircuitRegistry::LoadResult CircuitRegistry::load_from_snapshot(
+    const std::string& name, const std::string& path) {
+  static obs::Counter loads("serve.registry.snapshot_loads");
+  static obs::Counter load_failures("serve.registry.load_failures");
+  static obs::Gauge resident("serve.registry.circuits");
+
+  LoadResult result;
+  if (name.empty()) {
+    result.error = "circuit name must be non-empty";
+    load_failures.add();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = circuits_.emplace(name, nullptr);
+    (void)it;
+    if (!inserted) {
+      result.error = "circuit '" + name + "' is already loaded or loading";
+      result.name_conflict = true;
+      load_failures.add();
+      return result;
+    }
+  }
+
+  std::shared_ptr<CircuitRecord> record;
+  try {
+    static const circuit::CellLibrary lib = circuit::CellLibrary::standard();
+    const auto t0 = std::chrono::steady_clock::now();
+    io::SnapshotData data = io::read_snapshot(path, lib);
+    record = std::make_shared<CircuitRecord>(std::move(data.netlist));
+    record->name = name;
+    record->options.gnn_epochs = data.gnn_options.epochs;
+    record->options.gnn_hidden = data.gnn_options.hidden_dim;
+    record->options.exact = data.meta.exact;
+    record->train_r2 = data.meta.train_r2;
+    record->train_seconds = 0.0;  // nothing trained — that is the point
+    // The model must be constructed against the netlist's FINAL address
+    // (the record's member), never the temporary SnapshotData field.
+    record->model = io::restore_model(record->netlist, data);
+    core::SweepOptions sopts;
+    sopts.exact = data.meta.exact;
+    record->engine = std::make_unique<core::SweepEngine>(
+        record->netlist, *record->model, sopts, std::move(data.state));
+    record->baseline_seconds = seconds_since(t0);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    circuits_.erase(name);
+    result.error = e.what();
+    load_failures.add();
+    return result;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    circuits_[name] = record;
+    resident.set(static_cast<double>(circuits_.size()));
+  }
+  loads.add();
+  obs::logf_info("serve",
+                 "restored circuit '%s' from snapshot: %zu pins, %zu gates, "
+                 "R2 %.4f (restore %.2fs, %s mode)",
+                 name.c_str(), record->netlist.num_pins(),
+                 record->netlist.num_gates(), record->train_r2,
+                 record->baseline_seconds,
+                 record->options.exact ? "exact" : "fast");
+  result.record = std::move(record);
+  return result;
 }
 
 CircuitRegistry::LoadResult CircuitRegistry::load_impl(

@@ -77,6 +77,13 @@ class CircuitRegistry {
                                           const std::string& netlist_text,
                                           const LoadOptions& options);
 
+  /// Restore a resident circuit from a binary snapshot (io/snapshot, the
+  /// /load {"snapshot": "..."} form). No GNN training and no eigensolves
+  /// run — the trained weights and warm sweep baseline are adopted from the
+  /// file; LoadOptions (mode, epochs, hidden) come from the snapshot too.
+  [[nodiscard]] LoadResult load_from_snapshot(const std::string& name,
+                                              const std::string& path);
+
   /// Resident record by name, or null. Counts serve.registry.hits/misses;
   /// circuits still warming up count as misses.
   [[nodiscard]] std::shared_ptr<CircuitRecord> lookup(

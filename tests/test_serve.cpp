@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "circuit/io.hpp"
 #include "core/query.hpp"
 #include "core/sweep.hpp"
+#include "io/snapshot.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "serve/handlers.hpp"
@@ -582,6 +584,82 @@ TEST(ServeEndpoints, LoadValidation) {
                              "\"epochs\": 0}"))
                 .status,
             422);
+}
+
+TEST(ServeEndpoints, SnapshotLoadRestoresAndValidates) {
+  Service& service = shared_service();
+  const std::shared_ptr<CircuitRecord> fixture =
+      service.registry.lookup("fixture");
+  ASSERT_NE(fixture, nullptr);
+  const std::string snap =
+      testing::TempDir() + "cirstag_serve_snapshot.bin";
+  io::SnapshotMeta meta;
+  meta.exact = fixture->options.exact;
+  meta.train_r2 = fixture->train_r2;
+  io::write_snapshot(snap, *fixture->model, *fixture->engine, meta);
+
+  // Restore under a new name: no training, warm state adopted.
+  const std::uint64_t train_before = counter("gnn.train_epochs");
+  const std::string body = "{\"name\": \"from_snap\", \"snapshot\": " +
+                           obs::json_quote(snap) + "}";
+  const JobResponse restored =
+      handle_request(service, make_request("POST", "/load", body));
+  ASSERT_EQ(restored.status, 200) << restored.body;
+  EXPECT_NE(restored.body.find("\"restored\": true"), std::string::npos);
+  EXPECT_EQ(counter("gnn.train_epochs"), train_before);
+
+  // The restored resident answers /top-k identically to the original.
+  const auto top_k = [&](const char* name) {
+    const JobResponse r = handle_request(
+        service, make_request("POST", "/top-k",
+                              std::string("{\"circuit\": \"") + name +
+                                  "\", \"k\": 5}"));
+    EXPECT_EQ(r.status, 200) << r.body;
+    return r.body.substr(r.body.find("\"nodes\""));
+  };
+  EXPECT_EQ(top_k("fixture"), top_k("from_snap"));
+  EXPECT_TRUE(service.registry.unload("from_snap"));
+
+  // Malformed snapshot path → 400 (the request was well-formed, the file
+  // is not); the name is released for retry.
+  const std::string bad_path =
+      "{\"name\": \"from_snap\", \"snapshot\": \"/nonexistent/x.bin\"}";
+  EXPECT_EQ(
+      handle_request(service, make_request("POST", "/load", bad_path)).status,
+      400);
+  // Non-string / empty snapshot value → 400.
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/load",
+                                        "{\"name\": \"x\", \"snapshot\": 3}"))
+                .status,
+            400);
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/load",
+                                        "{\"name\": \"x\", "
+                                        "\"snapshot\": \"\"}"))
+                .status,
+            400);
+  // snapshot + netlist/path → 422 (exactly one source).
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/load",
+                                        "{\"name\": \"x\", \"snapshot\": "
+                                        "\"a\", \"netlist\": \"b\"}"))
+                .status,
+            422);
+  // Training knobs cannot override what the snapshot recorded → 422.
+  EXPECT_EQ(handle_request(service,
+                           make_request("POST", "/load",
+                                        "{\"name\": \"x\", \"snapshot\": " +
+                                            obs::json_quote(snap) +
+                                            ", \"epochs\": 5}"))
+                .status,
+            422);
+  // The released name still works after all the failures.
+  const JobResponse again =
+      handle_request(service, make_request("POST", "/load", body));
+  ASSERT_EQ(again.status, 200) << again.body;
+  EXPECT_TRUE(service.registry.unload("from_snap"));
+  std::remove(snap.c_str());
 }
 
 TEST(ServeEndpoints, RoutingErrors) {

@@ -17,6 +17,10 @@ Baseline schema: {"counter": <default counter>, "max_ratio": <default>,
 {"counter": name, "value": N[, "max_ratio": R]} for per-entry overrides, or
 a list of such objects to gate several counters of one benchmark row (the
 serve bench pins requests_served / registry_hits / batches_formed this way).
+A baseline value of 0 is an exact-zero gate: the observed counter must be
+exactly 0 (the snapshot-restore rows pin eigen_runs_restore and
+train_epochs_restore this way — a warm restore must re-solve and re-train
+nothing).
 
 Wall-time fields are carried through but never gated: any report counter
 named wall_* (per-phase and end-to-end wall clock the benches attach to
@@ -241,7 +245,12 @@ def run_bench_gate(argv):
                 print(f"error: report row '{name}': counter '{counter}' is not "
                       f"a number (got {row[counter]!r})", file=sys.stderr)
                 return 2
-            ratio = value / base_value if base_value > 0 else float("inf")
+            # A zero baseline is an exact gate: the counter must stay 0
+            # (ratio 1.0), any positive observation is an infinite ratio.
+            if base_value > 0:
+                ratio = value / base_value
+            else:
+                ratio = 1.0 if value == 0 else float("inf")
             verdict = ""
             if ratio > max_ratio:
                 verdict = "  REGRESSION"

@@ -6,7 +6,9 @@
 //   cirstag_cli sweep <in.ckt> [--variants N] [--pins-per-variant K]
 //   cirstag_cli montecarlo <in.ckt> [--samples N]
 //   cirstag_cli corners <in.ckt>
+//   cirstag_cli snapshot <in.ckt> <out.snap> [--epochs E] [--exact 0|1]
 //   cirstag_cli serve [--port N] [--workers W] [--preload in.ckt]
+//                     [--preload-snapshot in.snap]
 //   cirstag_cli help | --version
 //
 // Every command accepts --threads N to size the parallel runtime pool
@@ -36,6 +38,7 @@
 #include "core/cirstag.hpp"
 #include "core/sweep.hpp"
 #include "gnn/timing_gnn.hpp"
+#include "io/snapshot.hpp"
 #include "linalg/rng.hpp"
 #include "obs/health.hpp"
 #include "obs/json.hpp"
@@ -83,6 +86,13 @@ constexpr const char* kUsage =
     "  montecarlo <in.ckt>  Monte-Carlo STA under process variation\n"
     "                       [--samples N] [--seed S]\n"
     "  corners <in.ckt>     corner-based STA sweep\n"
+    "  snapshot <in.ckt> <out.snap>\n"
+    "                       train the GNN, capture the sweep baseline, and\n"
+    "                       write a binary warm-state snapshot (DESIGN.md\n"
+    "                       §13); restore it with `serve --preload-snapshot`\n"
+    "                       or /load {\"snapshot\": ...} — no retraining and\n"
+    "                       zero eigensolves on restore\n"
+    "                       [--epochs E] [--hidden H] [--exact 0|1]\n"
     "  serve                resident analysis daemon: keeps circuits (GNN +\n"
     "                       sweep baseline + warm solver cache) loaded and\n"
     "                       answers HTTP/1.1+JSON requests on 127.0.0.1\n"
@@ -91,6 +101,7 @@ constexpr const char* kUsage =
     "                       [--port N] [--workers W] [--queue-capacity Q]\n"
     "                       [--max-batch B] [--deadline-ms D]\n"
     "                       [--preload in.ckt] [--preload-name NAME]\n"
+    "                       [--preload-snapshot in.snap]\n"
     "                       [--epochs E] [--hidden H] [--exact 0|1]\n"
     "  help                 print this message\n"
     "  --version            print build identity (git describe, build type,\n"
@@ -147,8 +158,10 @@ constexpr const char* kUsage =
     "                       'off' always runs the exact single-level path\n"
     "                       (byte-identical to historical results; small\n"
     "                       graphs are byte-identical under both settings)\n"
-    "  --coarsen-levels L   hierarchy depth cap of --coarsen auto (12)\n"
-    "  --coarsen-threshold N  node count at which 'auto' engages (20000)\n"
+    "  --coarsen-levels L   hierarchy depth cap of --coarsen auto (12;\n"
+    "                       must be >= 1)\n"
+    "  --coarsen-threshold N  node count at which 'auto' engages (20000;\n"
+    "                       must be >= 1 — use --coarsen off to disable)\n"
     "  --perf-json PATH     write a benchmark-shaped JSON report with the\n"
     "                       run's deterministic counters (coarsen.levels,\n"
     "                       coarsen.coarsest_n, eigen.ritz_refine_sweeps,\n"
@@ -405,7 +418,25 @@ int cmd_serve(int argc, char** argv) {
 
   // Optional warm start: load a circuit before accepting, so scripted
   // drivers (CI smoke, bench) skip shipping the netlist over HTTP.
+  // --preload parses + trains from a netlist; --preload-snapshot restores
+  // a `cirstag_cli snapshot` file without training or eigensolves.
   const std::string preload = opt_str(opts, "preload", "");
+  const std::string preload_snapshot = opt_str(opts, "preload-snapshot", "");
+  if (!preload.empty() && !preload_snapshot.empty()) {
+    obs::log_error("serve", "--preload and --preload-snapshot are mutually "
+                            "exclusive (they would race for the same name)");
+    return 2;
+  }
+  if (!preload_snapshot.empty()) {
+    const std::string name = opt_str(opts, "preload-name", "preload");
+    const auto loaded =
+        server.service().registry.load_from_snapshot(name, preload_snapshot);
+    if (loaded.record == nullptr) {
+      obs::logf_error("serve", "snapshot preload of %s failed: %s",
+                      preload_snapshot.c_str(), loaded.error.c_str());
+      return 1;
+    }
+  }
   if (!preload.empty()) {
     serve::LoadOptions lopts;
     lopts.gnn_epochs = opt_size(opts, "epochs", 300);
@@ -509,8 +540,17 @@ void apply_coarsen_flags(const std::map<std::string, std::string>& opts,
   } else if (mode != "auto") {
     bad_option_value("coarsen", mode, "'auto' or 'off'");
   }
+  // Zero would silently produce a depth-0 "hierarchy" / an always-on
+  // engagement rule; both are almost certainly typos, so reject them
+  // loudly instead of guessing (--coarsen off is the explicit disable).
   c.max_levels = opt_size(opts, "coarsen-levels", c.max_levels);
+  if (c.max_levels == 0)
+    bad_option_value("coarsen-levels", opts.at("coarsen-levels"),
+                     "an integer >= 1 (use --coarsen off to disable)");
   c.auto_threshold = opt_size(opts, "coarsen-threshold", c.auto_threshold);
+  if (c.auto_threshold == 0)
+    bad_option_value("coarsen-threshold", opts.at("coarsen-threshold"),
+                     "an integer >= 1 (use --coarsen off to disable)");
   cfg.embedding.coarsen = c;
   cfg.stability.coarsen = c;
 }
@@ -771,6 +811,53 @@ int cmd_sweep(int argc, char** argv) {
   return 0;
 }
 
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: cirstag_cli snapshot <in.ckt> <out.snap> [options]\n");
+    return 2;
+  }
+  const auto opts = parse_options(argc, argv, 4);
+  apply_global_flags(opts);
+  const CellLibrary lib = CellLibrary::standard();
+  const Netlist nl = load_netlist(argv[2], lib);
+
+  std::printf("training timing GNN surrogate...\n");
+  gnn::TimingGnnOptions gopts;
+  gopts.epochs = opt_size(opts, "epochs", 300);
+  gopts.hidden_dim = opt_size(opts, "hidden", 24);
+  gnn::TimingGnn model(nl, gopts);
+  const auto stats = model.train();
+  std::printf("  R2 = %.4f\n", stats.r2);
+
+  core::SweepOptions sopts;
+  sopts.exact = opt_size(opts, "exact", 1) != 0;
+  std::printf("capturing sweep baseline (%s mode)...\n",
+              sopts.exact ? "exact" : "fast");
+  core::SweepEngine engine(nl, model, sopts);
+  std::printf("  baseline: %.2fs, worst arrival %.4f\n",
+              engine.stats().baseline_seconds,
+              engine.baseline_timing().worst_arrival);
+
+  io::SnapshotMeta meta;
+  meta.exact = sopts.exact;
+  meta.train_r2 = stats.r2;
+  io::write_snapshot(argv[3], model, engine, meta);
+  const double bytes =
+      obs::MetricsRegistry::global().gauge_value("snapshot.bytes");
+  std::printf("snapshot written to %s (%.1f MiB, %s mode)\n", argv[3],
+              bytes / (1024.0 * 1024.0), sopts.exact ? "exact" : "fast");
+
+  obs::ManifestBuilder mb = make_manifest("snapshot", argv[2]);
+  mb.set_string("config", "snapshot_path", argv[3]);
+  mb.set_uint("config", "epochs", gopts.epochs);
+  mb.set_uint("config", "hidden_dim", gopts.hidden_dim);
+  mb.set_bool("config", "exact", sopts.exact);
+  mb.set_checksums("checksums", engine.baseline().checksums);
+  write_manifest(mb);
+  return 0;
+}
+
 int cmd_montecarlo(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr, "usage: cirstag_cli montecarlo <in.ckt> [options]\n");
@@ -838,6 +925,7 @@ int main(int argc, char** argv) {
     else if (cmd == "sta") rc = cmd_sta(argc, argv);
     else if (cmd == "analyze") rc = cmd_analyze(argc, argv);
     else if (cmd == "sweep") rc = cmd_sweep(argc, argv);
+    else if (cmd == "snapshot") rc = cmd_snapshot(argc, argv);
     else if (cmd == "montecarlo") rc = cmd_montecarlo(argc, argv);
     else if (cmd == "corners") rc = cmd_corners(argc, argv);
     else if (cmd == "serve") rc = cmd_serve(argc, argv);

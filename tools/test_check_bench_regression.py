@@ -119,6 +119,34 @@ class BenchGateMessages(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("OK: 2 gated counter(s)", out)
 
+    def test_zero_baseline_passes_only_exact_zero(self):
+        # A baseline of 0 is the exact gate the snapshot-restore rows use:
+        # eigen_runs_restore must be identically 0, not merely small.
+        base = self.baseline({
+            "BM_SnapshotRestore/1500": {
+                "counter": "eigen_runs_restore", "value": 0,
+                "max_ratio": 1.0},
+        })
+        rep = write_json(self.dir, "serve.json", report(
+            [{"name": "BM_SnapshotRestore/1500", "run_type": "iteration",
+              "eigen_runs_restore": 0}]))
+        code, out, _ = run_gate([rep, base])
+        self.assertEqual(code, 0)
+        self.assertIn("OK: 1 gated counter(s)", out)
+
+    def test_zero_baseline_fails_any_positive_value(self):
+        base = self.baseline({
+            "BM_SnapshotRestore/1500": {
+                "counter": "eigen_runs_restore", "value": 0,
+                "max_ratio": 1.0},
+        })
+        rep = write_json(self.dir, "serve.json", report(
+            [{"name": "BM_SnapshotRestore/1500", "run_type": "iteration",
+              "eigen_runs_restore": 1}]))
+        code, _, err = run_gate([rep, base])
+        self.assertEqual(code, 1)
+        self.assertIn("eigen_runs_restore 1 vs baseline 0", err)
+
     def test_aggregate_rows_are_ignored(self):
         base = self.baseline({"BM_Solve/64": 100})
         rep = write_json(self.dir, "report.json", report(
