@@ -43,6 +43,7 @@
 // row) that tools/check_bench_regression.py consumes; wall_* fields ride
 // along ungated.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -61,8 +62,11 @@
 #include "gnn/timing_gnn.hpp"
 #include "io/snapshot.hpp"
 #include "linalg/rng.hpp"
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
+#include "obs/window.hpp"
 #include "serve/handlers.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
@@ -143,6 +147,102 @@ void write_report(const std::string& path, const std::vector<BenchRow>& rows,
   std::fwrite(out.data(), 1, out.size(), f);
   std::fclose(f);
   std::printf("report written to %s\n", path.c_str());
+}
+
+// -- per-request latency timeline (--latency-csv) ---------------------------
+
+struct LatencyRow {
+  std::size_t index = 0;
+  std::string endpoint;
+  double enqueued_offset_us = 0.0;  ///< since the load phase started
+  double latency_us = 0.0;
+  int status = 0;
+  std::string trace_id;
+};
+
+void write_latency_csv(const std::string& path,
+                       const std::vector<LatencyRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fputs("index,endpoint,enqueued_offset_us,latency_us,status,trace_id\n",
+             f);
+  for (const LatencyRow& r : rows)
+    std::fprintf(f, "%zu,%s,%.1f,%.1f,%d,%s\n", r.index, r.endpoint.c_str(),
+                 r.enqueued_offset_us, r.latency_us, r.status,
+                 r.trace_id.c_str());
+  std::fclose(f);
+  std::printf("latency timeline written to %s (%zu rows)\n", path.c_str(),
+              rows.size());
+}
+
+/// Nearest-rank percentile over the observed latencies (ms). Returns 0 when
+/// empty — these ride in the report as informational wall_* fields only.
+double percentile_ms(std::vector<double> latencies_us, double q) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_us.size() - 1) + 0.5);
+  return latencies_us[std::min(rank, latencies_us.size() - 1)] / 1e3;
+}
+
+void append_window_quantiles(BenchRow& row,
+                             const std::vector<LatencyRow>& latencies) {
+  std::vector<double> us;
+  us.reserve(latencies.size());
+  for (const LatencyRow& r : latencies) us.push_back(r.latency_us);
+  row.counters.emplace_back("wall_window_p50_ms", percentile_ms(us, 0.50));
+  row.counters.emplace_back("wall_window_p95_ms", percentile_ms(us, 0.95));
+  row.counters.emplace_back("wall_window_p99_ms", percentile_ms(us, 0.99));
+}
+
+/// Arm the process-wide access-log / slow-exemplar sinks from the bench
+/// flags (inproc modes; socket mode arms them on the daemon side instead).
+void arm_request_log(const std::map<std::string, std::string>& opts) {
+  auto& rlog = cirstag::obs::RequestLog::global();
+  rlog.set_access_log_path(opt_str(opts, "access-log", ""));
+  rlog.set_exemplar_path(opt_str(opts, "slow-trace", ""));
+  rlog.set_slow_threshold_us(opt_double(opts, "slow-us", -1.0));
+  rlog.configure_token_bucket(opt_double(opts, "slow-budget", 8.0), 0.1);
+}
+
+/// Validate a /metrics scrape: must be text exposition (TYPE lines) and must
+/// already carry the rolling-window latency summary while traffic is in
+/// flight. Optionally saved to --metrics-out for offline conformance checks.
+void check_exposition_scrape(const std::string& text,
+                             const std::string& metrics_out) {
+  if (text.find("# TYPE ") == std::string::npos ||
+      text.find("cirstag_serve_window_latency_ms") == std::string::npos) {
+    std::fprintf(stderr,
+                 "bench_serve: /metrics scrape is not valid exposition or "
+                 "lacks windowed latency:\n%.512s\n",
+                 text.c_str());
+    std::exit(1);
+  }
+  if (metrics_out.empty()) return;
+  std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                 metrics_out.c_str());
+    std::exit(1);
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+/// Sum of the rolling-window per-endpoint request counters — the gated
+/// windowed row. Deterministic because the run is far shorter than the
+/// window: every scheduler-completed request is still in-window at readout.
+double window_requests_total() {
+  double total = 0.0;
+  for (const auto& entry :
+       cirstag::obs::WindowedRegistry::global().counter_snapshots()) {
+    if (entry.name.rfind("serve.window.requests.", 0) == 0)
+      total += static_cast<double>(entry.total);
+  }
+  return total;
 }
 
 // -- deterministic workload -------------------------------------------------
@@ -233,6 +333,7 @@ int run_inproc(const std::map<std::string, std::string>& opts,
   sopts.max_batch_size = opt_size(opts, "max-batch", 8);
   sopts.queue_capacity = std::max<std::size_t>(wave + 1, 256);
   serve::Service service(sopts);
+  arm_request_log(opts);
 
   std::printf("inproc: loading %zu-gate circuit...\n", gates);
   const std::string load_body =
@@ -251,24 +352,62 @@ int run_inproc(const std::map<std::string, std::string>& opts,
       make_mix("bench", requests, num_pins, seed);
   std::printf("inproc: %zu requests in waves of %zu (max batch %zu)...\n",
               requests, wave, sopts.max_batch_size);
+  std::vector<LatencyRow> timeline;
+  timeline.reserve(mix.size());
+  bool scraped_midrun = false;
   const auto t0 = Clock::now();
+  const double run_start_us = obs::process_now_us();
   for (std::size_t start = 0; start < mix.size(); start += wave) {
     // Wave submission: with the worker paused, batch formation depends only
     // on queue content — ceil(analyzes / max_batch) batches per wave.
     service.scheduler.pause();
     std::vector<std::future<serve::JobResponse>> futures;
+    std::vector<std::shared_ptr<obs::RequestContext>> traces;
     const std::size_t end = std::min(mix.size(), start + wave);
     for (std::size_t i = start; i < end; ++i) {
       serve::Dispatch d = serve::dispatch_request(
           service, make_request(mix[i].path, mix[i].body));
       if (d.immediate) die(mix[i].path, d.response.status, d.response.body);
       futures.push_back(std::move(d.future));
+      traces.push_back(std::move(d.trace));
     }
     service.scheduler.resume();
     for (std::size_t i = 0; i < futures.size(); ++i) {
       const serve::JobResponse response = futures[i].get();
       if (response.status != 200)
         die(mix[start + i].path, response.status, response.body);
+      // Server-side timing from the finished trace: what the access log and
+      // the windowed histograms saw, not the client's observation skew.
+      const obs::RequestContext& trace = *traces[i];
+      timeline.push_back({start + i, trace.endpoint(),
+                          trace.start_us() - run_start_us, trace.total_us(),
+                          trace.status(), trace.id_hex()});
+    }
+    if (!scraped_midrun) {
+      // Mid-run scrape: telemetry must be servable *while* traffic is in
+      // flight (later waves are still unsubmitted), and the windowed
+      // summary must already cover the first wave.
+      scraped_midrun = true;
+      const serve::JobResponse metrics = serve::handle_request(
+          service, [] {
+            serve::HttpRequest r;
+            r.method = "GET";
+            r.path = "/metrics";
+            return r;
+          }());
+      if (metrics.status != 200) die("/metrics", metrics.status, metrics.body);
+      check_exposition_scrape(metrics.body, opt_str(opts, "metrics-out", ""));
+      const serve::JobResponse stats = serve::handle_request(
+          service, [] {
+            serve::HttpRequest r;
+            r.method = "GET";
+            r.path = "/stats";
+            return r;
+          }());
+      if (stats.status != 200) die("/stats", stats.status, stats.body);
+      const serve::JsonValue stats_doc = serve::parse_json(stats.body);
+      if (stats_doc.find("window") == nullptr)
+        die("/stats", 500, "no 'window' object in " + stats.body);
     }
   }
   const double wall = seconds_since(t0);
@@ -286,11 +425,15 @@ int run_inproc(const std::map<std::string, std::string>& opts,
       {"registry_misses", counter("serve.registry.misses")},
       {"rejected_429", counter("serve.rejected_429")},
       {"expired_504", counter("serve.expired_504")},
+      {"window_requests", window_requests_total()},
       {"wall_total_seconds", wall},
       {"wall_per_request_seconds", wall / static_cast<double>(requests)},
       {"wall_ms", wall * 1e3},
   };
+  append_window_quantiles(row, timeline);
   rows.push_back(row);
+  const std::string latency_csv = opt_str(opts, "latency-csv", "");
+  if (!latency_csv.empty()) write_latency_csv(latency_csv, timeline);
   std::printf("inproc: served %.0f requests, %.0f batches, %.0f registry "
               "hits in %.2fs\n",
               row.counters[0].second, row.counters[1].second,
@@ -366,10 +509,12 @@ int run_socket(const std::map<std::string, std::string>& opts,
 
   // Open-loop arrival: request i is due at start + i*gap, whether or not
   // earlier requests finished. Each connection owns the requests with
-  // i % connections == its index, so per-connection order is stable.
+  // i % connections == its index, so per-connection order is stable (and
+  // each timeline slot is written by exactly one worker — no locking).
   const auto start = Clock::now() + std::chrono::milliseconds(50);
   std::vector<std::thread> workers;
   std::vector<int> failures(connections, 0);
+  std::vector<LatencyRow> timeline(mix.size());
   for (std::size_t c = 0; c < connections; ++c) {
     workers.emplace_back([&, c] {
       serve::TcpSocket socket = serve::tcp_connect(port);
@@ -381,14 +526,47 @@ int run_socket(const std::map<std::string, std::string>& opts,
         std::this_thread::sleep_until(
             start + std::chrono::microseconds(arrival_us *
                                               static_cast<long>(i)));
+        const auto sent = Clock::now();
         const auto response = serve::http_roundtrip(socket, "POST",
                                                     mix[i].path, mix[i].body);
         if (!response.has_value() || response->status != 200) ++failures[c];
+        LatencyRow& row = timeline[i];
+        row.index = i;
+        row.endpoint = mix[i].path.substr(1);
+        row.enqueued_offset_us = std::chrono::duration<double, std::micro>(
+                                     sent - start).count();
+        row.latency_us = std::chrono::duration<double, std::micro>(
+                             Clock::now() - sent).count();
+        if (response.has_value()) {
+          row.status = response->status;
+          const auto tid = response->headers.find("x-trace-id");
+          if (tid != response->headers.end()) row.trace_id = tid->second;
+        }
       }
     });
   }
+
+  // Mid-run scrape from a separate connection while the workers are still
+  // driving load: the daemon must serve exposition under traffic. (The
+  // windowed families appear with the first *completed* request, which the
+  // open loop cannot guarantee by mid-run, so those are asserted on the
+  // final scrape below.)
+  std::this_thread::sleep_until(
+      start + std::chrono::microseconds(arrival_us *
+                                        static_cast<long>(requests / 2)));
+  const serve::HttpResponse midrun =
+      roundtrip_or_die(probe, "GET", "/metrics", "");
+  if (midrun.status != 200) die("/metrics", midrun.status, midrun.body);
+  if (midrun.body.find("# TYPE ") == std::string::npos)
+    die("/metrics", 500, "mid-run scrape is not text exposition");
+
   for (std::thread& t : workers) t.join();
   const double wall = seconds_since(start);
+  const serve::HttpResponse final_scrape =
+      roundtrip_or_die(probe, "GET", "/metrics", "");
+  if (final_scrape.status != 200)
+    die("/metrics", final_scrape.status, final_scrape.body);
+  check_exposition_scrape(final_scrape.body, opt_str(opts, "metrics-out", ""));
   int failed = 0;
   for (const int f : failures) {
     if (f < 0) {
@@ -402,30 +580,45 @@ int run_socket(const std::map<std::string, std::string>& opts,
     return 1;
   }
 
-  const serve::HttpResponse metrics =
-      roundtrip_or_die(probe, "GET", "/metrics", "");
-  if (metrics.status != 200) die("/metrics", metrics.status, metrics.body);
-  const serve::JsonValue metrics_doc = serve::parse_json(metrics.body);
+  // Counter readback moved from /metrics (now text exposition) to /stats,
+  // its JSON twin; the windowed row sums the per-endpoint in-window counts.
+  const serve::HttpResponse stats =
+      roundtrip_or_die(probe, "GET", "/stats", "");
+  if (stats.status != 200) die("/stats", stats.status, stats.body);
+  const serve::JsonValue stats_doc = serve::parse_json(stats.body);
+  double window_requests = 0.0;
+  if (const serve::JsonValue* window = stats_doc.find("window")) {
+    if (const serve::JsonValue* endpoints = window->find("endpoints")) {
+      for (const auto& [endpoint, entry] : endpoints->members()) {
+        (void)endpoint;
+        window_requests += entry.number_or("count", 0.0);
+      }
+    }
+  }
 
   BenchRow row;
   row.name = "BM_ServeSocket/" + std::to_string(circuit_gates) + "/" +
              std::to_string(requests);
   row.real_time_ms = wall * 1e3;
   row.counters = {
-      {"requests_served", metrics_counter(metrics_doc,
+      {"requests_served", metrics_counter(stats_doc,
                                           "serve.requests_served")},
       {"batches_formed",
-       metrics_counter(metrics_doc, "serve.scheduler.batches_formed")},
-      {"registry_hits", metrics_counter(metrics_doc, "serve.registry.hits")},
+       metrics_counter(stats_doc, "serve.scheduler.batches_formed")},
+      {"registry_hits", metrics_counter(stats_doc, "serve.registry.hits")},
       {"registry_misses",
-       metrics_counter(metrics_doc, "serve.registry.misses")},
-      {"rejected_429", metrics_counter(metrics_doc, "serve.rejected_429")},
-      {"expired_504", metrics_counter(metrics_doc, "serve.expired_504")},
+       metrics_counter(stats_doc, "serve.registry.misses")},
+      {"rejected_429", metrics_counter(stats_doc, "serve.rejected_429")},
+      {"expired_504", metrics_counter(stats_doc, "serve.expired_504")},
+      {"window_requests", window_requests},
       {"wall_total_seconds", wall},
       {"wall_per_request_seconds", wall / static_cast<double>(requests)},
       {"wall_ms", wall * 1e3},
   };
+  append_window_quantiles(row, timeline);
   rows.push_back(row);
+  const std::string latency_csv = opt_str(opts, "latency-csv", "");
+  if (!latency_csv.empty()) write_latency_csv(latency_csv, timeline);
   std::printf("socket: daemon served %.0f requests (%.0f batches, %.0f "
               "registry hits) in %.2fs\n",
               row.counters[0].second, row.counters[1].second,

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <chrono>
+
+namespace cirstag::obs {
+
+/// One steady-clock epoch shared by every observability sink.
+///
+/// Before this existed the Logger and the Tracer each captured their own
+/// construction instant, so a trace span's ts and the matching log line's ts
+/// disagreed by whenever the two singletons happened to first run. Every
+/// timestamp the obs layer emits — log "ts", trace "ts"/"dur", access-log
+/// micros, request span trees — is now expressed on this single time base,
+/// so artifacts from one run can be joined on time without skew correction.
+///
+/// The epoch is pinned the first time any sink asks for it (process start
+/// for all practical purposes, since the global Logger construction touches
+/// it). steady_clock, not wall clock: the base never jumps under NTP.
+[[nodiscard]] inline std::chrono::steady_clock::time_point process_epoch() {
+  // Inline-function-local static: one instance across all TUs (C++17).
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Microseconds from the process epoch to `t`.
+[[nodiscard]] inline double to_process_us(
+    std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double, std::micro>(t - process_epoch())
+      .count();
+}
+
+/// Microseconds since the process epoch, now. The epoch is resolved before
+/// `now` is read — on the very first obs call in a process the lazy epoch
+/// init would otherwise land *after* the sample and yield a negative value.
+[[nodiscard]] inline double process_now_us() {
+  const std::chrono::steady_clock::time_point epoch = process_epoch();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace cirstag::obs

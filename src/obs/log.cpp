@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 
 namespace cirstag::obs {
@@ -13,6 +14,15 @@ namespace {
 double steady_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double epoch_steady_seconds() {
+  // The shared process epoch (obs/clock.hpp), expressed on the same raw
+  // steady-clock scale steady_seconds() uses. Using it — instead of the
+  // Logger's own construction instant — puts log "ts" on exactly the time
+  // base as trace spans and access-log lines: ts == process_now_us() / 1e6.
+  return std::chrono::duration<double>(process_epoch().time_since_epoch())
       .count();
 }
 
@@ -53,7 +63,7 @@ const char* log_level_name(LogLevel level) {
 Logger::Logger()
     : level_(static_cast<int>(
           parse_log_level(std::getenv("CIRSTAG_LOG_LEVEL"), LogLevel::info))),
-      epoch_seconds_(steady_seconds()) {}
+      epoch_seconds_(epoch_steady_seconds()) {}
 
 Logger::~Logger() {
   std::lock_guard lock(mutex_);

@@ -157,6 +157,37 @@ void MetricsRegistry::histogram_observe(std::size_t id, double value) {
   shard_add_f64(s.hist_sum[id], value);
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_)
+      total += s->counters[i].load(std::memory_order_relaxed);
+    snap.counters.emplace_back(counter_names_[i], total);
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+    snap.gauges.emplace_back(gauge_names_[i],
+                             gauges_[i].load(std::memory_order_relaxed));
+  snap.histograms.reserve(histogram_names_.size());
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    HistogramSnapshot h;
+    h.bounds = histogram_bounds_[i];
+    h.buckets.assign(h.bounds.size() + 1, 0);
+    for (const auto& s : shards_) {
+      for (std::size_t b = 0; b < h.buckets.size(); ++b)
+        h.buckets[b] += s->hist_buckets[i * kHistStride + b].load(
+            std::memory_order_relaxed);
+      h.count += s->hist_count[i].load(std::memory_order_relaxed);
+      h.sum += s->hist_sum[i].load(std::memory_order_relaxed);
+    }
+    snap.histograms.emplace_back(histogram_names_[i], std::move(h));
+  }
+  return snap;
+}
+
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
   std::lock_guard lock(mutex_);
   const auto it =
@@ -225,38 +256,28 @@ std::string MetricsRegistry::to_json() const { return to_json({}); }
 
 std::string MetricsRegistry::to_json(
     std::span<const std::pair<std::string, std::string>> extra) const {
-  std::lock_guard lock(mutex_);
+  // Render from the consistent snapshot — the exit-time dump and the live
+  // /metrics scrape share one aggregation path by construction.
+  const Snapshot full = snapshot();
   std::string out = "{\n  \"counters\": {";
-  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
-    std::uint64_t total = 0;
-    for (const auto& s : shards_)
-      total += s->counters[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < full.counters.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
-    out += json_quote(counter_names_[i]);
+    out += json_quote(full.counters[i].first);
     out += ": ";
-    out += std::to_string(total);
+    out += std::to_string(full.counters[i].second);
   }
   out += "\n  },\n  \"gauges\": {";
-  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+  for (std::size_t i = 0; i < full.gauges.size(); ++i) {
     out += i == 0 ? "\n    " : ",\n    ";
-    out += json_quote(gauge_names_[i]);
+    out += json_quote(full.gauges[i].first);
     out += ": ";
-    append_json_number(out, gauges_[i].load(std::memory_order_relaxed));
+    append_json_number(out, full.gauges[i].second);
   }
   out += "\n  },\n  \"histograms\": {";
-  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
-    HistogramSnapshot snap;
-    snap.bounds = histogram_bounds_[i];
-    snap.buckets.assign(snap.bounds.size() + 1, 0);
-    for (const auto& s : shards_) {
-      for (std::size_t b = 0; b < snap.buckets.size(); ++b)
-        snap.buckets[b] += s->hist_buckets[i * kHistStride + b].load(
-            std::memory_order_relaxed);
-      snap.count += s->hist_count[i].load(std::memory_order_relaxed);
-      snap.sum += s->hist_sum[i].load(std::memory_order_relaxed);
-    }
+  for (std::size_t i = 0; i < full.histograms.size(); ++i) {
+    const HistogramSnapshot& snap = full.histograms[i].second;
     out += i == 0 ? "\n    " : ",\n    ";
-    out += json_quote(histogram_names_[i]);
+    out += json_quote(full.histograms[i].first);
     out += ": {\"bounds\": [";
     for (std::size_t b = 0; b < snap.bounds.size(); ++b) {
       if (b > 0) out += ", ";

@@ -94,6 +94,19 @@ class MetricsRegistry {
     [[nodiscard]] double quantile(double q) const;
   };
 
+  /// One coherent pass over every metric: each value is summed across all
+  /// shards inside a single mutex hold, so a scrape taken while traffic is
+  /// in flight sees a consistent registration table and torn-free totals.
+  /// This is THE read path for live exposition (/metrics, /stats) and for
+  /// the exit-time JSON dump alike — there is deliberately no second
+  /// aggregation code path to drift from it.
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   /// Aggregated value of a counter (0 if never registered).
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   /// Last value written to a gauge (0 if never set).

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdio>
 
+#include "obs/clock.hpp"
 #include "obs/json.hpp"
 
 namespace cirstag::obs {
@@ -138,9 +139,11 @@ SpanStackPrefix::~SpanStackPrefix() {
   for (std::size_t i = 0; i < pushed_; ++i) span_stack_pop();
 }
 
-Tracer::Tracer()
-    : tracer_id_(next_tracer_id()),
-      epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : tracer_id_(next_tracer_id()) {
+  // Pin the shared epoch no later than the first tracer, so early spans
+  // never see a negative timestamp.
+  process_epoch();
+}
 
 Tracer::~Tracer() = default;
 
@@ -149,11 +152,7 @@ Tracer& Tracer::global() {
   return *tracer;
 }
 
-double Tracer::now_us() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
+double Tracer::now_us() const { return process_now_us(); }
 
 std::uint32_t Tracer::current_tid() {
   static std::atomic<std::uint32_t> next{1};

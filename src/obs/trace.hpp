@@ -136,7 +136,9 @@ class Tracer {
   /// Write to_chrome_json() to `path`; returns false on I/O failure.
   bool write_chrome_json(const std::string& path) const;
 
-  /// Microseconds since this tracer's construction (the trace time base).
+  /// Microseconds since the shared process epoch (obs/clock.hpp) — the same
+  /// time base as log "ts" fields and request span trees, so trace events
+  /// join against other obs artifacts without skew correction.
   [[nodiscard]] double now_us() const;
 
   /// Small dense id for the calling thread (stable for the thread's life).
@@ -153,18 +155,29 @@ class Tracer {
 
   const std::uint64_t tracer_id_;  ///< process-unique, for the TLS cache
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;  // guards the buffer list
   std::vector<std::unique_ptr<Buffer>> buffers_;
   std::map<std::thread::id, Buffer*> buffer_by_thread_;
 };
 
+// -- request-attribution hook (implemented in request.cpp) ------------------
+// When the calling thread is bound to a RequestContext (ScopedRequestBinding
+// in obs/request.hpp), every TraceSpan also lands as a node in that
+// request's span tree. Cost when unbound: one TLS load + null compare.
+inline constexpr std::uint32_t kNoRequestSpan = 0xffffffffu;
+/// Open a node in the bound request's span tree; kNoRequestSpan if unbound
+/// or the tree is full.
+[[nodiscard]] std::uint32_t request_span_begin(const char* name);
+void request_span_end(std::uint32_t token);
+
 /// RAII scope: records one complete trace event covering its lifetime, and
 /// (when span stacks are armed for the sampling profiler) maintains the
-/// calling thread's span stack. `name` and `category` must outlive the span
-/// (string literals in practice). Inactive (and free of side effects) when
-/// both tracing and span stacks are disabled at construction time.
+/// calling thread's span stack. When the thread is bound to a request
+/// (ScopedRequestBinding), the span additionally lands in that request's
+/// span tree. `name` and `category` must outlive the span (string literals
+/// in practice). Inactive (and free of side effects) when tracing, span
+/// stacks, and request binding are all off at construction time.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "cirstag")
@@ -174,6 +187,7 @@ class TraceSpan {
         name_(name),
         category_(category),
         pushed_(span_stacks_enabled()),
+        req_token_(request_span_begin(name)),
         start_us_(tracer_ != nullptr ? tracer.now_us() : 0.0) {
     // pushed_ remembers whether we pushed, so a mid-span toggle of the
     // global flag never unbalances the stack.
@@ -181,6 +195,7 @@ class TraceSpan {
   }
   ~TraceSpan() {
     if (pushed_) span_stack_pop();
+    request_span_end(req_token_);
     if (tracer_ == nullptr) return;
     const double end_us = tracer_->now_us();
     tracer_->record({name_, category_, start_us_, end_us - start_us_,
@@ -194,6 +209,7 @@ class TraceSpan {
   const char* name_;
   const char* category_;
   bool pushed_;
+  std::uint32_t req_token_;
   double start_us_;
 };
 

@@ -13,7 +13,12 @@ namespace cirstag::runtime {
 namespace {
 
 thread_local bool t_in_parallel_region = false;
-std::atomic<TaskTimer*> g_active_timer{nullptr};
+// Per-thread, not process-wide: with the serve daemon several threads
+// orchestrate pipelines concurrently, and a shared slot lets thread A's
+// run() capture a TaskTimer living on thread B's stack — a dangling
+// pointer once B's frame unwinds. Scope save/restore needs no atomics
+// when the slot is thread-local.
+thread_local TaskTimer* t_active_timer = nullptr;
 
 using Clock = std::chrono::steady_clock;
 
@@ -40,16 +45,13 @@ const obs::Counter& pool_busy_ns() {
 
 }  // namespace
 
-ScopedTaskTimer::ScopedTaskTimer(TaskTimer& timer)
-    : previous_(g_active_timer.exchange(&timer, std::memory_order_acq_rel)) {}
-
-ScopedTaskTimer::~ScopedTaskTimer() {
-  g_active_timer.store(previous_, std::memory_order_release);
+ScopedTaskTimer::ScopedTaskTimer(TaskTimer& timer) : previous_(t_active_timer) {
+  t_active_timer = &timer;
 }
 
-TaskTimer* active_task_timer() {
-  return g_active_timer.load(std::memory_order_acquire);
-}
+ScopedTaskTimer::~ScopedTaskTimer() { t_active_timer = previous_; }
+
+TaskTimer* active_task_timer() { return t_active_timer; }
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("CIRSTAG_THREADS")) {
@@ -107,6 +109,11 @@ void ThreadPool::drain(Job& job, bool install_prefix) {
   static const std::vector<const char*> kNoPrefix;
   const obs::SpanStackPrefix prefix(install_prefix ? job.span_prefix
                                                    : kNoPrefix);
+  // Mirror of the span-prefix handoff for request attribution: the
+  // submitting thread's own binding is already installed, only workers
+  // adopt it. A default (nullptr) ref makes this a no-op.
+  const obs::ScopedRequestBinding binding(
+      install_prefix ? job.request_ref : obs::RequestRef{});
   t_in_parallel_region = true;
   double busy = 0.0;
   std::size_t executed = 0;
@@ -185,6 +192,7 @@ void ThreadPool::run(std::size_t num_tasks,
   job.num_tasks = num_tasks;
   job.timer = timer;
   if (obs::span_stacks_enabled()) job.span_prefix = obs::current_span_path();
+  job.request_ref = obs::current_request_ref();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/request.hpp"
+
 namespace cirstag::runtime {
 
 /// Accumulates the busy time of parallel tasks (sum over all workers), so a
@@ -37,10 +39,13 @@ class TaskTimer {
   std::atomic<std::uint64_t> tasks_{0};
 };
 
-/// Installs `timer` as the process-wide active task timer for this scope;
-/// every ThreadPool::run that starts while it is installed accounts its
-/// tasks' busy time into it. Phases run sequentially on the orchestrating
-/// thread, so a single active timer suffices.
+/// Installs `timer` as this thread's active task timer for the scope;
+/// every ThreadPool::run submitted from this thread while it is installed
+/// accounts its tasks' busy time into it. The slot is thread-local on
+/// purpose: orchestration threads (CLI pipeline, serve scheduler lanes)
+/// run concurrently, and each must attribute only its own parallel
+/// regions — a shared slot would let one thread capture a timer living on
+/// another thread's stack.
 class ScopedTaskTimer {
  public:
   explicit ScopedTaskTimer(TaskTimer& timer);
@@ -52,7 +57,7 @@ class ScopedTaskTimer {
   TaskTimer* previous_;
 };
 
-/// The currently installed TaskTimer (nullptr when none).
+/// The calling thread's currently installed TaskTimer (nullptr when none).
 [[nodiscard]] TaskTimer* active_task_timer();
 
 /// Fixed-size thread pool (no work stealing): `num_threads` total execution
@@ -100,6 +105,12 @@ class ThreadPool {
     /// these names while draining, so their samples fold under the phase
     /// that launched the parallel region. Empty when span stacks are off.
     std::vector<const char*> span_prefix;
+    /// Submitting thread's request binding (request attribution): workers
+    /// install it while draining, so solver spans from pooled tasks land in
+    /// the request's span tree. ctx == nullptr when the submitter is
+    /// unbound — the common (non-serving) case, where this costs one TLS
+    /// read at submit and nothing per task.
+    obs::RequestRef request_ref;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> cancel{false};

@@ -13,6 +13,8 @@
 #include "obs/json.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
+#include "serve/exposition.hpp"
 #include "serve/json.hpp"
 
 namespace cirstag::serve {
@@ -164,6 +166,10 @@ std::vector<JobResponse> run_analyze_batch(std::vector<Job*>& jobs) {
         record->engine->run(variants);
     for (std::size_t j = 0; j < indices.size(); ++j) {
       const std::size_t i = indices[j];
+      // Per-member render attribution: one thread serializes the whole
+      // coalesced batch, but each member's trace gets its own render span
+      // and render_us covering exactly its response.
+      const obs::RenderScope render(jobs[i]->trace.get());
       out[i] = format_variant_response(
           *static_cast<AnalyzePayload*>(jobs[i]->payload.get()), results[j]);
     }
@@ -197,7 +203,10 @@ bool apply_deadline(const JsonValue& body, Job& job, std::string& error) {
   return true;
 }
 
-Dispatch dispatch_load(Service& service, const JsonValue& body) {
+using TracePtr = std::shared_ptr<obs::RequestContext>;
+
+Dispatch dispatch_load(Service& service, const JsonValue& body,
+                       const TracePtr& trace) {
   auto payload = std::make_shared<LoadPayload>();
   payload->name = body.string_or("name", "");
   if (payload->name.empty())
@@ -246,10 +255,12 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
   Job job;
   job.endpoint = "load";
   job.payload = payload;
+  job.trace = trace;
+  trace->set_circuit(payload->name);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
   CircuitRegistry* registry = &service.registry;
-  job.run = [registry, payload]() -> JobResponse {
+  job.run = [registry, payload, trace]() -> JobResponse {
     const CircuitRegistry::LoadResult loaded =
         payload->is_snapshot
             ? registry->load_from_snapshot(payload->name, payload->source)
@@ -267,6 +278,7 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
       return error_response(status, loaded.error);
     }
     const CircuitRecord& record = *loaded.record;
+    const obs::RenderScope render(trace.get());
     std::string out = "{\"name\": ";
     out += obs::json_quote(record.name);
     out += ", \"pins\": " + std::to_string(record.netlist.num_pins());
@@ -287,23 +299,28 @@ Dispatch dispatch_load(Service& service, const JsonValue& body) {
   return submit_or_reject(service, std::move(job));
 }
 
-Dispatch dispatch_unload(Service& service, const JsonValue& body) {
+Dispatch dispatch_unload(Service& service, const JsonValue& body,
+                         const TracePtr& trace) {
   const std::string name = body.string_or("name", "");
   if (name.empty()) return immediate_error(422, "missing 'name'");
   Job job;
   job.endpoint = "unload";
+  job.trace = trace;
+  trace->set_circuit(name);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
   CircuitRegistry* registry = &service.registry;
-  job.run = [registry, name]() -> JobResponse {
+  job.run = [registry, name, trace]() -> JobResponse {
     if (!registry->unload(name))
       return error_response(404, "circuit '" + name + "' is not loaded");
+    const obs::RenderScope render(trace.get());
     return {200, "{\"unloaded\": " + obs::json_quote(name) + "}"};
   };
   return submit_or_reject(service, std::move(job));
 }
 
-Dispatch dispatch_analyze(Service& service, const JsonValue& body) {
+Dispatch dispatch_analyze(Service& service, const JsonValue& body,
+                          const TracePtr& trace) {
   auto payload = std::make_shared<AnalyzePayload>();
   payload->circuit = body.string_or("circuit", "");
   if (payload->circuit.empty())
@@ -322,13 +339,16 @@ Dispatch dispatch_analyze(Service& service, const JsonValue& body) {
   Job job;
   job.endpoint = "analyze";
   job.payload = payload;
+  job.trace = trace;
+  trace->set_circuit(payload->circuit);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
   if (payload->variant.cap_scalings.empty()) {
     // Unperturbed request: serve the resident baseline (immutable after
     // load, byte-identical to CirStag::analyze) — a const read, no
     // run_mutex, no batching.
-    job.run = [payload]() -> JobResponse {
+    job.run = [payload, trace]() -> JobResponse {
+      const obs::RenderScope render(trace.get());
       std::string out = "{\"circuit\": ";
       out += obs::json_quote(payload->circuit);
       out += ", \"baseline\": true, \"report\": ";
@@ -343,7 +363,8 @@ Dispatch dispatch_analyze(Service& service, const JsonValue& body) {
   return submit_or_reject(service, std::move(job));
 }
 
-Dispatch dispatch_sweep(Service& service, const JsonValue& body) {
+Dispatch dispatch_sweep(Service& service, const JsonValue& body,
+                        const TracePtr& trace) {
   auto payload = std::make_shared<SweepPayload>();
   payload->circuit = body.string_or("circuit", "");
   if (payload->circuit.empty())
@@ -378,14 +399,17 @@ Dispatch dispatch_sweep(Service& service, const JsonValue& body) {
   Job job;
   job.endpoint = "sweep";
   job.payload = payload;
+  job.trace = trace;
+  trace->set_circuit(payload->circuit);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
-  job.run = [payload]() -> JobResponse {
+  job.run = [payload, trace]() -> JobResponse {
     CircuitRecord& record = *payload->record;
     std::lock_guard<std::mutex> lock(record.run_mutex);
     const std::vector<core::SweepVariantResult> results =
         record.engine->run(payload->variants);
     const core::SweepStats& stats = record.engine->stats();
+    const obs::RenderScope render(trace.get());
     std::string out = "{\"circuit\": ";
     out += obs::json_quote(payload->circuit);
     out += ", \"results\": [";
@@ -413,7 +437,8 @@ Dispatch dispatch_sweep(Service& service, const JsonValue& body) {
   return submit_or_reject(service, std::move(job));
 }
 
-Dispatch dispatch_top_k(Service& service, const JsonValue& body) {
+Dispatch dispatch_top_k(Service& service, const JsonValue& body,
+                        const TracePtr& trace) {
   const std::string name = body.string_or("circuit", "");
   if (name.empty()) return immediate_error(422, "missing 'circuit'");
   std::shared_ptr<CircuitRecord> record = service.registry.lookup(name);
@@ -426,11 +451,14 @@ Dispatch dispatch_top_k(Service& service, const JsonValue& body) {
 
   Job job;
   job.endpoint = "top-k";
+  job.trace = trace;
+  trace->set_circuit(name);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
-  job.run = [record, name, k]() -> JobResponse {
+  job.run = [record, name, k, trace]() -> JobResponse {
     const std::vector<core::NodeScore> nodes =
         core::top_k_nodes(record->engine->baseline(), k);
+    const obs::RenderScope render(trace.get());
     std::string out = "{\"circuit\": ";
     out += obs::json_quote(name);
     out += ", \"k\": " + std::to_string(k);
@@ -447,7 +475,8 @@ Dispatch dispatch_top_k(Service& service, const JsonValue& body) {
   return submit_or_reject(service, std::move(job));
 }
 
-Dispatch dispatch_score_region(Service& service, const JsonValue& body) {
+Dispatch dispatch_score_region(Service& service, const JsonValue& body,
+                               const TracePtr& trace) {
   const std::string name = body.string_or("circuit", "");
   if (name.empty()) return immediate_error(422, "missing 'circuit'");
   std::shared_ptr<CircuitRecord> record = service.registry.lookup(name);
@@ -485,9 +514,11 @@ Dispatch dispatch_score_region(Service& service, const JsonValue& body) {
 
   Job job;
   job.endpoint = "score-region";
+  job.trace = trace;
+  trace->set_circuit(name);
   std::string error;
   if (!apply_deadline(body, job, error)) return immediate_error(422, error);
-  job.run = [record, name, ids, hops, cone]() -> JobResponse {
+  job.run = [record, name, ids, hops, cone, trace]() -> JobResponse {
     core::RegionScore region;
     try {
       if (cone) {
@@ -501,6 +532,7 @@ Dispatch dispatch_score_region(Service& service, const JsonValue& body) {
     } catch (const std::out_of_range& e) {
       return error_response(422, e.what());
     }
+    const obs::RenderScope render(trace.get());
     std::string out = "{\"circuit\": ";
     out += obs::json_quote(name);
     out += ", \"count\": " + std::to_string(region.nodes.size());
@@ -562,13 +594,19 @@ JobResponse handle_health(Service& service) {
 
 }  // namespace
 
-Dispatch dispatch_request(Service& service, const HttpRequest& request) {
+namespace {
+
+/// Inner routing; the public wrapper owns trace creation and finalization.
+Dispatch route_request(Service& service, const HttpRequest& request,
+                       const TracePtr& trace) {
   const std::string& path = request.path;
-  if (path == "/health" || path == "/metrics") {
+  if (path == "/health" || path == "/metrics" || path == "/stats") {
     if (request.method != "GET")
       return immediate_error(405, "use GET for " + path);
     if (path == "/health") return immediate(handle_health(service));
-    return immediate({200, obs::MetricsRegistry::global().to_json()});
+    if (path == "/stats") return immediate({200, render_stats_json(service)});
+    return immediate({200, render_metrics_exposition(service),
+                      "text/plain; version=0.0.4; charset=utf-8"});
   }
 
   const bool known_post = path == "/load" || path == "/unload" ||
@@ -588,12 +626,33 @@ Dispatch dispatch_request(Service& service, const HttpRequest& request) {
   if (!body.is_object())
     return immediate_error(400, "request body must be a JSON object");
 
-  if (path == "/load") return dispatch_load(service, body);
-  if (path == "/unload") return dispatch_unload(service, body);
-  if (path == "/analyze") return dispatch_analyze(service, body);
-  if (path == "/sweep") return dispatch_sweep(service, body);
-  if (path == "/top-k") return dispatch_top_k(service, body);
-  return dispatch_score_region(service, body);
+  if (path == "/load") return dispatch_load(service, body, trace);
+  if (path == "/unload") return dispatch_unload(service, body, trace);
+  if (path == "/analyze") return dispatch_analyze(service, body, trace);
+  if (path == "/sweep") return dispatch_sweep(service, body, trace);
+  if (path == "/top-k") return dispatch_top_k(service, body, trace);
+  return dispatch_score_region(service, body, trace);
+}
+
+}  // namespace
+
+Dispatch dispatch_request(Service& service, const HttpRequest& request) {
+  // Every request — control plane included — gets a trace: the endpoint name
+  // is the path minus its leading slash ("unknown" paths keep the raw path,
+  // so the access log shows what was probed).
+  auto trace = std::make_shared<obs::RequestContext>(
+      !request.path.empty() && request.path.front() == '/'
+          ? request.path.substr(1)
+          : request.path);
+  Dispatch d = route_request(service, request, trace);
+  d.trace = trace;
+  if (d.immediate) {
+    // Immediate responses (control plane, parse errors, rejections) never
+    // reach the scheduler, so they are finished and logged here.
+    trace->finish(d.response.status);
+    obs::RequestLog::global().record(*trace);
+  }
+  return d;
 }
 
 JobResponse handle_request(Service& service, const HttpRequest& request) {

@@ -2,11 +2,16 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
 #include <string>
 
 #include "serve/http.hpp"
 #include "serve/registry.hpp"
 #include "serve/scheduler.hpp"
+
+namespace cirstag::obs {
+class RequestContext;
+}  // namespace cirstag::obs
 
 namespace cirstag::serve {
 
@@ -31,6 +36,11 @@ struct Dispatch {
   bool immediate = false;
   JobResponse response;             ///< valid when immediate
   std::future<JobResponse> future;  ///< valid when !immediate
+  /// The request's trace, always set by dispatch_request: the server reads
+  /// id_hex() for the X-Trace-Id response header. Immediate dispatches
+  /// arrive already finished and flushed to the access log; scheduled ones
+  /// are finished by the scheduler at completion.
+  std::shared_ptr<obs::RequestContext> trace;
 };
 
 /// Route a parsed request to its endpoint. Data-plane endpoints (load,

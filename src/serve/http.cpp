@@ -154,6 +154,15 @@ HttpReadResult HttpReader::read_request(int idle_timeout_ms) {
     if (!fill(buffer_.size() + 1, out, /*first_byte=*/true, idle_timeout_ms))
       return out;
   }
+  // The terminator may land in the same read that blew the limit — an
+  // oversized head that arrives in one chunk must still be rejected.
+  if (head_end + 4 > limits_.max_header_bytes) {
+    out.status = HttpReadResult::Status::too_large;
+    out.error_code = 431;
+    out.error_detail = "header block larger than " +
+                       std::to_string(limits_.max_header_bytes) + " bytes";
+    return out;
+  }
 
   std::string error;
   auto parsed = parse_http_head(buffer_.substr(0, head_end + 4), error);
@@ -218,11 +227,20 @@ const char* http_status_reason(int status) {
 
 std::string format_http_response(int status, const std::string& content_type,
                                  const std::string& body, bool keep_alive) {
+  return format_http_response(status, content_type, body, keep_alive, {});
+}
+
+std::string format_http_response(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
   std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
                     http_status_reason(status) + "\r\n";
   out += "Content-Type: " + content_type + "\r\n";
   out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers)
+    out += name + ": " + value + "\r\n";
   out += "\r\n";
   out += body;
   return out;

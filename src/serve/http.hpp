@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/socket.hpp"
 
@@ -87,6 +89,14 @@ class HttpReader {
 [[nodiscard]] std::string format_http_response(
     int status, const std::string& content_type, const std::string& body,
     bool keep_alive);
+
+/// As above, with extra response headers (name, value) appended before the
+/// blank line — the server uses this to attach X-Trace-Id. Names/values are
+/// emitted verbatim; callers supply protocol-safe bytes.
+[[nodiscard]] std::string format_http_response(
+    int status, const std::string& content_type, const std::string& body,
+    bool keep_alive,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers);
 
 /// Reason phrase of the status codes the serving layer emits.
 [[nodiscard]] const char* http_status_reason(int status);

@@ -4,7 +4,10 @@
 #include <exception>
 #include <map>
 
+#include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
+#include "obs/window.hpp"
 
 namespace cirstag::serve {
 
@@ -16,6 +19,13 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> bounds{1,   2,   5,    10,   20,    50,
+                                          100, 200, 500,  1000, 2000,  5000,
+                                          15000, 60000};
+  return bounds;
+}
+
 /// Per-endpoint latency histogram, registered on first use. Endpoint names
 /// come from the fixed routing table, so the map stays tiny.
 obs::Histogram& latency_histogram(const std::string& endpoint) {
@@ -24,12 +34,23 @@ obs::Histogram& latency_histogram(const std::string& endpoint) {
   std::lock_guard<std::mutex> lock(mutex);
   auto& slot = histograms[endpoint];
   if (!slot) {
-    slot = std::make_unique<obs::Histogram>(
-        "serve.latency_ms." + endpoint,
-        std::vector<double>{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
-                            5000, 15000, 60000});
+    slot = std::make_unique<obs::Histogram>("serve.latency_ms." + endpoint,
+                                            latency_bounds_ms());
   }
   return *slot;
+}
+
+/// Rolling-window twins of the cumulative per-endpoint telemetry: the
+/// /metrics summary quantiles and /stats QPS read these, so they describe
+/// the last ~2 minutes rather than the process lifetime.
+obs::WindowedHistogram& windowed_latency(const std::string& endpoint) {
+  return obs::WindowedRegistry::global().histogram(
+      "serve.window.latency_ms." + endpoint, latency_bounds_ms());
+}
+
+obs::WindowedCounter& windowed_requests(const std::string& endpoint) {
+  return obs::WindowedRegistry::global().counter("serve.window.requests." +
+                                                 endpoint);
 }
 
 obs::Gauge& queue_depth_gauge() {
@@ -55,13 +76,23 @@ void Scheduler::complete(Job& job, JobResponse response) {
   // All telemetry lands before the promise resolves: a client that has its
   // response (and immediately reads /metrics) must see this job counted.
   served.add();
-  latency_histogram(job.endpoint).observe(ms_since(job.enqueued));
+  const double latency_ms = ms_since(job.enqueued);
+  latency_histogram(job.endpoint).observe(latency_ms);
+  windowed_latency(job.endpoint).observe(latency_ms);
+  windowed_requests(job.endpoint).add(1);
   if (status == 504) {
     static obs::Counter expired("serve.expired_504");
     expired.add();
   } else if (status >= 500) {
     static obs::Counter failed("serve.failed_5xx");
     failed.add();
+  }
+  if (job.trace) {
+    job.trace->set_deadline_slack_us(
+        std::chrono::duration<double, std::micro>(job.deadline - Clock::now())
+            .count());
+    job.trace->finish(status);
+    obs::RequestLog::global().record(*job.trace);
   }
   job.promise.set_value(std::move(response));
 }
@@ -132,10 +163,20 @@ void Scheduler::dispatch(std::unique_lock<std::mutex>& lock) {
   lock.unlock();
 
   // Expire lapsed deadlines without executing them; survivors execute.
+  // Every traced group member — expired or live — gets its queue segment
+  // closed here: time from enqueue to the moment a worker picked it up.
   std::vector<Job*> live;
   live.reserve(group.size());
   const auto now = Clock::now();
+  const double dispatch_us = obs::to_process_us(now);
   for (Job& job : group) {
+    if (job.trace) {
+      const double enqueued_us = obs::to_process_us(job.enqueued);
+      const std::uint32_t span = job.trace->open_span(
+          "queue", enqueued_us, obs::RequestContext::kNoParent);
+      job.trace->close_span(span, dispatch_us);
+      job.trace->set_queue_us(dispatch_us - enqueued_us);
+    }
     if (job.deadline < now) {
       complete(job, {504, "{\"error\": \"deadline expired before "
                           "execution\"}"});
@@ -145,13 +186,42 @@ void Scheduler::dispatch(std::unique_lock<std::mutex>& lock) {
   }
 
   if (!live.empty()) {
+    // Each live member gets a "compute" span covering the (possibly shared)
+    // execution. The batch leader's context is bound to this thread with the
+    // leader's compute node as parent, so TraceSpans inside the solver nest
+    // under it — including from pool workers, via the Job handoff in
+    // runtime/thread_pool. compute_us excludes whatever the executor
+    // attributed to rendering (RenderScope per batch member).
+    const double exec_start_us = obs::process_now_us();
+    std::vector<std::uint32_t> compute_spans(live.size(),
+                                             obs::RequestContext::kNoParent);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i]->trace) {
+        compute_spans[i] = live[i]->trace->open_span(
+            "compute", exec_start_us, obs::RequestContext::kNoParent);
+      }
+    }
+    const auto close_compute = [&](std::size_t i) {
+      Job& job = *live[i];
+      if (!job.trace) return;
+      const double end_us = obs::process_now_us();
+      job.trace->close_span(compute_spans[i], end_us);
+      job.trace->set_compute_us(end_us - exec_start_us -
+                                job.trace->render_us());
+    };
     try {
       if (batchable) {
         batches.add();
         batched_requests.add(live.size());
         batch_size.observe(static_cast<double>(live.size()));
-        std::vector<JobResponse> responses = live.front()->run_batch(live);
+        std::vector<JobResponse> responses;
+        {
+          const obs::ScopedRequestBinding binding(live.front()->trace.get(),
+                                                  compute_spans.front());
+          responses = live.front()->run_batch(live);
+        }
         for (std::size_t i = 0; i < live.size(); ++i) {
+          close_compute(i);
           complete(*live[i], i < responses.size()
                                  ? std::move(responses[i])
                                  : JobResponse{500,
@@ -159,7 +229,14 @@ void Scheduler::dispatch(std::unique_lock<std::mutex>& lock) {
                                                "returned too few responses\"}"});
         }
       } else {
-        complete(*live.front(), live.front()->run());
+        JobResponse response;
+        {
+          const obs::ScopedRequestBinding binding(live.front()->trace.get(),
+                                                  compute_spans.front());
+          response = live.front()->run();
+        }
+        close_compute(0);
+        complete(*live.front(), std::move(response));
       }
     } catch (const std::exception& e) {
       std::string body = "{\"error\": \"internal error\", \"detail\": \"";
@@ -168,12 +245,13 @@ void Scheduler::dispatch(std::unique_lock<std::mutex>& lock) {
         if (c >= 0x20) body += c;
       }
       body += "\"}";
-      for (Job* job : live) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
         // complete() is idempotent-unsafe (promise single-set); jobs the
         // batch path already completed cannot reach here because the
         // exception aborts before any complete() call in run_batch's loop —
         // responses are only assigned after the executor returns.
-        complete(*job, {500, body});
+        close_compute(i);
+        complete(*live[i], {500, body});
       }
     }
   }

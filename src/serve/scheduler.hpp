@@ -12,12 +12,19 @@
 #include <thread>
 #include <vector>
 
+namespace cirstag::obs {
+class RequestContext;
+}  // namespace cirstag::obs
+
 namespace cirstag::serve {
 
-/// Completed job outcome: an HTTP status plus a JSON body.
+/// Completed job outcome: an HTTP status plus a body. Almost everything is
+/// JSON; /metrics answers in OpenMetrics text, hence the content type rides
+/// along (defaulted so two-element aggregate inits keep working).
 struct JobResponse {
   int status = 500;
   std::string body;
+  std::string content_type = "application/json";
 };
 
 /// One unit of admitted work.
@@ -41,6 +48,10 @@ struct Job {
   std::chrono::steady_clock::time_point deadline;
   std::chrono::steady_clock::time_point enqueued;
   std::promise<JobResponse> promise;
+  /// Request trace (nullable). The scheduler attributes queue/compute
+  /// segments into it and flushes it to the access log at completion; the
+  /// connection thread keeps its own reference for the X-Trace-Id header.
+  std::shared_ptr<obs::RequestContext> trace;
 };
 
 /// Bounded-admission request scheduler over its own worker threads.

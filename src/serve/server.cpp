@@ -1,10 +1,12 @@
 #include "serve/server.hpp"
 
 #include <utility>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
 
 namespace cirstag::serve {
 
@@ -91,11 +93,21 @@ void Server::connection_loop(TcpSocket socket) {
       break;
     }
 
-    const JobResponse response = handle_request(service_, read.request);
+    Dispatch dispatch = dispatch_request(service_, read.request);
+    const JobResponse response = dispatch.immediate
+                                     ? std::move(dispatch.response)
+                                     : dispatch.future.get();
     const bool keep_alive =
         read.request.keep_alive() && !stop_.load(std::memory_order_relaxed);
-    if (!socket.write_all(format_http_response(
-            response.status, "application/json", response.body, keep_alive)))
+    // The trace ID rides in a header, not the body: response bodies stay
+    // byte-identical to the in-process path (which the tests gate on).
+    std::vector<std::pair<std::string, std::string>> extra_headers;
+    if (dispatch.trace)
+      extra_headers.emplace_back("X-Trace-Id", dispatch.trace->id_hex());
+    if (!socket.write_all(format_http_response(response.status,
+                                               response.content_type,
+                                               response.body, keep_alive,
+                                               extra_headers)))
       break;
     if (!keep_alive) break;
   }

@@ -6,11 +6,13 @@
 // drift audit, and the end-to-end guarantee that every sink armed at once
 // still leaves pipeline scores byte-identical at any thread count.
 
+#include "obs/clock.hpp"
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/request.hpp"
 #include "obs/trace.hpp"
 
 #include <gtest/gtest.h>
@@ -455,7 +457,8 @@ TEST(ObsSweepAudit, AuditPopulatesDriftAndRecordsHealthEvents) {
 
 // ---------------------------------------------------------------------------
 // End-to-end identity: every sink armed at once (profiler at 200 Hz, health
-// monitors, tracer, metrics, JSON log mirror) must leave scores byte-
+// monitors, tracer, metrics, JSON log mirror, request tracing with the
+// access-log and slow-exemplar sinks capturing) must leave scores byte-
 // identical to a fully uninstrumented run, at 1 and N threads.
 
 core::CirStagReport run_fully_instrumented(std::size_t threads) {
@@ -468,11 +471,40 @@ core::CirStagReport run_fully_instrumented(std::size_t threads) {
   const std::string log_path = temp_path("obs_diag_identity.jsonl");
   EXPECT_TRUE(obs::Logger::global().set_json_path(log_path));
 
+  obs::RequestLog& rlog = obs::RequestLog::global();
+  rlog.reset_for_tests();
+  const std::string access_path = temp_path("obs_diag_identity_access.jsonl");
+  const std::string slow_path = temp_path("obs_diag_identity_slow.jsonl");
+  EXPECT_TRUE(rlog.set_access_log_path(access_path));
+  EXPECT_TRUE(rlog.set_exemplar_path(slow_path));
+  rlog.set_slow_threshold_us(0.0);  // every request is "slow": exemplar fires
+
   obs::SamplingProfiler profiler;
   profiler.start(200.0);
-  const core::CirStagReport report = run_diag_pipeline(cfg);
+  core::CirStagReport report;
+  {
+    // Bind the run to a request context exactly like the serve scheduler
+    // does, so every pipeline TraceSpan lands in the request's span tree
+    // while the scores are computed.
+    obs::RequestContext ctx("analyze");
+    const std::uint32_t compute =
+        ctx.open_span("compute", obs::process_now_us(),
+                      obs::RequestContext::kNoParent);
+    {
+      const obs::ScopedRequestBinding bind(&ctx, compute);
+      report = run_diag_pipeline(cfg);
+    }
+    ctx.close_span(compute, obs::process_now_us());
+    ctx.finish(200);
+    rlog.record(ctx);
+  }
   profiler.stop();
+  EXPECT_GE(rlog.access_lines_written(), 1u);
+  EXPECT_GE(rlog.exemplars_captured(), 1u);
 
+  rlog.reset_for_tests();
+  std::remove(access_path.c_str());
+  std::remove(slow_path.c_str());
   EXPECT_TRUE(obs::Logger::global().set_json_path(""));
   obs::Tracer::global().set_enabled(false);
   obs::Tracer::global().clear();

@@ -28,6 +28,8 @@
 #include "io/snapshot.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request.hpp"
+#include "serve/exposition.hpp"
 #include "serve/handlers.hpp"
 #include "serve/http.hpp"
 #include "serve/json.hpp"
@@ -721,16 +723,114 @@ TEST(ServeEndpoints, HealthReportsCircuitsAndBuild) {
   EXPECT_TRUE(build->find("build_type") != nullptr);
 }
 
-TEST(ServeEndpoints, MetricsEndpointServesRegistryJson) {
+TEST(ServeEndpoints, MetricsEndpointServesTextExposition) {
+  Service& service = shared_service();
+  Dispatch d = dispatch_request(service, make_request("GET", "/metrics", ""));
+  ASSERT_TRUE(d.immediate);
+  ASSERT_EQ(d.response.status, 200);
+  EXPECT_EQ(d.response.content_type.rfind("text/plain", 0), 0u)
+      << d.response.content_type;
+  const std::string& body = d.response.body;
+  // The fixture load went through the scheduler, so its counter exists and
+  // is TYPE-declared with the _total naming contract.
+  EXPECT_NE(body.find("# TYPE cirstag_serve_requests_served_total counter"),
+            std::string::npos)
+      << body.substr(0, 512);
+  EXPECT_NE(body.find("cirstag_serve_requests_served_total "),
+            std::string::npos);
+  // Per-endpoint latency folds into one labelled family, and the windowed
+  // summary carries its quantiles.
+  EXPECT_NE(body.find("# TYPE cirstag_serve_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("cirstag_serve_latency_ms_bucket{endpoint=\"load\","
+                      "le=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE cirstag_serve_window_latency_ms summary"),
+            std::string::npos);
+  EXPECT_NE(body.find("cirstag_serve_window_latency_ms{endpoint=\"load\","
+                      "quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("cirstag_serve_window_requests{endpoint=\"load\"} "),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE cirstag_serve_registry_resident_circuits "
+                      "gauge"),
+            std::string::npos);
+}
+
+TEST(ServeEndpoints, StatsEndpointServesWindowedJson) {
+  Service& service = shared_service();
   const JobResponse response =
-      handle_request(shared_service(), make_request("GET", "/metrics", ""));
+      handle_request(service, make_request("GET", "/stats", ""));
   ASSERT_EQ(response.status, 200);
   const JsonValue doc = parse_json(response.body);
+  EXPECT_GE(doc.number_or("uptime_seconds", -1.0), 0.0);
+  const JsonValue* window = doc.find("window");
+  ASSERT_NE(window, nullptr);
+  const JsonValue* endpoints = window->find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  const JsonValue* load = endpoints->find("load");
+  ASSERT_NE(load, nullptr) << response.body;
+  EXPECT_GE(load->number_or("count", 0.0), 1.0);
+  EXPECT_GE(load->number_or("p99_ms", -1.0), load->number_or("p50_ms", 0.0));
+  const JsonValue* registry = doc.find("registry");
+  ASSERT_NE(registry, nullptr);
+  EXPECT_GE(registry->number_or("resident", 0.0), 1.0);
+  const JsonValue* batch = doc.find("batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_GE(batch->number_or("batches_formed", -1.0), 0.0);
   const JsonValue* counters = doc.find("counters");
   ASSERT_NE(counters, nullptr);
-  EXPECT_TRUE(counters->is_object());
-  // The fixture load went through the scheduler, so its counters exist.
-  EXPECT_GE(counters->number_or("serve.requests_served", 0), 1.0);
+  EXPECT_GE(counters->number_or("serve.requests_served", 0.0), 1.0);
+}
+
+TEST(ServeEndpoints, EveryRequestGetsAFinishedTrace) {
+  Service& service = shared_service();
+  Dispatch ok = dispatch_request(service, make_request("GET", "/health", ""));
+  ASSERT_TRUE(ok.immediate);
+  ASSERT_NE(ok.trace, nullptr);
+  EXPECT_EQ(ok.trace->endpoint(), "health");
+  EXPECT_TRUE(ok.trace->finished());
+  EXPECT_EQ(ok.trace->status(), 200);
+  EXPECT_EQ(ok.trace->id_hex().size(), 16u);
+
+  Dispatch bad = dispatch_request(service, make_request("POST", "/nope", ""));
+  ASSERT_TRUE(bad.immediate);
+  ASSERT_NE(bad.trace, nullptr);
+  EXPECT_EQ(bad.trace->status(), 404);
+
+  // Scheduled dispatches get their trace finished by the scheduler, with
+  // queue/compute segments and the solver spans attributed under "compute".
+  Dispatch scheduled = dispatch_request(
+      service, make_request("POST", "/analyze",
+                            "{\"circuit\": \"fixture\", \"cap_scalings\": "
+                            "[{\"pin\": 1, \"factor\": 3.0}]}"));
+  ASSERT_FALSE(scheduled.immediate);
+  ASSERT_EQ(scheduled.future.get().status, 200);
+  ASSERT_NE(scheduled.trace, nullptr);
+  EXPECT_TRUE(scheduled.trace->finished());
+  EXPECT_EQ(scheduled.trace->status(), 200);
+  EXPECT_GT(scheduled.trace->compute_us(), 0.0);
+  const auto spans = scheduled.trace->spans();
+  bool saw_queue = false, saw_compute = false, saw_render = false;
+  bool saw_nested = false;
+  std::uint32_t compute_index = obs::RequestContext::kNoParent;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const std::string name = spans[i].name;
+    if (name == "queue") saw_queue = true;
+    if (name == "compute") {
+      saw_compute = true;
+      compute_index = static_cast<std::uint32_t>(i);
+    }
+    if (name == "render") saw_render = true;
+  }
+  for (const auto& span : spans)
+    if (span.parent == compute_index) saw_nested = true;
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_render);
+  // The solver's TraceSpans fired on the bound worker thread, so at least
+  // one span nests under the scheduler's "compute" segment.
+  EXPECT_TRUE(saw_nested) << scheduled.trace->span_tree_json();
 }
 
 TEST(ServeEndpoints, AnalyzeBaselineMatchesResidentEngine) {
@@ -943,6 +1043,108 @@ TEST(ServeEndpoints, UnloadLifecycle) {
 }
 
 // ===========================================================================
+// ServeExposition — Prometheus text-format conformance
+// ===========================================================================
+
+TEST(ServeExposition, SanitizesMetricNames) {
+  EXPECT_EQ(prom_sanitize_name("serve.latency_ms"), "serve_latency_ms");
+  EXPECT_EQ(prom_sanitize_name("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(prom_sanitize_name("ns:metric"), "ns:metric");
+  EXPECT_EQ(prom_sanitize_name("7eleven"), "_7eleven");
+  EXPECT_EQ(prom_sanitize_name(""), "");
+}
+
+TEST(ServeExposition, EscapesLabelValues) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+/// Parse the exposition text into (sample line -> value), skipping comments.
+std::vector<std::pair<std::string, double>> parse_samples(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << line;
+    samples.emplace_back(line.substr(0, space),
+                         std::stod(line.substr(space + 1)));
+  }
+  return samples;
+}
+
+TEST(ServeExposition, EveryMetricTypeConforms) {
+  Service& service = shared_service();  // fixture already loaded
+  const std::string text = render_metrics_exposition(service);
+
+  // Every TYPE line names a valid type; every sample is TYPE-declared
+  // before its first sample (single pass, tracking declared families).
+  std::vector<std::string> declared;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples_seen = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t space = line.find(' ', 7);
+      ASSERT_NE(space, std::string::npos) << line;
+      const std::string family = line.substr(7, space - 7);
+      const std::string type = line.substr(space + 1);
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram" || type == "summary")
+          << line;
+      declared.push_back(family);
+      continue;
+    }
+    if (line[0] == '#') continue;
+    ++samples_seen;
+    const std::string sample = line.substr(0, line.find_first_of(" {"));
+    bool covered = false;
+    for (const std::string& family : declared)
+      if (sample.compare(0, family.size(), family) == 0) covered = true;
+    EXPECT_TRUE(covered) << "sample not TYPE-declared: " << line;
+  }
+  EXPECT_GT(samples_seen, 0u);
+
+  // Histogram contract on the folded per-endpoint latency family: buckets
+  // cumulative, le="+Inf" present and equal to _count.
+  const auto samples = parse_samples(text);
+  double last_bucket = -1.0, inf_bucket = -1.0, count = -1.0;
+  bool cumulative = true;
+  for (const auto& [name, value] : samples) {
+    if (name.rfind("cirstag_serve_latency_ms_bucket{endpoint=\"load\"", 0) ==
+        0) {
+      if (name.find("le=\"+Inf\"") != std::string::npos) inf_bucket = value;
+      if (value < last_bucket) cumulative = false;
+      last_bucket = value;
+    }
+    if (name == "cirstag_serve_latency_ms_count{endpoint=\"load\"}")
+      count = value;
+  }
+  EXPECT_TRUE(cumulative);
+  ASSERT_GE(inf_bucket, 0.0);
+  ASSERT_GE(count, 0.0);
+  EXPECT_EQ(inf_bucket, count);
+
+  // Summary contract: quantiles are ordered p50 <= p95 <= p99.
+  double p50 = -1.0, p99 = -1.0;
+  for (const auto& [name, value] : samples) {
+    if (name == "cirstag_serve_window_latency_ms{endpoint=\"load\","
+                "quantile=\"0.5\"}")
+      p50 = value;
+    if (name == "cirstag_serve_window_latency_ms{endpoint=\"load\","
+                "quantile=\"0.99\"}")
+      p99 = value;
+  }
+  ASSERT_GE(p50, 0.0);
+  EXPECT_GE(p99, p50);
+}
+
+// ===========================================================================
 // ServeLoopback — end-to-end over a real socket
 // ===========================================================================
 
@@ -1063,7 +1265,102 @@ TEST(ServeLoopback, KeepAliveServesMultipleRequests) {
   const auto metrics = http_roundtrip(client, "GET", "/metrics", "");
   ASSERT_TRUE(metrics.has_value());
   EXPECT_EQ(metrics->status, 200);
-  EXPECT_NE(parse_json(metrics->body).find("counters"), nullptr);
+  const auto ct = metrics->headers.find("content-type");
+  ASSERT_NE(ct, metrics->headers.end());
+  EXPECT_EQ(ct->second.rfind("text/plain", 0), 0u) << ct->second;
+  EXPECT_NE(metrics->body.find("# TYPE "), std::string::npos);
+  const auto stats = http_roundtrip(client, "GET", "/stats", "");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->status, 200);
+  EXPECT_NE(parse_json(stats->body).find("counters"), nullptr);
+}
+
+TEST(ServeLoopback, EveryResponseCarriesATraceIdHeader) {
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  std::string previous;
+  for (int i = 0; i < 2; ++i) {
+    const auto health = http_roundtrip(client, "GET", "/health", "");
+    ASSERT_TRUE(health.has_value());
+    const auto tid = health->headers.find("x-trace-id");
+    ASSERT_NE(tid, health->headers.end());
+    EXPECT_EQ(tid->second.size(), 16u);
+    EXPECT_EQ(tid->second.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_NE(tid->second, previous) << "trace IDs must be per-request";
+    previous = tid->second;
+  }
+  // Errors are traced too — a 404's ID resolves in the access log.
+  const auto missing = http_roundtrip(client, "POST", "/nope", "{}");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_NE(missing->headers.find("x-trace-id"), missing->headers.end());
+}
+
+TEST(ServeLoopback, PipelinedKeepAliveRequestsAnswerInOrder) {
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  // Two full requests in one write: the reader must frame them from its
+  // buffered bytes without waiting for more input.
+  const std::string pipelined =
+      "GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+      "POST /nope HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\n{}";
+  ASSERT_TRUE(client.write_all(pipelined));
+  std::string buf;
+  char chunk[8192];
+  // Both responses end with a JSON body; read until we have two statuses
+  // and the second body's bytes.
+  while (buf.find("\"error\"") == std::string::npos) {
+    const long n = client.read_some(chunk, sizeof chunk);
+    ASSERT_GT(n, 0) << "connection closed before both responses arrived";
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t first = buf.find("HTTP/1.1 200 ");
+  const std::size_t second = buf.find("HTTP/1.1 404 ");
+  EXPECT_EQ(first, 0u) << buf.substr(0, 64);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second) << "pipelined responses out of order";
+}
+
+TEST(ServeLoopback, OversizedHeaderBlockGets431) {
+  ServerOptions options = loopback_options();
+  options.limits.max_header_bytes = 512;
+  RunningServer running(options);
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  std::string request = "GET /health HTTP/1.1\r\nHost: t\r\n";
+  request += "X-Padding: " + std::string(2048, 'a') + "\r\n\r\n";
+  ASSERT_TRUE(client.write_all(request));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const long n = client.read_some(chunk, sizeof chunk);
+    if (n <= 0) break;  // server closes after answering
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(response.rfind("HTTP/1.1 431 ", 0), 0u) << response.substr(0, 64);
+}
+
+TEST(ServeLoopback, SlowByteAtATimeHeadersStillParse) {
+  RunningServer running(loopback_options());
+  TcpSocket client = tcp_connect(running.server.port());
+  ASSERT_TRUE(client.valid());
+  const std::string request =
+      "GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n";
+  // Trickle the head one byte per write: the reader must accumulate across
+  // short reads instead of treating a partial head as malformed.
+  for (const char c : request)
+    ASSERT_TRUE(client.write_all(std::string(1, c)));
+  std::string buf;
+  char chunk[4096];
+  while (buf.find("\r\n\r\n") == std::string::npos) {
+    const long n = client.read_some(chunk, sizeof chunk);
+    ASSERT_GT(n, 0);
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(buf.rfind("HTTP/1.1 200 ", 0), 0u) << buf.substr(0, 64);
 }
 
 TEST(ServeLoopback, MalformedRequestGets400) {

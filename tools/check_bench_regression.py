@@ -46,6 +46,10 @@ Additional modes over the cirstag_cli observability outputs:
                                   --metrics-json documents (or a standalone
                                   health report); exits 1 when any
                                   error-severity event was recorded
+  --check-latency-csv F.csv [...] validate bench_serve --latency-csv
+                                  timelines: exact header, one row per
+                                  request with index == line order, positive
+                                  latency, HTTP status, 16-hex trace IDs
 
 Exit status: 0 on success, 1 on a regression / checksum mismatch /
 error-severity health event, 2 on malformed input (every schema problem is
@@ -439,6 +443,68 @@ def run_check_health(paths):
     return 0
 
 
+# ---------------------------------------------------------------------------
+# bench_serve --latency-csv timeline validation
+
+
+LATENCY_CSV_HEADER = "index,endpoint,enqueued_offset_us,latency_us,status,trace_id"
+TRACE_ID = re.compile(r"^[0-9a-f]{16}$")
+
+
+def latency_csv_problems(path):
+    """Schema problems of one --latency-csv artifact, each naming the line."""
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [f"{path}: cannot read: {e}"]
+    if not lines or lines[0] != LATENCY_CSV_HEADER:
+        return [f"{path}: header is {lines[0] if lines else '<empty>'!r}, "
+                f"expected {LATENCY_CSV_HEADER!r}"]
+    if len(lines) < 2:
+        return [f"{path}: no request rows"]
+    problems = []
+    for i, line in enumerate(lines[1:]):
+        fields = line.split(",")
+        if len(fields) != 6:
+            problems.append(f"{path}:{i + 2}: {len(fields)} fields, expected 6")
+            continue
+        index, endpoint, enqueued, latency, status, trace_id = fields
+        if index != str(i):
+            problems.append(f"{path}:{i + 2}: index {index!r}, expected {i} "
+                            f"(rows must be complete and in order)")
+        if not endpoint:
+            problems.append(f"{path}:{i + 2}: empty endpoint")
+        try:
+            if float(enqueued) < 0:
+                problems.append(f"{path}:{i + 2}: negative enqueued offset")
+            if not float(latency) > 0:
+                problems.append(f"{path}:{i + 2}: non-positive latency")
+        except ValueError:
+            problems.append(f"{path}:{i + 2}: non-numeric timing field")
+        if not (status.isdigit() and 100 <= int(status) <= 599):
+            problems.append(f"{path}:{i + 2}: bad HTTP status {status!r}")
+        if not TRACE_ID.match(trace_id):
+            problems.append(f"{path}:{i + 2}: trace ID {trace_id!r} is not "
+                            f"16 lower-hex digits")
+    return problems
+
+
+def run_check_latency_csv(paths):
+    if not paths:
+        print("error: --check-latency-csv needs at least one CSV", file=sys.stderr)
+        return 2
+    problems = []
+    for path in paths:
+        problems += latency_csv_problems(path)
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if problems:
+        return 2
+    print(f"OK: {len(paths)} latency timeline(s) valid")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
@@ -449,6 +515,8 @@ def main(argv):
         return run_diff_manifests(argv[2:])
     if argv[1] == "--check-health":
         return run_check_health(argv[2:])
+    if argv[1] == "--check-latency-csv":
+        return run_check_latency_csv(argv[2:])
     return run_bench_gate(argv[1:])
 
 

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Validate a /metrics scrape against the Prometheus text exposition format.
+
+CI scrapes the serve daemon twice under load and runs this checker over both
+files. Checks, per file:
+
+  - every non-comment line parses as `name[{labels}] value` with a metric
+    name in [a-zA-Z_:][a-zA-Z0-9_:]* and a finite (or +Inf) value
+  - every sample's family is declared by a preceding `# TYPE` line, and the
+    sample name agrees with the declared type's naming contract:
+    counter samples end in `_total`, histograms emit only
+    `_bucket`/`_sum`/`_count`, summaries only quantile'd samples plus
+    `_sum`/`_count`
+  - label syntax: names match [a-zA-Z_][a-zA-Z0-9_]*, values are quoted with
+    only valid escapes (\\\\, \\", \\n) inside
+  - histogram buckets are cumulative (counts never decrease as `le` grows),
+    an `le="+Inf"` bucket exists, and it equals the family's `_count`
+  - counter and histogram-count values are non-negative
+
+With two files (scrape A then scrape B, in capture order), additionally
+checks monotonicity: no counter `_total`, histogram `_count`, or bucket
+count may decrease between scrapes — a decrease means a counter reset or a
+broken snapshot path. (Windowed families are exported as gauges or
+summaries precisely because they may decrease; they are exempt by type.)
+
+Exit status: 0 valid, 1 conformance violation, 2 unreadable input.
+Usage: check_exposition.py scrape_a.txt [scrape_b.txt]
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{(?P<labels>.*)\})?"
+                    r" (?P<value>\S+)$")
+TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_labels(raw, where, problems):
+    """Parse `a="x",b="y"` into a dict, reporting syntax problems."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        eq = raw.find("=", pos)
+        if eq < 0 or pos == eq:
+            problems.append(f"{where}: malformed label pair in {{{raw}}}")
+            return labels
+        name = raw[pos:eq]
+        if not LABEL_NAME.match(name):
+            problems.append(f"{where}: bad label name {name!r}")
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            problems.append(f"{where}: label value of {name!r} is not quoted")
+            return labels
+        pos = eq + 2
+        value = []
+        while pos < len(raw):
+            c = raw[pos]
+            if c == "\\":
+                if pos + 1 >= len(raw) or raw[pos + 1] not in '\\"n':
+                    problems.append(
+                        f"{where}: invalid escape in label {name!r}")
+                    return labels
+                value.append({"\\": "\\", '"': '"', "n": "\n"}[raw[pos + 1]])
+                pos += 2
+                continue
+            if c == '"':
+                break
+            if c == "\n":
+                problems.append(f"{where}: raw newline in label {name!r}")
+                return labels
+            value.append(c)
+            pos += 1
+        else:
+            problems.append(f"{where}: unterminated label value of {name!r}")
+            return labels
+        labels[name] = "".join(value)
+        pos += 1  # closing quote
+        if pos < len(raw):
+            if raw[pos] != ",":
+                problems.append(f"{where}: expected ',' between labels")
+                return labels
+            pos += 1
+    return labels
+
+
+def parse_value(text, where, problems):
+    if text == "+Inf":
+        return math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        problems.append(f"{where}: non-numeric value {text!r}")
+        return None
+    if math.isnan(value):
+        problems.append(f"{where}: NaN value")
+        return None
+    return value
+
+
+def family_of(sample_name, types):
+    """The TYPE family a sample belongs to: longest declared prefix whose
+    suffix is one the type allows ('' , _total, _bucket, _sum, _count)."""
+    for candidate in (sample_name, sample_name.rsplit("_", 1)[0]):
+        if candidate in types:
+            return candidate
+    return None
+
+
+def parse_scrape(path):
+    """Returns (samples, types, problems): samples is a list of
+    (sample_name, frozen_labels, value, line_no); types maps family -> type."""
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    problems = []
+    types = {}
+    samples = []
+    for no, line in enumerate(lines, 1):
+        where = f"{path}:{no}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in TYPES:
+                    problems.append(f"{where}: malformed TYPE line: {line!r}")
+                    continue
+                family = parts[2]
+                if not METRIC_NAME.match(family):
+                    problems.append(f"{where}: bad family name {family!r}")
+                elif family in types:
+                    problems.append(f"{where}: duplicate TYPE for {family!r}")
+                else:
+                    types[family] = parts[3]
+            continue
+        m = SAMPLE.match(line)
+        if m is None:
+            problems.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        labels_raw = m.group("labels")
+        labels = (parse_labels(labels_raw, where, problems)
+                  if labels_raw is not None else {})
+        value = parse_value(m.group("value"), where, problems)
+        if value is None:
+            continue
+        samples.append((m.group("name"), frozenset(labels.items()), value, no))
+    return samples, types, problems
+
+
+def check_scrape(path):
+    """Single-file conformance; returns (problems, monotonic_keys) where
+    monotonic_keys maps (sample, labels) -> value for cross-scrape checks."""
+    samples, types, problems = parse_scrape(path)
+    monotonic = {}
+    # family -> {labels-without-le: {le_value: count}} for cumulativity
+    buckets = {}
+    counts = {}
+
+    for name, labels, value, no in samples:
+        where = f"{path}:{no}"
+        family = family_of(name, types)
+        if family is None:
+            problems.append(f"{where}: sample {name!r} has no TYPE declaration")
+            continue
+        ftype = types[family]
+        suffix = name[len(family):]
+        label_dict = dict(labels)
+        if ftype == "counter":
+            if suffix != "_total" and not name.endswith("_total"):
+                problems.append(f"{where}: counter sample {name!r} does not "
+                                f"end in _total")
+            if value < 0:
+                problems.append(f"{where}: negative counter {name!r}")
+            monotonic[(name, labels)] = value
+        elif ftype == "gauge":
+            if suffix != "":
+                problems.append(f"{where}: gauge family {family!r} has "
+                                f"suffixed sample {name!r}")
+        elif ftype == "histogram":
+            if suffix not in ("_bucket", "_sum", "_count"):
+                problems.append(f"{where}: histogram sample {name!r} must be "
+                                f"_bucket/_sum/_count")
+            elif suffix == "_bucket":
+                if "le" not in label_dict:
+                    problems.append(f"{where}: _bucket sample without an "
+                                    f"'le' label")
+                else:
+                    le = label_dict["le"]
+                    rest = frozenset((k, v) for k, v in labels if k != "le")
+                    buckets.setdefault(family, {}).setdefault(
+                        rest, {})[le] = (value, no)
+                    monotonic[(name, labels)] = value
+            elif suffix == "_count":
+                if value < 0:
+                    problems.append(f"{where}: negative histogram count")
+                counts.setdefault(family, {})[labels] = value
+                monotonic[(name, labels)] = value
+        elif ftype == "summary":
+            if suffix not in ("", "_sum", "_count"):
+                problems.append(f"{where}: summary sample {name!r} must be "
+                                f"quantile'd, _sum, or _count")
+            if suffix == "" and "quantile" not in label_dict:
+                problems.append(f"{where}: summary sample {name!r} lacks a "
+                                f"'quantile' label")
+
+    # Histogram cumulativity + le="+Inf" == _count.
+    def le_key(le):
+        return math.inf if le == "+Inf" else float(le)
+
+    for family, series in buckets.items():
+        for rest, by_le in series.items():
+            try:
+                ordered = sorted(by_le.items(), key=lambda kv: le_key(kv[0]))
+            except ValueError:
+                problems.append(f"{path}: family {family!r} has a non-numeric "
+                                f"'le' bound")
+                continue
+            prev = None
+            for le, (value, no) in ordered:
+                if prev is not None and value < prev:
+                    problems.append(f"{path}:{no}: {family}_bucket counts are "
+                                    f"not cumulative (le={le!r} drops)")
+                prev = value
+            if "+Inf" not in by_le:
+                problems.append(f"{path}: family {family!r} lacks an "
+                                f'le="+Inf" bucket')
+                continue
+            inf_value = by_le["+Inf"][0]
+            rest_with_nothing = frozenset(rest)
+            count = counts.get(family, {}).get(rest_with_nothing)
+            if count is not None and count != inf_value:
+                problems.append(
+                    f"{path}: family {family!r}: le=\"+Inf\" bucket "
+                    f"({inf_value:.0f}) != _count ({count:.0f})")
+    return problems, monotonic
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+    all_problems = []
+    snapshots = []
+    for path in argv[1:]:
+        problems, monotonic = check_scrape(path)
+        all_problems += problems
+        snapshots.append((path, monotonic))
+    if len(snapshots) == 2:
+        (path_a, a), (path_b, b) = snapshots
+        for key, value_a in sorted(a.items()):
+            value_b = b.get(key)
+            if value_b is not None and value_b < value_a:
+                name, labels = key
+                rendered = ",".join(f'{k}="{v}"' for k, v in sorted(labels))
+                all_problems.append(
+                    f"{name}{{{rendered}}} decreased between {path_a} "
+                    f"({value_a:.0f}) and {path_b} ({value_b:.0f})")
+    for p in all_problems:
+        print(f"error: {p}", file=sys.stderr)
+    if all_problems:
+        print(f"FAIL: {len(all_problems)} exposition problem(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {len(snapshots)} scrape(s) conform"
+          + (", counters monotonic" if len(snapshots) == 2 else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

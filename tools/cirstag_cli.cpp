@@ -48,6 +48,7 @@
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/request.hpp"
 #include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/registry.hpp"
@@ -97,12 +98,16 @@ constexpr const char* kUsage =
     "                       sweep baseline + warm solver cache) loaded and\n"
     "                       answers HTTP/1.1+JSON requests on 127.0.0.1\n"
     "                       endpoints: /load /unload /analyze /sweep\n"
-    "                       /score-region /top-k /health /metrics\n"
+    "                       /score-region /top-k /health /metrics /stats\n"
     "                       [--port N] [--workers W] [--queue-capacity Q]\n"
     "                       [--max-batch B] [--deadline-ms D]\n"
     "                       [--preload in.ckt] [--preload-name NAME]\n"
     "                       [--preload-snapshot in.snap]\n"
     "                       [--epochs E] [--hidden H] [--exact 0|1]\n"
+    "                       [--access-log PATH]  per-request JSONL log\n"
+    "                       [--slow-trace PATH]  slow-request exemplars\n"
+    "                       [--slow-us T]        exemplar latency threshold\n"
+    "                       [--slow-budget B]    exemplar token-bucket burst\n"
     "  help                 print this message\n"
     "  --version            print build identity (git describe, build type,\n"
     "                       compiler) and exit\n"
@@ -407,6 +412,19 @@ int cmd_serve(int argc, char** argv) {
   sopts.scheduler.max_batch_size = opt_size(opts, "max-batch", 8);
   sopts.scheduler.default_deadline_ms =
       static_cast<int>(opt_size(opts, "deadline-ms", 60000));
+
+  // Request-log sinks: access log (one JSONL line per request) and slow
+  // exemplars (span tree + folded profile for requests over --slow-us).
+  {
+    auto& rlog = obs::RequestLog::global();
+    rlog.set_access_log_path(opt_str(opts, "access-log", ""));
+    rlog.set_exemplar_path(opt_str(opts, "slow-trace", ""));
+    const std::size_t slow_us = opt_size(opts, "slow-us", 0);
+    rlog.set_slow_threshold_us(slow_us == 0 ? -1.0
+                                            : static_cast<double>(slow_us));
+    const std::size_t budget = opt_size(opts, "slow-budget", 8);
+    rlog.configure_token_bucket(static_cast<double>(budget), 0.1);
+  }
 
   serve::Server server(sopts);
   std::string error;

@@ -147,6 +147,33 @@ class BenchGateMessages(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("eigen_runs_restore 1 vs baseline 0", err)
 
+    def test_latency_csv_accepts_a_valid_timeline(self):
+        path = Path(self.dir) / "lat.csv"
+        path.write_text(checker.LATENCY_CSV_HEADER + "\n"
+                        "0,analyze,0.0,1520.4,200,00000000000000a1\n"
+                        "1,top-k,2000.0,310.9,200,00000000000000a2\n")
+        self.assertEqual(checker.latency_csv_problems(str(path)), [])
+
+    def test_latency_csv_rejects_bad_rows(self):
+        path = Path(self.dir) / "lat.csv"
+        path.write_text(checker.LATENCY_CSV_HEADER + "\n"
+                        "0,analyze,0.0,-3.0,200,00000000000000a1\n"   # latency
+                        "2,top-k,2000.0,310.9,200,00000000000000a2\n"  # index
+                        "2,,100.0,1.0,999,NOTHEX\n")   # endpoint/status/trace
+        problems = checker.latency_csv_problems(str(path))
+        text = "\n".join(problems)
+        self.assertIn("latency", text)
+        self.assertIn("index", text)
+        self.assertIn("trace", text)
+        self.assertGreaterEqual(len(problems), 4)
+
+    def test_latency_csv_rejects_missing_header_and_empty_timeline(self):
+        path = Path(self.dir) / "lat.csv"
+        path.write_text("nope\n")
+        self.assertTrue(checker.latency_csv_problems(str(path)))
+        path.write_text(checker.LATENCY_CSV_HEADER + "\n")
+        self.assertTrue(checker.latency_csv_problems(str(path)))
+
     def test_aggregate_rows_are_ignored(self):
         base = self.baseline({"BM_Solve/64": 100})
         rep = write_json(self.dir, "report.json", report(
